@@ -1,0 +1,66 @@
+//===- bench/bench_ablation_engine.cpp - Section 7 ablation ---------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Section 7 argues that a naive transformer-string instantiation (a
+// generic engine treating comp as an opaque functor over structured
+// values) evaluates with weaker indices and is much slower; recovering
+// the context-string indexing scheme (there: configuration-decomposed
+// relations; here: interned ids + memoized composition in a specialized
+// solver) restores the advantage. This ablation measures:
+//
+//   1. generic Datalog engine vs specialized solver, per abstraction;
+//   2. the specialized solver's context-string vs transformer-string
+//      times (the Figure-6 "time" column's mechanism).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DatalogFrontend.h"
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "workload/Presets.h"
+
+#include <cstdio>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+int main() {
+  const char *Preset = "luindex";
+  facts::FactDB DB = facts::extract(workload::generatePreset(Preset));
+  std::printf("Ablation on preset '%s' (%zu input facts), config "
+              "2-object+H:\n\n",
+              Preset, DB.numInputFacts());
+
+  std::printf("%-22s %-22s %12s %14s\n", "evaluator", "abstraction",
+              "time", "derivations");
+  for (Abstraction A :
+       {Abstraction::ContextString, Abstraction::TransformerString}) {
+    const char *AbsName = A == Abstraction::ContextString
+                              ? "context-string"
+                              : "transformer-string";
+    ctx::Config Cfg = ctx::twoObjectH(A);
+
+    analysis::Results Fast = analysis::solve(DB, Cfg);
+    std::printf("%-22s %-22s %10.1fms %14zu\n", "specialized solver",
+                AbsName, Fast.Stat.Seconds * 1e3, Fast.Stat.WorkItems);
+
+    std::size_t Derivations = 0;
+    analysis::Results Slow = analysis::solveViaDatalog(DB, Cfg,
+                                                       &Derivations);
+    std::printf("%-22s %-22s %10.1fms %14zu\n", "generic datalog",
+                AbsName, Slow.Stat.Seconds * 1e3, Derivations);
+
+    if (Fast.Stat.NumPts != Slow.Stat.NumPts)
+      std::printf("  WARNING: evaluators disagree on |pts| (%zu vs %zu)\n",
+                  Fast.Stat.NumPts, Slow.Stat.NumPts);
+  }
+
+  std::printf("\nExpected shape (Section 7): the generic engine is an "
+              "order of magnitude slower than the\nspecialized solver; "
+              "within the specialized solver, transformer strings derive "
+              "fewer facts\nand take less time than context strings at "
+              "2-object+H.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- bench/bench_fig5_derivation.cpp - Figure 5 reproduction ------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Prints the two derivation columns of Figure 5 side by side: every
+// derived pts/call/reach fact of the example program under m = 1, h = 1
+// call-site sensitivity, for the context-string and transformer-string
+// abstractions. The context-string column enumerates contexts (12 pts
+// facts); the transformer column compresses them (5 pts facts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "workload/PaperPrograms.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+namespace {
+
+ctx::ElemPrinter makePrinter(const facts::FactDB &DB) {
+  return [&DB](ctx::CtxtElem E) -> std::string {
+    if (E == ctx::EntryElem)
+      return "entry";
+    std::uint32_t Id = ctx::entityOfElem(E);
+    // Call-site flavour: elements are invocation sites.
+    return Id < DB.InvokeNames.size() ? DB.InvokeNames[Id]
+                                      : "#" + std::to_string(Id);
+  };
+}
+
+std::vector<std::string> renderColumn(const analysis::Results &R,
+                                      const facts::FactDB &DB) {
+  ctx::ElemPrinter P = makePrinter(DB);
+  std::vector<std::string> Lines;
+  for (const auto &F : R.Pts)
+    Lines.push_back("pts(" + DB.VarNames[F.Var] + ", " +
+                    DB.HeapNames[F.Heap] + ", " + R.Dom->toString(F.T, P) +
+                    ")");
+  for (const auto &F : R.Call)
+    Lines.push_back("call(" + DB.InvokeNames[F.Invoke] + ", " +
+                    DB.MethodNames[F.Method] + ", " +
+                    R.Dom->toString(F.T, P) + ")");
+  for (const auto &F : R.Reach)
+    Lines.push_back("reach(" + DB.MethodNames[F.Method] + ", " +
+                    ctx::printCtxtVec((*R.ReachCtxts)[F.CtxtId], P) + ")");
+  std::sort(Lines.begin(), Lines.end());
+  return Lines;
+}
+
+} // namespace
+
+int main() {
+  workload::Figure5Program F = workload::figure5();
+  facts::FactDB DB = facts::extract(F.P);
+  std::printf("Figure 5 program:\n%s\n", ir::printProgram(F.P).c_str());
+
+  analysis::Results Cs =
+      analysis::solve(DB, ctx::oneCallH(Abstraction::ContextString));
+  analysis::Results Ts =
+      analysis::solve(DB, ctx::oneCallH(Abstraction::TransformerString));
+
+  std::printf("Context-string column (m=1, h=1 call-site):\n");
+  for (const std::string &L : renderColumn(Cs, DB))
+    std::printf("  %s\n", L.c_str());
+  std::printf("  -> %zu pts, %zu call, %zu reach facts\n\n",
+              Cs.Stat.NumPts, Cs.Stat.NumCall, Cs.Stat.NumReach);
+
+  std::printf("Transformer-string column:\n");
+  for (const std::string &L : renderColumn(Ts, DB))
+    std::printf("  %s\n", L.c_str());
+  std::printf("  -> %zu pts, %zu call, %zu reach facts\n\n",
+              Ts.Stat.NumPts, Ts.Stat.NumCall, Ts.Stat.NumReach);
+
+  std::printf("Paper's Figure 5: 12 vs 5 pts facts, 4 vs 3 call edges, "
+              "identical CI precision.\n");
+  bool SamePrecision =
+      Cs.ciPts() == Ts.ciPts() && Cs.ciCall() == Ts.ciCall();
+  std::printf("CI precision identical here: %s\n",
+              SamePrecision ? "yes" : "NO (unexpected)");
+  return 0;
+}

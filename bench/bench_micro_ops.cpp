@@ -1,0 +1,140 @@
+//===- bench/bench_micro_ops.cpp - Primitive-operation throughput ---------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// google-benchmark microbenchmarks of the algebra primitives both
+// abstractions are built from: transformer-string match/compose,
+// truncation, inverse, context-string pair composition, and the memoized
+// interned composition path the solver actually uses. These underpin the
+// Figure-6 time column: a transformer composition is a few comparisons,
+// so the win there comes from fact-count reduction, not cheaper ops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/ContextString.h"
+#include "ctx/Domain.h"
+#include "ctx/TransformerString.h"
+#include "support/Rng.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+namespace {
+
+Transformer makeT(std::initializer_list<CtxtElem> Exits, bool Wild,
+                  std::initializer_list<CtxtElem> Entries) {
+  Transformer T;
+  for (CtxtElem E : Exits)
+    T.Exits.push_back(E);
+  T.Wild = Wild;
+  for (CtxtElem E : Entries)
+    T.Entries.push_back(E);
+  return T;
+}
+
+void BM_TransformerComposeCancelling(benchmark::State &State) {
+  Transformer A = makeT({}, false, {3, 7});
+  Transformer B = makeT({3, 7}, false, {9});
+  for (auto _ : State) {
+    auto R = compose(A, B);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_TransformerComposeCancelling);
+
+void BM_TransformerComposeBottom(benchmark::State &State) {
+  Transformer A = makeT({}, false, {3});
+  Transformer B = makeT({4}, false, {});
+  for (auto _ : State) {
+    auto R = compose(A, B);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_TransformerComposeBottom);
+
+void BM_TransformerComposeWildcard(benchmark::State &State) {
+  Transformer A = makeT({1, 2}, true, {3});
+  Transformer B = makeT({3, 4}, false, {5, 6});
+  for (auto _ : State) {
+    auto R = compose(A, B);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_TransformerComposeWildcard);
+
+void BM_TransformerTruncate(benchmark::State &State) {
+  Transformer A = makeT({1, 2, 3}, false, {4, 5, 6});
+  for (auto _ : State) {
+    Transformer R = truncate(A, 1, 2);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_TransformerTruncate);
+
+void BM_TransformerInverse(benchmark::State &State) {
+  Transformer A = makeT({1, 2}, true, {4, 5});
+  for (auto _ : State) {
+    Transformer R = inverse(A);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_TransformerInverse);
+
+void BM_CtxtPairCompose(benchmark::State &State) {
+  CtxtPair A{{1}, {2, 3}};
+  CtxtPair B{{2, 3}, {4}};
+  for (auto _ : State) {
+    auto R = composePairs(A, B);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CtxtPairCompose);
+
+/// The solver's hot path: memoized composition over interned ids. The
+/// first iteration populates the cache; steady state is one hash probe.
+void BM_DomainMemoizedComp(benchmark::State &State) {
+  auto D = makeDomain(twoObjectH(Abstraction::TransformerString),
+                      std::vector<std::uint32_t>(64, 0));
+  CtxtVec Entry;
+  Entry.push_back(EntryElem);
+  TransformId Eps = D->record(Entry);
+  // A small population of call-edge transformations.
+  std::vector<TransformId> Calls;
+  for (std::uint32_t H = 0; H < 32; ++H)
+    Calls.push_back(D->mergeVirtual(H, H, Eps));
+  std::size_t I = 0;
+  for (auto _ : State) {
+    auto R = D->comp(Eps, Calls[I++ & 31], 1, 2);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_DomainMemoizedComp);
+
+/// Same composition without memoization benefit: fresh domain per batch,
+/// isolating the structural cost the cache removes.
+void BM_DomainUncachedComp(benchmark::State &State) {
+  CtxtVec Entry;
+  Entry.push_back(EntryElem);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto D = makeDomain(twoObjectH(Abstraction::TransformerString),
+                        std::vector<std::uint32_t>(64, 0));
+    TransformId Eps = D->record(Entry);
+    std::vector<TransformId> Calls;
+    for (std::uint32_t H = 0; H < 32; ++H)
+      Calls.push_back(D->mergeVirtual(H, H, Eps));
+    State.ResumeTiming();
+    for (std::uint32_t K = 0; K < 32; ++K) {
+      auto R = D->comp(Eps, Calls[K], 1, 2);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+}
+BENCHMARK(BM_DomainUncachedComp);
+
+} // namespace
+
+BENCHMARK_MAIN();

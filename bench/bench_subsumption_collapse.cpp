@@ -1,0 +1,58 @@
+//===- bench/bench_subsumption_collapse.cpp - Collapsing ablation ---------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Ablation of the subsumption-collapsing extension (Section 8 proposes
+// deleting subsumed facts but does not implement it): for every preset and
+// the two "+H" configurations where subsuming facts matter most, compare
+// the transformer-string solver with and without collapsing — live fact
+// counts, retired facts, and time. Precision (CI projection) is asserted
+// unchanged in the test suite; here we report the cost/benefit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "workload/Presets.h"
+
+#include <cstdio>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+int main() {
+  std::printf("Subsumption collapsing ablation (transformer strings).\n\n");
+  std::printf("%-9s %-12s %10s %10s %10s %10s %10s\n", "bench", "config",
+              "pts", "pts-col", "retired", "time", "time-col");
+
+  analysis::SolverOptions Collapse;
+  Collapse.CollapseSubsumedPts = true;
+
+  struct Spec {
+    const char *Label;
+    ctx::Config (*Make)(Abstraction);
+  };
+  const Spec Specs[] = {{"1-call+H", ctx::oneCallH},
+                        {"2-object+H", ctx::twoObjectH},
+                        {"2-type+H", ctx::twoTypeH}};
+
+  for (const std::string &Name : workload::presetNames()) {
+    facts::FactDB DB = facts::extract(workload::generatePreset(Name));
+    for (const Spec &S : Specs) {
+      ctx::Config Cfg = S.Make(Abstraction::TransformerString);
+      analysis::Results Plain = analysis::solve(DB, Cfg);
+      analysis::Results Col = analysis::solve(DB, Cfg, Collapse);
+      std::printf("%-9s %-12s %10zu %10zu %10zu %8.1fms %8.1fms\n",
+                  Name.c_str(), S.Label, Plain.Stat.NumPts,
+                  Col.Stat.NumPts, Col.Stat.CollapsedPts,
+                  Plain.Stat.Seconds * 1e3, Col.Stat.Seconds * 1e3);
+    }
+  }
+
+  std::printf("\nCollapsing always shrinks the live pts relation; whether "
+              "it pays off in time depends on how\nmany subsuming facts a "
+              "workload produces (the paper expects bloat-like programs "
+              "to benefit most).\n");
+  return 0;
+}

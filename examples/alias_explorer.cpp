@@ -1,0 +1,64 @@
+//===- examples/alias_explorer.cpp - May-alias precision explorer ---------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Rebuilds the Figure-1 program of the paper and answers the alias
+// questions Section 2 walks through (are a.f and b.f aliased? does z point
+// to h1?), showing how each flavour and level of context sensitivity
+// changes the answers, with identical results from both abstractions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "clients/Alias.h"
+#include "facts/Extract.h"
+#include "ir/Ir.h"
+#include "workload/PaperPrograms.h"
+
+#include <cstdio>
+
+using namespace ctp;
+
+int main() {
+  workload::Figure1Program F = workload::figure1();
+  std::printf("Figure 1 program:\n%s\n", ir::printProgram(F.P).c_str());
+  facts::FactDB DB = facts::extract(F.P);
+
+  std::printf("%-16s %-22s %-22s %-10s %-8s\n", "config", "x1 pts",
+              "x2 pts", "a~b alias", "z->h1");
+  auto Row = [&](const ctx::Config &Cfg) {
+    analysis::Results R = analysis::solve(DB, Cfg);
+    clients::AliasOracle A(R);
+    auto Fmt = [&](ir::VarId V) {
+      std::string S = "{";
+      bool First = true;
+      for (std::uint32_t H : R.pointsTo(V)) {
+        S += (First ? "" : ",") + DB.HeapNames[H];
+        First = false;
+      }
+      return S + "}";
+    };
+    bool ZH1 = false;
+    for (std::uint32_t H : R.pointsTo(F.Z))
+      ZH1 |= H == F.H1;
+    std::printf("%-16s %-22s %-22s %-10s %-8s\n", Cfg.name().c_str(),
+                Fmt(F.X1).c_str(), Fmt(F.X2).c_str(),
+                A.mayAlias(F.A, F.B) ? "may" : "no", ZH1 ? "yes" : "no");
+  };
+
+  for (ctx::Abstraction A : {ctx::Abstraction::ContextString,
+                             ctx::Abstraction::TransformerString}) {
+    Row(ctx::insensitive(A));
+    Row(ctx::oneCall(A));
+    Row(ctx::oneCallH(A));
+    Row(ctx::oneObject(A));
+    Row(ctx::twoObjectH(A));
+    Row(ctx::twoTypeH(A));
+    std::printf("\n");
+  }
+  std::printf("note: \"a~b alias\" is the CI query on abstract heap m1 — "
+              "with heap contexts the underlying objects are separated,\n"
+              "which is visible in the z->h1 column instead.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- examples/devirt_inspector.cpp - Devirtualization client ------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Runs the pointer analysis on a DaCapo-shaped synthetic workload and
+// reports, per context-sensitivity configuration, how many virtual call
+// sites become provably monomorphic — the classic consumer of a precise
+// context-sensitive call graph. Optionally takes a preset name
+// (antlr|bloat|chart|eclipse|luindex|pmd|xalan).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "clients/Devirtualize.h"
+#include "clients/Reachability.h"
+#include "facts/Extract.h"
+#include "workload/Presets.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace ctp;
+
+int main(int argc, char **argv) {
+  std::string Preset = argc > 1 ? argv[1] : "luindex";
+  std::printf("workload: %s\n", Preset.c_str());
+  facts::FactDB DB = facts::extract(workload::generatePreset(Preset));
+  std::printf("  %zu methods, %zu virtual sites, %zu input facts\n\n",
+              DB.numMethods(), DB.VirtualInvokes.size(),
+              DB.numInputFacts());
+
+  std::printf("%-16s %10s %10s %10s %10s\n", "config", "reached",
+              "monomorph", "polymorph", "dead-methods");
+  ctx::Abstraction A = ctx::Abstraction::TransformerString;
+  for (const ctx::Config &Cfg :
+       {ctx::insensitive(A), ctx::oneCall(A), ctx::oneObject(A),
+        ctx::twoObjectH(A)}) {
+    analysis::Results R = analysis::solve(DB, Cfg);
+    clients::DevirtSummary S = clients::devirtualize(DB, R);
+    clients::ReachabilitySummary Reach = clients::reachableMethods(DB, R);
+    std::printf("%-16s %10zu %10zu %10zu %10zu\n", Cfg.name().c_str(),
+                S.ReachedSites, S.MonomorphicSites, S.PolymorphicSites,
+                Reach.DeadMethods.size());
+  }
+
+  std::printf("\nSample polymorphic sites under 2-object+H:\n");
+  analysis::Results R = analysis::solve(DB, ctx::twoObjectH(A));
+  clients::DevirtSummary S = clients::devirtualize(DB, R);
+  int Shown = 0;
+  for (const auto &Site : S.PerSite) {
+    if (Site.Targets.size() < 2)
+      continue;
+    std::printf("  %s ->", DB.InvokeNames[Site.Invoke].c_str());
+    for (std::uint32_t T : Site.Targets)
+      std::printf(" %s", DB.MethodNames[T].c_str());
+    std::printf("\n");
+    if (++Shown == 5)
+      break;
+  }
+  if (Shown == 0)
+    std::printf("  (none — every reached site is monomorphic)\n");
+  return 0;
+}

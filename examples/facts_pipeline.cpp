@@ -1,0 +1,67 @@
+//===- examples/facts_pipeline.cpp - File-based analysis pipeline ---------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Demonstrates the paper's actual deployment shape: a fact generator
+// writes Doop-style .facts files to a directory, and the analysis runs
+// from those files ("We use the same fact generator as Doop, which
+// transforms Java bytecode to a set of relations"). Here the generator
+// side is the synthetic workload; the consumer side never touches the IR.
+//
+// Usage: facts_pipeline [preset] [output-dir]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "facts/TsvIO.h"
+#include "workload/Presets.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace ctp;
+
+int main(int argc, char **argv) {
+  std::string Preset = argc > 1 ? argv[1] : "pmd";
+  std::string Dir =
+      argc > 2 ? argv[2]
+               : (std::filesystem::temp_directory_path() / "ctp_facts")
+                     .string();
+
+  // --- Producer: extract facts and write them to disk. ---
+  {
+    facts::FactDB DB = facts::extract(workload::generatePreset(Preset));
+    std::filesystem::create_directories(Dir);
+    std::string Err = facts::writeFactsDir(DB, Dir);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu input facts for '%s' to %s\n",
+                DB.numInputFacts(), Preset.c_str(), Dir.c_str());
+  }
+
+  // --- Consumer: load the directory and analyze. ---
+  facts::FactDB DB;
+  std::string Err = facts::readFactsDir(Dir, DB);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu input facts back from disk\n\n",
+              DB.numInputFacts());
+
+  std::printf("%-16s %12s %12s %12s %10s\n", "config", "|pts|", "|hpts|",
+              "|call|", "time");
+  for (ctx::Abstraction A : {ctx::Abstraction::ContextString,
+                             ctx::Abstraction::TransformerString}) {
+    analysis::Results R = analysis::solve(DB, ctx::twoObjectH(A));
+    std::printf("%-16s %12zu %12zu %12zu %8.1fms\n",
+                R.Config.name().c_str(), R.Stat.NumPts, R.Stat.NumHpts,
+                R.Stat.NumCall, R.Stat.Seconds * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+//===- analysis/Configurations.cpp - §7 configuration census --------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Configurations.h"
+
+#include <cassert>
+
+using namespace ctp;
+using namespace ctp::analysis;
+
+std::string analysis::configurationOf(const ctx::Transformer &T) {
+  std::string Tag(T.Exits.size(), 'x');
+  if (T.Wild)
+    Tag += 'w';
+  Tag.append(T.Entries.size(), 'e');
+  return Tag;
+}
+
+std::map<std::string, std::size_t>
+analysis::ptsConfigurationHistogram(const Results &R) {
+  assert(R.Config.Abs == ctx::Abstraction::TransformerString &&
+         "configuration census requires a transformer-string result");
+  std::map<std::string, std::size_t> Hist;
+  for (const auto &F : R.Pts)
+    ++Hist[configurationOf(R.Dom->transformer(F.T))];
+  return Hist;
+}

@@ -1,0 +1,409 @@
+//===- analysis/DatalogFrontend.cpp - Rules-to-Datalog pipeline -----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DatalogFrontend.h"
+
+#include "datalog/Engine.h"
+#include "support/Stats.h"
+
+#include <cassert>
+
+using namespace ctp;
+using namespace ctp::analysis;
+using namespace ctp::datalog;
+using ctx::CtxtVec;
+using facts::FactDB;
+
+namespace {
+
+/// Rule-construction helper: names variables 0..N-1 and keeps the atom
+/// syntax close to Figure 3.
+struct RuleBuilder {
+  Rule R;
+
+  RuleBuilder &head(std::uint32_t Rel, std::initializer_list<Term> Args) {
+    R.Head = {Rel, Args};
+    return *this;
+  }
+  RuleBuilder &atom(std::uint32_t Rel, std::initializer_list<Term> Args) {
+    R.Body.push_back({Rel, Args});
+    return *this;
+  }
+  RuleBuilder &
+  builtin(std::string Name,
+          std::function<std::optional<Value>(const std::vector<Value> &)> Fn,
+          std::initializer_list<VarIdx> Inputs,
+          std::optional<VarIdx> Output) {
+    BuiltinCall B;
+    B.Name = std::move(Name);
+    B.Fn = std::move(Fn);
+    B.Inputs = Inputs;
+    B.Output = Output;
+    R.Builtins.push_back(std::move(B));
+    return *this;
+  }
+  Rule take(std::uint32_t NumVars) {
+    R.NumVars = NumVars;
+    return std::move(R);
+  }
+};
+
+Term v(VarIdx V) { return Term::var(V); }
+
+} // namespace
+
+Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
+                                  std::size_t *NumDerivations) {
+  assert(Cfg.validate().empty() && "invalid analysis configuration");
+  Stopwatch Timer;
+
+  std::vector<std::uint32_t> ClassOf(DB.numHeaps());
+  for (std::size_t H = 0; H < DB.numHeaps(); ++H)
+    ClassOf[H] = DB.classOfHeap(static_cast<std::uint32_t>(H));
+  std::unique_ptr<ctx::Domain> Dom = ctx::makeDomain(Cfg, std::move(ClassOf));
+  auto ReachCtxts =
+      std::make_shared<Interner<CtxtVec, ctx::CtxtVecHash>>();
+
+  Program Prog;
+
+  // --- EDB relations (Figure 3's input predicates). ---
+  std::uint32_t RAssign = Prog.addRelation("assign", 2);
+  std::uint32_t RAssignNew = Prog.addRelation("assign_new", 3);
+  std::uint32_t RAssignRet = Prog.addRelation("assign_return", 2);
+  std::uint32_t RActual = Prog.addRelation("actual", 3);
+  std::uint32_t RFormal = Prog.addRelation("formal", 3);
+  std::uint32_t RHeapType = Prog.addRelation("heap_type", 2);
+  std::uint32_t RImplements = Prog.addRelation("implements", 3);
+  std::uint32_t RLoad = Prog.addRelation("load", 3);
+  std::uint32_t RReturn = Prog.addRelation("return", 2);
+  std::uint32_t RStaticInv = Prog.addRelation("static_invoke", 3);
+  std::uint32_t RStore = Prog.addRelation("store", 3);
+  std::uint32_t RThisVar = Prog.addRelation("this_var", 2);
+  std::uint32_t RVirtInv = Prog.addRelation("virtual_invoke", 3);
+  std::uint32_t RGlobalStore = Prog.addRelation("global_store", 2);
+  std::uint32_t RGlobalLoad = Prog.addRelation("global_load", 3);
+  std::uint32_t RThrow = Prog.addRelation("throw", 2);
+  std::uint32_t RCatch = Prog.addRelation("catch", 2);
+  std::uint32_t RCast = Prog.addRelation("cast", 3);
+  std::uint32_t RSubtype = Prog.addRelation("subtype", 2);
+
+  // --- IDB relations (Figure 3's derived predicates). ---
+  std::uint32_t RPts = Prog.addRelation("pts", 3);
+  std::uint32_t RHpts = Prog.addRelation("hpts", 4);
+  std::uint32_t RHload = Prog.addRelation("hload", 4);
+  std::uint32_t RCall = Prog.addRelation("call", 3);
+  std::uint32_t RReach = Prog.addRelation("reach", 2);
+  std::uint32_t RGpts = Prog.addRelation("gpts", 3);
+
+  for (const auto &F : DB.Assigns)
+    Prog.addFact(RAssign, {F.From, F.To});
+  for (const auto &F : DB.AssignNews)
+    Prog.addFact(RAssignNew, {F.Heap, F.To, F.InMethod});
+  for (const auto &F : DB.AssignReturns)
+    Prog.addFact(RAssignRet, {F.Invoke, F.To});
+  for (const auto &F : DB.Actuals)
+    Prog.addFact(RActual, {F.Var, F.Invoke, F.Ordinal});
+  for (const auto &F : DB.Formals)
+    Prog.addFact(RFormal, {F.Var, F.Method, F.Ordinal});
+  for (const auto &F : DB.HeapTypes)
+    Prog.addFact(RHeapType, {F.Heap, F.Type});
+  for (const auto &F : DB.Implements)
+    Prog.addFact(RImplements, {F.Method, F.Type, F.Sig});
+  for (const auto &F : DB.Loads)
+    Prog.addFact(RLoad, {F.Base, F.Field, F.To});
+  for (const auto &F : DB.Returns)
+    Prog.addFact(RReturn, {F.Var, F.Method});
+  for (const auto &F : DB.StaticInvokes)
+    Prog.addFact(RStaticInv, {F.Invoke, F.Target, F.InMethod});
+  for (const auto &F : DB.Stores)
+    Prog.addFact(RStore, {F.From, F.Field, F.Base});
+  for (const auto &F : DB.ThisVars)
+    Prog.addFact(RThisVar, {F.Var, F.Method});
+  for (const auto &F : DB.VirtualInvokes)
+    Prog.addFact(RVirtInv, {F.Invoke, F.Receiver, F.Sig});
+  for (const auto &F : DB.GlobalStores)
+    Prog.addFact(RGlobalStore, {F.From, F.Global});
+  for (const auto &F : DB.GlobalLoads)
+    Prog.addFact(RGlobalLoad, {F.Global, F.To, F.InMethod});
+  for (const auto &F : DB.Throws)
+    Prog.addFact(RThrow, {F.Var, F.Method});
+  for (const auto &F : DB.Catches)
+    Prog.addFact(RCatch, {F.Invoke, F.To});
+  for (const auto &F : DB.Casts)
+    Prog.addFact(RCast, {F.From, F.To, F.Type});
+  for (const auto &F : DB.Subtypes)
+    Prog.addFact(RSubtype, {F.Sub, F.Super});
+
+  // [ENTRY] reach(main, [entry]) — pre-seeded derived facts.
+  {
+    CtxtVec Entry;
+    Entry.push_back(ctx::EntryElem);
+    Value Ctx = ReachCtxts->intern(Entry.takePrefix(Cfg.MethodDepth));
+    for (std::uint32_t E : DB.EntryMethods)
+      Prog.addFact(RReach, {E, Ctx});
+  }
+
+  // --- Builtin functors over the interned domain. ---
+  unsigned M = Cfg.MethodDepth, H = Cfg.HeapDepth;
+  ctx::Domain *D = Dom.get();
+  auto *RC = ReachCtxts.get();
+
+  auto RecordFn = [D, RC](const std::vector<Value> &In) {
+    return std::optional<Value>(D->record((*RC)[In[0]]));
+  };
+  auto InvFn = [D](const std::vector<Value> &In) {
+    return std::optional<Value>(D->inv(In[0]));
+  };
+  auto CompHH = [D, H](const std::vector<Value> &In) {
+    return D->comp(In[0], In[1], H, H);
+  };
+  auto CompHM = [D, H, M](const std::vector<Value> &In) {
+    return D->comp(In[0], In[1], H, M);
+  };
+  auto MergeVFn = [D](const std::vector<Value> &In) {
+    return std::optional<Value>(D->mergeVirtual(In[0], In[1], In[2]));
+  };
+  auto MergeSFn = [D, RC](const std::vector<Value> &In) {
+    return std::optional<Value>(D->mergeStatic(In[0], (*RC)[In[1]]));
+  };
+  auto TargetFn = [D, RC](const std::vector<Value> &In) {
+    return std::optional<Value>(RC->intern(D->target(In[0])));
+  };
+  auto GlobalizeFn = [D](const std::vector<Value> &In) {
+    return std::optional<Value>(D->globalize(In[0]));
+  };
+  auto RetargetFn = [D, RC](const std::vector<Value> &In) {
+    return std::optional<Value>(D->retarget(In[0], (*RC)[In[1]]));
+  };
+
+  // --- The rules of Figure 3. Variable numbering is per rule. ---
+
+  // [NEW] pts(Y,Hp,A) :- assign_new(Hp,Y,P), reach(P,Mx), A := record(Mx).
+  {
+    RuleBuilder B;
+    enum { Hp, Y, P, Mx, A, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RAssignNew, {v(Hp), v(Y), v(P)})
+        .atom(RReach, {v(P), v(Mx)})
+        .builtin("record", RecordFn, {Mx}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [ASSIGN] pts(Y,Hp,A) :- pts(Z,Hp,A), assign(Z,Y).
+  {
+    RuleBuilder B;
+    enum { Z, Hp, A, Y, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RPts, {v(Z), v(Hp), v(A)})
+        .atom(RAssign, {v(Z), v(Y)});
+    Prog.addRule(B.take(N));
+  }
+
+  // [CAST] pts(Y,Hp,A) :- pts(Z,Hp,A), cast(Z,Y,T), heap_type(Hp,Tp),
+  //                       subtype(Tp,T).
+  {
+    RuleBuilder B;
+    enum { Z, Hp, A, Y, T, Tp, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RPts, {v(Z), v(Hp), v(A)})
+        .atom(RCast, {v(Z), v(Y), v(T)})
+        .atom(RHeapType, {v(Hp), v(Tp)})
+        .atom(RSubtype, {v(Tp), v(T)});
+    Prog.addRule(B.take(N));
+  }
+
+  // [LOAD] hload(G,F,Z,A) :- pts(Y,G,A), load(Y,F,Z).
+  {
+    RuleBuilder B;
+    enum { Y, G, A, F, Z, N };
+    B.head(RHload, {v(G), v(F), v(Z), v(A)})
+        .atom(RPts, {v(Y), v(G), v(A)})
+        .atom(RLoad, {v(Y), v(F), v(Z)});
+    Prog.addRule(B.take(N));
+  }
+
+  // [STORE] hpts(G,F,Hp,A) :- pts(X,Hp,Bt), store(X,F,Z), pts(Z,G,C),
+  //                           IC := inv(C), A := comp_hh(Bt, IC).
+  {
+    RuleBuilder B;
+    enum { X, Hp, Bt, F, Z, G, C, IC, A, N };
+    B.head(RHpts, {v(G), v(F), v(Hp), v(A)})
+        .atom(RPts, {v(X), v(Hp), v(Bt)})
+        .atom(RStore, {v(X), v(F), v(Z)})
+        .atom(RPts, {v(Z), v(G), v(C)})
+        .builtin("inv", InvFn, {C}, IC)
+        .builtin("comp_hh", CompHH, {Bt, IC}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [IND] pts(Y,Hp,A) :- hpts(G,F,Hp,Bt), hload(G,F,Y,C),
+  //                      A := comp_hm(Bt, C).
+  {
+    RuleBuilder B;
+    enum { G, F, Hp, Bt, Y, C, A, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RHpts, {v(G), v(F), v(Hp), v(Bt)})
+        .atom(RHload, {v(G), v(F), v(Y), v(C)})
+        .builtin("comp_hm", CompHM, {Bt, C}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [PARAM] pts(Y,Hp,A) :- pts(Z,Hp,Bt), actual(Z,I,O), call(I,P,C),
+  //                        formal(Y,P,O), A := comp_hm(Bt, C).
+  {
+    RuleBuilder B;
+    enum { Z, Hp, Bt, I, O, P, C, Y, A, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RPts, {v(Z), v(Hp), v(Bt)})
+        .atom(RActual, {v(Z), v(I), v(O)})
+        .atom(RCall, {v(I), v(P), v(C)})
+        .atom(RFormal, {v(Y), v(P), v(O)})
+        .builtin("comp_hm", CompHM, {Bt, C}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [RET] pts(Y,Hp,A) :- pts(Z,Hp,Bt), return(Z,P), call(I,P,C),
+  //                      assign_return(I,Y), IC := inv(C),
+  //                      A := comp_hm(Bt, IC).
+  {
+    RuleBuilder B;
+    enum { Z, Hp, Bt, P, I, C, Y, IC, A, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RPts, {v(Z), v(Hp), v(Bt)})
+        .atom(RReturn, {v(Z), v(P)})
+        .atom(RCall, {v(I), v(P), v(C)})
+        .atom(RAssignRet, {v(I), v(Y)})
+        .builtin("inv", InvFn, {C}, IC)
+        .builtin("comp_hm", CompHM, {Bt, IC}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [VIRT] call(I,Q,C) :- virtual_invoke(I,Z,S), pts(Z,Hp,Bt),
+  //                       heap_type(Hp,T), implements(Q,T,S),
+  //                       C := merge(Hp,I,Bt).
+  {
+    RuleBuilder B;
+    enum { I, Z, S, Hp, Bt, T, Q, C, N };
+    B.head(RCall, {v(I), v(Q), v(C)})
+        .atom(RVirtInv, {v(I), v(Z), v(S)})
+        .atom(RPts, {v(Z), v(Hp), v(Bt)})
+        .atom(RHeapType, {v(Hp), v(T)})
+        .atom(RImplements, {v(Q), v(T), v(S)})
+        .builtin("merge", MergeVFn, {Hp, I, Bt}, C);
+    Prog.addRule(B.take(N));
+  }
+
+  // [VIRT-this] pts(Y,Hp,A) :- virtual_invoke(I,Z,S), pts(Z,Hp,Bt),
+  //                            heap_type(Hp,T), implements(Q,T,S),
+  //                            this_var(Y,Q), C := merge(Hp,I,Bt),
+  //                            A := comp_hm(Bt, C).
+  {
+    RuleBuilder B;
+    enum { I, Z, S, Hp, Bt, T, Q, Y, C, A, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RVirtInv, {v(I), v(Z), v(S)})
+        .atom(RPts, {v(Z), v(Hp), v(Bt)})
+        .atom(RHeapType, {v(Hp), v(T)})
+        .atom(RImplements, {v(Q), v(T), v(S)})
+        .atom(RThisVar, {v(Y), v(Q)})
+        .builtin("merge", MergeVFn, {Hp, I, Bt}, C)
+        .builtin("comp_hm", CompHM, {Bt, C}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [STATIC] call(I,Q,A) :- static_invoke(I,Q,P), reach(P,Mx),
+  //                         A := merge_s(I,Mx).
+  {
+    RuleBuilder B;
+    enum { I, Q, P, Mx, A, N };
+    B.head(RCall, {v(I), v(Q), v(A)})
+        .atom(RStaticInv, {v(I), v(Q), v(P)})
+        .atom(RReach, {v(P), v(Mx)})
+        .builtin("merge_s", MergeSFn, {I, Mx}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [THROW] pts(Y,Hp,A) :- pts(Z,Hp,Bt), throw(Z,P), call(I,P,C),
+  //                        catch(I,Y), IC := inv(C), A := comp_hm(Bt,IC).
+  {
+    RuleBuilder B;
+    enum { Z, Hp, Bt, P, I, C, Y, IC, A, N };
+    B.head(RPts, {v(Y), v(Hp), v(A)})
+        .atom(RPts, {v(Z), v(Hp), v(Bt)})
+        .atom(RThrow, {v(Z), v(P)})
+        .atom(RCall, {v(I), v(P), v(C)})
+        .atom(RCatch, {v(I), v(Y)})
+        .builtin("inv", InvFn, {C}, IC)
+        .builtin("comp_hm", CompHM, {Bt, IC}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [GSTORE] gpts(G,Hp,A) :- pts(X,Hp,Bt), global_store(X,G),
+  //                          A := globalize(Bt).
+  {
+    RuleBuilder B;
+    enum { X, Hp, Bt, G, A, N };
+    B.head(RGpts, {v(G), v(Hp), v(A)})
+        .atom(RPts, {v(X), v(Hp), v(Bt)})
+        .atom(RGlobalStore, {v(X), v(G)})
+        .builtin("globalize", GlobalizeFn, {Bt}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [GLOAD] pts(Z,Hp,A) :- gpts(G,Hp,Bt), global_load(G,Z,P),
+  //                        reach(P,Mx), A := retarget(Bt,Mx).
+  {
+    RuleBuilder B;
+    enum { G, Hp, Bt, Z, P, Mx, A, N };
+    B.head(RPts, {v(Z), v(Hp), v(A)})
+        .atom(RGpts, {v(G), v(Hp), v(Bt)})
+        .atom(RGlobalLoad, {v(G), v(Z), v(P)})
+        .atom(RReach, {v(P), v(Mx)})
+        .builtin("retarget", RetargetFn, {Bt, Mx}, A);
+    Prog.addRule(B.take(N));
+  }
+
+  // [REACH] reach(P,Mx) :- call(I,P,C), Mx := target(C).
+  {
+    RuleBuilder B;
+    enum { I, P, C, Mx, N };
+    B.head(RReach, {v(P), v(Mx)})
+        .atom(RCall, {v(I), v(P), v(C)})
+        .builtin("target", TargetFn, {C}, Mx);
+    Prog.addRule(B.take(N));
+  }
+
+  Prog.run();
+  if (NumDerivations)
+    *NumDerivations = Prog.numDerivations();
+
+  Results R;
+  R.Config = Cfg;
+  for (const Tuple &T : Prog.relation(RPts).rows())
+    R.Pts.push_back({T[0], T[1], T[2]});
+  for (const Tuple &T : Prog.relation(RHpts).rows())
+    R.Hpts.push_back({T[0], T[1], T[2], T[3]});
+  for (const Tuple &T : Prog.relation(RHload).rows())
+    R.Hload.push_back({T[0], T[1], T[2], T[3]});
+  for (const Tuple &T : Prog.relation(RCall).rows())
+    R.Call.push_back({T[0], T[1], T[2]});
+  for (const Tuple &T : Prog.relation(RReach).rows())
+    R.Reach.push_back({T[0], T[1]});
+  for (const Tuple &T : Prog.relation(RGpts).rows())
+    R.Gpts.push_back({T[0], T[1], T[2]});
+  R.Stat.NumGpts = R.Gpts.size();
+  R.Stat.NumPts = R.Pts.size();
+  R.Stat.NumHpts = R.Hpts.size();
+  R.Stat.NumHload = R.Hload.size();
+  R.Stat.NumCall = R.Call.size();
+  R.Stat.NumReach = R.Reach.size();
+  R.Stat.DomainSize = Dom->size();
+  R.Stat.Seconds = Timer.seconds();
+  R.Dom = std::move(Dom);
+  R.ReachCtxts = ReachCtxts;
+  return R;
+}

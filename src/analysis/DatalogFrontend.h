@@ -1,0 +1,42 @@
+//===- analysis/DatalogFrontend.h - Rules-to-Datalog pipeline ---*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The faithful rendition of the paper's implementation pipeline
+/// (Section 7): the parameterized deduction rules of Figure 3 are
+/// instantiated — for a chosen abstraction, flavour, and levels — into a
+/// plain Datalog program whose non-logical symbols (comp, inv, record,
+/// merge, merge_s, target) become builtin functors over interned
+/// transformation ids, and the program is evaluated bottom-up by the
+/// generic engine.
+///
+/// Results are bit-for-bit comparable with the specialized solver
+/// (analysis/Solver.h); the test suite asserts they agree, and the
+/// ablation benchmark compares their running times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_ANALYSIS_DATALOGFRONTEND_H
+#define CTP_ANALYSIS_DATALOGFRONTEND_H
+
+#include "analysis/Results.h"
+#include "ctx/Config.h"
+#include "facts/FactDB.h"
+
+namespace ctp {
+namespace analysis {
+
+/// Runs the analysis through the generic Datalog engine.
+/// \p NumDerivations, when non-null, receives the engine's rule-firing
+/// count (a work measure for the ablation bench).
+Results solveViaDatalog(const facts::FactDB &DB, const ctx::Config &Cfg,
+                        std::size_t *NumDerivations = nullptr);
+
+} // namespace analysis
+} // namespace ctp
+
+#endif // CTP_ANALYSIS_DATALOGFRONTEND_H

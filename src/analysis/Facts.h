@@ -1,0 +1,108 @@
+//===- analysis/Facts.h - Derived fact representations ----------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat tuple types for the derived relations of Figure 3 (pts, hpts,
+/// hload, call, reach). Context transformations appear as interned ids
+/// into a ctx::Domain; reach contexts as interned CtxtVec ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_ANALYSIS_FACTS_H
+#define CTP_ANALYSIS_FACTS_H
+
+#include "ctx/Domain.h"
+#include "support/Hashing.h"
+
+#include <array>
+#include <cstdint>
+
+namespace ctp {
+namespace analysis {
+
+/// pts(Var, Heap, T): Var points to objects allocated at Heap under the
+/// context transformation T (alloc context -> pointer context).
+struct PtsFact {
+  std::uint32_t Var;
+  std::uint32_t Heap;
+  ctx::TransformId T;
+};
+
+/// hpts(Base, Field, Heap, T): field Field of objects allocated at Base
+/// points to objects allocated at Heap; T maps the pointee's heap context
+/// to the base object's heap context (domain CtxtT_{h,h}).
+struct HptsFact {
+  std::uint32_t Base;
+  std::uint32_t Field;
+  std::uint32_t Heap;
+  ctx::TransformId T;
+};
+
+/// hload(Base, Field, Var, T): Var is loaded from field Field of objects
+/// allocated at Base; T maps the base's heap context to Var's method
+/// context (domain CtxtT_{h,m}).
+struct HloadFact {
+  std::uint32_t Base;
+  std::uint32_t Field;
+  std::uint32_t Var;
+  ctx::TransformId T;
+};
+
+/// call(Invoke, Method, T): call-graph edge; T maps caller context to
+/// callee context (domain CtxtT_{m,m}).
+struct CallFact {
+  std::uint32_t Invoke;
+  std::uint32_t Method;
+  ctx::TransformId T;
+};
+
+/// reach(Method, Ctxt): Method is reachable under some method context with
+/// the given (interned) prefix.
+struct ReachFact {
+  std::uint32_t Method;
+  std::uint32_t CtxtId;
+};
+
+/// gpts(Global, Heap, T): static field Global points to objects allocated
+/// at Heap; T qualifies the pointee's heap context only (CtxtT_{h,0} —
+/// flow through a global severs the method-context link).
+struct GptsFact {
+  std::uint32_t Global;
+  std::uint32_t Heap;
+  ctx::TransformId T;
+};
+
+/// Uniform 4-word key for hash-set membership of any derived fact.
+using FactKey = std::array<std::uint32_t, 4>;
+
+struct FactKeyHash {
+  std::size_t operator()(const FactKey &K) const {
+    return static_cast<std::size_t>(hashRange(K.begin(), K.end()));
+  }
+};
+
+inline FactKey keyOf(const PtsFact &F) { return {F.Var, F.Heap, F.T, 0}; }
+inline FactKey keyOf(const HptsFact &F) {
+  return {F.Base, F.Field, F.Heap, F.T};
+}
+inline FactKey keyOf(const HloadFact &F) {
+  return {F.Base, F.Field, F.Var, F.T};
+}
+inline FactKey keyOf(const CallFact &F) {
+  return {F.Invoke, F.Method, F.T, 0};
+}
+inline FactKey keyOf(const ReachFact &F) {
+  return {F.Method, F.CtxtId, 0, 0};
+}
+inline FactKey keyOf(const GptsFact &F) {
+  return {F.Global, F.Heap, F.T, 1};
+}
+
+} // namespace analysis
+} // namespace ctp
+
+#endif // CTP_ANALYSIS_FACTS_H

@@ -1,0 +1,96 @@
+//===- analysis/ResultsIO.cpp - Result serialization ----------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ResultsIO.h"
+
+#include "support/Tsv.h"
+
+using namespace ctp;
+using namespace ctp::analysis;
+
+std::string analysis::writeResultsDir(const facts::FactDB &DB,
+                                      const Results &R,
+                                      const std::string &Dir) {
+  // Render context elements with real entity names where the flavour
+  // makes that unambiguous; fall back to raw element text otherwise.
+  ctx::ElemPrinter Printer = [&](ctx::CtxtElem E) -> std::string {
+    if (E == ctx::EntryElem)
+      return "entry";
+    std::uint32_t Id = ctx::entityOfElem(E);
+    switch (R.Config.Flav) {
+    case ctx::Flavour::CallSite:
+      if (Id < DB.InvokeNames.size())
+        return DB.InvokeNames[Id];
+      break;
+    case ctx::Flavour::Object:
+      if (Id < DB.HeapNames.size())
+        return DB.HeapNames[Id];
+      break;
+    case ctx::Flavour::Type:
+      if (Id < DB.TypeNames.size())
+        return DB.TypeNames[Id];
+      break;
+    case ctx::Flavour::Hybrid:
+      if (Id < DB.HeapNames.size())
+        return DB.HeapNames[Id];
+      if (Id - DB.HeapNames.size() < DB.InvokeNames.size())
+        return DB.InvokeNames[Id - DB.HeapNames.size()];
+      break;
+    }
+    return "#" + std::to_string(Id);
+  };
+
+  std::string Err;
+  auto Write = [&](const char *File,
+                   const std::vector<std::vector<std::string>> &Rows) {
+    if (Err.empty() && !writeTsvFile(Dir + "/" + File, Rows))
+      Err = std::string("cannot write ") + File;
+  };
+
+  std::vector<std::vector<std::string>> Rows;
+  for (const auto &F : R.Pts)
+    Rows.push_back({DB.VarNames[F.Var], DB.HeapNames[F.Heap],
+                    R.Dom->toString(F.T, Printer)});
+  Write("Pts.tsv", Rows);
+
+  Rows.clear();
+  for (const auto &F : R.Hpts)
+    Rows.push_back({DB.HeapNames[F.Base], DB.FieldNames[F.Field],
+                    DB.HeapNames[F.Heap], R.Dom->toString(F.T, Printer)});
+  Write("Hpts.tsv", Rows);
+
+  Rows.clear();
+  for (const auto &F : R.Call)
+    Rows.push_back({DB.InvokeNames[F.Invoke], DB.MethodNames[F.Method],
+                    R.Dom->toString(F.T, Printer)});
+  Write("Call.tsv", Rows);
+
+  Rows.clear();
+  for (const auto &F : R.Reach)
+    Rows.push_back(
+        {DB.MethodNames[F.Method],
+         ctx::printCtxtVec((*R.ReachCtxts)[F.CtxtId], Printer)});
+  Write("Reach.tsv", Rows);
+
+  Rows.clear();
+  for (const auto &F : R.Gpts)
+    Rows.push_back({DB.GlobalNames[F.Global], DB.HeapNames[F.Heap],
+                    R.Dom->toString(F.T, Printer)});
+  Write("Gpts.tsv", Rows);
+
+  Rows.clear();
+  for (const auto &P : R.ciPts())
+    Rows.push_back({DB.VarNames[P[0]], DB.HeapNames[P[1]]});
+  Write("CiPts.tsv", Rows);
+
+  Rows.clear();
+  for (const auto &C : R.ciCall())
+    Rows.push_back({DB.InvokeNames[C[0]], DB.MethodNames[C[1]]});
+  Write("CiCall.tsv", Rows);
+
+  return Err;
+}

@@ -1,0 +1,45 @@
+//===- analysis/ResultsIO.h - Result serialization --------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writes analysis results to a directory of TSV files, mirroring how the
+/// paper's Datalog pipeline materializes derived relations: the full
+/// context-sensitive relations (with transformations rendered in the
+/// abstraction's syntax) and the context-insensitive projections that
+/// clients typically consume.
+///
+/// Files written:
+///   Pts.tsv      var  heap  transformation
+///   Hpts.tsv     base-heap  field  heap  transformation
+///   Call.tsv     invocation  method  transformation
+///   Reach.tsv    method  context-prefix
+///   Gpts.tsv     global  heap  transformation
+///   CiPts.tsv    var  heap
+///   CiCall.tsv   invocation  method
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_ANALYSIS_RESULTSIO_H
+#define CTP_ANALYSIS_RESULTSIO_H
+
+#include "analysis/Results.h"
+#include "facts/FactDB.h"
+
+#include <string>
+
+namespace ctp {
+namespace analysis {
+
+/// Writes \p R into directory \p Dir (which must exist), using \p DB's
+/// entity names. \returns an empty string on success.
+std::string writeResultsDir(const facts::FactDB &DB, const Results &R,
+                            const std::string &Dir);
+
+} // namespace analysis
+} // namespace ctp
+
+#endif // CTP_ANALYSIS_RESULTSIO_H

@@ -1,0 +1,561 @@
+//===- analysis/Solver.cpp - Semi-naive pointer-analysis solver -----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ctp;
+using namespace ctp::analysis;
+using ctx::CtxtVec;
+using ctx::TransformId;
+using facts::FactDB;
+
+namespace {
+
+std::uint64_t pairKey(std::uint32_t A, std::uint32_t B) {
+  return (static_cast<std::uint64_t>(A) << 32) | B;
+}
+
+/// The solver state: input indices built once, derived relations with
+/// their join indices, and FIFO worklists per derived relation.
+class Solver {
+public:
+  Solver(const FactDB &DB, const ctx::Config &Cfg,
+         const analysis::SolverOptions &Opts)
+      : DB(DB), Cfg(Cfg), M(Cfg.MethodDepth), H(Cfg.HeapDepth),
+        Collapse(Opts.CollapseSubsumedPts &&
+                 Cfg.Abs == ctx::Abstraction::TransformerString) {
+    std::vector<std::uint32_t> ClassOf(DB.numHeaps());
+    for (std::size_t Hp = 0; Hp < DB.numHeaps(); ++Hp)
+      ClassOf[Hp] = DB.classOfHeap(static_cast<std::uint32_t>(Hp));
+    Dom = ctx::makeDomain(Cfg, std::move(ClassOf));
+    ReachCtxts =
+        std::make_shared<Interner<CtxtVec, ctx::CtxtVecHash>>();
+    buildInputIndices();
+    PtsByVar.resize(DB.numVars());
+    CallByInvoke.resize(DB.numInvokes());
+    CallByCallee.resize(DB.numMethods());
+    ReachByMethod.resize(DB.numMethods());
+    GptsByGlobal.resize(DB.numGlobals());
+  }
+
+  Results run() {
+    Stopwatch Timer;
+    // ENTRY: reach(main, [entry]) (truncated to the method depth so the
+    // degenerate insensitive configuration gets the empty context).
+    for (std::uint32_t E : DB.EntryMethods) {
+      CtxtVec Entry;
+      Entry.push_back(ctx::EntryElem);
+      addReach(E, Entry.takePrefix(M));
+    }
+    drain();
+
+    Results R;
+    R.Config = Cfg;
+    if (Collapse) {
+      // Report only the live (non-retired) facts.
+      for (const auto &[Key, Ts] : LivePts) {
+        std::uint32_t Var = static_cast<std::uint32_t>(Key >> 32);
+        std::uint32_t Heap = static_cast<std::uint32_t>(Key);
+        for (TransformId T : Ts)
+          R.Pts.push_back({Var, Heap, T});
+      }
+    } else {
+      R.Pts.assign(PtsRel.begin(), PtsRel.end());
+    }
+    R.Hpts.assign(HptsRel.begin(), HptsRel.end());
+    R.Hload.assign(HloadRel.begin(), HloadRel.end());
+    R.Call.assign(CallRel.begin(), CallRel.end());
+    R.Reach.assign(ReachRel.begin(), ReachRel.end());
+    R.Gpts.assign(GptsRel.begin(), GptsRel.end());
+    R.Stat.NumGpts = GptsRel.size();
+    R.Stat.NumPts = R.Pts.size();
+    R.Stat.CollapsedPts = CollapsedPts;
+    R.Stat.NumHpts = HptsRel.size();
+    R.Stat.NumHload = HloadRel.size();
+    R.Stat.NumCall = CallRel.size();
+    R.Stat.NumReach = ReachRel.size();
+    R.Stat.DomainSize = Dom->size();
+    R.Stat.WorkItems = WorkItems;
+    R.Stat.Seconds = Timer.seconds();
+    R.Dom = std::move(Dom);
+    R.ReachCtxts = ReachCtxts;
+    return R;
+  }
+
+private:
+  //===--- Input indices --------------------------------------------------===//
+
+  void buildInputIndices() {
+    AssignFrom.resize(DB.numVars());
+    for (const auto &F : DB.Assigns)
+      AssignFrom[F.From].push_back(F.To);
+
+    LoadByBase.resize(DB.numVars());
+    for (const auto &F : DB.Loads)
+      LoadByBase[F.Base].push_back({F.Field, F.To});
+
+    StoreByValue.resize(DB.numVars());
+    StoreByBase.resize(DB.numVars());
+    for (const auto &F : DB.Stores) {
+      StoreByValue[F.From].push_back({F.Field, F.Base});
+      StoreByBase[F.Base].push_back({F.Field, F.From});
+    }
+
+    ActualByVar.resize(DB.numVars());
+    ActualByInvoke.resize(DB.numInvokes());
+    for (const auto &F : DB.Actuals) {
+      ActualByVar[F.Var].push_back({F.Invoke, F.Ordinal});
+      ActualByInvoke[F.Invoke].push_back({F.Ordinal, F.Var});
+    }
+
+    for (const auto &F : DB.Formals)
+      FormalOf.emplace(pairKey(F.Method, F.Ordinal), F.Var);
+
+    ReturnByVar.resize(DB.numVars());
+    ReturnByMethod.resize(DB.numMethods());
+    for (const auto &F : DB.Returns) {
+      ReturnByVar[F.Var].push_back(F.Method);
+      ReturnByMethod[F.Method].push_back(F.Var);
+    }
+
+    AssignRetByInvoke.resize(DB.numInvokes());
+    for (const auto &F : DB.AssignReturns)
+      AssignRetByInvoke[F.Invoke].push_back(F.To);
+
+    VirtByReceiver.resize(DB.numVars());
+    for (const auto &F : DB.VirtualInvokes)
+      VirtByReceiver[F.Receiver].push_back({F.Invoke, F.Sig});
+
+    HeapTypeOf.assign(DB.numHeaps(), facts::InvalidId);
+    for (const auto &F : DB.HeapTypes)
+      HeapTypeOf[F.Heap] = F.Type;
+
+    for (const auto &F : DB.Implements)
+      Dispatch.emplace(pairKey(F.Type, F.Sig), F.Method);
+
+    ThisOf.assign(DB.numMethods(), facts::InvalidId);
+    for (const auto &F : DB.ThisVars)
+      ThisOf[F.Method] = F.Var;
+
+    StaticByMethod.resize(DB.numMethods());
+    for (const auto &F : DB.StaticInvokes)
+      StaticByMethod[F.InMethod].push_back({F.Invoke, F.Target});
+
+    AssignNewByMethod.resize(DB.numMethods());
+    for (const auto &F : DB.AssignNews)
+      AssignNewByMethod[F.InMethod].push_back({F.Heap, F.To});
+
+    GlobalStoreByValue.resize(DB.numVars());
+    for (const auto &F : DB.GlobalStores)
+      GlobalStoreByValue[F.From].push_back(F.Global);
+    GlobalLoadByGlobal.resize(DB.numGlobals());
+    GlobalLoadByMethod.resize(DB.numMethods());
+    for (const auto &F : DB.GlobalLoads) {
+      GlobalLoadByGlobal[F.Global].push_back({F.To, F.InMethod});
+      GlobalLoadByMethod[F.InMethod].push_back({F.Global, F.To});
+    }
+
+    ThrowByVar.resize(DB.numVars());
+    ThrowByMethod.resize(DB.numMethods());
+    for (const auto &F : DB.Throws) {
+      ThrowByVar[F.Var].push_back(F.Method);
+      ThrowByMethod[F.Method].push_back(F.Var);
+    }
+    CatchByInvoke.resize(DB.numInvokes());
+    for (const auto &F : DB.Catches)
+      CatchByInvoke[F.Invoke].push_back(F.To);
+
+    CastByFrom.resize(DB.numVars());
+    for (const auto &F : DB.Casts)
+      CastByFrom[F.From].push_back({F.To, F.Type});
+    for (const auto &F : DB.Subtypes)
+      SubtypePairs.insert(pairKey(F.Sub, F.Super));
+  }
+
+  bool isSubtype(std::uint32_t Sub, std::uint32_t Super) const {
+    return SubtypePairs.count(pairKey(Sub, Super)) != 0;
+  }
+
+  //===--- Derived-fact insertion (dedup + index update + enqueue) --------===//
+
+  void addPts(std::uint32_t Var, std::uint32_t Heap, TransformId T) {
+    PtsFact F{Var, Heap, T};
+    if (!PtsSet.insert(keyOf(F)).second)
+      return;
+    if (Collapse && !collapseInsert(Var, Heap, T))
+      return;
+    PtsRel.push_back(F);
+    PtsByVar[Var].push_back({Heap, T});
+    PtsWork.push_back(F);
+  }
+
+  /// Subsumption collapsing (Section 8 extension): \returns false when the
+  /// new fact is subsumed by a live fact; otherwise retires live facts the
+  /// new one subsumes and returns true.
+  bool collapseInsert(std::uint32_t Var, std::uint32_t Heap,
+                      TransformId T) {
+    auto &Live = LivePts[pairKey(Var, Heap)];
+    const ctx::Transformer &NewT = Dom->transformer(T);
+    for (TransformId Old : Live)
+      if (ctx::subsumes(Dom->transformer(Old), NewT)) {
+        ++CollapsedPts;
+        return false;
+      }
+    // Retire live facts subsumed by the new one, including their join
+    // index entries so future rule firings skip them. (Already-propagated
+    // consequences remain — they are sound, merely redundant.)
+    std::size_t Kept = 0;
+    for (std::size_t I = 0; I < Live.size(); ++I) {
+      if (ctx::subsumes(NewT, Dom->transformer(Live[I]))) {
+        ++CollapsedPts;
+        auto &Index = PtsByVar[Var];
+        for (std::size_t J = 0; J < Index.size(); ++J)
+          if (Index[J].first == Heap && Index[J].second == Live[I]) {
+            Index[J] = Index.back();
+            Index.pop_back();
+            break;
+          }
+        continue;
+      }
+      Live[Kept++] = Live[I];
+    }
+    Live.resize(Kept);
+    Live.push_back(T);
+    return true;
+  }
+
+  void addHpts(std::uint32_t Base, std::uint32_t Field, std::uint32_t Heap,
+               TransformId T) {
+    HptsFact F{Base, Field, Heap, T};
+    if (!HptsSet.insert(keyOf(F)).second)
+      return;
+    HptsRel.push_back(F);
+    HptsByBaseField[pairKey(Base, Field)].push_back({Heap, T});
+    HptsWork.push_back(F);
+  }
+
+  void addHload(std::uint32_t Base, std::uint32_t Field, std::uint32_t Var,
+                TransformId T) {
+    HloadFact F{Base, Field, Var, T};
+    if (!HloadSet.insert(keyOf(F)).second)
+      return;
+    HloadRel.push_back(F);
+    HloadByBaseField[pairKey(Base, Field)].push_back({Var, T});
+    HloadWork.push_back(F);
+  }
+
+  void addCall(std::uint32_t Invoke, std::uint32_t Method, TransformId T) {
+    CallFact F{Invoke, Method, T};
+    if (!CallSet.insert(keyOf(F)).second)
+      return;
+    CallRel.push_back(F);
+    CallByInvoke[Invoke].push_back({Method, T});
+    CallByCallee[Method].push_back({Invoke, T});
+    CallWork.push_back(F);
+  }
+
+  void addGpts(std::uint32_t Global, std::uint32_t Heap, TransformId T) {
+    GptsFact F{Global, Heap, T};
+    if (!GptsSet.insert(keyOf(F)).second)
+      return;
+    GptsRel.push_back(F);
+    GptsByGlobal[Global].push_back({Heap, T});
+    GptsWork.push_back(F);
+  }
+
+  void addReach(std::uint32_t Method, const CtxtVec &Ctx) {
+    std::uint32_t CtxId = ReachCtxts->intern(Ctx);
+    ReachFact F{Method, CtxId};
+    if (!ReachSet.insert(keyOf(F)).second)
+      return;
+    ReachRel.push_back(F);
+    ReachByMethod[Method].push_back(CtxId);
+    ReachWork.push_back(F);
+  }
+
+  //===--- Rule firing ----------------------------------------------------===//
+
+  void drain() {
+    while (!PtsWork.empty() || !HptsWork.empty() || !HloadWork.empty() ||
+           !CallWork.empty() || !ReachWork.empty() || !GptsWork.empty()) {
+      if (!PtsWork.empty()) {
+        PtsFact F = PtsWork.front();
+        PtsWork.pop_front();
+        ++WorkItems;
+        onNewPts(F);
+        continue;
+      }
+      if (!HptsWork.empty()) {
+        HptsFact F = HptsWork.front();
+        HptsWork.pop_front();
+        ++WorkItems;
+        onNewHpts(F);
+        continue;
+      }
+      if (!HloadWork.empty()) {
+        HloadFact F = HloadWork.front();
+        HloadWork.pop_front();
+        ++WorkItems;
+        onNewHload(F);
+        continue;
+      }
+      if (!CallWork.empty()) {
+        CallFact F = CallWork.front();
+        CallWork.pop_front();
+        ++WorkItems;
+        onNewCall(F);
+        continue;
+      }
+      if (!GptsWork.empty()) {
+        GptsFact F = GptsWork.front();
+        GptsWork.pop_front();
+        ++WorkItems;
+        onNewGpts(F);
+        continue;
+      }
+      ReachFact F = ReachWork.front();
+      ReachWork.pop_front();
+      ++WorkItems;
+      onNewReach(F);
+    }
+  }
+
+  void onNewPts(const PtsFact &F) {
+    // [ASSIGN] pts(Z,H,A), assign(Z,Y) |- pts(Y,H,A).
+    for (std::uint32_t Y : AssignFrom[F.Var])
+      addPts(Y, F.Heap, F.T);
+
+    // [CAST] pts(Z,H,A), cast(Z,Y,T), heap_type(H,T'), subtype(T',T)
+    //        |- pts(Y,H,A): an assignment filtered by the cast type.
+    for (const auto &[Y, T] : CastByFrom[F.Var])
+      if (isSubtype(HeapTypeOf[F.Heap], T))
+        addPts(Y, F.Heap, F.T);
+
+    // [LOAD] pts(Y,G,A), load(Y,F,Z) |- hload(G,F,Z,A).
+    for (const auto &[Field, To] : LoadByBase[F.Var])
+      addHload(F.Heap, Field, To, F.T);
+
+    // [STORE] pts(X,H,B), store(X,Fl,Z), pts(Z,G,C)
+    //         |- hpts(G,Fl,H, B ; inv(C)).
+    // Driven from the stored-value side (this fact is pts(X,H,B))...
+    for (const auto &[Field, Base] : StoreByValue[F.Var])
+      for (const auto &[G, C] : PtsByVar[Base])
+        if (auto A = Dom->comp(F.T, Dom->inv(C), H, H))
+          addHpts(G, Field, F.Heap, *A);
+    // ...and from the base side (this fact is pts(Z,G,C)).
+    for (const auto &[Field, Value] : StoreByBase[F.Var])
+      for (const auto &[Hp, B] : PtsByVar[Value])
+        if (auto A = Dom->comp(B, Dom->inv(F.T), H, H))
+          addHpts(F.Heap, Field, Hp, *A);
+
+    // [PARAM] pts(Z,H,B), actual(Z,I,O), call(I,P,C), formal(Y,P,O)
+    //         |- pts(Y,H, B ; C).
+    for (const auto &[Invoke, Ord] : ActualByVar[F.Var])
+      for (const auto &[Callee, C] : CallByInvoke[Invoke])
+        if (auto It = FormalOf.find(pairKey(Callee, Ord));
+            It != FormalOf.end())
+          if (auto A = Dom->comp(F.T, C, H, M))
+            addPts(It->second, F.Heap, *A);
+
+    // [RET] pts(Z,H,B), return(Z,P), call(I,P,C), assign_return(I,Y)
+    //       |- pts(Y,H, B ; inv(C)).
+    for (std::uint32_t P : ReturnByVar[F.Var])
+      for (const auto &[Invoke, C] : CallByCallee[P]) {
+        TransformId InvC = Dom->inv(C);
+        if (auto A = Dom->comp(F.T, InvC, H, M))
+          for (std::uint32_t Y : AssignRetByInvoke[Invoke])
+            addPts(Y, F.Heap, *A);
+      }
+
+    // [THROW] pts(Z,H,B), throw(Z,P), call(I,P,C), catch(I,Y)
+    //         |- pts(Y,H, B ; inv(C)) — the exceptional return path.
+    for (std::uint32_t P : ThrowByVar[F.Var])
+      for (const auto &[Invoke, C] : CallByCallee[P]) {
+        TransformId InvC = Dom->inv(C);
+        if (auto A = Dom->comp(F.T, InvC, H, M))
+          for (std::uint32_t Y : CatchByInvoke[Invoke])
+            addPts(Y, F.Heap, *A);
+      }
+
+    // [GSTORE] pts(X,H,B), global_store(X,G) |- gpts(G,H, globalize(B)).
+    for (std::uint32_t G : GlobalStoreByValue[F.Var])
+      addGpts(G, F.Heap, Dom->globalize(F.T));
+
+    // [VIRT] virtual_invoke(I,Z,S), pts(Z,H,B), heap_type(H,T),
+    //        implements(Q,T,S), this_var(Y,Q), C := merge(H,I,B)
+    //        |- call(I,Q,C) and pts(Y,H, B ; C).
+    if (!VirtByReceiver[F.Var].empty()) {
+      std::uint32_t HeapType = HeapTypeOf[F.Heap];
+      for (const auto &[Invoke, Sig] : VirtByReceiver[F.Var]) {
+        auto It = Dispatch.find(pairKey(HeapType, Sig));
+        if (It == Dispatch.end())
+          continue; // No implementation: dead dispatch.
+        std::uint32_t Q = It->second;
+        TransformId C = Dom->mergeVirtual(F.Heap, Invoke, F.T);
+        addCall(Invoke, Q, C);
+        std::uint32_t ThisY = ThisOf[Q];
+        assert(ThisY != facts::InvalidId &&
+               "dispatched method has no this variable");
+        if (auto A = Dom->comp(F.T, C, H, M))
+          addPts(ThisY, F.Heap, *A);
+      }
+    }
+  }
+
+  void onNewHpts(const HptsFact &F) {
+    // [IND] hpts(G,Fl,H,B), hload(G,Fl,Y,C) |- pts(Y,H, B ; C).
+    auto It = HloadByBaseField.find(pairKey(F.Base, F.Field));
+    if (It == HloadByBaseField.end())
+      return;
+    for (const auto &[Y, C] : It->second)
+      if (auto A = Dom->comp(F.T, C, H, M))
+        addPts(Y, F.Heap, *A);
+  }
+
+  void onNewHload(const HloadFact &F) {
+    // [IND], driven from the load side.
+    auto It = HptsByBaseField.find(pairKey(F.Base, F.Field));
+    if (It == HptsByBaseField.end())
+      return;
+    for (const auto &[Hp, B] : It->second)
+      if (auto A = Dom->comp(B, F.T, H, M))
+        addPts(F.Var, Hp, *A);
+  }
+
+  void onNewCall(const CallFact &F) {
+    // [REACH] call(I,P,A) |- reach(P, target(A)).
+    addReach(F.Method, Dom->target(F.T));
+
+    // [PARAM], driven from the call side.
+    for (const auto &[Ord, Z] : ActualByInvoke[F.Invoke])
+      if (auto It = FormalOf.find(pairKey(F.Method, Ord));
+          It != FormalOf.end())
+        for (const auto &[Hp, B] : PtsByVar[Z])
+          if (auto A = Dom->comp(B, F.T, H, M))
+            addPts(It->second, Hp, *A);
+
+    // [RET], driven from the call side.
+    if (!AssignRetByInvoke[F.Invoke].empty()) {
+      TransformId InvC = Dom->inv(F.T);
+      for (std::uint32_t Z : ReturnByMethod[F.Method])
+        for (const auto &[Hp, B] : PtsByVar[Z])
+          if (auto A = Dom->comp(B, InvC, H, M))
+            for (std::uint32_t Y : AssignRetByInvoke[F.Invoke])
+              addPts(Y, Hp, *A);
+    }
+
+    // [THROW], driven from the call side.
+    if (!CatchByInvoke[F.Invoke].empty()) {
+      TransformId InvC = Dom->inv(F.T);
+      for (std::uint32_t Z : ThrowByMethod[F.Method])
+        for (const auto &[Hp, B] : PtsByVar[Z])
+          if (auto A = Dom->comp(B, InvC, H, M))
+            for (std::uint32_t Y : CatchByInvoke[F.Invoke])
+              addPts(Y, Hp, *A);
+    }
+  }
+
+  void onNewGpts(const GptsFact &F) {
+    // [GLOAD] gpts(G,H,A), global_load(G,Z,P), reach(P,Mx)
+    //         |- pts(Z,H, retarget(A,Mx)).
+    for (const auto &[Z, P] : GlobalLoadByGlobal[F.Global])
+      for (std::uint32_t CtxId : ReachByMethod[P])
+        addPts(Z, F.Heap, Dom->retarget(F.T, (*ReachCtxts)[CtxId]));
+  }
+
+  void onNewReach(const ReachFact &F) {
+    const CtxtVec &Ctx = (*ReachCtxts)[F.CtxtId];
+    // [GLOAD], driven from the reach side.
+    for (const auto &[G, Z] : GlobalLoadByMethod[F.Method])
+      for (const auto &[Hp, A] : GptsByGlobal[G])
+        addPts(Z, Hp, Dom->retarget(A, Ctx));
+    // [NEW] assign_new(H,Y,P), reach(P,Mx) |- pts(Y,H, record(Mx)).
+    if (!AssignNewByMethod[F.Method].empty()) {
+      TransformId A = Dom->record(Ctx);
+      for (const auto &[Hp, Y] : AssignNewByMethod[F.Method])
+        addPts(Y, Hp, A);
+    }
+    // [STATIC] static_invoke(I,Q,P), reach(P,Mx)
+    //          |- call(I,Q, merge_s(I,Mx)).
+    for (const auto &[Invoke, Target] : StaticByMethod[F.Method])
+      addCall(Invoke, Target, Dom->mergeStatic(Invoke, Ctx));
+  }
+
+  //===--- State ----------------------------------------------------------===//
+
+  const FactDB &DB;
+  ctx::Config Cfg;
+  unsigned M, H;
+  bool Collapse;
+  std::size_t CollapsedPts = 0;
+  std::unordered_map<std::uint64_t, std::vector<TransformId>> LivePts;
+  std::unique_ptr<ctx::Domain> Dom;
+  std::shared_ptr<Interner<CtxtVec, ctx::CtxtVecHash>> ReachCtxts;
+
+  // Input indices.
+  std::vector<std::vector<std::uint32_t>> AssignFrom;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      LoadByBase, StoreByValue, StoreByBase, ActualByVar, ActualByInvoke,
+      VirtByReceiver, StaticByMethod, AssignNewByMethod;
+  std::unordered_map<std::uint64_t, std::uint32_t> FormalOf;
+  std::vector<std::vector<std::uint32_t>> ReturnByVar, ReturnByMethod,
+      AssignRetByInvoke, ThrowByVar, ThrowByMethod, CatchByInvoke,
+      GlobalStoreByValue;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      GlobalLoadByGlobal, GlobalLoadByMethod;
+  std::vector<std::uint32_t> HeapTypeOf, ThisOf;
+  std::unordered_map<std::uint64_t, std::uint32_t> Dispatch;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      CastByFrom;
+  std::unordered_set<std::uint64_t> SubtypePairs;
+
+  // Derived relations, dedup sets, and join indices. PtsByVar etc. are
+  // lazily sized in the constructor body via resize below.
+  std::unordered_set<FactKey, FactKeyHash> PtsSet, HptsSet, HloadSet,
+      CallSet, ReachSet, GptsSet;
+  std::vector<PtsFact> PtsRel;
+  std::vector<HptsFact> HptsRel;
+  std::vector<HloadFact> HloadRel;
+  std::vector<CallFact> CallRel;
+  std::vector<ReachFact> ReachRel;
+  std::vector<GptsFact> GptsRel;
+  std::vector<std::vector<std::pair<std::uint32_t, TransformId>>>
+      GptsByGlobal;
+  std::vector<std::vector<std::pair<std::uint32_t, TransformId>>> PtsByVar;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::uint32_t, TransformId>>>
+      HptsByBaseField, HloadByBaseField;
+  std::vector<std::vector<std::pair<std::uint32_t, TransformId>>>
+      CallByInvoke, CallByCallee;
+  std::vector<std::vector<std::uint32_t>> ReachByMethod;
+
+  std::deque<PtsFact> PtsWork;
+  std::deque<HptsFact> HptsWork;
+  std::deque<HloadFact> HloadWork;
+  std::deque<CallFact> CallWork;
+  std::deque<ReachFact> ReachWork;
+  std::deque<GptsFact> GptsWork;
+
+  std::size_t WorkItems = 0;
+};
+
+} // namespace
+
+Results analysis::solve(const FactDB &DB, const ctx::Config &Cfg,
+                        const SolverOptions &Opts) {
+  assert(Cfg.validate().empty() && "invalid analysis configuration");
+  assert(DB.validate().empty() && "invalid fact database");
+  Solver S(DB, Cfg, Opts);
+  return S.run();
+}

@@ -1,0 +1,412 @@
+//===- cfl/Demand.cpp - Demand-driven points-to queries -------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfl/Demand.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace ctp;
+using namespace ctp::cfl;
+using facts::FactDB;
+
+namespace {
+
+std::uint64_t key2(std::uint32_t A, std::uint32_t B) {
+  return (static_cast<std::uint64_t>(A) << 32) | B;
+}
+
+/// Per-query saturation state. Deliberately rebuilt per query so the
+/// reported work is the true per-query cost.
+class Query {
+public:
+  Query(const DemandSolver &S, std::size_t Budget)
+      : S(S), DB(S.DB), Budget(Budget) {
+    Relevant.assign(DB.numVars(), false);
+    Pts.resize(DB.numVars());
+    DynEdges.resize(DB.numVars());
+    ActiveLoadsByBase.resize(DB.numVars());
+    ActiveStoresByBase.resize(DB.numVars());
+    WatchedSitesByReceiver.resize(DB.numVars());
+    SiteWatched.assign(DB.numInvokes(), false);
+    FieldActivated.assign(DB.numFields(), false);
+  }
+
+  DemandAnswer run(std::uint32_t Var) {
+    markRelevant(Var);
+    drain();
+
+    DemandAnswer A;
+    A.Steps = Steps;
+    A.RelevantVars = NumRelevant;
+    if (Exhausted) {
+      // Sound fallback: everything.
+      A.BudgetExceeded = true;
+      A.Heaps.resize(DB.numHeaps());
+      for (std::uint32_t H = 0; H < DB.numHeaps(); ++H)
+        A.Heaps[H] = H;
+      return A;
+    }
+    A.Heaps.assign(Pts[Var].begin(), Pts[Var].end());
+    return A;
+  }
+
+private:
+  bool spend() {
+    ++Steps;
+    if (Steps <= Budget)
+      return true;
+    Exhausted = true;
+    return false;
+  }
+
+  void addPts(std::uint32_t V, std::uint32_t O) {
+    if (Exhausted || !Pts[V].insert(O).second)
+      return;
+    if (!spend())
+      return;
+    Work.push_back({V, O});
+  }
+
+  /// Adds a data-flow edge From -> To, making From relevant and replaying
+  /// its current points-to set. A \p Filter other than InvalidId restricts
+  /// the edge to objects whose type is a subtype of it (casts).
+  void addEdge(std::uint32_t From, std::uint32_t To,
+               std::uint32_t Filter = facts::InvalidId) {
+    markRelevant(From);
+    DynEdges[From].push_back({To, Filter});
+    for (std::uint32_t O : Pts[From])
+      if (passesFilter(O, Filter))
+        addPts(To, O);
+  }
+
+  bool passesFilter(std::uint32_t O, std::uint32_t Filter) const {
+    if (Filter == facts::InvalidId)
+      return true;
+    return S.SubtypePairs.count(key2(S.HeapTypeOf[O], Filter)) != 0;
+  }
+
+  /// First demand on field \p F: all stores of F get their base watched;
+  /// sources become relevant lazily, on an actual object match.
+  void activateField(std::uint32_t F) {
+    if (FieldActivated[F])
+      return;
+    FieldActivated[F] = true;
+    for (const auto &[Base, From] : S.StoresOfField[F]) {
+      ActiveStoresByBase[Base].push_back({F, From});
+      markRelevant(Base);
+      for (std::uint32_t O : Pts[Base])
+        matchStore(O, F, From);
+    }
+  }
+
+  void matchLoad(std::uint32_t O, std::uint32_t F, std::uint32_t Z) {
+    std::uint64_t Key = key2(O, F);
+    Readers[Key].push_back(Z);
+    for (std::uint32_t From : Writers[Key])
+      addEdge(From, Z);
+  }
+
+  void matchStore(std::uint32_t O, std::uint32_t F, std::uint32_t From) {
+    std::uint64_t Key = key2(O, F);
+    auto &W = Writers[Key];
+    if (std::find(W.begin(), W.end(), From) != W.end())
+      return;
+    W.push_back(From);
+    for (std::uint32_t Z : Readers[Key])
+      addEdge(From, Z);
+  }
+
+  void watchSite(std::uint32_t I) {
+    if (SiteWatched[I])
+      return;
+    SiteWatched[I] = true;
+    std::uint32_t Recv = S.ReceiverOf[I];
+    assert(Recv != facts::InvalidId && "watching a static site");
+    WatchedSitesByReceiver[Recv].push_back(I);
+    markRelevant(Recv);
+    for (std::uint32_t O : Pts[Recv])
+      resolve(I, O);
+  }
+
+  void applyInvokeDemand(std::uint32_t I, std::uint32_t Q) {
+    auto It = InvokeDemand.find(I);
+    if (It == InvokeDemand.end())
+      return;
+    for (std::uint32_t RV : It->second.ResultVars)
+      for (std::uint32_t Ret : S.RetsOf[Q])
+        addEdge(Ret, RV);
+    for (std::uint32_t CV : It->second.CatchVars)
+      for (std::uint32_t Thrown : S.ThrowsOf[Q])
+        addEdge(Thrown, CV);
+  }
+
+  void applyCalleeFormals(std::uint32_t I, std::uint32_t Q) {
+    auto It = CalleeDemand.find(Q);
+    if (It == CalleeDemand.end())
+      return;
+    for (const auto &[Ord, FormalVar] : It->second.Formals)
+      for (const auto &[AOrd, Actual] : S.ActualsOf[I])
+        if (AOrd == Ord)
+          addEdge(Actual, FormalVar);
+  }
+
+  void resolve(std::uint32_t I, std::uint32_t O) {
+    auto It = S.Dispatch.find(key2(S.HeapTypeOf[O], S.SigOfInvoke[I]));
+    if (It == S.Dispatch.end())
+      return;
+    std::uint32_t Q = It->second;
+    if (ResolvedCallees[I].insert(Q).second) {
+      SitesOfCallee[Q].push_back(I);
+      applyInvokeDemand(I, Q);
+      applyCalleeFormals(I, Q);
+    }
+    if (ObjsOfCallee[Q].insert(O).second) {
+      auto CD = CalleeDemand.find(Q);
+      if (CD != CalleeDemand.end())
+        for (std::uint32_t ThisVar : CD->second.ThisVars)
+          addPts(ThisVar, O);
+    }
+  }
+
+  void demandResult(std::uint32_t I, std::uint32_t V) {
+    InvokeDemand[I].ResultVars.push_back(V);
+    if (S.ReceiverOf[I] == facts::InvalidId) {
+      for (std::uint32_t Ret : S.RetsOf[S.StaticTargetOf[I]])
+        addEdge(Ret, V);
+      return;
+    }
+    watchSite(I);
+    for (std::uint32_t Q : ResolvedCallees[I])
+      for (std::uint32_t Ret : S.RetsOf[Q])
+        addEdge(Ret, V);
+  }
+
+  void demandCatch(std::uint32_t I, std::uint32_t V) {
+    InvokeDemand[I].CatchVars.push_back(V);
+    if (S.ReceiverOf[I] == facts::InvalidId) {
+      for (std::uint32_t Thrown : S.ThrowsOf[S.StaticTargetOf[I]])
+        addEdge(Thrown, V);
+      return;
+    }
+    watchSite(I);
+    for (std::uint32_t Q : ResolvedCallees[I])
+      for (std::uint32_t Thrown : S.ThrowsOf[Q])
+        addEdge(Thrown, V);
+  }
+
+  void markRelevant(std::uint32_t V) {
+    if (Exhausted || Relevant[V])
+      return;
+    Relevant[V] = true;
+    ++NumRelevant;
+    if (!spend())
+      return;
+
+    for (std::uint32_t O : S.NewsInto[V])
+      addPts(V, O);
+    for (std::uint32_t From : S.AssignInto[V])
+      addEdge(From, V);
+    for (const auto &[From, T] : S.CastsInto[V])
+      addEdge(From, V, T);
+    for (const auto &[Base, F] : S.LoadsOf[V]) {
+      markRelevant(Base);
+      ActiveLoadsByBase[Base].push_back({F, V});
+      activateField(F);
+      for (std::uint32_t O : Pts[Base])
+        matchLoad(O, F, V);
+    }
+    for (std::uint32_t I : S.ResultOfInvoke[V])
+      demandResult(I, V);
+    for (std::uint32_t I : S.CatchOfInvoke[V])
+      demandCatch(I, V);
+    for (const auto &[Q, Ord] : S.FormalSites[V]) {
+      CalleeDemand[Q].Formals.push_back({Ord, V});
+      for (std::uint32_t I : S.StaticSitesOf[Q])
+        for (const auto &[AOrd, Actual] : S.ActualsOf[I])
+          if (AOrd == Ord)
+            addEdge(Actual, V);
+      for (const auto &[T, Sig] : S.ImplementsOf[Q]) {
+        (void)T;
+        for (std::uint32_t I : S.VirtSitesBySig[Sig])
+          watchSite(I);
+      }
+      for (std::uint32_t I : SitesOfCallee[Q])
+        for (const auto &[AOrd, Actual] : S.ActualsOf[I])
+          if (AOrd == Ord)
+            addEdge(Actual, V);
+    }
+    for (std::uint32_t Q : S.ThisSites[V]) {
+      CalleeDemand[Q].ThisVars.push_back(V);
+      for (const auto &[T, Sig] : S.ImplementsOf[Q]) {
+        (void)T;
+        for (std::uint32_t I : S.VirtSitesBySig[Sig])
+          watchSite(I);
+      }
+      for (std::uint32_t O : ObjsOfCallee[Q])
+        addPts(V, O);
+    }
+    for (std::uint32_t G : S.GlobalLoadsInto[V])
+      for (std::uint32_t From : S.GlobalStoresOf[G])
+        addEdge(From, V);
+  }
+
+  void drain() {
+    while (!Work.empty() && !Exhausted) {
+      auto [V, O] = Work.back();
+      Work.pop_back();
+      // DynEdges[V] may grow while iterating (addEdge during matching);
+      // index-based loop keeps this safe.
+      for (std::size_t E = 0; E < DynEdges[V].size(); ++E) {
+        auto [To, Filter] = DynEdges[V][E];
+        if (passesFilter(O, Filter))
+          addPts(To, O);
+      }
+      for (std::size_t E = 0; E < ActiveLoadsByBase[V].size(); ++E) {
+        auto [F, Z] = ActiveLoadsByBase[V][E];
+        matchLoad(O, F, Z);
+      }
+      for (std::size_t E = 0; E < ActiveStoresByBase[V].size(); ++E) {
+        auto [F, From] = ActiveStoresByBase[V][E];
+        matchStore(O, F, From);
+      }
+      for (std::size_t E = 0; E < WatchedSitesByReceiver[V].size(); ++E)
+        resolve(WatchedSitesByReceiver[V][E], O);
+    }
+  }
+
+  const DemandSolver &S;
+  const FactDB &DB;
+  std::size_t Budget;
+  std::size_t Steps = 0;
+  bool Exhausted = false;
+
+  std::vector<char> Relevant;
+  std::vector<std::set<std::uint32_t>> Pts;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      DynEdges;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> Work;
+  std::size_t NumRelevant = 0;
+
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      ActiveLoadsByBase, ActiveStoresByBase;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> Readers,
+      Writers;
+  std::vector<char> FieldActivated;
+
+  struct InvokeDemandT {
+    std::vector<std::uint32_t> ResultVars, CatchVars;
+  };
+  struct CalleeDemandT {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> Formals;
+    std::vector<std::uint32_t> ThisVars;
+  };
+  std::unordered_map<std::uint32_t, InvokeDemandT> InvokeDemand;
+  std::unordered_map<std::uint32_t, CalleeDemandT> CalleeDemand;
+  std::vector<std::vector<std::uint32_t>> WatchedSitesByReceiver;
+  std::vector<char> SiteWatched;
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>>
+      ResolvedCallees;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+      SitesOfCallee;
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> ObjsOfCallee;
+};
+
+} // namespace
+
+DemandSolver::DemandSolver(const FactDB &DB) : DB(DB) {
+  AssignInto.resize(DB.numVars());
+  for (const auto &F : DB.Assigns)
+    AssignInto[F.To].push_back(F.From);
+  LoadsOf.resize(DB.numVars());
+  for (const auto &F : DB.Loads)
+    LoadsOf[F.To].push_back({F.Base, F.Field});
+  StoresOfField.resize(DB.numFields());
+  for (const auto &F : DB.Stores)
+    StoresOfField[F.Field].push_back({F.Base, F.From});
+  NewsInto.resize(DB.numVars());
+  for (const auto &F : DB.AssignNews)
+    NewsInto[F.To].push_back(F.Heap);
+  ResultOfInvoke.resize(DB.numVars());
+  for (const auto &F : DB.AssignReturns)
+    ResultOfInvoke[F.To].push_back(F.Invoke);
+  CatchOfInvoke.resize(DB.numVars());
+  for (const auto &F : DB.Catches)
+    CatchOfInvoke[F.To].push_back(F.Invoke);
+  FormalSites.resize(DB.numVars());
+  for (const auto &F : DB.Formals)
+    FormalSites[F.Var].push_back({F.Method, F.Ordinal});
+  GlobalLoadsInto.resize(DB.numVars());
+  for (const auto &F : DB.GlobalLoads)
+    GlobalLoadsInto[F.To].push_back(F.Global);
+  GlobalStoresOf.resize(DB.numGlobals());
+  for (const auto &F : DB.GlobalStores)
+    GlobalStoresOf[F.Global].push_back(F.From);
+  ThisSites.resize(DB.numVars());
+  for (const auto &F : DB.ThisVars)
+    ThisSites[F.Var].push_back(F.Method);
+  ActualsOf.resize(DB.numInvokes());
+  for (const auto &F : DB.Actuals)
+    ActualsOf[F.Invoke].push_back({F.Ordinal, F.Var});
+  ReceiverOf.assign(DB.numInvokes(), facts::InvalidId);
+  SigOfInvoke.assign(DB.numInvokes(), facts::InvalidId);
+  VirtSitesBySig.resize(DB.numSigs());
+  for (const auto &F : DB.VirtualInvokes) {
+    ReceiverOf[F.Invoke] = F.Receiver;
+    SigOfInvoke[F.Invoke] = F.Sig;
+    VirtSitesBySig[F.Sig].push_back(F.Invoke);
+  }
+  StaticTargetOf.assign(DB.numInvokes(), facts::InvalidId);
+  for (const auto &F : DB.StaticInvokes)
+    StaticTargetOf[F.Invoke] = F.Target;
+  HeapTypeOf.assign(DB.numHeaps(), facts::InvalidId);
+  for (const auto &F : DB.HeapTypes)
+    HeapTypeOf[F.Heap] = F.Type;
+  RetsOf.resize(DB.numMethods());
+  for (const auto &F : DB.Returns)
+    RetsOf[F.Method].push_back(F.Var);
+  ThrowsOf.resize(DB.numMethods());
+  for (const auto &F : DB.Throws)
+    ThrowsOf[F.Method].push_back(F.Var);
+  StaticSitesOf.resize(DB.numMethods());
+  for (const auto &F : DB.StaticInvokes)
+    StaticSitesOf[F.Target].push_back(F.Invoke);
+  ImplementsOf.resize(DB.numMethods());
+  for (const auto &F : DB.Implements) {
+    ImplementsOf[F.Method].push_back({F.Type, F.Sig});
+    Dispatch.emplace(key2(F.Type, F.Sig), F.Method);
+  }
+  CastsInto.resize(DB.numVars());
+  for (const auto &F : DB.Casts)
+    CastsInto[F.To].push_back({F.From, F.Type});
+  for (const auto &F : DB.Subtypes)
+    SubtypePairs.insert(key2(F.Sub, F.Super));
+}
+
+DemandAnswer DemandSolver::query(std::uint32_t Var,
+                                 std::size_t Budget) const {
+  assert(Var < DB.numVars() && "query variable out of range");
+  Query Q(*this, Budget);
+  return Q.run(Var);
+}
+
+bool DemandSolver::mayAlias(std::uint32_t V1, std::uint32_t V2,
+                            std::size_t Budget) const {
+  DemandAnswer A = query(V1, Budget);
+  DemandAnswer B = query(V2, Budget);
+  std::size_t I = 0, J = 0;
+  while (I < A.Heaps.size() && J < B.Heaps.size()) {
+    if (A.Heaps[I] == B.Heaps[J])
+      return true;
+    if (A.Heaps[I] < B.Heaps[J])
+      ++I;
+    else
+      ++J;
+  }
+  return false;
+}

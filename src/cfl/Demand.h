@@ -1,0 +1,112 @@
+//===- cfl/Demand.h - Demand-driven points-to queries -----------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demand-driven (context-insensitive) points-to queries, the workload
+/// Section 10 of the paper names as future work ("Datalog programs that
+/// exhaustively compute information can be converted to a demand-driven
+/// program through the magic sets transformation") and Section 9 relates
+/// to Sridharan & Bodík's refinement-based analysis.
+///
+/// The implementation is a magic-sets-flavoured restriction of the
+/// exhaustive L_F saturation: starting from the queried variable it grows
+/// a *relevant* variable set backward through assignments, parameter and
+/// return flow, and matched store/load pairs, and saturates points-to
+/// facts only for relevant variables. Like Sridharan & Bodík's initial
+/// approximation, methods are assumed reachable, so an answer is a sound
+/// over-approximation of the exhaustive oracle's; answers carry a
+/// completeness flag and respect a work budget (exceeding it yields the
+/// trivially sound "all heap sites" answer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CFL_DEMAND_H
+#define CTP_CFL_DEMAND_H
+
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ctp {
+namespace cfl {
+
+/// Answer to one demand query.
+struct DemandAnswer {
+  /// Sorted heap sites the variable may point to. When \c BudgetExceeded
+  /// is set this is every heap site (the sound fallback).
+  std::vector<std::uint32_t> Heaps;
+  /// True when the budget ran out before saturation.
+  bool BudgetExceeded = false;
+  /// Variables whose points-to sets the query had to touch — the "work"
+  /// measure the demand bench reports against exhaustive analysis.
+  std::size_t RelevantVars = 0;
+  /// Worklist steps consumed.
+  std::size_t Steps = 0;
+};
+
+/// Demand-driven query engine over one fact database. Queries are
+/// independent (no cross-query caching), which keeps the per-query work
+/// measurement honest.
+class DemandSolver {
+public:
+  explicit DemandSolver(const facts::FactDB &DB);
+
+  /// Computes the may-point-to set of \p Var, spending at most \p Budget
+  /// worklist steps.
+  DemandAnswer query(std::uint32_t Var, std::size_t Budget = 100000) const;
+
+  /// Demand-driven may-alias: do the two variables share a heap site?
+  /// Sound (may err toward "true" under budget exhaustion).
+  bool mayAlias(std::uint32_t V1, std::uint32_t V2,
+                std::size_t Budget = 100000) const;
+
+  // Pre-built reverse indices (construction cost is shared by queries and
+  // reported separately by the bench). Public only for the query engine
+  // in Demand.cpp; not part of the supported API surface.
+  const facts::FactDB &DB;
+  std::vector<std::vector<std::uint32_t>> AssignInto; ///< To -> Froms.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      LoadsOf;  ///< To -> (Base, Field).
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      StoresOfField; ///< Field -> (Base, From).
+  std::vector<std::vector<std::uint32_t>> NewsInto; ///< Var -> heap sites.
+  std::vector<std::vector<std::uint32_t>>
+      ResultOfInvoke; ///< Var -> invocations whose result it receives.
+  std::vector<std::vector<std::uint32_t>>
+      CatchOfInvoke; ///< Var -> invocations whose exceptions it catches.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      FormalSites; ///< Formal var -> (method, ordinal).
+  std::vector<std::vector<std::uint32_t>>
+      GlobalLoadsInto; ///< Var -> globals it loads.
+  std::vector<std::vector<std::uint32_t>>
+      GlobalStoresOf; ///< Global -> stored-from vars.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      CastsInto; ///< To -> (From, cast type).
+  std::unordered_set<std::uint64_t> SubtypePairs;
+  std::vector<std::vector<std::uint32_t>> ThisSites; ///< This var -> method.
+  // Call-site side tables.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      ActualsOf; ///< Invoke -> (ordinal, var).
+  std::vector<std::uint32_t> ReceiverOf, SigOfInvoke, StaticTargetOf,
+      HeapTypeOf;
+  std::vector<std::vector<std::uint32_t>> RetsOf, ThrowsOf;
+  std::vector<std::vector<std::uint32_t>>
+      VirtSitesBySig; ///< Sig -> invocations dispatching it.
+  std::vector<std::vector<std::uint32_t>>
+      StaticSitesOf; ///< Method -> static invocations targeting it.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      ImplementsOf; ///< Method -> (type, sig) rows naming it.
+  std::unordered_map<std::uint64_t, std::uint32_t> Dispatch;
+};
+
+} // namespace cfl
+} // namespace ctp
+
+#endif // CTP_CFL_DEMAND_H

@@ -1,0 +1,265 @@
+//===- cfl/Oracle.cpp - Context-insensitive L_F oracle --------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfl/Oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ctp;
+using namespace ctp::cfl;
+using facts::FactDB;
+
+namespace {
+
+std::uint64_t key2(std::uint32_t A, std::uint32_t B) {
+  return (static_cast<std::uint64_t>(A) << 32) | B;
+}
+
+/// Saturation engine over the L_F productions. State uses ordered sets per
+/// variable/object deliberately — different containers and iteration order
+/// than the main solver, so agreement between the two is meaningful.
+class Engine {
+public:
+  explicit Engine(const FactDB &DB) : DB(DB) {
+    VarPts.resize(DB.numVars());
+    FieldPts.resize(DB.numHeaps());
+    AssignOut.resize(DB.numVars());
+    StoreOutValue.resize(DB.numVars());
+    StoreOutBase.resize(DB.numVars());
+    LoadOut.resize(DB.numVars());
+    VirtOut.resize(DB.numVars());
+    MethodReachable.assign(DB.numMethods(), false);
+
+    for (const auto &F : DB.Assigns)
+      AssignOut[F.From].push_back(F.To);
+    for (const auto &F : DB.Stores) {
+      StoreOutValue[F.From].push_back({F.Field, F.Base});
+      StoreOutBase[F.Base].push_back({F.Field, F.From});
+    }
+    for (const auto &F : DB.Loads)
+      LoadOut[F.Base].push_back({F.Field, F.To});
+    for (const auto &F : DB.VirtualInvokes)
+      VirtOut[F.Receiver].push_back({F.Invoke, F.Sig});
+    for (const auto &F : DB.Implements)
+      Dispatch.emplace(key2(F.Type, F.Sig), F.Method);
+    HeapTypeOf.assign(DB.numHeaps(), facts::InvalidId);
+    for (const auto &F : DB.HeapTypes)
+      HeapTypeOf[F.Heap] = F.Type;
+    ThisOf.assign(DB.numMethods(), facts::InvalidId);
+    for (const auto &F : DB.ThisVars)
+      ThisOf[F.Method] = F.Var;
+    for (const auto &F : DB.Formals)
+      FormalOf.emplace(key2(F.Method, F.Ordinal), F.Var);
+    ActualsOf.resize(DB.numInvokes());
+    for (const auto &F : DB.Actuals)
+      ActualsOf[F.Invoke].push_back({F.Ordinal, F.Var});
+    RetsOf.resize(DB.numMethods());
+    for (const auto &F : DB.Returns)
+      RetsOf[F.Method].push_back(F.Var);
+    ResultsOf.resize(DB.numInvokes());
+    for (const auto &F : DB.AssignReturns)
+      ResultsOf[F.Invoke].push_back(F.To);
+    NewsOf.resize(DB.numMethods());
+    for (const auto &F : DB.AssignNews)
+      NewsOf[F.InMethod].push_back({F.Heap, F.To});
+    StaticsOf.resize(DB.numMethods());
+    for (const auto &F : DB.StaticInvokes)
+      StaticsOf[F.InMethod].push_back({F.Invoke, F.Target});
+    FieldLoaders.resize(DB.numHeaps());
+
+    GlobalStoresOf.resize(DB.numVars());
+    for (const auto &F : DB.GlobalStores)
+      GlobalStoresOf[F.From].push_back(F.Global);
+    GlobalPts.resize(DB.numGlobals());
+    GlobalLoadersOf.resize(DB.numGlobals());
+    GlobalLoadsByMethod.resize(DB.numMethods());
+    for (const auto &F : DB.GlobalLoads)
+      GlobalLoadsByMethod[F.InMethod].push_back({F.Global, F.To});
+    ThrowsOfMethod.resize(DB.numMethods());
+    for (const auto &F : DB.Throws)
+      ThrowsOfMethod[F.Method].push_back(F.Var);
+    CatchesOf.resize(DB.numInvokes());
+    for (const auto &F : DB.Catches)
+      CatchesOf[F.Invoke].push_back(F.To);
+    CastsOf.resize(DB.numVars());
+    for (const auto &F : DB.Casts)
+      CastsOf[F.From].push_back({F.To, F.Type});
+    for (const auto &F : DB.Subtypes)
+      SubtypePairs.insert(key2(F.Sub, F.Super));
+  }
+
+  OracleResult run() {
+    for (std::uint32_t E : DB.EntryMethods)
+      markReachable(E);
+    while (!Work.empty()) {
+      auto [V, H] = Work.back();
+      Work.pop_back();
+      propagate(V, H);
+    }
+
+    OracleResult R;
+    for (std::uint32_t V = 0; V < VarPts.size(); ++V)
+      for (std::uint32_t H : VarPts[V])
+        R.Pts.push_back({V, H});
+    for (std::uint32_t G = 0; G < FieldPts.size(); ++G)
+      for (const auto &[F, H] : FieldPts[G])
+        R.FieldPts.push_back({G, F, H});
+    for (const auto &[I, Q] : CallEdges)
+      R.Calls.push_back({I, Q});
+    for (std::uint32_t M = 0; M < MethodReachable.size(); ++M)
+      if (MethodReachable[M])
+        R.ReachableMethods.push_back(M);
+    std::sort(R.Pts.begin(), R.Pts.end());
+    std::sort(R.FieldPts.begin(), R.FieldPts.end());
+    std::sort(R.Calls.begin(), R.Calls.end());
+    return R;
+  }
+
+private:
+  void addPts(std::uint32_t V, std::uint32_t H) {
+    if (!VarPts[V].insert(H).second)
+      return;
+    Work.push_back({V, H});
+  }
+
+  void addFieldPts(std::uint32_t G, std::uint32_t F, std::uint32_t H) {
+    if (!FieldPts[G].insert({F, H}).second)
+      return;
+    // flows -> load[f] alias store[f]: feed every registered loader.
+    for (const auto &[LF, Dst] : FieldLoaders[G])
+      if (LF == F)
+        addPts(Dst, H);
+  }
+
+  void markReachable(std::uint32_t M) {
+    if (MethodReachable[M])
+      return;
+    MethodReachable[M] = true;
+    for (const auto &[H, Y] : NewsOf[M])
+      addPts(Y, H);
+    for (const auto &[I, Q] : StaticsOf[M])
+      addCallEdge(I, Q);
+    // Register this method's global loaders and catch up with the
+    // current contents of those globals.
+    for (const auto &[G, Z] : GlobalLoadsByMethod[M]) {
+      GlobalLoadersOf[G].push_back(Z);
+      for (std::uint32_t H : GlobalPts[G])
+        addPts(Z, H);
+    }
+  }
+
+  void addGlobalPts(std::uint32_t G, std::uint32_t H) {
+    if (!GlobalPts[G].insert(H).second)
+      return;
+    for (std::uint32_t Z : GlobalLoadersOf[G])
+      addPts(Z, H);
+  }
+
+  void addCallEdge(std::uint32_t I, std::uint32_t Q) {
+    if (!CallEdges.insert({I, Q}).second)
+      return;
+    markReachable(Q);
+    // Parameter and return value flow as interprocedural assign edges.
+    for (const auto &[Ord, Actual] : ActualsOf[I])
+      if (auto It = FormalOf.find(key2(Q, Ord)); It != FormalOf.end()) {
+        DynAssign[Actual].push_back(It->second);
+        for (std::uint32_t H : VarPts[Actual])
+          addPts(It->second, H);
+      }
+    for (std::uint32_t Ret : RetsOf[Q])
+      for (std::uint32_t Res : ResultsOf[I]) {
+        DynAssign[Ret].push_back(Res);
+        for (std::uint32_t H : VarPts[Ret])
+          addPts(Res, H);
+      }
+    // Exceptional returns: thrown objects flow into the catch variable.
+    for (std::uint32_t Thrown : ThrowsOfMethod[Q])
+      for (std::uint32_t Catch : CatchesOf[I]) {
+        DynAssign[Thrown].push_back(Catch);
+        for (std::uint32_t H : VarPts[Thrown])
+          addPts(Catch, H);
+      }
+  }
+
+  void propagate(std::uint32_t V, std::uint32_t H) {
+    for (std::uint32_t To : AssignOut[V])
+      addPts(To, H);
+    if (auto It = DynAssign.find(V); It != DynAssign.end())
+      for (std::uint32_t To : It->second)
+        addPts(To, H);
+
+    // V stores into bases: value side of store[f].
+    for (const auto &[F, Base] : StoreOutValue[V])
+      for (std::uint32_t G : VarPts[Base])
+        addFieldPts(G, F, H);
+    // V is a base being stored into: H is the base object.
+    for (const auto &[F, Value] : StoreOutBase[V])
+      for (std::uint32_t Pointee : VarPts[Value])
+        addFieldPts(H, F, Pointee);
+
+    // V is a load base: register the loader on object H and catch up.
+    for (const auto &[F, Dst] : LoadOut[V]) {
+      FieldLoaders[H].push_back({F, Dst});
+      for (const auto &[GF, GH] : FieldPts[H])
+        if (GF == F)
+          addPts(Dst, GH);
+    }
+
+    // Stores into globals.
+    for (std::uint32_t G : GlobalStoresOf[V])
+      addGlobalPts(G, H);
+
+    // Casts: type-filtered assignments.
+    for (const auto &[To, T] : CastsOf[V])
+      if (SubtypePairs.count(key2(HeapTypeOf[H], T)))
+        addPts(To, H);
+
+    // Virtual dispatch on the new receiver object.
+    for (const auto &[I, S] : VirtOut[V]) {
+      auto It = Dispatch.find(key2(HeapTypeOf[H], S));
+      if (It == Dispatch.end())
+        continue;
+      std::uint32_t Q = It->second;
+      addCallEdge(I, Q);
+      assert(ThisOf[Q] != facts::InvalidId && "callee without this");
+      addPts(ThisOf[Q], H);
+    }
+  }
+
+  const FactDB &DB;
+  std::vector<std::set<std::uint32_t>> VarPts;
+  std::vector<std::set<std::pair<std::uint32_t, std::uint32_t>>> FieldPts;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      FieldLoaders;
+  std::vector<std::vector<std::uint32_t>> AssignOut;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> DynAssign;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      StoreOutValue, StoreOutBase, LoadOut, VirtOut, ActualsOf, NewsOf,
+      StaticsOf;
+  std::unordered_map<std::uint64_t, std::uint32_t> Dispatch, FormalOf;
+  std::vector<std::uint32_t> HeapTypeOf, ThisOf;
+  std::vector<std::vector<std::uint32_t>> RetsOf, ResultsOf;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> CallEdges;
+  std::vector<bool> MethodReachable;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> Work;
+  std::vector<std::vector<std::uint32_t>> GlobalStoresOf, GlobalLoadersOf,
+      ThrowsOfMethod, CatchesOf;
+  std::vector<std::set<std::uint32_t>> GlobalPts;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      GlobalLoadsByMethod, CastsOf;
+  std::unordered_set<std::uint64_t> SubtypePairs;
+};
+
+} // namespace
+
+OracleResult cfl::solveInsensitive(const FactDB &DB) {
+  return Engine(DB).run();
+}

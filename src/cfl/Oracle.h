@@ -1,0 +1,53 @@
+//===- cfl/Oracle.h - Context-insensitive L_F oracle ------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent context-insensitive, field-sensitive points-to solver
+/// with an on-the-fly call graph. Per Section 2.1.1 of the paper, "x
+/// points-to h iff there exists an L_F-path from h to x"; this oracle
+/// computes exactly that relation by saturating the flowsto/alias grammar
+/// productions Andersen-style.
+///
+/// Its purpose is cross-validation: the context-insensitive projection of
+/// every configuration of the main solver must be a subset of the oracle's
+/// result (soundness of abstraction), and the m = h = 0 configuration must
+/// match it exactly. The implementation shares no code with the main
+/// solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CFL_ORACLE_H
+#define CTP_CFL_ORACLE_H
+
+#include "facts/FactDB.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ctp {
+namespace cfl {
+
+/// Result of the context-insensitive oracle.
+struct OracleResult {
+  /// Sorted, deduplicated {(Var, Heap)} pairs.
+  std::vector<std::array<std::uint32_t, 2>> Pts;
+  /// Sorted {(BaseHeap, Field, Heap)} field points-to triples.
+  std::vector<std::array<std::uint32_t, 3>> FieldPts;
+  /// Sorted {(Invoke, Callee)} call-graph edges.
+  std::vector<std::array<std::uint32_t, 2>> Calls;
+  /// Sorted reachable methods.
+  std::vector<std::uint32_t> ReachableMethods;
+};
+
+/// Runs the oracle over \p DB.
+OracleResult solveInsensitive(const facts::FactDB &DB);
+
+} // namespace cfl
+} // namespace ctp
+
+#endif // CTP_CFL_ORACLE_H

@@ -1,0 +1,115 @@
+//===- cfl/Pag.cpp - Pointer Assignment Graph -----------------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfl/Pag.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace ctp;
+using namespace ctp::cfl;
+using facts::FactDB;
+
+Pag::Pag(const FactDB &DB, const std::vector<CallEdge> &Calls)
+    : NumVars(static_cast<std::uint32_t>(DB.numVars())),
+      NumHeaps(static_cast<std::uint32_t>(DB.numHeaps())) {
+  Out.resize(numNodes());
+
+  for (const auto &F : DB.AssignNews)
+    addEdge(heapNode(F.Heap), varNode(F.To), EdgeKind::New, UINT32_MAX);
+  for (const auto &F : DB.Assigns)
+    addEdge(varNode(F.From), varNode(F.To), EdgeKind::Assign, UINT32_MAX);
+  for (const auto &F : DB.Stores)
+    addEdge(varNode(F.From), varNode(F.Base), EdgeKind::Store, F.Field);
+  for (const auto &F : DB.Loads)
+    addEdge(varNode(F.Base), varNode(F.To), EdgeKind::Load, F.Field);
+
+  if (Calls.empty())
+    return;
+
+  // Interprocedural edges need per-invocation actual/result tables and
+  // per-method formal/return/this tables.
+  std::unordered_map<std::uint64_t, std::uint32_t> FormalOf;
+  auto Key = [](std::uint32_t A, std::uint32_t B) {
+    return (static_cast<std::uint64_t>(A) << 32) | B;
+  };
+  for (const auto &F : DB.Formals)
+    FormalOf.emplace(Key(F.Method, F.Ordinal), F.Var);
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      ActualsOf(DB.numInvokes());
+  for (const auto &F : DB.Actuals)
+    ActualsOf[F.Invoke].push_back({F.Ordinal, F.Var});
+  std::vector<std::vector<std::uint32_t>> RetsOf(DB.numMethods()),
+      ResultsOf(DB.numInvokes());
+  for (const auto &F : DB.Returns)
+    RetsOf[F.Method].push_back(F.Var);
+  for (const auto &F : DB.AssignReturns)
+    ResultsOf[F.Invoke].push_back(F.To);
+  std::vector<std::uint32_t> ThisOf(DB.numMethods(), facts::InvalidId);
+  for (const auto &F : DB.ThisVars)
+    ThisOf[F.Method] = F.Var;
+  std::vector<std::uint32_t> ReceiverOf(DB.numInvokes(), facts::InvalidId);
+  for (const auto &F : DB.VirtualInvokes)
+    ReceiverOf[F.Invoke] = F.Receiver;
+
+  for (const CallEdge &CE : Calls) {
+    for (const auto &[Ord, Actual] : ActualsOf[CE.Invoke])
+      if (auto It = FormalOf.find(Key(CE.Callee, Ord));
+          It != FormalOf.end())
+        addEdge(varNode(Actual), varNode(It->second), EdgeKind::Entry,
+                CE.Invoke);
+    if (ReceiverOf[CE.Invoke] != facts::InvalidId &&
+        ThisOf[CE.Callee] != facts::InvalidId)
+      addEdge(varNode(ReceiverOf[CE.Invoke]), varNode(ThisOf[CE.Callee]),
+              EdgeKind::Entry, CE.Invoke);
+    for (std::uint32_t Ret : RetsOf[CE.Callee])
+      for (std::uint32_t Res : ResultsOf[CE.Invoke])
+        addEdge(varNode(Ret), varNode(Res), EdgeKind::Exit, CE.Invoke);
+  }
+}
+
+void Pag::addEdge(NodeId From, NodeId To, EdgeKind K, std::uint32_t Label) {
+  Out[From].push_back(static_cast<std::uint32_t>(Edges.size()));
+  Edges.push_back({From, To, K, Label});
+}
+
+std::string Pag::toDot(const FactDB &DB) const {
+  std::ostringstream OS;
+  OS << "digraph pag {\n";
+  for (std::uint32_t V = 0; V < NumVars; ++V)
+    OS << "  n" << varNode(V) << " [label=\"" << DB.VarNames[V]
+       << "\", shape=ellipse];\n";
+  for (std::uint32_t H = 0; H < NumHeaps; ++H)
+    OS << "  n" << heapNode(H) << " [label=\"" << DB.HeapNames[H]
+       << "\", shape=box];\n";
+  for (const PagEdge &E : Edges) {
+    OS << "  n" << E.From << " -> n" << E.To << " [label=\"";
+    switch (E.Kind) {
+    case EdgeKind::New:
+      OS << "new";
+      break;
+    case EdgeKind::Assign:
+      OS << "assign";
+      break;
+    case EdgeKind::Store:
+      OS << "store[" << DB.FieldNames[E.Label] << "]";
+      break;
+    case EdgeKind::Load:
+      OS << "load[" << DB.FieldNames[E.Label] << "]";
+      break;
+    case EdgeKind::Entry:
+      OS << "assign@entry:" << DB.InvokeNames[E.Label];
+      break;
+    case EdgeKind::Exit:
+      OS << "assign@exit:" << DB.InvokeNames[E.Label];
+      break;
+    }
+    OS << "\"];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

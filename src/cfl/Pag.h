@@ -1,0 +1,97 @@
+//===- cfl/Pag.h - Pointer Assignment Graph ---------------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Pointer Assignment Graph of Section 2.1 / Figure 2 of the paper:
+/// nodes are variables and heap allocation sites; edges carry the ΣF
+/// labels (new, assign, store[f], load[f]) plus, for interprocedural
+/// assignments, the call-site labels below the arrow (entry ĉ / exit č).
+/// Interprocedural edges require a call graph, which is supplied
+/// separately (on-the-fly construction is what the deduction rules do; the
+/// PAG is the *a posteriori* graph view used for inspection, DOT export,
+/// and the CFL-reachability discussion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CFL_PAG_H
+#define CTP_CFL_PAG_H
+
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace cfl {
+
+/// PAG node: a variable or a heap site. Heap nodes are offset past the
+/// variable ids.
+using NodeId = std::uint32_t;
+
+/// ΣF edge labels (forward direction; the "backwards equivalents" of the
+/// paper are implicit — traversals that need l̄ walk edges in reverse).
+enum class EdgeKind : std::uint8_t {
+  New,    ///< heap -> var
+  Assign, ///< var -> var (intraprocedural)
+  Store,  ///< value var -> base var, labelled with the field
+  Load,   ///< base var -> dest var, labelled with the field
+  Entry,  ///< actual -> formal, labelled ĉ with the call site
+  Exit,   ///< return var -> result var, labelled č with the call site
+};
+
+struct PagEdge {
+  NodeId From, To;
+  EdgeKind Kind;
+  /// Field id for Store/Load; invocation id for Entry/Exit; unused
+  /// otherwise.
+  std::uint32_t Label = UINT32_MAX;
+};
+
+/// A call-graph edge used to materialize interprocedural PAG edges.
+struct CallEdge {
+  std::uint32_t Invoke, Callee;
+};
+
+/// The graph itself.
+class Pag {
+public:
+  /// Builds the intraprocedural PAG from \p DB; if \p Calls is non-empty,
+  /// also materializes entry/exit edges (actual->formal, receiver->this,
+  /// return->result) for each call edge.
+  Pag(const facts::FactDB &DB, const std::vector<CallEdge> &Calls = {});
+
+  NodeId varNode(std::uint32_t Var) const { return Var; }
+  NodeId heapNode(std::uint32_t Heap) const {
+    return NumVars + Heap;
+  }
+  bool isHeapNode(NodeId N) const { return N >= NumVars; }
+  std::uint32_t heapOfNode(NodeId N) const { return N - NumVars; }
+
+  std::size_t numNodes() const { return NumVars + NumHeaps; }
+  const std::vector<PagEdge> &edges() const { return Edges; }
+
+  /// Outgoing edges of a node.
+  const std::vector<std::uint32_t> &outEdges(NodeId N) const {
+    return Out[N];
+  }
+
+  /// Renders the graph in Graphviz DOT syntax using \p DB's entity names.
+  std::string toDot(const facts::FactDB &DB) const;
+
+private:
+  void addEdge(NodeId From, NodeId To, EdgeKind K, std::uint32_t Label);
+
+  std::uint32_t NumVars, NumHeaps;
+  std::vector<PagEdge> Edges;
+  std::vector<std::vector<std::uint32_t>> Out;
+};
+
+} // namespace cfl
+} // namespace ctp
+
+#endif // CTP_CFL_PAG_H

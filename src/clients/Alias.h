@@ -1,0 +1,51 @@
+//===- clients/Alias.h - May-alias queries ----------------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// May-alias client: two variables may alias iff their (context-
+/// insensitive projections of) points-to sets intersect. The paper's
+/// Section 2 motivates heap contexts with exactly such a query ("the
+/// analysis would imprecisely conclude that the heap accesses a.f and b.f
+/// are aliased").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_ALIAS_H
+#define CTP_CLIENTS_ALIAS_H
+
+#include "analysis/Results.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+/// Precomputed alias oracle over one analysis result.
+class AliasOracle {
+public:
+  explicit AliasOracle(const analysis::Results &R);
+
+  /// True iff \p V1 and \p V2 may point to a common heap object.
+  bool mayAlias(std::uint32_t V1, std::uint32_t V2) const;
+
+  /// The points-to set (sorted heap ids) of \p V.
+  const std::vector<std::uint32_t> &pointsTo(std::uint32_t V) const;
+
+  /// Number of may-aliasing unordered pairs among \p Vars; a standard
+  /// precision metric (smaller = more precise, for a sound analysis).
+  std::size_t countAliasPairs(const std::vector<std::uint32_t> &Vars) const;
+
+private:
+  std::vector<std::vector<std::uint32_t>> Pts;
+  static const std::vector<std::uint32_t> Empty;
+};
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_ALIAS_H

@@ -1,0 +1,42 @@
+//===- clients/Devirtualize.cpp - Call-site devirtualization --------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Devirtualize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace ctp;
+using namespace ctp::clients;
+
+DevirtSummary clients::devirtualize(const facts::FactDB &DB,
+                                    const analysis::Results &R) {
+  DevirtSummary S;
+  std::set<std::uint32_t> VirtualSites;
+  for (const auto &F : DB.VirtualInvokes)
+    VirtualSites.insert(F.Invoke);
+  S.VirtualSites = VirtualSites.size();
+
+  std::map<std::uint32_t, std::set<std::uint32_t>> Targets;
+  for (const auto &Edge : R.ciCall())
+    if (VirtualSites.count(Edge[0]))
+      Targets[Edge[0]].insert(Edge[1]);
+
+  for (const auto &[Invoke, Callees] : Targets) {
+    CallSiteTargets CS;
+    CS.Invoke = Invoke;
+    CS.Targets.assign(Callees.begin(), Callees.end());
+    if (CS.Targets.size() == 1)
+      ++S.MonomorphicSites;
+    else
+      ++S.PolymorphicSites;
+    S.PerSite.push_back(std::move(CS));
+  }
+  S.ReachedSites = S.PerSite.size();
+  return S;
+}

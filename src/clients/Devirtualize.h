@@ -1,0 +1,49 @@
+//===- clients/Devirtualize.h - Call-site devirtualization ------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A downstream client of the points-to analysis: classifies every virtual
+/// invocation by the number of call-graph targets the analysis derived for
+/// it. Monomorphic sites are candidates for devirtualization / inlining —
+/// the canonical consumer of precise context-sensitive call graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_DEVIRTUALIZE_H
+#define CTP_CLIENTS_DEVIRTUALIZE_H
+
+#include "analysis/Results.h"
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+/// Per-invocation target summary.
+struct CallSiteTargets {
+  std::uint32_t Invoke;
+  std::vector<std::uint32_t> Targets; ///< Sorted callee method ids.
+};
+
+struct DevirtSummary {
+  std::size_t VirtualSites = 0;    ///< Virtual sites in the program.
+  std::size_t ReachedSites = 0;    ///< ... with at least one target.
+  std::size_t MonomorphicSites = 0;
+  std::size_t PolymorphicSites = 0;
+  std::vector<CallSiteTargets> PerSite; ///< Reached virtual sites only.
+};
+
+/// Computes the devirtualization summary for \p R over program \p DB.
+DevirtSummary devirtualize(const facts::FactDB &DB,
+                           const analysis::Results &R);
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_DEVIRTUALIZE_H

@@ -1,0 +1,29 @@
+//===- clients/Reachability.cpp - Reachable-methods client ----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Reachability.h"
+
+#include <algorithm>
+
+using namespace ctp;
+using namespace ctp::clients;
+
+ReachabilitySummary clients::reachableMethods(const facts::FactDB &DB,
+                                              const analysis::Results &R) {
+  ReachabilitySummary S;
+  S.TotalMethods = DB.numMethods();
+  S.ReachableMethods = R.ciReach();
+  std::size_t Next = 0;
+  for (std::uint32_t M = 0; M < DB.numMethods(); ++M) {
+    if (Next < S.ReachableMethods.size() && S.ReachableMethods[Next] == M) {
+      ++Next;
+      continue;
+    }
+    S.DeadMethods.push_back(M);
+  }
+  return S;
+}

@@ -1,0 +1,38 @@
+//===- clients/Reachability.h - Reachable-methods client --------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dead-code client: which methods does the on-the-fly call graph reach,
+/// and which are provably dead? Uses the reach relation of Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_REACHABILITY_H
+#define CTP_CLIENTS_REACHABILITY_H
+
+#include "analysis/Results.h"
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+struct ReachabilitySummary {
+  std::size_t TotalMethods = 0;
+  std::vector<std::uint32_t> ReachableMethods; ///< Sorted.
+  std::vector<std::uint32_t> DeadMethods;      ///< Sorted complement.
+};
+
+ReachabilitySummary reachableMethods(const facts::FactDB &DB,
+                                     const analysis::Results &R);
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_REACHABILITY_H

@@ -1,0 +1,96 @@
+//===- ctx/Config.cpp - Analysis configuration ----------------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/Config.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+std::string Config::validate() const {
+  if (MethodDepth > MaxCtxtDepth || HeapDepth > MaxCtxtDepth)
+    return "context depth exceeds MaxCtxtDepth";
+  if (Flav == Flavour::CallSite) {
+    if (HeapDepth > MethodDepth)
+      return "call-site sensitivity requires h <= m";
+    return "";
+  }
+  // Object, type, and hybrid sensitivity: Figure 3 assumes 0 <= h = m - 1
+  // (except the degenerate insensitive configuration m = h = 0).
+  if (MethodDepth == 0 && HeapDepth == 0)
+    return "";
+  if (HeapDepth + 1 != MethodDepth)
+    return "object/type sensitivity requires h = m - 1";
+  return "";
+}
+
+std::string Config::name() const {
+  std::string N = std::to_string(MethodDepth);
+  switch (Flav) {
+  case Flavour::CallSite:
+    N += "-call";
+    break;
+  case Flavour::Object:
+    N += "-object";
+    break;
+  case Flavour::Type:
+    N += "-type";
+    break;
+  case Flavour::Hybrid:
+    N += "-hybrid";
+    break;
+  }
+  if (HeapDepth > 0)
+    N += "+H";
+  N += Abs == Abstraction::ContextString ? "(cs)" : "(ts)";
+  return N;
+}
+
+Config ctx::oneCall(Abstraction A) {
+  return {A, Flavour::CallSite, 1, 0};
+}
+Config ctx::oneCallH(Abstraction A) {
+  return {A, Flavour::CallSite, 1, 1};
+}
+Config ctx::oneObject(Abstraction A) {
+  return {A, Flavour::Object, 1, 0};
+}
+Config ctx::twoObjectH(Abstraction A) {
+  return {A, Flavour::Object, 2, 1};
+}
+Config ctx::twoTypeH(Abstraction A) {
+  return {A, Flavour::Type, 2, 1};
+}
+Config ctx::twoHybridH(Abstraction A) {
+  return {A, Flavour::Hybrid, 2, 1};
+}
+Config ctx::insensitive(Abstraction A) {
+  return {A, Flavour::CallSite, 0, 0};
+}
+
+const char *ctx::abstractionName(Abstraction A) {
+  switch (A) {
+  case Abstraction::ContextString:
+    return "context-string";
+  case Abstraction::TransformerString:
+    return "transformer-string";
+  }
+  return "unknown";
+}
+
+const char *ctx::flavourName(Flavour F) {
+  switch (F) {
+  case Flavour::CallSite:
+    return "call-site";
+  case Flavour::Object:
+    return "object";
+  case Flavour::Type:
+    return "type";
+  case Flavour::Hybrid:
+    return "hybrid";
+  }
+  return "unknown";
+}

@@ -1,0 +1,16 @@
+//===- ctx/ContextString.cpp - Context-string pair printing ---------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/ContextString.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+std::string ctx::printCtxtPair(const CtxtPair &P, const ElemPrinter &Printer) {
+  return "(" + printCtxtVec(P.In, Printer) + " -> " +
+         printCtxtVec(P.Out, Printer) + ")";
+}

@@ -1,0 +1,28 @@
+//===- ctx/Ctxt.cpp - Context element printing ----------------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/Ctxt.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+std::string ctx::printElemDefault(CtxtElem E) {
+  if (E == EntryElem)
+    return "entry";
+  return "#" + std::to_string(entityOfElem(E));
+}
+
+std::string ctx::printCtxtVec(const CtxtVec &V, const ElemPrinter &Printer) {
+  std::string Out = "[";
+  for (unsigned I = 0; I < V.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += Printer(V[I]);
+  }
+  Out += "]";
+  return Out;
+}

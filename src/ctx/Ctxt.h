@@ -1,0 +1,78 @@
+//===- ctx/Ctxt.h - Context elements and context vectors --------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The elemental context domain Ctxt of Section 3 of the paper. Depending
+/// on the flavour of context sensitivity an element denotes a call site
+/// (call-site sensitivity), a heap allocation site (object sensitivity), or
+/// a class type (type sensitivity); the analysis encodes the underlying
+/// entity id into a CtxtElem uniformly, reserving 0 for the special `entry`
+/// element that seeds contexts of program entry points.
+///
+/// A CtxtVec is a k-limited context string over Ctxt ("top-most element
+/// first"), bounded by the maximum supported context depth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CTX_CTXT_H
+#define CTP_CTX_CTXT_H
+
+#include "support/BoundedVector.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ctp {
+namespace ctx {
+
+/// One element of a context string.
+using CtxtElem = std::uint32_t;
+
+/// The special element used for contexts of program entry points
+/// (reach(main, [entry]) in Figure 3).
+constexpr CtxtElem EntryElem = 0;
+
+/// Maximum supported context depth. Configurations use m, h <= 4; the
+/// vector capacity of 8 leaves headroom for pre-truncation intermediates
+/// inside transformer-string composition (entries of both operands can
+/// briefly concatenate).
+constexpr unsigned MaxCtxtDepth = 4;
+
+/// A (possibly truncated) context string, top-most element first.
+using CtxtVec = BoundedVector<CtxtElem, 8>;
+
+/// Encodes a program-entity id (invocation site / heap site / type) as a
+/// context element. Ids are shifted by one so 0 remains the entry element.
+inline CtxtElem elemOfEntity(std::uint32_t EntityId) { return EntityId + 1; }
+
+/// Inverse of elemOfEntity. Must not be called on EntryElem.
+inline std::uint32_t entityOfElem(CtxtElem E) {
+  assert(E != EntryElem && "entry element has no underlying entity");
+  return E - 1;
+}
+
+/// Callback rendering a context element as a human-readable name.
+using ElemPrinter = std::function<std::string(CtxtElem)>;
+
+/// Default element printer: "entry" or "#<entity id>".
+std::string printElemDefault(CtxtElem E);
+
+/// Renders a context vector as "[e1, e2, ...]".
+std::string printCtxtVec(const CtxtVec &V,
+                         const ElemPrinter &Printer = printElemDefault);
+
+struct CtxtVecHash {
+  std::size_t operator()(const CtxtVec &V) const {
+    return static_cast<std::size_t>(V.hash());
+  }
+};
+
+} // namespace ctx
+} // namespace ctp
+
+#endif // CTP_CTX_CTXT_H

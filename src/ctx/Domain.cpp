@@ -1,0 +1,296 @@
+//===- ctx/Domain.cpp - Interned transformation domains -------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/Domain.h"
+
+#include "support/Interner.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+Domain::Domain(const Config &Cfg, std::vector<std::uint32_t> ClassOfHeap)
+    : Cfg(Cfg), ClassOfHeap(std::move(ClassOfHeap)) {
+  assert(Cfg.validate().empty() && "invalid analysis configuration");
+}
+
+CtxtElem Domain::virtualElem(std::uint32_t Heap, std::uint32_t Invoke) const {
+  switch (Cfg.Flav) {
+  case Flavour::CallSite:
+    return elemOfEntity(Invoke);
+  case Flavour::Object:
+  case Flavour::Hybrid:
+    return elemOfEntity(Heap);
+  case Flavour::Type:
+    assert(Heap < ClassOfHeap.size() && "no classOf entry for heap site");
+    return elemOfEntity(ClassOfHeap[Heap]);
+  }
+  assert(false && "unknown flavour");
+  return EntryElem;
+}
+
+CtxtElem Domain::invokeElem(std::uint32_t Invoke) const {
+  if (Cfg.Flav != Flavour::Hybrid)
+    return elemOfEntity(Invoke);
+  // Hybrid contexts interleave heap sites and call sites; shift the call
+  // sites past the heap-site range (ClassOfHeap is sized to it).
+  return elemOfEntity(static_cast<std::uint32_t>(ClassOfHeap.size()) +
+                      Invoke);
+}
+
+const Transformer &Domain::transformer(TransformId) const {
+  assert(false && "not a transformer-string domain");
+  static Transformer Dummy;
+  return Dummy;
+}
+
+const CtxtPair &Domain::ctxtPair(TransformId) const {
+  assert(false && "not a context-string domain");
+  static CtxtPair Dummy;
+  return Dummy;
+}
+
+namespace {
+
+/// Cache key for memoized binary operations over interned ids. Dims are
+/// bounded by MaxCtxtDepth (<= 7 fits in 3 bits); ids are bounded by the
+/// 2^28 interned transformations this packing supports, far beyond any
+/// workload in this project.
+std::uint64_t binKey(std::uint32_t A, std::uint32_t B, unsigned I,
+                     unsigned K) {
+  assert(A < (1u << 28) && B < (1u << 28) && "transform id overflow");
+  assert(I < 8 && K < 8 && "dimension overflow");
+  return (static_cast<std::uint64_t>(A)) |
+         (static_cast<std::uint64_t>(B) << 28) |
+         (static_cast<std::uint64_t>(I) << 56) |
+         (static_cast<std::uint64_t>(K) << 59);
+}
+
+/// Sentinel stored in the memo table for ⊥ results.
+constexpr TransformId BottomId = UINT32_MAX;
+
+//===----------------------------------------------------------------------===//
+// Context-string domain (Section 4.1 / left column of Figure 4)
+//===----------------------------------------------------------------------===//
+
+class CtxtStringDomain final : public Domain {
+public:
+  CtxtStringDomain(const Config &Cfg, std::vector<std::uint32_t> COH)
+      : Domain(Cfg, std::move(COH)) {}
+
+  TransformId record(const CtxtVec &M) override {
+    return Pairs.intern(recordPair(M, Cfg.HeapDepth));
+  }
+
+  std::optional<TransformId> comp(TransformId A, TransformId B,
+                                  unsigned MaxExits,
+                                  unsigned MaxEntries) override {
+    // Context-string composition needs no truncation: the rule schema only
+    // ever joins middles of equal truncation length, and the outer strings
+    // already satisfy the target bounds.
+    std::uint64_t Key = binKey(A, B, MaxExits, MaxEntries);
+    auto It = CompCache.find(Key);
+    if (It != CompCache.end()) {
+      if (It->second == BottomId)
+        return std::nullopt;
+      return It->second;
+    }
+    std::optional<CtxtPair> R = composePairs(Pairs[A], Pairs[B]);
+    TransformId Id = R ? Pairs.intern(*R) : BottomId;
+    CompCache.emplace(Key, Id);
+    if (Id == BottomId)
+      return std::nullopt;
+    return Id;
+  }
+
+  TransformId inv(TransformId A) override {
+    return Pairs.intern(inversePair(Pairs[A]));
+  }
+
+  TransformId mergeVirtual(std::uint32_t Heap, std::uint32_t Invoke,
+                           TransformId B) override {
+    const CtxtPair &P = Pairs[B];
+    CtxtElem E = virtualElem(Heap, Invoke);
+    CtxtVec Callee;
+    Callee.push_back(E);
+    // Call-site sensitivity pushes onto the *caller method context* (the
+    // pair's Out); object/type sensitivity pushes onto the receiver's
+    // *heap context* (the pair's In). Figure 4, left column.
+    const CtxtVec &Base = Cfg.Flav == Flavour::CallSite ? P.Out : P.In;
+    for (CtxtElem C : Base)
+      Callee.push_back(C);
+    return Pairs.intern({P.Out, Callee.takePrefix(Cfg.MethodDepth)});
+  }
+
+  TransformId mergeStatic(std::uint32_t Invoke, const CtxtVec &M) override {
+    if (!staticPushesCallSite())
+      return Pairs.intern({M, M}); // merge_s^c(I, M) = (M, M).
+    CtxtVec Callee;
+    Callee.push_back(invokeElem(Invoke));
+    for (CtxtElem C : M)
+      Callee.push_back(C);
+    return Pairs.intern({M, Callee.takePrefix(Cfg.MethodDepth)});
+  }
+
+  CtxtVec target(TransformId Call) const override {
+    return targetPair(Pairs[Call]);
+  }
+
+  TransformId globalize(TransformId B) override {
+    // (U, V) -> (U, ε): keep only the heap-context side.
+    return Pairs.intern({Pairs[B].In, CtxtVec()});
+  }
+
+  TransformId retarget(TransformId A, const CtxtVec &M) override {
+    // (U, _) -> (U, M): the loader's own reachable context. The explicit
+    // enumeration over reach is exactly the context-string redundancy the
+    // transformer abstraction avoids.
+    return Pairs.intern({Pairs[A].In, M});
+  }
+
+  std::size_t size() const override { return Pairs.size(); }
+
+  std::string toString(TransformId Id,
+                       const ElemPrinter &Printer) const override {
+    return printCtxtPair(Pairs[Id], Printer);
+  }
+
+  const CtxtPair &ctxtPair(TransformId Id) const override {
+    return Pairs[Id];
+  }
+
+private:
+  Interner<CtxtPair, CtxtPairHash> Pairs;
+  std::unordered_map<std::uint64_t, TransformId> CompCache;
+};
+
+//===----------------------------------------------------------------------===//
+// Transformer-string domain (Section 4.2 / right column of Figure 4)
+//===----------------------------------------------------------------------===//
+
+class TransformerDomain final : public Domain {
+public:
+  TransformerDomain(const Config &Cfg, std::vector<std::uint32_t> COH)
+      : Domain(Cfg, std::move(COH)) {
+    EpsilonId = Strings.intern(Transformer::identity());
+  }
+
+  TransformId record(const CtxtVec &) override {
+    // record^t(_) = ε: an object is always allocated in exactly the
+    // context of the allocating method — the identity transformation.
+    return EpsilonId;
+  }
+
+  std::optional<TransformId> comp(TransformId A, TransformId B,
+                                  unsigned MaxExits,
+                                  unsigned MaxEntries) override {
+    std::uint64_t Key = binKey(A, B, MaxExits, MaxEntries);
+    auto It = CompCache.find(Key);
+    if (It != CompCache.end()) {
+      if (It->second == BottomId)
+        return std::nullopt;
+      return It->second;
+    }
+    std::optional<Transformer> R =
+        composeTruncated(Strings[A], Strings[B], MaxExits, MaxEntries);
+    TransformId Id = R ? Strings.intern(*R) : BottomId;
+    CompCache.emplace(Key, Id);
+    if (Id == BottomId)
+      return std::nullopt;
+    return Id;
+  }
+
+  TransformId inv(TransformId A) override {
+    if (A < InvCache.size() && InvCache[A] != BottomId)
+      return InvCache[A];
+    TransformId R = Strings.intern(inverse(Strings[A]));
+    if (InvCache.size() <= A)
+      InvCache.resize(static_cast<std::size_t>(A) + 1, BottomId);
+    InvCache[A] = R;
+    return R;
+  }
+
+  TransformId mergeVirtual(std::uint32_t Heap, std::uint32_t Invoke,
+                           TransformId B) override {
+    const Transformer &T = Strings[B];
+    CtxtElem E = virtualElem(Heap, Invoke);
+    Transformer R;
+    R.Exits = T.Entries; // B⁻¹ brings the receiver's context back...
+    R.Wild = T.Wild;
+    R.Entries.push_back(E);
+    if (Cfg.Flav == Flavour::CallSite) {
+      // ...then B re-derives the caller context and Î is pushed:
+      // merge^t = trunc_{m,m}(B̌ · B̂ · Î), i.e. entries I · N.
+      for (CtxtElem C : T.Entries)
+        R.Entries.push_back(C);
+    } else {
+      // Object/type: B⁻¹ reaches the receiver's heap context, then the
+      // new element is pushed: merge^t = B̌ · w · Â · Ê, entries E · A.
+      for (CtxtElem C : T.Exits)
+        R.Entries.push_back(C);
+    }
+    return Strings.intern(truncate(R, Cfg.MethodDepth, Cfg.MethodDepth));
+  }
+
+  TransformId mergeStatic(std::uint32_t Invoke, const CtxtVec &M) override {
+    if (staticPushesCallSite())
+      return Strings.intern(truncate(
+          Transformer::entry(invokeElem(Invoke)), Cfg.MethodDepth,
+          Cfg.MethodDepth));
+    // Object/type: merge_s^t(I, M) = M̌·M̂, the prefix filter that forbids
+    // return flow into unreachable caller contexts (Section 3).
+    return Strings.intern(prefixFilter(M));
+  }
+
+  CtxtVec target(TransformId Call) const override {
+    return targetPrefix(Strings[Call]);
+  }
+
+  TransformId globalize(TransformId B) override {
+    // trunc_{h,0}: dropping all entries wildcards the target side unless
+    // the transformation had no entries to begin with.
+    return Strings.intern(truncate(Strings[B], Cfg.HeapDepth, 0));
+  }
+
+  TransformId retarget(TransformId A, const CtxtVec &M) override {
+    // Ǎ·w·∅ -> Ǎ·∗·M̂: any context with prefix M may observe the value.
+    Transformer R;
+    R.Exits = Strings[A].Exits;
+    R.Wild = true;
+    R.Entries = M;
+    return Strings.intern(
+        truncate(R, Cfg.HeapDepth, Cfg.MethodDepth));
+  }
+
+  std::size_t size() const override { return Strings.size(); }
+
+  std::string toString(TransformId Id,
+                       const ElemPrinter &Printer) const override {
+    return printTransformer(Strings[Id], Printer);
+  }
+
+  const Transformer &transformer(TransformId Id) const override {
+    return Strings[Id];
+  }
+
+private:
+  Interner<Transformer, TransformerHash> Strings;
+  TransformId EpsilonId;
+  std::unordered_map<std::uint64_t, TransformId> CompCache;
+  std::vector<TransformId> InvCache;
+};
+
+} // namespace
+
+std::unique_ptr<Domain>
+ctx::makeDomain(const Config &Cfg, std::vector<std::uint32_t> ClassOfHeap) {
+  if (Cfg.Abs == Abstraction::ContextString)
+    return std::make_unique<CtxtStringDomain>(Cfg, std::move(ClassOfHeap));
+  return std::make_unique<TransformerDomain>(Cfg, std::move(ClassOfHeap));
+}

@@ -1,0 +1,155 @@
+//===- ctx/Domain.h - Interned transformation domains -----------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime interface between the deduction rules of Figure 3 and the
+/// non-logical symbols of Figure 4 (comp, inv, target, record, merge,
+/// merge_s), instantiated for one abstraction × flavour × (m, h)
+/// configuration.
+///
+/// Abstract transformations are interned to dense 32-bit ids so derived
+/// relations are flat integer tuples; composition and inverse are memoized
+/// per id pair. This interning + memoization plays the role of the paper's
+/// Section-7 decomposition of transformer strings into per-configuration
+/// relations: joins bind whole transformation ids instead of re-parsing
+/// string structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CTX_DOMAIN_H
+#define CTP_CTX_DOMAIN_H
+
+#include "ctx/Config.h"
+#include "ctx/ContextString.h"
+#include "ctx/Ctxt.h"
+#include "ctx/TransformerString.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace ctx {
+
+/// Dense id of an interned abstract context transformation.
+using TransformId = std::uint32_t;
+
+/// Flavour-instantiated, interned context-transformation domain.
+///
+/// Method contexts appearing as explicit arguments (record's M, merge_s's
+/// M, target's result) are truncated context strings in CtxtM (length <=
+/// m); they are the reach(P, M) attribute of Figure 3.
+class Domain {
+public:
+  /// \p ClassOfHeap maps heap-site ids to declaring-class ids; required by
+  /// type sensitivity (classOf(H)) and ignored otherwise.
+  Domain(const Config &Cfg, std::vector<std::uint32_t> ClassOfHeap);
+  virtual ~Domain() = default;
+
+  Domain(const Domain &) = delete;
+  Domain &operator=(const Domain &) = delete;
+
+  const Config &config() const { return Cfg; }
+
+  /// record(M): the transformation attached to a heap allocation observed
+  /// under reachable-context prefix \p M. Result lives in CtxtT_{h,m}.
+  virtual TransformId record(const CtxtVec &M) = 0;
+
+  /// comp: function composition A;B truncated into CtxtT_{MaxExits,
+  /// MaxEntries}. \returns nullopt when the composition is ⊥ (transformer
+  /// strings) or the middles disagree (context strings); such facts are
+  /// never derived, matching the paper's comp predicate.
+  virtual std::optional<TransformId> comp(TransformId A, TransformId B,
+                                          unsigned MaxExits,
+                                          unsigned MaxEntries) = 0;
+
+  /// Semigroup inverse.
+  virtual TransformId inv(TransformId A) = 0;
+
+  /// merge: the call-edge transformation of a virtual invocation \p Invoke
+  /// whose receiver points to heap site \p Heap under transformation \p B.
+  /// Result lives in CtxtT_{m,m}.
+  virtual TransformId mergeVirtual(std::uint32_t Heap, std::uint32_t Invoke,
+                                   TransformId B) = 0;
+
+  /// merge_s: the call-edge transformation of a static invocation
+  /// \p Invoke occurring in a method reachable under prefix \p M.
+  virtual TransformId mergeStatic(std::uint32_t Invoke,
+                                  const CtxtVec &M) = 0;
+
+  /// target: the known prefix of the callee's method context given a call
+  /// edge's transformation; feeds reach(P, M).
+  virtual CtxtVec target(TransformId Call) const = 0;
+
+  // --- Static-field extension (the paper's implementation supports
+  // static fields; Figure 3 elides them). Data through a global severs
+  // the link between storing and loading method contexts. ---
+
+  /// globalize: projects the target context out of \p B; the result lives
+  /// in CtxtT_{h,0} and qualifies a global-field points-to fact by the
+  /// pointee's heap context only.
+  virtual TransformId globalize(TransformId B) = 0;
+
+  /// retarget: re-enters a concrete method context: the returned
+  /// transformation maps whatever \p A accepted into (any context with
+  /// prefix) \p M. Used when loading a global inside a method reachable
+  /// under prefix M.
+  virtual TransformId retarget(TransformId A, const CtxtVec &M) = 0;
+
+  /// Number of distinct transformations interned so far.
+  virtual std::size_t size() const = 0;
+
+  /// Debug rendering of an interned transformation.
+  virtual std::string toString(TransformId Id,
+                               const ElemPrinter &Printer) const = 0;
+  std::string toString(TransformId Id) const {
+    return toString(Id, printElemDefault);
+  }
+
+  // --- Concrete-value access for tests and the precision comparisons. ---
+
+  /// The transformer string behind \p Id; asserts on a context-string
+  /// domain.
+  virtual const Transformer &transformer(TransformId Id) const;
+
+  /// The context-string pair behind \p Id; asserts on a transformer
+  /// domain.
+  virtual const CtxtPair &ctxtPair(TransformId Id) const;
+
+protected:
+  /// The context element contributed by a virtual invocation: the call
+  /// site under call-site sensitivity, the receiver heap site under
+  /// object and hybrid sensitivity, classOf(heap site) under type
+  /// sensitivity.
+  CtxtElem virtualElem(std::uint32_t Heap, std::uint32_t Invoke) const;
+
+  /// The context element for an invocation site used by static-call
+  /// merges. Under hybrid sensitivity call-site elements are offset past
+  /// the heap-site element range so the two entity kinds cannot collide
+  /// within one context string.
+  CtxtElem invokeElem(std::uint32_t Invoke) const;
+
+  /// True when merge_s pushes a call-site element (call-site and hybrid
+  /// flavours); false when it is the context-preserving prefix filter
+  /// (object and type flavours).
+  bool staticPushesCallSite() const {
+    return Cfg.Flav == Flavour::CallSite || Cfg.Flav == Flavour::Hybrid;
+  }
+
+  Config Cfg;
+  std::vector<std::uint32_t> ClassOfHeap;
+};
+
+/// Creates the domain implementation selected by \p Cfg.Abs.
+std::unique_ptr<Domain> makeDomain(const Config &Cfg,
+                                   std::vector<std::uint32_t> ClassOfHeap);
+
+} // namespace ctx
+} // namespace ctp
+
+#endif // CTP_CTX_DOMAIN_H

@@ -1,0 +1,90 @@
+//===- ctx/Semantics.cpp - Concrete transformation semantics --------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/Semantics.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+namespace {
+
+/// True iff \p P is a prefix of \p C.
+bool isPrefix(const ConcreteCtxt &P, const ConcreteCtxt &C) {
+  if (P.size() > C.size())
+    return false;
+  for (std::size_t I = 0; I < P.size(); ++I)
+    if (P[I] != C[I])
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool ctx::prefixSetSubset(const PrefixSet &A, const PrefixSet &B) {
+  if (A.isEmpty())
+    return true;
+  if (B.isEmpty())
+    return false;
+  if (B.K == PrefixSet::Kind::All) {
+    // A ⊆ All(p) iff A's prefix extends p.
+    return isPrefix(B.Prefix, A.Prefix);
+  }
+  // B is a single context; A must be exactly that context.
+  return A.K == PrefixSet::Kind::Exact && A.Prefix == B.Prefix;
+}
+
+PrefixSet ctx::applyTransformer(const Transformer &T, const PrefixSet &X) {
+  if (X.isEmpty())
+    return PrefixSet::empty();
+
+  // Step 1: drop T.Exits from the front of every context in X.
+  ConcreteCtxt Rest = X.Prefix;
+  bool RestIsAll = X.K == PrefixSet::Kind::All;
+  for (unsigned I = 0; I < T.Exits.size(); ++I) {
+    CtxtElem E = T.Exits[I];
+    if (!Rest.empty()) {
+      if (Rest.front() != E)
+        return PrefixSet::empty();
+      Rest.erase(Rest.begin());
+      continue;
+    }
+    // The known prefix is exhausted. An exact context cannot be popped
+    // further; an "all with prefix" set still contains contexts starting
+    // with E, and popping leaves all contexts again.
+    if (!RestIsAll)
+      return PrefixSet::empty();
+    // Rest stays empty: All([]) pops to All([]).
+  }
+
+  // Step 2: wildcard forgets everything (the input is non-empty here).
+  if (T.Wild) {
+    RestIsAll = true;
+    Rest.clear();
+  }
+
+  // Step 3: push T.Entries on top.
+  ConcreteCtxt Out(T.Entries.begin(), T.Entries.end());
+  Out.insert(Out.end(), Rest.begin(), Rest.end());
+  return RestIsAll ? PrefixSet::allWithPrefix(std::move(Out))
+                   : PrefixSet::exact(std::move(Out));
+}
+
+PrefixSet ctx::applyCtxtPair(const CtxtPair &P, const PrefixSet &X) {
+  if (X.isEmpty())
+    return PrefixSet::empty();
+  ConcreteCtxt A(P.In.begin(), P.In.end());
+  // Does X intersect "all contexts with prefix A"?
+  bool Intersects;
+  if (X.K == PrefixSet::Kind::Exact)
+    Intersects = isPrefix(A, X.Prefix);
+  else
+    Intersects = isPrefix(A, X.Prefix) || isPrefix(X.Prefix, A);
+  if (!Intersects)
+    return PrefixSet::empty();
+  return PrefixSet::allWithPrefix(
+      ConcreteCtxt(P.Out.begin(), P.Out.end()));
+}

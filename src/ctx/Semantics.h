@@ -1,0 +1,86 @@
+//===- ctx/Semantics.h - Concrete transformation semantics ------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable semantics of abstract context transformations over sets of
+/// *untruncated* method contexts (P(Ctxt*) in Section 4 of the paper).
+///
+/// Both abstractions only ever denote three shapes of context sets: the
+/// empty set, a single exact context, or the (infinite) set of all contexts
+/// sharing a finite prefix. The PrefixSet type represents these shapes
+/// exactly, which lets the property tests check algebraic laws (Lemma 4.1:
+/// `match` preserves meaning; Lemma 4.2: `trunc` only grows the image;
+/// inverse-semigroup identities) by direct evaluation instead of sampling
+/// alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CTX_SEMANTICS_H
+#define CTP_CTX_SEMANTICS_H
+
+#include "ctx/ContextString.h"
+#include "ctx/Ctxt.h"
+#include "ctx/TransformerString.h"
+
+#include <vector>
+
+namespace ctp {
+namespace ctx {
+
+/// An untruncated concrete method context (arbitrary length).
+using ConcreteCtxt = std::vector<CtxtElem>;
+
+/// A set of concrete contexts of one of three shapes.
+struct PrefixSet {
+  enum class Kind : std::uint8_t {
+    Empty, ///< ∅ (the image of the error context).
+    Exact, ///< A single context {Prefix}.
+    All,   ///< Every context with the given (possibly empty) prefix.
+  };
+  Kind K = Kind::Empty;
+  ConcreteCtxt Prefix;
+
+  static PrefixSet empty() { return PrefixSet(); }
+  static PrefixSet exact(ConcreteCtxt C) {
+    return {Kind::Exact, std::move(C)};
+  }
+  static PrefixSet allWithPrefix(ConcreteCtxt C) {
+    return {Kind::All, std::move(C)};
+  }
+
+  bool isEmpty() const { return K == Kind::Empty; }
+
+  friend bool operator==(const PrefixSet &A, const PrefixSet &B) {
+    if (A.K != B.K)
+      return false;
+    if (A.K == Kind::Empty)
+      return true;
+    return A.Prefix == B.Prefix;
+  }
+};
+
+/// True iff every context in \p A is also in \p B.
+bool prefixSetSubset(const PrefixSet &A, const PrefixSet &B);
+
+/// Applies a transformer string to a context set.
+PrefixSet applyTransformer(const Transformer &T, const PrefixSet &X);
+
+/// Applies a context-string pair to a context set: (A,B)(X) is "all
+/// contexts with prefix B" when X intersects "all contexts with prefix A",
+/// and empty otherwise (Section 4.1).
+PrefixSet applyCtxtPair(const CtxtPair &P, const PrefixSet &X);
+
+/// Convenience: applies to a single exact context.
+inline PrefixSet applyTransformer(const Transformer &T,
+                                  const ConcreteCtxt &C) {
+  return applyTransformer(T, PrefixSet::exact(C));
+}
+
+} // namespace ctx
+} // namespace ctp
+
+#endif // CTP_CTX_SEMANTICS_H

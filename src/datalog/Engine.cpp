@@ -1,0 +1,271 @@
+//===- datalog/Engine.cpp - Semi-naive Datalog evaluation -----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Engine.h"
+
+#include <cassert>
+
+using namespace ctp;
+using namespace ctp::datalog;
+
+std::uint32_t Program::addRelation(const std::string &Name, unsigned Arity) {
+  assert(!HasRun && "program already evaluated");
+  Relations.emplace_back(Name, Arity);
+  RelNames.push_back(Name);
+  IsDerived.push_back(false);
+  return static_cast<std::uint32_t>(Relations.size() - 1);
+}
+
+void Program::addFact(std::uint32_t Rel, const Tuple &T) {
+  assert(!HasRun && "program already evaluated");
+  Relations[Rel].insert(T);
+}
+
+void Program::addRule(Rule R) {
+  assert(!HasRun && "program already evaluated");
+  IsDerived[R.Head.Rel] = true;
+  Rules.push_back(std::move(R));
+}
+
+std::uint32_t Program::relationId(const std::string &Name) const {
+  for (std::uint32_t I = 0; I < RelNames.size(); ++I)
+    if (RelNames[I] == Name)
+      return I;
+  assert(false && "unknown relation name");
+  return UINT32_MAX;
+}
+
+namespace {
+
+constexpr std::uint32_t NoDelta = UINT32_MAX;
+
+} // namespace
+
+void Program::compileRule(const Rule &R) {
+  // One variant per body position over a derived relation (the delta
+  // position), plus — for rules with no derived body atom — a single
+  // variant evaluated once over the initial facts.
+  std::vector<std::uint32_t> DeltaPositions;
+  for (std::uint32_t P = 0; P < R.Body.size(); ++P)
+    if (IsDerived[R.Body[P].Rel])
+      DeltaPositions.push_back(P);
+  bool PureInput = DeltaPositions.empty();
+  if (PureInput)
+    DeltaPositions.push_back(NoDelta);
+
+  for (std::uint32_t DeltaPos : DeltaPositions) {
+    CompiledRule CR;
+    CR.Head = R.Head;
+    CR.Builtins = R.Builtins;
+    CR.NumVars = R.NumVars;
+    CR.DeltaPos = DeltaPos;
+
+    // Atom order: the delta atom first (it is scanned, not probed), then
+    // the remaining atoms in written order, probed via indices over the
+    // columns bound so far.
+    std::vector<std::uint32_t> Order;
+    if (DeltaPos != NoDelta)
+      Order.push_back(DeltaPos);
+    for (std::uint32_t P = 0; P < R.Body.size(); ++P)
+      if (P != DeltaPos)
+        Order.push_back(P);
+
+    std::vector<bool> BoundVar(R.NumVars, false);
+    for (std::uint32_t P : Order) {
+      const Atom &A = R.Body[P];
+      CompiledAtom CA;
+      CA.Rel = A.Rel;
+      CA.Args = A.Args;
+      CA.IndexMask = 0;
+      for (std::uint32_t C = 0; C < A.Args.size(); ++C) {
+        const Term &T = A.Args[C];
+        if (!T.IsVar || BoundVar[T.X])
+          CA.IndexMask |= 1u << C;
+      }
+      for (const Term &T : A.Args)
+        if (T.IsVar)
+          BoundVar[T.X] = true;
+      // The first atom of a delta variant is scanned; clear its mask so no
+      // index is created for it.
+      if (!CR.Body.empty() || DeltaPos == NoDelta) {
+        if (CA.IndexMask != 0)
+          Relations[CA.Rel].ensureIndex(CA.IndexMask);
+      } else {
+        CA.IndexMask = 0;
+      }
+      CR.Body.push_back(CA);
+    }
+    CompiledRules.push_back(std::move(CR));
+  }
+}
+
+bool Program::matchAtom(const std::vector<Term> &Args, const Tuple &T,
+                        std::vector<std::optional<Value>> &Env,
+                        std::vector<VarIdx> &Bound) {
+  assert(Args.size() == T.N && "atom arity mismatch");
+  for (std::uint32_t C = 0; C < Args.size(); ++C) {
+    const Term &A = Args[C];
+    if (!A.IsVar) {
+      if (A.X != T.V[C])
+        return false;
+      continue;
+    }
+    if (Env[A.X]) {
+      if (*Env[A.X] != T.V[C])
+        return false;
+      continue;
+    }
+    Env[A.X] = T.V[C];
+    Bound.push_back(A.X);
+  }
+  return true;
+}
+
+void Program::finishRule(const CompiledRule &CR,
+                         std::vector<std::optional<Value>> &Env,
+                         std::vector<std::pair<std::uint32_t, Tuple>> &Out) {
+  // Run builtins; each may bind one more variable or veto the derivation.
+  std::vector<VarIdx> Bound;
+  bool Ok = true;
+  std::vector<Value> Inputs;
+  for (const BuiltinCall &B : CR.Builtins) {
+    Inputs.clear();
+    for (VarIdx V : B.Inputs) {
+      assert(Env[V] && "builtin input not bound");
+      Inputs.push_back(*Env[V]);
+    }
+    std::optional<Value> R = B.Fn(Inputs);
+    if (!R) {
+      Ok = false;
+      break;
+    }
+    if (B.Output) {
+      assert(!Env[*B.Output] && "builtin output already bound");
+      Env[*B.Output] = *R;
+      Bound.push_back(*B.Output);
+    }
+  }
+  if (Ok) {
+    Tuple Head;
+    for (const Term &T : CR.Head.Args) {
+      Value V;
+      if (T.IsVar) {
+        assert(Env[T.X] && "head variable not bound");
+        V = *Env[T.X];
+      } else {
+        V = T.X;
+      }
+      Head.V[Head.N++] = V;
+    }
+    ++Derivations;
+    Out.push_back({CR.Head.Rel, Head});
+  }
+  for (VarIdx V : Bound)
+    Env[V].reset();
+}
+
+void Program::joinFrom(const CompiledRule &CR, unsigned Pos,
+                       std::vector<std::optional<Value>> &Env,
+                       const std::vector<Tuple> &DeltaRows,
+                       std::vector<std::pair<std::uint32_t, Tuple>> &Out) {
+  if (Pos == CR.Body.size()) {
+    finishRule(CR, Env, Out);
+    return;
+  }
+  const CompiledAtom &CA = CR.Body[Pos];
+  bool IsDeltaAtom = Pos == 0 && CR.DeltaPos != NoDelta;
+
+  auto TryTuple = [&](const Tuple &T) {
+    std::vector<VarIdx> Bound;
+    if (matchAtom(CA.Args, T, Env, Bound))
+      joinFrom(CR, Pos + 1, Env, DeltaRows, Out);
+    for (VarIdx V : Bound)
+      Env[V].reset();
+  };
+
+  if (IsDeltaAtom) {
+    for (const Tuple &T : DeltaRows)
+      TryTuple(T);
+    return;
+  }
+
+  const Relation &R = Relations[CA.Rel];
+  if (CA.IndexMask == 0) {
+    // Count the rows up front: later inserts into this very relation must
+    // not be visited mid-join (they get their own delta pass).
+    std::size_t Count = R.rows().size();
+    for (std::size_t I = 0; I < Count; ++I)
+      TryTuple(R.rows()[I]);
+    return;
+  }
+
+  // Assemble the probe key from bound terms, masked-column order.
+  Tuple Key;
+  for (std::uint32_t C = 0; C < CA.Args.size(); ++C) {
+    if (!(CA.IndexMask & (1u << C)))
+      continue;
+    const Term &T = CA.Args[C];
+    Key.V[Key.N++] = T.IsVar ? *Env[T.X] : T.X;
+  }
+  // Copy the row-id list: the probe result may be invalidated by inserts
+  // into the same relation during recursive evaluation.
+  std::vector<std::uint32_t> Matches = R.probe(CA.IndexMask, Key);
+  for (std::uint32_t RowIdx : Matches)
+    TryTuple(R.rows()[RowIdx]);
+}
+
+void Program::evaluate(const CompiledRule &CR,
+                       const std::vector<Tuple> &DeltaRows,
+                       std::vector<std::pair<std::uint32_t, Tuple>> &Out) {
+  std::vector<std::optional<Value>> Env(CR.NumVars);
+  joinFrom(CR, 0, Env, DeltaRows, Out);
+}
+
+void Program::run() {
+  assert(!HasRun && "program already evaluated");
+  HasRun = true;
+  for (const Rule &R : Rules)
+    compileRule(R);
+
+  std::vector<std::vector<Tuple>> Delta(Relations.size());
+  std::vector<std::pair<std::uint32_t, Tuple>> Emitted;
+
+  // Round 0: pure-input variants fire over the initial facts; delta
+  // variants fire over the current contents of their derived relation
+  // (normally empty, but pre-seeded derived facts are supported).
+  for (const CompiledRule &CR : CompiledRules) {
+    if (CR.DeltaPos == NoDelta) {
+      evaluate(CR, {}, Emitted);
+    } else {
+      const Relation &R = Relations[CR.Body[0].Rel];
+      if (R.size() != 0)
+        evaluate(CR, R.rows(), Emitted);
+    }
+  }
+
+  while (true) {
+    bool Any = false;
+    for (auto &[Rel, T] : Emitted)
+      if (Relations[Rel].insert(T)) {
+        Delta[Rel].push_back(T);
+        Any = true;
+      }
+    Emitted.clear();
+    if (!Any)
+      break;
+
+    std::vector<std::vector<Tuple>> Current(Relations.size());
+    Current.swap(Delta);
+    for (const CompiledRule &CR : CompiledRules) {
+      if (CR.DeltaPos == NoDelta)
+        continue;
+      const std::vector<Tuple> &Rows = Current[CR.Body[0].Rel];
+      if (!Rows.empty())
+        evaluate(CR, Rows, Emitted);
+    }
+  }
+}

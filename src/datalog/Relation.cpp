@@ -1,0 +1,56 @@
+//===- datalog/Relation.cpp - Tuples and indexed relations ----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Relation.h"
+
+using namespace ctp;
+using namespace ctp::datalog;
+
+const std::vector<std::uint32_t> Relation::EmptyRows = {};
+
+Relation::Relation(std::string Name, unsigned Arity)
+    : Name(std::move(Name)), Arity(Arity) {
+  assert(Arity > 0 && Arity <= MaxArity && "unsupported arity");
+}
+
+Tuple Relation::project(const Tuple &T, std::uint32_t Mask) {
+  Tuple Key;
+  for (unsigned I = 0; I < T.N; ++I)
+    if (Mask & (1u << I))
+      Key.V[Key.N++] = T.V[I];
+  return Key;
+}
+
+bool Relation::insert(const Tuple &T) {
+  assert(T.N == Arity && "arity mismatch on insert");
+  if (!Set.insert(T).second)
+    return false;
+  std::uint32_t RowIdx = static_cast<std::uint32_t>(Rows.size());
+  Rows.push_back(T);
+  for (auto &[Mask, Index] : Indices)
+    Index[project(T, Mask)].push_back(RowIdx);
+  return true;
+}
+
+void Relation::ensureIndex(std::uint32_t Mask) {
+  assert(Mask != 0 && "empty index mask");
+  if (Indices.count(Mask))
+    return;
+  auto &Index = Indices[Mask];
+  for (std::uint32_t I = 0; I < Rows.size(); ++I)
+    Index[project(Rows[I], Mask)].push_back(I);
+}
+
+const std::vector<std::uint32_t> &Relation::probe(std::uint32_t Mask,
+                                                  const Tuple &Key) const {
+  auto MaskIt = Indices.find(Mask);
+  assert(MaskIt != Indices.end() && "probe without index");
+  auto It = MaskIt->second.find(Key);
+  if (It == MaskIt->second.end())
+    return EmptyRows;
+  return It->second;
+}

@@ -1,0 +1,121 @@
+//===- datalog/Relation.h - Tuples and indexed relations --------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relations over flat 32-bit tuples with hash indices on arbitrary column
+/// subsets. Section 7 of the paper explains that the efficiency of a
+/// bottom-up Datalog evaluation hinges on the engine building indices on
+/// the join columns of each rule; this relation type builds exactly those
+/// indices lazily, keyed by a column bitmask.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_DATALOG_RELATION_H
+#define CTP_DATALOG_RELATION_H
+
+#include "support/Hashing.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ctp {
+namespace datalog {
+
+using Value = std::uint32_t;
+
+/// Maximum relation arity the engine supports. The pointer-analysis rules
+/// need at most 4 attributes.
+constexpr unsigned MaxArity = 5;
+
+/// A fixed-capacity tuple; only the first N values are significant.
+struct Tuple {
+  std::array<Value, MaxArity> V = {};
+  std::uint8_t N = 0;
+
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> Init) {
+    assert(Init.size() <= MaxArity && "tuple arity overflow");
+    for (Value X : Init)
+      V[N++] = X;
+  }
+
+  Value operator[](unsigned I) const {
+    assert(I < N && "tuple index out of range");
+    return V[I];
+  }
+
+  friend bool operator==(const Tuple &A, const Tuple &B) {
+    if (A.N != B.N)
+      return false;
+    for (unsigned I = 0; I < A.N; ++I)
+      if (A.V[I] != B.V[I])
+        return false;
+    return true;
+  }
+
+  std::uint64_t hash() const {
+    return hashRange(V.begin(), V.begin() + N, N);
+  }
+};
+
+struct TupleHash {
+  std::size_t operator()(const Tuple &T) const {
+    return static_cast<std::size_t>(T.hash());
+  }
+};
+
+/// A set of tuples of fixed arity with lazily built column indices.
+class Relation {
+public:
+  Relation(std::string Name, unsigned Arity);
+
+  const std::string &name() const { return Name; }
+  unsigned arity() const { return Arity; }
+  std::size_t size() const { return Rows.size(); }
+  const std::vector<Tuple> &rows() const { return Rows; }
+
+  /// Inserts \p T; \returns true if it was new. Updates all existing
+  /// indices.
+  bool insert(const Tuple &T);
+
+  bool contains(const Tuple &T) const { return Set.count(T) != 0; }
+
+  /// Ensures an index exists on the columns in \p Mask (bit i set = column
+  /// i is a key column). Mask 0 is invalid (that is a full scan).
+  void ensureIndex(std::uint32_t Mask);
+
+  /// Row indices matching \p KeyTuple on the masked columns; \p KeyTuple
+  /// must carry the key values in masked-column order. The index must
+  /// exist.
+  const std::vector<std::uint32_t> &probe(std::uint32_t Mask,
+                                          const Tuple &Key) const;
+
+  /// Projects \p T onto the masked columns, in ascending column order.
+  static Tuple project(const Tuple &T, std::uint32_t Mask);
+
+private:
+  std::string Name;
+  unsigned Arity;
+  std::vector<Tuple> Rows;
+  std::unordered_set<Tuple, TupleHash> Set;
+  /// Mask -> (key -> matching row indices).
+  std::unordered_map<
+      std::uint32_t,
+      std::unordered_map<Tuple, std::vector<std::uint32_t>, TupleHash>>
+      Indices;
+  static const std::vector<std::uint32_t> EmptyRows;
+};
+
+} // namespace datalog
+} // namespace ctp
+
+#endif // CTP_DATALOG_RELATION_H

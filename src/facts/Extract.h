@@ -1,0 +1,34 @@
+//===- facts/Extract.h - Fact extraction from the IR ------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates an ir::Program into the Figure-3 input predicates. This is
+/// the stand-in for the Soot-based fact generator the paper uses ("We use
+/// the same fact generator as Doop, which transforms Java bytecode to a set
+/// of relations"). The `implements` relation is computed by resolving every
+/// (allocatable type, signature) pair through the class hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_FACTS_EXTRACT_H
+#define CTP_FACTS_EXTRACT_H
+
+#include "facts/FactDB.h"
+#include "ir/Ir.h"
+
+namespace ctp {
+namespace facts {
+
+/// Extracts the input predicates from \p P. Entity ids in the FactDB are
+/// identical to the ids in the ir::Program, so results can be mapped back
+/// to IR entities directly.
+FactDB extract(const ir::Program &P);
+
+} // namespace facts
+} // namespace ctp
+
+#endif // CTP_FACTS_EXTRACT_H

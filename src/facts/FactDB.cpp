@@ -1,0 +1,123 @@
+//===- facts/FactDB.cpp - Fact database integrity checks ------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "facts/FactDB.h"
+
+using namespace ctp;
+using namespace ctp::facts;
+
+std::size_t FactDB::numInputFacts() const {
+  return Actuals.size() + Assigns.size() + AssignNews.size() +
+         AssignReturns.size() + Formals.size() + HeapTypes.size() +
+         Implements.size() + Loads.size() + Returns.size() +
+         StaticInvokes.size() + Stores.size() + ThisVars.size() +
+         VirtualInvokes.size() + GlobalStores.size() + GlobalLoads.size() +
+         Throws.size() + Catches.size() + Casts.size() + Subtypes.size();
+}
+
+namespace {
+
+bool inRange(Id X, std::size_t Bound) { return X < Bound; }
+
+} // namespace
+
+std::string FactDB::validate() const {
+  const std::size_t NV = numVars(), NH = numHeaps(), NM = numMethods(),
+                    NI = numInvokes(), NF = numFields(), NT = numTypes(),
+                    NS = numSigs();
+  if (VarParent.size() != NV)
+    return "VarParent table size mismatch";
+  if (HeapParent.size() != NH)
+    return "HeapParent table size mismatch";
+  if (InvokeParent.size() != NI)
+    return "InvokeParent table size mismatch";
+  if (MethodClass.size() != NM)
+    return "MethodClass table size mismatch";
+  if (EntryMethods.empty())
+    return "no entry method";
+  for (Id E : EntryMethods)
+    if (!inRange(E, NM))
+      return "entry method out of range";
+  for (Id P : VarParent)
+    if (!inRange(P, NM))
+      return "variable parent out of range";
+  for (Id P : HeapParent)
+    if (!inRange(P, NM))
+      return "heap parent out of range";
+  for (Id P : InvokeParent)
+    if (!inRange(P, NM))
+      return "invocation parent out of range";
+  for (Id C : MethodClass)
+    if (!inRange(C, NT))
+      return "method class out of range";
+
+  for (const auto &F : Actuals)
+    if (!inRange(F.Var, NV) || !inRange(F.Invoke, NI))
+      return "actual fact out of range";
+  for (const auto &F : Assigns)
+    if (!inRange(F.From, NV) || !inRange(F.To, NV))
+      return "assign fact out of range";
+  for (const auto &F : AssignNews)
+    if (!inRange(F.Heap, NH) || !inRange(F.To, NV) ||
+        !inRange(F.InMethod, NM))
+      return "assign_new fact out of range";
+  for (const auto &F : AssignReturns)
+    if (!inRange(F.Invoke, NI) || !inRange(F.To, NV))
+      return "assign_return fact out of range";
+  for (const auto &F : Formals)
+    if (!inRange(F.Var, NV) || !inRange(F.Method, NM))
+      return "formal fact out of range";
+  for (const auto &F : HeapTypes)
+    if (!inRange(F.Heap, NH) || !inRange(F.Type, NT))
+      return "heap_type fact out of range";
+  for (const auto &F : Implements)
+    if (!inRange(F.Method, NM) || !inRange(F.Type, NT) ||
+        !inRange(F.Sig, NS))
+      return "implements fact out of range";
+  for (const auto &F : Loads)
+    if (!inRange(F.Base, NV) || !inRange(F.Field, NF) || !inRange(F.To, NV))
+      return "load fact out of range";
+  for (const auto &F : Returns)
+    if (!inRange(F.Var, NV) || !inRange(F.Method, NM))
+      return "return fact out of range";
+  for (const auto &F : StaticInvokes)
+    if (!inRange(F.Invoke, NI) || !inRange(F.Target, NM) ||
+        !inRange(F.InMethod, NM))
+      return "static_invoke fact out of range";
+  for (const auto &F : Stores)
+    if (!inRange(F.From, NV) || !inRange(F.Field, NF) ||
+        !inRange(F.Base, NV))
+      return "store fact out of range";
+  for (const auto &F : ThisVars)
+    if (!inRange(F.Var, NV) || !inRange(F.Method, NM))
+      return "this_var fact out of range";
+  for (const auto &F : VirtualInvokes)
+    if (!inRange(F.Invoke, NI) || !inRange(F.Receiver, NV) ||
+        !inRange(F.Sig, NS))
+      return "virtual_invoke fact out of range";
+  const std::size_t NG = numGlobals();
+  for (const auto &F : GlobalStores)
+    if (!inRange(F.From, NV) || !inRange(F.Global, NG))
+      return "global_store fact out of range";
+  for (const auto &F : GlobalLoads)
+    if (!inRange(F.Global, NG) || !inRange(F.To, NV) ||
+        !inRange(F.InMethod, NM))
+      return "global_load fact out of range";
+  for (const auto &F : Throws)
+    if (!inRange(F.Var, NV) || !inRange(F.Method, NM))
+      return "throw fact out of range";
+  for (const auto &F : Catches)
+    if (!inRange(F.Invoke, NI) || !inRange(F.To, NV))
+      return "catch fact out of range";
+  for (const auto &F : Casts)
+    if (!inRange(F.From, NV) || !inRange(F.To, NV) || !inRange(F.Type, NT))
+      return "cast fact out of range";
+  for (const auto &F : Subtypes)
+    if (!inRange(F.Sub, NT) || !inRange(F.Super, NT))
+      return "subtype fact out of range";
+  return "";
+}

@@ -1,0 +1,475 @@
+//===- facts/TsvIO.cpp - Doop-style facts directory I/O -------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "facts/TsvIO.h"
+
+#include "support/Tsv.h"
+
+#include <unordered_map>
+
+using namespace ctp;
+using namespace ctp::facts;
+
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+/// Maps entity names back to ids when reading. Names are unique per domain
+/// by construction of the extractor and the workload generator.
+class NameMap {
+public:
+  explicit NameMap(const std::vector<std::string> &Names) {
+    for (std::size_t I = 0; I < Names.size(); ++I)
+      Ids.emplace(Names[I], static_cast<Id>(I));
+  }
+
+  /// \returns InvalidId when the name is unknown.
+  Id lookup(const std::string &Name) const {
+    auto It = Ids.find(Name);
+    return It == Ids.end() ? InvalidId : It->second;
+  }
+
+private:
+  std::unordered_map<std::string, Id> Ids;
+};
+
+std::string writeDomain(const std::string &Dir, const char *File,
+                        const std::vector<std::string> &Names) {
+  Rows R;
+  R.reserve(Names.size());
+  for (const std::string &N : Names)
+    R.push_back({N});
+  if (!writeTsvFile(Dir + "/" + File, R))
+    return std::string("cannot write ") + File;
+  return "";
+}
+
+std::string readDomain(const std::string &Dir, const char *File,
+                       std::vector<std::string> &Names) {
+  Rows R;
+  if (!readTsvFile(Dir + "/" + File, R))
+    return std::string("cannot read ") + File;
+  Names.clear();
+  for (auto &Row : R) {
+    if (Row.size() != 1)
+      return std::string("malformed row in ") + File;
+    Names.push_back(Row[0]);
+  }
+  return "";
+}
+
+} // namespace
+
+std::string facts::writeFactsDir(const FactDB &DB, const std::string &Dir) {
+  std::string Err;
+  auto Check = [&](const std::string &E) {
+    if (Err.empty())
+      Err = E;
+  };
+
+  Check(writeDomain(Dir, "Domain.var", DB.VarNames));
+  Check(writeDomain(Dir, "Domain.heap", DB.HeapNames));
+  Check(writeDomain(Dir, "Domain.method", DB.MethodNames));
+  Check(writeDomain(Dir, "Domain.invoke", DB.InvokeNames));
+  Check(writeDomain(Dir, "Domain.field", DB.FieldNames));
+  Check(writeDomain(Dir, "Domain.type", DB.TypeNames));
+  Check(writeDomain(Dir, "Domain.sig", DB.SigNames));
+  Check(writeDomain(Dir, "Domain.global", DB.GlobalNames));
+  if (!Err.empty())
+    return Err;
+
+  auto W = [&](const char *File, const Rows &R) {
+    if (!writeTsvFile(Dir + "/" + File, R))
+      Check(std::string("cannot write ") + File);
+  };
+
+  Rows R;
+  for (Id E : DB.EntryMethods)
+    R.push_back({DB.MethodNames[E]});
+  W("Entry.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Actuals)
+    R.push_back({DB.VarNames[F.Var], DB.InvokeNames[F.Invoke],
+                 std::to_string(F.Ordinal)});
+  W("Actual.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Assigns)
+    R.push_back({DB.VarNames[F.From], DB.VarNames[F.To]});
+  W("Assign.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.AssignNews)
+    R.push_back({DB.HeapNames[F.Heap], DB.VarNames[F.To],
+                 DB.MethodNames[F.InMethod]});
+  W("AssignNew.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.AssignReturns)
+    R.push_back({DB.InvokeNames[F.Invoke], DB.VarNames[F.To]});
+  W("AssignReturn.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Formals)
+    R.push_back({DB.VarNames[F.Var], DB.MethodNames[F.Method],
+                 std::to_string(F.Ordinal)});
+  W("Formal.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.HeapTypes)
+    R.push_back({DB.HeapNames[F.Heap], DB.TypeNames[F.Type]});
+  W("HeapType.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Implements)
+    R.push_back({DB.MethodNames[F.Method], DB.TypeNames[F.Type],
+                 DB.SigNames[F.Sig]});
+  W("Implements.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Loads)
+    R.push_back({DB.VarNames[F.Base], DB.FieldNames[F.Field],
+                 DB.VarNames[F.To]});
+  W("Load.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Returns)
+    R.push_back({DB.VarNames[F.Var], DB.MethodNames[F.Method]});
+  W("Return.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.StaticInvokes)
+    R.push_back({DB.InvokeNames[F.Invoke], DB.MethodNames[F.Target],
+                 DB.MethodNames[F.InMethod]});
+  W("StaticInvoke.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Stores)
+    R.push_back({DB.VarNames[F.From], DB.FieldNames[F.Field],
+                 DB.VarNames[F.Base]});
+  W("Store.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.ThisVars)
+    R.push_back({DB.VarNames[F.Var], DB.MethodNames[F.Method]});
+  W("ThisVar.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.VirtualInvokes)
+    R.push_back({DB.InvokeNames[F.Invoke], DB.VarNames[F.Receiver],
+                 DB.SigNames[F.Sig]});
+  W("VirtualInvoke.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.GlobalStores)
+    R.push_back({DB.VarNames[F.From], DB.GlobalNames[F.Global]});
+  W("GlobalStore.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.GlobalLoads)
+    R.push_back({DB.GlobalNames[F.Global], DB.VarNames[F.To],
+                 DB.MethodNames[F.InMethod]});
+  W("GlobalLoad.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Throws)
+    R.push_back({DB.VarNames[F.Var], DB.MethodNames[F.Method]});
+  W("Throw.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Catches)
+    R.push_back({DB.InvokeNames[F.Invoke], DB.VarNames[F.To]});
+  W("Catch.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Casts)
+    R.push_back({DB.VarNames[F.From], DB.VarNames[F.To],
+                 DB.TypeNames[F.Type]});
+  W("Cast.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Subtypes)
+    R.push_back({DB.TypeNames[F.Sub], DB.TypeNames[F.Super]});
+  W("Subtype.facts", R);
+
+  R.clear();
+  for (std::size_t V = 0; V < DB.VarParent.size(); ++V)
+    R.push_back({DB.VarNames[V], DB.MethodNames[DB.VarParent[V]]});
+  W("VarParent.facts", R);
+
+  R.clear();
+  for (std::size_t H = 0; H < DB.HeapParent.size(); ++H)
+    R.push_back({DB.HeapNames[H], DB.MethodNames[DB.HeapParent[H]]});
+  W("HeapParent.facts", R);
+
+  R.clear();
+  for (std::size_t I = 0; I < DB.InvokeParent.size(); ++I)
+    R.push_back({DB.InvokeNames[I], DB.MethodNames[DB.InvokeParent[I]]});
+  W("InvokeParent.facts", R);
+
+  R.clear();
+  for (std::size_t M = 0; M < DB.MethodClass.size(); ++M)
+    R.push_back({DB.MethodNames[M], DB.TypeNames[DB.MethodClass[M]]});
+  W("MethodClass.facts", R);
+
+  return Err;
+}
+
+std::string facts::readFactsDir(const std::string &Dir, FactDB &DB) {
+  DB = FactDB();
+  std::string Err;
+  auto Check = [&](const std::string &E) {
+    if (Err.empty())
+      Err = E;
+  };
+
+  Check(readDomain(Dir, "Domain.var", DB.VarNames));
+  Check(readDomain(Dir, "Domain.heap", DB.HeapNames));
+  Check(readDomain(Dir, "Domain.method", DB.MethodNames));
+  Check(readDomain(Dir, "Domain.invoke", DB.InvokeNames));
+  Check(readDomain(Dir, "Domain.field", DB.FieldNames));
+  Check(readDomain(Dir, "Domain.type", DB.TypeNames));
+  Check(readDomain(Dir, "Domain.sig", DB.SigNames));
+  Check(readDomain(Dir, "Domain.global", DB.GlobalNames));
+  if (!Err.empty())
+    return Err;
+
+  NameMap Vars(DB.VarNames), Heaps(DB.HeapNames), Methods(DB.MethodNames),
+      Invokes(DB.InvokeNames), Fields(DB.FieldNames), Types(DB.TypeNames),
+      Sigs(DB.SigNames), Globals(DB.GlobalNames);
+
+  auto Read = [&](const char *File, std::size_t Arity, auto &&Handler) {
+    if (!Err.empty())
+      return;
+    Rows R;
+    if (!readTsvFile(Dir + "/" + File, R)) {
+      Err = std::string("cannot read ") + File;
+      return;
+    }
+    for (auto &Row : R) {
+      if (Row.size() != Arity) {
+        Err = std::string("malformed row in ") + File;
+        return;
+      }
+      if (!Handler(Row)) {
+        Err = std::string("unknown entity name in ") + File;
+        return;
+      }
+    }
+  };
+
+  auto Ok = [](Id X) { return X != InvalidId; };
+
+  Read("Entry.facts", 1, [&](const std::vector<std::string> &Row) {
+    Id M = Methods.lookup(Row[0]);
+    if (!Ok(M))
+      return false;
+    DB.EntryMethods.push_back(M);
+    return true;
+  });
+
+  Read("Actual.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id V = Vars.lookup(Row[0]), I = Invokes.lookup(Row[1]);
+    if (!Ok(V) || !Ok(I))
+      return false;
+    DB.Actuals.push_back({V, I, static_cast<Id>(std::stoul(Row[2]))});
+    return true;
+  });
+
+  Read("Assign.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id F = Vars.lookup(Row[0]), T = Vars.lookup(Row[1]);
+    if (!Ok(F) || !Ok(T))
+      return false;
+    DB.Assigns.push_back({F, T});
+    return true;
+  });
+
+  Read("AssignNew.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id H = Heaps.lookup(Row[0]), V = Vars.lookup(Row[1]),
+       M = Methods.lookup(Row[2]);
+    if (!Ok(H) || !Ok(V) || !Ok(M))
+      return false;
+    DB.AssignNews.push_back({H, V, M});
+    return true;
+  });
+
+  Read("AssignReturn.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id I = Invokes.lookup(Row[0]), V = Vars.lookup(Row[1]);
+    if (!Ok(I) || !Ok(V))
+      return false;
+    DB.AssignReturns.push_back({I, V});
+    return true;
+  });
+
+  Read("Formal.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id V = Vars.lookup(Row[0]), M = Methods.lookup(Row[1]);
+    if (!Ok(V) || !Ok(M))
+      return false;
+    DB.Formals.push_back({V, M, static_cast<Id>(std::stoul(Row[2]))});
+    return true;
+  });
+
+  Read("HeapType.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id H = Heaps.lookup(Row[0]), T = Types.lookup(Row[1]);
+    if (!Ok(H) || !Ok(T))
+      return false;
+    DB.HeapTypes.push_back({H, T});
+    return true;
+  });
+
+  Read("Implements.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id M = Methods.lookup(Row[0]), T = Types.lookup(Row[1]),
+       S = Sigs.lookup(Row[2]);
+    if (!Ok(M) || !Ok(T) || !Ok(S))
+      return false;
+    DB.Implements.push_back({M, T, S});
+    return true;
+  });
+
+  Read("Load.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id B = Vars.lookup(Row[0]), F = Fields.lookup(Row[1]),
+       T = Vars.lookup(Row[2]);
+    if (!Ok(B) || !Ok(F) || !Ok(T))
+      return false;
+    DB.Loads.push_back({B, F, T});
+    return true;
+  });
+
+  Read("Return.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id V = Vars.lookup(Row[0]), M = Methods.lookup(Row[1]);
+    if (!Ok(V) || !Ok(M))
+      return false;
+    DB.Returns.push_back({V, M});
+    return true;
+  });
+
+  Read("StaticInvoke.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id I = Invokes.lookup(Row[0]), Q = Methods.lookup(Row[1]),
+       P = Methods.lookup(Row[2]);
+    if (!Ok(I) || !Ok(Q) || !Ok(P))
+      return false;
+    DB.StaticInvokes.push_back({I, Q, P});
+    return true;
+  });
+
+  Read("Store.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id F = Vars.lookup(Row[0]), Fd = Fields.lookup(Row[1]),
+       B = Vars.lookup(Row[2]);
+    if (!Ok(F) || !Ok(Fd) || !Ok(B))
+      return false;
+    DB.Stores.push_back({F, Fd, B});
+    return true;
+  });
+
+  Read("ThisVar.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id V = Vars.lookup(Row[0]), M = Methods.lookup(Row[1]);
+    if (!Ok(V) || !Ok(M))
+      return false;
+    DB.ThisVars.push_back({V, M});
+    return true;
+  });
+
+  Read("VirtualInvoke.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id I = Invokes.lookup(Row[0]), V = Vars.lookup(Row[1]),
+       S = Sigs.lookup(Row[2]);
+    if (!Ok(I) || !Ok(V) || !Ok(S))
+      return false;
+    DB.VirtualInvokes.push_back({I, V, S});
+    return true;
+  });
+
+  Read("GlobalStore.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id V = Vars.lookup(Row[0]), G = Globals.lookup(Row[1]);
+    if (!Ok(V) || !Ok(G))
+      return false;
+    DB.GlobalStores.push_back({V, G});
+    return true;
+  });
+
+  Read("GlobalLoad.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id G = Globals.lookup(Row[0]), V = Vars.lookup(Row[1]),
+       M = Methods.lookup(Row[2]);
+    if (!Ok(G) || !Ok(V) || !Ok(M))
+      return false;
+    DB.GlobalLoads.push_back({G, V, M});
+    return true;
+  });
+
+  Read("Throw.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id V = Vars.lookup(Row[0]), M = Methods.lookup(Row[1]);
+    if (!Ok(V) || !Ok(M))
+      return false;
+    DB.Throws.push_back({V, M});
+    return true;
+  });
+
+  Read("Catch.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id I = Invokes.lookup(Row[0]), V = Vars.lookup(Row[1]);
+    if (!Ok(I) || !Ok(V))
+      return false;
+    DB.Catches.push_back({I, V});
+    return true;
+  });
+
+  Read("Cast.facts", 3, [&](const std::vector<std::string> &Row) {
+    Id F = Vars.lookup(Row[0]), T = Vars.lookup(Row[1]),
+       Ty = Types.lookup(Row[2]);
+    if (!Ok(F) || !Ok(T) || !Ok(Ty))
+      return false;
+    DB.Casts.push_back({F, T, Ty});
+    return true;
+  });
+
+  Read("Subtype.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id S = Types.lookup(Row[0]), Sup = Types.lookup(Row[1]);
+    if (!Ok(S) || !Ok(Sup))
+      return false;
+    DB.Subtypes.push_back({S, Sup});
+    return true;
+  });
+
+  DB.VarParent.assign(DB.VarNames.size(), InvalidId);
+  Read("VarParent.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id V = Vars.lookup(Row[0]), M = Methods.lookup(Row[1]);
+    if (!Ok(V) || !Ok(M))
+      return false;
+    DB.VarParent[V] = M;
+    return true;
+  });
+
+  DB.HeapParent.assign(DB.HeapNames.size(), InvalidId);
+  Read("HeapParent.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id H = Heaps.lookup(Row[0]), M = Methods.lookup(Row[1]);
+    if (!Ok(H) || !Ok(M))
+      return false;
+    DB.HeapParent[H] = M;
+    return true;
+  });
+
+  DB.InvokeParent.assign(DB.InvokeNames.size(), InvalidId);
+  Read("InvokeParent.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id I = Invokes.lookup(Row[0]), M = Methods.lookup(Row[1]);
+    if (!Ok(I) || !Ok(M))
+      return false;
+    DB.InvokeParent[I] = M;
+    return true;
+  });
+
+  DB.MethodClass.assign(DB.MethodNames.size(), InvalidId);
+  Read("MethodClass.facts", 2, [&](const std::vector<std::string> &Row) {
+    Id M = Methods.lookup(Row[0]), T = Types.lookup(Row[1]);
+    if (!Ok(M) || !Ok(T))
+      return false;
+    DB.MethodClass[M] = T;
+    return true;
+  });
+
+  if (!Err.empty())
+    return Err;
+  return DB.validate();
+}

@@ -1,0 +1,47 @@
+//===- facts/TsvIO.h - Doop-style facts directory I/O -----------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a FactDB to a directory of Doop-style tab-separated ".facts"
+/// files (one file per predicate, one fact per line, entity names as
+/// attributes) and reads such a directory back. This matches the exchange
+/// format of the paper's pipeline, where a Soot-based generator writes
+/// facts to disk and the Datalog engine reads them.
+///
+/// Files written:
+///   Domain.var / .heap / .method / .invoke / .field / .type / .sig
+///   Entry.facts, Actual.facts, Assign.facts, AssignNew.facts,
+///   AssignReturn.facts, Formal.facts, HeapType.facts, Implements.facts,
+///   Load.facts, Return.facts, StaticInvoke.facts, Store.facts,
+///   ThisVar.facts, VirtualInvoke.facts, VarParent.facts,
+///   HeapParent.facts, InvokeParent.facts, MethodClass.facts
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_FACTS_TSVIO_H
+#define CTP_FACTS_TSVIO_H
+
+#include "facts/FactDB.h"
+
+#include <string>
+
+namespace ctp {
+namespace facts {
+
+/// Writes \p DB into directory \p Dir (which must already exist).
+/// \returns an empty string on success, else an error description.
+std::string writeFactsDir(const FactDB &DB, const std::string &Dir);
+
+/// Reads a facts directory previously written by writeFactsDir (or by any
+/// producer following the same schema) into \p DB.
+/// \returns an empty string on success, else an error description.
+std::string readFactsDir(const std::string &Dir, FactDB &DB);
+
+} // namespace facts
+} // namespace ctp
+
+#endif // CTP_FACTS_TSVIO_H

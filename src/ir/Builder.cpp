@@ -1,0 +1,272 @@
+//===- ir/Builder.cpp - Program construction API --------------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace ctp;
+using namespace ctp::ir;
+
+Builder::Builder() = default;
+
+TypeId Builder::addClass(const std::string &Name, TypeId Super,
+                         bool IsAbstract) {
+  assert((Super == InvalidId || Super < P.Types.size()) &&
+         "superclass id out of range");
+  Type T;
+  T.Name = Name;
+  T.Super = Super;
+  T.IsAbstract = IsAbstract;
+  P.Types.push_back(T);
+  return static_cast<TypeId>(P.Types.size() - 1);
+}
+
+FieldId Builder::addField(const std::string &Name) {
+  auto It = FieldIds.find(Name);
+  if (It != FieldIds.end())
+    return It->second;
+  Field F;
+  F.Name = Name;
+  P.Fields.push_back(F);
+  FieldId Id = static_cast<FieldId>(P.Fields.size() - 1);
+  FieldIds.emplace(Name, Id);
+  return Id;
+}
+
+GlobalId Builder::addGlobal(const std::string &Name) {
+  auto It = GlobalIds.find(Name);
+  if (It != GlobalIds.end())
+    return It->second;
+  GlobalField G;
+  G.Name = Name;
+  P.Globals.push_back(G);
+  GlobalId Id = static_cast<GlobalId>(P.Globals.size() - 1);
+  GlobalIds.emplace(Name, Id);
+  return Id;
+}
+
+SigId Builder::signature(const std::string &Name, unsigned NumParams) {
+  std::string Key = Name + "/" + std::to_string(NumParams);
+  auto It = SigIds.find(Key);
+  if (It != SigIds.end())
+    return It->second;
+  Signature S;
+  S.Name = Name;
+  S.NumParams = NumParams;
+  P.Sigs.push_back(S);
+  SigId Id = static_cast<SigId>(P.Sigs.size() - 1);
+  SigIds.emplace(Key, Id);
+  return Id;
+}
+
+MethodId Builder::addMethodImpl(TypeId Class, const std::string &Name,
+                                unsigned NumParams, bool IsStatic) {
+  assert(Class < P.Types.size() && "class id out of range");
+  Method M;
+  M.Name = P.Types[Class].Name + "." + Name;
+  M.DeclaringClass = Class;
+  M.Sig = signature(Name, NumParams);
+  M.IsStatic = IsStatic;
+  P.Methods.push_back(M);
+  MethodId Id = static_cast<MethodId>(P.Methods.size() - 1);
+
+  if (!IsStatic)
+    P.Methods[Id].ThisVar = addLocal(Id, "this");
+  for (unsigned I = 0; I < NumParams; ++I)
+    P.Methods[Id].Formals.push_back(
+        addLocal(Id, "p" + std::to_string(I)));
+  return Id;
+}
+
+MethodId Builder::addMethod(TypeId Class, const std::string &Name,
+                            unsigned NumParams) {
+  return addMethodImpl(Class, Name, NumParams, /*IsStatic=*/false);
+}
+
+MethodId Builder::addStaticMethod(TypeId Class, const std::string &Name,
+                                  unsigned NumParams) {
+  return addMethodImpl(Class, Name, NumParams, /*IsStatic=*/true);
+}
+
+void Builder::setMain(MethodId M) {
+  assert(M < P.Methods.size() && "method id out of range");
+  assert(P.Methods[M].IsStatic && "main must be static");
+  P.Main = M;
+}
+
+VarId Builder::addLocal(MethodId M, const std::string &Name) {
+  assert(M < P.Methods.size() && "method id out of range");
+  Variable V;
+  V.Name = P.Methods[M].Name + "/" + Name;
+  V.Parent = M;
+  P.Vars.push_back(V);
+  return static_cast<VarId>(P.Vars.size() - 1);
+}
+
+VarId Builder::thisVar(MethodId M) const {
+  assert(M < P.Methods.size() && "method id out of range");
+  assert(!P.Methods[M].IsStatic && "static methods have no this variable");
+  return P.Methods[M].ThisVar;
+}
+
+VarId Builder::formal(MethodId M, unsigned Index) const {
+  assert(M < P.Methods.size() && "method id out of range");
+  assert(Index < P.Methods[M].Formals.size() && "formal index out of range");
+  return P.Methods[M].Formals[Index];
+}
+
+void Builder::addAssign(MethodId M, VarId To, VarId From) {
+  Statement S;
+  S.Kind = StmtKind::Assign;
+  S.To = To;
+  S.From = From;
+  P.Methods[M].Stmts.push_back(S);
+}
+
+HeapId Builder::addNew(MethodId M, VarId To, TypeId T,
+                       const std::string &SiteName) {
+  assert(T < P.Types.size() && "type id out of range");
+  assert(!P.Types[T].IsAbstract && "cannot allocate an abstract type");
+  HeapSite H;
+  H.Name = SiteName;
+  H.AllocatedType = T;
+  H.Parent = M;
+  P.Heaps.push_back(H);
+  HeapId Id = static_cast<HeapId>(P.Heaps.size() - 1);
+
+  Statement S;
+  S.Kind = StmtKind::New;
+  S.To = To;
+  S.Heap = Id;
+  P.Methods[M].Stmts.push_back(S);
+  return Id;
+}
+
+void Builder::addLoad(MethodId M, VarId To, VarId Base, FieldId F) {
+  Statement S;
+  S.Kind = StmtKind::Load;
+  S.To = To;
+  S.Base = Base;
+  S.F = F;
+  P.Methods[M].Stmts.push_back(S);
+}
+
+void Builder::addStore(MethodId M, VarId Base, FieldId F, VarId From) {
+  Statement S;
+  S.Kind = StmtKind::Store;
+  S.Base = Base;
+  S.F = F;
+  S.From = From;
+  P.Methods[M].Stmts.push_back(S);
+}
+
+void Builder::addCast(MethodId M, VarId To, TypeId T, VarId From) {
+  assert(T < P.Types.size() && "cast type out of range");
+  Statement S;
+  S.Kind = StmtKind::Cast;
+  S.To = To;
+  S.From = From;
+  S.CastType = T;
+  P.Methods[M].Stmts.push_back(S);
+}
+
+void Builder::addArrayStore(MethodId M, VarId Base, VarId From) {
+  addStore(M, Base, addField("@elems"), From);
+}
+
+void Builder::addArrayLoad(MethodId M, VarId To, VarId Base) {
+  addLoad(M, To, Base, addField("@elems"));
+}
+
+InvokeId Builder::addVirtualCall(MethodId M, VarId Receiver, SigId Sig,
+                                 const std::vector<VarId> &Actuals,
+                                 VarId Result, const std::string &SiteName) {
+  assert(Sig < P.Sigs.size() && "signature id out of range");
+  assert(Actuals.size() == P.Sigs[Sig].NumParams &&
+         "actual count does not match signature arity");
+  Invocation Inv;
+  Inv.Name = SiteName;
+  Inv.Caller = M;
+  Inv.IsStatic = false;
+  Inv.Receiver = Receiver;
+  Inv.Sig = Sig;
+  Inv.Actuals = Actuals;
+  Inv.Result = Result;
+  P.Invokes.push_back(Inv);
+  InvokeId Id = static_cast<InvokeId>(P.Invokes.size() - 1);
+
+  Statement S;
+  S.Kind = StmtKind::Invoke;
+  S.Inv = Id;
+  P.Methods[M].Stmts.push_back(S);
+  return Id;
+}
+
+InvokeId Builder::addStaticCall(MethodId M, MethodId Target,
+                                const std::vector<VarId> &Actuals,
+                                VarId Result, const std::string &SiteName) {
+  assert(Target < P.Methods.size() && "target method id out of range");
+  assert(P.Methods[Target].IsStatic && "static call to instance method");
+  assert(Actuals.size() == P.Methods[Target].Formals.size() &&
+         "actual count does not match formal count");
+  Invocation Inv;
+  Inv.Name = SiteName;
+  Inv.Caller = M;
+  Inv.IsStatic = true;
+  Inv.StaticTarget = Target;
+  Inv.Actuals = Actuals;
+  Inv.Result = Result;
+  P.Invokes.push_back(Inv);
+  InvokeId Id = static_cast<InvokeId>(P.Invokes.size() - 1);
+
+  Statement S;
+  S.Kind = StmtKind::Invoke;
+  S.Inv = Id;
+  P.Methods[M].Stmts.push_back(S);
+  return Id;
+}
+
+void Builder::addReturn(MethodId M, VarId V) {
+  P.Methods[M].ReturnVars.push_back(V);
+}
+
+void Builder::addGlobalLoad(MethodId M, VarId To, GlobalId G) {
+  assert(G < P.Globals.size() && "global id out of range");
+  Statement S;
+  S.Kind = StmtKind::LoadGlobal;
+  S.To = To;
+  S.Global = G;
+  P.Methods[M].Stmts.push_back(S);
+}
+
+void Builder::addGlobalStore(MethodId M, GlobalId G, VarId From) {
+  assert(G < P.Globals.size() && "global id out of range");
+  Statement S;
+  S.Kind = StmtKind::StoreGlobal;
+  S.From = From;
+  S.Global = G;
+  P.Methods[M].Stmts.push_back(S);
+}
+
+void Builder::addThrow(MethodId M, VarId From) {
+  Statement S;
+  S.Kind = StmtKind::Throw;
+  S.From = From;
+  P.Methods[M].Stmts.push_back(S);
+  P.Methods[M].ThrowVars.push_back(From);
+}
+
+void Builder::setCatchVar(InvokeId I, VarId CatchVar) {
+  assert(I < P.Invokes.size() && "invoke id out of range");
+  P.Invokes[I].CatchVar = CatchVar;
+}
+
+Program Builder::take() {
+  assert(P.Main != InvalidId && "program has no entry point");
+  return std::move(P);
+}

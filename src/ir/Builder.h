@@ -1,0 +1,148 @@
+//===- ir/Builder.h - Program construction API ------------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent construction API for ir::Program. The examples in the paper
+/// (Figures 1, 5, and 7) and the synthetic workloads are all built through
+/// this interface; it owns id assignment and name uniqueness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_IR_BUILDER_H
+#define CTP_IR_BUILDER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ctp {
+namespace ir {
+
+/// Incrementally builds an ir::Program.
+///
+/// Typical usage:
+/// \code
+///   Builder B;
+///   TypeId Obj = B.addClass("Object");
+///   TypeId T = B.addClass("T", Obj);
+///   MethodId Id = B.addMethod(T, "id", 1);
+///   B.addReturn(Id, B.formal(Id, 0));
+///   MethodId Main = B.addStaticMethod(Obj, "main", 0);
+///   B.setMain(Main);
+///   ...
+///   Program P = B.take();
+/// \endcode
+class Builder {
+public:
+  Builder();
+
+  /// Adds a class. \p Super is InvalidId for a hierarchy root.
+  TypeId addClass(const std::string &Name, TypeId Super = InvalidId,
+                  bool IsAbstract = false);
+
+  /// Adds (or returns the existing) global field signature.
+  FieldId addField(const std::string &Name);
+
+  /// Adds (or returns the existing) static/global field.
+  GlobalId addGlobal(const std::string &Name);
+
+  /// Interns a method signature by name and arity.
+  SigId signature(const std::string &Name, unsigned NumParams);
+
+  /// Adds an instance method of \p Class with \p NumParams formals.
+  /// Creates the `this` variable and the formal variables.
+  MethodId addMethod(TypeId Class, const std::string &Name,
+                     unsigned NumParams);
+
+  /// Adds a static method of \p Class with \p NumParams formals.
+  MethodId addStaticMethod(TypeId Class, const std::string &Name,
+                           unsigned NumParams);
+
+  /// Declares program entry. Must be a static method.
+  void setMain(MethodId M);
+
+  /// Creates a fresh local variable in \p M.
+  VarId addLocal(MethodId M, const std::string &Name);
+
+  /// The `this` variable of instance method \p M.
+  VarId thisVar(MethodId M) const;
+
+  /// The \p Index-th formal of \p M (0-based).
+  VarId formal(MethodId M, unsigned Index) const;
+
+  /// Appends "To = From;" to \p M.
+  void addAssign(MethodId M, VarId To, VarId From);
+
+  /// Appends "To = new T();" to \p M and returns the new heap site.
+  HeapId addNew(MethodId M, VarId To, TypeId T, const std::string &SiteName);
+
+  /// Appends "To = Base.F;" to \p M.
+  void addLoad(MethodId M, VarId To, VarId Base, FieldId F);
+
+  /// Appends "Base.F = From;" to \p M.
+  void addStore(MethodId M, VarId Base, FieldId F, VarId From);
+
+  /// Appends "To = (T) From;" to \p M: a checked downcast — only objects
+  /// whose run-time type is a subtype of \p T flow through.
+  void addCast(MethodId M, VarId To, TypeId T, VarId From);
+
+  /// Appends "Base[*] = From;" — array element store; all indices are
+  /// merged into one element pseudo-field, the standard Java points-to
+  /// treatment.
+  void addArrayStore(MethodId M, VarId Base, VarId From);
+
+  /// Appends "To = Base[*];" — array element load.
+  void addArrayLoad(MethodId M, VarId To, VarId Base);
+
+  /// Appends "[Result =] Receiver.Sig(Actuals);" to \p M. \p Result may be
+  /// InvalidId when the return value is discarded.
+  InvokeId addVirtualCall(MethodId M, VarId Receiver, SigId Sig,
+                          const std::vector<VarId> &Actuals, VarId Result,
+                          const std::string &SiteName);
+
+  /// Appends "[Result =] Target(Actuals);" (a static call) to \p M.
+  InvokeId addStaticCall(MethodId M, MethodId Target,
+                         const std::vector<VarId> &Actuals, VarId Result,
+                         const std::string &SiteName);
+
+  /// Marks \p V as a possible return value of \p M.
+  void addReturn(MethodId M, VarId V);
+
+  /// Appends "To = Global;" to \p M.
+  void addGlobalLoad(MethodId M, VarId To, GlobalId G);
+
+  /// Appends "Global = From;" to \p M.
+  void addGlobalStore(MethodId M, GlobalId G, VarId From);
+
+  /// Appends "throw From;" to \p M (adds From to the method's throw set).
+  void addThrow(MethodId M, VarId From);
+
+  /// Attaches an exception handler to invocation \p I: objects thrown by
+  /// the callee flow into \p CatchVar.
+  void setCatchVar(InvokeId I, VarId CatchVar);
+
+  const Program &program() const { return P; }
+
+  /// Finalizes and moves the program out of the builder.
+  Program take();
+
+private:
+  MethodId addMethodImpl(TypeId Class, const std::string &Name,
+                         unsigned NumParams, bool IsStatic);
+
+  Program P;
+  std::unordered_map<std::string, FieldId> FieldIds;
+  std::unordered_map<std::string, GlobalId> GlobalIds;
+  std::unordered_map<std::string, SigId> SigIds;
+};
+
+} // namespace ir
+} // namespace ctp
+
+#endif // CTP_IR_BUILDER_H

@@ -1,0 +1,194 @@
+//===- ir/Ir.h - Java-like program model ------------------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory model of the simplified Java-like language of Figure 2 of the
+/// paper: classes with single inheritance, fields, methods with formals and
+/// a return variable, and five statement forms (assignment, heap
+/// allocation, field load, field store, invocation). The paper drives its
+/// analysis from facts extracted from Java bytecode by Soot; this model is
+/// the stand-in source of those facts (see facts/Extract.h) since no Java
+/// frontend is available.
+///
+/// All entities are identified by dense 32-bit ids scoped to one Program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_IR_IR_H
+#define CTP_IR_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace ir {
+
+using TypeId = std::uint32_t;
+using FieldId = std::uint32_t;
+using SigId = std::uint32_t;
+using MethodId = std::uint32_t;
+using VarId = std::uint32_t;
+using InvokeId = std::uint32_t;
+using HeapId = std::uint32_t;
+
+/// Sentinel for "no entity" (e.g. a class with no superclass, a call whose
+/// result is discarded, a void method's return variable).
+constexpr std::uint32_t InvalidId = UINT32_MAX;
+
+/// A class type. Single inheritance; Super is InvalidId for roots.
+struct Type {
+  std::string Name;
+  TypeId Super = InvalidId;
+  /// Abstract types never appear as the type of a heap allocation site but
+  /// may declare methods that subclasses inherit or override.
+  bool IsAbstract = false;
+};
+
+/// A field signature. The analysis is field-sensitive by signature, as in
+/// the paper's ΣF alphabet, so fields are global entities.
+struct Field {
+  std::string Name;
+};
+
+/// A static (global) field. The paper's evaluated implementation handles
+/// static fields although Figure 3 elides them; data flowing through a
+/// global loses the link between the storing and loading method contexts.
+struct GlobalField {
+  std::string Name;
+};
+
+using GlobalId = std::uint32_t;
+
+/// A method signature: a name plus a parameter count. Virtual dispatch
+/// resolves (receiver type, signature) pairs to concrete methods.
+struct Signature {
+  std::string Name;
+  unsigned NumParams = 0;
+
+  friend bool operator==(const Signature &A, const Signature &B) {
+    return A.NumParams == B.NumParams && A.Name == B.Name;
+  }
+};
+
+/// A local variable, formal parameter, `this` variable, or return-carrying
+/// temporary. Every variable belongs to exactly one method.
+struct Variable {
+  std::string Name;
+  MethodId Parent = InvalidId;
+};
+
+/// A heap allocation site ("new T()" at a program point).
+struct HeapSite {
+  std::string Name;
+  TypeId AllocatedType = InvalidId;
+  MethodId Parent = InvalidId;
+};
+
+/// Statement kinds of the simplified language (Figure 2).
+enum class StmtKind : std::uint8_t {
+  Assign,      ///< To = From;
+  New,         ///< To = new T();  (heap site Heap)
+  Load,        ///< To = Base.F;
+  Store,       ///< Base.F = From;
+  Invoke,      ///< [To =] call (see Invocation)
+  LoadGlobal,  ///< To = Global;
+  StoreGlobal, ///< Global = From;
+  Throw,       ///< throw From;
+  Cast,        ///< To = (Type) From;  (F field reused for the type id)
+};
+
+/// One statement. Fields not applicable to the kind hold InvalidId.
+struct Statement {
+  StmtKind Kind;
+  VarId To = InvalidId;
+  VarId From = InvalidId;
+  VarId Base = InvalidId;
+  FieldId F = InvalidId;
+  HeapId Heap = InvalidId;
+  InvokeId Inv = InvalidId;
+  GlobalId Global = InvalidId;
+  TypeId CastType = InvalidId;
+};
+
+/// A call site. Virtual invocations dispatch on the receiver's run-time
+/// type via a signature; static invocations name their target directly.
+struct Invocation {
+  std::string Name;
+  MethodId Caller = InvalidId;
+  bool IsStatic = false;
+  /// Receiver variable; InvalidId for static invocations.
+  VarId Receiver = InvalidId;
+  /// Dispatch signature; InvalidId for static invocations.
+  SigId Sig = InvalidId;
+  /// Static target; InvalidId for virtual invocations.
+  MethodId StaticTarget = InvalidId;
+  std::vector<VarId> Actuals;
+  /// Variable receiving the return value, or InvalidId if discarded.
+  VarId Result = InvalidId;
+  /// Variable receiving exceptions thrown by the callee, or InvalidId if
+  /// the invocation has no handler (exceptions then vanish — the caller's
+  /// own throw set is a possible extension, kept simple here).
+  VarId CatchVar = InvalidId;
+};
+
+/// A method body.
+struct Method {
+  std::string Name;
+  TypeId DeclaringClass = InvalidId;
+  SigId Sig = InvalidId;
+  bool IsStatic = false;
+  /// `this` variable; InvalidId for static methods.
+  VarId ThisVar = InvalidId;
+  std::vector<VarId> Formals;
+  /// Variables whose values the method may return (multiple return sites).
+  std::vector<VarId> ReturnVars;
+  /// Variables whose values the method may throw.
+  std::vector<VarId> ThrowVars;
+  std::vector<Statement> Stmts;
+};
+
+/// A whole program: the target of fact extraction and of the synthetic
+/// workload generator. Construct via ir::Builder.
+struct Program {
+  std::vector<Type> Types;
+  std::vector<Field> Fields;
+  std::vector<GlobalField> Globals;
+  std::vector<Signature> Sigs;
+  std::vector<Variable> Vars;
+  std::vector<HeapSite> Heaps;
+  std::vector<Method> Methods;
+  std::vector<Invocation> Invokes;
+  /// The entry point; reach(main, [entry]) seeds the analysis.
+  MethodId Main = InvalidId;
+
+  /// True if \p Sub equals \p Super or transitively extends it.
+  bool isSubtypeOf(TypeId Sub, TypeId Super) const;
+
+  /// Resolves a virtual dispatch: the concrete method invoked when
+  /// signature \p S is called on a receiver of dynamic type \p T, walking
+  /// the superclass chain. \returns InvalidId if no method matches.
+  MethodId resolveDispatch(TypeId T, SigId S) const;
+
+  /// The class in which \p M is declared; used by classOf(H) under type
+  /// sensitivity.
+  TypeId classOfMethod(MethodId M) const { return Methods[M].DeclaringClass; }
+};
+
+/// Checks structural well-formedness (ids in range, variables used in the
+/// method that owns them, actual counts matching signatures, ...).
+/// \returns an empty string if valid, else a description of the first
+/// violation found.
+std::string validate(const Program &P);
+
+/// Renders the program as readable pseudo-Java, one method per block.
+std::string printProgram(const Program &P);
+
+} // namespace ir
+} // namespace ctp
+
+#endif // CTP_IR_IR_H

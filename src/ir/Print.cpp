@@ -1,0 +1,105 @@
+//===- ir/Print.cpp - Pseudo-Java program printer -------------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <sstream>
+
+using namespace ctp;
+using namespace ctp::ir;
+
+namespace {
+
+/// Strips the "Method./" prefix the builder adds to local names, purely for
+/// readability of the dump.
+std::string shortVarName(const Program &P, VarId V) {
+  const std::string &Name = P.Vars[V].Name;
+  std::string::size_type Slash = Name.rfind('/');
+  return Slash == std::string::npos ? Name : Name.substr(Slash + 1);
+}
+
+} // namespace
+
+std::string ir::printProgram(const Program &P) {
+  std::ostringstream OS;
+  for (MethodId M = 0; M < P.Methods.size(); ++M) {
+    const Method &Meth = P.Methods[M];
+    OS << (Meth.IsStatic ? "static " : "") << Meth.Name << "(";
+    for (std::size_t I = 0; I < Meth.Formals.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << shortVarName(P, Meth.Formals[I]);
+    }
+    OS << ")";
+    if (M == P.Main)
+      OS << " /* main */";
+    OS << " {\n";
+    for (const Statement &S : Meth.Stmts) {
+      OS << "  ";
+      switch (S.Kind) {
+      case StmtKind::Assign:
+        OS << shortVarName(P, S.To) << " = " << shortVarName(P, S.From)
+           << ";";
+        break;
+      case StmtKind::New:
+        OS << shortVarName(P, S.To) << " = new "
+           << P.Types[P.Heaps[S.Heap].AllocatedType].Name << "(); // "
+           << P.Heaps[S.Heap].Name;
+        break;
+      case StmtKind::Load:
+        OS << shortVarName(P, S.To) << " = " << shortVarName(P, S.Base)
+           << "." << P.Fields[S.F].Name << ";";
+        break;
+      case StmtKind::Store:
+        OS << shortVarName(P, S.Base) << "." << P.Fields[S.F].Name << " = "
+           << shortVarName(P, S.From) << ";";
+        break;
+      case StmtKind::LoadGlobal:
+        OS << shortVarName(P, S.To) << " = " << P.Globals[S.Global].Name
+           << ";";
+        break;
+      case StmtKind::StoreGlobal:
+        OS << P.Globals[S.Global].Name << " = " << shortVarName(P, S.From)
+           << ";";
+        break;
+      case StmtKind::Throw:
+        OS << "throw " << shortVarName(P, S.From) << ";";
+        break;
+      case StmtKind::Cast:
+        OS << shortVarName(P, S.To) << " = (" << P.Types[S.CastType].Name
+           << ") " << shortVarName(P, S.From) << ";";
+        break;
+      case StmtKind::Invoke: {
+        const Invocation &Inv = P.Invokes[S.Inv];
+        if (Inv.Result != InvalidId)
+          OS << shortVarName(P, Inv.Result) << " = ";
+        if (Inv.IsStatic)
+          OS << P.Methods[Inv.StaticTarget].Name;
+        else
+          OS << shortVarName(P, Inv.Receiver) << "."
+             << P.Sigs[Inv.Sig].Name;
+        OS << "(";
+        for (std::size_t I = 0; I < Inv.Actuals.size(); ++I) {
+          if (I != 0)
+            OS << ", ";
+          OS << shortVarName(P, Inv.Actuals[I]);
+        }
+        OS << ")";
+        if (Inv.CatchVar != InvalidId)
+          OS << " catch(" << shortVarName(P, Inv.CatchVar) << ")";
+        OS << "; // " << Inv.Name;
+        break;
+      }
+      }
+      OS << "\n";
+    }
+    for (VarId R : Meth.ReturnVars)
+      OS << "  return " << shortVarName(P, R) << ";\n";
+    OS << "}\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,37 @@
+//===- ir/Program.cpp - Subtyping and virtual dispatch --------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <cassert>
+
+using namespace ctp;
+using namespace ctp::ir;
+
+bool Program::isSubtypeOf(TypeId Sub, TypeId Super) const {
+  assert(Sub < Types.size() && Super < Types.size() && "type out of range");
+  for (TypeId T = Sub; T != InvalidId; T = Types[T].Super)
+    if (T == Super)
+      return true;
+  return false;
+}
+
+MethodId Program::resolveDispatch(TypeId T, SigId S) const {
+  assert(T < Types.size() && "type out of range");
+  assert(S < Sigs.size() && "signature out of range");
+  // Walk the superclass chain; the closest declaring class wins. A linear
+  // scan over methods per step is fine at the program sizes the fact
+  // extractor handles (it builds a dispatch table once, see Extract.cpp).
+  for (TypeId Cur = T; Cur != InvalidId; Cur = Types[Cur].Super) {
+    for (MethodId M = 0; M < Methods.size(); ++M) {
+      const Method &Meth = Methods[M];
+      if (!Meth.IsStatic && Meth.DeclaringClass == Cur && Meth.Sig == S)
+        return M;
+    }
+  }
+  return InvalidId;
+}

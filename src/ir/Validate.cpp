@@ -1,0 +1,220 @@
+//===- ir/Validate.cpp - Structural well-formedness checks ----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <sstream>
+
+using namespace ctp;
+using namespace ctp::ir;
+
+namespace {
+
+class Validator {
+public:
+  explicit Validator(const Program &P) : P(P) {}
+
+  std::string run() {
+    checkEntry();
+    if (!Err.empty())
+      return Err;
+    for (MethodId M = 0; M < P.Methods.size(); ++M) {
+      checkMethod(M);
+      if (!Err.empty())
+        return Err;
+    }
+    for (InvokeId I = 0; I < P.Invokes.size(); ++I) {
+      checkInvoke(I);
+      if (!Err.empty())
+        return Err;
+    }
+    for (HeapId H = 0; H < P.Heaps.size(); ++H) {
+      checkHeap(H);
+      if (!Err.empty())
+        return Err;
+    }
+    return Err;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+  }
+
+  bool varOk(VarId V, MethodId Owner, const char *Role) {
+    if (V >= P.Vars.size()) {
+      fail(std::string(Role) + " variable id out of range");
+      return false;
+    }
+    if (P.Vars[V].Parent != Owner) {
+      fail(std::string(Role) + " variable '" + P.Vars[V].Name +
+           "' does not belong to method '" + P.Methods[Owner].Name + "'");
+      return false;
+    }
+    return true;
+  }
+
+  void checkEntry() {
+    if (P.Main == InvalidId) {
+      fail("program has no main method");
+      return;
+    }
+    if (P.Main >= P.Methods.size()) {
+      fail("main method id out of range");
+      return;
+    }
+    if (!P.Methods[P.Main].IsStatic)
+      fail("main method must be static");
+  }
+
+  void checkMethod(MethodId M) {
+    const Method &Meth = P.Methods[M];
+    if (Meth.DeclaringClass >= P.Types.size()) {
+      fail("method '" + Meth.Name + "' has invalid declaring class");
+      return;
+    }
+    if (Meth.Sig >= P.Sigs.size()) {
+      fail("method '" + Meth.Name + "' has invalid signature");
+      return;
+    }
+    if (Meth.Formals.size() != P.Sigs[Meth.Sig].NumParams) {
+      fail("method '" + Meth.Name + "' formal count mismatches signature");
+      return;
+    }
+    if (!Meth.IsStatic && !varOk(Meth.ThisVar, M, "this"))
+      return;
+    for (VarId F : Meth.Formals)
+      if (!varOk(F, M, "formal"))
+        return;
+    for (VarId R : Meth.ReturnVars)
+      if (!varOk(R, M, "return"))
+        return;
+    for (VarId R : Meth.ThrowVars)
+      if (!varOk(R, M, "throw"))
+        return;
+    for (const Statement &S : Meth.Stmts) {
+      checkStmt(M, S);
+      if (!Err.empty())
+        return;
+    }
+  }
+
+  void checkStmt(MethodId M, const Statement &S) {
+    switch (S.Kind) {
+    case StmtKind::Assign:
+      varOk(S.To, M, "assign target") && varOk(S.From, M, "assign source");
+      break;
+    case StmtKind::New:
+      if (!varOk(S.To, M, "allocation target"))
+        return;
+      if (S.Heap >= P.Heaps.size())
+        fail("allocation heap site out of range");
+      else if (P.Heaps[S.Heap].Parent != M)
+        fail("heap site '" + P.Heaps[S.Heap].Name +
+             "' not owned by containing method");
+      break;
+    case StmtKind::Load:
+      if (!varOk(S.To, M, "load target") || !varOk(S.Base, M, "load base"))
+        return;
+      if (S.F >= P.Fields.size())
+        fail("load field id out of range");
+      break;
+    case StmtKind::Store:
+      if (!varOk(S.Base, M, "store base") || !varOk(S.From, M, "store value"))
+        return;
+      if (S.F >= P.Fields.size())
+        fail("store field id out of range");
+      break;
+    case StmtKind::Invoke:
+      if (S.Inv >= P.Invokes.size())
+        fail("invoke id out of range");
+      else if (P.Invokes[S.Inv].Caller != M)
+        fail("invocation '" + P.Invokes[S.Inv].Name +
+             "' not owned by containing method");
+      break;
+    case StmtKind::LoadGlobal:
+      if (!varOk(S.To, M, "global load target"))
+        return;
+      if (S.Global >= P.Globals.size())
+        fail("global load field out of range");
+      break;
+    case StmtKind::StoreGlobal:
+      if (!varOk(S.From, M, "global store value"))
+        return;
+      if (S.Global >= P.Globals.size())
+        fail("global store field out of range");
+      break;
+    case StmtKind::Throw:
+      varOk(S.From, M, "throw value");
+      break;
+    case StmtKind::Cast:
+      if (!varOk(S.To, M, "cast target") || !varOk(S.From, M, "cast source"))
+        return;
+      if (S.CastType >= P.Types.size())
+        fail("cast type out of range");
+      break;
+    }
+  }
+
+  void checkInvoke(InvokeId I) {
+    const Invocation &Inv = P.Invokes[I];
+    if (Inv.Caller >= P.Methods.size()) {
+      fail("invocation '" + Inv.Name + "' has invalid caller");
+      return;
+    }
+    for (VarId A : Inv.Actuals)
+      if (!varOk(A, Inv.Caller, "actual"))
+        return;
+    if (Inv.Result != InvalidId && !varOk(Inv.Result, Inv.Caller, "result"))
+      return;
+    if (Inv.CatchVar != InvalidId &&
+        !varOk(Inv.CatchVar, Inv.Caller, "catch"))
+      return;
+    if (Inv.IsStatic) {
+      if (Inv.StaticTarget >= P.Methods.size()) {
+        fail("invocation '" + Inv.Name + "' has invalid static target");
+        return;
+      }
+      const Method &Target = P.Methods[Inv.StaticTarget];
+      if (!Target.IsStatic) {
+        fail("invocation '" + Inv.Name + "' statically calls instance method");
+        return;
+      }
+      if (Inv.Actuals.size() != Target.Formals.size())
+        fail("invocation '" + Inv.Name + "' actual/formal count mismatch");
+      return;
+    }
+    if (!varOk(Inv.Receiver, Inv.Caller, "receiver"))
+      return;
+    if (Inv.Sig >= P.Sigs.size()) {
+      fail("invocation '" + Inv.Name + "' has invalid signature");
+      return;
+    }
+    if (Inv.Actuals.size() != P.Sigs[Inv.Sig].NumParams)
+      fail("invocation '" + Inv.Name + "' actual count mismatches signature");
+  }
+
+  void checkHeap(HeapId H) {
+    const HeapSite &Site = P.Heaps[H];
+    if (Site.AllocatedType >= P.Types.size()) {
+      fail("heap site '" + Site.Name + "' has invalid type");
+      return;
+    }
+    if (P.Types[Site.AllocatedType].IsAbstract)
+      fail("heap site '" + Site.Name + "' allocates an abstract type");
+    if (Site.Parent >= P.Methods.size())
+      fail("heap site '" + Site.Name + "' has invalid parent method");
+  }
+
+  const Program &P;
+  std::string Err;
+};
+
+} // namespace
+
+std::string ir::validate(const Program &P) { return Validator(P).run(); }

@@ -1,0 +1,132 @@
+//===- support/BoundedVector.h - Fixed-capacity inline vector ---*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny fixed-capacity vector with inline storage. Context strings and
+/// transformer strings in a k-limited analysis are bounded by the context
+/// depth (at most 4 in any configuration this project evaluates), so all
+/// context data lives inline in relation tuples with no heap traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_BOUNDEDVECTOR_H
+#define CTP_SUPPORT_BOUNDEDVECTOR_H
+
+#include "support/Hashing.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+
+namespace ctp {
+
+/// Fixed-capacity inline vector of trivially copyable values.
+///
+/// Unlike std::vector this never allocates; exceeding the capacity is a
+/// programming error caught by an assertion. Equality and hashing consider
+/// only the live prefix.
+template <typename T, unsigned Cap> class BoundedVector {
+public:
+  BoundedVector() = default;
+
+  BoundedVector(std::initializer_list<T> Init) {
+    assert(Init.size() <= Cap && "initializer exceeds capacity");
+    for (const T &V : Init)
+      push_back(V);
+  }
+
+  static constexpr unsigned capacity() { return Cap; }
+
+  unsigned size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  void clear() { Size = 0; }
+
+  void push_back(const T &V) {
+    assert(Size < Cap && "BoundedVector overflow");
+    Data[Size++] = V;
+  }
+
+  void pop_back() {
+    assert(Size > 0 && "pop_back on empty BoundedVector");
+    --Size;
+  }
+
+  T &operator[](unsigned I) {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](unsigned I) const {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+  T &back() { return (*this)[Size - 1]; }
+  const T &back() const { return (*this)[Size - 1]; }
+
+  const T *begin() const { return Data.data(); }
+  const T *end() const { return Data.data() + Size; }
+  T *begin() { return Data.data(); }
+  T *end() { return Data.data() + Size; }
+
+  /// Returns the first min(size, N) elements as a new vector.
+  BoundedVector takePrefix(unsigned N) const {
+    BoundedVector R;
+    unsigned Keep = N < Size ? N : Size;
+    for (unsigned I = 0; I < Keep; ++I)
+      R.push_back(Data[I]);
+    return R;
+  }
+
+  /// Returns the suffix after dropping the first min(size, N) elements.
+  BoundedVector dropPrefix(unsigned N) const {
+    BoundedVector R;
+    unsigned Skip = N < Size ? N : Size;
+    for (unsigned I = Skip; I < Size; ++I)
+      R.push_back(Data[I]);
+    return R;
+  }
+
+  friend bool operator==(const BoundedVector &A, const BoundedVector &B) {
+    if (A.Size != B.Size)
+      return false;
+    for (unsigned I = 0; I < A.Size; ++I)
+      if (!(A.Data[I] == B.Data[I]))
+        return false;
+    return true;
+  }
+  friend bool operator!=(const BoundedVector &A, const BoundedVector &B) {
+    return !(A == B);
+  }
+
+  /// Lexicographic order; shorter prefixes sort first.
+  friend bool operator<(const BoundedVector &A, const BoundedVector &B) {
+    unsigned N = A.Size < B.Size ? A.Size : B.Size;
+    for (unsigned I = 0; I < N; ++I) {
+      if (A.Data[I] < B.Data[I])
+        return true;
+      if (B.Data[I] < A.Data[I])
+        return false;
+    }
+    return A.Size < B.Size;
+  }
+
+  std::uint64_t hash() const {
+    return hashRange(begin(), end(), /*Seed=*/Size);
+  }
+
+private:
+  std::array<T, Cap> Data = {};
+  unsigned Size = 0;
+};
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_BOUNDEDVECTOR_H

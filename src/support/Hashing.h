@@ -1,0 +1,49 @@
+//===- support/Hashing.h - Hash combinators ---------------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combining utilities used by the interners and relation
+/// containers. The mixing function is the 64-bit finalizer of SplitMix64,
+/// which is cheap and has good avalanche behaviour for the dense integer
+/// ids this project hashes almost exclusively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_HASHING_H
+#define CTP_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ctp {
+
+/// Finalizing mixer from SplitMix64; bijective on 64-bit values.
+inline std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines an existing hash state with one more value.
+inline std::uint64_t hashCombine(std::uint64_t Seed, std::uint64_t Value) {
+  return mix64(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                       (Seed >> 2)));
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename Iter>
+std::uint64_t hashRange(Iter Begin, Iter End, std::uint64_t Seed = 0) {
+  std::uint64_t H = Seed;
+  for (Iter I = Begin; I != End; ++I)
+    H = hashCombine(H, static_cast<std::uint64_t>(*I));
+  return H;
+}
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_HASHING_H

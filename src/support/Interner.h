@@ -1,0 +1,69 @@
+//===- support/Interner.h - Value interning ---------------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic value interner mapping values of an arbitrary hashable type to
+/// dense 32-bit ids and back. The analysis interns both abstraction
+/// domains (context-string pairs and transformer strings) so that derived
+/// relations store flat integer tuples, which is what makes the indexed
+/// joins of Section 7 of the paper cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_INTERNER_H
+#define CTP_SUPPORT_INTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace ctp {
+
+/// Interns values of type T into dense uint32_t ids.
+///
+/// Ids are assigned in first-seen order starting from 0. Lookup by id is
+/// O(1); values are stored in a deque so references remain stable across
+/// insertions.
+template <typename T, typename Hash = std::hash<T>> class Interner {
+public:
+  /// Returns the id for \p Value, inserting it if not yet present.
+  std::uint32_t intern(const T &Value) {
+    auto It = Ids.find(Value);
+    if (It != Ids.end())
+      return It->second;
+    std::uint32_t Id = static_cast<std::uint32_t>(Values.size());
+    Values.push_back(Value);
+    Ids.emplace(Values.back(), Id);
+    return Id;
+  }
+
+  /// Returns the id for \p Value if present, or UINT32_MAX otherwise.
+  std::uint32_t lookup(const T &Value) const {
+    auto It = Ids.find(Value);
+    return It == Ids.end() ? UINT32_MAX : It->second;
+  }
+
+  bool contains(const T &Value) const { return Ids.count(Value) != 0; }
+
+  const T &operator[](std::uint32_t Id) const {
+    assert(Id < Values.size() && "interner id out of range");
+    return Values[Id];
+  }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(Values.size());
+  }
+
+private:
+  std::deque<T> Values;
+  std::unordered_map<T, std::uint32_t, Hash> Ids;
+};
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_INTERNER_H

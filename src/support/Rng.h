@@ -1,0 +1,65 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic pseudo-random generator. The synthetic
+/// workload generator and the property tests must be reproducible across
+/// runs and platforms, so no std::random_device or libstdc++ distribution
+/// objects (whose streams are implementation-defined) are used anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_RNG_H
+#define CTP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ctp {
+
+/// Deterministic SplitMix64 pseudo-random generator.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Modulo bias is irrelevant for workload synthesis.
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  std::uint64_t nextInRange(std::uint64_t Lo, std::uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// True with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_RNG_H

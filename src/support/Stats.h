@@ -1,0 +1,58 @@
+//===- support/Stats.h - Timing and summary statistics ----------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch plus the geometric-mean helper used to
+/// reproduce the summary rows of the paper's Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_STATS_H
+#define CTP_SUPPORT_STATS_H
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace ctp {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+public:
+  Stopwatch() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    auto Now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(Now - Start).count();
+  }
+
+  void restart() { Start = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Geometric mean of a list of positive ratios.
+///
+/// Figure 6's summary rows report the geometric mean of per-benchmark
+/// reductions; the paper computes the mean over ratios (new / old), so this
+/// helper takes ratios and the caller converts to a percentage decrease.
+inline double geometricMean(const std::vector<double> &Ratios) {
+  assert(!Ratios.empty() && "geometric mean of an empty sample");
+  double LogSum = 0.0;
+  for (double R : Ratios) {
+    assert(R > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(R);
+  }
+  return std::exp(LogSum / static_cast<double>(Ratios.size()));
+}
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_STATS_H

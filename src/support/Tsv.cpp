@@ -1,0 +1,63 @@
+//===- support/Tsv.cpp - Tab-separated-value helpers ----------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Tsv.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace ctp;
+
+std::vector<std::string> ctp::splitTsvLine(const std::string &Line) {
+  std::vector<std::string> Fields;
+  std::string::size_type Start = 0;
+  while (true) {
+    std::string::size_type Tab = Line.find('\t', Start);
+    if (Tab == std::string::npos) {
+      Fields.push_back(Line.substr(Start));
+      return Fields;
+    }
+    Fields.push_back(Line.substr(Start, Tab - Start));
+    Start = Tab + 1;
+  }
+}
+
+std::string ctp::joinTsvLine(const std::vector<std::string> &Fields) {
+  std::string Out;
+  for (std::size_t I = 0; I < Fields.size(); ++I) {
+    if (I != 0)
+      Out += '\t';
+    Out += Fields[I];
+  }
+  return Out;
+}
+
+bool ctp::readTsvFile(const std::string &Path,
+                      std::vector<std::vector<std::string>> &Rows) {
+  std::ifstream In(Path);
+  if (!In.is_open())
+    return false;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    Rows.push_back(splitTsvLine(Line));
+  }
+  return true;
+}
+
+bool ctp::writeTsvFile(const std::string &Path,
+                       const std::vector<std::vector<std::string>> &Rows) {
+  std::ofstream Out(Path);
+  if (!Out.is_open())
+    return false;
+  for (const auto &Row : Rows)
+    Out << joinTsvLine(Row) << '\n';
+  return true;
+}

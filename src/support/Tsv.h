@@ -1,0 +1,42 @@
+//===- support/Tsv.h - Tab-separated-value helpers --------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reading and writing of Doop-style ".facts" files: one fact per line,
+/// attributes separated by tabs. The paper consumes facts produced by the
+/// Doop/Soot fact generator in exactly this format; this project emits and
+/// consumes the same shape so an analysis can be driven from files on disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_TSV_H
+#define CTP_SUPPORT_TSV_H
+
+#include <string>
+#include <vector>
+
+namespace ctp {
+
+/// Splits \p Line at tab characters. Empty fields are preserved.
+std::vector<std::string> splitTsvLine(const std::string &Line);
+
+/// Joins \p Fields with tab separators.
+std::string joinTsvLine(const std::vector<std::string> &Fields);
+
+/// Reads every line of the file at \p Path, split into fields.
+/// \returns false if the file cannot be opened.
+bool readTsvFile(const std::string &Path,
+                 std::vector<std::vector<std::string>> &Rows);
+
+/// Writes \p Rows to the file at \p Path, one line per row.
+/// \returns false if the file cannot be created.
+bool writeTsvFile(const std::string &Path,
+                  const std::vector<std::vector<std::string>> &Rows);
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_TSV_H

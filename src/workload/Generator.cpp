@@ -1,0 +1,650 @@
+//===- workload/Generator.cpp - Synthetic program synthesis ---------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "ir/Builder.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace ctp;
+using namespace ctp::workload;
+using namespace ctp::ir;
+
+namespace {
+
+/// Holds the skeleton classes the scenario generator wires together.
+struct Skeleton {
+  TypeId Root = InvalidId;
+  std::vector<TypeId> DataClasses;
+
+  // Wrapper chains: per chain, the wrapper class and the top-most identity
+  // method's dispatch signature (level WrapperDepth-1).
+  struct Wrapper {
+    TypeId Class;
+    SigId TopSig;
+  };
+  std::vector<Wrapper> Wrappers;
+
+  // Factories: class plus make() signature.
+  struct Factory {
+    TypeId Class;
+    SigId MakeSig;
+  };
+  std::vector<Factory> Factories;
+
+  // Containers: class plus method signatures.
+  struct Container {
+    TypeId Class;
+    SigId SetSig, GetSig, FillSig, RefreshSig;
+  };
+  std::vector<Container> Containers;
+
+  // Shared static library methods, called from many sites.
+  std::vector<MethodId> Libs;
+
+  // Shared task kernels: instance classes whose run(p) method contains
+  // the scenario patterns. Every driver allocates every task class, so
+  // run() is reachable under many contexts.
+  struct Task {
+    TypeId Class;
+    SigId RunSig;
+  };
+  std::vector<Task> Tasks;
+
+  // Polymorphic hierarchies: base class, variants, op signature.
+  struct Poly {
+    TypeId Base;
+    std::vector<TypeId> Variants;
+    SigId OpSig;
+  };
+  std::vector<Poly> Polys;
+
+  // Static/global fields used as cross-driver caches.
+  std::vector<GlobalId> Globals;
+
+  // Thrower classes: boom(p) throws a fresh exception object.
+  struct Thrower {
+    TypeId Class;
+    SigId BoomSig;
+  };
+  std::vector<Thrower> Throwers;
+
+  // AST pattern classes.
+  TypeId NodeClass = InvalidId;
+  SigId NodeInitSig = InvalidId, NodeGetParentSig = InvalidId;
+  TypeId StackClass = InvalidId;
+  SigId PushSig = InvalidId, PopSig = InvalidId;
+};
+
+class Synthesizer {
+public:
+  explicit Synthesizer(const WorkloadParams &Params)
+      : Params(Params), Rand(Params.Seed ^ 0xc7f7u) {}
+
+  Program run() {
+    buildSkeleton();
+    buildDrivers();
+    Program P = B.take();
+    assert(ir::validate(P).empty() && "generated program is invalid");
+    return P;
+  }
+
+private:
+  void buildSkeleton() {
+    Sk.Root = B.addClass("Object");
+
+    for (unsigned I = 0; I < Params.DataClasses; ++I)
+      Sk.DataClasses.push_back(
+          B.addClass("Data" + std::to_string(I), Sk.Root));
+    if (Sk.DataClasses.empty())
+      Sk.DataClasses.push_back(B.addClass("Data0", Sk.Root));
+
+    buildWrappers();
+    buildFactories();
+    buildContainers();
+    buildPolys();
+    buildLibs();
+    buildGlobals();
+    buildThrowers();
+    if (Params.AstScenarios > 0)
+      buildAstClasses();
+    buildTasks();
+  }
+
+  void buildGlobals() {
+    for (unsigned G = 0; G < Params.GlobalFields; ++G)
+      Sk.Globals.push_back(B.addGlobal("gcache" + std::to_string(G)));
+  }
+
+  /// class Thr_j { Object boom(p) { e = new D; throw e; return p; } }
+  void buildThrowers() {
+    for (unsigned J = 0; J < Params.ThrowerClasses; ++J) {
+      TypeId C = B.addClass("Thr" + std::to_string(J), Sk.Root);
+      std::string Name = "boom" + std::to_string(J);
+      MethodId M = B.addMethod(C, Name, 1);
+      VarId E = B.addLocal(M, "exc");
+      B.addNew(M, E, pickData(), "excsite" + std::to_string(J));
+      B.addThrow(M, E);
+      B.addReturn(M, B.formal(M, 0));
+      Sk.Throwers.push_back({C, B.signature(Name, 1)});
+    }
+  }
+
+  /// class Task_j { Object run(p) { <scenario patterns> return ...; } }
+  ///
+  /// The workload's actual "business logic". Every driver allocates every
+  /// task class at its own site and invokes run, so run's body — which
+  /// holds most of the program's statements — is analyzed under one
+  /// context per driver (object sensitivity: the task allocation site;
+  /// call-site sensitivity: the invocation). Context strings enumerate
+  /// every local fact per context; transformer strings keep one ε fact.
+  /// This mirrors the fan-in profile of real library-heavy Java code.
+  void buildTasks() {
+    unsigned NumTasks = Params.TaskClasses == 0 ? 1 : Params.TaskClasses;
+    for (unsigned J = 0; J < NumTasks; ++J) {
+      TypeId C = B.addClass("Task" + std::to_string(J), Sk.Root);
+      std::string Name = "run" + std::to_string(J);
+      MethodId Run = B.addMethod(C, Name, 1);
+      LocalPool Pool{Run, {B.formal(Run, 0)}};
+      for (unsigned S = 0; S < Params.Scenarios; ++S)
+        emitScenario(Pool);
+      for (unsigned S = 0; S < Params.AstScenarios; ++S)
+        emitAstScenario(Pool);
+      B.addReturn(Run, poolVar(Pool, "out"));
+      Sk.Tasks.push_back({C, B.signature(Name, 1)});
+    }
+  }
+
+  /// Shared static library helpers: each allocates its own container
+  /// instance and funnels its parameter through it. Library methods are
+  /// invoked from every driver stage, so under call-site sensitivity they
+  /// are reachable under many contexts while their bodies are context-
+  /// independent — prime territory for the transformer abstraction.
+  void buildLibs() {
+    if (Sk.Containers.empty())
+      return;
+    for (unsigned L = 0; L < Params.LibMethods; ++L) {
+      const auto &C = Sk.Containers[L % Sk.Containers.size()];
+      // Each library helper lives in its own class so classOf(...) is
+      // meaningful under type sensitivity.
+      TypeId LibClass = B.addClass("Lib" + std::to_string(L), Sk.Root);
+      MethodId M =
+          B.addStaticMethod(LibClass, "lib" + std::to_string(L), 1);
+      emitLocalNoise(M, 2);
+      VarId Cont = B.addLocal(M, "cont");
+      B.addNew(M, Cont, C.Class, "libcont" + std::to_string(L));
+      B.addVirtualCall(M, Cont, C.SetSig, {B.formal(M, 0)}, InvalidId,
+                       "libset" + std::to_string(L));
+      B.addVirtualCall(M, Cont, C.FillSig, {}, InvalidId,
+                       "libfill" + std::to_string(L));
+      VarId R = B.addLocal(M, "r");
+      B.addVirtualCall(M, Cont, C.GetSig, {}, R,
+                       "libget" + std::to_string(L));
+      B.addReturn(M, R);
+      Sk.Libs.push_back(M);
+    }
+  }
+
+  /// Emits a short context-independent local computation into \p M: a
+  /// fresh allocation followed by an assignment chain. Under a context-
+  /// string analysis every fact this produces is enumerated once per
+  /// reachable context of M; under transformer strings it is a single
+  /// ε fact — the paper's central savings mechanism.
+  void emitLocalNoise(MethodId M, unsigned ChainLen) {
+    VarId Cur = B.addLocal(M, "scratch" + std::to_string(AllocCounter));
+    B.addNew(M, Cur, pickData(), "local_" + std::to_string(AllocCounter++));
+    for (unsigned I = 0; I < ChainLen; ++I) {
+      VarId Next =
+          B.addLocal(M, "chain" + std::to_string(AllocCounter) + "_" +
+                            std::to_string(I));
+      B.addAssign(M, Next, Cur);
+      Cur = Next;
+    }
+  }
+
+  /// class Wrap_i { Object id0(p) { <local noise> return p; }
+  ///                Object idK(p) { <local noise>
+  ///                                t = this.id{K-1}(p); return t; } }
+  ///
+  /// The chain is invoked through `this`, so under object sensitivity all
+  /// levels share the receiver's context; under call-site sensitivity each
+  /// level adds one call-string element (Figure 1's id/id2).
+  void buildWrappers() {
+    unsigned Depth = Params.WrapperDepth == 0 ? 1 : Params.WrapperDepth;
+    for (unsigned W = 0; W < Params.WrapperChains; ++W) {
+      TypeId C = B.addClass("Wrap" + std::to_string(W), Sk.Root);
+      SigId PrevSig = InvalidId;
+      for (unsigned L = 0; L < Depth; ++L) {
+        std::string Name =
+            "id" + std::to_string(W) + "_" + std::to_string(L);
+        MethodId M = B.addMethod(C, Name, 1);
+        emitLocalNoise(M, 2);
+        if (L == 0) {
+          B.addReturn(M, B.formal(M, 0));
+        } else {
+          VarId T = B.addLocal(M, "t");
+          B.addVirtualCall(M, B.thisVar(M), PrevSig, {B.formal(M, 0)}, T,
+                           Name + "_fwd");
+          B.addReturn(M, T);
+        }
+        PrevSig = B.signature(Name, 1);
+      }
+      Sk.Wrappers.push_back({C, PrevSig});
+    }
+  }
+
+  /// class Fact_i { Object make() { t = this.grow(); return t; }
+  ///                Object grow() { fresh = new D; a = fresh; return a; } }
+  ///
+  /// The factory allocates in a helper reached through `this`, so heap
+  /// contexts ("+H") are required to separate objects made by different
+  /// factory instances — Figure 1's m().
+  void buildFactories() {
+    for (unsigned F = 0; F < Params.Factories; ++F) {
+      TypeId C = B.addClass("Fact" + std::to_string(F), Sk.Root);
+      std::string GrowName = "grow" + std::to_string(F);
+      MethodId Grow = B.addMethod(C, GrowName, 0);
+      VarId Fresh = B.addLocal(Grow, "fresh");
+      B.addNew(Grow, Fresh, pickData(),
+               "fact" + std::to_string(F) + "_site");
+      VarId A = B.addLocal(Grow, "a");
+      B.addAssign(Grow, A, Fresh);
+      B.addReturn(Grow, A);
+      std::string Name = "make" + std::to_string(F);
+      MethodId M = B.addMethod(C, Name, 0);
+      emitLocalNoise(M, 1);
+      VarId R = B.addLocal(M, "made");
+      B.addVirtualCall(M, B.thisVar(M), B.signature(GrowName, 0), {}, R,
+                       Name + "_grow");
+      B.addReturn(M, R);
+      Sk.Factories.push_back({C, B.signature(Name, 0)});
+    }
+  }
+
+  /// class Cont_i { Object elem;
+  ///                void set(v) { this.elem = v; }
+  ///                Object get() { <local noise> return this.elem; }
+  ///                void fill() { v = new D; this.elem = v; }
+  ///                void refresh() { t = this.elem; this.elem = t; } }
+  void buildContainers() {
+    for (unsigned Ct = 0; Ct < Params.Containers; ++Ct) {
+      TypeId C = B.addClass("Cont" + std::to_string(Ct), Sk.Root);
+      FieldId Elem = B.addField("elem" + std::to_string(Ct));
+      std::string Suffix = std::to_string(Ct);
+      MethodId Set = B.addMethod(C, "set" + Suffix, 1);
+      B.addStore(Set, B.thisVar(Set), Elem, B.formal(Set, 0));
+      MethodId Get = B.addMethod(C, "get" + Suffix, 0);
+      emitLocalNoise(Get, 1);
+      VarId R = B.addLocal(Get, "r");
+      B.addLoad(Get, R, B.thisVar(Get), Elem);
+      B.addReturn(Get, R);
+      MethodId Fill = B.addMethod(C, "fill" + Suffix, 0);
+      VarId FV = B.addLocal(Fill, "v");
+      B.addNew(Fill, FV, pickData(), "contfill" + Suffix);
+      B.addStore(Fill, B.thisVar(Fill), Elem, FV);
+      MethodId Refresh = B.addMethod(C, "refresh" + Suffix, 0);
+      VarId RT = B.addLocal(Refresh, "t");
+      B.addLoad(Refresh, RT, B.thisVar(Refresh), Elem);
+      B.addStore(Refresh, B.thisVar(Refresh), Elem, RT);
+      Sk.Containers.push_back({C, B.signature("set" + Suffix, 1),
+                               B.signature("get" + Suffix, 0),
+                               B.signature("fill" + Suffix, 0),
+                               B.signature("refresh" + Suffix, 0)});
+    }
+  }
+
+  /// Base_i with op(p); variants alternately return the parameter, a fresh
+  /// object, or round-trip the parameter through an instance field.
+  void buildPolys() {
+    for (unsigned Pl = 0; Pl < Params.PolyBases; ++Pl) {
+      std::string OpName = "op" + std::to_string(Pl);
+      TypeId Base = B.addClass("Base" + std::to_string(Pl), Sk.Root,
+                               /*IsAbstract=*/true);
+      Skeleton::Poly Poly;
+      Poly.Base = Base;
+      Poly.OpSig = B.signature(OpName, 1);
+      unsigned NumVariants = Params.PolyVariants == 0 ? 1
+                                                      : Params.PolyVariants;
+      for (unsigned V = 0; V < NumVariants; ++V) {
+        TypeId C = B.addClass("Var" + std::to_string(Pl) + "_" +
+                                  std::to_string(V),
+                              Base);
+        MethodId M = B.addMethod(C, OpName, 1);
+        switch (V % 3) {
+        case 0: // Identity behaviour.
+          B.addReturn(M, B.formal(M, 0));
+          break;
+        case 1: { // Factory behaviour.
+          VarId R = B.addLocal(M, "fresh");
+          B.addNew(M, R, pickData(),
+                   "poly" + std::to_string(Pl) + "_" + std::to_string(V) +
+                       "_site");
+          B.addReturn(M, R);
+          break;
+        }
+        case 2: { // Field round-trip through this.
+          FieldId Slot = B.addField("slot" + std::to_string(Pl));
+          B.addStore(M, B.thisVar(M), Slot, B.formal(M, 0));
+          VarId R = B.addLocal(M, "r");
+          B.addLoad(M, R, B.thisVar(M), Slot);
+          B.addReturn(M, R);
+          break;
+        }
+        }
+        Poly.Variants.push_back(C);
+      }
+      Sk.Polys.push_back(Poly);
+    }
+  }
+
+  /// The bloat pattern (Section 8): Node.init(child) sets the child's
+  /// parent pointer inside a nested call, and nodes also flow through a
+  /// Stack container.
+  void buildAstClasses() {
+    Sk.NodeClass = B.addClass("Node", Sk.Root);
+    FieldId Parent = B.addField("parent");
+
+    MethodId SetParent = B.addMethod(Sk.NodeClass, "setParent", 1);
+    B.addStore(SetParent, B.thisVar(SetParent), Parent,
+               B.formal(SetParent, 0));
+    SigId SetParentSig = B.signature("setParent", 1);
+
+    // init(child) { child.setParent(this); } — the parent reference is
+    // passed down through an invocation, as in bloat's constructors.
+    MethodId Init = B.addMethod(Sk.NodeClass, "init", 1);
+    B.addVirtualCall(Init, B.formal(Init, 0), SetParentSig,
+                     {B.thisVar(Init)}, InvalidId, "init_link");
+    Sk.NodeInitSig = B.signature("init", 1);
+
+    MethodId GetParent = B.addMethod(Sk.NodeClass, "getParent", 0);
+    VarId R = B.addLocal(GetParent, "p");
+    B.addLoad(GetParent, R, B.thisVar(GetParent), Parent);
+    B.addReturn(GetParent, R);
+    Sk.NodeGetParentSig = B.signature("getParent", 0);
+
+    Sk.StackClass = B.addClass("NodeStack", Sk.Root);
+    FieldId Elems = B.addField("elems");
+    MethodId Push = B.addMethod(Sk.StackClass, "push", 1);
+    B.addStore(Push, B.thisVar(Push), Elems, B.formal(Push, 0));
+    Sk.PushSig = B.signature("push", 1);
+    MethodId Pop = B.addMethod(Sk.StackClass, "pop", 0);
+    VarId PR = B.addLocal(Pop, "top");
+    B.addLoad(Pop, PR, B.thisVar(Pop), Elems);
+    B.addReturn(Pop, PR);
+    Sk.PopSig = B.signature("pop", 0);
+  }
+
+  //===--- Drivers and scenarios ------------------------------------------===//
+
+  /// A pool of Object-typed locals in one method that scenarios read from
+  /// and write to, so data flows entangle across scenarios.
+  struct LocalPool {
+    MethodId M;
+    std::vector<VarId> Vars;
+  };
+
+  VarId poolVar(LocalPool &Pool, const char *Hint) {
+    // Reuse an existing local 60% of the time to create shared flows.
+    if (!Pool.Vars.empty() && Rand.chancePercent(60))
+      return Pool.Vars[Rand.nextBelow(Pool.Vars.size())];
+    VarId V = B.addLocal(Pool.M,
+                         std::string(Hint) + std::to_string(Pool.Vars.size()));
+    Pool.Vars.push_back(V);
+    return V;
+  }
+
+  /// A local guaranteed to hold an object (allocates a data object if the
+  /// pool is empty).
+  VarId pooledSource(LocalPool &Pool) {
+    VarId V = poolVar(Pool, "v");
+    // Always give it a definite allocation so flows are never vacuous.
+    B.addNew(Pool.M, V, pickData(),
+             "alloc_" + std::to_string(AllocCounter++));
+    return V;
+  }
+
+  TypeId pickData() {
+    return Sk.DataClasses[Rand.nextBelow(Sk.DataClasses.size())];
+  }
+
+  std::string site(const char *Kind) {
+    return std::string(Kind) + "_" + std::to_string(SiteCounter++);
+  }
+
+  void buildDrivers() {
+    MethodId Main = B.addStaticMethod(Sk.Root, "main", 0);
+    B.setMain(Main);
+    unsigned NumDrivers = Params.Drivers == 0 ? 1 : Params.Drivers;
+    for (unsigned D = 0; D < NumDrivers; ++D) {
+      // Drivers are thin: they allocate the shared task kernels, chain
+      // values through their run() methods, and route results through the
+      // static library helpers. All heavy lifting happens in code shared
+      // across drivers, giving it a realistic context fan-in.
+      MethodId Driver =
+          B.addStaticMethod(Sk.Root, "driver" + std::to_string(D), 1);
+      {
+        LocalPool Pool{Driver, {B.formal(Driver, 0)}};
+        VarId Cur = B.formal(Driver, 0);
+        // Shared kernels: a random subset (at least one) of the tasks.
+        bool Used = false;
+        for (const Skeleton::Task &T : Sk.Tasks) {
+          if (Used && !Rand.chancePercent(60))
+            continue;
+          Used = true;
+          VarId Recv = B.addLocal(Driver, "task" + std::to_string(T.Class));
+          B.addNew(Driver, Recv, T.Class, site("task"));
+          VarId Out = B.addLocal(Driver, "tout" + std::to_string(T.Class));
+          B.addVirtualCall(Driver, Recv, T.RunSig, {Cur}, Out,
+                           site("runtask"));
+          Pool.Vars.push_back(Out);
+          Cur = Out;
+        }
+        // Driver-private pattern code (single calling context).
+        for (unsigned S = 0; S < Params.PrivateScenarios; ++S)
+          emitScenario(Pool);
+        for (unsigned L = 0; L < 2 && !Sk.Libs.empty(); ++L) {
+          MethodId Lib = Sk.Libs[Rand.nextBelow(Sk.Libs.size())];
+          VarId Out = B.addLocal(Driver, "libout" + std::to_string(L));
+          B.addStaticCall(Driver, Lib, {Cur}, Out, site("calllib"));
+          Cur = Out;
+        }
+        B.addReturn(Driver, Cur);
+      }
+      // main passes a fresh object into each driver — a context-dependent
+      // seed value distinguishing driver invocations.
+      VarId Seed = B.addLocal(Main, "seed" + std::to_string(D));
+      B.addNew(Main, Seed, pickData(), site("seed"));
+      VarId DriverOut = B.addLocal(Main, "drv" + std::to_string(D));
+      B.addStaticCall(Main, Driver, {Seed}, DriverOut, site("rundrv"));
+      // Invoke some drivers twice so drivers are analyzed under several
+      // contexts under call-site sensitivity.
+      if (Rand.chancePercent(40))
+        B.addStaticCall(Main, Driver, {Seed}, InvalidId, site("rundrv"));
+    }
+  }
+
+  void emitScenario(LocalPool &Pool) {
+    enum { Wrapper, Factory, Container, Poly, CrossAssign, GlobalStash,
+           Exception, Downcast, ArrayShuffle };
+    // Weighted mix: flows through statics are deliberately rare — every
+    // global load sees every global store (the method-context link is
+    // severed), so a little goes a long way, as in real programs.
+    unsigned Roll = static_cast<unsigned>(Rand.nextBelow(100));
+    unsigned Kind;
+    if (Roll < 20)
+      Kind = Wrapper;
+    else if (Roll < 36)
+      Kind = Factory;
+    else if (Roll < 56)
+      Kind = Container;
+    else if (Roll < 70)
+      Kind = Poly;
+    else if (Roll < 79)
+      Kind = CrossAssign;
+    else if (Roll < 84)
+      Kind = GlobalStash;
+    else if (Roll < 90)
+      Kind = Exception;
+    else if (Roll < 95)
+      Kind = Downcast;
+    else
+      Kind = ArrayShuffle;
+    switch (Kind) {
+    case Downcast: {
+      // got = <mixed pool value>; d = (DataK) got; — the classic downcast
+      // after retrieving from an untyped container.
+      VarId From = pooledSource(Pool);
+      VarId To = poolVar(Pool, "cast");
+      B.addCast(Pool.M, To, pickData(), From);
+      break;
+    }
+    case ArrayShuffle: {
+      // arr = new D[]; arr[*] = v; w = arr[*]; — the array base lives in
+      // a dedicated local so element traffic stays per-array (reusing a
+      // pool variable here would alias the element field across every
+      // object the pool ever held).
+      VarId Arr =
+          B.addLocal(Pool.M, "arr" + std::to_string(SiteCounter));
+      B.addNew(Pool.M, Arr, pickData(), site("array"));
+      B.addArrayStore(Pool.M, Arr, pooledSource(Pool));
+      VarId Out = poolVar(Pool, "elem");
+      B.addArrayLoad(Pool.M, Out, Arr);
+      break;
+    }
+    case GlobalStash: {
+      if (Sk.Globals.empty())
+        return;
+      GlobalId G = Sk.Globals[Rand.nextBelow(Sk.Globals.size())];
+      if (Rand.chancePercent(50)) {
+        B.addGlobalStore(Pool.M, G, pooledSource(Pool));
+      } else {
+        VarId Out = poolVar(Pool, "cached");
+        B.addGlobalLoad(Pool.M, Out, G);
+      }
+      break;
+    }
+    case Exception: {
+      if (Sk.Throwers.empty())
+        return;
+      const auto &T = Sk.Throwers[Rand.nextBelow(Sk.Throwers.size())];
+      VarId Recv = poolVar(Pool, "thr");
+      B.addNew(Pool.M, Recv, T.Class, site("thrower"));
+      VarId Out = poolVar(Pool, "bres");
+      InvokeId I = B.addVirtualCall(Pool.M, Recv, T.BoomSig,
+                                    {pooledSource(Pool)}, Out,
+                                    site("callboom"));
+      VarId Caught = poolVar(Pool, "caught");
+      B.setCatchVar(I, Caught);
+      break;
+    }
+    case Wrapper: {
+      if (Sk.Wrappers.empty())
+        return;
+      const auto &W = Sk.Wrappers[Rand.nextBelow(Sk.Wrappers.size())];
+      VarId Recv = poolVar(Pool, "w");
+      B.addNew(Pool.M, Recv, W.Class, site("wrap"));
+      VarId Arg = pooledSource(Pool);
+      VarId Out = poolVar(Pool, "wres");
+      B.addVirtualCall(Pool.M, Recv, W.TopSig, {Arg}, Out, site("callwrap"));
+      break;
+    }
+    case Factory: {
+      if (Sk.Factories.empty())
+        return;
+      const auto &F = Sk.Factories[Rand.nextBelow(Sk.Factories.size())];
+      VarId Recv = poolVar(Pool, "f");
+      B.addNew(Pool.M, Recv, F.Class, site("factory"));
+      VarId Out1 = poolVar(Pool, "made");
+      B.addVirtualCall(Pool.M, Recv, F.MakeSig, {}, Out1, site("make"));
+      VarId Out2 = poolVar(Pool, "made");
+      B.addVirtualCall(Pool.M, Recv, F.MakeSig, {}, Out2, site("make"));
+      break;
+    }
+    case Container: {
+      if (Sk.Containers.empty())
+        return;
+      const auto &C = Sk.Containers[Rand.nextBelow(Sk.Containers.size())];
+      VarId Recv = poolVar(Pool, "c");
+      B.addNew(Pool.M, Recv, C.Class, site("cont"));
+      VarId In = pooledSource(Pool);
+      B.addVirtualCall(Pool.M, Recv, C.SetSig, {In}, InvalidId,
+                       site("set"));
+      if (Rand.chancePercent(50))
+        B.addVirtualCall(Pool.M, Recv, C.FillSig, {}, InvalidId,
+                         site("fill"));
+      if (Rand.chancePercent(40))
+        B.addVirtualCall(Pool.M, Recv, C.RefreshSig, {}, InvalidId,
+                         site("refresh"));
+      VarId Out = poolVar(Pool, "got");
+      B.addVirtualCall(Pool.M, Recv, C.GetSig, {}, Out, site("get"));
+      break;
+    }
+    case Poly: {
+      if (Sk.Polys.empty())
+        return;
+      const auto &P = Sk.Polys[Rand.nextBelow(Sk.Polys.size())];
+      VarId Recv = poolVar(Pool, "b");
+      // Allocate one or two variants into the same receiver variable so
+      // the dispatch is genuinely polymorphic.
+      TypeId V1 = P.Variants[Rand.nextBelow(P.Variants.size())];
+      B.addNew(Pool.M, Recv, V1, site("poly"));
+      if (P.Variants.size() > 1 && Rand.chancePercent(50)) {
+        TypeId V2 = P.Variants[Rand.nextBelow(P.Variants.size())];
+        B.addNew(Pool.M, Recv, V2, site("poly"));
+      }
+      VarId Arg = pooledSource(Pool);
+      VarId Out = poolVar(Pool, "pres");
+      B.addVirtualCall(Pool.M, Recv, P.OpSig, {Arg}, Out, site("callop"));
+      break;
+    }
+    case CrossAssign: {
+      VarId From = pooledSource(Pool);
+      VarId To = poolVar(Pool, "x");
+      B.addAssign(Pool.M, To, From);
+      break;
+    }
+    }
+  }
+
+  void emitAstScenario(LocalPool &Pool) {
+    // parent = new Node; child = new Node;
+    // parent.init(child);            // child.parent = parent, nested call
+    // stack.push(parent);            // second flow path for parent
+    // top = stack.pop(); p = top.getParent();
+    VarId ParentV = poolVar(Pool, "nparent");
+    B.addNew(Pool.M, ParentV, Sk.NodeClass, site("node"));
+    VarId ChildV = poolVar(Pool, "nchild");
+    B.addNew(Pool.M, ChildV, Sk.NodeClass, site("node"));
+    B.addVirtualCall(Pool.M, ParentV, Sk.NodeInitSig, {ChildV}, InvalidId,
+                     site("init"));
+    VarId Stk = poolVar(Pool, "stk");
+    B.addNew(Pool.M, Stk, Sk.StackClass, site("stack"));
+    B.addVirtualCall(Pool.M, Stk, Sk.PushSig, {ParentV}, InvalidId,
+                     site("push"));
+    VarId Top = poolVar(Pool, "top");
+    B.addVirtualCall(Pool.M, Stk, Sk.PopSig, {}, Top, site("pop"));
+    VarId Par = poolVar(Pool, "gotparent");
+    B.addVirtualCall(Pool.M, Top, Sk.NodeGetParentSig, {}, Par,
+                     site("getparent"));
+  }
+
+  WorkloadParams Params;
+  Rng Rand;
+  Builder B;
+  Skeleton Sk;
+  unsigned SiteCounter = 0;
+  unsigned AllocCounter = 0;
+};
+
+} // namespace
+
+Program workload::generate(const WorkloadParams &Params) {
+  return Synthesizer(Params).run();
+}

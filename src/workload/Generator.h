@@ -1,0 +1,90 @@
+//===- workload/Generator.h - Synthetic program synthesis ------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthesizer of Java-like programs that exercise the
+/// context-sensitivity patterns the paper's evaluation hinges on:
+///
+///  * identity-wrapper chains (Figure 1's id/id2) — separate k=1 from k=2
+///    precision and produce the entry/exit cancellations transformer
+///    strings excel at;
+///  * factory methods (Figure 1's m()) — require heap contexts ("+H");
+///  * containers with set/get through `this` fields — the object-
+///    sensitivity sweet spot;
+///  * polymorphic hierarchies — on-the-fly call-graph fan-out;
+///  * the bloat AST pattern (Section 8): parent-field linking inside a
+///    method invoked from the allocator plus a stack push of the same
+///    node, which creates points-to facts reaching a variable through
+///    multiple data-flow paths and hence subsuming transformer strings.
+///
+/// Generation is a pure function of WorkloadParams (SplitMix64-seeded), so
+/// benchmarks and property tests are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_WORKLOAD_GENERATOR_H
+#define CTP_WORKLOAD_GENERATOR_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ctp {
+namespace workload {
+
+/// Shape and scale parameters of one synthetic program.
+struct WorkloadParams {
+  std::string Name = "synthetic";
+  /// Number of plain data classes (allocation payloads).
+  unsigned DataClasses = 6;
+  /// Identity-wrapper classes; each has a chain of WrapperDepth methods
+  /// where level k+1 forwards to level k.
+  unsigned WrapperChains = 3;
+  unsigned WrapperDepth = 2;
+  /// Factory classes, each with a make() returning a fresh object.
+  unsigned Factories = 3;
+  /// Container classes with set/get through an instance field.
+  unsigned Containers = 3;
+  /// Polymorphic hierarchies: a base signature overridden by
+  /// PolyVariants subclasses.
+  unsigned PolyBases = 2;
+  unsigned PolyVariants = 3;
+  /// Shared static library helpers called from every driver; their
+  /// context-independent bodies are where the transformer abstraction's
+  /// compression shows (reachable under many contexts).
+  unsigned LibMethods = 4;
+  /// Shared task-kernel classes; every driver allocates every task class
+  /// and invokes its run() method, which contains the Scenarios patterns.
+  unsigned TaskClasses = 3;
+  /// Driver methods invoked from main. Each allocates a subset of the
+  /// task kernels (whose run() bodies hold Scenarios shared patterns) and
+  /// additionally emits PrivateScenarios patterns directly into its own
+  /// body — code analyzed under only one or two contexts, which dilutes
+  /// the transformer abstraction's savings the way application-private
+  /// code does in real programs.
+  unsigned Drivers = 4;
+  unsigned Scenarios = 6;
+  unsigned PrivateScenarios = 6;
+  /// Strength of the bloat-style AST/parent-pointer pattern (number of
+  /// node-linking scenarios); 0 disables it.
+  unsigned AstScenarios = 0;
+  /// Static/global fields used as cross-driver caches (the paper's
+  /// implementation handles static fields; Figure 3 elides them).
+  unsigned GlobalFields = 2;
+  /// Classes whose methods throw exception objects caught at call sites.
+  unsigned ThrowerClasses = 2;
+  std::uint64_t Seed = 1;
+};
+
+/// Synthesizes a validated ir::Program from \p Params.
+ir::Program generate(const WorkloadParams &Params);
+
+} // namespace workload
+} // namespace ctp
+
+#endif // CTP_WORKLOAD_GENERATOR_H

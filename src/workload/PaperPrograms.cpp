@@ -1,0 +1,130 @@
+//===- workload/PaperPrograms.cpp - The paper's example programs ----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/PaperPrograms.h"
+
+#include "ir/Builder.h"
+
+using namespace ctp;
+using namespace ctp::workload;
+using namespace ctp::ir;
+
+Figure1Program workload::figure1() {
+  Builder B;
+  TypeId Object = B.addClass("Object");
+  TypeId T = B.addClass("T", Object);
+  FieldId F = B.addField("f");
+
+  // Object id(Object p) { return p; }
+  MethodId Id = B.addMethod(T, "id", 1);
+  B.addReturn(Id, B.formal(Id, 0));
+  SigId IdSig = B.signature("id", 1);
+
+  // Object id2(Object q) { Object t = id(q); /*c1*/ return t; }
+  MethodId Id2 = B.addMethod(T, "id2", 1);
+  VarId TmpT = B.addLocal(Id2, "t");
+  B.addVirtualCall(Id2, B.thisVar(Id2), IdSig, {B.formal(Id2, 0)}, TmpT,
+                   "c1");
+  B.addReturn(Id2, TmpT);
+  SigId Id2Sig = B.signature("id2", 1);
+
+  // Object m() { return new T(); /*m1*/ }
+  MethodId M = B.addMethod(T, "m", 0);
+  VarId Fresh = B.addLocal(M, "fresh");
+  HeapId M1 = B.addNew(M, Fresh, T, "m1");
+  B.addReturn(M, Fresh);
+  SigId MSig = B.signature("m", 0);
+
+  MethodId Main = B.addStaticMethod(Object, "main", 0);
+  B.setMain(Main);
+  Figure1Program Out;
+  Out.X = B.addLocal(Main, "x");
+  Out.H1 = B.addNew(Main, Out.X, Object, "h1");
+  Out.Y = B.addLocal(Main, "y");
+  Out.H2 = B.addNew(Main, Out.Y, Object, "h2");
+  VarId R = B.addLocal(Main, "r");
+  Out.H3 = B.addNew(Main, R, T, "h3");
+  Out.X1 = B.addLocal(Main, "x1");
+  B.addVirtualCall(Main, R, IdSig, {Out.X}, Out.X1, "c2");
+  Out.Y1 = B.addLocal(Main, "y1");
+  B.addVirtualCall(Main, R, IdSig, {Out.Y}, Out.Y1, "c3");
+  VarId S = B.addLocal(Main, "s");
+  Out.H4 = B.addNew(Main, S, T, "h4");
+  VarId Tv = B.addLocal(Main, "t");
+  Out.H5 = B.addNew(Main, Tv, T, "h5");
+  Out.X2 = B.addLocal(Main, "x2");
+  B.addVirtualCall(Main, S, Id2Sig, {Out.X}, Out.X2, "c4");
+  Out.Y2 = B.addLocal(Main, "y2");
+  B.addVirtualCall(Main, Tv, Id2Sig, {Out.Y}, Out.Y2, "c5");
+  Out.A = B.addLocal(Main, "a");
+  B.addVirtualCall(Main, S, MSig, {}, Out.A, "c6");
+  Out.B = B.addLocal(Main, "b");
+  B.addVirtualCall(Main, Tv, MSig, {}, Out.B, "c7");
+  B.addStore(Main, Out.A, F, Out.X); // a.f = x;
+  Out.Z = B.addLocal(Main, "z");
+  B.addLoad(Main, Out.Z, Out.B, F); // z = b.f;
+  Out.M1 = M1;
+
+  Out.P = B.take();
+  return Out;
+}
+
+Figure5Program workload::figure5() {
+  Builder B;
+  TypeId Object = B.addClass("Object");
+  TypeId T = B.addClass("T", Object);
+
+  // static T id(T p) { return p; }
+  MethodId Id = B.addStaticMethod(T, "id", 1);
+  B.addReturn(Id, B.formal(Id, 0));
+
+  // static T m() { T h = new T(); /*h1*/ T r = id(h); /*id1*/ return r; }
+  MethodId M = B.addStaticMethod(T, "m", 0);
+  Figure5Program Out;
+  Out.H = B.addLocal(M, "h");
+  Out.H1 = B.addNew(M, Out.H, T, "h1");
+  Out.R = B.addLocal(M, "r");
+  Out.Id1 = B.addStaticCall(M, Id, {Out.H}, Out.R, "id1");
+  B.addReturn(M, Out.R);
+  Out.Pvar = B.formal(Id, 0);
+
+  MethodId Main = B.addStaticMethod(Object, "main", 0);
+  B.setMain(Main);
+  Out.X = B.addLocal(Main, "x");
+  Out.M1 = B.addStaticCall(Main, M, {}, Out.X, "m1");
+  Out.Y = B.addLocal(Main, "y");
+  Out.M2 = B.addStaticCall(Main, M, {}, Out.Y, "m2");
+
+  Out.P = B.take();
+  return Out;
+}
+
+Figure7Program workload::figure7() {
+  Builder B;
+  TypeId Object = B.addClass("Object");
+  TypeId T = B.addClass("T", Object);
+  FieldId F = B.addField("f");
+
+  // void m() { Object v = new Object(); /*h1*/ if(...) { f=v; v=f; } }
+  // Field accesses on `this` (the paper writes the unqualified field).
+  MethodId M = B.addMethod(T, "m", 0);
+  Figure7Program Out;
+  Out.V = B.addLocal(M, "v");
+  Out.H1 = B.addNew(M, Out.V, Object, "h1");
+  B.addStore(M, B.thisVar(M), F, Out.V); // this.f = v;
+  B.addLoad(M, Out.V, B.thisVar(M), F);  // v = this.f;
+  SigId MSig = B.signature("m", 0);
+
+  MethodId Main = B.addStaticMethod(Object, "main", 0);
+  B.setMain(Main);
+  Out.T = B.addLocal(Main, "t");
+  Out.H2 = B.addNew(Main, Out.T, T, "h2");
+  Out.C1 = B.addVirtualCall(Main, Out.T, MSig, {}, InvalidId, "c1");
+
+  Out.P = B.take();
+  return Out;
+}

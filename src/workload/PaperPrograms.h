@@ -1,0 +1,76 @@
+//===- workload/PaperPrograms.h - The paper's example programs --*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact ir::Program renditions of the three example programs in the
+/// paper, used by the unit tests and the figure-reproduction benchmarks.
+/// Each returns the program plus handles to the entities the paper's
+/// discussion names, so tests can assert points-to sets per figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_WORKLOAD_PAPERPROGRAMS_H
+#define CTP_WORKLOAD_PAPERPROGRAMS_H
+
+#include "ir/Ir.h"
+
+namespace ctp {
+namespace workload {
+
+/// Figure 1: the id/id2 wrapper chain plus the m() factory.
+///
+/// class T { Object f;
+///           Object id(Object p) { return p; }
+///           Object id2(Object q) { Object t = id(q); /*c1*/ return t; }
+///           Object m() { return new T(); /*m1*/ } }
+/// main: x=new /*h1*/; y=new /*h2*/; r=new T /*h3*/;
+///       x1=r.id(x)/*c2*/; y1=r.id(y)/*c3*/;
+///       s=new T /*h4*/; t=new T /*h5*/;
+///       x2=s.id2(x)/*c4*/; y2=t.id2(y)/*c5*/;
+///       a=s.m()/*c6*/; b=t.m()/*c7*/; a.f=x; z=b.f;
+struct Figure1Program {
+  ir::Program P;
+  // Variables of interest in main.
+  ir::VarId X, Y, X1, Y1, X2, Y2, A, B, Z;
+  // Heap sites.
+  ir::HeapId H1, H2, H3, H4, H5, M1;
+};
+Figure1Program figure1();
+
+/// Figure 5: static identity + static factory called twice.
+///
+/// class T { static T id(T p) { return p; }
+///           static T m() { T h = new T(); /*h1*/
+///                          T r = id(h); /*id1*/ return r; }
+///   main: T x = m(); /*m1*/  T y = m(); /*m2*/ }
+struct Figure5Program {
+  ir::Program P;
+  ir::VarId H, R, Pvar, X, Y;
+  ir::HeapId H1;
+  ir::InvokeId M1, M2, Id1;
+};
+Figure5Program figure5();
+
+/// Figure 7: points-to through two data-flow paths (local + through the
+/// receiver's field), the subsuming-facts example.
+///
+/// class T { Object f;
+///           void m() { Object v = new Object(); /*h1*/
+///                      if(...) { f = v; v = f; } }
+///   main: T t = new T(); /*h2*/  t.m(); /*c1*/ }
+struct Figure7Program {
+  ir::Program P;
+  ir::VarId V, T;
+  ir::HeapId H1, H2;
+  ir::InvokeId C1;
+};
+Figure7Program figure7();
+
+} // namespace workload
+} // namespace ctp
+
+#endif // CTP_WORKLOAD_PAPERPROGRAMS_H

@@ -1,0 +1,155 @@
+//===- workload/Presets.cpp - DaCapo-shaped benchmark presets -------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Presets.h"
+
+#include <cassert>
+
+using namespace ctp;
+using namespace ctp::workload;
+
+std::vector<std::string> workload::presetNames() {
+  return {"antlr", "bloat", "chart", "eclipse", "luindex", "pmd", "xalan"};
+}
+
+WorkloadParams workload::presetParams(const std::string &Name) {
+  WorkloadParams P;
+  P.Name = Name;
+  if (Name == "antlr") {
+    // Wrapper-heavy (parser actions delegate through helper chains).
+    P.DataClasses = 8;
+    P.WrapperChains = 6;
+    P.WrapperDepth = 3;
+    P.Factories = 3;
+    P.Containers = 3;
+    P.PolyBases = 2;
+    P.PolyVariants = 3;
+    P.Drivers = 7;
+    P.Scenarios = 10;
+    P.TaskClasses = 3;
+    P.LibMethods = 5;
+    P.PrivateScenarios = 14;
+    P.GlobalFields = 5;
+    P.Seed = 0xA17;
+    return P;
+  }
+  if (Name == "bloat") {
+    // AST-dominated: heavy parent-pointer + stack pattern (Section 8's
+    // subsuming-facts discussion).
+    P.DataClasses = 6;
+    P.WrapperChains = 3;
+    P.WrapperDepth = 2;
+    P.Factories = 2;
+    P.Containers = 4;
+    P.PolyBases = 2;
+    P.PolyVariants = 4;
+    P.Drivers = 8;
+    P.Scenarios = 6;
+    P.AstScenarios = 8;
+    P.TaskClasses = 3;
+    P.LibMethods = 4;
+    P.PrivateScenarios = 10;
+    P.GlobalFields = 4;
+    P.Seed = 0xB10;
+    return P;
+  }
+  if (Name == "chart") {
+    // Largest: factory/container heavy (renderers and datasets).
+    P.DataClasses = 10;
+    P.WrapperChains = 5;
+    P.WrapperDepth = 2;
+    P.Factories = 8;
+    P.Containers = 8;
+    P.PolyBases = 3;
+    P.PolyVariants = 4;
+    P.Drivers = 9;
+    P.Scenarios = 12;
+    P.TaskClasses = 4;
+    P.LibMethods = 6;
+    P.PrivateScenarios = 16;
+    P.GlobalFields = 6;
+    P.Seed = 0xC4A;
+    return P;
+  }
+  if (Name == "eclipse") {
+    // Polymorphism-heavy (plugin interfaces).
+    P.DataClasses = 8;
+    P.WrapperChains = 4;
+    P.WrapperDepth = 2;
+    P.Factories = 4;
+    P.Containers = 5;
+    P.PolyBases = 5;
+    P.PolyVariants = 5;
+    P.Drivers = 8;
+    P.Scenarios = 10;
+    P.TaskClasses = 4;
+    P.LibMethods = 5;
+    P.PrivateScenarios = 14;
+    P.GlobalFields = 5;
+    P.Seed = 0xEC1;
+    return P;
+  }
+  if (Name == "luindex") {
+    // Smallest benchmark.
+    P.DataClasses = 5;
+    P.WrapperChains = 3;
+    P.WrapperDepth = 2;
+    P.Factories = 2;
+    P.Containers = 3;
+    P.PolyBases = 2;
+    P.PolyVariants = 3;
+    P.Drivers = 5;
+    P.Scenarios = 6;
+    P.TaskClasses = 2;
+    P.LibMethods = 3;
+    P.PrivateScenarios = 9;
+    P.GlobalFields = 3;
+    P.Seed = 0x1DE;
+    return P;
+  }
+  if (Name == "pmd") {
+    P.DataClasses = 6;
+    P.WrapperChains = 4;
+    P.WrapperDepth = 2;
+    P.Factories = 3;
+    P.Containers = 4;
+    P.PolyBases = 3;
+    P.PolyVariants = 3;
+    P.Drivers = 6;
+    P.Scenarios = 8;
+    P.TaskClasses = 3;
+    P.LibMethods = 4;
+    P.PrivateScenarios = 12;
+    P.GlobalFields = 4;
+    P.Seed = 0x9DD;
+    return P;
+  }
+  if (Name == "xalan") {
+    // Container-heavy (DOM tables).
+    P.DataClasses = 7;
+    P.WrapperChains = 4;
+    P.WrapperDepth = 3;
+    P.Factories = 4;
+    P.Containers = 7;
+    P.PolyBases = 2;
+    P.PolyVariants = 4;
+    P.Drivers = 7;
+    P.Scenarios = 10;
+    P.TaskClasses = 3;
+    P.LibMethods = 5;
+    P.PrivateScenarios = 14;
+    P.GlobalFields = 5;
+    P.Seed = 0x8A1;
+    return P;
+  }
+  assert(false && "unknown workload preset");
+  return P;
+}
+
+ir::Program workload::generatePreset(const std::string &Name) {
+  return generate(presetParams(Name));
+}

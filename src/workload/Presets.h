@@ -1,0 +1,45 @@
+//===- workload/Presets.h - DaCapo-shaped benchmark presets -----*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named workload presets standing in for the seven DaCapo 2006 benchmarks
+/// of Figure 6 (antlr, bloat, chart, eclipse, luindex, pmd, xalan; jython,
+/// hsqldb and lusearch are excluded exactly as in the paper). The presets
+/// differ in scale and in pattern mix the way the paper describes the
+/// benchmarks behaving — e.g. the bloat preset is dominated by the AST
+/// parent-pointer + stack pattern that produces subsuming facts.
+///
+/// These are synthetic stand-ins: absolute fact counts will not match the
+/// paper's DaCapo numbers, but the relative behaviour of the two
+/// abstractions across configurations is exercised by the same mechanisms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_WORKLOAD_PRESETS_H
+#define CTP_WORKLOAD_PRESETS_H
+
+#include "workload/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace workload {
+
+/// Names of all presets, in Figure 6 order.
+std::vector<std::string> presetNames();
+
+/// Parameters for the named preset; asserts on unknown names.
+WorkloadParams presetParams(const std::string &Name);
+
+/// Convenience: generate the named preset program.
+ir::Program generatePreset(const std::string &Name);
+
+} // namespace workload
+} // namespace ctp
+
+#endif // CTP_WORKLOAD_PRESETS_H

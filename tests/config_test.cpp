@@ -1,0 +1,89 @@
+//===- tests/config_test.cpp - Configuration and naming -------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/Config.h"
+#include "ctx/Ctxt.h"
+
+#include "gtest/gtest.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+namespace {
+
+TEST(ConfigTest, Figure6ConfigsValidate) {
+  for (Abstraction A :
+       {Abstraction::ContextString, Abstraction::TransformerString}) {
+    EXPECT_EQ(oneCall(A).validate(), "");
+    EXPECT_EQ(oneCallH(A).validate(), "");
+    EXPECT_EQ(oneObject(A).validate(), "");
+    EXPECT_EQ(twoObjectH(A).validate(), "");
+    EXPECT_EQ(twoTypeH(A).validate(), "");
+    EXPECT_EQ(insensitive(A).validate(), "");
+  }
+}
+
+TEST(ConfigTest, SideConditionsEnforced) {
+  // Call-site sensitivity requires h <= m.
+  Config BadCall{Abstraction::ContextString, Flavour::CallSite, 1, 2};
+  EXPECT_NE(BadCall.validate(), "");
+  // Object sensitivity requires h = m - 1 (Figure 3's side condition).
+  Config BadObj{Abstraction::ContextString, Flavour::Object, 2, 0};
+  EXPECT_NE(BadObj.validate(), "");
+  Config BadObj2{Abstraction::ContextString, Flavour::Object, 2, 2};
+  EXPECT_NE(BadObj2.validate(), "");
+  Config GoodObj{Abstraction::ContextString, Flavour::Object, 3, 2};
+  EXPECT_EQ(GoodObj.validate(), "");
+  // Depth ceiling.
+  Config TooDeep{Abstraction::ContextString, Flavour::CallSite, 9, 0};
+  EXPECT_NE(TooDeep.validate(), "");
+  // Type sensitivity mirrors object's side condition.
+  Config BadType{Abstraction::TransformerString, Flavour::Type, 2, 0};
+  EXPECT_NE(BadType.validate(), "");
+}
+
+TEST(ConfigTest, DisplayNames) {
+  EXPECT_EQ(oneCall(Abstraction::ContextString).name(), "1-call(cs)");
+  EXPECT_EQ(oneCallH(Abstraction::TransformerString).name(),
+            "1-call+H(ts)");
+  EXPECT_EQ(twoObjectH(Abstraction::TransformerString).name(),
+            "2-object+H(ts)");
+  EXPECT_EQ(twoTypeH(Abstraction::ContextString).name(), "2-type+H(cs)");
+}
+
+TEST(ConfigTest, FlavourAndAbstractionNames) {
+  EXPECT_STREQ(flavourName(Flavour::CallSite), "call-site");
+  EXPECT_STREQ(flavourName(Flavour::Object), "object");
+  EXPECT_STREQ(flavourName(Flavour::Type), "type");
+  EXPECT_STREQ(abstractionName(Abstraction::ContextString),
+               "context-string");
+  EXPECT_STREQ(abstractionName(Abstraction::TransformerString),
+               "transformer-string");
+}
+
+TEST(CtxtTest, ElementEncoding) {
+  EXPECT_EQ(elemOfEntity(0), 1u);
+  EXPECT_EQ(entityOfElem(elemOfEntity(41)), 41u);
+  EXPECT_EQ(printElemDefault(EntryElem), "entry");
+  EXPECT_EQ(printElemDefault(elemOfEntity(3)), "#3");
+}
+
+TEST(CtxtTest, VectorPrinting) {
+  CtxtVec V;
+  V.push_back(EntryElem);
+  V.push_back(elemOfEntity(2));
+  EXPECT_EQ(printCtxtVec(V), "[entry, #2]");
+  EXPECT_EQ(printCtxtVec(CtxtVec()), "[]");
+  // Custom printer.
+  EXPECT_EQ(printCtxtVec(V, [](CtxtElem E) {
+              return E == EntryElem ? std::string("E")
+                                    : std::string("x");
+            }),
+            "[E, x]");
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+//===- tests/context_string_test.cpp - Context-string pair tests ----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Unit tests for the traditional abstraction of Section 4.1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/ContextString.h"
+
+#include "gtest/gtest.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+namespace {
+
+CtxtVec vec(std::initializer_list<CtxtElem> E) {
+  CtxtVec V;
+  for (CtxtElem X : E)
+    V.push_back(X);
+  return V;
+}
+
+TEST(ContextStringTest, ComposeJoinsOnMiddle) {
+  CtxtPair A{vec({1}), vec({2, 3})};
+  CtxtPair B{vec({2, 3}), vec({4})};
+  auto R = composePairs(A, B);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->In, vec({1}));
+  EXPECT_EQ(R->Out, vec({4}));
+}
+
+TEST(ContextStringTest, ComposeFailsOnMismatch) {
+  CtxtPair A{vec({1}), vec({2})};
+  CtxtPair B{vec({3}), vec({4})};
+  EXPECT_FALSE(composePairs(A, B).has_value());
+  // Prefix-related but unequal middles also fail: both operands are
+  // truncated to the same length by the rule schema, so equality is the
+  // designed join.
+  CtxtPair C{vec({2, 9}), vec({4})};
+  EXPECT_FALSE(composePairs(A, C).has_value());
+}
+
+TEST(ContextStringTest, InverseSwaps) {
+  CtxtPair A{vec({1}), vec({2, 3})};
+  CtxtPair Inv = inversePair(A);
+  EXPECT_EQ(Inv.In, vec({2, 3}));
+  EXPECT_EQ(Inv.Out, vec({1}));
+  EXPECT_EQ(inversePair(Inv), A);
+}
+
+TEST(ContextStringTest, RecordTruncatesHeapSide) {
+  CtxtVec M = vec({5, 6, 7});
+  CtxtPair P = recordPair(M, 1);
+  EXPECT_EQ(P.In, vec({5}));
+  EXPECT_EQ(P.Out, M);
+  CtxtPair P0 = recordPair(M, 0);
+  EXPECT_TRUE(P0.In.empty());
+}
+
+TEST(ContextStringTest, TargetIsOut) {
+  CtxtPair A{vec({1}), vec({2, 3})};
+  EXPECT_EQ(targetPair(A), vec({2, 3}));
+}
+
+TEST(ContextStringTest, HashAndEquality) {
+  CtxtPair A{vec({1}), vec({2})};
+  CtxtPair B{vec({1}), vec({2})};
+  CtxtPair C{vec({2}), vec({1})};
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(CtxtPairHash()(A), CtxtPairHash()(B));
+}
+
+TEST(ContextStringTest, Printing) {
+  CtxtPair A{vec({EntryElem}), vec({elemOfEntity(4)})};
+  EXPECT_EQ(printCtxtPair(A), "([entry] -> [#4])");
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- tests/datalog_test.cpp - Generic Datalog engine tests --------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Engine.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ctp;
+using namespace ctp::datalog;
+
+namespace {
+
+Term v(VarIdx V) { return Term::var(V); }
+Term c(Value C) { return Term::constant(C); }
+
+std::set<std::pair<Value, Value>> pairs(const Relation &R) {
+  std::set<std::pair<Value, Value>> Out;
+  for (const Tuple &T : R.rows())
+    Out.insert({T[0], T[1]});
+  return Out;
+}
+
+TEST(RelationTest, InsertAndDedup) {
+  Relation R("r", 2);
+  EXPECT_TRUE(R.insert({1, 2}));
+  EXPECT_FALSE(R.insert({1, 2}));
+  EXPECT_TRUE(R.insert({2, 1}));
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_TRUE(R.contains({1, 2}));
+  EXPECT_FALSE(R.contains({9, 9}));
+}
+
+TEST(RelationTest, IndexProbe) {
+  Relation R("r", 3);
+  R.insert({1, 10, 100});
+  R.insert({1, 20, 200});
+  R.insert({2, 10, 300});
+  R.ensureIndex(0b001); // Key on column 0.
+  EXPECT_EQ(R.probe(0b001, {1}).size(), 2u);
+  EXPECT_EQ(R.probe(0b001, {2}).size(), 1u);
+  EXPECT_EQ(R.probe(0b001, {3}).size(), 0u);
+  R.ensureIndex(0b011); // Key on columns 0 and 1.
+  EXPECT_EQ(R.probe(0b011, {1, 20}).size(), 1u);
+  // Index stays current across later inserts.
+  R.insert({1, 30, 400});
+  EXPECT_EQ(R.probe(0b001, {1}).size(), 3u);
+}
+
+TEST(EngineTest, TransitiveClosure) {
+  Program P;
+  std::uint32_t Edge = P.addRelation("edge", 2);
+  std::uint32_t Path = P.addRelation("path", 2);
+  // Chain 0 -> 1 -> 2 -> 3 plus a cycle back 3 -> 0.
+  P.addFact(Edge, {0, 1});
+  P.addFact(Edge, {1, 2});
+  P.addFact(Edge, {2, 3});
+  P.addFact(Edge, {3, 0});
+
+  {
+    Rule R;
+    R.Head = {Path, {v(0), v(1)}};
+    R.Body = {{Edge, {v(0), v(1)}}};
+    R.NumVars = 2;
+    P.addRule(std::move(R));
+  }
+  {
+    Rule R;
+    R.Head = {Path, {v(0), v(2)}};
+    R.Body = {{Path, {v(0), v(1)}}, {Edge, {v(1), v(2)}}};
+    R.NumVars = 3;
+    P.addRule(std::move(R));
+  }
+  P.run();
+  // Full 4x4 closure on the cycle.
+  EXPECT_EQ(P.relation(Path).size(), 16u);
+}
+
+TEST(EngineTest, ConstantsInAtoms) {
+  Program P;
+  std::uint32_t In = P.addRelation("in", 2);
+  std::uint32_t Out = P.addRelation("out", 1);
+  P.addFact(In, {7, 1});
+  P.addFact(In, {8, 2});
+  P.addFact(In, {9, 1});
+  Rule R;
+  R.Head = {Out, {v(0)}};
+  R.Body = {{In, {v(0), c(1)}}};
+  R.NumVars = 1;
+  P.addRule(std::move(R));
+  P.run();
+  EXPECT_EQ(P.relation(Out).size(), 2u);
+  EXPECT_TRUE(P.relation(Out).contains({7}));
+  EXPECT_TRUE(P.relation(Out).contains({9}));
+}
+
+TEST(EngineTest, BuiltinComputesAndFilters) {
+  Program P;
+  std::uint32_t In = P.addRelation("in", 2);
+  std::uint32_t Out = P.addRelation("out", 2);
+  P.addFact(In, {1, 2});
+  P.addFact(In, {10, 20});
+  Rule R;
+  R.Head = {Out, {v(0), v(2)}};
+  R.Body = {{In, {v(0), v(1)}}};
+  BuiltinCall B;
+  B.Name = "sum_if_small";
+  B.Fn = [](const std::vector<Value> &I) -> std::optional<Value> {
+    Value S = I[0] + I[1];
+    if (S > 10)
+      return std::nullopt; // Filters the (10, 20) row.
+    return S;
+  };
+  B.Inputs = {0, 1};
+  B.Output = 2;
+  R.Builtins.push_back(std::move(B));
+  R.NumVars = 3;
+  P.addRule(std::move(R));
+  P.run();
+  EXPECT_EQ(P.relation(Out).size(), 1u);
+  EXPECT_TRUE(P.relation(Out).contains({1, 3}));
+}
+
+TEST(EngineTest, MutualRecursion) {
+  // even(0). even(Y) :- odd(X), succ(X,Y). odd(Y) :- even(X), succ(X,Y).
+  Program P;
+  std::uint32_t Succ = P.addRelation("succ", 2);
+  std::uint32_t Even = P.addRelation("even", 1);
+  std::uint32_t Odd = P.addRelation("odd", 1);
+  for (Value I = 0; I < 9; ++I)
+    P.addFact(Succ, {I, I + 1});
+  P.addFact(Even, {0}); // Pre-seeded derived fact.
+  {
+    Rule R;
+    R.Head = {Odd, {v(1)}};
+    R.Body = {{Even, {v(0)}}, {Succ, {v(0), v(1)}}};
+    R.NumVars = 2;
+    P.addRule(std::move(R));
+  }
+  {
+    Rule R;
+    R.Head = {Even, {v(1)}};
+    R.Body = {{Odd, {v(0)}}, {Succ, {v(0), v(1)}}};
+    R.NumVars = 2;
+    P.addRule(std::move(R));
+  }
+  P.run();
+  EXPECT_EQ(P.relation(Even).size(), 5u); // 0 2 4 6 8.
+  EXPECT_EQ(P.relation(Odd).size(), 5u);  // 1 3 5 7 9.
+  EXPECT_TRUE(P.relation(Even).contains({8}));
+  EXPECT_TRUE(P.relation(Odd).contains({9}));
+}
+
+TEST(EngineTest, SameRelationTwiceInBody) {
+  // sibling-ish join: common(X,Y) :- parent(P,X), parent(P,Y).
+  Program P;
+  std::uint32_t Par = P.addRelation("parent", 2);
+  std::uint32_t Com = P.addRelation("common", 2);
+  P.addFact(Par, {1, 10});
+  P.addFact(Par, {1, 11});
+  P.addFact(Par, {2, 20});
+  Rule R;
+  R.Head = {Com, {v(1), v(2)}};
+  R.Body = {{Par, {v(0), v(1)}}, {Par, {v(0), v(2)}}};
+  R.NumVars = 3;
+  P.addRule(std::move(R));
+  P.run();
+  auto Got = pairs(P.relation(Com));
+  std::set<std::pair<Value, Value>> Want = {
+      {10, 10}, {10, 11}, {11, 10}, {11, 11}, {20, 20}};
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(EngineTest, DerivationCountGrows) {
+  Program P;
+  std::uint32_t Edge = P.addRelation("edge", 2);
+  std::uint32_t Path = P.addRelation("path", 2);
+  P.addFact(Edge, {0, 1});
+  P.addFact(Edge, {1, 2});
+  Rule R1;
+  R1.Head = {Path, {v(0), v(1)}};
+  R1.Body = {{Edge, {v(0), v(1)}}};
+  R1.NumVars = 2;
+  P.addRule(std::move(R1));
+  Rule R2;
+  R2.Head = {Path, {v(0), v(2)}};
+  R2.Body = {{Path, {v(0), v(1)}}, {Edge, {v(1), v(2)}}};
+  R2.NumVars = 3;
+  P.addRule(std::move(R2));
+  P.run();
+  EXPECT_GE(P.numDerivations(), P.relation(Path).size());
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- tests/demand_test.cpp - Demand-driven query engine -----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Tests for the Section-10 future-work direction: demand-driven queries.
+// The demand engine answers per-variable may-point-to queries by growing
+// a relevant subgraph; its answers must always contain the exhaustive
+// context-insensitive oracle's (it assumes methods reachable, like
+// Sridharan & Bodík's initial approximation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfl/Demand.h"
+#include "cfl/Oracle.h"
+#include "facts/Extract.h"
+#include "ir/Builder.h"
+#include "workload/Generator.h"
+#include "workload/PaperPrograms.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ctp;
+using namespace ctp::ir;
+
+namespace {
+
+using U32s = std::vector<std::uint32_t>;
+
+std::map<std::uint32_t, U32s> oraclePts(const facts::FactDB &DB) {
+  std::map<std::uint32_t, U32s> Out;
+  for (const auto &P : cfl::solveInsensitive(DB).Pts)
+    Out[P[0]].push_back(P[1]);
+  return Out;
+}
+
+TEST(DemandTest, DirectAndAssignChain) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  VarId X = B.addLocal(Main, "x");
+  HeapId H = B.addNew(Main, X, Obj, "h");
+  VarId Y = B.addLocal(Main, "y");
+  B.addAssign(Main, Y, X);
+  VarId Z = B.addLocal(Main, "z");
+  B.addAssign(Main, Z, Y);
+  facts::FactDB DB = facts::extract(B.take());
+
+  cfl::DemandSolver D(DB);
+  EXPECT_EQ(D.query(Z).Heaps, (U32s{H}));
+  EXPECT_FALSE(D.query(Z).BudgetExceeded);
+  // The query for x should touch fewer variables than for z.
+  EXPECT_LT(D.query(X).RelevantVars, D.query(Z).RelevantVars);
+}
+
+TEST(DemandTest, FieldMatchIsObjectSensitive) {
+  // Two boxes, one queried load: only the matching store's value flows.
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Box = B.addClass("Box", Obj);
+  FieldId F = B.addField("f");
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  VarId B1 = B.addLocal(Main, "b1");
+  B.addNew(Main, B1, Box, "hb1");
+  VarId B2 = B.addLocal(Main, "b2");
+  B.addNew(Main, B2, Box, "hb2");
+  VarId V1 = B.addLocal(Main, "v1");
+  HeapId H1 = B.addNew(Main, V1, Obj, "h1");
+  VarId V2 = B.addLocal(Main, "v2");
+  B.addNew(Main, V2, Obj, "h2");
+  B.addStore(Main, B1, F, V1);
+  B.addStore(Main, B2, F, V2);
+  VarId W = B.addLocal(Main, "w");
+  B.addLoad(Main, W, B1, F);
+  facts::FactDB DB = facts::extract(B.take());
+
+  cfl::DemandSolver D(DB);
+  EXPECT_EQ(D.query(W).Heaps, (U32s{H1}));
+}
+
+TEST(DemandTest, VirtualCallAndReturn) {
+  workload::Figure1Program F = workload::figure1();
+  facts::FactDB DB = facts::extract(F.P);
+  cfl::DemandSolver D(DB);
+  // CI answers on the Figure-1 program (matches the oracle).
+  EXPECT_EQ(D.query(F.X1).Heaps, (U32s{F.H1, F.H2}));
+  EXPECT_EQ(D.query(F.Z).Heaps, (U32s{F.H1}));
+  EXPECT_TRUE(D.mayAlias(F.X, F.X1));
+}
+
+TEST(DemandTest, BudgetExhaustionIsSoundAndFlagged) {
+  workload::Figure1Program F = workload::figure1();
+  facts::FactDB DB = facts::extract(F.P);
+  cfl::DemandSolver D(DB);
+  cfl::DemandAnswer A = D.query(F.X2, /*Budget=*/2);
+  EXPECT_TRUE(A.BudgetExceeded);
+  // Fallback answer is every heap site — sound by construction.
+  EXPECT_EQ(A.Heaps.size(), DB.numHeaps());
+}
+
+struct DemandProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DemandProperty, ContainsOracleAnswerForEveryVariable) {
+  workload::WorkloadParams Params;
+  Params.DataClasses = 3;
+  Params.WrapperChains = 2;
+  Params.Factories = 2;
+  Params.Containers = 2;
+  Params.PolyBases = 2;
+  Params.Drivers = 3;
+  Params.Scenarios = 4;
+  Params.PrivateScenarios = 4;
+  Params.AstScenarios = GetParam() % 2 ? 2 : 0;
+  Params.Seed = GetParam();
+  facts::FactDB DB = facts::extract(workload::generate(Params));
+
+  auto Oracle = oraclePts(DB);
+  cfl::DemandSolver D(DB);
+  for (std::uint32_t V = 0; V < DB.numVars(); ++V) {
+    cfl::DemandAnswer A = D.query(V);
+    ASSERT_FALSE(A.BudgetExceeded) << "var " << V;
+    auto It = Oracle.find(V);
+    if (It == Oracle.end())
+      continue;
+    EXPECT_TRUE(std::includes(A.Heaps.begin(), A.Heaps.end(),
+                              It->second.begin(), It->second.end()))
+        << "demand answer for " << DB.VarNames[V]
+        << " misses oracle facts (seed " << GetParam() << ")";
+  }
+}
+
+TEST_P(DemandProperty, QueriesAreCheaperThanExhaustive) {
+  workload::WorkloadParams Params;
+  Params.Drivers = 4;
+  Params.Scenarios = 6;
+  Params.PrivateScenarios = 6;
+  Params.Seed = GetParam() ^ 0xD00D;
+  facts::FactDB DB = facts::extract(workload::generate(Params));
+  cfl::DemandSolver D(DB);
+  // A local directly assigned from an allocation should not explore the
+  // whole program.
+  for (const auto &F : DB.AssignNews) {
+    cfl::DemandAnswer A = D.query(F.To);
+    EXPECT_LT(A.RelevantVars, DB.numVars());
+    EXPECT_FALSE(A.Heaps.empty());
+    break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/equivalence_test.cpp - Theorems 6.1 / 6.2 in practice --------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Property sweep over randomly generated programs:
+//  * Soundness (Thm 6.1): the CI projection of every transformer-string
+//    run contains the CI projection of the context-string run at the same
+//    levels, and both contain nothing outside the CI oracle... more
+//    precisely every context-sensitive result is a subset of the CI
+//    oracle, and the transformer result is a superset of the context-
+//    string result.
+//  * Equal precision in practice (Thm 6.2 + Section 8): under call-site
+//    and object sensitivity the two projections are *equal*; under type
+//    sensitivity the transformer abstraction may lose precision (subset
+//    direction only).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "cfl/Oracle.h"
+#include "facts/Extract.h"
+#include "workload/Generator.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace ctp;
+using ctx::Abstraction;
+using ctx::Config;
+
+namespace {
+
+template <typename T>
+bool isSubset(const std::vector<T> &A, const std::vector<T> &B) {
+  // Both sorted.
+  return std::includes(B.begin(), B.end(), A.begin(), A.end());
+}
+
+facts::FactDB smallProgram(std::uint64_t Seed) {
+  workload::WorkloadParams P;
+  P.DataClasses = 3;
+  P.WrapperChains = 2;
+  P.WrapperDepth = 2;
+  P.Factories = 2;
+  P.Containers = 2;
+  P.PolyBases = 2;
+  P.PolyVariants = 3;
+  P.Drivers = 3;
+  P.Scenarios = 4;
+  P.AstScenarios = Seed % 2 ? 2 : 0;
+  P.Seed = Seed;
+  return facts::extract(workload::generate(P));
+}
+
+struct EquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceTest, CallSiteAndObjectPrecisionEqual) {
+  facts::FactDB DB = smallProgram(GetParam());
+  for (auto MakeCfg : {ctx::oneCall, ctx::oneCallH, ctx::oneObject,
+                       ctx::twoObjectH}) {
+    analysis::Results Cs =
+        analysis::solve(DB, MakeCfg(Abstraction::ContextString));
+    analysis::Results Ts =
+        analysis::solve(DB, MakeCfg(Abstraction::TransformerString));
+    EXPECT_EQ(Cs.ciPts(), Ts.ciPts())
+        << Cs.Config.name() << " seed " << GetParam();
+    EXPECT_EQ(Cs.ciHpts(), Ts.ciHpts())
+        << Cs.Config.name() << " seed " << GetParam();
+    EXPECT_EQ(Cs.ciCall(), Ts.ciCall())
+        << Cs.Config.name() << " seed " << GetParam();
+  }
+}
+
+TEST_P(EquivalenceTest, TypeSensitivityMayOnlyLosePrecision) {
+  facts::FactDB DB = smallProgram(GetParam());
+  analysis::Results Cs =
+      analysis::solve(DB, ctx::twoTypeH(Abstraction::ContextString));
+  analysis::Results Ts =
+      analysis::solve(DB, ctx::twoTypeH(Abstraction::TransformerString));
+  // Soundness: transformer result ⊇ context-string result.
+  EXPECT_TRUE(isSubset(Cs.ciPts(), Ts.ciPts())) << "seed " << GetParam();
+  EXPECT_TRUE(isSubset(Cs.ciHpts(), Ts.ciHpts())) << "seed " << GetParam();
+  EXPECT_TRUE(isSubset(Cs.ciCall(), Ts.ciCall())) << "seed " << GetParam();
+}
+
+TEST_P(EquivalenceTest, EverythingWithinTheInsensitiveOracle) {
+  facts::FactDB DB = smallProgram(GetParam());
+  cfl::OracleResult O = cfl::solveInsensitive(DB);
+  for (Abstraction A :
+       {Abstraction::ContextString, Abstraction::TransformerString})
+    for (auto MakeCfg : {ctx::oneCall, ctx::oneCallH, ctx::oneObject,
+                         ctx::twoObjectH, ctx::twoTypeH}) {
+      analysis::Results R = analysis::solve(DB, MakeCfg(A));
+      EXPECT_TRUE(isSubset(R.ciPts(), O.Pts))
+          << R.Config.name() << " seed " << GetParam();
+      EXPECT_TRUE(isSubset(R.ciCall(), O.Calls))
+          << R.Config.name() << " seed " << GetParam();
+    }
+}
+
+TEST_P(EquivalenceTest, MorePreciseConfigsAreSubsets) {
+  // Context sensitivity can only shrink the CI projection: 2-call ⊆
+  // 1-call ⊆ CI (classic monotonicity sanity check).
+  facts::FactDB DB = smallProgram(GetParam());
+  Config CI = ctx::insensitive(Abstraction::ContextString);
+  Config C1 = ctx::oneCall(Abstraction::ContextString);
+  Config C2{Abstraction::ContextString, ctx::Flavour::CallSite, 2, 0};
+  auto RCI = analysis::solve(DB, CI).ciPts();
+  auto R1 = analysis::solve(DB, C1).ciPts();
+  auto R2 = analysis::solve(DB, C2).ciPts();
+  EXPECT_TRUE(isSubset(R1, RCI)) << "seed " << GetParam();
+  EXPECT_TRUE(isSubset(R2, R1)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));
+
+} // namespace

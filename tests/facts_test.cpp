@@ -1,0 +1,99 @@
+//===- tests/facts_test.cpp - Fact extraction tests -----------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "facts/Extract.h"
+#include "workload/PaperPrograms.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace ctp;
+using namespace ctp::facts;
+
+namespace {
+
+TEST(FactsTest, Figure1Extraction) {
+  workload::Figure1Program F = workload::figure1();
+  FactDB DB = extract(F.P);
+  EXPECT_EQ(DB.validate(), "");
+
+  // Five allocation sites in main (h1..h5) + m1 in T.m().
+  EXPECT_EQ(DB.AssignNews.size(), 6u);
+  // Seven virtual call sites c1..c7.
+  EXPECT_EQ(DB.VirtualInvokes.size(), 7u);
+  EXPECT_EQ(DB.StaticInvokes.size(), 0u);
+  // One store (a.f = x) and one load (z = b.f).
+  EXPECT_EQ(DB.Stores.size(), 1u);
+  EXPECT_EQ(DB.Loads.size(), 1u);
+  // id, id2, m have this vars; main does not.
+  EXPECT_EQ(DB.ThisVars.size(), 3u);
+  EXPECT_EQ(DB.EntryMethods.size(), 1u);
+}
+
+TEST(FactsTest, ImplementsResolvesThroughHierarchy) {
+  workload::Figure1Program F = workload::figure1();
+  FactDB DB = extract(F.P);
+  // Type T implements id, id2, m. Object implements none of them.
+  std::size_t ForT = 0, ForObject = 0;
+  // Type ids: Object = 0, T = 1 (builder order in figure1()).
+  for (const auto &I : DB.Implements) {
+    if (I.Type == 1)
+      ++ForT;
+    if (I.Type == 0)
+      ++ForObject;
+  }
+  EXPECT_EQ(ForT, 3u);
+  EXPECT_EQ(ForObject, 0u);
+}
+
+TEST(FactsTest, ClassOfHeapFollowsParentMethod) {
+  workload::Figure5Program F = workload::figure5();
+  FactDB DB = extract(F.P);
+  // h1 is allocated inside T.m(), declared in class T (type id 1).
+  EXPECT_EQ(DB.classOfHeap(F.H1), 1u);
+}
+
+TEST(FactsTest, ActualsAndFormalsAligned) {
+  workload::Figure1Program F = workload::figure1();
+  FactDB DB = extract(F.P);
+  // Every virtual call to id/id2 passes one actual; m passes none.
+  std::vector<std::size_t> ActualCount(DB.numInvokes(), 0);
+  for (const auto &A : DB.Actuals)
+    ++ActualCount[A.Invoke];
+  std::size_t OneArg =
+      std::count(ActualCount.begin(), ActualCount.end(), 1u);
+  std::size_t ZeroArg =
+      std::count(ActualCount.begin(), ActualCount.end(), 0u);
+  EXPECT_EQ(OneArg, 5u);  // c1..c5.
+  EXPECT_EQ(ZeroArg, 2u); // c6, c7.
+}
+
+TEST(FactsTest, NumInputFactsIsConsistent) {
+  workload::Figure7Program F = workload::figure7();
+  FactDB DB = extract(F.P);
+  std::size_t Sum = DB.Actuals.size() + DB.Assigns.size() +
+                    DB.AssignNews.size() + DB.AssignReturns.size() +
+                    DB.Formals.size() + DB.HeapTypes.size() +
+                    DB.Implements.size() + DB.Loads.size() +
+                    DB.Returns.size() + DB.StaticInvokes.size() +
+                    DB.Stores.size() + DB.ThisVars.size() +
+                    DB.VirtualInvokes.size() + DB.GlobalStores.size() +
+                    DB.GlobalLoads.size() + DB.Throws.size() +
+                    DB.Catches.size() + DB.Casts.size() +
+                    DB.Subtypes.size();
+  EXPECT_EQ(DB.numInputFacts(), Sum);
+}
+
+TEST(FactsTest, ValidateCatchesOutOfRange) {
+  workload::Figure7Program F = workload::figure7();
+  FactDB DB = extract(F.P);
+  DB.Assigns.push_back({static_cast<Id>(DB.numVars()), 0});
+  EXPECT_NE(DB.validate(), "");
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/ir_test.cpp - IR model, builder, dispatch, validator ---------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Ir.h"
+#include "workload/PaperPrograms.h"
+
+#include "gtest/gtest.h"
+
+using namespace ctp;
+using namespace ctp::ir;
+
+namespace {
+
+TEST(IrBuilderTest, BuildsValidMinimalProgram) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  VarId X = B.addLocal(Main, "x");
+  B.addNew(Main, X, Obj, "h0");
+  Program P = B.take();
+  EXPECT_EQ(validate(P), "");
+  EXPECT_EQ(P.Methods.size(), 1u);
+  EXPECT_EQ(P.Heaps.size(), 1u);
+}
+
+TEST(IrBuilderTest, SignatureInterning) {
+  Builder B;
+  SigId A = B.signature("foo", 1);
+  SigId A2 = B.signature("foo", 1);
+  SigId C = B.signature("foo", 2);
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, C);
+}
+
+TEST(IrBuilderTest, FieldInterning) {
+  Builder B;
+  EXPECT_EQ(B.addField("f"), B.addField("f"));
+  EXPECT_NE(B.addField("f"), B.addField("g"));
+}
+
+TEST(IrDispatchTest, OverridesWin) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Base = B.addClass("Base", Obj);
+  TypeId Derived = B.addClass("Derived", Base);
+  MethodId BaseOp = B.addMethod(Base, "op", 0);
+  MethodId DerivedOp = B.addMethod(Derived, "op", 0);
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  Program P = B.take();
+
+  SigId Op = 0; // First interned signature in this program is main's? No:
+  // signatures are interned in method-creation order: Base.op first.
+  Op = P.Methods[BaseOp].Sig;
+  EXPECT_EQ(P.resolveDispatch(Base, Op), BaseOp);
+  EXPECT_EQ(P.resolveDispatch(Derived, Op), DerivedOp);
+  // Object does not implement op.
+  EXPECT_EQ(P.resolveDispatch(Obj, Op), InvalidId);
+}
+
+TEST(IrDispatchTest, InheritedMethod) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Base = B.addClass("Base", Obj);
+  TypeId Leaf = B.addClass("Leaf", Base);
+  MethodId BaseOp = B.addMethod(Base, "op", 1);
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  Program P = B.take();
+  EXPECT_EQ(P.resolveDispatch(Leaf, P.Methods[BaseOp].Sig), BaseOp);
+}
+
+TEST(IrSubtypeTest, ChainWalk) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId A = B.addClass("A", Obj);
+  TypeId B2 = B.addClass("B", A);
+  TypeId C = B.addClass("C", Obj);
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  Program P = B.take();
+  EXPECT_TRUE(P.isSubtypeOf(B2, A));
+  EXPECT_TRUE(P.isSubtypeOf(B2, Obj));
+  EXPECT_TRUE(P.isSubtypeOf(A, A));
+  EXPECT_FALSE(P.isSubtypeOf(A, B2));
+  EXPECT_FALSE(P.isSubtypeOf(C, A));
+}
+
+TEST(IrValidateTest, CatchesCrossMethodVariable) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  MethodId Other = B.addStaticMethod(Obj, "other", 0);
+  B.setMain(Main);
+  VarId X = B.addLocal(Main, "x");
+  VarId Y = B.addLocal(Other, "y");
+  B.addAssign(Main, X, Y); // Y belongs to Other: invalid.
+  Program P = B.program();
+  EXPECT_NE(validate(P), "");
+}
+
+TEST(IrValidateTest, PaperProgramsAreValid) {
+  EXPECT_EQ(validate(workload::figure1().P), "");
+  EXPECT_EQ(validate(workload::figure5().P), "");
+  EXPECT_EQ(validate(workload::figure7().P), "");
+}
+
+TEST(IrPrintTest, MentionsKeyConstructs) {
+  workload::Figure1Program F = workload::figure1();
+  std::string Dump = printProgram(F.P);
+  EXPECT_NE(Dump.find("new Object(); // h1"), std::string::npos);
+  EXPECT_NE(Dump.find("// c4"), std::string::npos);
+  EXPECT_NE(Dump.find("return"), std::string::npos);
+}
+
+} // namespace

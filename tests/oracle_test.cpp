@@ -1,0 +1,127 @@
+//===- tests/oracle_test.cpp - CI oracle and PAG tests --------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "cfl/Oracle.h"
+#include "cfl/Pag.h"
+#include "facts/Extract.h"
+#include "workload/PaperPrograms.h"
+#include "workload/Presets.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+namespace {
+
+TEST(OracleTest, Figure1InsensitiveResults) {
+  workload::Figure1Program F = workload::figure1();
+  facts::FactDB DB = facts::extract(F.P);
+  cfl::OracleResult R = cfl::solveInsensitive(DB);
+
+  auto PointsTo = [&](std::uint32_t V) {
+    std::vector<std::uint32_t> Out;
+    for (const auto &P : R.Pts)
+      if (P[0] == V)
+        Out.push_back(P[1]);
+    return Out;
+  };
+  EXPECT_EQ(PointsTo(F.X1), (std::vector<std::uint32_t>{F.H1, F.H2}));
+  EXPECT_EQ(PointsTo(F.Z), (std::vector<std::uint32_t>{F.H1}));
+}
+
+TEST(OracleTest, MatchesInsensitiveSolverOnPaperPrograms) {
+  for (int Which = 0; Which < 3; ++Which) {
+    ir::Program P = Which == 0   ? workload::figure1().P
+                    : Which == 1 ? workload::figure5().P
+                                 : workload::figure7().P;
+    facts::FactDB DB = facts::extract(P);
+    cfl::OracleResult O = cfl::solveInsensitive(DB);
+    analysis::Results R = analysis::solve(
+        DB, ctx::insensitive(Abstraction::TransformerString));
+    EXPECT_EQ(O.Pts, R.ciPts()) << "program " << Which;
+    EXPECT_EQ(O.Calls, R.ciCall()) << "program " << Which;
+    EXPECT_EQ(O.ReachableMethods, R.ciReach()) << "program " << Which;
+  }
+}
+
+TEST(OracleTest, MatchesInsensitiveSolverOnPreset) {
+  facts::FactDB DB = facts::extract(workload::generatePreset("luindex"));
+  cfl::OracleResult O = cfl::solveInsensitive(DB);
+  for (Abstraction A :
+       {Abstraction::ContextString, Abstraction::TransformerString}) {
+    analysis::Results R = analysis::solve(DB, ctx::insensitive(A));
+    EXPECT_EQ(O.Pts, R.ciPts());
+    EXPECT_EQ(O.Calls, R.ciCall());
+  }
+}
+
+TEST(PagTest, IntraproceduralEdges) {
+  workload::Figure7Program F = workload::figure7();
+  facts::FactDB DB = facts::extract(F.P);
+  cfl::Pag G(DB);
+  // 2 new edges + 1 store + 1 load; no interprocedural edges requested.
+  std::size_t News = 0, Stores = 0, Loads = 0, Entries = 0;
+  for (const auto &E : G.edges()) {
+    switch (E.Kind) {
+    case cfl::EdgeKind::New:
+      ++News;
+      break;
+    case cfl::EdgeKind::Store:
+      ++Stores;
+      break;
+    case cfl::EdgeKind::Load:
+      ++Loads;
+      break;
+    case cfl::EdgeKind::Entry:
+      ++Entries;
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_EQ(News, 2u);
+  EXPECT_EQ(Stores, 1u);
+  EXPECT_EQ(Loads, 1u);
+  EXPECT_EQ(Entries, 0u);
+}
+
+TEST(PagTest, InterproceduralEdgesFromCallGraph) {
+  workload::Figure5Program F = workload::figure5();
+  facts::FactDB DB = facts::extract(F.P);
+  cfl::OracleResult O = cfl::solveInsensitive(DB);
+  std::vector<cfl::CallEdge> Calls;
+  for (const auto &C : O.Calls)
+    Calls.push_back({C[0], C[1]});
+  cfl::Pag G(DB, Calls);
+  std::size_t Entries = 0, Exits = 0;
+  for (const auto &E : G.edges()) {
+    if (E.Kind == cfl::EdgeKind::Entry)
+      ++Entries;
+    if (E.Kind == cfl::EdgeKind::Exit)
+      ++Exits;
+  }
+  // id1 passes one parameter; m1/m2 pass none. All three return.
+  EXPECT_EQ(Entries, 1u);
+  EXPECT_EQ(Exits, 3u);
+}
+
+TEST(PagTest, DotOutputMentionsLabels) {
+  workload::Figure7Program F = workload::figure7();
+  facts::FactDB DB = facts::extract(F.P);
+  cfl::Pag G(DB);
+  std::string Dot = G.toDot(DB);
+  EXPECT_NE(Dot.find("digraph pag"), std::string::npos);
+  EXPECT_NE(Dot.find("store[f]"), std::string::npos);
+  EXPECT_NE(Dot.find("load[f]"), std::string::npos);
+  EXPECT_NE(Dot.find("new"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/semantics_property_test.cpp - Algebraic law properties -------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Property-based tests of Section 4's lemmas, checked by evaluating the
+// concrete semantics over randomly generated transformers and contexts:
+//
+//   * Lemma 4.1 (match preserves meaning): compose(A,B) applied to X
+//     equals applying A then B to X.
+//   * Lemma 4.2 (truncation is conservative): the image under trunc(A)
+//     contains the image under A.
+//   * Inverse-semigroup laws hold semantically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/Semantics.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+namespace {
+
+/// Random transformer with small alphabet so cancellations actually occur.
+Transformer randomTransformer(Rng &R) {
+  Transformer T;
+  unsigned NumExits = static_cast<unsigned>(R.nextBelow(4));
+  unsigned NumEntries = static_cast<unsigned>(R.nextBelow(4));
+  for (unsigned I = 0; I < NumExits; ++I)
+    T.Exits.push_back(static_cast<CtxtElem>(R.nextBelow(3)));
+  T.Wild = R.chancePercent(30);
+  for (unsigned I = 0; I < NumEntries; ++I)
+    T.Entries.push_back(static_cast<CtxtElem>(R.nextBelow(3)));
+  return T;
+}
+
+ConcreteCtxt randomCtxt(Rng &R, unsigned MaxLen = 6) {
+  ConcreteCtxt C;
+  unsigned Len = static_cast<unsigned>(R.nextBelow(MaxLen + 1));
+  for (unsigned I = 0; I < Len; ++I)
+    C.push_back(static_cast<CtxtElem>(R.nextBelow(3)));
+  return C;
+}
+
+struct SemanticsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SemanticsProperty, ComposePreservesMeaning) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    Transformer A = randomTransformer(R);
+    Transformer B = randomTransformer(R);
+    ConcreteCtxt M = randomCtxt(R);
+
+    PrefixSet Sequential =
+        applyTransformer(B, applyTransformer(A, PrefixSet::exact(M)));
+    std::optional<Transformer> AB = compose(A, B);
+    PrefixSet Composed = AB ? applyTransformer(*AB, PrefixSet::exact(M))
+                            : PrefixSet::empty();
+    EXPECT_EQ(Sequential, Composed)
+        << printTransformer(A) << " ; " << printTransformer(B);
+  }
+}
+
+TEST_P(SemanticsProperty, BottomMeansEmptyEverywhere) {
+  // If compose returns nullopt, applying A then B must give the empty set
+  // for *every* context, not just sampled ones with a particular shape.
+  Rng R(GetParam() ^ 0x9999);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    Transformer A = randomTransformer(R);
+    Transformer B = randomTransformer(R);
+    if (compose(A, B))
+      continue;
+    for (int CtxTrial = 0; CtxTrial < 20; ++CtxTrial) {
+      ConcreteCtxt M = randomCtxt(R);
+      PrefixSet Out =
+          applyTransformer(B, applyTransformer(A, PrefixSet::exact(M)));
+      EXPECT_TRUE(Out.isEmpty());
+    }
+  }
+}
+
+TEST_P(SemanticsProperty, TruncationIsConservative) {
+  Rng R(GetParam() ^ 0x5a5a);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    Transformer A = randomTransformer(R);
+    unsigned I = static_cast<unsigned>(R.nextBelow(3));
+    unsigned J = static_cast<unsigned>(R.nextBelow(3));
+    Transformer Tr = truncate(A, I, J);
+    ConcreteCtxt M = randomCtxt(R);
+    PrefixSet Precise = applyTransformer(A, PrefixSet::exact(M));
+    PrefixSet Coarse = applyTransformer(Tr, PrefixSet::exact(M));
+    EXPECT_TRUE(prefixSetSubset(Precise, Coarse))
+        << printTransformer(A) << " truncated to (" << I << "," << J << ")";
+  }
+}
+
+TEST_P(SemanticsProperty, InverseLawSemantically) {
+  // x ∈ f(M) implies M ∈ f⁻¹(x) for exact results.
+  Rng R(GetParam() ^ 0x1111);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    Transformer F = randomTransformer(R);
+    ConcreteCtxt M = randomCtxt(R);
+    PrefixSet Out = applyTransformer(F, PrefixSet::exact(M));
+    if (Out.K != PrefixSet::Kind::Exact)
+      continue;
+    PrefixSet Back =
+        applyTransformer(inverse(F), PrefixSet::exact(Out.Prefix));
+    EXPECT_TRUE(prefixSetSubset(PrefixSet::exact(M), Back))
+        << printTransformer(F);
+  }
+}
+
+TEST_P(SemanticsProperty, CtxtPairMatchesItsReading) {
+  // (A,B)(X) is all-of-prefix-B when X meets all-of-prefix-A.
+  Rng R(GetParam() ^ 0x7777);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    CtxtPair P;
+    unsigned LA = static_cast<unsigned>(R.nextBelow(3));
+    unsigned LB = static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned I = 0; I < LA; ++I)
+      P.In.push_back(static_cast<CtxtElem>(R.nextBelow(3)));
+    for (unsigned I = 0; I < LB; ++I)
+      P.Out.push_back(static_cast<CtxtElem>(R.nextBelow(3)));
+    ConcreteCtxt M = randomCtxt(R);
+    PrefixSet Out = applyCtxtPair(P, PrefixSet::exact(M));
+    bool HasPrefix = M.size() >= P.In.size();
+    for (unsigned I = 0; HasPrefix && I < P.In.size(); ++I)
+      HasPrefix = M[I] == P.In[I];
+    if (HasPrefix) {
+      ASSERT_EQ(Out.K, PrefixSet::Kind::All);
+      EXPECT_EQ(Out.Prefix, ConcreteCtxt(P.Out.begin(), P.Out.end()));
+    } else {
+      EXPECT_TRUE(Out.isEmpty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234u));
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/subsumption_test.cpp - Section 8 subsumption collapsing ------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Tests of the subsumes predicate on canonical transformer strings and of
+// the CollapseSubsumedPts solver extension (the optimization Section 8
+// proposes: "whenever a fact pts(y,h,∗·ĉ) is derived, facts
+// pts(y,h,X·∗·ĉ) may be deleted ... without affecting the derivation of
+// facts through feasible data-flow paths").
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "ctx/Semantics.h"
+#include "ctx/TransformerString.h"
+#include "facts/Extract.h"
+#include "support/Rng.h"
+#include "workload/Generator.h"
+#include "workload/PaperPrograms.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace ctp;
+using namespace ctp::ctx;
+using ctx::Abstraction;
+
+namespace {
+
+Transformer make(std::initializer_list<CtxtElem> Exits, bool Wild,
+                 std::initializer_list<CtxtElem> Entries) {
+  Transformer T;
+  for (CtxtElem E : Exits)
+    T.Exits.push_back(E);
+  T.Wild = Wild;
+  for (CtxtElem E : Entries)
+    T.Entries.push_back(E);
+  return T;
+}
+
+TEST(SubsumesTest, WildcardSubsumesEverything) {
+  Transformer Star = make({}, true, {});
+  EXPECT_TRUE(subsumes(Star, make({1}, false, {2})));
+  EXPECT_TRUE(subsumes(Star, make({}, false, {})));
+  EXPECT_TRUE(subsumes(Star, make({1, 2}, true, {3})));
+  EXPECT_FALSE(subsumes(Star, Star)); // Strict.
+}
+
+TEST(SubsumesTest, PaperSection8Examples) {
+  // pts(X,H,M̌1·∗) and pts(X,H,∗·M̂2) subsume pts(X,H,M̌1·∗·M̂2).
+  Transformer A1 = make({1}, true, {});
+  Transformer A2 = make({}, true, {2});
+  Transformer B = make({1}, true, {2});
+  EXPECT_TRUE(subsumes(A1, B));
+  EXPECT_TRUE(subsumes(A2, B));
+  EXPECT_FALSE(subsumes(B, A1));
+  EXPECT_FALSE(subsumes(B, A2));
+}
+
+TEST(SubsumesTest, EpsilonSubsumesPrefixFilters) {
+  // Figure 7: ε subsumes č1·ĉ1.
+  Transformer Eps = Transformer::identity();
+  Transformer Filter = make({7}, false, {7});
+  EXPECT_TRUE(subsumes(Eps, Filter));
+  EXPECT_FALSE(subsumes(Filter, Eps));
+  // But ε does not subsume an exit or an entry alone.
+  EXPECT_FALSE(subsumes(Eps, make({7}, false, {})));
+  EXPECT_FALSE(subsumes(Eps, make({}, false, {7})));
+  // Nor a mismatched filter.
+  EXPECT_FALSE(subsumes(Eps, make({7}, false, {8})));
+}
+
+TEST(SubsumesTest, ExactNeverSubsumesWild) {
+  EXPECT_FALSE(subsumes(Transformer::identity(), make({}, true, {})));
+}
+
+TEST(SubsumesTest, AgreesWithSemantics) {
+  // Property: subsumes(A,B) implies image containment on sampled inputs.
+  Rng R(2024);
+  auto Random = [&R]() {
+    Transformer T;
+    unsigned NE = static_cast<unsigned>(R.nextBelow(3));
+    unsigned NN = static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned I = 0; I < NE; ++I)
+      T.Exits.push_back(static_cast<CtxtElem>(R.nextBelow(2)));
+    T.Wild = R.chancePercent(40);
+    for (unsigned I = 0; I < NN; ++I)
+      T.Entries.push_back(static_cast<CtxtElem>(R.nextBelow(2)));
+    return T;
+  };
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    Transformer A = Random(), B = Random();
+    if (!subsumes(A, B))
+      continue;
+    for (int K = 0; K < 10; ++K) {
+      ConcreteCtxt M;
+      unsigned Len = static_cast<unsigned>(R.nextBelow(5));
+      for (unsigned I = 0; I < Len; ++I)
+        M.push_back(static_cast<CtxtElem>(R.nextBelow(2)));
+      EXPECT_TRUE(prefixSetSubset(applyTransformer(B, M),
+                                  applyTransformer(A, M)))
+          << printTransformer(A) << " vs " << printTransformer(B);
+    }
+  }
+}
+
+TEST(CollapseTest, Figure7CollapsesToOneFact) {
+  workload::Figure7Program F = workload::figure7();
+  facts::FactDB DB = facts::extract(F.P);
+  analysis::SolverOptions Opts;
+  Opts.CollapseSubsumedPts = true;
+  analysis::Results R = analysis::solve(
+      DB, ctx::oneCallH(Abstraction::TransformerString), Opts);
+  std::size_t VFacts = 0;
+  for (const auto &P : R.Pts)
+    if (P.Var == F.V && P.Heap == F.H1)
+      ++VFacts;
+  // Without collapsing: ε and č1·ĉ1. The latter is retired.
+  EXPECT_EQ(VFacts, 1u);
+  EXPECT_GE(R.Stat.CollapsedPts, 1u);
+}
+
+TEST(CollapseTest, NoEffectOnContextStrings) {
+  facts::FactDB DB = facts::extract(workload::figure7().P);
+  analysis::SolverOptions Opts;
+  Opts.CollapseSubsumedPts = true;
+  analysis::Results A = analysis::solve(
+      DB, ctx::oneCallH(Abstraction::ContextString), Opts);
+  analysis::Results B =
+      analysis::solve(DB, ctx::oneCallH(Abstraction::ContextString));
+  EXPECT_EQ(A.Stat.NumPts, B.Stat.NumPts);
+  EXPECT_EQ(A.Stat.CollapsedPts, 0u);
+}
+
+struct CollapseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseProperty, SoundAndNeverLarger) {
+  workload::WorkloadParams Params;
+  Params.DataClasses = 3;
+  Params.WrapperChains = 2;
+  Params.Factories = 2;
+  Params.Containers = 2;
+  Params.PolyBases = 1;
+  Params.Drivers = 3;
+  Params.Scenarios = 5;
+  Params.PrivateScenarios = 4;
+  Params.AstScenarios = 2;
+  Params.Seed = GetParam();
+  facts::FactDB DB = facts::extract(workload::generate(Params));
+
+  analysis::SolverOptions Opts;
+  Opts.CollapseSubsumedPts = true;
+  for (auto MakeCfg :
+       {ctx::oneCall, ctx::oneCallH, ctx::oneObject, ctx::twoObjectH}) {
+    ctx::Config Cfg = MakeCfg(Abstraction::TransformerString);
+    analysis::Results Full = analysis::solve(DB, Cfg);
+    analysis::Results Col = analysis::solve(DB, Cfg, Opts);
+
+    // Collapsing never grows the relation and keeps it sound: the CI
+    // projection still covers everything the context-string analysis
+    // derives (which both transformer variants matched empirically).
+    EXPECT_LE(Col.Stat.NumPts, Full.Stat.NumPts) << Cfg.name();
+    auto FullCi = Full.ciPts();
+    auto ColCi = Col.ciPts();
+    EXPECT_TRUE(std::includes(FullCi.begin(), FullCi.end(), ColCi.begin(),
+                              ColCi.end()))
+        << Cfg.name();
+    analysis::Results Cs =
+        analysis::solve(DB, MakeCfg(Abstraction::ContextString));
+    auto CsCi = Cs.ciPts();
+    EXPECT_TRUE(std::includes(ColCi.begin(), ColCi.end(), CsCi.begin(),
+                              CsCi.end()))
+        << Cfg.name() << ": collapsed result lost a fact the "
+        << "context-string baseline derives";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseProperty,
+                         ::testing::Values(5u, 6u, 7u, 8u));
+
+} // namespace

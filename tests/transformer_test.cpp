@@ -1,0 +1,196 @@
+//===- tests/transformer_test.cpp - Transformer-string algebra ------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Unit tests for Section 4.2: match-based composition, truncation,
+// inverses, and the inverse-semigroup laws of Section 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/TransformerString.h"
+
+#include "gtest/gtest.h"
+
+using namespace ctp;
+using namespace ctp::ctx;
+
+namespace {
+
+Transformer make(std::initializer_list<CtxtElem> Exits, bool Wild,
+                 std::initializer_list<CtxtElem> Entries) {
+  Transformer T;
+  for (CtxtElem E : Exits)
+    T.Exits.push_back(E);
+  T.Wild = Wild;
+  for (CtxtElem E : Entries)
+    T.Entries.push_back(E);
+  return T;
+}
+
+TEST(TransformerTest, IdentityIsNeutral) {
+  Transformer Id = Transformer::identity();
+  Transformer T = make({1, 2}, true, {3});
+  auto L = compose(Id, T);
+  auto R = compose(T, Id);
+  ASSERT_TRUE(L.has_value());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*L, T);
+  EXPECT_EQ(*R, T);
+}
+
+TEST(TransformerTest, EntryThenMatchingExitCancels) {
+  // â ; ǎ = ε.
+  auto R = compose(Transformer::entry(7), Transformer::exit(7));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->isIdentity());
+}
+
+TEST(TransformerTest, EntryThenMismatchedExitIsBottom) {
+  // â ; b̌ = ⊥ for a != b.
+  EXPECT_FALSE(compose(Transformer::entry(7), Transformer::exit(8)));
+}
+
+TEST(TransformerTest, ExitThenEntryDoesNotCancel) {
+  // ǎ ; â is the "pop a, push a" prefix filter — not the identity.
+  auto R = compose(Transformer::exit(7), Transformer::entry(7));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->isIdentity());
+  EXPECT_EQ(*R, make({7}, false, {7}));
+}
+
+TEST(TransformerTest, PartialCancellation) {
+  // (â b̂) ; (ǎ č) — entries a,b vs exits a,c: first pair cancels, second
+  // mismatches. Entries list is top-most first, so the transformer pushing
+  // "a on top of b" has Entries = [a, b] and the exits [a, c] pop a then c.
+  Transformer Push = make({}, false, {1, 2});
+  Transformer Pop = make({1, 3}, false, {});
+  EXPECT_FALSE(compose(Push, Pop));
+
+  Transformer PopOk = make({1, 2}, false, {});
+  auto R = compose(Push, PopOk);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->isIdentity());
+}
+
+TEST(TransformerTest, LeftoverExitsExtend) {
+  // (ǎ) ; (b̌) = pop a then pop b.
+  auto R = compose(Transformer::exit(1), Transformer::exit(2));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, make({1, 2}, false, {}));
+}
+
+TEST(TransformerTest, LeftoverEntriesStack) {
+  // (â) ; (b̂): push a, then push b on top — entries [b, a].
+  auto R = compose(Transformer::entry(1), Transformer::entry(2));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, make({}, false, {2, 1}));
+}
+
+TEST(TransformerTest, WildcardAbsorbsFollowingExits) {
+  // (∗) ; (ǎ) = ∗.
+  Transformer Wild = make({}, true, {});
+  auto R = compose(Wild, Transformer::exit(5));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, Wild);
+}
+
+TEST(TransformerTest, WildcardAbsorbsPrecedingEntries) {
+  // (â) ; (∗) = ∗.
+  Transformer Wild = make({}, true, {});
+  auto R = compose(Transformer::entry(5), Wild);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, Wild);
+}
+
+TEST(TransformerTest, MismatchBeatsWildcard) {
+  // (ǎ ∗ b̂) ; (č ...) is ⊥: the concrete entry b̂ meets exit č before the
+  // wildcard can absorb anything.
+  Transformer A = make({1}, true, {2});
+  Transformer B = make({3}, false, {});
+  EXPECT_FALSE(compose(A, B));
+}
+
+TEST(TransformerTest, ExitsBeyondEntriesHitWildcard) {
+  // (∗ b̂) ; (b̌ č): b cancels, c falls into the wildcard.
+  Transformer A = make({}, true, {2});
+  Transformer B = make({2, 3}, false, {4});
+  auto R = compose(A, B);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, make({}, true, {4}));
+}
+
+TEST(TransformerTest, TruncationKeepsSmallStrings) {
+  Transformer T = make({1}, false, {2, 3});
+  EXPECT_EQ(truncate(T, 1, 2), T);
+}
+
+TEST(TransformerTest, TruncationAddsWildcard) {
+  Transformer T = make({1, 2}, false, {3, 4, 5});
+  Transformer Expect = make({1}, true, {3, 4});
+  EXPECT_EQ(truncate(T, 1, 2), Expect);
+}
+
+TEST(TransformerTest, InverseSwapsExitsAndEntries) {
+  Transformer T = make({1, 2}, true, {3});
+  Transformer Inv = inverse(T);
+  EXPECT_EQ(Inv, make({3}, true, {1, 2}));
+}
+
+TEST(TransformerTest, InverseSemigroupLaw) {
+  // f ; f⁻¹ ; f = f for every canonical transformer (Section 3).
+  std::vector<Transformer> Cases = {
+      Transformer::identity(),
+      Transformer::entry(1),
+      Transformer::exit(1),
+      make({1, 2}, false, {3}),
+      make({1}, true, {2, 3}),
+      make({}, true, {}),
+      make({4, 5}, false, {4, 5}),
+  };
+  for (const Transformer &F : Cases) {
+    auto Step1 = compose(F, inverse(F));
+    ASSERT_TRUE(Step1.has_value()) << printTransformer(F);
+    auto Step2 = compose(*Step1, F);
+    ASSERT_TRUE(Step2.has_value()) << printTransformer(F);
+    EXPECT_EQ(*Step2, F) << printTransformer(F);
+  }
+}
+
+TEST(TransformerTest, PrefixFilterFixesPrefix) {
+  CtxtVec M;
+  M.push_back(3);
+  M.push_back(9);
+  Transformer F = prefixFilter(M);
+  EXPECT_EQ(F, make({3, 9}, false, {3, 9}));
+  // Idempotent: F ; F = F.
+  auto R = compose(F, F);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, F);
+}
+
+TEST(TransformerTest, AssociativityOnSamples) {
+  std::vector<Transformer> Pool = {
+      Transformer::identity(), Transformer::entry(1), Transformer::exit(1),
+      Transformer::entry(2),   Transformer::exit(2),  make({}, true, {}),
+      make({1}, false, {2}),   make({2}, true, {1}),
+  };
+  for (const Transformer &A : Pool)
+    for (const Transformer &B : Pool)
+      for (const Transformer &C : Pool) {
+        auto AB = compose(A, B);
+        auto BC = compose(B, C);
+        std::optional<Transformer> L, R;
+        if (AB)
+          L = compose(*AB, C);
+        if (BC)
+          R = compose(A, *BC);
+        // ⊥ propagates: (A;B);C = ⊥ iff A;(B;C) = ⊥.
+        EXPECT_EQ(L.has_value(), R.has_value());
+        if (L && R) {
+          EXPECT_EQ(*L, *R);
+        }
+      }
+}
+
+} // namespace

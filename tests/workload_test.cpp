@@ -1,0 +1,81 @@
+//===- tests/workload_test.cpp - Synthetic workload generator tests -------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "facts/Extract.h"
+#include "workload/Generator.h"
+#include "workload/Presets.h"
+
+#include "gtest/gtest.h"
+
+using namespace ctp;
+using workload::WorkloadParams;
+
+namespace {
+
+TEST(WorkloadTest, GeneratesValidPrograms) {
+  for (const std::string &Name : workload::presetNames()) {
+    ir::Program P = workload::generatePreset(Name);
+    EXPECT_EQ(ir::validate(P), "") << Name;
+    EXPECT_GT(P.Methods.size(), 5u) << Name;
+    EXPECT_GT(P.Heaps.size(), 10u) << Name;
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadParams Params;
+  Params.Seed = 99;
+  ir::Program A = workload::generate(Params);
+  ir::Program B = workload::generate(Params);
+  EXPECT_EQ(ir::printProgram(A), ir::printProgram(B));
+}
+
+TEST(WorkloadTest, SeedChangesProgram) {
+  WorkloadParams P1, P2;
+  P1.Seed = 1;
+  P2.Seed = 2;
+  EXPECT_NE(ir::printProgram(workload::generate(P1)),
+            ir::printProgram(workload::generate(P2)));
+}
+
+TEST(WorkloadTest, BloatPresetHasAstPattern) {
+  WorkloadParams P = workload::presetParams("bloat");
+  EXPECT_GT(P.AstScenarios, 0u);
+  ir::Program Prog = workload::generate(P);
+  bool HasNode = false, HasStack = false;
+  for (const auto &T : Prog.Types) {
+    HasNode |= T.Name == "Node";
+    HasStack |= T.Name == "NodeStack";
+  }
+  EXPECT_TRUE(HasNode);
+  EXPECT_TRUE(HasStack);
+}
+
+TEST(WorkloadTest, ExtractsToConsistentFacts) {
+  for (const std::string &Name : workload::presetNames()) {
+    facts::FactDB DB = facts::extract(workload::generatePreset(Name));
+    EXPECT_EQ(DB.validate(), "") << Name;
+    EXPECT_GT(DB.VirtualInvokes.size(), 0u) << Name;
+    EXPECT_GT(DB.StaticInvokes.size(), 0u) << Name;
+    EXPECT_GT(DB.Stores.size(), 0u) << Name;
+    EXPECT_GT(DB.Loads.size(), 0u) << Name;
+  }
+}
+
+TEST(WorkloadTest, ZeroSizedKnobsStillProduceAProgram) {
+  WorkloadParams P;
+  P.DataClasses = 0;
+  P.WrapperChains = 0;
+  P.Factories = 0;
+  P.Containers = 0;
+  P.PolyBases = 0;
+  P.Drivers = 0;
+  P.Scenarios = 0;
+  ir::Program Prog = workload::generate(P);
+  EXPECT_EQ(ir::validate(Prog), "");
+}
+
+} // namespace
