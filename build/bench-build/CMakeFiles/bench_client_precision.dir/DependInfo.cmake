@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_client_precision.cpp" "bench-build/CMakeFiles/bench_client_precision.dir/bench_client_precision.cpp.o" "gcc" "bench-build/CMakeFiles/bench_client_precision.dir/bench_client_precision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ctp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfl/CMakeFiles/ctp_cfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ctp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/clients/CMakeFiles/ctp_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/ctp_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/facts/CMakeFiles/ctp_facts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ctp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctx/CMakeFiles/ctp_ctx.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_demand_queries"
+  "../bench/bench_demand_queries.pdb"
+  "CMakeFiles/bench_demand_queries.dir/bench_demand_queries.cpp.o"
+  "CMakeFiles/bench_demand_queries.dir/bench_demand_queries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demand_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

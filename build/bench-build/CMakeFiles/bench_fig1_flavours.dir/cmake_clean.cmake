@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_flavours"
+  "../bench/bench_fig1_flavours.pdb"
+  "CMakeFiles/bench_fig1_flavours.dir/bench_fig1_flavours.cpp.o"
+  "CMakeFiles/bench_fig1_flavours.dir/bench_fig1_flavours.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_flavours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_derivation"
+  "../bench/bench_fig5_derivation.pdb"
+  "CMakeFiles/bench_fig5_derivation.dir/bench_fig5_derivation.cpp.o"
+  "CMakeFiles/bench_fig5_derivation.dir/bench_fig5_derivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_main_table"
+  "../bench/bench_fig6_main_table.pdb"
+  "CMakeFiles/bench_fig6_main_table.dir/bench_fig6_main_table.cpp.o"
+  "CMakeFiles/bench_fig6_main_table.dir/bench_fig6_main_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_main_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

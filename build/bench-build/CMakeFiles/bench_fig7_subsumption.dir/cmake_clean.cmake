@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_subsumption"
+  "../bench/bench_fig7_subsumption.pdb"
+  "CMakeFiles/bench_fig7_subsumption.dir/bench_fig7_subsumption.cpp.o"
+  "CMakeFiles/bench_fig7_subsumption.dir/bench_fig7_subsumption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_subsumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_subsumption_collapse"
+  "../bench/bench_subsumption_collapse.pdb"
+  "CMakeFiles/bench_subsumption_collapse.dir/bench_subsumption_collapse.cpp.o"
+  "CMakeFiles/bench_subsumption_collapse.dir/bench_subsumption_collapse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subsumption_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_queries.dir/demand_queries.cpp.o"
+  "CMakeFiles/demand_queries.dir/demand_queries.cpp.o.d"
+  "demand_queries"
+  "demand_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

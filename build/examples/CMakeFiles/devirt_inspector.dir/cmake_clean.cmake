@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devirt_inspector.dir/devirt_inspector.cpp.o"
+  "CMakeFiles/devirt_inspector.dir/devirt_inspector.cpp.o.d"
+  "devirt_inspector"
+  "devirt_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devirt_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facts_pipeline.dir/facts_pipeline.cpp.o"
+  "CMakeFiles/facts_pipeline.dir/facts_pipeline.cpp.o.d"
+  "facts_pipeline"
+  "facts_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facts_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

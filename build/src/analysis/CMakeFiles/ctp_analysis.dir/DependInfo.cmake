@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Configurations.cpp" "src/analysis/CMakeFiles/ctp_analysis.dir/Configurations.cpp.o" "gcc" "src/analysis/CMakeFiles/ctp_analysis.dir/Configurations.cpp.o.d"
+  "/root/repo/src/analysis/DatalogFrontend.cpp" "src/analysis/CMakeFiles/ctp_analysis.dir/DatalogFrontend.cpp.o" "gcc" "src/analysis/CMakeFiles/ctp_analysis.dir/DatalogFrontend.cpp.o.d"
+  "/root/repo/src/analysis/Results.cpp" "src/analysis/CMakeFiles/ctp_analysis.dir/Results.cpp.o" "gcc" "src/analysis/CMakeFiles/ctp_analysis.dir/Results.cpp.o.d"
+  "/root/repo/src/analysis/ResultsIO.cpp" "src/analysis/CMakeFiles/ctp_analysis.dir/ResultsIO.cpp.o" "gcc" "src/analysis/CMakeFiles/ctp_analysis.dir/ResultsIO.cpp.o.d"
+  "/root/repo/src/analysis/Solver.cpp" "src/analysis/CMakeFiles/ctp_analysis.dir/Solver.cpp.o" "gcc" "src/analysis/CMakeFiles/ctp_analysis.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctx/CMakeFiles/ctp_ctx.dir/DependInfo.cmake"
+  "/root/repo/build/src/facts/CMakeFiles/ctp_facts.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/ctp_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ctp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

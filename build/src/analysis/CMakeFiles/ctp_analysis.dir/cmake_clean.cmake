@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_analysis.dir/Configurations.cpp.o"
+  "CMakeFiles/ctp_analysis.dir/Configurations.cpp.o.d"
+  "CMakeFiles/ctp_analysis.dir/DatalogFrontend.cpp.o"
+  "CMakeFiles/ctp_analysis.dir/DatalogFrontend.cpp.o.d"
+  "CMakeFiles/ctp_analysis.dir/Results.cpp.o"
+  "CMakeFiles/ctp_analysis.dir/Results.cpp.o.d"
+  "CMakeFiles/ctp_analysis.dir/ResultsIO.cpp.o"
+  "CMakeFiles/ctp_analysis.dir/ResultsIO.cpp.o.d"
+  "CMakeFiles/ctp_analysis.dir/Solver.cpp.o"
+  "CMakeFiles/ctp_analysis.dir/Solver.cpp.o.d"
+  "libctp_analysis.a"
+  "libctp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfl/Demand.cpp" "src/cfl/CMakeFiles/ctp_cfl.dir/Demand.cpp.o" "gcc" "src/cfl/CMakeFiles/ctp_cfl.dir/Demand.cpp.o.d"
+  "/root/repo/src/cfl/Oracle.cpp" "src/cfl/CMakeFiles/ctp_cfl.dir/Oracle.cpp.o" "gcc" "src/cfl/CMakeFiles/ctp_cfl.dir/Oracle.cpp.o.d"
+  "/root/repo/src/cfl/Pag.cpp" "src/cfl/CMakeFiles/ctp_cfl.dir/Pag.cpp.o" "gcc" "src/cfl/CMakeFiles/ctp_cfl.dir/Pag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/facts/CMakeFiles/ctp_facts.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ctp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

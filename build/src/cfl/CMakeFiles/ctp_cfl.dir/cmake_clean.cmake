@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_cfl.dir/Demand.cpp.o"
+  "CMakeFiles/ctp_cfl.dir/Demand.cpp.o.d"
+  "CMakeFiles/ctp_cfl.dir/Oracle.cpp.o"
+  "CMakeFiles/ctp_cfl.dir/Oracle.cpp.o.d"
+  "CMakeFiles/ctp_cfl.dir/Pag.cpp.o"
+  "CMakeFiles/ctp_cfl.dir/Pag.cpp.o.d"
+  "libctp_cfl.a"
+  "libctp_cfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_cfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctp_cfl.a"
+)

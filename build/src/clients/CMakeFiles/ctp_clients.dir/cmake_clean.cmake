@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_clients.dir/Alias.cpp.o"
+  "CMakeFiles/ctp_clients.dir/Alias.cpp.o.d"
+  "CMakeFiles/ctp_clients.dir/Devirtualize.cpp.o"
+  "CMakeFiles/ctp_clients.dir/Devirtualize.cpp.o.d"
+  "CMakeFiles/ctp_clients.dir/Reachability.cpp.o"
+  "CMakeFiles/ctp_clients.dir/Reachability.cpp.o.d"
+  "libctp_clients.a"
+  "libctp_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctx/Config.cpp" "src/ctx/CMakeFiles/ctp_ctx.dir/Config.cpp.o" "gcc" "src/ctx/CMakeFiles/ctp_ctx.dir/Config.cpp.o.d"
+  "/root/repo/src/ctx/ContextString.cpp" "src/ctx/CMakeFiles/ctp_ctx.dir/ContextString.cpp.o" "gcc" "src/ctx/CMakeFiles/ctp_ctx.dir/ContextString.cpp.o.d"
+  "/root/repo/src/ctx/Ctxt.cpp" "src/ctx/CMakeFiles/ctp_ctx.dir/Ctxt.cpp.o" "gcc" "src/ctx/CMakeFiles/ctp_ctx.dir/Ctxt.cpp.o.d"
+  "/root/repo/src/ctx/Domain.cpp" "src/ctx/CMakeFiles/ctp_ctx.dir/Domain.cpp.o" "gcc" "src/ctx/CMakeFiles/ctp_ctx.dir/Domain.cpp.o.d"
+  "/root/repo/src/ctx/Semantics.cpp" "src/ctx/CMakeFiles/ctp_ctx.dir/Semantics.cpp.o" "gcc" "src/ctx/CMakeFiles/ctp_ctx.dir/Semantics.cpp.o.d"
+  "/root/repo/src/ctx/TransformerString.cpp" "src/ctx/CMakeFiles/ctp_ctx.dir/TransformerString.cpp.o" "gcc" "src/ctx/CMakeFiles/ctp_ctx.dir/TransformerString.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ctp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

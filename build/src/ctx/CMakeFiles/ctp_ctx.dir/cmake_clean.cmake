@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_ctx.dir/Config.cpp.o"
+  "CMakeFiles/ctp_ctx.dir/Config.cpp.o.d"
+  "CMakeFiles/ctp_ctx.dir/ContextString.cpp.o"
+  "CMakeFiles/ctp_ctx.dir/ContextString.cpp.o.d"
+  "CMakeFiles/ctp_ctx.dir/Ctxt.cpp.o"
+  "CMakeFiles/ctp_ctx.dir/Ctxt.cpp.o.d"
+  "CMakeFiles/ctp_ctx.dir/Domain.cpp.o"
+  "CMakeFiles/ctp_ctx.dir/Domain.cpp.o.d"
+  "CMakeFiles/ctp_ctx.dir/Semantics.cpp.o"
+  "CMakeFiles/ctp_ctx.dir/Semantics.cpp.o.d"
+  "CMakeFiles/ctp_ctx.dir/TransformerString.cpp.o"
+  "CMakeFiles/ctp_ctx.dir/TransformerString.cpp.o.d"
+  "libctp_ctx.a"
+  "libctp_ctx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

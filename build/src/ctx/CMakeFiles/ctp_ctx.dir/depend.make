@@ -1,0 +1,2 @@
+# Empty dependencies file for ctp_ctx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_datalog.dir/Engine.cpp.o"
+  "CMakeFiles/ctp_datalog.dir/Engine.cpp.o.d"
+  "CMakeFiles/ctp_datalog.dir/Relation.cpp.o"
+  "CMakeFiles/ctp_datalog.dir/Relation.cpp.o.d"
+  "libctp_datalog.a"
+  "libctp_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

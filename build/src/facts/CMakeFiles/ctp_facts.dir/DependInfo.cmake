@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facts/Extract.cpp" "src/facts/CMakeFiles/ctp_facts.dir/Extract.cpp.o" "gcc" "src/facts/CMakeFiles/ctp_facts.dir/Extract.cpp.o.d"
+  "/root/repo/src/facts/FactDB.cpp" "src/facts/CMakeFiles/ctp_facts.dir/FactDB.cpp.o" "gcc" "src/facts/CMakeFiles/ctp_facts.dir/FactDB.cpp.o.d"
+  "/root/repo/src/facts/TsvIO.cpp" "src/facts/CMakeFiles/ctp_facts.dir/TsvIO.cpp.o" "gcc" "src/facts/CMakeFiles/ctp_facts.dir/TsvIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ctp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_facts.dir/Extract.cpp.o"
+  "CMakeFiles/ctp_facts.dir/Extract.cpp.o.d"
+  "CMakeFiles/ctp_facts.dir/FactDB.cpp.o"
+  "CMakeFiles/ctp_facts.dir/FactDB.cpp.o.d"
+  "CMakeFiles/ctp_facts.dir/TsvIO.cpp.o"
+  "CMakeFiles/ctp_facts.dir/TsvIO.cpp.o.d"
+  "libctp_facts.a"
+  "libctp_facts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_facts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

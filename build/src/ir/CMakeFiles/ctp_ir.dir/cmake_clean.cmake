@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_ir.dir/Builder.cpp.o"
+  "CMakeFiles/ctp_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/ctp_ir.dir/Print.cpp.o"
+  "CMakeFiles/ctp_ir.dir/Print.cpp.o.d"
+  "CMakeFiles/ctp_ir.dir/Program.cpp.o"
+  "CMakeFiles/ctp_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/ctp_ir.dir/Validate.cpp.o"
+  "CMakeFiles/ctp_ir.dir/Validate.cpp.o.d"
+  "libctp_ir.a"
+  "libctp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_support.dir/Tsv.cpp.o"
+  "CMakeFiles/ctp_support.dir/Tsv.cpp.o.d"
+  "libctp_support.a"
+  "libctp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

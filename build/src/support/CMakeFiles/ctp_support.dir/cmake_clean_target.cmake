@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctp_support.a"
+)

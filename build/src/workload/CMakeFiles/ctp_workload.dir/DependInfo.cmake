@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Generator.cpp" "src/workload/CMakeFiles/ctp_workload.dir/Generator.cpp.o" "gcc" "src/workload/CMakeFiles/ctp_workload.dir/Generator.cpp.o.d"
+  "/root/repo/src/workload/PaperPrograms.cpp" "src/workload/CMakeFiles/ctp_workload.dir/PaperPrograms.cpp.o" "gcc" "src/workload/CMakeFiles/ctp_workload.dir/PaperPrograms.cpp.o.d"
+  "/root/repo/src/workload/Presets.cpp" "src/workload/CMakeFiles/ctp_workload.dir/Presets.cpp.o" "gcc" "src/workload/CMakeFiles/ctp_workload.dir/Presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ctp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/facts/CMakeFiles/ctp_facts.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_workload.dir/Generator.cpp.o"
+  "CMakeFiles/ctp_workload.dir/Generator.cpp.o.d"
+  "CMakeFiles/ctp_workload.dir/PaperPrograms.cpp.o"
+  "CMakeFiles/ctp_workload.dir/PaperPrograms.cpp.o.d"
+  "CMakeFiles/ctp_workload.dir/Presets.cpp.o"
+  "CMakeFiles/ctp_workload.dir/Presets.cpp.o.d"
+  "libctp_workload.a"
+  "libctp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_test.dir/cast_test.cpp.o"
+  "CMakeFiles/cast_test.dir/cast_test.cpp.o.d"
+  "cast_test"
+  "cast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configurations_test.dir/configurations_test.cpp.o"
+  "CMakeFiles/configurations_test.dir/configurations_test.cpp.o.d"
+  "configurations_test"
+  "configurations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configurations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_frontend_test.dir/datalog_frontend_test.cpp.o"
+  "CMakeFiles/datalog_frontend_test.dir/datalog_frontend_test.cpp.o.d"
+  "datalog_frontend_test"
+  "datalog_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

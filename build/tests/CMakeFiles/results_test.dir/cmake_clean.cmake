@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/results_test.dir/results_test.cpp.o"
+  "CMakeFiles/results_test.dir/results_test.cpp.o.d"
+  "results_test"
+  "results_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/results_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_basic_test.dir/solver_basic_test.cpp.o"
+  "CMakeFiles/solver_basic_test.dir/solver_basic_test.cpp.o.d"
+  "solver_basic_test"
+  "solver_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvio_test.dir/tsvio_test.cpp.o"
+  "CMakeFiles/tsvio_test.dir/tsvio_test.cpp.o.d"
+  "tsvio_test"
+  "tsvio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

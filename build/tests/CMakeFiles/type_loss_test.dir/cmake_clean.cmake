@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_loss_test.dir/type_loss_test.cpp.o"
+  "CMakeFiles/type_loss_test.dir/type_loss_test.cpp.o.d"
+  "type_loss_test"
+  "type_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

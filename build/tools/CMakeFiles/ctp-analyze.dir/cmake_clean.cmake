@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp-analyze.dir/ctp-analyze.cpp.o"
+  "CMakeFiles/ctp-analyze.dir/ctp-analyze.cpp.o.d"
+  "ctp-analyze"
+  "ctp-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp-genfacts.dir/ctp-genfacts.cpp.o"
+  "CMakeFiles/ctp-genfacts.dir/ctp-genfacts.cpp.o.d"
+  "ctp-genfacts"
+  "ctp-genfacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp-genfacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
