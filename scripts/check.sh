@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+#===- scripts/check.sh - Build and test, then repeat under sanitizers ----===#
+#
+# Part of the ctp project: a reproduction of "Context Transformations for
+# Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+#
+# Tier-1 gate: a normal RelWithDebInfo build + full ctest run, followed by
+# the same suite under AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DCTP_SANITIZE=address,undefined). Both must pass.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE=1
+[[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
+
+echo "== normal build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+if [[ "$SANITIZE" == 1 ]]; then
+  echo "== sanitizer build (address,undefined) =="
+  cmake -B build-asan -S . -DCTP_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
+fi
+
+echo "== all checks passed =="

@@ -7,6 +7,8 @@
 
 #include "analysis/Configurations.h"
 
+#include "analysis/DatalogFrontend.h"
+
 #include <cassert>
 
 using namespace ctp;
@@ -28,4 +30,61 @@ analysis::ptsConfigurationHistogram(const Results &R) {
   for (const auto &F : R.Pts)
     ++Hist[configurationOf(R.Dom->transformer(F.T))];
   return Hist;
+}
+
+std::vector<ctx::Config>
+analysis::defaultLadder(const ctx::Config &Precise) {
+  const ctx::Abstraction A = Precise.Abs;
+  const ctx::Config Rungs[] = {ctx::twoObjectH(A), ctx::twoTypeH(A),
+                               ctx::oneObject(A), ctx::insensitive(A)};
+  std::vector<ctx::Config> Ladder;
+  Ladder.push_back(Precise);
+  // Append only rungs strictly below the requested configuration. An
+  // unlisted Precise (e.g. 1-call+H) falls back through every rung
+  // cheaper than 2-object+H.
+  std::size_t Start = 1;
+  for (std::size_t I = 0; I < std::size(Rungs); ++I)
+    if (Rungs[I].name() == Precise.name()) {
+      Start = I + 1;
+      break;
+    }
+  for (std::size_t I = Start; I < std::size(Rungs); ++I)
+    Ladder.push_back(Rungs[I]);
+  return Ladder;
+}
+
+analysis::FallbackOutcome
+analysis::solveWithFallback(const facts::FactDB &DB,
+                            const ctx::Config &Precise,
+                            const FallbackOptions &Opts) {
+  const std::vector<ctx::Config> Ladder =
+      Opts.Ladder.empty() ? defaultLadder(Precise) : Opts.Ladder;
+  assert(!Ladder.empty() && "fallback ladder must have at least one rung");
+
+  FallbackOutcome O;
+  for (std::size_t Rung = 0; Rung < Ladder.size(); ++Rung) {
+    const ctx::Config &Cfg = Ladder[Rung];
+    const BudgetSpec Budget = Opts.Budget.scaledForRung(Rung);
+    Results R;
+    if (Opts.UseDatalog) {
+      R = solveViaDatalog(DB, Cfg, nullptr, Budget);
+    } else {
+      SolverOptions SO = Opts.Solver;
+      SO.Budget = Budget;
+      R = solve(DB, Cfg, SO);
+    }
+    O.Attempts.push_back({Cfg, R.Stat.Term, R.Stat.Seconds,
+                          R.Stat.Progress.Derivations});
+    if (R.Stat.Term == TerminationReason::Converged ||
+        Rung + 1 == Ladder.size()) {
+      O.R = std::move(R);
+      O.RungUsed = Rung;
+      break;
+    }
+    // Budget exhausted: discard the partial answer and descend. The
+    // FactDB (and its parse cost) is shared across every rung.
+  }
+  O.Degraded =
+      O.RungUsed > 0 || O.R.Stat.Term != TerminationReason::Converged;
+  return O;
 }

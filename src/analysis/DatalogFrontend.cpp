@@ -57,7 +57,8 @@ Term v(VarIdx V) { return Term::var(V); }
 } // namespace
 
 Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
-                                  std::size_t *NumDerivations) {
+                                  std::size_t *NumDerivations,
+                                  const BudgetSpec &Budget) {
   assert(Cfg.validate().empty() && "invalid analysis configuration");
   Stopwatch Timer;
 
@@ -377,7 +378,7 @@ Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
     Prog.addRule(B.take(N));
   }
 
-  Prog.run();
+  RunStats RS = Prog.run(Budget);
   if (NumDerivations)
     *NumDerivations = Prog.numDerivations();
 
@@ -403,6 +404,10 @@ Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
   R.Stat.NumReach = R.Reach.size();
   R.Stat.DomainSize = Dom->size();
   R.Stat.Seconds = Timer.seconds();
+  R.Stat.Term = RS.Term;
+  R.Stat.Progress.Iterations = RS.Rounds;
+  R.Stat.Progress.Derivations = Prog.numDerivations();
+  R.Stat.Progress.PendingWork = RS.PendingWork;
   R.Dom = std::move(Dom);
   R.ReachCtxts = ReachCtxts;
   return R;

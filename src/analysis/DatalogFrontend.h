@@ -26,15 +26,19 @@
 #include "analysis/Results.h"
 #include "ctx/Config.h"
 #include "facts/FactDB.h"
+#include "support/Budget.h"
 
 namespace ctp {
 namespace analysis {
 
 /// Runs the analysis through the generic Datalog engine.
 /// \p NumDerivations, when non-null, receives the engine's rule-firing
-/// count (a work measure for the ablation bench).
+/// count (a work measure for the ablation bench). A non-default \p Budget
+/// bounds the run; on exhaustion the returned Results carry the partial
+/// derivation tagged with the TerminationReason in Results::Stat.
 Results solveViaDatalog(const facts::FactDB &DB, const ctx::Config &Cfg,
-                        std::size_t *NumDerivations = nullptr);
+                        std::size_t *NumDerivations = nullptr,
+                        const BudgetSpec &Budget = BudgetSpec());
 
 } // namespace analysis
 } // namespace ctp

@@ -19,7 +19,9 @@
 
 #include "analysis/Facts.h"
 #include "ctx/Domain.h"
+#include "support/Budget.h"
 #include "support/Interner.h"
+#include "support/Stats.h"
 
 #include <array>
 #include <memory>
@@ -48,6 +50,11 @@ struct Stats {
   std::size_t WorkItems = 0;
   /// Wall-clock solve time, excluding fact preprocessing (as in Figure 6).
   double Seconds = 0.0;
+  /// Why the run stopped. Anything other than Converged marks a partial
+  /// (but sound: subset-of-fixpoint) result produced under a budget.
+  TerminationReason Term = TerminationReason::Converged;
+  /// How far the run got; PendingWork is nonzero only on truncated runs.
+  EngineProgress Progress;
 };
 
 /// Full result of one analysis run. Movable, not copyable (owns the

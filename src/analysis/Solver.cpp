@@ -34,7 +34,8 @@ public:
          const analysis::SolverOptions &Opts)
       : DB(DB), Cfg(Cfg), M(Cfg.MethodDepth), H(Cfg.HeapDepth),
         Collapse(Opts.CollapseSubsumedPts &&
-                 Cfg.Abs == ctx::Abstraction::TransformerString) {
+                 Cfg.Abs == ctx::Abstraction::TransformerString),
+        Meter(Opts.Budget) {
     std::vector<std::uint32_t> ClassOf(DB.numHeaps());
     for (std::size_t Hp = 0; Hp < DB.numHeaps(); ++Hp)
       ClassOf[Hp] = DB.classOfHeap(static_cast<std::uint32_t>(Hp));
@@ -88,6 +89,13 @@ public:
     R.Stat.DomainSize = Dom->size();
     R.Stat.WorkItems = WorkItems;
     R.Stat.Seconds = Timer.seconds();
+    R.Stat.Term = Meter.reason();
+    R.Stat.Progress.Iterations = WorkItems;
+    R.Stat.Progress.Derivations =
+        static_cast<std::size_t>(Meter.derivations());
+    R.Stat.Progress.PendingWork = PtsWork.size() + HptsWork.size() +
+                                  HloadWork.size() + CallWork.size() +
+                                  ReachWork.size() + GptsWork.size();
     R.Dom = std::move(Dom);
     R.ReachCtxts = ReachCtxts;
     return R;
@@ -190,11 +198,13 @@ private:
   //===--- Derived-fact insertion (dedup + index update + enqueue) --------===//
 
   void addPts(std::uint32_t Var, std::uint32_t Heap, TransformId T) {
+    Meter.chargeDerivations();
     PtsFact F{Var, Heap, T};
     if (!PtsSet.insert(keyOf(F)).second)
       return;
     if (Collapse && !collapseInsert(Var, Heap, T))
       return;
+    Meter.chargeTuple();
     PtsRel.push_back(F);
     PtsByVar[Var].push_back({Heap, T});
     PtsWork.push_back(F);
@@ -237,9 +247,11 @@ private:
 
   void addHpts(std::uint32_t Base, std::uint32_t Field, std::uint32_t Heap,
                TransformId T) {
+    Meter.chargeDerivations();
     HptsFact F{Base, Field, Heap, T};
     if (!HptsSet.insert(keyOf(F)).second)
       return;
+    Meter.chargeTuple();
     HptsRel.push_back(F);
     HptsByBaseField[pairKey(Base, Field)].push_back({Heap, T});
     HptsWork.push_back(F);
@@ -247,18 +259,22 @@ private:
 
   void addHload(std::uint32_t Base, std::uint32_t Field, std::uint32_t Var,
                 TransformId T) {
+    Meter.chargeDerivations();
     HloadFact F{Base, Field, Var, T};
     if (!HloadSet.insert(keyOf(F)).second)
       return;
+    Meter.chargeTuple();
     HloadRel.push_back(F);
     HloadByBaseField[pairKey(Base, Field)].push_back({Var, T});
     HloadWork.push_back(F);
   }
 
   void addCall(std::uint32_t Invoke, std::uint32_t Method, TransformId T) {
+    Meter.chargeDerivations();
     CallFact F{Invoke, Method, T};
     if (!CallSet.insert(keyOf(F)).second)
       return;
+    Meter.chargeTuple();
     CallRel.push_back(F);
     CallByInvoke[Invoke].push_back({Method, T});
     CallByCallee[Method].push_back({Invoke, T});
@@ -266,19 +282,23 @@ private:
   }
 
   void addGpts(std::uint32_t Global, std::uint32_t Heap, TransformId T) {
+    Meter.chargeDerivations();
     GptsFact F{Global, Heap, T};
     if (!GptsSet.insert(keyOf(F)).second)
       return;
+    Meter.chargeTuple();
     GptsRel.push_back(F);
     GptsByGlobal[Global].push_back({Heap, T});
     GptsWork.push_back(F);
   }
 
   void addReach(std::uint32_t Method, const CtxtVec &Ctx) {
+    Meter.chargeDerivations();
     std::uint32_t CtxId = ReachCtxts->intern(Ctx);
     ReachFact F{Method, CtxId};
     if (!ReachSet.insert(keyOf(F)).second)
       return;
+    Meter.chargeTuple();
     ReachRel.push_back(F);
     ReachByMethod[Method].push_back(CtxId);
     ReachWork.push_back(F);
@@ -289,6 +309,12 @@ private:
   void drain() {
     while (!PtsWork.empty() || !HptsWork.empty() || !HloadWork.empty() ||
            !CallWork.empty() || !ReachWork.empty() || !GptsWork.empty()) {
+      // Budget poll at rule-firing granularity: one item's consequences
+      // are always fully derived (the adds above never abort mid-item),
+      // so a trip leaves the relations a sound prefix of the fixpoint
+      // with the unprocessed items counted as pending work.
+      if (Meter.poll())
+        return;
       if (!PtsWork.empty()) {
         PtsFact F = PtsWork.front();
         PtsWork.pop_front();
@@ -548,6 +574,7 @@ private:
   std::deque<GptsFact> GptsWork;
 
   std::size_t WorkItems = 0;
+  BudgetMeter Meter;
 };
 
 } // namespace

@@ -26,6 +26,7 @@
 #include "analysis/Results.h"
 #include "ctx/Config.h"
 #include "facts/FactDB.h"
+#include "support/Budget.h"
 
 namespace ctp {
 namespace analysis {
@@ -41,6 +42,12 @@ struct SolverOptions {
   /// abstraction; ignored otherwise. Sound: collapsed facts are exactly
   /// the ones whose derivable consequences another fact already covers.
   bool CollapseSubsumedPts = false;
+
+  /// Resource budget for the run. When exhausted the solver stops at the
+  /// next worklist pop and returns the partial derivation tagged with the
+  /// TerminationReason in Results::Stat — always a subset of the
+  /// converged fixpoint. The default budget is unlimited.
+  BudgetSpec Budget;
 };
 
 /// Runs the context-sensitive pointer analysis configured by \p Cfg over

@@ -163,6 +163,9 @@ void Program::finishRule(const CompiledRule &CR,
     }
     ++Derivations;
     Out.push_back({CR.Head.Rel, Head});
+    Meter.chargeDerivations();
+    if (Meter.poll())
+      Stopped = true;
   }
   for (VarIdx V : Bound)
     Env[V].reset();
@@ -172,6 +175,8 @@ void Program::joinFrom(const CompiledRule &CR, unsigned Pos,
                        std::vector<std::optional<Value>> &Env,
                        const std::vector<Tuple> &DeltaRows,
                        std::vector<std::pair<std::uint32_t, Tuple>> &Out) {
+  if (Stopped)
+    return;
   if (Pos == CR.Body.size()) {
     finishRule(CR, Env, Out);
     return;
@@ -225,12 +230,14 @@ void Program::evaluate(const CompiledRule &CR,
   joinFrom(CR, 0, Env, DeltaRows, Out);
 }
 
-void Program::run() {
+RunStats Program::run(const BudgetSpec &Budget) {
   assert(!HasRun && "program already evaluated");
   HasRun = true;
+  Meter = BudgetMeter(Budget);
   for (const Rule &R : Rules)
     compileRule(R);
 
+  RunStats S;
   std::vector<std::vector<Tuple>> Delta(Relations.size());
   std::vector<std::pair<std::uint32_t, Tuple>> Emitted;
 
@@ -238,6 +245,8 @@ void Program::run() {
   // variants fire over the current contents of their derived relation
   // (normally empty, but pre-seeded derived facts are supported).
   for (const CompiledRule &CR : CompiledRules) {
+    if (Stopped)
+      break;
     if (CR.DeltaPos == NoDelta) {
       evaluate(CR, {}, Emitted);
     } else {
@@ -247,25 +256,52 @@ void Program::run() {
     }
   }
 
-  while (true) {
+  while (!Stopped) {
     bool Any = false;
-    for (auto &[Rel, T] : Emitted)
+    std::size_t Consumed = 0;
+    for (auto &[Rel, T] : Emitted) {
+      ++Consumed;
       if (Relations[Rel].insert(T)) {
         Delta[Rel].push_back(T);
         Any = true;
+        ++S.DerivedTuples;
+        Meter.chargeTuple();
+        if (Meter.poll()) {
+          // Dropping the not-yet-inserted remainder keeps every stored
+          // tuple a genuine derivation — truncation stays sound.
+          Stopped = true;
+          break;
+        }
       }
-    Emitted.clear();
-    if (!Any)
+    }
+    Emitted.erase(Emitted.begin(),
+                  Emitted.begin() + static_cast<std::ptrdiff_t>(Consumed));
+    if (Stopped || !Any)
       break;
+    ++S.Rounds;
 
     std::vector<std::vector<Tuple>> Current(Relations.size());
     Current.swap(Delta);
     for (const CompiledRule &CR : CompiledRules) {
+      if (Stopped)
+        break;
       if (CR.DeltaPos == NoDelta)
         continue;
       const std::vector<Tuple> &Rows = Current[CR.Body[0].Rel];
       if (!Rows.empty())
         evaluate(CR, Rows, Emitted);
     }
+    // Undrained delta rows must carry over: a budget trip mid-round
+    // reports them as pending work below.
+    if (Stopped)
+      for (std::size_t Rel = 0; Rel < Current.size(); ++Rel)
+        Delta[Rel].insert(Delta[Rel].end(), Current[Rel].begin(),
+                          Current[Rel].end());
   }
+
+  S.Term = Meter.reason();
+  S.PendingWork = Emitted.size();
+  for (const auto &Rows : Delta)
+    S.PendingWork += Rows.size();
+  return S;
 }

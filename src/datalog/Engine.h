@@ -28,6 +28,7 @@
 #define CTP_DATALOG_ENGINE_H
 
 #include "datalog/Relation.h"
+#include "support/Budget.h"
 
 #include <functional>
 #include <optional>
@@ -75,6 +76,20 @@ struct Rule {
   std::uint32_t NumVars = 0;
 };
 
+/// What one evaluation run did and why it stopped. With an unlimited
+/// budget Term is always Converged; a budget-truncated run leaves every
+/// relation holding a sound subset of the converged fixpoint.
+struct RunStats {
+  TerminationReason Term = TerminationReason::Converged;
+  /// Semi-naive rounds completed.
+  std::size_t Rounds = 0;
+  /// Emitted-but-uninserted head tuples plus undrained delta tuples at
+  /// the moment evaluation stopped; 0 at a fixpoint.
+  std::size_t PendingWork = 0;
+  /// Derived tuples inserted across all IDB relations.
+  std::size_t DerivedTuples = 0;
+};
+
 /// A Datalog program: relations + rules, evaluated semi-naively.
 class Program {
 public:
@@ -87,8 +102,10 @@ public:
   /// Adds a rule. Head relations become derived (IDB).
   void addRule(Rule R);
 
-  /// Runs to fixpoint. May be called once.
-  void run();
+  /// Runs to fixpoint — or until \p Budget is exhausted, in which case
+  /// the relations hold the partial derivation so far. May be called
+  /// once. Budget exhaustion is polled at rule-firing granularity.
+  RunStats run(const BudgetSpec &Budget = BudgetSpec());
 
   const Relation &relation(std::uint32_t Rel) const {
     return Relations[Rel];
@@ -138,6 +155,10 @@ private:
   std::vector<Rule> Rules;
   std::size_t Derivations = 0;
   bool HasRun = false;
+  /// Set when the budget meter trips mid-join; unwinds the evaluation
+  /// without firing further rules.
+  bool Stopped = false;
+  BudgetMeter Meter;
 };
 
 } // namespace datalog

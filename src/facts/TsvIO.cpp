@@ -10,6 +10,7 @@
 #include "support/Tsv.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace ctp;
 using namespace ctp::facts;
@@ -48,18 +49,90 @@ std::string writeDomain(const std::string &Dir, const char *File,
   return "";
 }
 
-std::string readDomain(const std::string &Dir, const char *File,
-                       std::vector<std::string> &Names) {
-  Rows R;
-  if (!readTsvFile(Dir + "/" + File, R))
-    return std::string("cannot read ") + File;
-  Names.clear();
-  for (auto &Row : R) {
-    if (Row.size() != 1)
-      return std::string("malformed row in ") + File;
-    Names.push_back(Row[0]);
+std::string location(const char *File, unsigned LineNo) {
+  return std::string(File) + ":" + std::to_string(LineNo);
+}
+
+/// Parses a decimal ordinal column; rejects empty, non-digit, and
+/// overflowing values (std::stoul would throw or silently wrap).
+bool parseOrdinal(const std::string &S, Id &Out) {
+  if (S.empty() || S.size() > 9)
+    return false;
+  std::uint32_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<std::uint32_t>(C - '0');
   }
-  return "";
+  Out = V;
+  return true;
+}
+
+/// Shared malformed-line policy: strict reads fail on the first bad line,
+/// lenient reads count and skip it.
+class ErrorSink {
+public:
+  ErrorSink(bool Lenient, FactsReadReport *Report)
+      : Lenient(Lenient), Report(Report) {}
+
+  /// Reports a malformed line. \returns true when the read should abort
+  /// (strict mode); lenient mode records the warning and continues.
+  bool malformed(const std::string &Diag) {
+    if (!Lenient) {
+      if (Err.empty())
+        Err = Diag;
+      return true;
+    }
+    if (Report) {
+      ++Report->SkippedLines;
+      Report->Warnings.push_back(Diag);
+    }
+    return false;
+  }
+
+  /// Unconditional failure (I/O errors abort even lenient reads).
+  void fail(const std::string &Diag) {
+    if (Err.empty())
+      Err = Diag;
+  }
+
+  bool failed() const { return !Err.empty(); }
+  const std::string &error() const { return Err; }
+
+private:
+  bool Lenient;
+  FactsReadReport *Report;
+  std::string Err;
+};
+
+void readDomain(const std::string &Dir, const char *File,
+                std::vector<std::string> &Names, ErrorSink &Sink) {
+  if (Sink.failed())
+    return;
+  std::vector<TsvLine> R;
+  if (!readTsvLines(Dir + "/" + File, R)) {
+    Sink.fail(std::string("cannot read ") + File);
+    return;
+  }
+  Names.clear();
+  std::unordered_set<std::string> Seen;
+  for (auto &Row : R) {
+    if (Row.Fields.size() != 1) {
+      if (Sink.malformed(location(File, Row.LineNo) +
+                         ": expected 1 field, got " +
+                         std::to_string(Row.Fields.size())))
+        return;
+      continue;
+    }
+    if (!Seen.insert(Row.Fields[0]).second) {
+      if (Sink.malformed(location(File, Row.LineNo) +
+                         ": duplicate domain entry '" + Row.Fields[0] +
+                         "'"))
+        return;
+      continue;
+    }
+    Names.push_back(std::move(Row.Fields[0]));
+  }
 }
 
 } // namespace
@@ -221,44 +294,53 @@ std::string facts::writeFactsDir(const FactDB &DB, const std::string &Dir) {
 }
 
 std::string facts::readFactsDir(const std::string &Dir, FactDB &DB) {
-  DB = FactDB();
-  std::string Err;
-  auto Check = [&](const std::string &E) {
-    if (Err.empty())
-      Err = E;
-  };
+  return readFactsDir(Dir, DB, FactsReadOptions(), nullptr);
+}
 
-  Check(readDomain(Dir, "Domain.var", DB.VarNames));
-  Check(readDomain(Dir, "Domain.heap", DB.HeapNames));
-  Check(readDomain(Dir, "Domain.method", DB.MethodNames));
-  Check(readDomain(Dir, "Domain.invoke", DB.InvokeNames));
-  Check(readDomain(Dir, "Domain.field", DB.FieldNames));
-  Check(readDomain(Dir, "Domain.type", DB.TypeNames));
-  Check(readDomain(Dir, "Domain.sig", DB.SigNames));
-  Check(readDomain(Dir, "Domain.global", DB.GlobalNames));
-  if (!Err.empty())
-    return Err;
+std::string facts::readFactsDir(const std::string &Dir, FactDB &DB,
+                                const FactsReadOptions &Opts,
+                                FactsReadReport *Report) {
+  DB = FactDB();
+  ErrorSink Sink(Opts.Lenient, Report);
+
+  readDomain(Dir, "Domain.var", DB.VarNames, Sink);
+  readDomain(Dir, "Domain.heap", DB.HeapNames, Sink);
+  readDomain(Dir, "Domain.method", DB.MethodNames, Sink);
+  readDomain(Dir, "Domain.invoke", DB.InvokeNames, Sink);
+  readDomain(Dir, "Domain.field", DB.FieldNames, Sink);
+  readDomain(Dir, "Domain.type", DB.TypeNames, Sink);
+  readDomain(Dir, "Domain.sig", DB.SigNames, Sink);
+  readDomain(Dir, "Domain.global", DB.GlobalNames, Sink);
+  if (Sink.failed())
+    return Sink.error();
 
   NameMap Vars(DB.VarNames), Heaps(DB.HeapNames), Methods(DB.MethodNames),
       Invokes(DB.InvokeNames), Fields(DB.FieldNames), Types(DB.TypeNames),
       Sigs(DB.SigNames), Globals(DB.GlobalNames);
 
   auto Read = [&](const char *File, std::size_t Arity, auto &&Handler) {
-    if (!Err.empty())
+    if (Sink.failed())
       return;
-    Rows R;
-    if (!readTsvFile(Dir + "/" + File, R)) {
-      Err = std::string("cannot read ") + File;
+    std::vector<TsvLine> R;
+    if (!readTsvLines(Dir + "/" + File, R)) {
+      Sink.fail(std::string("cannot read ") + File);
       return;
     }
     for (auto &Row : R) {
-      if (Row.size() != Arity) {
-        Err = std::string("malformed row in ") + File;
-        return;
+      if (Row.Fields.size() != Arity) {
+        if (Sink.malformed(location(File, Row.LineNo) + ": expected " +
+                           std::to_string(Arity) + " fields, got " +
+                           std::to_string(Row.Fields.size())))
+          return;
+        continue;
       }
-      if (!Handler(Row)) {
-        Err = std::string("unknown entity name in ") + File;
-        return;
+      if (!Handler(Row.Fields)) {
+        if (Sink.malformed(location(File, Row.LineNo) +
+                           ": unknown entity name or malformed ordinal "
+                           "in '" +
+                           joinTsvLine(Row.Fields) + "'"))
+          return;
+        continue;
       }
     }
   };
@@ -274,10 +356,10 @@ std::string facts::readFactsDir(const std::string &Dir, FactDB &DB) {
   });
 
   Read("Actual.facts", 3, [&](const std::vector<std::string> &Row) {
-    Id V = Vars.lookup(Row[0]), I = Invokes.lookup(Row[1]);
-    if (!Ok(V) || !Ok(I))
+    Id V = Vars.lookup(Row[0]), I = Invokes.lookup(Row[1]), Ord;
+    if (!Ok(V) || !Ok(I) || !parseOrdinal(Row[2], Ord))
       return false;
-    DB.Actuals.push_back({V, I, static_cast<Id>(std::stoul(Row[2]))});
+    DB.Actuals.push_back({V, I, Ord});
     return true;
   });
 
@@ -307,10 +389,10 @@ std::string facts::readFactsDir(const std::string &Dir, FactDB &DB) {
   });
 
   Read("Formal.facts", 3, [&](const std::vector<std::string> &Row) {
-    Id V = Vars.lookup(Row[0]), M = Methods.lookup(Row[1]);
-    if (!Ok(V) || !Ok(M))
+    Id V = Vars.lookup(Row[0]), M = Methods.lookup(Row[1]), Ord;
+    if (!Ok(V) || !Ok(M) || !parseOrdinal(Row[2], Ord))
       return false;
-    DB.Formals.push_back({V, M, static_cast<Id>(std::stoul(Row[2]))});
+    DB.Formals.push_back({V, M, Ord});
     return true;
   });
 
@@ -469,7 +551,7 @@ std::string facts::readFactsDir(const std::string &Dir, FactDB &DB) {
     return true;
   });
 
-  if (!Err.empty())
-    return Err;
+  if (Sink.failed())
+    return Sink.error();
   return DB.validate();
 }

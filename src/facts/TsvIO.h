@@ -28,6 +28,7 @@
 #include "facts/FactDB.h"
 
 #include <string>
+#include <vector>
 
 namespace ctp {
 namespace facts {
@@ -36,10 +37,35 @@ namespace facts {
 /// \returns an empty string on success, else an error description.
 std::string writeFactsDir(const FactDB &DB, const std::string &Dir);
 
+/// How readFactsDir treats malformed input.
+struct FactsReadOptions {
+  /// Strict (default): the first malformed line aborts the read with a
+  /// "File:LINE: ..." diagnostic. Lenient: malformed lines (wrong arity,
+  /// unknown entity names, bad ordinals, duplicate domain entries) are
+  /// skipped and counted instead; only I/O failures abort.
+  bool Lenient = false;
+};
+
+/// What a (lenient) read skipped.
+struct FactsReadReport {
+  /// Lines dropped in lenient mode.
+  std::size_t SkippedLines = 0;
+  /// One "File:LINE: reason" entry per skipped line.
+  std::vector<std::string> Warnings;
+};
+
 /// Reads a facts directory previously written by writeFactsDir (or by any
 /// producer following the same schema) into \p DB.
-/// \returns an empty string on success, else an error description.
+/// \returns an empty string on success, else an error description. Every
+/// malformed-input diagnostic carries the file name, 1-based line number,
+/// and — for arity errors — the expected and actual field counts.
 std::string readFactsDir(const std::string &Dir, FactDB &DB);
+
+/// As above with explicit \p Opts; \p Report (may be null) receives the
+/// skip counts accumulated in lenient mode.
+std::string readFactsDir(const std::string &Dir, FactDB &DB,
+                         const FactsReadOptions &Opts,
+                         FactsReadReport *Report = nullptr);
 
 } // namespace facts
 } // namespace ctp

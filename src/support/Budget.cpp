@@ -1,0 +1,70 @@
+//===- support/Budget.cpp - Resource budgets and cancellation -------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include "support/FaultInjection.h"
+
+using namespace ctp;
+
+const char *ctp::terminationReasonName(TerminationReason R) {
+  switch (R) {
+  case TerminationReason::Converged:
+    return "Converged";
+  case TerminationReason::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case TerminationReason::DerivationCapHit:
+    return "DerivationCapHit";
+  case TerminationReason::MemoryCapHit:
+    return "MemoryCapHit";
+  case TerminationReason::Cancelled:
+    return "Cancelled";
+  }
+  return "Unknown";
+}
+
+BudgetSpec BudgetSpec::scaledForRung(std::size_t Rung) const {
+  auto Halve = [Rung](std::uint64_t Limit) -> std::uint64_t {
+    if (Limit == 0)
+      return 0; // Unlimited stays unlimited.
+    std::uint64_t Scaled = Rung >= 64 ? 0 : Limit >> Rung;
+    return Scaled == 0 ? 1 : Scaled;
+  };
+  BudgetSpec S = *this;
+  S.DeadlineMs = Halve(DeadlineMs);
+  S.MaxDerivations = Halve(MaxDerivations);
+  S.MaxTuples = Halve(MaxTuples);
+  return S;
+}
+
+// A meter built from an explicit spec always polls it: even with every
+// numeric limit at 0 the cancellation token must still be honoured.
+BudgetMeter::BudgetMeter(const BudgetSpec &S) : Spec(S), Limited(true) {}
+
+std::optional<TerminationReason> BudgetMeter::poll() {
+  if (Tripped)
+    return Tripped;
+  if (fault::active())
+    if (auto Forced = fault::onBudgetPoll())
+      return Tripped = Forced;
+  if (!Limited)
+    return std::nullopt;
+  if (Spec.MaxDerivations != 0 && Derivations >= Spec.MaxDerivations)
+    return Tripped = TerminationReason::DerivationCapHit;
+  if (Spec.MaxTuples != 0 && Tuples >= Spec.MaxTuples)
+    return Tripped = TerminationReason::MemoryCapHit;
+  // Clock and token reads are amortized over a small stride; the first
+  // poll checks too, so an already-cancelled run stops before working.
+  if ((Polls++ & 31) == 0) {
+    if (Spec.Cancel.cancelled())
+      return Tripped = TerminationReason::Cancelled;
+    if (Spec.DeadlineMs != 0 && Clock.seconds() * 1e3 >=
+                                    static_cast<double>(Spec.DeadlineMs))
+      return Tripped = TerminationReason::DeadlineExceeded;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,139 @@
+//===- support/Budget.h - Resource budgets and cancellation -----*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource governor shared by both evaluation back-ends. The paper's
+/// evaluation (Figure 6) reports several context-string configurations as
+/// exceeding the experiment's time/memory budget; a production analysis
+/// must bound every run the same way instead of evaluating to fixpoint
+/// unconditionally. A BudgetSpec declares the limits of one run — a
+/// wall-clock deadline, a cap on rule firings, an approximate memory cap
+/// expressed as a derived-tuple count, and a cooperative cancellation
+/// token — and a BudgetMeter is the cheap runtime checker the engines
+/// poll at rule-firing granularity.
+///
+/// On exhaustion the engines stop cleanly and tag their partial Results
+/// with a machine-readable TerminationReason; every tuple derived before
+/// the stop is a genuine consequence of the input facts, so truncated
+/// results are always a subset of the converged fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_BUDGET_H
+#define CTP_SUPPORT_BUDGET_H
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace ctp {
+
+/// Why an evaluation run stopped.
+enum class TerminationReason : std::uint8_t {
+  Converged,        ///< Reached the fixpoint; results are complete.
+  DeadlineExceeded, ///< The wall-clock deadline elapsed.
+  DerivationCapHit, ///< The rule-firing cap was reached.
+  MemoryCapHit,     ///< The derived-tuple (approximate memory) cap was hit.
+  Cancelled,        ///< The cancellation token was signalled.
+};
+
+const char *terminationReasonName(TerminationReason R);
+
+/// Cooperative cancellation: copies share one flag; a default-constructed
+/// token has no flag and can never be cancelled.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  /// A fresh, signalable token.
+  static CancelToken make() {
+    CancelToken T;
+    T.Flag = std::make_shared<std::atomic<bool>>(false);
+    return T;
+  }
+
+  /// Signals cancellation. No-op on a default-constructed token.
+  void cancel() {
+    if (Flag)
+      Flag->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return Flag && Flag->load(std::memory_order_relaxed);
+  }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// The limits of one evaluation run. Zero means unlimited for every
+/// numeric field; the default spec imposes no bound at all.
+struct BudgetSpec {
+  /// Wall-clock deadline in milliseconds, measured from meter creation.
+  std::uint64_t DeadlineMs = 0;
+  /// Cap on rule firings (derivations, counted before deduplication).
+  std::uint64_t MaxDerivations = 0;
+  /// Approximate memory cap: total derived tuples across all relations.
+  std::uint64_t MaxTuples = 0;
+  /// Cooperative cancellation; checked alongside the deadline.
+  CancelToken Cancel;
+
+  bool unlimited() const {
+    return DeadlineMs == 0 && MaxDerivations == 0 && MaxTuples == 0 &&
+           !Cancel.cancelled();
+  }
+
+  /// The budget of degradation-ladder rung \p Rung: every limit halved
+  /// per rung (but never below 1), so a full ladder descent costs less
+  /// than twice the rung-0 budget in total.
+  BudgetSpec scaledForRung(std::size_t Rung) const;
+};
+
+/// Runtime budget checker. Engines charge work as it happens and poll for
+/// exhaustion at rule-firing granularity; a poll is two integer compares
+/// on the hot path, with the clock, the cancellation token, and the
+/// fault-injection hooks consulted on a small stride.
+class BudgetMeter {
+public:
+  /// An unlimited meter (polls never trip, minimal overhead).
+  BudgetMeter() = default;
+  explicit BudgetMeter(const BudgetSpec &S);
+
+  void chargeDerivations(std::uint64_t N = 1) { Derivations += N; }
+  void chargeTuple() { ++Tuples; }
+
+  /// Polls for exhaustion. \returns the termination reason once the
+  /// budget is exhausted (sticky: every later poll returns the same
+  /// reason), nullopt while within budget.
+  std::optional<TerminationReason> poll();
+
+  /// Converged while within budget, else the tripped reason.
+  TerminationReason reason() const {
+    return Tripped ? *Tripped : TerminationReason::Converged;
+  }
+  bool tripped() const { return Tripped.has_value(); }
+
+  std::uint64_t derivations() const { return Derivations; }
+  std::uint64_t tuples() const { return Tuples; }
+  double seconds() const { return Clock.seconds(); }
+
+private:
+  BudgetSpec Spec;
+  Stopwatch Clock;
+  std::uint64_t Derivations = 0;
+  std::uint64_t Tuples = 0;
+  std::uint64_t Polls = 0;
+  bool Limited = false;
+  std::optional<TerminationReason> Tripped;
+};
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_BUDGET_H

@@ -1,0 +1,65 @@
+//===- support/FaultInjection.cpp - Deterministic fault hooks -------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <fstream>
+
+using namespace ctp;
+
+namespace {
+
+std::atomic<bool> Active{false};
+std::atomic<std::uint64_t> PollCount{0};
+std::atomic<std::uint64_t> TripAfter{0};
+// Stored as int to keep the atomic trivially lock-free; -1 = disarmed.
+std::atomic<int> TripReason{-1};
+
+} // namespace
+
+bool fault::active() { return Active.load(std::memory_order_relaxed); }
+
+void fault::reset() {
+  Active.store(false, std::memory_order_relaxed);
+  PollCount.store(0, std::memory_order_relaxed);
+  TripAfter.store(0, std::memory_order_relaxed);
+  TripReason.store(-1, std::memory_order_relaxed);
+}
+
+void fault::armBudgetTrip(TerminationReason R, std::uint64_t AfterPolls) {
+  PollCount.store(0, std::memory_order_relaxed);
+  TripAfter.store(AfterPolls, std::memory_order_relaxed);
+  TripReason.store(static_cast<int>(R), std::memory_order_relaxed);
+  Active.store(true, std::memory_order_relaxed);
+}
+
+void fault::armCancellation(std::uint64_t AfterPolls) {
+  armBudgetTrip(TerminationReason::Cancelled, AfterPolls);
+}
+
+std::optional<TerminationReason> fault::onBudgetPoll() {
+  int Reason = TripReason.load(std::memory_order_relaxed);
+  if (Reason < 0)
+    return std::nullopt;
+  std::uint64_t N = PollCount.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (N < TripAfter.load(std::memory_order_relaxed))
+    return std::nullopt;
+  // One-shot: disarm before reporting so a ladder retry runs clean.
+  TripReason.store(-1, std::memory_order_relaxed);
+  Active.store(false, std::memory_order_relaxed);
+  return static_cast<TerminationReason>(Reason);
+}
+
+bool fault::injectFactsLine(const std::string &Dir, const std::string &File,
+                            const std::string &Line) {
+  std::ofstream Out(Dir + "/" + File, std::ios::app);
+  if (!Out.is_open())
+    return false;
+  Out << Line << '\n';
+  return Out.good();
+}

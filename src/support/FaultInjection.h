@@ -1,0 +1,62 @@
+//===- support/FaultInjection.h - Deterministic fault hooks -----*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Test-only fault injection for the resource governor. Budget trips,
+/// mid-run cancellation, and malformed fact tuples are inherently timing-
+/// or input-dependent; these hooks make them deterministic so the
+/// degradation paths can be exercised reliably in the test suite.
+///
+/// The hooks are compiled into the support library but are inert (one
+/// relaxed atomic load on the budget-poll path) unless a test arms them;
+/// production tools never do. Armed trips are one-shot: after firing they
+/// disarm themselves, so a degradation-ladder retry runs clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_FAULTINJECTION_H
+#define CTP_SUPPORT_FAULTINJECTION_H
+
+#include "support/Budget.h"
+
+#include <optional>
+#include <string>
+
+namespace ctp {
+namespace fault {
+
+/// True when any budget fault is armed. The BudgetMeter consults the
+/// remaining hooks only when this is set.
+bool active();
+
+/// Disarms everything and zeroes the poll counter. Call between tests.
+void reset();
+
+/// Forces the \p AfterPolls-th budget poll (counted across all meters
+/// from the last reset) to report \p R, regardless of real resource
+/// state. One-shot.
+void armBudgetTrip(TerminationReason R, std::uint64_t AfterPolls);
+
+/// Simulates an asynchronous cancellation arriving mid-run: the
+/// \p AfterPolls-th budget poll observes TerminationReason::Cancelled.
+/// One-shot.
+void armCancellation(std::uint64_t AfterPolls);
+
+/// Consulted by BudgetMeter::poll when active(). Counts the poll and
+/// \returns the armed reason when the trip point is reached.
+std::optional<TerminationReason> onBudgetPoll();
+
+/// Appends a raw line to \p File inside facts directory \p Dir — the
+/// malformed-tuple injector used by the TSV-read fixtures. \returns false
+/// if the file cannot be opened.
+bool injectFactsLine(const std::string &Dir, const std::string &File,
+                     const std::string &Line);
+
+} // namespace fault
+} // namespace ctp
+
+#endif // CTP_SUPPORT_FAULTINJECTION_H

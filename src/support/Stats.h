@@ -38,6 +38,18 @@ private:
   std::chrono::steady_clock::time_point Start;
 };
 
+/// Progress counters shared by both evaluation back-ends, reported with
+/// every result so a budget-truncated run can say how far it got. For the
+/// specialized solver Iterations counts worklist pops; for the Datalog
+/// engine it counts semi-naive rounds. PendingWork is the number of
+/// queued items (worklist entries / delta tuples) left unprocessed when
+/// evaluation stopped — zero at a converged fixpoint.
+struct EngineProgress {
+  std::size_t Iterations = 0;
+  std::size_t Derivations = 0;
+  std::size_t PendingWork = 0;
+};
+
 /// Geometric mean of a list of positive ratios.
 ///
 /// Figure 6's summary rows report the geometric mean of per-benchmark

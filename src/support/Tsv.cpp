@@ -52,6 +52,24 @@ bool ctp::readTsvFile(const std::string &Path,
   return true;
 }
 
+bool ctp::readTsvLines(const std::string &Path,
+                       std::vector<TsvLine> &Rows) {
+  std::ifstream In(Path);
+  if (!In.is_open())
+    return false;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    Rows.push_back({splitTsvLine(Line), LineNo});
+  }
+  return true;
+}
+
 bool ctp::writeTsvFile(const std::string &Path,
                        const std::vector<std::vector<std::string>> &Rows) {
   std::ofstream Out(Path);

@@ -32,6 +32,16 @@ std::string joinTsvLine(const std::vector<std::string> &Fields);
 bool readTsvFile(const std::string &Path,
                  std::vector<std::vector<std::string>> &Rows);
 
+/// One non-empty line of a TSV file with its 1-based line number, so
+/// readers can report "File:LINE" diagnostics.
+struct TsvLine {
+  std::vector<std::string> Fields;
+  unsigned LineNo = 0;
+};
+
+/// Like readTsvFile, but keeps the line number of every row.
+bool readTsvLines(const std::string &Path, std::vector<TsvLine> &Rows);
+
 /// Writes \p Rows to the file at \p Path, one line per row.
 /// \returns false if the file cannot be created.
 bool writeTsvFile(const std::string &Path,

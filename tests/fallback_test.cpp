@@ -1,0 +1,254 @@
+//===- tests/fallback_test.cpp - Degradation ladder and fact fixtures -----===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Exercises the graceful-degradation ladder (solveWithFallback descending
+// 2-object+H -> 2-type+H -> 1-object -> insensitive on budget exhaustion)
+// and the hardened facts reader against malformed fixtures built with the
+// fault-injection helpers — both strict and lenient modes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Configurations.h"
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "facts/TsvIO.h"
+#include "support/FaultInjection.h"
+#include "workload/Generator.h"
+#include "workload/PaperPrograms.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <string>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+namespace {
+
+facts::FactDB testDB() {
+  workload::WorkloadParams Params;
+  Params.Drivers = 2;
+  Params.Scenarios = 3;
+  Params.Seed = 31;
+  return facts::extract(workload::generate(Params));
+}
+
+//===----------------------------------------------------------------------===//
+// Ladder shape.
+//===----------------------------------------------------------------------===//
+
+TEST(FallbackTest, DefaultLadderDescendsFromTwoObject) {
+  auto L = analysis::defaultLadder(ctx::twoObjectH(Abstraction::ContextString));
+  ASSERT_EQ(L.size(), 4u);
+  EXPECT_EQ(L[0].name(), ctx::twoObjectH(Abstraction::ContextString).name());
+  EXPECT_EQ(L[1].name(), ctx::twoTypeH(Abstraction::ContextString).name());
+  EXPECT_EQ(L[2].name(), ctx::oneObject(Abstraction::ContextString).name());
+  EXPECT_EQ(L[3].name(), ctx::insensitive(Abstraction::ContextString).name());
+}
+
+TEST(FallbackTest, DefaultLadderKeepsAbstraction) {
+  for (Abstraction A :
+       {Abstraction::ContextString, Abstraction::TransformerString})
+    for (const auto &Cfg : analysis::defaultLadder(ctx::twoObjectH(A)))
+      EXPECT_EQ(Cfg.Abs, A);
+}
+
+TEST(FallbackTest, InsensitiveLadderHasOneRung) {
+  auto L =
+      analysis::defaultLadder(ctx::insensitive(Abstraction::ContextString));
+  ASSERT_EQ(L.size(), 1u);
+}
+
+TEST(FallbackTest, MidLadderStartSkipsMorePreciseRungs) {
+  auto L = analysis::defaultLadder(ctx::twoTypeH(Abstraction::ContextString));
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_EQ(L[0].name(), ctx::twoTypeH(Abstraction::ContextString).name());
+  EXPECT_EQ(L[1].name(), ctx::oneObject(Abstraction::ContextString).name());
+}
+
+TEST(FallbackTest, UnlistedConfigFallsThroughWholeLadder) {
+  auto L = analysis::defaultLadder(ctx::oneCallH(Abstraction::ContextString));
+  ASSERT_EQ(L.size(), 4u);
+  EXPECT_EQ(L[0].name(), ctx::oneCallH(Abstraction::ContextString).name());
+  EXPECT_EQ(L[1].name(), ctx::twoTypeH(Abstraction::ContextString).name());
+}
+
+//===----------------------------------------------------------------------===//
+// Descent behaviour.
+//===----------------------------------------------------------------------===//
+
+TEST(FallbackTest, ConvergedRunIsNotDegraded) {
+  facts::FactDB DB = testDB();
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString));
+  EXPECT_EQ(O.RungUsed, 0u);
+  EXPECT_FALSE(O.Degraded);
+  ASSERT_EQ(O.Attempts.size(), 1u);
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::Converged);
+  EXPECT_EQ(O.R.Stat.Term, TerminationReason::Converged);
+}
+
+TEST(FallbackTest, ForcedTripDescendsOneRung) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armBudgetTrip(TerminationReason::DeadlineExceeded, 50);
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString));
+  fault::reset();
+
+  // Rung 0 trips on the injected fault; the one-shot disarm lets rung 1
+  // run clean and converge.
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::DeadlineExceeded);
+  EXPECT_EQ(O.Attempts[1].Term, TerminationReason::Converged);
+  EXPECT_EQ(O.RungUsed, 1u);
+  EXPECT_TRUE(O.Degraded);
+  EXPECT_EQ(O.R.Stat.Term, TerminationReason::Converged);
+  EXPECT_EQ(O.R.Config.name(),
+            ctx::twoTypeH(Abstraction::ContextString).name());
+  EXPECT_GT(O.R.Pts.size(), 0u);
+}
+
+TEST(FallbackTest, ExhaustedLadderReturnsLowestPartial) {
+  facts::FactDB DB = testDB();
+  analysis::FallbackOptions Opts;
+  Opts.Budget.MaxDerivations = 1; // Trips every rung (halving floors at 1).
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
+  ASSERT_EQ(O.Attempts.size(), 4u);
+  for (const auto &A : O.Attempts)
+    EXPECT_EQ(A.Term, TerminationReason::DerivationCapHit);
+  EXPECT_EQ(O.RungUsed, 3u);
+  EXPECT_TRUE(O.Degraded);
+  EXPECT_NE(O.R.Stat.Term, TerminationReason::Converged);
+}
+
+TEST(FallbackTest, DatalogBackendDescendsToo) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armBudgetTrip(TerminationReason::MemoryCapHit, 50);
+  analysis::FallbackOptions Opts;
+  Opts.UseDatalog = true;
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
+  fault::reset();
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::MemoryCapHit);
+  EXPECT_EQ(O.RungUsed, 1u);
+  EXPECT_EQ(O.R.Stat.Term, TerminationReason::Converged);
+  EXPECT_TRUE(O.Degraded);
+}
+
+TEST(FallbackTest, ExplicitLadderIsRespected) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armBudgetTrip(TerminationReason::DeadlineExceeded, 50);
+  analysis::FallbackOptions Opts;
+  Opts.Ladder = {ctx::twoObjectH(Abstraction::ContextString),
+                 ctx::insensitive(Abstraction::ContextString)};
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
+  fault::reset();
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.R.Config.name(),
+            ctx::insensitive(Abstraction::ContextString).name());
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-facts fixtures (strict and lenient reads).
+//===----------------------------------------------------------------------===//
+
+class MalformedFactsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    DB = facts::extract(workload::figure1().P);
+    Dir = ::testing::TempDir() + "/ctp_malformed_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+    ASSERT_EQ(facts::writeFactsDir(DB, Dir), "");
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+
+  facts::FactDB DB;
+  std::string Dir;
+};
+
+TEST_F(MalformedFactsTest, StrictArityErrorCarriesLocationAndCounts) {
+  ASSERT_TRUE(fault::injectFactsLine(Dir, "Load.facts", "onlyone\ttwo"));
+  facts::FactDB Back;
+  std::string Err = facts::readFactsDir(Dir, Back);
+  ASSERT_NE(Err, "");
+  EXPECT_NE(Err.find("Load.facts:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("expected 3 fields, got 2"), std::string::npos) << Err;
+}
+
+TEST_F(MalformedFactsTest, StrictRejectsDuplicateDomainEntry) {
+  ASSERT_FALSE(DB.VarNames.empty());
+  ASSERT_TRUE(fault::injectFactsLine(Dir, "Domain.var", DB.VarNames[0]));
+  facts::FactDB Back;
+  std::string Err = facts::readFactsDir(Dir, Back);
+  ASSERT_NE(Err, "");
+  EXPECT_NE(Err.find("Domain.var:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("duplicate domain entry"), std::string::npos) << Err;
+}
+
+TEST_F(MalformedFactsTest, StrictRejectsMalformedOrdinal) {
+  ASSERT_FALSE(DB.VarNames.empty());
+  ASSERT_FALSE(DB.InvokeNames.empty());
+  ASSERT_TRUE(fault::injectFactsLine(
+      Dir, "Actual.facts",
+      DB.VarNames[0] + "\t" + DB.InvokeNames[0] + "\t12x"));
+  facts::FactDB Back;
+  std::string Err = facts::readFactsDir(Dir, Back);
+  ASSERT_NE(Err, "");
+  EXPECT_NE(Err.find("Actual.facts:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("malformed ordinal"), std::string::npos) << Err;
+}
+
+TEST_F(MalformedFactsTest, StrictRejectsUnknownEntityName) {
+  ASSERT_TRUE(fault::injectFactsLine(Dir, "Assign.facts",
+                                     "no_such_var\talso_missing"));
+  facts::FactDB Back;
+  std::string Err = facts::readFactsDir(Dir, Back);
+  ASSERT_NE(Err, "");
+  EXPECT_NE(Err.find("Assign.facts:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("unknown entity"), std::string::npos) << Err;
+}
+
+TEST_F(MalformedFactsTest, LenientSkipsCountsAndStillAnalyzes) {
+  ASSERT_TRUE(fault::injectFactsLine(Dir, "Load.facts", "onlyone\ttwo"));
+  ASSERT_TRUE(fault::injectFactsLine(
+      Dir, "Actual.facts",
+      DB.VarNames[0] + "\t" + DB.InvokeNames[0] + "\tnotanumber"));
+
+  facts::FactDB Back;
+  facts::FactsReadOptions Opts;
+  Opts.Lenient = true;
+  facts::FactsReadReport Report;
+  ASSERT_EQ(facts::readFactsDir(Dir, Back, Opts, &Report), "");
+  EXPECT_EQ(Report.SkippedLines, 2u);
+  ASSERT_EQ(Report.Warnings.size(), 2u);
+  EXPECT_NE(Report.Warnings[0].find("Actual.facts:"), std::string::npos);
+  EXPECT_NE(Report.Warnings[1].find("Load.facts:"), std::string::npos);
+
+  // The injected lines were pure garbage, so the lenient read reproduces
+  // the clean database and the analysis answer is unchanged.
+  ctx::Config Cfg = ctx::twoObjectH(Abstraction::ContextString);
+  analysis::Results FromClean = analysis::solve(DB, Cfg);
+  analysis::Results FromLenient = analysis::solve(Back, Cfg);
+  EXPECT_EQ(FromLenient.ciPts(), FromClean.ciPts());
+  EXPECT_EQ(FromLenient.ciCall(), FromClean.ciCall());
+}
+
+TEST_F(MalformedFactsTest, LenientStillFailsOnMissingDirectory) {
+  facts::FactDB Back;
+  facts::FactsReadOptions Opts;
+  Opts.Lenient = true;
+  EXPECT_NE(facts::readFactsDir(Dir + "/nonexistent", Back, Opts), "");
+}
+
+} // namespace

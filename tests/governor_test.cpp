@@ -1,0 +1,232 @@
+//===- tests/governor_test.cpp - Resource governor budgets ----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// The resource governor must stop both evaluation back-ends cleanly on
+// budget exhaustion, tag the partial Results with the right
+// TerminationReason, and — the key soundness property — only ever truncate
+// the fixpoint: every tuple of a budget-limited run must also appear in
+// the converged run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DatalogFrontend.h"
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
+#include "workload/Generator.h"
+#include "workload/Presets.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <string>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+namespace {
+
+facts::FactDB testDB() {
+  workload::WorkloadParams Params;
+  Params.Drivers = 2;
+  Params.Scenarios = 3;
+  Params.Seed = 31;
+  return facts::extract(workload::generate(Params));
+}
+
+// TransformIds are interned in first-derivation order, so raw ids are not
+// comparable between a truncated run and a converged run. Render each fact
+// through the run's own domain instead.
+std::set<std::string> renderedPts(const analysis::Results &R) {
+  std::set<std::string> S;
+  for (const auto &F : R.Pts)
+    S.insert(std::to_string(F.Var) + "|" + std::to_string(F.Heap) + "|" +
+             R.Dom->toString(F.T));
+  return S;
+}
+
+std::set<std::string> renderedCall(const analysis::Results &R) {
+  std::set<std::string> S;
+  for (const auto &F : R.Call)
+    S.insert(std::to_string(F.Invoke) + "|" + std::to_string(F.Method) +
+             "|" + R.Dom->toString(F.T));
+  return S;
+}
+
+bool isSubsetOf(const std::set<std::string> &Small,
+                const std::set<std::string> &Big) {
+  for (const auto &X : Small)
+    if (!Big.count(X))
+      return false;
+  return true;
+}
+
+analysis::Results solveBudgeted(const facts::FactDB &DB,
+                                const ctx::Config &Cfg,
+                                const BudgetSpec &Budget, bool Datalog) {
+  if (Datalog)
+    return analysis::solveViaDatalog(DB, Cfg, nullptr, Budget);
+  analysis::SolverOptions SO;
+  SO.Budget = Budget;
+  return analysis::solve(DB, Cfg, SO);
+}
+
+TEST(GovernorTest, UnlimitedSpecConverges) {
+  facts::FactDB DB = testDB();
+  for (bool Datalog : {false, true}) {
+    analysis::Results R =
+        solveBudgeted(DB, ctx::twoObjectH(Abstraction::ContextString),
+                      BudgetSpec(), Datalog);
+    EXPECT_EQ(R.Stat.Term, TerminationReason::Converged);
+    EXPECT_EQ(R.Stat.Progress.PendingWork, 0u);
+    EXPECT_GT(R.Stat.Progress.Derivations, 0u);
+  }
+}
+
+// The central soundness property: a derivation-capped run returns a subset
+// of the converged fixpoint — for both abstractions and both back-ends.
+TEST(GovernorTest, DerivationCapPartialIsSubsetOfConverged) {
+  facts::FactDB DB = testDB();
+  for (Abstraction A :
+       {Abstraction::ContextString, Abstraction::TransformerString}) {
+    ctx::Config Cfg = ctx::twoObjectH(A);
+    for (bool Datalog : {false, true}) {
+      analysis::Results Full = solveBudgeted(DB, Cfg, BudgetSpec(), Datalog);
+      ASSERT_EQ(Full.Stat.Term, TerminationReason::Converged);
+      ASSERT_GT(Full.Stat.Progress.Derivations, 4u);
+
+      BudgetSpec Capped;
+      Capped.MaxDerivations = Full.Stat.Progress.Derivations / 2;
+      analysis::Results Part = solveBudgeted(DB, Cfg, Capped, Datalog);
+      EXPECT_EQ(Part.Stat.Term, TerminationReason::DerivationCapHit)
+          << "datalog=" << Datalog;
+      EXPECT_GT(Part.Stat.Progress.PendingWork, 0u);
+      EXPECT_LE(Part.Stat.Progress.Derivations,
+                Full.Stat.Progress.Derivations);
+
+      EXPECT_TRUE(isSubsetOf(renderedPts(Part), renderedPts(Full)))
+          << "pts not a subset (datalog=" << Datalog << ")";
+      EXPECT_TRUE(isSubsetOf(renderedCall(Part), renderedCall(Full)))
+          << "call not a subset (datalog=" << Datalog << ")";
+    }
+  }
+}
+
+TEST(GovernorTest, TupleCapReportsMemoryCapHit) {
+  facts::FactDB DB = testDB();
+  for (bool Datalog : {false, true}) {
+    BudgetSpec B;
+    B.MaxTuples = 50;
+    analysis::Results R = solveBudgeted(
+        DB, ctx::twoObjectH(Abstraction::ContextString), B, Datalog);
+    EXPECT_EQ(R.Stat.Term, TerminationReason::MemoryCapHit)
+        << "datalog=" << Datalog;
+  }
+}
+
+TEST(GovernorTest, PreCancelledTokenStopsBeforeWorking) {
+  facts::FactDB DB = testDB();
+  CancelToken Token = CancelToken::make();
+  Token.cancel();
+  BudgetSpec B;
+  B.Cancel = Token;
+  for (bool Datalog : {false, true}) {
+    analysis::Results R = solveBudgeted(
+        DB, ctx::twoObjectH(Abstraction::ContextString), B, Datalog);
+    EXPECT_EQ(R.Stat.Term, TerminationReason::Cancelled)
+        << "datalog=" << Datalog;
+    // The first poll observes the token, so almost nothing was derived.
+    analysis::Results Full = solveBudgeted(
+        DB, ctx::twoObjectH(Abstraction::ContextString), BudgetSpec(),
+        Datalog);
+    EXPECT_LT(R.Pts.size(), Full.Pts.size());
+  }
+}
+
+TEST(GovernorTest, FaultInjectedTripForcesReason) {
+  facts::FactDB DB = testDB();
+  for (bool Datalog : {false, true}) {
+    fault::reset();
+    fault::armBudgetTrip(TerminationReason::DeadlineExceeded, 40);
+    analysis::Results R = solveBudgeted(
+        DB, ctx::twoObjectH(Abstraction::ContextString), BudgetSpec(),
+        Datalog);
+    EXPECT_EQ(R.Stat.Term, TerminationReason::DeadlineExceeded)
+        << "datalog=" << Datalog;
+    EXPECT_FALSE(fault::active()) << "trip must disarm itself";
+
+    // One-shot: the next run under the same (unlimited) spec converges.
+    analysis::Results Clean = solveBudgeted(
+        DB, ctx::twoObjectH(Abstraction::ContextString), BudgetSpec(),
+        Datalog);
+    EXPECT_EQ(Clean.Stat.Term, TerminationReason::Converged);
+    fault::reset();
+  }
+}
+
+TEST(GovernorTest, FaultInjectedCancellationMidRun) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armCancellation(100);
+  analysis::Results R =
+      solveBudgeted(DB, ctx::twoObjectH(Abstraction::ContextString),
+                    BudgetSpec(), /*Datalog=*/false);
+  EXPECT_EQ(R.Stat.Term, TerminationReason::Cancelled);
+  EXPECT_GT(R.Stat.Progress.Derivations, 0u) << "ran for a while first";
+  fault::reset();
+
+  // The truncated run is still a subset of the fixpoint.
+  analysis::Results Full =
+      solveBudgeted(DB, ctx::twoObjectH(Abstraction::ContextString),
+                    BudgetSpec(), /*Datalog=*/false);
+  EXPECT_TRUE(isSubsetOf(renderedPts(R), renderedPts(Full)));
+}
+
+// A real wall-clock deadline on a workload whose full solve takes hundreds
+// of milliseconds: the run must stop early and say why.
+TEST(GovernorTest, RealDeadlineTruncatesExpensiveRun) {
+  facts::FactDB DB =
+      facts::extract(workload::generatePreset("bloat"));
+  BudgetSpec B;
+  B.DeadlineMs = 1;
+  analysis::SolverOptions SO;
+  SO.Budget = B;
+  analysis::Results R =
+      analysis::solve(DB, ctx::twoObjectH(Abstraction::ContextString), SO);
+  EXPECT_EQ(R.Stat.Term, TerminationReason::DeadlineExceeded);
+  EXPECT_GT(R.Stat.Progress.PendingWork, 0u);
+}
+
+TEST(GovernorTest, TerminationReasonNames) {
+  EXPECT_STREQ(terminationReasonName(TerminationReason::Converged),
+               "Converged");
+  EXPECT_STREQ(terminationReasonName(TerminationReason::DeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(terminationReasonName(TerminationReason::DerivationCapHit),
+               "DerivationCapHit");
+  EXPECT_STREQ(terminationReasonName(TerminationReason::MemoryCapHit),
+               "MemoryCapHit");
+  EXPECT_STREQ(terminationReasonName(TerminationReason::Cancelled),
+               "Cancelled");
+}
+
+TEST(GovernorTest, ScaledForRungHalvesEveryLimit) {
+  BudgetSpec B;
+  B.DeadlineMs = 100;
+  B.MaxDerivations = 8;
+  B.MaxTuples = 0; // Unlimited stays unlimited at every rung.
+  BudgetSpec R1 = B.scaledForRung(1);
+  EXPECT_EQ(R1.DeadlineMs, 50u);
+  EXPECT_EQ(R1.MaxDerivations, 4u);
+  EXPECT_EQ(R1.MaxTuples, 0u);
+  BudgetSpec R5 = B.scaledForRung(5);
+  EXPECT_EQ(R5.DeadlineMs, 3u);
+  EXPECT_EQ(R5.MaxDerivations, 1u) << "never scales below 1";
+  BudgetSpec R99 = B.scaledForRung(99);
+  EXPECT_EQ(R99.DeadlineMs, 1u);
+}
+
+} // namespace

@@ -13,17 +13,30 @@
 //     --preset NAME        use a built-in workload (antlr, bloat, chart,
 //                          eclipse, luindex, pmd, xalan)
 //     --config NAME        1-call | 1-call+H | 1-object | 2-object+H |
-//                          2-type+H | insensitive   (default 2-object+H)
+//                          2-type+H | 2-hybrid+H | insensitive
+//                          (default 2-object+H)
 //     --abstraction A      cs (context strings) | ts (transformer strings;
 //                          default)
 //     --collapse           enable subsumption collapsing (ts only)
 //     --datalog            evaluate through the generic Datalog engine
+//     --deadline-ms N      wall-clock budget for the solve (0 = unlimited)
+//     --max-derivations N  rule-firing cap (0 = unlimited)
+//     --max-tuples N       derived-tuple (approx. memory) cap
+//     --fallback           on budget exhaustion degrade down the
+//                          configuration ladder instead of stopping
+//     --lenient            skip (and count) malformed fact lines instead
+//                          of aborting the read
 //     --dump-pts           print the CI points-to set of every variable
 //     --dump-calls         print the CI call graph
 //     --out DIR            write all derived relations as TSV into DIR
 //
+// Exit codes: 0 converged at the requested configuration, 1 runtime
+// error, 2 usage error, 3 completed degraded (budget-truncated results
+// or a fallback rung below the requested configuration answered).
+//
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Configurations.h"
 #include "analysis/DatalogFrontend.h"
 #include "analysis/ResultsIO.h"
 #include "analysis/Solver.h"
@@ -32,6 +45,7 @@
 #include "workload/Presets.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -39,14 +53,53 @@ using namespace ctp;
 
 namespace {
 
+/// Exit statuses; Degraded is distinct so orchestrating services can tell
+/// a degraded-but-useful answer from both success and failure.
+enum ExitCode : int {
+  ExitOk = 0,
+  ExitError = 1,
+  ExitUsage = 2,
+  ExitDegraded = 3,
+};
+
 int usage(const char *Prog) {
-  std::fprintf(stderr,
-               "usage: %s [--facts DIR | --preset NAME] [--config NAME] "
-               "[--abstraction cs|ts]\n"
-               "          [--collapse] [--datalog] [--dump-pts] "
-               "[--dump-calls]\n",
-               Prog);
-  return 2;
+  std::string Presets;
+  for (const std::string &N : workload::presetNames()) {
+    if (!Presets.empty())
+      Presets += ", ";
+    Presets += N;
+  }
+  std::fprintf(
+      stderr,
+      "usage: %s [--facts DIR | --preset NAME] [--config NAME] "
+      "[--abstraction cs|ts]\n"
+      "          [--collapse] [--datalog] [--deadline-ms N] "
+      "[--max-derivations N]\n"
+      "          [--max-tuples N] [--fallback] [--lenient] [--dump-pts] "
+      "[--dump-calls]\n"
+      "          [--out DIR]\n"
+      "  presets: %s\n"
+      "  configs: 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H,\n"
+      "           2-hybrid+H, insensitive\n"
+      "  exit codes: 0 converged, 1 error, 2 usage, 3 completed "
+      "degraded\n",
+      Prog, Presets.c_str());
+  return ExitUsage;
+}
+
+/// Parses a non-negative integer flag value; \returns false on garbage.
+bool parseCount(const char *S, std::uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  // strtoull silently wraps "-5"; digits only.
+  if (*S < '0' || *S > '9')
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0')
+    return false;
+  Out = V;
+  return true;
 }
 
 bool parseConfig(const std::string &Name, ctx::Abstraction A,
@@ -76,14 +129,29 @@ int main(int argc, char **argv) {
   std::string FactsDir, Preset, OutDir, ConfigName = "2-object+H";
   ctx::Abstraction Abs = ctx::Abstraction::TransformerString;
   bool Collapse = false, UseDatalog = false, DumpPts = false,
-       DumpCalls = false;
+       DumpCalls = false, Fallback = false, Lenient = false;
+  BudgetSpec Budget;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&]() -> const char * {
-      if (I + 1 >= argc)
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg.c_str());
         return nullptr;
+      }
       return argv[++I];
+    };
+    auto NextCount = [&](std::uint64_t &Out) {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!parseCount(V, Out)) {
+        std::fprintf(stderr, "error: %s expects a non-negative integer, "
+                             "got '%s'\n",
+                     Arg.c_str(), V);
+        return false;
+      }
+      return true;
     };
     if (Arg == "--facts") {
       const char *V = Next();
@@ -108,12 +176,27 @@ int main(int argc, char **argv) {
         Abs = ctx::Abstraction::ContextString;
       else if (std::strcmp(V, "ts") == 0)
         Abs = ctx::Abstraction::TransformerString;
-      else
+      else {
+        std::fprintf(stderr, "error: unknown abstraction '%s'\n", V);
         return usage(argv[0]);
+      }
     } else if (Arg == "--collapse") {
       Collapse = true;
     } else if (Arg == "--datalog") {
       UseDatalog = true;
+    } else if (Arg == "--deadline-ms") {
+      if (!NextCount(Budget.DeadlineMs))
+        return usage(argv[0]);
+    } else if (Arg == "--max-derivations") {
+      if (!NextCount(Budget.MaxDerivations))
+        return usage(argv[0]);
+    } else if (Arg == "--max-tuples") {
+      if (!NextCount(Budget.MaxTuples))
+        return usage(argv[0]);
+    } else if (Arg == "--fallback") {
+      Fallback = true;
+    } else if (Arg == "--lenient") {
+      Lenient = true;
     } else if (Arg == "--dump-pts") {
       DumpPts = true;
     } else if (Arg == "--dump-calls") {
@@ -124,6 +207,7 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
       OutDir = V;
     } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return usage(argv[0]);
     }
   }
@@ -135,10 +219,19 @@ int main(int argc, char **argv) {
 
   facts::FactDB DB;
   if (!FactsDir.empty()) {
-    std::string Err = facts::readFactsDir(FactsDir, DB);
+    facts::FactsReadOptions ReadOpts;
+    ReadOpts.Lenient = Lenient;
+    facts::FactsReadReport Report;
+    std::string Err = facts::readFactsDir(FactsDir, DB, ReadOpts, &Report);
     if (!Err.empty()) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return 1;
+      return ExitError;
+    }
+    if (Report.SkippedLines != 0) {
+      std::fprintf(stderr, "warning: skipped %zu malformed fact line(s)\n",
+                   Report.SkippedLines);
+      for (const std::string &W : Report.Warnings)
+        std::fprintf(stderr, "warning:   %s\n", W.c_str());
     }
   } else {
     bool Known = false;
@@ -146,7 +239,7 @@ int main(int argc, char **argv) {
       Known |= N == Preset;
     if (!Known) {
       std::fprintf(stderr, "error: unknown preset '%s'\n", Preset.c_str());
-      return 1;
+      return ExitError;
     }
     DB = facts::extract(workload::generatePreset(Preset));
   }
@@ -155,12 +248,12 @@ int main(int argc, char **argv) {
   if (!parseConfig(ConfigName, Abs, Cfg)) {
     std::fprintf(stderr, "error: unknown config '%s'\n",
                  ConfigName.c_str());
-    return 1;
+    return ExitError;
   }
   std::string CfgErr = Cfg.validate();
   if (!CfgErr.empty()) {
     std::fprintf(stderr, "error: %s\n", CfgErr.c_str());
-    return 1;
+    return ExitError;
   }
 
   std::printf("input: %zu methods, %zu variables, %zu heap sites, %zu "
@@ -172,13 +265,43 @@ int main(int argc, char **argv) {
               Collapse ? ", subsumption collapsing" : "");
 
   analysis::Results R;
-  if (UseDatalog) {
-    R = analysis::solveViaDatalog(DB, Cfg);
+  bool Degraded = false;
+  if (Fallback) {
+    analysis::FallbackOptions FOpts;
+    FOpts.Budget = Budget;
+    FOpts.UseDatalog = UseDatalog;
+    FOpts.Solver.CollapseSubsumedPts = Collapse;
+    analysis::FallbackOutcome O = analysis::solveWithFallback(DB, Cfg, FOpts);
+    std::printf("fallback ladder:\n");
+    for (std::size_t A = 0; A < O.Attempts.size(); ++A) {
+      const analysis::RungAttempt &At = O.Attempts[A];
+      std::printf("  rung %zu: %-18s %-17s %.1f ms, %zu derivations%s\n",
+                  A, At.Config.name().c_str(),
+                  terminationReasonName(At.Term), At.Seconds * 1e3,
+                  At.Derivations, A == O.RungUsed ? "  <- answered" : "");
+    }
+    Degraded = O.Degraded;
+    R = std::move(O.R);
   } else {
-    analysis::SolverOptions Opts;
-    Opts.CollapseSubsumedPts = Collapse;
-    R = analysis::solve(DB, Cfg, Opts);
+    if (UseDatalog) {
+      R = analysis::solveViaDatalog(DB, Cfg, nullptr, Budget);
+    } else {
+      analysis::SolverOptions Opts;
+      Opts.CollapseSubsumedPts = Collapse;
+      Opts.Budget = Budget;
+      R = analysis::solve(DB, Cfg, Opts);
+    }
+    Degraded = R.Stat.Term != TerminationReason::Converged;
   }
+
+  std::printf("termination: %s (%zu iterations, %zu derivations, "
+              "%zu pending work items)\n",
+              terminationReasonName(R.Stat.Term),
+              R.Stat.Progress.Iterations, R.Stat.Progress.Derivations,
+              R.Stat.Progress.PendingWork);
+  if (R.Stat.Term != TerminationReason::Converged)
+    std::printf("note: results are PARTIAL (a sound subset of the "
+                "converged fixpoint)\n");
 
   std::printf("\nderived relations:\n");
   std::printf("  pts   %12zu\n", R.Stat.NumPts);
@@ -197,7 +320,7 @@ int main(int argc, char **argv) {
     std::string Err = analysis::writeResultsDir(DB, R, OutDir);
     if (!Err.empty()) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return 1;
+      return ExitError;
     }
     std::printf("wrote derived relations to %s\n", OutDir.c_str());
   }
@@ -223,5 +346,5 @@ int main(int argc, char **argv) {
       std::printf("  %s -> %s\n", DB.InvokeNames[C[0]].c_str(),
                   DB.MethodNames[C[1]].c_str());
   }
-  return 0;
+  return Degraded ? ExitDegraded : ExitOk;
 }
