@@ -4,11 +4,14 @@
 # Part of the ctp project: a reproduction of "Context Transformations for
 # Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
 #
-# Tier-1 gate: a normal RelWithDebInfo build + full ctest run, followed by
-# the same suite under AddressSanitizer + UndefinedBehaviorSanitizer
-# (-DCTP_SANITIZE=address,undefined). Both must pass.
+# Tier-1 gate: a normal RelWithDebInfo build, the fast client-facing test
+# subset (ctest -L clients) for quick signal, then the full ctest run,
+# followed by the same suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (-DCTP_SANITIZE=address,undefined). All must
+# pass. With --tidy, also runs clang-tidy via scripts/tidy.sh (skipped
+# gracefully when clang-tidy is not installed).
 #
-# Usage: scripts/check.sh [--no-sanitize]
+# Usage: scripts/check.sh [--no-sanitize] [--tidy]
 #
 #===----------------------------------------------------------------------===#
 
@@ -16,12 +19,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=1
-[[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
+TIDY=0
+for ARG in "$@"; do
+  case "$ARG" in
+    --no-sanitize) SANITIZE=0 ;;
+    --tidy) TIDY=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--no-sanitize] [--tidy]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== normal build =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j"$(nproc)"
+echo "== client checker subset (ctest -L clients) =="
+ctest --test-dir build -j"$(nproc)" -L clients --output-on-failure
+echo "== full suite =="
 ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+if [[ "$TIDY" == 1 ]]; then
+  echo "== clang-tidy =="
+  scripts/tidy.sh build
+fi
 
 if [[ "$SANITIZE" == 1 ]]; then
   echo "== sanitizer build (address,undefined) =="

@@ -1,0 +1,71 @@
+//===- clients/CastSafety.h - Downcast safety proofs ------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cast-safety checking, the classic precision client of points-to
+/// analysis (used as a metric in the paper's lineage of evaluations): a
+/// downcast "Y = (T) Z" is PROVEN SAFE when every heap object Z may point
+/// to (pts_ci) has a run-time type that subtypes T — the cast cannot
+/// throw. Casts with at least one ill-typed pointee are flagged
+/// "cast.unsafe"; casts whose source points to nothing (dead code, or
+/// paths the context-sensitive analysis refuted) are "cast.unreachable".
+///
+/// pts_ci shrinks as context precision increases, so the unsafe set
+/// shrinks monotonically; the unreachable set can only grow (a cast whose
+/// pointees were all refuted moves from safe/unsafe to unreachable),
+/// which is why it is a note, not a warning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_CASTSAFETY_H
+#define CTP_CLIENTS_CASTSAFETY_H
+
+#include "analysis/Results.h"
+#include "clients/Diagnostics.h"
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+/// Verdict for one cast fact.
+enum class CastVerdict : std::uint8_t {
+  Safe,        ///< Nonempty pts, every pointee subtypes the target.
+  Unsafe,      ///< At least one pointee's type fails the subtype test.
+  Unreachable, ///< Empty pts: the cast never executes on any derived path.
+};
+
+struct CastResult {
+  std::uint32_t CastIndex; ///< Index into FactDB::Casts.
+  CastVerdict Verdict;
+  std::uint32_t NumPointees = 0;   ///< |pts_ci(From)|.
+  std::uint32_t NumIllTyped = 0;   ///< Pointees failing the subtype test.
+  std::uint32_t WitnessHeap = 0;   ///< Smallest ill-typed heap (Unsafe only).
+};
+
+struct CastSummary {
+  std::vector<CastResult> PerCast; ///< One entry per cast, in fact order.
+  std::size_t Safe = 0;
+  std::size_t Unsafe = 0;
+  std::size_t Unreachable = 0;
+};
+
+/// Classifies every cast in \p DB against the points-to results.
+CastSummary checkCasts(const facts::FactDB &DB, const analysis::Results &R);
+
+/// Runs the cast checker: "cast.unsafe" warnings (with an ill-typed
+/// witness heap) and "cast.unreachable" notes, anchored at the casting
+/// method.
+void checkCastSafety(const facts::FactDB &DB, const analysis::Results &R,
+                     const SourceMap &SM, Report &Out);
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_CASTSAFETY_H

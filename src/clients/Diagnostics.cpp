@@ -1,0 +1,312 @@
+//===- clients/Diagnostics.cpp - Checker findings and reports -------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+using namespace ctp;
+using namespace ctp::clients;
+
+const char *clients::severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "warning";
+}
+
+bool clients::operator<(const Finding &A, const Finding &B) {
+  return std::tie(A.RuleId, A.Loc.Uri, A.Loc.Line, A.Message, A.Id) <
+         std::tie(B.RuleId, B.Loc.Uri, B.Loc.Line, B.Message, B.Id);
+}
+
+bool clients::operator==(const Finding &A, const Finding &B) {
+  return A.RuleId == B.RuleId && A.Loc.Uri == B.Loc.Uri &&
+         A.Loc.Line == B.Loc.Line && A.Message == B.Message && A.Id == B.Id;
+}
+
+const std::vector<RuleInfo> &clients::allRules() {
+  // Kept in rule-id order so the SARIF rule table is deterministic.
+  static const std::vector<RuleInfo> Rules = {
+      {"cast.unreachable",
+       "Downcast never executes: the analysis derives no objects flowing "
+       "into it",
+       Severity::Note},
+      {"cast.unsafe",
+       "Downcast may fail: some pointed-to object's type is not a subtype "
+       "of the target type",
+       Severity::Warning},
+      {"escape.global",
+       "Object escapes through a static field and is visible to the whole "
+       "program",
+       Severity::Warning},
+      {"escape.return",
+       "Object outlives its allocating method by being returned upward",
+       Severity::Note},
+      {"escape.thread",
+       "Object escapes into a spawned thread and is visible across "
+       "threads",
+       Severity::Warning},
+      {"race.candidate",
+       "Unsynchronized field accesses on a thread-shared object, at least "
+       "one a write",
+       Severity::Warning},
+  };
+  return Rules;
+}
+
+//===----------------------------------------------------------------------===//
+// SourceMap
+//===----------------------------------------------------------------------===//
+
+SourceMap::SourceMap(const facts::FactDB &DB) {
+  const std::size_t NM = DB.numMethods();
+  FileOfMethod.resize(NM);
+  MethodLines.assign(NM, 1);
+  HeapLines.assign(DB.numHeaps(), 1);
+  InvokeLines.assign(DB.numInvokes(), 1);
+  HeapMethod = DB.HeapParent;
+  InvokeMethod = DB.InvokeParent;
+
+  std::vector<std::vector<facts::Id>> HeapsOf(NM), InvokesOf(NM);
+  for (facts::Id H = 0; H < DB.numHeaps(); ++H)
+    if (DB.HeapParent[H] < NM)
+      HeapsOf[DB.HeapParent[H]].push_back(H);
+  for (facts::Id I = 0; I < DB.numInvokes(); ++I)
+    if (DB.InvokeParent[I] < NM)
+      InvokesOf[DB.InvokeParent[I]].push_back(I);
+
+  // Group methods by declaring class; walk classes in id order and their
+  // methods in id order, assigning a fresh line cursor per class file.
+  std::vector<std::vector<facts::Id>> MethodsOf(DB.numTypes() + 1);
+  for (facts::Id M = 0; M < NM; ++M) {
+    facts::Id C = M < DB.MethodClass.size() ? DB.MethodClass[M]
+                                            : facts::InvalidId;
+    MethodsOf[C < DB.numTypes() ? C : DB.numTypes()].push_back(M);
+  }
+  for (std::size_t C = 0; C < MethodsOf.size(); ++C) {
+    std::string File =
+        C < DB.numTypes() ? "ctp/" + DB.TypeNames[C] + ".java"
+                          : std::string("ctp/<unknown>.java");
+    unsigned Cursor = 1;
+    for (facts::Id M : MethodsOf[C]) {
+      FileOfMethod[M] = File;
+      MethodLines[M] = Cursor++;
+      for (facts::Id H : HeapsOf[M])
+        HeapLines[H] = Cursor++;
+      for (facts::Id I : InvokesOf[M])
+        InvokeLines[I] = Cursor++;
+    }
+  }
+}
+
+Location SourceMap::method(facts::Id M) const {
+  if (M >= MethodLines.size())
+    return {"ctp/<unknown>.java", 1};
+  return {FileOfMethod[M], MethodLines[M]};
+}
+
+Location SourceMap::heap(facts::Id H) const {
+  if (H >= HeapLines.size())
+    return {"ctp/<unknown>.java", 1};
+  facts::Id M = HeapMethod[H];
+  return {M < FileOfMethod.size() ? FileOfMethod[M]
+                                  : std::string("ctp/<unknown>.java"),
+          HeapLines[H]};
+}
+
+Location SourceMap::invoke(facts::Id I) const {
+  if (I >= InvokeLines.size())
+    return {"ctp/<unknown>.java", 1};
+  facts::Id M = InvokeMethod[I];
+  return {M < FileOfMethod.size() ? FileOfMethod[M]
+                                  : std::string("ctp/<unknown>.java"),
+          InvokeLines[I]};
+}
+
+//===----------------------------------------------------------------------===//
+// Report
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a 64-bit rendered as 16 lowercase hex chars. Stable across
+/// platforms; used for the finding identity only, never for hashing
+/// containers.
+std::string stableHash(const std::string &S) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  static const char *Hex = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[static_cast<std::size_t>(I)] = Hex[H & 0xF];
+    H >>= 4;
+  }
+  return Out;
+}
+
+/// Escapes \p S for embedding in a JSON string literal.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (C < 0x20) {
+        static const char *Hex = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void Report::add(const std::string &RuleId, Severity Sev,
+                 const Location &Loc, const std::string &Message,
+                 const std::string &StableKey) {
+  assert(!Finalized && "adding findings to a finalized report");
+  Finding F;
+  F.RuleId = RuleId;
+  F.Sev = Sev;
+  F.Loc = Loc;
+  F.Message = Message;
+  F.Id = stableHash(RuleId + "\x1f" + StableKey);
+  Items.push_back(std::move(F));
+}
+
+void Report::finalize() {
+  std::sort(Items.begin(), Items.end());
+  Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+  Finalized = true;
+}
+
+std::size_t Report::countAtLeast(Severity S) const {
+  std::size_t N = 0;
+  for (const Finding &F : Items)
+    if (F.Sev >= S)
+      ++N;
+  return N;
+}
+
+std::string Report::renderHuman() const {
+  assert(Finalized && "render before finalize");
+  std::ostringstream OS;
+  std::map<std::string, std::size_t> PerRule;
+  for (const Finding &F : Items) {
+    OS << F.Loc.Uri << ":" << F.Loc.Line << ": " << severityName(F.Sev)
+       << ": " << F.Message << " [" << F.RuleId << "] (" << F.Id << ")\n";
+    ++PerRule[F.RuleId];
+  }
+  OS << "-- " << Items.size() << " finding(s)";
+  if (!PerRule.empty()) {
+    OS << ":";
+    for (const auto &[Rule, N] : PerRule)
+      OS << " " << Rule << "=" << N;
+  }
+  OS << "\n";
+  return OS.str();
+}
+
+std::string Report::renderSarif(const std::string &ToolName,
+                                const std::string &ToolVersion) const {
+  assert(Finalized && "render before finalize");
+  const std::vector<RuleInfo> &Rules = allRules();
+  std::map<std::string, std::size_t> RuleIndex;
+  for (std::size_t I = 0; I < Rules.size(); ++I)
+    RuleIndex.emplace(Rules[I].Id, I);
+
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"" << jsonEscape(ToolName) << "\",\n"
+     << "          \"version\": \"" << jsonEscape(ToolVersion) << "\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/ctp\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t I = 0; I < Rules.size(); ++I) {
+    OS << "            {\n"
+       << "              \"id\": \"" << Rules[I].Id << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << jsonEscape(Rules[I].Description) << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \""
+       << severityName(Rules[I].DefaultSev) << "\" }\n"
+       << "            }" << (I + 1 < Rules.size() ? "," : "") << "\n";
+  }
+  OS << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"columnKind\": \"utf16CodeUnits\",\n"
+     << "      \"results\": [\n";
+  for (std::size_t I = 0; I < Items.size(); ++I) {
+    const Finding &F = Items[I];
+    auto RI = RuleIndex.find(F.RuleId);
+    OS << "        {\n"
+       << "          \"ruleId\": \"" << jsonEscape(F.RuleId) << "\",\n";
+    if (RI != RuleIndex.end())
+      OS << "          \"ruleIndex\": " << RI->second << ",\n";
+    OS << "          \"level\": \"" << severityName(F.Sev) << "\",\n"
+       << "          \"message\": { \"text\": \"" << jsonEscape(F.Message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << jsonEscape(F.Loc.Uri) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << F.Loc.Line
+       << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ],\n"
+       << "          \"partialFingerprints\": { \"ctpFindingId/v1\": \""
+       << F.Id << "\" }\n"
+       << "        }" << (I + 1 < Items.size() ? "," : "") << "\n";
+  }
+  OS << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return OS.str();
+}

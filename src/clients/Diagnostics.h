@@ -1,0 +1,128 @@
+//===- clients/Diagnostics.h - Checker findings and reports -----*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared diagnostics layer of the checker suite (escape analysis,
+/// race-candidate detection, cast safety). Checkers produce Findings —
+/// rule id, severity, message, and a file:line-style anchor — and a Report
+/// renders them deterministically as human-readable text or as SARIF
+/// 2.1.0 JSON, the interchange format CI systems and editors ingest.
+///
+/// Determinism contract: two runs over the same FactDB and Results render
+/// byte-identical output. Finding ids are content hashes over entity
+/// NAMES (not dense ids), so they are stable across unrelated program
+/// growth — the property suppression lists depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_DIAGNOSTICS_H
+#define CTP_CLIENTS_DIAGNOSTICS_H
+
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+enum class Severity : std::uint8_t { Note = 0, Warning = 1, Error = 2 };
+
+/// "note" / "warning" / "error" — also the SARIF result level values.
+const char *severityName(Severity S);
+
+/// A file:line-style source anchor. The IR has no real source files, so
+/// SourceMap synthesizes one pseudo-file per class with deterministic
+/// line numbers; facts loaded from TSV get the same treatment.
+struct Location {
+  std::string Uri; ///< e.g. "ctp/Worker0.java"
+  unsigned Line = 1;
+};
+
+/// One checker finding.
+struct Finding {
+  std::string RuleId; ///< e.g. "escape.global", "race.candidate"
+  Severity Sev = Severity::Warning;
+  std::string Message;
+  Location Loc;
+  /// Stable identity: 16 hex chars of FNV-1a over the rule id and the
+  /// anchor entity names supplied by the checker.
+  std::string Id;
+};
+
+/// Total deterministic order: (RuleId, Uri, Line, Message, Id).
+bool operator<(const Finding &A, const Finding &B);
+bool operator==(const Finding &A, const Finding &B);
+
+/// Metadata for one checker rule, surfaced in SARIF's rule table.
+struct RuleInfo {
+  const char *Id;
+  const char *Description;
+  Severity DefaultSev;
+};
+
+/// Every rule the checker suite can emit, in rule-id order.
+const std::vector<RuleInfo> &allRules();
+
+/// Synthesizes deterministic pseudo-source locations from the FactDB
+/// entity layout: each class C becomes the file "ctp/<C>.java"; inside
+/// it every method of C occupies a block — one line for the header,
+/// then one line per owned heap site, then one per owned invocation —
+/// in dense-id order. Purely a function of the FactDB, hence stable.
+class SourceMap {
+public:
+  explicit SourceMap(const facts::FactDB &DB);
+
+  Location method(facts::Id M) const;
+  Location heap(facts::Id H) const;
+  Location invoke(facts::Id I) const;
+
+private:
+  std::vector<std::string> FileOfMethod;
+  std::vector<unsigned> MethodLines;
+  std::vector<unsigned> HeapLines;
+  std::vector<unsigned> InvokeLines;
+  std::vector<facts::Id> HeapMethod;   // heap -> parent method
+  std::vector<facts::Id> InvokeMethod; // invoke -> parent method
+};
+
+/// Accumulates findings and renders them. add() computes the stable id
+/// from \p StableKey (rule id + anchor entity names, chosen by the
+/// checker); finalize() sorts and deduplicates. Rendering before
+/// finalize() asserts.
+class Report {
+public:
+  void add(const std::string &RuleId, Severity Sev, const Location &Loc,
+           const std::string &Message, const std::string &StableKey);
+
+  /// Sorts into the deterministic order and drops exact duplicates.
+  void finalize();
+
+  const std::vector<Finding> &findings() const { return Items; }
+
+  /// Number of findings at severity \p S or above.
+  std::size_t countAtLeast(Severity S) const;
+
+  /// One line per finding: "uri:line: severity: message [rule] (id)",
+  /// followed by a per-rule summary block.
+  std::string renderHuman() const;
+
+  /// SARIF 2.1.0: a single run with the full rule table and one result
+  /// per finding. Byte-deterministic.
+  std::string renderSarif(const std::string &ToolName,
+                          const std::string &ToolVersion) const;
+
+private:
+  std::vector<Finding> Items;
+  bool Finalized = false;
+};
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_DIAGNOSTICS_H

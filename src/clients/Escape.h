@@ -1,0 +1,78 @@
+//===- clients/Escape.h - Field-sensitive escape analysis -------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Escape analysis on top of the points-to results: classifies every heap
+/// site by how its objects leave the scope of their allocating method.
+///
+///   * GlobalEscape — reachable from a static field (gpts, or stored into
+///     an object that global-escapes);
+///   * ReturnEscape — returned out of the allocating method;
+///   * ThreadEscape — passed into (or the receiver of) a thread-spawn
+///     invocation, directly or via fields of an object that is.
+///
+/// Escape states propagate through the heap graph: if H escapes and
+/// hpts_ci(H, F, H2) holds, then H2 escapes the same way — an object
+/// stored into an escaping container escapes with it. All inputs are
+/// context-insensitive projections, so every escape set shrinks
+/// monotonically as context precision increases (see DESIGN.md, "Checker
+/// suite").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_ESCAPE_H
+#define CTP_CLIENTS_ESCAPE_H
+
+#include "analysis/Results.h"
+#include "clients/Diagnostics.h"
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+/// Per-heap escape classification, one bit per escape route.
+enum EscapeBit : std::uint8_t {
+  NoEscape = 0,
+  GlobalEscape = 1 << 0,
+  ReturnEscape = 1 << 1,
+  ThreadEscape = 1 << 2,
+};
+
+struct EscapeInfo {
+  /// Indexed by heap id; OR of EscapeBit flags.
+  std::vector<std::uint8_t> Mask;
+  /// Heaps visible to more than one thread: the field-closure of
+  /// thread-escaping heaps, plus — when the program spawns at all —
+  /// global-escaping heaps (any thread can read a static).
+  std::vector<bool> ThreadShared;
+  /// True iff the program contains at least one spawn invocation.
+  bool HasSpawns = false;
+
+  std::size_t countEscaping() const {
+    std::size_t N = 0;
+    for (std::uint8_t M : Mask)
+      N += M != NoEscape;
+    return N;
+  }
+};
+
+/// Computes the escape classification of every heap site.
+EscapeInfo computeEscape(const facts::FactDB &DB, const analysis::Results &R);
+
+/// Runs the escape checker: one finding per (heap, escape route), rules
+/// "escape.global" / "escape.thread" (warnings) and "escape.return"
+/// (note), anchored at the allocation site.
+void checkEscape(const facts::FactDB &DB, const analysis::Results &R,
+                 const SourceMap &SM, Report &Out);
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_ESCAPE_H

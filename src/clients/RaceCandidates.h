@@ -1,0 +1,71 @@
+//===- clients/RaceCandidates.h - Data-race candidate pairs -----*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Race-candidate detection: pairs of field accesses (at least one a
+/// write) that may touch the same field of the same thread-shared object
+/// from concurrently executing code. Built from four context-insensitive
+/// ingredients:
+///
+///   1. thread entry methods — resolved targets of spawn invocations
+///      (call_ci restricted to spawn sites);
+///   2. the Concurrent method set — the call-graph closure from those
+///      entries (code that may run on a spawned thread);
+///   3. ThreadShared heaps — from the escape analysis (Escape.h);
+///   4. access aliasing — both bases may point to a common shared heap
+///      (pts_ci).
+///
+/// A pair is reported only when at least one of its two methods is
+/// Concurrent, so purely main-thread accesses to shared objects are
+/// pruned. All four ingredients shrink with rising context precision,
+/// hence so does the candidate set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_RACECANDIDATES_H
+#define CTP_CLIENTS_RACECANDIDATES_H
+
+#include "analysis/Results.h"
+#include "clients/Diagnostics.h"
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+/// One race candidate, aggregated per (field, shared heap): a write and a
+/// second access (read or write) that may race on that object's field.
+struct RaceCandidate {
+  std::uint32_t Field;
+  std::uint32_t Heap;          ///< The thread-shared object both touch.
+  std::uint32_t WriteMethod;   ///< Method containing the write.
+  std::uint32_t OtherMethod;   ///< Method containing the second access.
+  bool OtherIsWrite = false;   ///< Write/write candidate if true.
+};
+
+struct RaceSummary {
+  std::vector<RaceCandidate> Candidates; ///< Sorted (Field, Heap).
+  std::size_t ConcurrentMethods = 0;     ///< |Concurrent closure|.
+  std::size_t ThreadEntries = 0;         ///< Resolved spawn targets.
+};
+
+/// Computes race candidates; deterministic (candidates sorted by
+/// (Field, Heap), representative methods are the smallest ids involved).
+RaceSummary findRaceCandidates(const facts::FactDB &DB,
+                               const analysis::Results &R);
+
+/// Runs the race checker: one "race.candidate" warning per candidate,
+/// anchored at the heap site of the shared object.
+void checkRaces(const facts::FactDB &DB, const analysis::Results &R,
+                const SourceMap &SM, Report &Out);
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_RACECANDIDATES_H

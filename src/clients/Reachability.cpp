@@ -17,6 +17,7 @@ ReachabilitySummary clients::reachableMethods(const facts::FactDB &DB,
   ReachabilitySummary S;
   S.TotalMethods = DB.numMethods();
   S.ReachableMethods = R.ciReach();
+  S.DeadMethods.reserve(S.TotalMethods - S.ReachableMethods.size());
   std::size_t Next = 0;
   for (std::uint32_t M = 0; M < DB.numMethods(); ++M) {
     if (Next < S.ReachableMethods.size() && S.ReachableMethods[Next] == M) {

@@ -128,6 +128,8 @@ FactDB facts::extract(const ir::Program &P) {
       DB.StaticInvokes.push_back({I, Inv.StaticTarget, Inv.Caller});
     else
       DB.VirtualInvokes.push_back({I, Inv.Receiver, Inv.Sig});
+    if (Inv.IsSpawn)
+      DB.Spawns.push_back({I});
   }
 
   for (ir::HeapId H = 0; H < P.Heaps.size(); ++H)

@@ -16,7 +16,8 @@ std::size_t FactDB::numInputFacts() const {
          Implements.size() + Loads.size() + Returns.size() +
          StaticInvokes.size() + Stores.size() + ThisVars.size() +
          VirtualInvokes.size() + GlobalStores.size() + GlobalLoads.size() +
-         Throws.size() + Catches.size() + Casts.size() + Subtypes.size();
+         Throws.size() + Catches.size() + Casts.size() + Subtypes.size() +
+         Spawns.size();
 }
 
 namespace {
@@ -119,5 +120,8 @@ std::string FactDB::validate() const {
   for (const auto &F : Subtypes)
     if (!inRange(F.Sub, NT) || !inRange(F.Super, NT))
       return "subtype fact out of range";
+  for (const auto &F : Spawns)
+    if (!inRange(F.Invoke, NI))
+      return "spawn fact out of range";
   return "";
 }

@@ -130,6 +130,15 @@ struct SubtypeFact {
   Id Sub, Super;
 };
 
+/// spawn(I): invocation I is a thread-spawn marker (`Thread.start`-style).
+/// I also appears in virtual_invoke — data flow into the spawned entry
+/// method is exactly a virtual call's — but execution is concurrent: the
+/// resolved targets of I are thread entry points for the race-candidate
+/// client, and the call binds no result.
+struct SpawnFact {
+  Id Invoke;
+};
+
 /// The extracted-facts database consumed by every analysis in this project.
 struct FactDB {
   // --- Domain sizes and human-readable names (names are only used for
@@ -169,6 +178,7 @@ struct FactDB {
   std::vector<CatchFact> Catches;
   std::vector<CastFact> Casts;
   std::vector<SubtypeFact> Subtypes;
+  std::vector<SpawnFact> Spawns;
 
   std::size_t numGlobals() const { return GlobalNames.size(); }
 

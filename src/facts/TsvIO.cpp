@@ -271,6 +271,11 @@ std::string facts::writeFactsDir(const FactDB &DB, const std::string &Dir) {
   W("Subtype.facts", R);
 
   R.clear();
+  for (const auto &F : DB.Spawns)
+    R.push_back({DB.InvokeNames[F.Invoke]});
+  W("Spawn.facts", R);
+
+  R.clear();
   for (std::size_t V = 0; V < DB.VarParent.size(); ++V)
     R.push_back({DB.VarNames[V], DB.MethodNames[DB.VarParent[V]]});
   W("VarParent.facts", R);
@@ -514,6 +519,20 @@ std::string facts::readFactsDir(const std::string &Dir, FactDB &DB,
     DB.Subtypes.push_back({S, Sup});
     return true;
   });
+
+  // Spawn.facts is a later schema addition; directories written before it
+  // existed simply have no spawn sites, so a missing file is not an error.
+  {
+    std::vector<TsvLine> Probe;
+    if (readTsvLines(Dir + "/Spawn.facts", Probe))
+      Read("Spawn.facts", 1, [&](const std::vector<std::string> &Row) {
+        Id I = Invokes.lookup(Row[0]);
+        if (!Ok(I))
+          return false;
+        DB.Spawns.push_back({I});
+        return true;
+      });
+  }
 
   DB.VarParent.assign(DB.VarNames.size(), InvalidId);
   Read("VarParent.facts", 2, [&](const std::vector<std::string> &Row) {

@@ -18,7 +18,9 @@
 ///   AssignReturn.facts, Formal.facts, HeapType.facts, Implements.facts,
 ///   Load.facts, Return.facts, StaticInvoke.facts, Store.facts,
 ///   ThisVar.facts, VirtualInvoke.facts, VarParent.facts,
-///   HeapParent.facts, InvokeParent.facts, MethodClass.facts
+///   HeapParent.facts, InvokeParent.facts, MethodClass.facts,
+///   Spawn.facts (thread-spawn invocation markers; optional on read —
+///   directories from before the schema gained spawns load as spawn-free)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -231,6 +231,15 @@ InvokeId Builder::addStaticCall(MethodId M, MethodId Target,
   return Id;
 }
 
+InvokeId Builder::addSpawnCall(MethodId M, VarId Receiver, SigId Sig,
+                               const std::vector<VarId> &Actuals,
+                               const std::string &SiteName) {
+  InvokeId Id = addVirtualCall(M, Receiver, Sig, Actuals,
+                               /*Result=*/InvalidId, SiteName);
+  P.Invokes[Id].IsSpawn = true;
+  return Id;
+}
+
 void Builder::addReturn(MethodId M, VarId V) {
   P.Methods[M].ReturnVars.push_back(V);
 }

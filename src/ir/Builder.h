@@ -111,6 +111,15 @@ public:
                          const std::vector<VarId> &Actuals, VarId Result,
                          const std::string &SiteName);
 
+  /// Appends "spawn Receiver.Sig(Actuals);" to \p M: a thread-spawn
+  /// invocation (`Thread.start`-style marker). Dispatches like a virtual
+  /// call — the receiver's implementation of \p Sig is the new thread's
+  /// entry method and the actuals flow into its formals — but runs
+  /// concurrently, so it yields no result and catches nothing.
+  InvokeId addSpawnCall(MethodId M, VarId Receiver, SigId Sig,
+                        const std::vector<VarId> &Actuals,
+                        const std::string &SiteName);
+
   /// Marks \p V as a possible return value of \p M.
   void addReturn(MethodId M, VarId V);
 

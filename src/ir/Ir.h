@@ -121,6 +121,13 @@ struct Invocation {
   std::string Name;
   MethodId Caller = InvalidId;
   bool IsStatic = false;
+  /// Thread-spawn marker (`Thread.start`-style): the invocation dispatches
+  /// the receiver's entry signature on a NEW thread. Data flow (receiver,
+  /// actuals) is identical to a virtual call, but the call returns no
+  /// value and catches no exceptions — the spawned computation is
+  /// concurrent, which the race-candidate client exploits. Spawns are
+  /// always virtual.
+  bool IsSpawn = false;
   /// Receiver variable; InvalidId for static invocations.
   VarId Receiver = InvalidId;
   /// Dispatch signature; InvalidId for static invocations.
@@ -181,8 +188,9 @@ struct Program {
 
 /// Checks structural well-formedness (ids in range, variables used in the
 /// method that owns them, actual counts matching signatures, ...).
-/// \returns an empty string if valid, else a description of the first
-/// violation found.
+/// \returns an empty string if valid, else a newline-separated report of
+/// EVERY violation found, each line prefixed with the offending entity's
+/// kind and id (e.g. "method 17: ...").
 std::string validate(const Program &P);
 
 /// Renders the program as readable pseudo-Java, one method per block.

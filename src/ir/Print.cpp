@@ -77,6 +77,8 @@ std::string ir::printProgram(const Program &P) {
         const Invocation &Inv = P.Invokes[S.Inv];
         if (Inv.Result != InvalidId)
           OS << shortVarName(P, Inv.Result) << " = ";
+        if (Inv.IsSpawn)
+          OS << "spawn ";
         if (Inv.IsStatic)
           OS << P.Methods[Inv.StaticTarget].Name;
         else

@@ -14,46 +14,50 @@ using namespace ctp::ir;
 
 namespace {
 
+/// Collects EVERY well-formedness violation rather than bailing on the
+/// first: a builder or fact-importer bug usually seeds several related
+/// defects, and a tool user fixing them one re-run at a time is the
+/// classic single-error-compiler frustration. Each violation is one line
+/// prefixed with the offending entity's kind and id. Checks within one
+/// entity still short-circuit where a violated precondition would make
+/// the follow-on checks read out of range.
 class Validator {
 public:
   explicit Validator(const Program &P) : P(P) {}
 
   std::string run() {
     checkEntry();
-    if (!Err.empty())
-      return Err;
-    for (MethodId M = 0; M < P.Methods.size(); ++M) {
+    for (MethodId M = 0; M < P.Methods.size(); ++M)
       checkMethod(M);
-      if (!Err.empty())
-        return Err;
-    }
-    for (InvokeId I = 0; I < P.Invokes.size(); ++I) {
+    for (InvokeId I = 0; I < P.Invokes.size(); ++I)
       checkInvoke(I);
-      if (!Err.empty())
-        return Err;
-    }
-    for (HeapId H = 0; H < P.Heaps.size(); ++H) {
+    for (HeapId H = 0; H < P.Heaps.size(); ++H)
       checkHeap(H);
-      if (!Err.empty())
-        return Err;
-    }
-    return Err;
+    return Report.str();
   }
 
 private:
-  void fail(const std::string &Msg) {
-    if (Err.empty())
-      Err = Msg;
+  /// Appends one violation line: "<kind> <id>: <msg>".
+  void fail(const char *Kind, std::uint32_t Id, const std::string &Msg) {
+    if (Report.tellp() > 0)
+      Report << "\n";
+    if (Id == InvalidId)
+      Report << Kind << ": " << Msg;
+    else
+      Report << Kind << " " << Id << ": " << Msg;
   }
 
-  bool varOk(VarId V, MethodId Owner, const char *Role) {
+  bool varOk(VarId V, MethodId Owner, const char *Kind, std::uint32_t Id,
+             const char *Role) {
     if (V >= P.Vars.size()) {
-      fail(std::string(Role) + " variable id out of range");
+      fail(Kind, Id, std::string(Role) + " variable id out of range");
       return false;
     }
     if (P.Vars[V].Parent != Owner) {
-      fail(std::string(Role) + " variable '" + P.Vars[V].Name +
-           "' does not belong to method '" + P.Methods[Owner].Name + "'");
+      fail(Kind, Id,
+           std::string(Role) + " variable '" + P.Vars[V].Name +
+               "' does not belong to method '" + P.Methods[Owner].Name +
+               "'");
       return false;
     }
     return true;
@@ -61,102 +65,94 @@ private:
 
   void checkEntry() {
     if (P.Main == InvalidId) {
-      fail("program has no main method");
+      fail("program", InvalidId, "program has no main method");
       return;
     }
     if (P.Main >= P.Methods.size()) {
-      fail("main method id out of range");
+      fail("program", InvalidId, "main method id out of range");
       return;
     }
     if (!P.Methods[P.Main].IsStatic)
-      fail("main method must be static");
+      fail("method", P.Main, "main method must be static");
   }
 
   void checkMethod(MethodId M) {
     const Method &Meth = P.Methods[M];
-    if (Meth.DeclaringClass >= P.Types.size()) {
-      fail("method '" + Meth.Name + "' has invalid declaring class");
-      return;
-    }
+    if (Meth.DeclaringClass >= P.Types.size())
+      fail("method", M,
+           "method '" + Meth.Name + "' has invalid declaring class");
     if (Meth.Sig >= P.Sigs.size()) {
-      fail("method '" + Meth.Name + "' has invalid signature");
-      return;
+      fail("method", M, "method '" + Meth.Name + "' has invalid signature");
+    } else if (Meth.Formals.size() != P.Sigs[Meth.Sig].NumParams) {
+      fail("method", M,
+           "method '" + Meth.Name + "' formal count mismatches signature");
     }
-    if (Meth.Formals.size() != P.Sigs[Meth.Sig].NumParams) {
-      fail("method '" + Meth.Name + "' formal count mismatches signature");
-      return;
-    }
-    if (!Meth.IsStatic && !varOk(Meth.ThisVar, M, "this"))
-      return;
+    if (!Meth.IsStatic)
+      varOk(Meth.ThisVar, M, "method", M, "this");
     for (VarId F : Meth.Formals)
-      if (!varOk(F, M, "formal"))
-        return;
+      varOk(F, M, "method", M, "formal");
     for (VarId R : Meth.ReturnVars)
-      if (!varOk(R, M, "return"))
-        return;
+      varOk(R, M, "method", M, "return");
     for (VarId R : Meth.ThrowVars)
-      if (!varOk(R, M, "throw"))
-        return;
-    for (const Statement &S : Meth.Stmts) {
+      varOk(R, M, "method", M, "throw");
+    for (const Statement &S : Meth.Stmts)
       checkStmt(M, S);
-      if (!Err.empty())
-        return;
-    }
   }
 
   void checkStmt(MethodId M, const Statement &S) {
+    const char *K = "method";
     switch (S.Kind) {
     case StmtKind::Assign:
-      varOk(S.To, M, "assign target") && varOk(S.From, M, "assign source");
+      varOk(S.To, M, K, M, "assign target");
+      varOk(S.From, M, K, M, "assign source");
       break;
     case StmtKind::New:
-      if (!varOk(S.To, M, "allocation target"))
-        return;
+      varOk(S.To, M, K, M, "allocation target");
       if (S.Heap >= P.Heaps.size())
-        fail("allocation heap site out of range");
+        fail(K, M, "allocation heap site out of range");
       else if (P.Heaps[S.Heap].Parent != M)
-        fail("heap site '" + P.Heaps[S.Heap].Name +
-             "' not owned by containing method");
+        fail(K, M,
+             "heap site '" + P.Heaps[S.Heap].Name +
+                 "' not owned by containing method");
       break;
     case StmtKind::Load:
-      if (!varOk(S.To, M, "load target") || !varOk(S.Base, M, "load base"))
-        return;
+      varOk(S.To, M, K, M, "load target");
+      varOk(S.Base, M, K, M, "load base");
       if (S.F >= P.Fields.size())
-        fail("load field id out of range");
+        fail(K, M, "load field id out of range");
       break;
     case StmtKind::Store:
-      if (!varOk(S.Base, M, "store base") || !varOk(S.From, M, "store value"))
-        return;
+      varOk(S.Base, M, K, M, "store base");
+      varOk(S.From, M, K, M, "store value");
       if (S.F >= P.Fields.size())
-        fail("store field id out of range");
+        fail(K, M, "store field id out of range");
       break;
     case StmtKind::Invoke:
       if (S.Inv >= P.Invokes.size())
-        fail("invoke id out of range");
+        fail(K, M, "invoke id out of range");
       else if (P.Invokes[S.Inv].Caller != M)
-        fail("invocation '" + P.Invokes[S.Inv].Name +
-             "' not owned by containing method");
+        fail(K, M,
+             "invocation '" + P.Invokes[S.Inv].Name +
+                 "' not owned by containing method");
       break;
     case StmtKind::LoadGlobal:
-      if (!varOk(S.To, M, "global load target"))
-        return;
+      varOk(S.To, M, K, M, "global load target");
       if (S.Global >= P.Globals.size())
-        fail("global load field out of range");
+        fail(K, M, "global load field out of range");
       break;
     case StmtKind::StoreGlobal:
-      if (!varOk(S.From, M, "global store value"))
-        return;
+      varOk(S.From, M, K, M, "global store value");
       if (S.Global >= P.Globals.size())
-        fail("global store field out of range");
+        fail(K, M, "global store field out of range");
       break;
     case StmtKind::Throw:
-      varOk(S.From, M, "throw value");
+      varOk(S.From, M, K, M, "throw value");
       break;
     case StmtKind::Cast:
-      if (!varOk(S.To, M, "cast target") || !varOk(S.From, M, "cast source"))
-        return;
+      varOk(S.To, M, K, M, "cast target");
+      varOk(S.From, M, K, M, "cast source");
       if (S.CastType >= P.Types.size())
-        fail("cast type out of range");
+        fail(K, M, "cast type out of range");
       break;
     }
   }
@@ -164,55 +160,71 @@ private:
   void checkInvoke(InvokeId I) {
     const Invocation &Inv = P.Invokes[I];
     if (Inv.Caller >= P.Methods.size()) {
-      fail("invocation '" + Inv.Name + "' has invalid caller");
-      return;
+      fail("invoke", I, "invocation '" + Inv.Name + "' has invalid caller");
+      return; // Everything below resolves variables against the caller.
     }
     for (VarId A : Inv.Actuals)
-      if (!varOk(A, Inv.Caller, "actual"))
-        return;
-    if (Inv.Result != InvalidId && !varOk(Inv.Result, Inv.Caller, "result"))
-      return;
-    if (Inv.CatchVar != InvalidId &&
-        !varOk(Inv.CatchVar, Inv.Caller, "catch"))
-      return;
+      varOk(A, Inv.Caller, "invoke", I, "actual");
+    if (Inv.Result != InvalidId)
+      varOk(Inv.Result, Inv.Caller, "invoke", I, "result");
+    if (Inv.CatchVar != InvalidId)
+      varOk(Inv.CatchVar, Inv.Caller, "invoke", I, "catch");
+    if (Inv.IsSpawn) {
+      if (Inv.IsStatic)
+        fail("invoke", I,
+             "spawn invocation '" + Inv.Name + "' must be virtual");
+      if (Inv.Result != InvalidId)
+        fail("invoke", I,
+             "spawn invocation '" + Inv.Name +
+                 "' cannot bind a result (the spawned thread's return "
+                 "value never reaches the spawner)");
+      if (Inv.CatchVar != InvalidId)
+        fail("invoke", I,
+             "spawn invocation '" + Inv.Name +
+                 "' cannot catch (exceptions die with the thread)");
+    }
     if (Inv.IsStatic) {
       if (Inv.StaticTarget >= P.Methods.size()) {
-        fail("invocation '" + Inv.Name + "' has invalid static target");
+        fail("invoke", I,
+             "invocation '" + Inv.Name + "' has invalid static target");
         return;
       }
       const Method &Target = P.Methods[Inv.StaticTarget];
-      if (!Target.IsStatic) {
-        fail("invocation '" + Inv.Name + "' statically calls instance method");
-        return;
-      }
+      if (!Target.IsStatic)
+        fail("invoke", I,
+             "invocation '" + Inv.Name + "' statically calls instance "
+                                         "method");
       if (Inv.Actuals.size() != Target.Formals.size())
-        fail("invocation '" + Inv.Name + "' actual/formal count mismatch");
+        fail("invoke", I,
+             "invocation '" + Inv.Name + "' actual/formal count mismatch");
       return;
     }
-    if (!varOk(Inv.Receiver, Inv.Caller, "receiver"))
-      return;
+    varOk(Inv.Receiver, Inv.Caller, "invoke", I, "receiver");
     if (Inv.Sig >= P.Sigs.size()) {
-      fail("invocation '" + Inv.Name + "' has invalid signature");
+      fail("invoke", I,
+           "invocation '" + Inv.Name + "' has invalid signature");
       return;
     }
     if (Inv.Actuals.size() != P.Sigs[Inv.Sig].NumParams)
-      fail("invocation '" + Inv.Name + "' actual count mismatches signature");
+      fail("invoke", I,
+           "invocation '" + Inv.Name + "' actual count mismatches "
+                                       "signature");
   }
 
   void checkHeap(HeapId H) {
     const HeapSite &Site = P.Heaps[H];
-    if (Site.AllocatedType >= P.Types.size()) {
-      fail("heap site '" + Site.Name + "' has invalid type");
-      return;
-    }
-    if (P.Types[Site.AllocatedType].IsAbstract)
-      fail("heap site '" + Site.Name + "' allocates an abstract type");
+    if (Site.AllocatedType >= P.Types.size())
+      fail("heap", H, "heap site '" + Site.Name + "' has invalid type");
+    else if (P.Types[Site.AllocatedType].IsAbstract)
+      fail("heap", H,
+           "heap site '" + Site.Name + "' allocates an abstract type");
     if (Site.Parent >= P.Methods.size())
-      fail("heap site '" + Site.Name + "' has invalid parent method");
+      fail("heap", H,
+           "heap site '" + Site.Name + "' has invalid parent method");
   }
 
   const Program &P;
-  std::string Err;
+  std::ostringstream Report;
 };
 
 } // namespace

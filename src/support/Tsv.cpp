@@ -8,7 +8,6 @@
 #include "support/Tsv.h"
 
 #include <fstream>
-#include <sstream>
 
 using namespace ctp;
 

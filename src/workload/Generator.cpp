@@ -76,6 +76,15 @@ struct Skeleton {
   };
   std::vector<Thrower> Throwers;
 
+  // Worker (thread-body) classes: work(p) is a spawn target.
+  struct Worker {
+    TypeId Class;
+    SigId RunSig;
+  };
+  std::vector<Worker> Workers;
+  // Field both spawner and worker access on the shared argument.
+  FieldId SharedField = InvalidId;
+
   // AST pattern classes.
   TypeId NodeClass = InvalidId;
   SigId NodeInitSig = InvalidId, NodeGetParentSig = InvalidId;
@@ -113,6 +122,7 @@ private:
     buildLibs();
     buildGlobals();
     buildThrowers();
+    buildWorkers();
     if (Params.AstScenarios > 0)
       buildAstClasses();
     buildTasks();
@@ -134,6 +144,52 @@ private:
       B.addThrow(M, E);
       B.addReturn(M, B.formal(M, 0));
       Sk.Throwers.push_back({C, B.signature(Name, 1)});
+    }
+  }
+
+  /// class Worker_j { Object held_j;
+  ///                  Object work(p) { this.held_j = p; t = this.held_j;
+  ///                                   r = p.wshared;
+  ///                                   v = new D; p.wshared = v;
+  ///                                   [gcache = p;]
+  ///                                   local = new D; l1 = local;
+  ///                                   return t; } }
+  ///
+  /// The bodies of spawn invocations: they read and write the shared
+  /// argument's `wshared` field (racing against the spawner's accesses),
+  /// capture the argument into the worker object (thread escape), publish
+  /// it through a global on even-numbered workers (global escape), and
+  /// allocate a thread-local object that never leaves the method (the
+  /// escape checker's no-escape witness).
+  void buildWorkers() {
+    unsigned NumWorkers = Params.WorkerClasses;
+    if (NumWorkers == 0 && Params.SpawnScenarios > 0)
+      NumWorkers = 1;
+    if (NumWorkers == 0)
+      return;
+    Sk.SharedField = B.addField("wshared");
+    for (unsigned J = 0; J < NumWorkers; ++J) {
+      TypeId C = B.addClass("Worker" + std::to_string(J), Sk.Root);
+      FieldId Held = B.addField("held" + std::to_string(J));
+      std::string Name = "work" + std::to_string(J);
+      MethodId Run = B.addMethod(C, Name, 1);
+      VarId Arg = B.formal(Run, 0);
+      B.addStore(Run, B.thisVar(Run), Held, Arg);
+      VarId T = B.addLocal(Run, "t");
+      B.addLoad(Run, T, B.thisVar(Run), Held);
+      VarId R = B.addLocal(Run, "r");
+      B.addLoad(Run, R, Arg, Sk.SharedField);
+      VarId V = B.addLocal(Run, "v");
+      B.addNew(Run, V, pickData(), "worker" + std::to_string(J) + "_out");
+      B.addStore(Run, Arg, Sk.SharedField, V);
+      if (!Sk.Globals.empty() && J % 2 == 0)
+        B.addGlobalStore(Run, Sk.Globals[J % Sk.Globals.size()], Arg);
+      VarId L = B.addLocal(Run, "local");
+      B.addNew(Run, L, pickData(), "worker" + std::to_string(J) + "_local");
+      VarId L1 = B.addLocal(Run, "l1");
+      B.addAssign(Run, L1, L);
+      B.addReturn(Run, T);
+      Sk.Workers.push_back({C, B.signature(Name, 1)});
     }
   }
 
@@ -449,6 +505,8 @@ private:
         // Driver-private pattern code (single calling context).
         for (unsigned S = 0; S < Params.PrivateScenarios; ++S)
           emitScenario(Pool);
+        for (unsigned S = 0; S < Params.SpawnScenarios; ++S)
+          emitSpawnScenario(Pool);
         for (unsigned L = 0; L < 2 && !Sk.Libs.empty(); ++L) {
           MethodId Lib = Sk.Libs[Rand.nextBelow(Sk.Libs.size())];
           VarId Out = B.addLocal(Driver, "libout" + std::to_string(L));
@@ -611,6 +669,26 @@ private:
       break;
     }
     }
+  }
+
+  /// shared = <pool obj>; w = new Worker_j; spawn w.work(shared);
+  /// seen = shared.wshared; upd = new D; shared.wshared = upd;
+  ///
+  /// The spawner keeps touching the object it handed to the thread, so
+  /// the worker's accesses and these form true race-candidate pairs.
+  void emitSpawnScenario(LocalPool &Pool) {
+    if (Sk.Workers.empty())
+      return;
+    const auto &Wk = Sk.Workers[Rand.nextBelow(Sk.Workers.size())];
+    VarId Shared = pooledSource(Pool);
+    VarId W = B.addLocal(Pool.M, "worker" + std::to_string(SiteCounter));
+    B.addNew(Pool.M, W, Wk.Class, site("workeralloc"));
+    B.addSpawnCall(Pool.M, W, Wk.RunSig, {Shared}, site("spawn"));
+    VarId Seen = poolVar(Pool, "seen");
+    B.addLoad(Pool.M, Seen, Shared, Sk.SharedField);
+    VarId Upd = B.addLocal(Pool.M, "upd" + std::to_string(SiteCounter));
+    B.addNew(Pool.M, Upd, pickData(), site("update"));
+    B.addStore(Pool.M, Shared, Sk.SharedField, Upd);
   }
 
   void emitAstScenario(LocalPool &Pool) {

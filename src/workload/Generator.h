@@ -78,6 +78,17 @@ struct WorkloadParams {
   unsigned GlobalFields = 2;
   /// Classes whose methods throw exception objects caught at call sites.
   unsigned ThrowerClasses = 2;
+  /// Thread-body classes (`Worker_j.work(p)`), the targets of spawn
+  /// scenarios. Worker bodies store/load a shared field of the argument,
+  /// capture it into the worker object, occasionally publish it through a
+  /// global, and also make a purely thread-local allocation — the shapes
+  /// the escape and race-candidate checkers classify.
+  unsigned WorkerClasses = 0;
+  /// Thread-spawn scenarios per driver: allocate a worker, `spawn`-invoke
+  /// its run signature with a pooled shared object, then read AND write
+  /// the same field of that object from the spawning driver (a genuine
+  /// race-candidate pair). 0 disables threading.
+  unsigned SpawnScenarios = 0;
   std::uint64_t Seed = 1;
 };
 

@@ -34,6 +34,8 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.LibMethods = 5;
     P.PrivateScenarios = 14;
     P.GlobalFields = 5;
+    P.WorkerClasses = 2;
+    P.SpawnScenarios = 2;
     P.Seed = 0xA17;
     return P;
   }
@@ -54,6 +56,8 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.LibMethods = 4;
     P.PrivateScenarios = 10;
     P.GlobalFields = 4;
+    P.WorkerClasses = 2;
+    P.SpawnScenarios = 1;
     P.Seed = 0xB10;
     return P;
   }
@@ -72,6 +76,8 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.LibMethods = 6;
     P.PrivateScenarios = 16;
     P.GlobalFields = 6;
+    P.WorkerClasses = 3;
+    P.SpawnScenarios = 2;
     P.Seed = 0xC4A;
     return P;
   }
@@ -90,6 +96,8 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.LibMethods = 5;
     P.PrivateScenarios = 14;
     P.GlobalFields = 5;
+    P.WorkerClasses = 3;
+    P.SpawnScenarios = 2;
     P.Seed = 0xEC1;
     return P;
   }
@@ -108,6 +116,8 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.LibMethods = 3;
     P.PrivateScenarios = 9;
     P.GlobalFields = 3;
+    P.WorkerClasses = 1;
+    P.SpawnScenarios = 1;
     P.Seed = 0x1DE;
     return P;
   }
@@ -125,6 +135,8 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.LibMethods = 4;
     P.PrivateScenarios = 12;
     P.GlobalFields = 4;
+    P.WorkerClasses = 2;
+    P.SpawnScenarios = 2;
     P.Seed = 0x9DD;
     return P;
   }
@@ -143,6 +155,8 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.LibMethods = 5;
     P.PrivateScenarios = 14;
     P.GlobalFields = 5;
+    P.WorkerClasses = 2;
+    P.SpawnScenarios = 2;
     P.Seed = 0x8A1;
     return P;
   }

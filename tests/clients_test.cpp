@@ -63,6 +63,63 @@ TEST(DevirtTest, PolymorphicReceiverDetected) {
   EXPECT_EQ(S.PerSite[0].Targets.size(), 2u);
 }
 
+/// A program with one monomorphic site, one polymorphic site, and one
+/// virtual site inside a dead method that no configuration can reach.
+ir::Program devirtClassificationProgram() {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Base = B.addClass("Base", Obj, /*IsAbstract=*/true);
+  TypeId D1 = B.addClass("D1", Base);
+  TypeId D2 = B.addClass("D2", Base);
+  MethodId Op1 = B.addMethod(D1, "op", 0);
+  B.addReturn(Op1, B.thisVar(Op1));
+  MethodId Op2 = B.addMethod(D2, "op", 0);
+  B.addReturn(Op2, B.thisVar(Op2));
+  SigId Op = B.signature("op", 0);
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  // Monomorphic: only D1 flows into this receiver.
+  VarId Mono = B.addLocal(Main, "mono");
+  B.addNew(Main, Mono, D1, "h_mono");
+  B.addVirtualCall(Main, Mono, Op, {}, InvalidId, "c_mono");
+  // Polymorphic: D1 and D2 both flow.
+  VarId Poly = B.addLocal(Main, "poly");
+  B.addNew(Main, Poly, D1, "h_p1");
+  B.addNew(Main, Poly, D2, "h_p2");
+  B.addVirtualCall(Main, Poly, Op, {}, InvalidId, "c_poly");
+  // Unreachable: the enclosing method is never called, so the site gets
+  // no call-graph targets under ANY configuration.
+  MethodId Dead = B.addStaticMethod(Obj, "dead", 0);
+  VarId DR = B.addLocal(Dead, "dr");
+  B.addNew(Dead, DR, D2, "h_dead");
+  B.addVirtualCall(Dead, DR, Op, {}, InvalidId, "c_dead");
+  return B.take();
+}
+
+TEST(DevirtTest, ClassificationStableAcrossContextConfigurations) {
+  facts::FactDB DB = facts::extract(devirtClassificationProgram());
+  // The classification is a property of the program here, not of the
+  // context abstraction: every configuration must agree.
+  const ctx::Config Configs[] = {
+      ctx::insensitive(Abstraction::TransformerString),
+      ctx::oneCall(Abstraction::ContextString),
+      ctx::twoObjectH(Abstraction::TransformerString),
+  };
+  for (const ctx::Config &Cfg : Configs) {
+    analysis::Results R = analysis::solve(DB, Cfg);
+    clients::DevirtSummary S = clients::devirtualize(DB, R);
+    EXPECT_EQ(S.VirtualSites, 3u) << Cfg.name();
+    // c_dead never acquires targets: reached < total.
+    EXPECT_EQ(S.ReachedSites, 2u) << Cfg.name();
+    EXPECT_EQ(S.MonomorphicSites, 1u) << Cfg.name();
+    EXPECT_EQ(S.PolymorphicSites, 1u) << Cfg.name();
+    ASSERT_EQ(S.PerSite.size(), 2u) << Cfg.name();
+    // PerSite is ordered by invoke id and holds only reached sites.
+    EXPECT_EQ(S.PerSite[0].Targets.size(), 1u) << Cfg.name();
+    EXPECT_EQ(S.PerSite[1].Targets.size(), 2u) << Cfg.name();
+  }
+}
+
 TEST(AliasTest, Figure1AliasRelations) {
   workload::Figure1Program F = workload::figure1();
   facts::FactDB DB = facts::extract(F.P);

@@ -105,6 +105,37 @@ TEST(IrValidateTest, CatchesCrossMethodVariable) {
   EXPECT_NE(validate(P), "");
 }
 
+TEST(IrValidateTest, ReportsEveryViolationNotJustTheFirst) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  MethodId Other = B.addStaticMethod(Obj, "other", 0);
+  B.setMain(Main);
+  // Defect 1: a statement in main uses a variable owned by other.
+  VarId X = B.addLocal(Main, "x");
+  VarId Y = B.addLocal(Other, "y");
+  B.addAssign(Main, X, Y);
+  // Defect 2: a static invocation marked as a thread spawn (spawns must
+  // be virtual) — seeded by mutating the built program.
+  InvokeId Call = B.addStaticCall(Main, Other, {}, InvalidId, "c0");
+  Program P = B.program();
+  P.Invokes[Call].IsSpawn = true;
+
+  std::string Report = validate(P);
+  // Both violations are present, each tagged with its entity kind + id.
+  EXPECT_NE(Report.find("method " + std::to_string(Main) + ": "),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("does not belong to method"), std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("invoke " + std::to_string(Call) + ": "),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("must be virtual"), std::string::npos) << Report;
+  // Multi-line: at least one newline separates the two reports.
+  EXPECT_NE(Report.find('\n'), std::string::npos) << Report;
+}
+
 TEST(IrValidateTest, PaperProgramsAreValid) {
   EXPECT_EQ(validate(workload::figure1().P), "");
   EXPECT_EQ(validate(workload::figure5().P), "");

@@ -1,0 +1,384 @@
+//===- tests/lint_test.cpp - Checker-suite and diagnostics tests ----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the points-to-powered checker suite: escape analysis, the
+// race-candidate detector, cast safety, the shared diagnostics layer
+// (stable ids, deterministic ordering, SARIF rendering), and the headline
+// soundness property — warning sets shrink monotonically as context
+// precision increases, verified against BOTH solver back-ends.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DatalogFrontend.h"
+#include "analysis/Solver.h"
+#include "clients/CastSafety.h"
+#include "clients/Diagnostics.h"
+#include "clients/Escape.h"
+#include "clients/RaceCandidates.h"
+#include "facts/Extract.h"
+#include "ir/Builder.h"
+#include "workload/Presets.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+using namespace ctp;
+using namespace ctp::ir;
+using ctx::Abstraction;
+
+namespace {
+
+analysis::Results solveBoth(const facts::FactDB &DB, const ctx::Config &Cfg,
+                            bool UseDatalog) {
+  if (UseDatalog)
+    return analysis::solveViaDatalog(DB, Cfg);
+  return analysis::solve(DB, Cfg);
+}
+
+/// Runs all three checkers and returns the finalized report.
+clients::Report lintAll(const facts::FactDB &DB, const analysis::Results &R) {
+  clients::SourceMap SM(DB);
+  clients::Report Rep;
+  clients::checkEscape(DB, R, SM, Rep);
+  clients::checkRaces(DB, R, SM, Rep);
+  clients::checkCastSafety(DB, R, SM, Rep);
+  Rep.finalize();
+  return Rep;
+}
+
+//===----------------------------------------------------------------------===//
+// Escape analysis
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeTest, ClassifiesGlobalReturnAndThreadEscapes) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Data = B.addClass("Data", Obj);
+  TypeId Worker = B.addClass("Worker", Obj);
+  FieldId Held = B.addField("held");
+  GlobalId Cache = B.addGlobal("cache");
+
+  // Worker.run(p) captures its argument into a field.
+  MethodId Run = B.addMethod(Worker, "run", 1);
+  B.addStore(Run, B.thisVar(Run), Held, B.formal(Run, 0));
+  SigId RunSig = B.signature("run", 1);
+
+  // factory() returns a fresh object.
+  MethodId Factory = B.addStaticMethod(Obj, "factory", 0);
+  VarId F = B.addLocal(Factory, "f");
+  B.addNew(Factory, F, Data, "h_returned");
+  B.addReturn(Factory, F);
+
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  // h_global is published through a static.
+  VarId G = B.addLocal(Main, "g");
+  B.addNew(Main, G, Data, "h_global");
+  B.addGlobalStore(Main, Cache, G);
+  // h_arg crosses a thread boundary; the worker object does too.
+  VarId A = B.addLocal(Main, "a");
+  B.addNew(Main, A, Data, "h_arg");
+  VarId W = B.addLocal(Main, "w");
+  B.addNew(Main, W, Worker, "h_worker");
+  B.addSpawnCall(Main, W, RunSig, {A}, "spawn0");
+  // h_local never leaves main.
+  VarId L = B.addLocal(Main, "l");
+  B.addNew(Main, L, Data, "h_local");
+  VarId R = B.addLocal(Main, "r");
+  B.addStaticCall(Main, Factory, {}, R, "call_factory");
+
+  facts::FactDB DB = facts::extract(B.take());
+  analysis::Results Res =
+      analysis::solve(DB, ctx::twoObjectH(Abstraction::TransformerString));
+  clients::EscapeInfo Info = clients::computeEscape(DB, Res);
+
+  std::map<std::string, facts::Id> Heap;
+  for (facts::Id H = 0; H < DB.numHeaps(); ++H)
+    Heap[DB.HeapNames[H]] = H;
+
+  EXPECT_EQ(Info.Mask[Heap["h_global"]], clients::GlobalEscape);
+  EXPECT_EQ(Info.Mask[Heap["h_returned"]], clients::ReturnEscape);
+  EXPECT_EQ(Info.Mask[Heap["h_arg"]], clients::ThreadEscape);
+  EXPECT_EQ(Info.Mask[Heap["h_worker"]], clients::ThreadEscape);
+  EXPECT_EQ(Info.Mask[Heap["h_local"]], clients::NoEscape);
+  // The program spawns, so global-escaping objects are thread-shared too.
+  EXPECT_TRUE(Info.HasSpawns);
+  EXPECT_TRUE(Info.ThreadShared[Heap["h_global"]]);
+  EXPECT_TRUE(Info.ThreadShared[Heap["h_arg"]]);
+  EXPECT_FALSE(Info.ThreadShared[Heap["h_local"]]);
+  EXPECT_FALSE(Info.ThreadShared[Heap["h_returned"]]);
+}
+
+TEST(EscapeTest, EscapePropagatesThroughFieldsOfEscapingObjects) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Box = B.addClass("Box", Obj);
+  TypeId Data = B.addClass("Data", Obj);
+  FieldId Item = B.addField("item");
+  GlobalId Pub = B.addGlobal("pub");
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  VarId Bx = B.addLocal(Main, "bx");
+  B.addNew(Main, Bx, Box, "h_box");
+  VarId In = B.addLocal(Main, "in");
+  B.addNew(Main, In, Data, "h_inner");
+  B.addStore(Main, Bx, Item, In);  // h_box.item = h_inner
+  B.addGlobalStore(Main, Pub, Bx); // then the box escapes
+
+  facts::FactDB DB = facts::extract(B.take());
+  analysis::Results Res =
+      analysis::solve(DB, ctx::oneObject(Abstraction::TransformerString));
+  clients::EscapeInfo Info = clients::computeEscape(DB, Res);
+  std::map<std::string, facts::Id> Heap;
+  for (facts::Id H = 0; H < DB.numHeaps(); ++H)
+    Heap[DB.HeapNames[H]] = H;
+  // Stored into an escaping container => escapes with it.
+  EXPECT_EQ(Info.Mask[Heap["h_inner"]], clients::GlobalEscape);
+  // No spawn anywhere: nothing is thread-shared.
+  EXPECT_FALSE(Info.HasSpawns);
+  EXPECT_FALSE(Info.ThreadShared[Heap["h_inner"]]);
+}
+
+//===----------------------------------------------------------------------===//
+// Race candidates
+//===----------------------------------------------------------------------===//
+
+/// Driver writes and reads field 'val' of an object it also hands to a
+/// spawned worker that writes the same field: a genuine candidate pair.
+ir::Program raceProgram(bool WithSpawn) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Data = B.addClass("Data", Obj);
+  TypeId Worker = B.addClass("Worker", Obj);
+  FieldId Val = B.addField("val");
+  MethodId Run = B.addMethod(Worker, "run", 1);
+  VarId P = B.formal(Run, 0);
+  VarId Fresh = B.addLocal(Run, "fresh");
+  B.addNew(Run, Fresh, Data, "h_fresh");
+  B.addStore(Run, P, Val, Fresh); // write on the worker thread
+  SigId RunSig = B.signature("run", 1);
+
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  VarId S = B.addLocal(Main, "s");
+  B.addNew(Main, S, Data, "h_shared");
+  VarId W = B.addLocal(Main, "w");
+  B.addNew(Main, W, Worker, "h_worker");
+  if (WithSpawn)
+    B.addSpawnCall(Main, W, RunSig, {S}, "spawn0");
+  else
+    B.addVirtualCall(Main, W, RunSig, {S}, InvalidId, "call0");
+  VarId Seen = B.addLocal(Main, "seen");
+  B.addLoad(Main, Seen, S, Val); // read on the main thread
+  return B.take();
+}
+
+TEST(RaceTest, SpawnedWriterRacesWithMainThreadReader) {
+  facts::FactDB DB = facts::extract(raceProgram(/*WithSpawn=*/true));
+  analysis::Results R =
+      analysis::solve(DB, ctx::twoObjectH(Abstraction::TransformerString));
+  clients::RaceSummary S = clients::findRaceCandidates(DB, R);
+  EXPECT_EQ(S.ThreadEntries, 1u);
+  EXPECT_GE(S.ConcurrentMethods, 1u);
+  ASSERT_EQ(S.Candidates.size(), 1u);
+  const clients::RaceCandidate &C = S.Candidates[0];
+  EXPECT_EQ(DB.FieldNames[C.Field], "val");
+  EXPECT_EQ(DB.HeapNames[C.Heap], "h_shared");
+  EXPECT_EQ(DB.MethodNames[C.WriteMethod], "Worker.run");
+  EXPECT_FALSE(C.OtherIsWrite); // paired with main's read
+}
+
+TEST(RaceTest, NoSpawnMeansNoCandidates) {
+  // Same data flow through an ordinary virtual call: single-threaded,
+  // so the same write/read pair is not a race.
+  facts::FactDB DB = facts::extract(raceProgram(/*WithSpawn=*/false));
+  analysis::Results R =
+      analysis::solve(DB, ctx::twoObjectH(Abstraction::TransformerString));
+  clients::RaceSummary S = clients::findRaceCandidates(DB, R);
+  EXPECT_EQ(S.ThreadEntries, 0u);
+  EXPECT_TRUE(S.Candidates.empty());
+}
+
+TEST(RaceTest, ThreadLocalObjectsArePruned) {
+  // The worker's own fresh allocation never crosses a thread boundary;
+  // stores to ITS fields must not be reported even though the method is
+  // concurrent.
+  facts::FactDB DB = facts::extract(raceProgram(/*WithSpawn=*/true));
+  analysis::Results R =
+      analysis::solve(DB, ctx::twoObjectH(Abstraction::TransformerString));
+  clients::RaceSummary S = clients::findRaceCandidates(DB, R);
+  for (const clients::RaceCandidate &C : S.Candidates)
+    EXPECT_NE(DB.HeapNames[C.Heap], "h_fresh");
+}
+
+//===----------------------------------------------------------------------===//
+// Cast safety
+//===----------------------------------------------------------------------===//
+
+TEST(CastSafetyTest, ProvesSafeFlagsUnsafeNotesUnreachable) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Base = B.addClass("Base", Obj);
+  TypeId Sub = B.addClass("Sub", Base);
+  TypeId Other = B.addClass("Other", Obj);
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  // Safe: only Sub objects flow into a (Sub) cast.
+  VarId A = B.addLocal(Main, "a");
+  B.addNew(Main, A, Sub, "h_sub");
+  VarId A2 = B.addLocal(Main, "a2");
+  B.addCast(Main, A2, Sub, A);
+  // Unsafe: an Other object flows into a (Base) cast.
+  VarId C = B.addLocal(Main, "c");
+  B.addNew(Main, C, Other, "h_other");
+  VarId Mix = B.addLocal(Main, "mix");
+  B.addAssign(Main, Mix, A);
+  B.addAssign(Main, Mix, C);
+  VarId M2 = B.addLocal(Main, "m2");
+  B.addCast(Main, M2, Base, Mix);
+  // Unreachable: the casting method is never called.
+  MethodId Dead = B.addStaticMethod(Obj, "dead", 1);
+  VarId D2 = B.addLocal(Dead, "d2");
+  B.addCast(Dead, D2, Sub, B.formal(Dead, 0));
+
+  facts::FactDB DB = facts::extract(B.take());
+  analysis::Results R =
+      analysis::solve(DB, ctx::oneObject(Abstraction::TransformerString));
+  clients::CastSummary S = clients::checkCasts(DB, R);
+  EXPECT_EQ(S.Safe, 1u);
+  EXPECT_EQ(S.Unsafe, 1u);
+  EXPECT_EQ(S.Unreachable, 1u);
+  ASSERT_EQ(S.PerCast.size(), 3u);
+  const clients::CastResult &Bad = S.PerCast[1];
+  EXPECT_EQ(Bad.Verdict, clients::CastVerdict::Unsafe);
+  EXPECT_EQ(Bad.NumPointees, 2u);
+  EXPECT_EQ(Bad.NumIllTyped, 1u);
+  EXPECT_EQ(DB.HeapNames[Bad.WitnessHeap], "h_other");
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics layer
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsTest, FindingsSortDedupeAndKeepStableIds) {
+  clients::Report Rep;
+  clients::Location L1{"ctp/B.java", 3}, L2{"ctp/A.java", 7};
+  Rep.add("zz.rule", clients::Severity::Warning, L1, "later rule", "k1");
+  Rep.add("aa.rule", clients::Severity::Note, L2, "earlier rule", "k2");
+  Rep.add("zz.rule", clients::Severity::Warning, L1, "later rule", "k1");
+  Rep.finalize();
+  ASSERT_EQ(Rep.findings().size(), 2u); // exact duplicate dropped
+  EXPECT_EQ(Rep.findings()[0].RuleId, "aa.rule");
+  EXPECT_EQ(Rep.findings()[1].RuleId, "zz.rule");
+  EXPECT_EQ(Rep.findings()[0].Id.size(), 16u);
+  // Same (rule, key) => same id; different key => different id.
+  clients::Report Rep2;
+  Rep2.add("zz.rule", clients::Severity::Warning, L2, "moved", "k1");
+  Rep2.add("zz.rule", clients::Severity::Warning, L1, "later rule", "k9");
+  Rep2.finalize();
+  EXPECT_EQ(Rep2.findings()[0].Id, Rep.findings()[1].Id);
+  EXPECT_NE(Rep2.findings()[1].Id, Rep.findings()[1].Id);
+  EXPECT_EQ(Rep.countAtLeast(clients::Severity::Warning), 1u);
+}
+
+TEST(DiagnosticsTest, SarifIsByteDeterministicAcrossIndependentRuns) {
+  auto Render = [] {
+    facts::FactDB DB = facts::extract(workload::generatePreset("pmd"));
+    analysis::Results R =
+        analysis::solve(DB, ctx::twoObjectH(Abstraction::TransformerString));
+    return lintAll(DB, R).renderSarif("ctp-lint", "1.0.0");
+  };
+  std::string S1 = Render(), S2 = Render();
+  EXPECT_FALSE(S1.empty());
+  EXPECT_EQ(S1, S2); // full pipeline twice, byte-identical
+}
+
+TEST(DiagnosticsTest, SarifStructureIsWellFormed) {
+  facts::FactDB DB = facts::extract(workload::generatePreset("luindex"));
+  analysis::Results R =
+      analysis::solve(DB, ctx::oneObject(Abstraction::TransformerString));
+  clients::Report Rep = lintAll(DB, R);
+  std::string S = Rep.renderSarif("ctp-lint", "1.0.0");
+  EXPECT_NE(S.find("\"$schema\": "
+                   "\"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(S.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\": \"ctp-lint\""), std::string::npos);
+  // Every rule the suite can emit is declared in the rule table.
+  for (const clients::RuleInfo &RI : clients::allRules())
+    EXPECT_NE(S.find("\"id\": \"" + std::string(RI.Id) + "\""),
+              std::string::npos)
+        << RI.Id;
+  // One "ruleId" entry per finding.
+  std::size_t Count = 0;
+  for (std::size_t Pos = S.find("\"ruleId\""); Pos != std::string::npos;
+       Pos = S.find("\"ruleId\"", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, Rep.findings().size());
+  EXPECT_GT(Count, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The headline property: warning sets shrink as precision rises, on both
+// solver back-ends. (Note-severity findings are exempt: cast.unreachable
+// GROWS with precision by design — refuting all pointees of a cast makes
+// it unreachable.)
+//===----------------------------------------------------------------------===//
+
+class SubsetProperty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SubsetProperty, TwoObjectWarningsAreSubsetOfInsensitive) {
+  const bool UseDatalog = GetParam();
+  facts::FactDB DB = facts::extract(workload::generatePreset("luindex"));
+  analysis::Results Coarse = solveBoth(
+      DB, ctx::insensitive(Abstraction::TransformerString), UseDatalog);
+  analysis::Results Fine = solveBoth(
+      DB, ctx::twoObjectH(Abstraction::TransformerString), UseDatalog);
+
+  // Key findings by (rule, stable id): location-independent identity.
+  auto Warnings = [](const clients::Report &Rep) {
+    std::map<std::string, std::set<std::string>> PerRule;
+    for (const clients::Finding &F : Rep.findings())
+      if (F.Sev >= clients::Severity::Warning)
+        PerRule[F.RuleId].insert(F.Id);
+    return PerRule;
+  };
+  auto CoarseW = Warnings(lintAll(DB, Coarse));
+  auto FineW = Warnings(lintAll(DB, Fine));
+
+  // Each checker's warning rules must have fired insensitively, or the
+  // subset claim below would be vacuous.
+  for (const char *Rule :
+       {"escape.global", "escape.thread", "race.candidate", "cast.unsafe"})
+    EXPECT_FALSE(CoarseW[Rule].empty()) << Rule;
+
+  // Per rule: 2-object+H warnings are a subset of insensitive warnings.
+  std::size_t CoarseTotal = 0, FineTotal = 0;
+  for (const auto &[Rule, Ids] : FineW) {
+    const std::set<std::string> &CoarseIds = CoarseW[Rule];
+    for (const std::string &Id : Ids)
+      EXPECT_TRUE(CoarseIds.count(Id)) << Rule << " finding " << Id
+                                       << " appears only at 2-object+H";
+  }
+  for (const auto &[Rule, Ids] : CoarseW)
+    CoarseTotal += Ids.size();
+  for (const auto &[Rule, Ids] : FineW)
+    FineTotal += Ids.size();
+  // And precision genuinely prunes something on this workload.
+  EXPECT_LT(FineTotal, CoarseTotal);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, SubsetProperty,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &Info) {
+                           return Info.param ? "Datalog" : "Specialized";
+                         });
+
+} // namespace

@@ -1,0 +1,364 @@
+//===- tools/ctp-lint.cpp - Points-to-powered checker driver --------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Runs the checker suite (escape analysis, race-candidate detection,
+// cast safety) over one analysis configuration and emits the findings as
+// human-readable text or SARIF 2.1.0 JSON. Output is byte-deterministic:
+// two runs over the same input produce identical bytes.
+//
+// Usage:
+//   ctp-lint [options]
+//     --facts DIR          read Doop-style .facts files from DIR
+//     --preset NAME        use a built-in workload (antlr, bloat, chart,
+//                          eclipse, luindex, pmd, xalan)
+//     --config NAME        1-call | 1-call+H | 1-object | 2-object+H |
+//                          2-type+H | 2-hybrid+H | insensitive
+//                          (default 2-object+H)
+//     --abstraction A      cs (context strings) | ts (transformer strings;
+//                          default)
+//     --collapse           enable subsumption collapsing (ts only)
+//     --datalog            evaluate through the generic Datalog engine
+//     --deadline-ms N      wall-clock budget for the solve (0 = unlimited)
+//     --max-derivations N  rule-firing cap (0 = unlimited)
+//     --max-tuples N       derived-tuple (approx. memory) cap
+//     --fallback           on budget exhaustion degrade down the
+//                          configuration ladder instead of stopping
+//     --lenient            skip (and count) malformed fact lines instead
+//                          of aborting the read
+//     --checks LIST        comma-separated subset of escape,race,cast
+//                          (default: all)
+//     --format FMT         human (default) | sarif
+//     --out FILE           write the report to FILE instead of stdout
+//
+// Exit codes: 0 converged and no warnings, 1 runtime error, 2 usage
+// error, 3 completed degraded (budget-truncated or a fallback rung below
+// the requested configuration answered — findings may be incomplete),
+// 4 converged with at least one warning-severity finding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Configurations.h"
+#include "analysis/DatalogFrontend.h"
+#include "analysis/Solver.h"
+#include "clients/CastSafety.h"
+#include "clients/Diagnostics.h"
+#include "clients/Escape.h"
+#include "clients/RaceCandidates.h"
+#include "facts/Extract.h"
+#include "facts/TsvIO.h"
+#include "workload/Presets.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace ctp;
+
+namespace {
+
+enum ExitCode : int {
+  ExitOk = 0,
+  ExitError = 1,
+  ExitUsage = 2,
+  ExitDegraded = 3,
+  ExitFindings = 4,
+};
+
+int usage(const char *Prog) {
+  std::string Presets;
+  for (const std::string &N : workload::presetNames()) {
+    if (!Presets.empty())
+      Presets += ", ";
+    Presets += N;
+  }
+  std::fprintf(
+      stderr,
+      "usage: %s [--facts DIR | --preset NAME] [--config NAME] "
+      "[--abstraction cs|ts]\n"
+      "          [--collapse] [--datalog] [--deadline-ms N] "
+      "[--max-derivations N]\n"
+      "          [--max-tuples N] [--fallback] [--lenient]\n"
+      "          [--checks escape,race,cast] [--format human|sarif] "
+      "[--out FILE]\n"
+      "  presets: %s\n"
+      "  configs: 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H,\n"
+      "           2-hybrid+H, insensitive\n"
+      "  exit codes: 0 clean, 1 error, 2 usage, 3 completed degraded,\n"
+      "              4 converged with warnings\n",
+      Prog, Presets.c_str());
+  return ExitUsage;
+}
+
+bool parseCount(const char *S, std::uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  if (*S < '0' || *S > '9')
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseConfig(const std::string &Name, ctx::Abstraction A,
+                 ctx::Config &Out) {
+  if (Name == "1-call")
+    Out = ctx::oneCall(A);
+  else if (Name == "1-call+H")
+    Out = ctx::oneCallH(A);
+  else if (Name == "1-object")
+    Out = ctx::oneObject(A);
+  else if (Name == "2-object+H")
+    Out = ctx::twoObjectH(A);
+  else if (Name == "2-type+H")
+    Out = ctx::twoTypeH(A);
+  else if (Name == "2-hybrid+H")
+    Out = ctx::twoHybridH(A);
+  else if (Name == "insensitive")
+    Out = ctx::insensitive(A);
+  else
+    return false;
+  return true;
+}
+
+struct CheckSet {
+  bool Escape = true;
+  bool Race = true;
+  bool Cast = true;
+};
+
+/// Parses "escape,race,cast" subsets; \returns false on an unknown name.
+bool parseChecks(const std::string &List, CheckSet &Out) {
+  Out = {false, false, false};
+  std::size_t Pos = 0;
+  while (Pos <= List.size()) {
+    std::size_t Comma = List.find(',', Pos);
+    std::string Name = List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Name == "escape")
+      Out.Escape = true;
+    else if (Name == "race")
+      Out.Race = true;
+    else if (Name == "cast")
+      Out.Cast = true;
+    else if (Name == "all")
+      Out = {true, true, true};
+    else if (!Name.empty())
+      return false;
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Out.Escape || Out.Race || Out.Cast;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string FactsDir, Preset, OutFile, ConfigName = "2-object+H",
+                                         Format = "human";
+  ctx::Abstraction Abs = ctx::Abstraction::TransformerString;
+  bool Collapse = false, UseDatalog = false, Fallback = false,
+       Lenient = false;
+  BudgetSpec Budget;
+  CheckSet Checks;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg.c_str());
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    auto NextCount = [&](std::uint64_t &Out) {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!parseCount(V, Out)) {
+        std::fprintf(stderr, "error: %s expects a non-negative integer, "
+                             "got '%s'\n",
+                     Arg.c_str(), V);
+        return false;
+      }
+      return true;
+    };
+    if (Arg == "--facts") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      FactsDir = V;
+    } else if (Arg == "--preset") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Preset = V;
+    } else if (Arg == "--config") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      ConfigName = V;
+    } else if (Arg == "--abstraction") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      if (std::strcmp(V, "cs") == 0)
+        Abs = ctx::Abstraction::ContextString;
+      else if (std::strcmp(V, "ts") == 0)
+        Abs = ctx::Abstraction::TransformerString;
+      else {
+        std::fprintf(stderr, "error: unknown abstraction '%s'\n", V);
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--collapse") {
+      Collapse = true;
+    } else if (Arg == "--datalog") {
+      UseDatalog = true;
+    } else if (Arg == "--deadline-ms") {
+      if (!NextCount(Budget.DeadlineMs))
+        return usage(argv[0]);
+    } else if (Arg == "--max-derivations") {
+      if (!NextCount(Budget.MaxDerivations))
+        return usage(argv[0]);
+    } else if (Arg == "--max-tuples") {
+      if (!NextCount(Budget.MaxTuples))
+        return usage(argv[0]);
+    } else if (Arg == "--fallback") {
+      Fallback = true;
+    } else if (Arg == "--lenient") {
+      Lenient = true;
+    } else if (Arg == "--checks") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      if (!parseChecks(V, Checks)) {
+        std::fprintf(stderr, "error: bad --checks list '%s'\n", V);
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--format") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Format = V;
+      if (Format != "human" && Format != "sarif") {
+        std::fprintf(stderr, "error: unknown format '%s'\n", V);
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--out") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      OutFile = V;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (FactsDir.empty() == Preset.empty()) {
+    std::fprintf(stderr, "error: exactly one of --facts / --preset is "
+                         "required\n");
+    return usage(argv[0]);
+  }
+
+  facts::FactDB DB;
+  if (!FactsDir.empty()) {
+    facts::FactsReadOptions ReadOpts;
+    ReadOpts.Lenient = Lenient;
+    facts::FactsReadReport ReadReport;
+    std::string Err = facts::readFactsDir(FactsDir, DB, ReadOpts, &ReadReport);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+    if (ReadReport.SkippedLines != 0)
+      std::fprintf(stderr, "warning: skipped %zu malformed fact line(s)\n",
+                   ReadReport.SkippedLines);
+  } else {
+    bool Known = false;
+    for (const std::string &N : workload::presetNames())
+      Known |= N == Preset;
+    if (!Known) {
+      std::fprintf(stderr, "error: unknown preset '%s'\n", Preset.c_str());
+      return ExitError;
+    }
+    DB = facts::extract(workload::generatePreset(Preset));
+  }
+
+  ctx::Config Cfg;
+  if (!parseConfig(ConfigName, Abs, Cfg)) {
+    std::fprintf(stderr, "error: unknown config '%s'\n", ConfigName.c_str());
+    return ExitError;
+  }
+  std::string CfgErr = Cfg.validate();
+  if (!CfgErr.empty()) {
+    std::fprintf(stderr, "error: %s\n", CfgErr.c_str());
+    return ExitError;
+  }
+
+  analysis::Results R;
+  bool Degraded = false;
+  if (Fallback) {
+    analysis::FallbackOptions FOpts;
+    FOpts.Budget = Budget;
+    FOpts.UseDatalog = UseDatalog;
+    FOpts.Solver.CollapseSubsumedPts = Collapse;
+    analysis::FallbackOutcome O = analysis::solveWithFallback(DB, Cfg, FOpts);
+    Degraded = O.Degraded;
+    R = std::move(O.R);
+  } else {
+    if (UseDatalog) {
+      R = analysis::solveViaDatalog(DB, Cfg, nullptr, Budget);
+    } else {
+      analysis::SolverOptions Opts;
+      Opts.CollapseSubsumedPts = Collapse;
+      Opts.Budget = Budget;
+      R = analysis::solve(DB, Cfg, Opts);
+    }
+    Degraded = R.Stat.Term != TerminationReason::Converged;
+  }
+  if (Degraded)
+    std::fprintf(stderr,
+                 "warning: analysis did not converge at the requested "
+                 "configuration; findings may be incomplete\n");
+
+  clients::SourceMap SM(DB);
+  clients::Report Report;
+  if (Checks.Escape)
+    clients::checkEscape(DB, R, SM, Report);
+  if (Checks.Race)
+    clients::checkRaces(DB, R, SM, Report);
+  if (Checks.Cast)
+    clients::checkCastSafety(DB, R, SM, Report);
+  Report.finalize();
+
+  std::string Rendered = Format == "sarif"
+                             ? Report.renderSarif("ctp-lint", "1.0.0")
+                             : Report.renderHuman();
+  if (OutFile.empty()) {
+    std::fwrite(Rendered.data(), 1, Rendered.size(), stdout);
+  } else {
+    std::ofstream OS(OutFile, std::ios::binary);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   OutFile.c_str());
+      return ExitError;
+    }
+    OS << Rendered;
+    if (!OS.good()) {
+      std::fprintf(stderr, "error: failed writing '%s'\n", OutFile.c_str());
+      return ExitError;
+    }
+  }
+
+  if (Degraded)
+    return ExitDegraded;
+  return Report.countAtLeast(clients::Severity::Warning) > 0 ? ExitFindings
+                                                             : ExitOk;
+}
