@@ -11,7 +11,11 @@
 # pass. With --tidy, also runs clang-tidy via scripts/tidy.sh (skipped
 # gracefully when clang-tidy is not installed).
 #
-# Usage: scripts/check.sh [--no-sanitize] [--tidy]
+# Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]
+#
+# --crashloop additionally runs the out-of-process kill/resume loop
+# (scripts/crashloop.sh) against the fresh build — the same loop ctest
+# runs under the "robustness" label.
 #
 #===----------------------------------------------------------------------===#
 
@@ -20,12 +24,14 @@ cd "$(dirname "$0")/.."
 
 SANITIZE=1
 TIDY=0
+CRASHLOOP=0
 for ARG in "$@"; do
   case "$ARG" in
     --no-sanitize) SANITIZE=0 ;;
     --tidy) TIDY=1 ;;
+    --crashloop) CRASHLOOP=1 ;;
     *)
-      echo "usage: scripts/check.sh [--no-sanitize] [--tidy]" >&2
+      echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]" >&2
       exit 2
       ;;
   esac
@@ -38,6 +44,11 @@ echo "== client checker subset (ctest -L clients) =="
 ctest --test-dir build -j"$(nproc)" -L clients --output-on-failure
 echo "== full suite =="
 ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+if [[ "$CRASHLOOP" == 1 ]]; then
+  echo "== crash/resume loop =="
+  CTP_ANALYZE=build/tools/ctp-analyze scripts/crashloop.sh
+fi
 
 if [[ "$TIDY" == 1 ]]; then
   echo "== clang-tidy =="

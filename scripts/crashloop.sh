@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+#===- scripts/crashloop.sh - Kill/resume loop through ctp-analyze --------===#
+#
+# Part of the ctp project: a reproduction of "Context Transformations for
+# Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+#
+# Exercises crash-safe checkpoint/resume through the real binary: run the
+# precise configuration under a derivation budget far below convergence,
+# so every invocation "dies" (exit 3, degraded) after leaving a snapshot,
+# then re-invoke with --resume until the fixpoint converges (exit 0). One
+# middle iteration additionally arms a sticky snapshot-writer fault
+# (CTP_SNAPSHOT_FAULT=bitflip), so its final snapshot is corrupt and the
+# next invocation must detect that, warn, and cold-start — the loop still
+# converges, just from further back.
+#
+# The converged result is compared against an uninterrupted run: the
+# derived-relation sizes and cumulative derivation count must match
+# exactly.
+#
+# Usage: scripts/crashloop.sh [--preset NAME] [--config NAME]
+#                             [--budget N] [--max-iters N]
+# Env:   CTP_ANALYZE  path to the ctp-analyze binary
+#                     (default: build/tools/ctp-analyze next to this repo)
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET=antlr
+CONFIG=2-object+H
+BUDGET=6000
+MAX_ITERS=40
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --preset) PRESET="$2"; shift 2 ;;
+    --config) CONFIG="$2"; shift 2 ;;
+    --budget) BUDGET="$2"; shift 2 ;;
+    --max-iters) MAX_ITERS="$2"; shift 2 ;;
+    *)
+      echo "usage: scripts/crashloop.sh [--preset NAME] [--config NAME]" \
+           "[--budget N] [--max-iters N]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+ANALYZE="${CTP_ANALYZE:-build/tools/ctp-analyze}"
+if [[ ! -x "$ANALYZE" ]]; then
+  echo "error: ctp-analyze not found at '$ANALYZE' (build first or set" \
+       "CTP_ANALYZE)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_crashloop.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+CKPT="$WORK/ckpt"
+mkdir -p "$CKPT"
+
+# Baseline: one uninterrupted converged run.
+"$ANALYZE" --preset "$PRESET" --config "$CONFIG" > "$WORK/baseline.txt"
+summary() { grep -E '^(termination|  (pts|hpts|hload|call|reach|gpts) )' "$1"; }
+
+echo "== crash loop: $PRESET/$CONFIG, $BUDGET derivations per life =="
+ITER=0
+RESUME=()
+SAW_CORRUPTION_RECOVERY=0
+while true; do
+  ITER=$((ITER + 1))
+  if [[ "$ITER" -gt "$MAX_ITERS" ]]; then
+    echo "FAIL: no convergence after $MAX_ITERS lives" >&2
+    exit 1
+  fi
+  # Life 2 writes its snapshots through a sticky bit-flip fault: its last
+  # checkpoint is corrupt, and life 3 must recover by cold-starting.
+  FAULT=""
+  if [[ "$ITER" -eq 2 ]]; then
+    FAULT=bitflip
+  fi
+  set +e
+  CTP_SNAPSHOT_FAULT="$FAULT" "$ANALYZE" --preset "$PRESET" \
+    --config "$CONFIG" --max-derivations "$BUDGET" \
+    --checkpoint-dir "$CKPT" "${RESUME[@]}" \
+    > "$WORK/run$ITER.txt" 2> "$WORK/run$ITER.err"
+  CODE=$?
+  set -e
+  RESUME=(--resume)
+  case "$CODE" in
+    0)
+      echo "life $ITER: converged"
+      break
+      ;;
+    3)
+      if [[ -n "$FAULT" ]]; then
+        echo "life $ITER: killed by budget, snapshot writes sabotaged"
+      else
+        echo "life $ITER: killed by budget (snapshot saved)"
+      fi
+      ;;
+    *)
+      echo "FAIL: life $ITER exited $CODE" >&2
+      cat "$WORK/run$ITER.err" >&2
+      exit 1
+      ;;
+  esac
+  if grep -q "corrupt" "$WORK/run$ITER.err" 2>/dev/null; then
+    SAW_CORRUPTION_RECOVERY=1
+    echo "life $ITER: detected corrupt snapshot, cold-started"
+  fi
+done
+if grep -q "corrupt" "$WORK/run$ITER.err" 2>/dev/null; then
+  SAW_CORRUPTION_RECOVERY=1
+fi
+
+if [[ "$SAW_CORRUPTION_RECOVERY" -ne 1 ]]; then
+  echo "FAIL: the sabotaged life never triggered corruption recovery" >&2
+  exit 1
+fi
+
+if ! diff <(summary "$WORK/baseline.txt") <(summary "$WORK/run$ITER.txt") \
+     > "$WORK/diff.txt"; then
+  echo "FAIL: resumed result differs from uninterrupted run:" >&2
+  cat "$WORK/diff.txt" >&2
+  exit 1
+fi
+echo "== crash loop converged in $ITER lives, result identical =="

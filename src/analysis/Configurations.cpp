@@ -10,9 +10,66 @@
 #include "analysis/DatalogFrontend.h"
 
 #include <cassert>
+#include <fstream>
 
 using namespace ctp;
 using namespace ctp::analysis;
+
+const char *analysis::resumeStatusName(ResumeStatus S) {
+  switch (S) {
+  case ResumeStatus::NoSnapshot:
+    return "no-snapshot";
+  case ResumeStatus::Resumed:
+    return "resumed";
+  case ResumeStatus::CorruptSnapshot:
+    return "corrupt-snapshot";
+  case ResumeStatus::Mismatch:
+    return "mismatch";
+  }
+  return "unknown";
+}
+
+analysis::SnapshotProbe
+analysis::probeSnapshot(const std::string &Dir, const facts::FactDB &DB,
+                        const ctx::Config &Cfg, bool UseDatalog,
+                        bool Collapse) {
+  SnapshotProbe P;
+  if (Dir.empty())
+    return P;
+  const std::string Path = checkpointPath(Dir);
+  // A missing file is the normal cold-start case, not a diagnostic.
+  if (!std::ifstream(Path, std::ios::binary).is_open())
+    return P;
+  std::string Err = readSnapshot(Path, P.Snap);
+  if (!Err.empty()) {
+    P.Status = ResumeStatus::CorruptSnapshot;
+    P.Warning = "checkpoint: " + Err + "; falling back to cold start";
+    return P;
+  }
+  const auto Want = UseDatalog ? SolverSnapshot::Backend::Datalog
+                               : SolverSnapshot::Backend::Native;
+  std::string Why;
+  if (P.Snap.BackendTag != Want)
+    Why = "snapshot was written by the other back-end";
+  else if (P.Snap.Collapse != Collapse)
+    Why = "snapshot collapse mode differs from this run";
+  else if (P.Snap.Config.Abs != Cfg.Abs || P.Snap.Config.Flav != Cfg.Flav ||
+           P.Snap.Config.MethodDepth != Cfg.MethodDepth ||
+           P.Snap.Config.HeapDepth != Cfg.HeapDepth)
+    Why = "snapshot configuration '" + P.Snap.Config.name() +
+          "' differs from requested '" + Cfg.name() + "'";
+  else if (P.Snap.Fingerprint != DB.fingerprint())
+    Why = "snapshot fact fingerprint differs from this fact set";
+  else if (P.Snap.LayoutHash != DB.layoutHash())
+    Why = "snapshot fact layout differs from this fact set";
+  if (!Why.empty()) {
+    P.Status = ResumeStatus::Mismatch;
+    P.Warning = "checkpoint: " + Why + "; falling back to cold start";
+    return P;
+  }
+  P.Status = ResumeStatus::Resumed;
+  return P;
+}
 
 std::string analysis::configurationOf(const ctx::Transformer &T) {
   std::string Tag(T.Exits.size(), 'x');
@@ -62,21 +119,59 @@ analysis::solveWithFallback(const facts::FactDB &DB,
   assert(!Ladder.empty() && "fallback ladder must have at least one rung");
 
   FallbackOutcome O;
+
+  // Only the rung-0 (requested) configuration checkpoints or resumes:
+  // snapshots of degraded rungs would let a later resume silently
+  // continue a configuration the user never asked for.
+  SnapshotProbe Probe;
+  if (Opts.Resume && Opts.Checkpoint.enabled()) {
+    const bool Collapse =
+        !Opts.UseDatalog && Opts.Solver.CollapseSubsumedPts;
+    Probe = probeSnapshot(Opts.Checkpoint.Dir, DB, Ladder[0],
+                          Opts.UseDatalog, Collapse);
+    O.Resume = Probe.Status;
+    O.ResumeWarning = Probe.Warning;
+  }
+
   for (std::size_t Rung = 0; Rung < Ladder.size(); ++Rung) {
     const ctx::Config &Cfg = Ladder[Rung];
     const BudgetSpec Budget = Opts.Budget.scaledForRung(Rung);
+    const bool Ckpt = Rung == 0 && Opts.Checkpoint.enabled();
     Results R;
     if (Opts.UseDatalog) {
-      R = solveViaDatalog(DB, Cfg, nullptr, Budget);
+      DatalogSolveOptions DO;
+      DO.Budget = Budget;
+      if (Ckpt) {
+        DO.Checkpoint = Opts.Checkpoint;
+        if (Probe.Status == ResumeStatus::Resumed)
+          DO.Resume = &Probe.Snap;
+      }
+      R = solveViaDatalog(DB, Cfg, DO);
     } else {
       SolverOptions SO = Opts.Solver;
       SO.Budget = Budget;
+      if (Ckpt) {
+        SO.Checkpoint = Opts.Checkpoint;
+        if (Probe.Status == ResumeStatus::Resumed)
+          SO.Resume = &Probe.Snap;
+      }
       R = solve(DB, Cfg, SO);
     }
     O.Attempts.push_back({Cfg, R.Stat.Term, R.Stat.Seconds,
                           R.Stat.Progress.Derivations});
-    if (R.Stat.Term == TerminationReason::Converged ||
-        Rung + 1 == Ladder.size()) {
+    const bool Exhausted = R.Stat.Term != TerminationReason::Converged;
+    if (Ckpt && Exhausted) {
+      // Resume-over-degrade: the trip-time snapshot lets a re-invocation
+      // continue the precise run, so don't spend budget on lower rungs.
+      O.SnapshotSaved =
+          std::ifstream(checkpointPath(Opts.Checkpoint.Dir),
+                        std::ios::binary)
+              .is_open();
+      O.R = std::move(R);
+      O.RungUsed = Rung;
+      break;
+    }
+    if (!Exhausted || Rung + 1 == Ladder.size()) {
       O.R = std::move(R);
       O.RungUsed = Rung;
       break;

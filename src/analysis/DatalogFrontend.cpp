@@ -54,11 +54,30 @@ struct RuleBuilder {
 
 Term v(VarIdx V) { return Term::var(V); }
 
-} // namespace
+/// Reassembles arity-\p Arity tuples from a snapshot's flat word stream.
+std::vector<Tuple> tuplesOf(const std::vector<std::uint32_t> &Words,
+                            unsigned Arity) {
+  std::vector<Tuple> Out;
+  Out.reserve(Words.size() / Arity);
+  for (std::size_t I = 0; I < Words.size(); I += Arity) {
+    Tuple T;
+    for (unsigned C = 0; C < Arity; ++C)
+      T.V[T.N++] = Words[I + C];
+    Out.push_back(T);
+  }
+  return Out;
+}
 
-Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
-                                  std::size_t *NumDerivations,
-                                  const BudgetSpec &Budget) {
+/// One build+run of the Datalog pipeline. A failing snapshot restore
+/// sets \p RestoreFailed and returns immediately; the caller re-invokes
+/// without the snapshot, discarding the partially restored program,
+/// domain, and context interner wholesale (they are all local here, so a
+/// failed restore cannot leak state into the cold start).
+Results solveOnce(const FactDB &DB, const ctx::Config &Cfg,
+                  std::size_t *NumDerivations,
+                  const DatalogSolveOptions &Opts,
+                  const SolverSnapshot *Resume, std::string &RestoreErr,
+                  bool &RestoreFailed) {
   assert(Cfg.validate().empty() && "invalid analysis configuration");
   Stopwatch Timer;
 
@@ -378,9 +397,151 @@ Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
     Prog.addRule(B.take(N));
   }
 
-  RunStats RS = Prog.run(Budget);
+  const CheckpointPolicy &Ckpt = Opts.Checkpoint;
+  std::uint64_t FP = 0, LH = 0;
+  if (Ckpt.enabled() || Resume) {
+    FP = DB.fingerprint();
+    LH = DB.layoutHash();
+  }
+
+  if (Resume) {
+    const SolverSnapshot &S = *Resume;
+    auto Fail = [&](const char *Msg) {
+      RestoreErr = Msg;
+      RestoreFailed = true;
+      return Results();
+    };
+    if (S.BackendTag != SolverSnapshot::Backend::Datalog)
+      return Fail("snapshot was written by a different back-end");
+    if (S.Collapse)
+      return Fail("snapshot collapse mode differs from this run");
+    if (S.Config.Abs != Cfg.Abs || S.Config.Flav != Cfg.Flav ||
+        S.Config.MethodDepth != Cfg.MethodDepth ||
+        S.Config.HeapDepth != Cfg.HeapDepth)
+      return Fail("snapshot configuration differs from this run");
+    if (S.Fingerprint != FP)
+      return Fail("snapshot fingerprint does not match the fact database");
+    if (S.LayoutHash != LH)
+      return Fail("snapshot fact layout does not match the fact database");
+    if (!D->importInterned(S.DomainWords))
+      return Fail("snapshot transformation domain is inconsistent");
+    if (!decodeCtxtInterner(S.ReachCtxtWords, *RC))
+      return Fail("snapshot reach-context table is inconsistent");
+    const std::uint32_t NumT = static_cast<std::uint32_t>(D->size());
+    const std::uint32_t NumCtxt = RC->size();
+    const auto NumVars = static_cast<std::uint32_t>(DB.numVars());
+    const auto NumHeaps = static_cast<std::uint32_t>(DB.numHeaps());
+    const auto NumFields = static_cast<std::uint32_t>(DB.numFields());
+    const auto NumInvokes = static_cast<std::uint32_t>(DB.numInvokes());
+    const auto NumMethods = static_cast<std::uint32_t>(DB.numMethods());
+    const auto NumGlobals = static_cast<std::uint32_t>(DB.numGlobals());
+    auto RelOk = [](const RelationWords &R,
+                    std::initializer_list<std::uint32_t> Limits) {
+      const unsigned Arity = static_cast<unsigned>(Limits.size());
+      for (std::size_t I = 0; I < R.Words.size(); I += Arity) {
+        unsigned C = 0;
+        for (std::uint32_t Limit : Limits)
+          if (R.Words[I + C++] >= Limit)
+            return false;
+      }
+      return true;
+    };
+    if (!RelOk(S.Pts, {NumVars, NumHeaps, NumT}) ||
+        !RelOk(S.Hpts, {NumHeaps, NumFields, NumHeaps, NumT}) ||
+        !RelOk(S.Hload, {NumHeaps, NumFields, NumVars, NumT}) ||
+        !RelOk(S.Call, {NumInvokes, NumMethods, NumT}) ||
+        !RelOk(S.Reach, {NumMethods, NumCtxt}) ||
+        !RelOk(S.Gpts, {NumGlobals, NumHeaps, NumT}))
+      return Fail("snapshot relations have out-of-range ids");
+    Prog.restoreDerived(RPts, tuplesOf(S.Pts.Words, 3), S.Pts.Head);
+    Prog.restoreDerived(RHpts, tuplesOf(S.Hpts.Words, 4), S.Hpts.Head);
+    Prog.restoreDerived(RHload, tuplesOf(S.Hload.Words, 4), S.Hload.Head);
+    Prog.restoreDerived(RCall, tuplesOf(S.Call.Words, 3), S.Call.Head);
+    Prog.restoreDerived(RReach, tuplesOf(S.Reach.Words, 2), S.Reach.Head);
+    Prog.restoreDerived(RGpts, tuplesOf(S.Gpts.Words, 3), S.Gpts.Head);
+    Prog.restoreCounters(static_cast<std::size_t>(S.Rounds),
+                         static_cast<std::size_t>(S.DerivedTuples),
+                         static_cast<std::size_t>(S.Derivations));
+  }
+
+  SolverSnapshot LastSnap;
+  bool WroteSnap = false;
+  std::string CkptErr;
+  if (Ckpt.enabled()) {
+    const std::string Path = checkpointPath(Ckpt.Dir);
+    Prog.setCheckpointHook(
+        Ckpt.EveryDerivations, [&, Path](const Program::CheckpointView &V) {
+          SolverSnapshot S;
+          S.BackendTag = SolverSnapshot::Backend::Datalog;
+          S.Collapse = false;
+          S.Config = Cfg;
+          S.Fingerprint = FP;
+          S.LayoutHash = LH;
+          D->exportInterned(S.DomainWords);
+          encodeCtxtInterner(*RC, S.ReachCtxtWords);
+          std::size_t Pending = 0;
+          for (const auto &St : V.Derived) {
+            RelationWords *Dst = nullptr;
+            if (St.Rel == RPts)
+              Dst = &S.Pts;
+            else if (St.Rel == RHpts)
+              Dst = &S.Hpts;
+            else if (St.Rel == RHload)
+              Dst = &S.Hload;
+            else if (St.Rel == RCall)
+              Dst = &S.Call;
+            else if (St.Rel == RReach)
+              Dst = &S.Reach;
+            else if (St.Rel == RGpts)
+              Dst = &S.Gpts;
+            if (!Dst)
+              continue;
+            Dst->Head = St.DeltaStart;
+            for (const Tuple &T : *St.Rows)
+              for (unsigned C = 0; C < T.N; ++C)
+                Dst->Words.push_back(T.V[C]);
+            Pending += St.Rows->size() - St.DeltaStart;
+          }
+          S.Rounds = V.Rounds;
+          S.DerivedTuples = V.DerivedTuples;
+          S.Derivations = V.Derivations;
+          S.Tuples = V.DerivedTuples;
+          S.Term = TerminationReason::Converged;
+          S.Progress.Iterations = V.Rounds;
+          S.Progress.Derivations = V.Derivations;
+          S.Progress.PendingWork = Pending;
+          std::string E = analysis::writeSnapshot(S, Path);
+          if (E.empty()) {
+            LastSnap = std::move(S);
+            WroteSnap = true;
+          } else if (CkptErr.empty()) {
+            CkptErr = "checkpoint write failed: " + E;
+          }
+        });
+  }
+
+  RunStats RS = Prog.run(Opts.Budget);
   if (NumDerivations)
     *NumDerivations = Prog.numDerivations();
+
+  if (Ckpt.enabled()) {
+    if (RS.Term == TerminationReason::Converged) {
+      // The fixpoint is in hand; a stale snapshot must not outlive it.
+      removeSnapshot(Ckpt.Dir);
+    } else if (WroteSnap) {
+      // Budget exhausted mid-round: the resumable state stays the last
+      // boundary's, but the trailer should carry the trip reason and the
+      // final progress counters of this invocation.
+      LastSnap.Term = RS.Term;
+      LastSnap.Progress.Iterations = RS.Rounds;
+      LastSnap.Progress.Derivations = Prog.numDerivations();
+      LastSnap.Progress.PendingWork = RS.PendingWork;
+      std::string E =
+          analysis::writeSnapshot(LastSnap, checkpointPath(Ckpt.Dir));
+      if (!E.empty() && CkptErr.empty())
+        CkptErr = "checkpoint write failed: " + E;
+    }
+  }
 
   Results R;
   R.Config = Cfg;
@@ -408,7 +569,37 @@ Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
   R.Stat.Progress.Iterations = RS.Rounds;
   R.Stat.Progress.Derivations = Prog.numDerivations();
   R.Stat.Progress.PendingWork = RS.PendingWork;
+  R.Stat.CheckpointError = CkptErr;
   R.Dom = std::move(Dom);
   R.ReachCtxts = ReachCtxts;
+  return R;
+}
+
+} // namespace
+
+Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
+                                  std::size_t *NumDerivations,
+                                  const BudgetSpec &Budget) {
+  DatalogSolveOptions Opts;
+  Opts.Budget = Budget;
+  return solveViaDatalog(DB, Cfg, Opts, NumDerivations);
+}
+
+Results analysis::solveViaDatalog(const FactDB &DB, const ctx::Config &Cfg,
+                                  const DatalogSolveOptions &Opts,
+                                  std::size_t *NumDerivations) {
+  std::string RestoreErr;
+  bool RestoreFailed = false;
+  Results R = solveOnce(DB, Cfg, NumDerivations, Opts, Opts.Resume,
+                        RestoreErr, RestoreFailed);
+  if (!RestoreFailed)
+    return R;
+  // A snapshot that fails its structural checks must never crash the
+  // run: rebuild everything from scratch without it.
+  std::string Ignored;
+  bool ColdFailed = false;
+  R = solveOnce(DB, Cfg, NumDerivations, Opts, nullptr, Ignored, ColdFailed);
+  if (R.Stat.CheckpointError.empty())
+    R.Stat.CheckpointError = "resume failed: " + RestoreErr;
   return R;
 }

@@ -23,6 +23,7 @@
 #ifndef CTP_ANALYSIS_DATALOGFRONTEND_H
 #define CTP_ANALYSIS_DATALOGFRONTEND_H
 
+#include "analysis/Checkpoint.h"
 #include "analysis/Results.h"
 #include "ctx/Config.h"
 #include "facts/FactDB.h"
@@ -30,6 +31,20 @@
 
 namespace ctp {
 namespace analysis {
+
+/// Options of one Datalog-pipeline run. Checkpoints are written at
+/// semi-naive round boundaries (the engine's only consistent safe
+/// points); a budget-exhausted run additionally rewrites the snapshot
+/// trailer with the trip reason so a later --resume knows why and how
+/// far the writer stopped.
+struct DatalogSolveOptions {
+  BudgetSpec Budget;
+  CheckpointPolicy Checkpoint;
+  /// Snapshot to resume from; must have been written by this back-end.
+  /// A failed restore falls back to a cold start and reports the reason
+  /// in Results::Stat::CheckpointError.
+  const SolverSnapshot *Resume = nullptr;
+};
 
 /// Runs the analysis through the generic Datalog engine.
 /// \p NumDerivations, when non-null, receives the engine's rule-firing
@@ -39,6 +54,11 @@ namespace analysis {
 Results solveViaDatalog(const facts::FactDB &DB, const ctx::Config &Cfg,
                         std::size_t *NumDerivations = nullptr,
                         const BudgetSpec &Budget = BudgetSpec());
+
+/// As above, with checkpoint/resume control.
+Results solveViaDatalog(const facts::FactDB &DB, const ctx::Config &Cfg,
+                        const DatalogSolveOptions &Opts,
+                        std::size_t *NumDerivations = nullptr);
 
 } // namespace analysis
 } // namespace ctp

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace ctp {
@@ -54,7 +55,12 @@ struct Stats {
   /// (but sound: subset-of-fixpoint) result produced under a budget.
   TerminationReason Term = TerminationReason::Converged;
   /// How far the run got; PendingWork is nonzero only on truncated runs.
+  /// On a resumed run these are cumulative across the interrupted run(s).
   EngineProgress Progress;
+  /// Non-fatal checkpoint diagnostics: a snapshot restore that failed its
+  /// structural checks (the run then cold-started) or a snapshot write
+  /// that failed. Empty when checkpointing is off or everything worked.
+  std::string CheckpointError;
 };
 
 /// Full result of one analysis run. Movable, not copyable (owns the

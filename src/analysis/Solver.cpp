@@ -35,7 +35,7 @@ public:
       : DB(DB), Cfg(Cfg), M(Cfg.MethodDepth), H(Cfg.HeapDepth),
         Collapse(Opts.CollapseSubsumedPts &&
                  Cfg.Abs == ctx::Abstraction::TransformerString),
-        Meter(Opts.Budget) {
+        Meter(Opts.Budget), Ckpt(Opts.Checkpoint) {
     std::vector<std::uint32_t> ClassOf(DB.numHeaps());
     for (std::size_t Hp = 0; Hp < DB.numHeaps(); ++Hp)
       ClassOf[Hp] = DB.classOfHeap(static_cast<std::uint32_t>(Hp));
@@ -48,18 +48,154 @@ public:
     CallByCallee.resize(DB.numMethods());
     ReachByMethod.resize(DB.numMethods());
     GptsByGlobal.resize(DB.numGlobals());
+    if (Ckpt.enabled() || Opts.Resume) {
+      Fingerprint = DB.fingerprint();
+      LayoutHash = DB.layoutHash();
+    }
+  }
+
+  /// Rebuilds the full solver state from \p S by replaying its relations
+  /// in insertion order (no rule firing, no meter charges): dedup sets,
+  /// join indices, worklists, and the collapse-mode live table fall out
+  /// of the replay deterministically. \returns an empty string on
+  /// success; on failure the solver must be discarded (partially
+  /// restored) and the caller cold-starts a fresh one.
+  std::string tryRestore(const analysis::SolverSnapshot &S) {
+    if (S.BackendTag != analysis::SolverSnapshot::Backend::Native)
+      return "snapshot was written by a different back-end";
+    if (S.Collapse != Collapse)
+      return "snapshot collapse mode differs from this run";
+    if (S.Config.Abs != Cfg.Abs || S.Config.Flav != Cfg.Flav ||
+        S.Config.MethodDepth != Cfg.MethodDepth ||
+        S.Config.HeapDepth != Cfg.HeapDepth)
+      return "snapshot configuration differs from this run";
+    if (S.Fingerprint != Fingerprint)
+      return "snapshot fingerprint does not match the fact database";
+    if (S.LayoutHash != LayoutHash)
+      return "snapshot fact layout does not match the fact database";
+    if (!Dom->importInterned(S.DomainWords))
+      return "snapshot transformation domain is inconsistent";
+    if (!analysis::decodeCtxtInterner(S.ReachCtxtWords, *ReachCtxts))
+      return "snapshot reach-context table is inconsistent";
+
+    const std::uint32_t NumT = static_cast<std::uint32_t>(Dom->size());
+    const std::uint32_t NumCtxt = ReachCtxts->size();
+
+    const std::vector<std::uint32_t> &PW = S.Pts.Words;
+    for (std::size_t I = 0; I < PW.size(); I += 3) {
+      PtsFact F{PW[I], PW[I + 1], PW[I + 2]};
+      if (F.Var >= DB.numVars() || F.Heap >= DB.numHeaps() || F.T >= NumT)
+        return "snapshot pts relation has out-of-range ids";
+      if (!PtsSet.insert(keyOf(F)).second)
+        return "snapshot pts relation has duplicate tuples";
+      if (Collapse && !collapseInsert(F.Var, F.Heap, F.T))
+        return "snapshot pts relation disagrees with its collapse state";
+      PtsRel.push_back(F);
+      PtsByVar[F.Var].push_back({F.Heap, F.T});
+      if (I / 3 >= S.Pts.Head)
+        PtsWork.push_back(F);
+    }
+    const std::vector<std::uint32_t> &SW = S.SubsumedWords;
+    for (std::size_t I = 0; I < SW.size(); I += 3) {
+      PtsFact F{SW[I], SW[I + 1], SW[I + 2]};
+      if (F.Var >= DB.numVars() || F.Heap >= DB.numHeaps() || F.T >= NumT)
+        return "snapshot subsumed-pts section has out-of-range ids";
+      if (!PtsSet.insert(keyOf(F)).second)
+        return "snapshot subsumed-pts section has duplicate tuples";
+      if (Ckpt.enabled())
+        SubsumedAtInsert.push_back(F);
+    }
+    const std::vector<std::uint32_t> &HW = S.Hpts.Words;
+    for (std::size_t I = 0; I < HW.size(); I += 4) {
+      HptsFact F{HW[I], HW[I + 1], HW[I + 2], HW[I + 3]};
+      if (F.Base >= DB.numHeaps() || F.Field >= DB.numFields() ||
+          F.Heap >= DB.numHeaps() || F.T >= NumT)
+        return "snapshot hpts relation has out-of-range ids";
+      if (!HptsSet.insert(keyOf(F)).second)
+        return "snapshot hpts relation has duplicate tuples";
+      HptsRel.push_back(F);
+      HptsByBaseField[pairKey(F.Base, F.Field)].push_back({F.Heap, F.T});
+      if (I / 4 >= S.Hpts.Head)
+        HptsWork.push_back(F);
+    }
+    const std::vector<std::uint32_t> &LW = S.Hload.Words;
+    for (std::size_t I = 0; I < LW.size(); I += 4) {
+      HloadFact F{LW[I], LW[I + 1], LW[I + 2], LW[I + 3]};
+      if (F.Base >= DB.numHeaps() || F.Field >= DB.numFields() ||
+          F.Var >= DB.numVars() || F.T >= NumT)
+        return "snapshot hload relation has out-of-range ids";
+      if (!HloadSet.insert(keyOf(F)).second)
+        return "snapshot hload relation has duplicate tuples";
+      HloadRel.push_back(F);
+      HloadByBaseField[pairKey(F.Base, F.Field)].push_back({F.Var, F.T});
+      if (I / 4 >= S.Hload.Head)
+        HloadWork.push_back(F);
+    }
+    const std::vector<std::uint32_t> &CW = S.Call.Words;
+    for (std::size_t I = 0; I < CW.size(); I += 3) {
+      CallFact F{CW[I], CW[I + 1], CW[I + 2]};
+      if (F.Invoke >= DB.numInvokes() || F.Method >= DB.numMethods() ||
+          F.T >= NumT)
+        return "snapshot call relation has out-of-range ids";
+      if (!CallSet.insert(keyOf(F)).second)
+        return "snapshot call relation has duplicate tuples";
+      CallRel.push_back(F);
+      CallByInvoke[F.Invoke].push_back({F.Method, F.T});
+      CallByCallee[F.Method].push_back({F.Invoke, F.T});
+      if (I / 3 >= S.Call.Head)
+        CallWork.push_back(F);
+    }
+    const std::vector<std::uint32_t> &RW = S.Reach.Words;
+    for (std::size_t I = 0; I < RW.size(); I += 2) {
+      ReachFact F{RW[I], RW[I + 1]};
+      if (F.Method >= DB.numMethods() || F.CtxtId >= NumCtxt)
+        return "snapshot reach relation has out-of-range ids";
+      if (!ReachSet.insert(keyOf(F)).second)
+        return "snapshot reach relation has duplicate tuples";
+      ReachRel.push_back(F);
+      ReachByMethod[F.Method].push_back(F.CtxtId);
+      if (I / 2 >= S.Reach.Head)
+        ReachWork.push_back(F);
+    }
+    const std::vector<std::uint32_t> &GW = S.Gpts.Words;
+    for (std::size_t I = 0; I < GW.size(); I += 3) {
+      GptsFact F{GW[I], GW[I + 1], GW[I + 2]};
+      if (F.Global >= DB.numGlobals() || F.Heap >= DB.numHeaps() ||
+          F.T >= NumT)
+        return "snapshot gpts relation has out-of-range ids";
+      if (!GptsSet.insert(keyOf(F)).second)
+        return "snapshot gpts relation has duplicate tuples";
+      GptsRel.push_back(F);
+      GptsByGlobal[F.Global].push_back({F.Heap, F.T});
+      if (I / 3 >= S.Gpts.Head)
+        GptsWork.push_back(F);
+    }
+
+    BaseWorkItems = static_cast<std::size_t>(S.WorkItems);
+    BaseDerivations = S.Derivations;
+    BaseTuples = S.Tuples;
+    CollapsedPts = static_cast<std::size_t>(S.CollapsedPts);
+    CkptLastDerivations = S.Derivations;
+    Resumed = true;
+    return {};
   }
 
   Results run() {
     Stopwatch Timer;
-    // ENTRY: reach(main, [entry]) (truncated to the method depth so the
-    // degenerate insensitive configuration gets the empty context).
-    for (std::uint32_t E : DB.EntryMethods) {
-      CtxtVec Entry;
-      Entry.push_back(ctx::EntryElem);
-      addReach(E, Entry.takePrefix(M));
+    if (!Resumed) {
+      // ENTRY: reach(main, [entry]) (truncated to the method depth so the
+      // degenerate insensitive configuration gets the empty context).
+      for (std::uint32_t E : DB.EntryMethods) {
+        CtxtVec Entry;
+        Entry.push_back(ctx::EntryElem);
+        addReach(E, Entry.takePrefix(M));
+      }
     }
     drain();
+    // A converged run's checkpoint is spent: remove it so a later
+    // --resume cannot pick up stale state.
+    if (Ckpt.enabled() && !Meter.tripped())
+      analysis::removeSnapshot(Ckpt.Dir);
 
     Results R;
     R.Config = Cfg;
@@ -87,15 +223,14 @@ public:
     R.Stat.NumCall = CallRel.size();
     R.Stat.NumReach = ReachRel.size();
     R.Stat.DomainSize = Dom->size();
-    R.Stat.WorkItems = WorkItems;
+    R.Stat.WorkItems = BaseWorkItems + WorkItems;
     R.Stat.Seconds = Timer.seconds();
     R.Stat.Term = Meter.reason();
-    R.Stat.Progress.Iterations = WorkItems;
+    R.Stat.Progress.Iterations = BaseWorkItems + WorkItems;
     R.Stat.Progress.Derivations =
-        static_cast<std::size_t>(Meter.derivations());
-    R.Stat.Progress.PendingWork = PtsWork.size() + HptsWork.size() +
-                                  HloadWork.size() + CallWork.size() +
-                                  ReachWork.size() + GptsWork.size();
+        static_cast<std::size_t>(totalDerivations());
+    R.Stat.Progress.PendingWork = pendingWork();
+    R.Stat.CheckpointError = CkptError;
     R.Dom = std::move(Dom);
     R.ReachCtxts = ReachCtxts;
     return R;
@@ -202,8 +337,14 @@ private:
     PtsFact F{Var, Heap, T};
     if (!PtsSet.insert(keyOf(F)).second)
       return;
-    if (Collapse && !collapseInsert(Var, Heap, T))
+    if (Collapse && !collapseInsert(Var, Heap, T)) {
+      // The fact occupies the dedup set but never reaches the relation;
+      // a checkpoint must carry it separately or a resumed run would
+      // re-attempt (and re-count) the same subsumed derivations.
+      if (Ckpt.enabled())
+        SubsumedAtInsert.push_back(F);
       return;
+    }
     Meter.chargeTuple();
     PtsRel.push_back(F);
     PtsByVar[Var].push_back({Heap, T});
@@ -304,6 +445,92 @@ private:
     ReachWork.push_back(F);
   }
 
+  //===--- Checkpointing --------------------------------------------------===//
+
+  std::uint64_t totalDerivations() const {
+    return BaseDerivations + Meter.derivations();
+  }
+
+  std::size_t pendingWork() const {
+    return PtsWork.size() + HptsWork.size() + HloadWork.size() +
+           CallWork.size() + ReachWork.size() + GptsWork.size();
+  }
+
+  analysis::SolverSnapshot captureSnapshot(TerminationReason Term) const {
+    analysis::SolverSnapshot S;
+    S.BackendTag = analysis::SolverSnapshot::Backend::Native;
+    S.Collapse = Collapse;
+    S.Config = Cfg;
+    S.Fingerprint = Fingerprint;
+    S.LayoutHash = LayoutHash;
+    Dom->exportInterned(S.DomainWords);
+    analysis::encodeCtxtInterner(*ReachCtxts, S.ReachCtxtWords);
+
+    // Each worklist is the suffix of its insertion-order relation vector,
+    // so (rows, processed-count head) is the whole work state.
+    S.Pts.Head = PtsRel.size() - PtsWork.size();
+    for (const PtsFact &F : PtsRel) {
+      S.Pts.Words.push_back(F.Var);
+      S.Pts.Words.push_back(F.Heap);
+      S.Pts.Words.push_back(F.T);
+    }
+    S.Hpts.Head = HptsRel.size() - HptsWork.size();
+    for (const HptsFact &F : HptsRel) {
+      S.Hpts.Words.push_back(F.Base);
+      S.Hpts.Words.push_back(F.Field);
+      S.Hpts.Words.push_back(F.Heap);
+      S.Hpts.Words.push_back(F.T);
+    }
+    S.Hload.Head = HloadRel.size() - HloadWork.size();
+    for (const HloadFact &F : HloadRel) {
+      S.Hload.Words.push_back(F.Base);
+      S.Hload.Words.push_back(F.Field);
+      S.Hload.Words.push_back(F.Var);
+      S.Hload.Words.push_back(F.T);
+    }
+    S.Call.Head = CallRel.size() - CallWork.size();
+    for (const CallFact &F : CallRel) {
+      S.Call.Words.push_back(F.Invoke);
+      S.Call.Words.push_back(F.Method);
+      S.Call.Words.push_back(F.T);
+    }
+    S.Reach.Head = ReachRel.size() - ReachWork.size();
+    for (const ReachFact &F : ReachRel) {
+      S.Reach.Words.push_back(F.Method);
+      S.Reach.Words.push_back(F.CtxtId);
+    }
+    S.Gpts.Head = GptsRel.size() - GptsWork.size();
+    for (const GptsFact &F : GptsRel) {
+      S.Gpts.Words.push_back(F.Global);
+      S.Gpts.Words.push_back(F.Heap);
+      S.Gpts.Words.push_back(F.T);
+    }
+    for (const PtsFact &F : SubsumedAtInsert) {
+      S.SubsumedWords.push_back(F.Var);
+      S.SubsumedWords.push_back(F.Heap);
+      S.SubsumedWords.push_back(F.T);
+    }
+
+    S.WorkItems = BaseWorkItems + WorkItems;
+    S.Derivations = totalDerivations();
+    S.Tuples = BaseTuples + Meter.tuples();
+    S.CollapsedPts = CollapsedPts;
+    S.Term = Term;
+    S.Progress.Iterations = BaseWorkItems + WorkItems;
+    S.Progress.Derivations = static_cast<std::size_t>(S.Derivations);
+    S.Progress.PendingWork = pendingWork();
+    return S;
+  }
+
+  void writeCheckpoint(TerminationReason Term) {
+    std::string Err = analysis::writeSnapshot(
+        captureSnapshot(Term), analysis::checkpointPath(Ckpt.Dir));
+    if (Err.empty())
+      CkptLastDerivations = totalDerivations();
+    else
+      CkptError = "checkpoint write failed: " + Err;
+  }
+
   //===--- Rule firing ----------------------------------------------------===//
 
   void drain() {
@@ -312,9 +539,16 @@ private:
       // Budget poll at rule-firing granularity: one item's consequences
       // are always fully derived (the adds above never abort mid-item),
       // so a trip leaves the relations a sound prefix of the fixpoint
-      // with the unprocessed items counted as pending work.
-      if (Meter.poll())
+      // with the unprocessed items counted as pending work — which is
+      // also exactly the state a trip-time checkpoint captures.
+      if (auto Trip = Meter.poll()) {
+        if (Ckpt.enabled())
+          writeCheckpoint(*Trip);
         return;
+      }
+      if (Ckpt.enabled() && Ckpt.EveryDerivations != 0 &&
+          totalDerivations() - CkptLastDerivations >= Ckpt.EveryDerivations)
+        writeCheckpoint(TerminationReason::Converged);
       if (!PtsWork.empty()) {
         PtsFact F = PtsWork.front();
         PtsWork.pop_front();
@@ -575,6 +809,19 @@ private:
 
   std::size_t WorkItems = 0;
   BudgetMeter Meter;
+
+  // Checkpoint/resume state. The Base* counters carry the cumulative
+  // totals of the interrupted run(s) a snapshot was restored from; the
+  // meter itself is always fresh per invocation so a resumed run gets
+  // its full budget again.
+  analysis::CheckpointPolicy Ckpt;
+  std::uint64_t Fingerprint = 0, LayoutHash = 0;
+  std::uint64_t CkptLastDerivations = 0;
+  std::uint64_t BaseDerivations = 0, BaseTuples = 0;
+  std::size_t BaseWorkItems = 0;
+  std::vector<PtsFact> SubsumedAtInsert;
+  std::string CkptError;
+  bool Resumed = false;
 };
 
 } // namespace
@@ -583,6 +830,21 @@ Results analysis::solve(const FactDB &DB, const ctx::Config &Cfg,
                         const SolverOptions &Opts) {
   assert(Cfg.validate().empty() && "invalid analysis configuration");
   assert(DB.validate().empty() && "invalid fact database");
+  if (Opts.Resume) {
+    Solver S(DB, Cfg, Opts);
+    std::string Err = S.tryRestore(*Opts.Resume);
+    if (Err.empty())
+      return S.run();
+    // A snapshot that fails its structural checks must never crash the
+    // run: discard the partially restored solver and cold-start.
+    SolverOptions ColdOpts = Opts;
+    ColdOpts.Resume = nullptr;
+    Solver Cold(DB, Cfg, ColdOpts);
+    Results R = Cold.run();
+    if (R.Stat.CheckpointError.empty())
+      R.Stat.CheckpointError = "resume failed: " + Err;
+    return R;
+  }
   Solver S(DB, Cfg, Opts);
   return S.run();
 }

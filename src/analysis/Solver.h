@@ -23,6 +23,7 @@
 #ifndef CTP_ANALYSIS_SOLVER_H
 #define CTP_ANALYSIS_SOLVER_H
 
+#include "analysis/Checkpoint.h"
 #include "analysis/Results.h"
 #include "ctx/Config.h"
 #include "facts/FactDB.h"
@@ -48,6 +49,18 @@ struct SolverOptions {
   /// TerminationReason in Results::Stat — always a subset of the
   /// converged fixpoint. The default budget is unlimited.
   BudgetSpec Budget;
+
+  /// Crash-safe checkpointing (disabled unless Checkpoint.Dir is set): a
+  /// budget-exhausted run leaves a snapshot in the checkpoint directory
+  /// (and so does every EveryDerivations interval while running); a
+  /// converged run removes it. See analysis/Checkpoint.h.
+  CheckpointPolicy Checkpoint;
+
+  /// A snapshot to resume from (not owned; pre-validated against this
+  /// fact set and configuration by analysis::probeSnapshot). When the
+  /// restore fails its structural checks the solver falls back to a cold
+  /// start and reports the reason in Results::Stat::CheckpointError.
+  const SolverSnapshot *Resume = nullptr;
 };
 
 /// Runs the context-sensitive pointer analysis configured by \p Cfg over

@@ -75,6 +75,27 @@ std::uint64_t binKey(std::uint32_t A, std::uint32_t B, unsigned I,
 /// Sentinel stored in the memo table for ⊥ results.
 constexpr TransformId BottomId = UINT32_MAX;
 
+/// Serialization helpers for exportInterned/importInterned: a CtxtVec is
+/// encoded as its length followed by its elements.
+void putVec(std::vector<std::uint32_t> &Out, const CtxtVec &V) {
+  Out.push_back(V.size());
+  for (CtxtElem E : V)
+    Out.push_back(E);
+}
+
+bool getVec(const std::vector<std::uint32_t> &W, std::size_t &Pos,
+            CtxtVec &V) {
+  if (Pos >= W.size())
+    return false;
+  std::uint32_t N = W[Pos++];
+  if (N > CtxtVec::capacity() || Pos + N > W.size())
+    return false;
+  V.clear();
+  for (std::uint32_t I = 0; I < N; ++I)
+    V.push_back(W[Pos++]);
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Context-string domain (Section 4.1 / left column of Figure 4)
 //===----------------------------------------------------------------------===//
@@ -163,6 +184,29 @@ public:
 
   const CtxtPair &ctxtPair(TransformId Id) const override {
     return Pairs[Id];
+  }
+
+  void exportInterned(std::vector<std::uint32_t> &Out) const override {
+    for (std::uint32_t Id = 0; Id < Pairs.size(); ++Id) {
+      const CtxtPair &P = Pairs[Id];
+      putVec(Out, P.In);
+      putVec(Out, P.Out);
+    }
+  }
+
+  bool importInterned(const std::vector<std::uint32_t> &Words) override {
+    if (Pairs.size() != 0)
+      return false; // Only a fresh domain can be restored into.
+    std::size_t Pos = 0;
+    while (Pos < Words.size()) {
+      CtxtPair P;
+      if (!getVec(Words, Pos, P.In) || !getVec(Words, Pos, P.Out))
+        return false;
+      TransformId Expected = Pairs.size();
+      if (Pairs.intern(P) != Expected)
+        return false; // Duplicate value in the stream: corrupt.
+    }
+    return true;
   }
 
 private:
@@ -277,6 +321,35 @@ public:
 
   const Transformer &transformer(TransformId Id) const override {
     return Strings[Id];
+  }
+
+  void exportInterned(std::vector<std::uint32_t> &Out) const override {
+    for (std::uint32_t Id = 0; Id < Strings.size(); ++Id) {
+      const Transformer &T = Strings[Id];
+      putVec(Out, T.Exits);
+      putVec(Out, T.Entries);
+      Out.push_back(T.Wild ? 1 : 0);
+    }
+  }
+
+  bool importInterned(const std::vector<std::uint32_t> &Words) override {
+    // A fresh transformer domain holds exactly the pre-interned identity
+    // (id 0); a valid stream re-encodes it as its first value.
+    if (Strings.size() != 1)
+      return false;
+    std::size_t Pos = 0;
+    TransformId Expected = 0;
+    while (Pos < Words.size()) {
+      Transformer T;
+      if (!getVec(Words, Pos, T.Exits) || !getVec(Words, Pos, T.Entries) ||
+          Pos >= Words.size() || Words[Pos] > 1)
+        return false;
+      T.Wild = Words[Pos++] == 1;
+      if (Strings.intern(T) != Expected)
+        return false;
+      ++Expected;
+    }
+    return Expected >= 1; // The stream must at least re-encode identity.
   }
 
 private:

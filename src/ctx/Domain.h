@@ -111,6 +111,23 @@ public:
     return toString(Id, printElemDefault);
   }
 
+  // --- Checkpoint serialization (analysis/Checkpoint.h). ---
+
+  /// Flattens every interned transformation, in id order, into \p Out as
+  /// a self-delimiting u32 stream. Because interning assigns dense ids in
+  /// first-seen order, re-importing the stream into a fresh domain of the
+  /// same configuration reproduces the id assignment exactly — which is
+  /// what lets a resumed run keep using TransformIds from the snapshot.
+  virtual void exportInterned(std::vector<std::uint32_t> &Out) const = 0;
+
+  /// Rebuilds the interner from an exportInterned stream. Must be called
+  /// on a freshly constructed domain. \returns false when the stream is
+  /// malformed or the reproduced ids diverge from their position (a
+  /// corruption guard); the domain must then be discarded. Memoization
+  /// caches are not restored — they refill lazily on use without
+  /// affecting results.
+  virtual bool importInterned(const std::vector<std::uint32_t> &Words) = 0;
+
   // --- Concrete-value access for tests and the precision comparisons. ---
 
   /// The transformer string behind \p Id; asserts on a context-string

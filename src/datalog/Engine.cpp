@@ -31,6 +31,31 @@ void Program::addRule(Rule R) {
   Rules.push_back(std::move(R));
 }
 
+void Program::restoreDerived(std::uint32_t Rel,
+                             const std::vector<Tuple> &Rows,
+                             std::size_t DeltaStart) {
+  assert(!HasRun && "program already evaluated");
+  assert(IsDerived[Rel] && "restoring a relation no rule derives");
+  assert(DeltaStart <= Rows.size() && "delta start past the row count");
+  if (RestoredDelta.size() < Relations.size())
+    RestoredDelta.resize(Relations.size());
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    Relations[Rel].insert(Rows[I]);
+    if (I >= DeltaStart)
+      RestoredDelta[Rel].push_back(Rows[I]);
+  }
+  Resumed = true;
+}
+
+void Program::restoreCounters(std::size_t Rounds, std::size_t DerivedTuples,
+                              std::size_t NumDerivations) {
+  assert(!HasRun && "program already evaluated");
+  RestoredRounds = Rounds;
+  RestoredDerivedTuples = DerivedTuples;
+  Derivations = NumDerivations;
+  Resumed = true;
+}
+
 std::uint32_t Program::relationId(const std::string &Name) const {
   for (std::uint32_t I = 0; I < RelNames.size(); ++I)
     if (RelNames[I] == Name)
@@ -230,6 +255,26 @@ void Program::evaluate(const CompiledRule &CR,
   joinFrom(CR, 0, Env, DeltaRows, Out);
 }
 
+void Program::maybeCheckpoint(const RunStats &S,
+                              const std::vector<std::vector<Tuple>> &Delta) {
+  if (!CkptHook)
+    return;
+  if (CkptEvery != 0 && Derivations - CkptLast < CkptEvery)
+    return;
+  CheckpointView V;
+  for (std::uint32_t Rel = 0; Rel < Relations.size(); ++Rel) {
+    if (!IsDerived[Rel])
+      continue;
+    const std::vector<Tuple> &Rows = Relations[Rel].rows();
+    V.Derived.push_back({Rel, &Rows, Rows.size() - Delta[Rel].size()});
+  }
+  V.Rounds = S.Rounds;
+  V.DerivedTuples = S.DerivedTuples;
+  V.Derivations = Derivations;
+  CkptHook(V);
+  CkptLast = Derivations;
+}
+
 RunStats Program::run(const BudgetSpec &Budget) {
   assert(!HasRun && "program already evaluated");
   HasRun = true;
@@ -240,44 +285,73 @@ RunStats Program::run(const BudgetSpec &Budget) {
   RunStats S;
   std::vector<std::vector<Tuple>> Delta(Relations.size());
   std::vector<std::pair<std::uint32_t, Tuple>> Emitted;
+  bool ResumeTick = false;
 
-  // Round 0: pure-input variants fire over the initial facts; delta
-  // variants fire over the current contents of their derived relation
-  // (normally empty, but pre-seeded derived facts are supported).
-  for (const CompiledRule &CR : CompiledRules) {
-    if (Stopped)
-      break;
-    if (CR.DeltaPos == NoDelta) {
-      evaluate(CR, {}, Emitted);
-    } else {
-      const Relation &R = Relations[CR.Body[0].Rel];
-      if (R.size() != 0)
-        evaluate(CR, R.rows(), Emitted);
+  if (Resumed) {
+    // Continue from the restored round boundary: the restored deltas
+    // stand in for a drain's output, round 0 already happened in the run
+    // that wrote the snapshot.
+    RestoredDelta.resize(Relations.size());
+    Delta.swap(RestoredDelta);
+    S.Rounds = RestoredRounds;
+    S.DerivedTuples = RestoredDerivedTuples;
+    CkptLast = Derivations;
+    ResumeTick = true;
+  } else {
+    // Round 0: pure-input variants fire over the initial facts; delta
+    // variants fire over the current contents of their derived relation
+    // (normally empty, but pre-seeded derived facts are supported).
+    for (const CompiledRule &CR : CompiledRules) {
+      if (Stopped)
+        break;
+      if (CR.DeltaPos == NoDelta) {
+        evaluate(CR, {}, Emitted);
+      } else {
+        const Relation &R = Relations[CR.Body[0].Rel];
+        if (R.size() != 0)
+          evaluate(CR, R.rows(), Emitted);
+      }
     }
   }
 
   while (!Stopped) {
     bool Any = false;
-    std::size_t Consumed = 0;
-    for (auto &[Rel, T] : Emitted) {
-      ++Consumed;
-      if (Relations[Rel].insert(T)) {
-        Delta[Rel].push_back(T);
-        Any = true;
-        ++S.DerivedTuples;
-        Meter.chargeTuple();
-        if (Meter.poll()) {
-          // Dropping the not-yet-inserted remainder keeps every stored
-          // tuple a genuine derivation — truncation stays sound.
-          Stopped = true;
+    if (ResumeTick) {
+      // The resume tick skips the drain (the restored deltas are already
+      // in place) and fires straight over them.
+      for (const auto &Rows : Delta)
+        if (!Rows.empty()) {
+          Any = true;
           break;
         }
+    } else {
+      std::size_t Consumed = 0;
+      for (auto &[Rel, T] : Emitted) {
+        ++Consumed;
+        if (Relations[Rel].insert(T)) {
+          Delta[Rel].push_back(T);
+          Any = true;
+          ++S.DerivedTuples;
+          Meter.chargeTuple();
+          if (Meter.poll()) {
+            // Dropping the not-yet-inserted remainder keeps every stored
+            // tuple a genuine derivation — truncation stays sound.
+            Stopped = true;
+            break;
+          }
+        }
       }
+      Emitted.erase(Emitted.begin(),
+                    Emitted.begin() + static_cast<std::ptrdiff_t>(Consumed));
     }
-    Emitted.erase(Emitted.begin(),
-                  Emitted.begin() + static_cast<std::ptrdiff_t>(Consumed));
     if (Stopped || !Any)
       break;
+    // Round boundary: emissions drained, every delta a suffix of its
+    // relation — the only state the checkpoint format can express. The
+    // resume tick re-states the snapshot just read, so skip it there.
+    if (!ResumeTick)
+      maybeCheckpoint(S, Delta);
+    ResumeTick = false;
     ++S.Rounds;
 
     std::vector<std::vector<Tuple>> Current(Relations.size());

@@ -107,6 +107,55 @@ public:
   /// once. Budget exhaustion is polled at rule-firing granularity.
   RunStats run(const BudgetSpec &Budget = BudgetSpec());
 
+  //===--- Checkpoint / resume (analysis/Checkpoint.h) --------------------===//
+  //
+  // The engine can only checkpoint at semi-naive round boundaries: after
+  // a drain the emitted queue is empty and each derived relation's delta
+  // is exactly the suffix of rows appended by that drain, so (rows,
+  // delta-start) per relation is a complete, consistent work-state
+  // encoding. Mid-join state (partially evaluated rules, undrained
+  // emissions) is never captured — a budget trip mid-round resumes from
+  // the last boundary.
+
+  /// A read-only view of the engine state at a round boundary, handed to
+  /// the checkpoint hook. Pointers refer into live engine state and are
+  /// only valid during the hook call.
+  struct CheckpointView {
+    struct RelState {
+      std::uint32_t Rel;
+      const std::vector<Tuple> *Rows;
+      /// Rows[DeltaStart..] form the not-yet-joined delta.
+      std::size_t DeltaStart;
+    };
+    std::vector<RelState> Derived;
+    std::size_t Rounds = 0;
+    std::size_t DerivedTuples = 0;
+    std::size_t Derivations = 0;
+  };
+
+  /// Installs \p Hook, called at round boundaries. \p EveryDerivations
+  /// throttles calls: 0 fires at every boundary, N fires at the first
+  /// boundary at least N derivations after the previous call.
+  void setCheckpointHook(std::uint64_t EveryDerivations,
+                         std::function<void(const CheckpointView &)> Hook) {
+    CkptEvery = EveryDerivations;
+    CkptHook = std::move(Hook);
+  }
+
+  /// Pre-seeds derived relation \p Rel from a snapshot: inserts \p Rows
+  /// in order (duplicates of already-added facts — the pre-seeded entry
+  /// reach tuples — are deduplicated) and remembers Rows[DeltaStart..] as
+  /// the delta to resume from. Must be called after rules are added and
+  /// before run(); run() then skips round 0 and continues the fixpoint
+  /// from the restored deltas.
+  void restoreDerived(std::uint32_t Rel, const std::vector<Tuple> &Rows,
+                      std::size_t DeltaStart);
+
+  /// Restores the cumulative progress counters of the run that wrote the
+  /// snapshot, so RunStats continue seamlessly across the resume.
+  void restoreCounters(std::size_t Rounds, std::size_t DerivedTuples,
+                       std::size_t Derivations);
+
   const Relation &relation(std::uint32_t Rel) const {
     return Relations[Rel];
   }
@@ -148,6 +197,9 @@ private:
                  std::vector<std::optional<Value>> &Env,
                  std::vector<VarIdx> &Bound);
 
+  void maybeCheckpoint(const RunStats &S,
+                       const std::vector<std::vector<Tuple>> &Delta);
+
   std::vector<Relation> Relations;
   std::vector<std::string> RelNames;
   std::vector<bool> IsDerived;
@@ -155,6 +207,14 @@ private:
   std::vector<Rule> Rules;
   std::size_t Derivations = 0;
   bool HasRun = false;
+  // Checkpoint/resume state.
+  std::uint64_t CkptEvery = 0;
+  std::function<void(const CheckpointView &)> CkptHook;
+  std::uint64_t CkptLast = 0;
+  bool Resumed = false;
+  std::vector<std::vector<Tuple>> RestoredDelta;
+  std::size_t RestoredRounds = 0;
+  std::size_t RestoredDerivedTuples = 0;
   /// Set when the budget meter trips mid-join; unwinds the evaluation
   /// without firing further rules.
   bool Stopped = false;

@@ -7,6 +7,8 @@
 
 #include "facts/FactDB.h"
 
+#include "support/Hashing.h"
+
 using namespace ctp;
 using namespace ctp::facts;
 
@@ -24,7 +26,229 @@ namespace {
 
 bool inRange(Id X, std::size_t Bound) { return X < Bound; }
 
+constexpr std::uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t FnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a absorption of one string plus a terminator byte (so adjacent
+/// fields cannot run together: ("ab","c") != ("a","bc")).
+std::uint64_t absorb(std::uint64_t H, const std::string &S) {
+  for (char C : S) {
+    H ^= static_cast<std::uint8_t>(C);
+    H *= FnvPrime;
+  }
+  H ^= 0xff;
+  H *= FnvPrime;
+  return H;
+}
+
+std::uint64_t absorb(std::uint64_t H, std::uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= static_cast<std::uint8_t>(V >> (8 * I));
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+/// Accumulates per-item hashes commutatively (wrapping addition), which
+/// is what makes the fingerprint independent of row order.
+struct ContentSum {
+  std::uint64_t Sum = 0;
+  void add(std::uint64_t H) { Sum += mix64(H); }
+};
+
 } // namespace
+
+std::uint64_t FactDB::fingerprint() const {
+  ContentSum CS;
+  auto Name = [](const std::vector<std::string> &Names, Id I) -> const
+      std::string & { return Names[I]; };
+
+  // Name domains: a name present in the domain but referenced by no fact
+  // still distinguishes two databases.
+  auto AddDomain = [&](const char *Tag,
+                       const std::vector<std::string> &Names) {
+    for (const std::string &N : Names)
+      CS.add(absorb(absorb(FnvOffset, std::string(Tag)), N));
+  };
+  AddDomain("var", VarNames);
+  AddDomain("heap", HeapNames);
+  AddDomain("method", MethodNames);
+  AddDomain("invoke", InvokeNames);
+  AddDomain("field", FieldNames);
+  AddDomain("type", TypeNames);
+  AddDomain("sig", SigNames);
+  AddDomain("global", GlobalNames);
+
+  // One hash per fact, seeded with the predicate tag, absorbing the
+  // referenced entities by name (order-independence must survive id
+  // renumbering, and names are the id-free identity of an entity).
+  auto Fact = [&](const char *Tag, std::initializer_list<const std::string *>
+                                       Fields,
+                  std::uint64_t Ordinal = 0) {
+    std::uint64_t H = absorb(FnvOffset, std::string(Tag));
+    for (const std::string *F : Fields)
+      H = absorb(H, *F);
+    H = absorb(H, Ordinal);
+    CS.add(H);
+  };
+
+  for (Id E : EntryMethods)
+    Fact("entry", {&Name(MethodNames, E)});
+  for (const auto &F : Actuals)
+    Fact("actual", {&Name(VarNames, F.Var), &Name(InvokeNames, F.Invoke)},
+         F.Ordinal);
+  for (const auto &F : Assigns)
+    Fact("assign", {&Name(VarNames, F.From), &Name(VarNames, F.To)});
+  for (const auto &F : AssignNews)
+    Fact("assign_new", {&Name(HeapNames, F.Heap), &Name(VarNames, F.To),
+                        &Name(MethodNames, F.InMethod)});
+  for (const auto &F : AssignReturns)
+    Fact("assign_return",
+         {&Name(InvokeNames, F.Invoke), &Name(VarNames, F.To)});
+  for (const auto &F : Formals)
+    Fact("formal", {&Name(VarNames, F.Var), &Name(MethodNames, F.Method)},
+         F.Ordinal);
+  for (const auto &F : HeapTypes)
+    Fact("heap_type", {&Name(HeapNames, F.Heap), &Name(TypeNames, F.Type)});
+  for (const auto &F : Implements)
+    Fact("implements", {&Name(MethodNames, F.Method),
+                        &Name(TypeNames, F.Type), &Name(SigNames, F.Sig)});
+  for (const auto &F : Loads)
+    Fact("load", {&Name(VarNames, F.Base), &Name(FieldNames, F.Field),
+                  &Name(VarNames, F.To)});
+  for (const auto &F : Returns)
+    Fact("return", {&Name(VarNames, F.Var), &Name(MethodNames, F.Method)});
+  for (const auto &F : StaticInvokes)
+    Fact("static_invoke",
+         {&Name(InvokeNames, F.Invoke), &Name(MethodNames, F.Target),
+          &Name(MethodNames, F.InMethod)});
+  for (const auto &F : Stores)
+    Fact("store", {&Name(VarNames, F.From), &Name(FieldNames, F.Field),
+                   &Name(VarNames, F.Base)});
+  for (const auto &F : ThisVars)
+    Fact("this_var", {&Name(VarNames, F.Var), &Name(MethodNames, F.Method)});
+  for (const auto &F : VirtualInvokes)
+    Fact("virtual_invoke",
+         {&Name(InvokeNames, F.Invoke), &Name(VarNames, F.Receiver),
+          &Name(SigNames, F.Sig)});
+  for (const auto &F : GlobalStores)
+    Fact("global_store",
+         {&Name(VarNames, F.From), &Name(GlobalNames, F.Global)});
+  for (const auto &F : GlobalLoads)
+    Fact("global_load", {&Name(GlobalNames, F.Global), &Name(VarNames, F.To),
+                         &Name(MethodNames, F.InMethod)});
+  for (const auto &F : Throws)
+    Fact("throw", {&Name(VarNames, F.Var), &Name(MethodNames, F.Method)});
+  for (const auto &F : Catches)
+    Fact("catch", {&Name(InvokeNames, F.Invoke), &Name(VarNames, F.To)});
+  for (const auto &F : Casts)
+    Fact("cast", {&Name(VarNames, F.From), &Name(VarNames, F.To),
+                  &Name(TypeNames, F.Type)});
+  for (const auto &F : Subtypes)
+    Fact("subtype", {&Name(TypeNames, F.Sub), &Name(TypeNames, F.Super)});
+  for (const auto &F : Spawns)
+    Fact("spawn", {&Name(InvokeNames, F.Invoke)});
+
+  // Parent/classOf attributes, keyed by name on both sides.
+  for (std::size_t I = 0; I < VarParent.size(); ++I)
+    Fact("var_parent", {&VarNames[I], &Name(MethodNames, VarParent[I])});
+  for (std::size_t I = 0; I < HeapParent.size(); ++I)
+    Fact("heap_parent", {&HeapNames[I], &Name(MethodNames, HeapParent[I])});
+  for (std::size_t I = 0; I < InvokeParent.size(); ++I)
+    Fact("invoke_parent",
+         {&InvokeNames[I], &Name(MethodNames, InvokeParent[I])});
+  for (std::size_t I = 0; I < MethodClass.size(); ++I)
+    Fact("method_class", {&MethodNames[I], &Name(TypeNames, MethodClass[I])});
+
+  // Mix the total in so an empty database does not fingerprint as 0.
+  return mix64(CS.Sum ^ numInputFacts());
+}
+
+std::uint64_t FactDB::layoutHash() const {
+  std::uint64_t H = FnvOffset;
+  auto Strings = [&H](const std::vector<std::string> &Names) {
+    H = absorb(H, static_cast<std::uint64_t>(Names.size()));
+    for (const std::string &N : Names)
+      H = absorb(H, N);
+  };
+  auto Ids = [&H](const std::vector<Id> &V) {
+    H = absorb(H, static_cast<std::uint64_t>(V.size()));
+    for (Id X : V)
+      H = absorb(H, static_cast<std::uint64_t>(X));
+  };
+  // Stored order everywhere: two databases share a layout hash iff the
+  // name tables assign identical ids and every fact vector lists its
+  // rows in the identical order.
+  Strings(VarNames);
+  Strings(HeapNames);
+  Strings(MethodNames);
+  Strings(InvokeNames);
+  Strings(FieldNames);
+  Strings(TypeNames);
+  Strings(SigNames);
+  Strings(GlobalNames);
+  Ids(EntryMethods);
+  // Vector lengths first, so rows cannot shift between adjacent
+  // predicates without changing the hash.
+  for (std::size_t S :
+       {Actuals.size(), Assigns.size(), AssignNews.size(),
+        AssignReturns.size(), Formals.size(), HeapTypes.size(),
+        Implements.size(), Loads.size(), Returns.size(),
+        StaticInvokes.size(), Stores.size(), ThisVars.size(),
+        VirtualInvokes.size(), GlobalStores.size(), GlobalLoads.size(),
+        Throws.size(), Catches.size(), Casts.size(), Subtypes.size(),
+        Spawns.size()})
+    H = absorb(H, static_cast<std::uint64_t>(S));
+  auto Row = [&H](std::initializer_list<Id> Fields) {
+    for (Id F : Fields)
+      H = absorb(H, static_cast<std::uint64_t>(F));
+  };
+  for (const auto &F : Actuals)
+    Row({F.Var, F.Invoke, F.Ordinal});
+  for (const auto &F : Assigns)
+    Row({F.From, F.To});
+  for (const auto &F : AssignNews)
+    Row({F.Heap, F.To, F.InMethod});
+  for (const auto &F : AssignReturns)
+    Row({F.Invoke, F.To});
+  for (const auto &F : Formals)
+    Row({F.Var, F.Method, F.Ordinal});
+  for (const auto &F : HeapTypes)
+    Row({F.Heap, F.Type});
+  for (const auto &F : Implements)
+    Row({F.Method, F.Type, F.Sig});
+  for (const auto &F : Loads)
+    Row({F.Base, F.Field, F.To});
+  for (const auto &F : Returns)
+    Row({F.Var, F.Method});
+  for (const auto &F : StaticInvokes)
+    Row({F.Invoke, F.Target, F.InMethod});
+  for (const auto &F : Stores)
+    Row({F.From, F.Field, F.Base});
+  for (const auto &F : ThisVars)
+    Row({F.Var, F.Method});
+  for (const auto &F : VirtualInvokes)
+    Row({F.Invoke, F.Receiver, F.Sig});
+  for (const auto &F : GlobalStores)
+    Row({F.From, F.Global});
+  for (const auto &F : GlobalLoads)
+    Row({F.Global, F.To, F.InMethod});
+  for (const auto &F : Throws)
+    Row({F.Var, F.Method});
+  for (const auto &F : Catches)
+    Row({F.Invoke, F.To});
+  for (const auto &F : Casts)
+    Row({F.From, F.To, F.Type});
+  for (const auto &F : Subtypes)
+    Row({F.Sub, F.Super});
+  for (const auto &F : Spawns)
+    Row({F.Invoke});
+  Ids(VarParent);
+  Ids(HeapParent);
+  Ids(InvokeParent);
+  Ids(MethodClass);
+  return mix64(H);
+}
 
 std::string FactDB::validate() const {
   const std::size_t NV = numVars(), NH = numHeaps(), NM = numMethods(),

@@ -203,6 +203,22 @@ struct FactDB {
   /// Total number of input facts across all thirteen predicates.
   std::size_t numInputFacts() const;
 
+  /// Deterministic, order-independent content hash of everything the
+  /// analysis consumes: every fact is hashed through its entity *names*
+  /// (not ids) and the per-fact hashes are combined commutatively, so two
+  /// fact directories holding the same facts in any row order — and hence
+  /// under any id assignment — fingerprint identically. Used to decide
+  /// whether a checkpoint snapshot belongs to this fact set at all.
+  std::uint64_t fingerprint() const;
+
+  /// Order-dependent companion of fingerprint(): hashes the exact id
+  /// layout (name tables in order) and fact order. Two databases agree
+  /// iff they would drive the solver through the identical derivation
+  /// sequence, which is the stronger precondition a byte-identical
+  /// checkpoint *resume* needs (id assignment and fact order determine
+  /// rule-firing order).
+  std::uint64_t layoutHash() const;
+
   /// Checks referential integrity of every fact (ids within domain bounds,
   /// parent tables sized to domains). \returns an empty string if valid.
   std::string validate() const;

@@ -1,0 +1,42 @@
+//===- support/ExitCodes.h - Shared tool exit-code protocol -----*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exit-code protocol shared by every command-line tool in this
+/// project (ctp-analyze, ctp-lint). Orchestrating services key off these
+/// values — 3 in particular marks "useful but degraded", which scripts
+/// such as the crash-resume loop treat as "run me again" — so the
+/// protocol lives in one header instead of per-tool enums that could
+/// drift. Documented once in README.md ("Exit codes").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_EXITCODES_H
+#define CTP_SUPPORT_EXITCODES_H
+
+namespace ctp {
+
+enum ExitCode : int {
+  /// Converged at the requested configuration; for ctp-lint, additionally
+  /// no warning-severity findings.
+  ExitOk = 0,
+  /// Runtime error (unreadable facts, invalid configuration, I/O failure).
+  ExitError = 1,
+  /// Command-line usage error.
+  ExitUsage = 2,
+  /// Completed degraded: budget-truncated results, or a fallback rung
+  /// below the requested configuration answered. With checkpointing
+  /// enabled this also means "a snapshot was left; re-invoke with
+  /// --resume to continue".
+  ExitDegraded = 3,
+  /// ctp-lint only: converged with at least one warning-severity finding.
+  ExitFindings = 4,
+};
+
+} // namespace ctp
+
+#endif // CTP_SUPPORT_EXITCODES_H

@@ -20,6 +20,10 @@ std::atomic<std::uint64_t> TripAfter{0};
 // Stored as int to keep the atomic trivially lock-free; -1 = disarmed.
 std::atomic<int> TripReason{-1};
 
+// Snapshot-writer fault: -1 = disarmed, else a SnapshotFault value.
+std::atomic<int> SnapFault{-1};
+std::atomic<bool> SnapSticky{false};
+
 } // namespace
 
 bool fault::active() { return Active.load(std::memory_order_relaxed); }
@@ -29,6 +33,8 @@ void fault::reset() {
   PollCount.store(0, std::memory_order_relaxed);
   TripAfter.store(0, std::memory_order_relaxed);
   TripReason.store(-1, std::memory_order_relaxed);
+  SnapFault.store(-1, std::memory_order_relaxed);
+  SnapSticky.store(false, std::memory_order_relaxed);
 }
 
 void fault::armBudgetTrip(TerminationReason R, std::uint64_t AfterPolls) {
@@ -53,6 +59,34 @@ std::optional<TerminationReason> fault::onBudgetPoll() {
   TripReason.store(-1, std::memory_order_relaxed);
   Active.store(false, std::memory_order_relaxed);
   return static_cast<TerminationReason>(Reason);
+}
+
+void fault::armSnapshotFault(SnapshotFault F, bool Sticky) {
+  SnapSticky.store(Sticky, std::memory_order_relaxed);
+  SnapFault.store(static_cast<int>(F), std::memory_order_relaxed);
+}
+
+bool fault::armSnapshotFaultByName(const std::string &Name, bool Sticky) {
+  if (Name == "torn")
+    armSnapshotFault(SnapshotFault::TornWrite, Sticky);
+  else if (Name == "short")
+    armSnapshotFault(SnapshotFault::ShortWrite, Sticky);
+  else if (Name == "bitflip")
+    armSnapshotFault(SnapshotFault::BitFlip, Sticky);
+  else if (Name == "crash-before-rename")
+    armSnapshotFault(SnapshotFault::CrashBeforeRename, Sticky);
+  else
+    return false;
+  return true;
+}
+
+std::optional<fault::SnapshotFault> fault::takeSnapshotFault() {
+  int F = SnapFault.load(std::memory_order_relaxed);
+  if (F < 0)
+    return std::nullopt;
+  if (!SnapSticky.load(std::memory_order_relaxed))
+    SnapFault.store(-1, std::memory_order_relaxed);
+  return static_cast<SnapshotFault>(F);
 }
 
 bool fault::injectFactsLine(const std::string &Dir, const std::string &File,

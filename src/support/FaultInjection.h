@@ -56,6 +56,45 @@ std::optional<TerminationReason> onBudgetPoll();
 bool injectFactsLine(const std::string &Dir, const std::string &File,
                      const std::string &Line);
 
+//===----------------------------------------------------------------------===//
+// Snapshot-writer crash points.
+//
+// A checkpoint write can be interrupted at any byte: the process is
+// killed, the disk fills, a sector goes bad. These hooks make the
+// snapshot writer misbehave in exactly those ways while still reporting
+// success, so the recovery path (checksum detection + cold-start
+// fallback on the next read) is tested rather than assumed.
+//===----------------------------------------------------------------------===//
+
+/// How an armed snapshot write misbehaves.
+enum class SnapshotFault : std::uint8_t {
+  /// Only a prefix of the encoded bytes reaches the destination (the
+  /// rename still happens): a torn write.
+  TornWrite,
+  /// The last bytes are silently dropped: a short write / truncation.
+  ShortWrite,
+  /// One bit flips mid-payload: silent media corruption.
+  BitFlip,
+  /// The temp file is fully written but the process "dies" before the
+  /// rename: the previous snapshot (if any) must survive intact.
+  CrashBeforeRename,
+};
+
+/// Arms \p F for the next snapshot write (one-shot by default). With
+/// \p Sticky, every write in this process misbehaves until reset() —
+/// the mode the crash-loop driver uses so the *final* snapshot of an
+/// invocation is the corrupt one.
+void armSnapshotFault(SnapshotFault F, bool Sticky = false);
+
+/// Arms by name ("torn", "short", "bitflip", "crash-before-rename");
+/// the CTP_SNAPSHOT_FAULT environment hook in the tools goes through
+/// this. \returns false for an unknown name.
+bool armSnapshotFaultByName(const std::string &Name, bool Sticky = true);
+
+/// Consulted by the snapshot writer on every write. \returns the armed
+/// fault (consuming it unless sticky), or nullopt when disarmed.
+std::optional<SnapshotFault> takeSnapshotFault();
+
 } // namespace fault
 } // namespace ctp
 

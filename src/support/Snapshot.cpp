@@ -1,0 +1,165 @@
+//===- support/Snapshot.cpp - Versioned sectioned snapshot files ----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Snapshot.h"
+
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace ctp;
+using namespace ctp::snapshot;
+
+namespace {
+
+constexpr std::uint8_t Magic[8] = {'C', 'T', 'P', 'S', 'N', 'A', 'P', 0};
+constexpr std::uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t FnvPrime = 0x100000001b3ULL;
+
+} // namespace
+
+std::uint64_t snapshot::fnv1a(const std::uint8_t *Data, std::size_t N) {
+  std::uint64_t H = FnvOffset;
+  for (std::size_t I = 0; I < N; ++I) {
+    H ^= Data[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+const Section *File::find(std::uint32_t Tag) const {
+  for (const Section &S : Sections)
+    if (S.Tag == Tag)
+      return &S;
+  return nullptr;
+}
+
+std::vector<std::uint8_t> snapshot::encode(const File &F) {
+  std::vector<std::uint8_t> Out(Magic, Magic + sizeof(Magic));
+  auto PutU32 = [&Out](std::uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<std::uint8_t>(V >> (8 * I)));
+  };
+  auto PutU64 = [&Out](std::uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<std::uint8_t>(V >> (8 * I)));
+  };
+  PutU32(FormatVersion);
+  PutU32(static_cast<std::uint32_t>(F.Sections.size()));
+  for (const Section &S : F.Sections) {
+    PutU32(S.Tag);
+    PutU64(S.Bytes.size());
+    PutU64(fnv1a(S.Bytes.data(), S.Bytes.size()));
+    Out.insert(Out.end(), S.Bytes.begin(), S.Bytes.end());
+  }
+  PutU32(F.T.Term);
+  PutU64(F.T.Iterations);
+  PutU64(F.T.Derivations);
+  PutU64(F.T.PendingWork);
+  PutU64(fnv1a(Out.data(), Out.size()));
+  return Out;
+}
+
+std::string snapshot::decode(const std::uint8_t *Data, std::size_t N,
+                             File &Out) {
+  Out = File();
+  if (N < sizeof(Magic) + 8)
+    return "snapshot truncated (shorter than the header)";
+  for (std::size_t I = 0; I < sizeof(Magic); ++I)
+    if (Data[I] != Magic[I])
+      return "not a snapshot file (bad magic)";
+  // Whole-file checksum first: it covers everything, so any torn or
+  // bit-flipped file fails here with one diagnostic.
+  ByteReader Tail(Data + N - 8, 8);
+  std::uint64_t StoredFileSum = Tail.u64();
+  if (fnv1a(Data, N - 8) != StoredFileSum)
+    return "snapshot corrupt (file checksum mismatch)";
+
+  ByteReader R(Data + sizeof(Magic), N - sizeof(Magic) - 8);
+  std::uint32_t Version = R.u32();
+  if (R.ok() && Version != FormatVersion)
+    return "snapshot format version " + std::to_string(Version) +
+           " unsupported (expected " + std::to_string(FormatVersion) + ")";
+  std::uint32_t NumSections = R.u32();
+  for (std::uint32_t S = 0; R.ok() && S < NumSections; ++S) {
+    std::uint32_t Tag = R.u32();
+    std::uint64_t Len = R.u64();
+    std::uint64_t Sum = R.u64();
+    if (!R.ok() || Len > R.remaining())
+      return "snapshot truncated (section " + std::to_string(S) +
+             " overruns the file)";
+    Section Sec;
+    Sec.Tag = Tag;
+    if (!R.rawBytes(Sec.Bytes, static_cast<std::size_t>(Len)))
+      return "snapshot truncated (section " + std::to_string(S) +
+             " payload short)";
+    if (fnv1a(Sec.Bytes.data(), Sec.Bytes.size()) != Sum)
+      return "snapshot corrupt (checksum mismatch in section tag " +
+             std::to_string(Tag) + ")";
+    Out.Sections.push_back(std::move(Sec));
+  }
+  Out.T.Term = R.u32();
+  Out.T.Iterations = R.u64();
+  Out.T.Derivations = R.u64();
+  Out.T.PendingWork = R.u64();
+  if (!R.atEnd())
+    return "snapshot malformed (trailing or missing bytes)";
+  return "";
+}
+
+std::string snapshot::writeFile(const File &F, const std::string &Path) {
+  std::vector<std::uint8_t> Bytes = encode(F);
+
+  bool SkipRename = false;
+  if (auto Fault = fault::takeSnapshotFault()) {
+    switch (*Fault) {
+    case fault::SnapshotFault::TornWrite:
+      // A little over half the bytes land; the rest never make it.
+      Bytes.resize(Bytes.size() / 2 + 1);
+      break;
+    case fault::SnapshotFault::ShortWrite:
+      if (Bytes.size() > 5)
+        Bytes.resize(Bytes.size() - 5);
+      break;
+    case fault::SnapshotFault::BitFlip:
+      Bytes[Bytes.size() / 2] ^= 0x10;
+      break;
+    case fault::SnapshotFault::CrashBeforeRename:
+      SkipRename = true;
+      break;
+    }
+  }
+
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF.is_open())
+      return "cannot open '" + Tmp + "' for writing";
+    OutF.write(reinterpret_cast<const char *>(Bytes.data()),
+               static_cast<std::streamsize>(Bytes.size()));
+    OutF.flush();
+    if (!OutF.good())
+      return "write to '" + Tmp + "' failed";
+  }
+  if (SkipRename)
+    return ""; // Simulated crash: the destination keeps its old content.
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
+    return "rename '" + Tmp + "' -> '" + Path + "' failed";
+  return "";
+}
+
+std::string snapshot::readFile(const std::string &Path, File &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open())
+    return "no snapshot at '" + Path + "'";
+  std::vector<std::uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                                  std::istreambuf_iterator<char>());
+  if (!In.good() && !In.eof())
+    return "read of '" + Path + "' failed";
+  return decode(Bytes.data(), Bytes.size(), Out);
+}

@@ -1,0 +1,196 @@
+//===- support/Snapshot.h - Versioned sectioned snapshot files --*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The container format for crash-safe solver checkpoints: a magic +
+/// version header, tagged length-prefixed sections each guarded by an
+/// FNV-1a checksum, and a fixed trailer carrying the TerminationReason
+/// and progress counters of the run that wrote the snapshot. What goes
+/// *into* the sections is the business of analysis/Checkpoint.h; this
+/// layer only guarantees that a reader either gets back exactly the
+/// bytes that were written or a precise corruption diagnostic.
+///
+/// File layout (all integers little-endian):
+///
+///   magic[8]  "CTPSNAP\0"
+///   u32       format version
+///   u32       section count
+///   per section:
+///     u32     tag
+///     u64     payload length
+///     u64     FNV-1a of the payload bytes
+///     u8[]    payload
+///   trailer:
+///     u32     TerminationReason of the writing run
+///     u64     iterations   (worklist pops / semi-naive rounds)
+///     u64     derivations  (rule firings)
+///     u64     pending work (worklist / delta tuples not yet processed)
+///   u64       FNV-1a of every preceding byte of the file
+///
+/// Writes are atomic: the file is written to "<path>.tmp" and renamed
+/// over the destination, so a crash mid-write leaves either the old
+/// snapshot or none — never a half-written one (the fault-injection
+/// hooks in support/FaultInjection.h simulate exactly the crashes this
+/// guards against).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_SNAPSHOT_H
+#define CTP_SUPPORT_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace snapshot {
+
+constexpr std::uint32_t FormatVersion = 1;
+
+/// FNV-1a over a byte range; the checksum used throughout the format.
+std::uint64_t fnv1a(const std::uint8_t *Data, std::size_t N);
+
+/// Little-endian byte-stream writer for section payloads.
+class ByteWriter {
+public:
+  void u32(std::uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Bytes.push_back(static_cast<std::uint8_t>(V >> (8 * I)));
+  }
+  void u64(std::uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Bytes.push_back(static_cast<std::uint8_t>(V >> (8 * I)));
+  }
+  void u32Vec(const std::vector<std::uint32_t> &V) {
+    u64(V.size());
+    for (std::uint32_t X : V)
+      u32(X);
+  }
+  const std::vector<std::uint8_t> &bytes() const { return Bytes; }
+  std::vector<std::uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<std::uint8_t> Bytes;
+};
+
+/// Bounds-checked little-endian reader. After any failed read every
+/// subsequent read also fails and returns zero values; check ok() once
+/// at the end instead of after every field.
+class ByteReader {
+public:
+  ByteReader(const std::uint8_t *Data, std::size_t N) : Data(Data), N(N) {}
+  explicit ByteReader(const std::vector<std::uint8_t> &B)
+      : Data(B.data()), N(B.size()) {}
+
+  std::uint32_t u32() {
+    if (!need(4))
+      return 0;
+    std::uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<std::uint32_t>(Data[Pos + I]) << (8 * I);
+    Pos += 4;
+    return V;
+  }
+  std::uint64_t u64() {
+    if (!need(8))
+      return 0;
+    std::uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<std::uint64_t>(Data[Pos + I]) << (8 * I);
+    Pos += 8;
+    return V;
+  }
+  bool u32Vec(std::vector<std::uint32_t> &Out) {
+    std::uint64_t Count = u64();
+    // Each element costs 4 bytes; reject counts the payload cannot hold
+    // before attempting a huge allocation on corrupted input.
+    if (!Ok || Count > (N - Pos) / 4)
+      return fail();
+    Out.resize(static_cast<std::size_t>(Count));
+    for (std::uint64_t I = 0; I < Count; ++I)
+      Out[static_cast<std::size_t>(I)] = u32();
+    return Ok;
+  }
+  bool rawBytes(std::vector<std::uint8_t> &Out, std::size_t K) {
+    if (!need(K))
+      return false;
+    Out.assign(Data + Pos, Data + Pos + K);
+    Pos += K;
+    return true;
+  }
+  bool atEnd() const { return Ok && Pos == N; }
+  bool ok() const { return Ok; }
+  std::size_t remaining() const { return N - Pos; }
+
+private:
+  bool need(std::size_t K) {
+    if (!Ok || N - Pos < K)
+      return fail();
+    return true;
+  }
+  bool fail() {
+    Ok = false;
+    return false;
+  }
+  const std::uint8_t *Data;
+  std::size_t N;
+  std::size_t Pos = 0;
+  bool Ok = true;
+};
+
+/// One tagged section.
+struct Section {
+  std::uint32_t Tag = 0;
+  std::vector<std::uint8_t> Bytes;
+};
+
+/// The trailer every snapshot carries: why the writing run stopped and
+/// how far it had got. Readable without decoding any section.
+struct Trailer {
+  std::uint32_t Term = 0; ///< TerminationReason of the writing run.
+  std::uint64_t Iterations = 0;
+  std::uint64_t Derivations = 0;
+  std::uint64_t PendingWork = 0;
+};
+
+/// An in-memory snapshot file: ordered sections plus the trailer.
+struct File {
+  std::vector<Section> Sections;
+  Trailer T;
+
+  Section &add(std::uint32_t Tag) {
+    Sections.push_back({Tag, {}});
+    return Sections.back();
+  }
+  /// First section with \p Tag, or null.
+  const Section *find(std::uint32_t Tag) const;
+};
+
+/// Serializes \p F into the on-disk byte layout (exposed separately from
+/// writeFile so tests can corrupt specific offsets).
+std::vector<std::uint8_t> encode(const File &F);
+
+/// Parses and fully validates \p Data (magic, version, section bounds,
+/// per-section and whole-file checksums). \returns an empty string on
+/// success, else a diagnostic naming what is corrupt.
+std::string decode(const std::uint8_t *Data, std::size_t N, File &Out);
+
+/// Atomically writes \p F to \p Path (temp file + rename). \returns an
+/// empty string on success. Consults the snapshot fault-injection hooks:
+/// an armed fault makes the write misbehave in the armed way while still
+/// reporting success, simulating a crash the *next* reader must survive.
+std::string writeFile(const File &F, const std::string &Path);
+
+/// Reads and validates the snapshot at \p Path. \returns an empty string
+/// on success, else a diagnostic ("no snapshot", truncation, checksum
+/// mismatch, ...).
+std::string readFile(const std::string &Path, File &Out);
+
+} // namespace snapshot
+} // namespace ctp
+
+#endif // CTP_SUPPORT_SNAPSHOT_H

@@ -1,0 +1,369 @@
+//===- tests/snapshot_test.cpp - Snapshot container + fingerprints --------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// The crash-safety foundation: the sectioned snapshot container must give
+// a reader back exactly the written bytes or a precise corruption
+// diagnostic (never garbage, never a crash), the atomic writer must
+// survive every injected crash point, and the FactDB fingerprint that
+// gates resume must identify fact *content* independent of row order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Checkpoint.h"
+#include "ctx/Domain.h"
+#include "facts/Extract.h"
+#include "facts/TsvIO.h"
+#include "support/ExitCodes.h"
+#include "support/FaultInjection.h"
+#include "support/Snapshot.h"
+#include "support/Tsv.h"
+#include "workload/Generator.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace ctp;
+
+namespace {
+
+std::string freshDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "/ctp_snap_" + Tag;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+snapshot::File sampleFile() {
+  snapshot::File F;
+  snapshot::ByteWriter W;
+  W.u32(7);
+  W.u64(0xdeadbeefcafe);
+  W.u32Vec({1, 2, 3, 4, 5});
+  F.add(42).Bytes = W.take();
+  snapshot::ByteWriter W2;
+  W2.u32(99);
+  F.add(43).Bytes = W2.take();
+  F.T.Term = 2;
+  F.T.Iterations = 10;
+  F.T.Derivations = 1000;
+  F.T.PendingWork = 55;
+  return F;
+}
+
+TEST(SnapshotContainer, EncodeDecodeRoundTrip) {
+  snapshot::File F = sampleFile();
+  std::vector<std::uint8_t> Bytes = snapshot::encode(F);
+
+  snapshot::File Back;
+  ASSERT_EQ(snapshot::decode(Bytes.data(), Bytes.size(), Back), "");
+  ASSERT_EQ(Back.Sections.size(), 2u);
+  EXPECT_EQ(Back.Sections[0].Tag, 42u);
+  EXPECT_EQ(Back.Sections[0].Bytes, F.Sections[0].Bytes);
+  EXPECT_EQ(Back.Sections[1].Tag, 43u);
+  EXPECT_EQ(Back.T.Term, 2u);
+  EXPECT_EQ(Back.T.Iterations, 10u);
+  EXPECT_EQ(Back.T.Derivations, 1000u);
+  EXPECT_EQ(Back.T.PendingWork, 55u);
+
+  const snapshot::Section *S = Back.find(42);
+  ASSERT_NE(S, nullptr);
+  snapshot::ByteReader R(S->Bytes);
+  EXPECT_EQ(R.u32(), 7u);
+  EXPECT_EQ(R.u64(), 0xdeadbeefcafeull);
+  std::vector<std::uint32_t> V;
+  ASSERT_TRUE(R.u32Vec(V));
+  EXPECT_EQ(V, (std::vector<std::uint32_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(Back.find(77), nullptr);
+}
+
+TEST(SnapshotContainer, BadMagicRejected) {
+  std::vector<std::uint8_t> Bytes = snapshot::encode(sampleFile());
+  Bytes[0] = 'X';
+  snapshot::File Back;
+  std::string Err = snapshot::decode(Bytes.data(), Bytes.size(), Back);
+  EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+}
+
+TEST(SnapshotContainer, BadVersionRejected) {
+  // A file from a future format version is internally consistent — valid
+  // whole-file checksum, unknown version — so patch the version byte and
+  // recompute the trailing checksum.
+  std::vector<std::uint8_t> Bytes = snapshot::encode(sampleFile());
+  Bytes[8] = static_cast<std::uint8_t>(snapshot::FormatVersion + 1);
+  std::uint64_t Sum = snapshot::fnv1a(Bytes.data(), Bytes.size() - 8);
+  for (int I = 0; I < 8; ++I)
+    Bytes[Bytes.size() - 8 + I] = static_cast<std::uint8_t>(Sum >> (8 * I));
+  snapshot::File Back;
+  std::string Err = snapshot::decode(Bytes.data(), Bytes.size(), Back);
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+}
+
+TEST(SnapshotContainer, EveryTruncationDetected) {
+  std::vector<std::uint8_t> Bytes = snapshot::encode(sampleFile());
+  // A crash can cut the file at any byte; every prefix must be rejected.
+  for (std::size_t N = 0; N < Bytes.size(); ++N) {
+    snapshot::File Back;
+    EXPECT_NE(snapshot::decode(Bytes.data(), N, Back), "")
+        << "truncation to " << N << " bytes accepted";
+  }
+}
+
+TEST(SnapshotContainer, EveryBitFlipDetected) {
+  std::vector<std::uint8_t> Bytes = snapshot::encode(sampleFile());
+  // Silent media corruption: flip one bit anywhere; the checksums (or the
+  // header checks) must notice.
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    std::vector<std::uint8_t> Bad = Bytes;
+    Bad[I] ^= 0x04;
+    snapshot::File Back;
+    EXPECT_NE(snapshot::decode(Bad.data(), Bad.size(), Back), "")
+        << "bit flip at byte " << I << " accepted";
+  }
+}
+
+TEST(SnapshotContainer, PayloadFlipNamesChecksum) {
+  snapshot::File F = sampleFile();
+  std::vector<std::uint8_t> Bytes = snapshot::encode(F);
+  // Flip inside the first section's payload (past magic+version+count and
+  // the section header) and check the diagnostic mentions the checksum.
+  std::size_t PayloadStart = 8 + 4 + 4 + (4 + 8 + 8);
+  ASSERT_LT(PayloadStart, Bytes.size());
+  Bytes[PayloadStart] ^= 0x10;
+  snapshot::File Back;
+  std::string Err = snapshot::decode(Bytes.data(), Bytes.size(), Back);
+  EXPECT_NE(Err.find("checksum"), std::string::npos) << Err;
+}
+
+TEST(SnapshotContainer, WriteReadFileRoundTrip) {
+  std::string Dir = freshDir("file");
+  std::string Path = Dir + "/s.ctpsnap";
+  ASSERT_EQ(snapshot::writeFile(sampleFile(), Path), "");
+  snapshot::File Back;
+  EXPECT_EQ(snapshot::readFile(Path, Back), "");
+  EXPECT_EQ(Back.Sections.size(), 2u);
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(Path + ".tmp"));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(SnapshotContainer, MissingFileReportsNoSnapshot) {
+  snapshot::File Back;
+  std::string Err = snapshot::readFile("/nonexistent/ctp/x.ctpsnap", Back);
+  EXPECT_NE(Err.find("no snapshot"), std::string::npos) << Err;
+}
+
+TEST(SnapshotFaults, InjectedWriteFaultsAreDetectedOnRead) {
+  std::string Dir = freshDir("faults");
+  std::string Path = Dir + "/s.ctpsnap";
+  for (fault::SnapshotFault F :
+       {fault::SnapshotFault::TornWrite, fault::SnapshotFault::ShortWrite,
+        fault::SnapshotFault::BitFlip}) {
+    fault::reset();
+    fault::armSnapshotFault(F);
+    // The faulty write still reports success — that is the point: the
+    // damage must be caught by the *reader*, not trusted to the writer.
+    ASSERT_EQ(snapshot::writeFile(sampleFile(), Path), "");
+    snapshot::File Back;
+    EXPECT_NE(snapshot::readFile(Path, Back), "")
+        << "fault " << static_cast<int>(F) << " went undetected";
+    std::filesystem::remove(Path);
+  }
+  fault::reset();
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(SnapshotFaults, CrashBeforeRenamePreservesPreviousSnapshot) {
+  std::string Dir = freshDir("rename");
+  std::string Path = Dir + "/s.ctpsnap";
+  ASSERT_EQ(snapshot::writeFile(sampleFile(), Path), "");
+
+  snapshot::File Next = sampleFile();
+  Next.T.Derivations = 2000; // distinguishable from the first write
+  fault::reset();
+  fault::armSnapshotFault(fault::SnapshotFault::CrashBeforeRename);
+  ASSERT_EQ(snapshot::writeFile(Next, Path), "");
+  fault::reset();
+
+  // The "crashed" write never renamed; the previous snapshot is intact.
+  snapshot::File Back;
+  ASSERT_EQ(snapshot::readFile(Path, Back), "");
+  EXPECT_EQ(Back.T.Derivations, 1000u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(SnapshotFaults, FaultIsOneShotUnlessSticky) {
+  fault::reset();
+  fault::armSnapshotFault(fault::SnapshotFault::BitFlip);
+  EXPECT_TRUE(fault::takeSnapshotFault().has_value());
+  EXPECT_FALSE(fault::takeSnapshotFault().has_value());
+
+  fault::armSnapshotFault(fault::SnapshotFault::BitFlip, /*Sticky=*/true);
+  EXPECT_TRUE(fault::takeSnapshotFault().has_value());
+  EXPECT_TRUE(fault::takeSnapshotFault().has_value());
+  fault::reset();
+  EXPECT_FALSE(fault::takeSnapshotFault().has_value());
+}
+
+TEST(SnapshotFaults, ArmByNameCoversEveryFault) {
+  fault::reset();
+  EXPECT_TRUE(fault::armSnapshotFaultByName("torn"));
+  EXPECT_TRUE(fault::armSnapshotFaultByName("short"));
+  EXPECT_TRUE(fault::armSnapshotFaultByName("bitflip"));
+  EXPECT_TRUE(fault::armSnapshotFaultByName("crash-before-rename"));
+  EXPECT_FALSE(fault::armSnapshotFaultByName("meteor-strike"));
+  fault::reset();
+}
+
+//===----------------------------------------------------------------------===//
+// FactDB fingerprints (the resume gate).
+//===----------------------------------------------------------------------===//
+
+facts::FactDB testDB() {
+  workload::WorkloadParams Params;
+  Params.Drivers = 2;
+  Params.Scenarios = 3;
+  Params.Seed = 31;
+  return facts::extract(workload::generate(Params));
+}
+
+TEST(Fingerprint, ReorderedTsvRowsFingerprintIdentically) {
+  facts::FactDB DB = testDB();
+  std::string Dir = freshDir("fp");
+  ASSERT_EQ(facts::writeFactsDir(DB, Dir), "");
+  facts::FactDB A;
+  ASSERT_EQ(facts::readFactsDir(Dir, A), "");
+
+  // Reverse the rows of a couple of fact files: same facts, new order.
+  for (const char *File : {"/Assign.facts", "/Store.facts", "/Load.facts"}) {
+    std::vector<std::vector<std::string>> Rows;
+    ASSERT_TRUE(readTsvFile(Dir + File, Rows));
+    std::reverse(Rows.begin(), Rows.end());
+    ASSERT_TRUE(writeTsvFile(Dir + File, Rows));
+  }
+  facts::FactDB B;
+  ASSERT_EQ(facts::readFactsDir(Dir, B), "");
+
+  EXPECT_EQ(A.fingerprint(), B.fingerprint())
+      << "fingerprint must be independent of row order";
+  EXPECT_NE(A.layoutHash(), B.layoutHash())
+      << "layout hash must notice the reordering";
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(Fingerprint, ChangedFactChangesFingerprint) {
+  facts::FactDB DB = testDB();
+  std::uint64_t FP = DB.fingerprint();
+
+  facts::FactDB Mutated = testDB();
+  ASSERT_FALSE(Mutated.Assigns.empty());
+  std::swap(Mutated.Assigns.back().From, Mutated.Assigns.back().To);
+  EXPECT_NE(Mutated.fingerprint(), FP);
+
+  facts::FactDB Dropped = testDB();
+  Dropped.Assigns.pop_back();
+  EXPECT_NE(Dropped.fingerprint(), FP);
+}
+
+TEST(Fingerprint, StableAcrossIdenticalLoads) {
+  facts::FactDB A = testDB();
+  facts::FactDB B = testDB();
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  EXPECT_EQ(A.layoutHash(), B.layoutHash());
+}
+
+//===----------------------------------------------------------------------===//
+// Domain + context-interner export/import (the replayed-id invariant).
+//===----------------------------------------------------------------------===//
+
+TEST(DomainExport, ExportImportRoundTripsIds) {
+  for (ctx::Abstraction A : {ctx::Abstraction::ContextString,
+                             ctx::Abstraction::TransformerString}) {
+    ctx::Config Cfg = ctx::twoObjectH(A);
+    auto Dom = ctx::makeDomain(Cfg, /*ClassOfHeap=*/{5, 6});
+    // Intern a handful of transformations by exercising the domain ops.
+    ctx::CtxtVec M;
+    M.push_back(ctx::EntryElem);
+    ctx::TransformId T0 = Dom->record(M);
+    ctx::TransformId T1 = Dom->mergeVirtual(/*Heap=*/0, /*Invoke=*/7, T0);
+    ctx::TransformId T2 = Dom->mergeVirtual(/*Heap=*/1, /*Invoke=*/8, T1);
+    (void)T2;
+
+    std::vector<std::uint32_t> Words;
+    Dom->exportInterned(Words);
+
+    auto Dom2 = ctx::makeDomain(Cfg, {5, 6});
+    ASSERT_TRUE(Dom2->importInterned(Words));
+    ASSERT_EQ(Dom2->size(), Dom->size());
+    // Replaying the same operations lands on the same ids.
+    EXPECT_EQ(Dom2->record(M), T0);
+    EXPECT_EQ(Dom2->mergeVirtual(0, 7, T0), T1);
+
+    // A corrupted stream is rejected, not trusted.
+    std::vector<std::uint32_t> Bad = Words;
+    if (!Bad.empty()) {
+      Bad.pop_back();
+      EXPECT_FALSE(ctx::makeDomain(Cfg, {5, 6})->importInterned(Bad));
+    }
+  }
+}
+
+TEST(DomainExport, CtxtInternerRoundTrip) {
+  Interner<ctx::CtxtVec, ctx::CtxtVecHash> I;
+  ctx::CtxtVec V0; // the pre-seeded entry context
+  I.intern(V0);
+  ctx::CtxtVec V1;
+  V1.push_back(3);
+  I.intern(V1);
+  ctx::CtxtVec V2;
+  V2.push_back(3);
+  V2.push_back(7);
+  I.intern(V2);
+
+  std::vector<std::uint32_t> Words;
+  analysis::encodeCtxtInterner(I, Words);
+
+  Interner<ctx::CtxtVec, ctx::CtxtVecHash> Back;
+  ASSERT_TRUE(analysis::decodeCtxtInterner(Words, Back));
+  ASSERT_EQ(Back.size(), 3u);
+  EXPECT_EQ(Back.intern(V2), 2u);
+
+  // Pre-seeded readers (the front-ends intern the entry context before
+  // restoring) still line up, because the entry leads the stream.
+  Interner<ctx::CtxtVec, ctx::CtxtVecHash> Seeded;
+  Seeded.intern(V0);
+  ASSERT_TRUE(analysis::decodeCtxtInterner(Words, Seeded));
+  EXPECT_EQ(Seeded.size(), 3u);
+
+  // Truncated and oversized streams are rejected.
+  std::vector<std::uint32_t> Bad = Words;
+  Bad.pop_back();
+  Interner<ctx::CtxtVec, ctx::CtxtVecHash> B2;
+  EXPECT_FALSE(analysis::decodeCtxtInterner(Bad, B2));
+  std::vector<std::uint32_t> Huge = {static_cast<std::uint32_t>(
+      ctx::CtxtVec::capacity() + 1)};
+  Interner<ctx::CtxtVec, ctx::CtxtVecHash> B3;
+  EXPECT_FALSE(analysis::decodeCtxtInterner(Huge, B3));
+}
+
+//===----------------------------------------------------------------------===//
+// Exit-code protocol: shared header, frozen values.
+//===----------------------------------------------------------------------===//
+
+TEST(ExitCodes, ProtocolValuesAreFrozen) {
+  // Scripts (scripts/crashloop.sh) and CI key off the numeric values;
+  // changing one is a breaking interface change, so pin them.
+  EXPECT_EQ(ExitOk, 0);
+  EXPECT_EQ(ExitError, 1);
+  EXPECT_EQ(ExitUsage, 2);
+  EXPECT_EQ(ExitDegraded, 3);
+  EXPECT_EQ(ExitFindings, 4);
+}
+
+} // namespace

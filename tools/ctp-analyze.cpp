@@ -29,10 +29,16 @@
 //     --dump-pts           print the CI points-to set of every variable
 //     --dump-calls         print the CI call graph
 //     --out DIR            write all derived relations as TSV into DIR
+//     --checkpoint-dir DIR crash-safe checkpointing: budget-exhausted runs
+//                          leave a resumable snapshot in DIR
+//     --checkpoint-every N also snapshot periodically, every ~N derivations
+//     --resume             continue from DIR's snapshot if it validates
+//                          (corruption/mismatch warns and cold-starts)
 //
-// Exit codes: 0 converged at the requested configuration, 1 runtime
-// error, 2 usage error, 3 completed degraded (budget-truncated results
-// or a fallback rung below the requested configuration answered).
+// Exit codes (support/ExitCodes.h): 0 converged at the requested
+// configuration, 1 runtime error, 2 usage error, 3 completed degraded
+// (budget-truncated results or a fallback rung below the requested
+// configuration answered; with --checkpoint-dir a snapshot was saved).
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,25 +48,19 @@
 #include "analysis/Solver.h"
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
+#include "support/ExitCodes.h"
+#include "support/FaultInjection.h"
 #include "workload/Presets.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 using namespace ctp;
 
 namespace {
-
-/// Exit statuses; Degraded is distinct so orchestrating services can tell
-/// a degraded-but-useful answer from both success and failure.
-enum ExitCode : int {
-  ExitOk = 0,
-  ExitError = 1,
-  ExitUsage = 2,
-  ExitDegraded = 3,
-};
 
 int usage(const char *Prog) {
   std::string Presets;
@@ -77,7 +77,8 @@ int usage(const char *Prog) {
       "[--max-derivations N]\n"
       "          [--max-tuples N] [--fallback] [--lenient] [--dump-pts] "
       "[--dump-calls]\n"
-      "          [--out DIR]\n"
+      "          [--out DIR] [--checkpoint-dir DIR] [--checkpoint-every N] "
+      "[--resume]\n"
       "  presets: %s\n"
       "  configs: 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H,\n"
       "           2-hybrid+H, insensitive\n"
@@ -129,8 +130,19 @@ int main(int argc, char **argv) {
   std::string FactsDir, Preset, OutDir, ConfigName = "2-object+H";
   ctx::Abstraction Abs = ctx::Abstraction::TransformerString;
   bool Collapse = false, UseDatalog = false, DumpPts = false,
-       DumpCalls = false, Fallback = false, Lenient = false;
+       DumpCalls = false, Fallback = false, Lenient = false,
+       Resume = false;
   BudgetSpec Budget;
+  analysis::CheckpointPolicy Ckpt;
+
+  // Test hook: arm a sticky snapshot-writer fault so the crash-resume
+  // loop and the recovery tests can exercise torn/short/bit-flipped
+  // writes through the real binary.
+  if (const char *Fault = std::getenv("CTP_SNAPSHOT_FAULT"))
+    if (*Fault && !fault::armSnapshotFaultByName(Fault, /*Sticky=*/true))
+      std::fprintf(stderr,
+                   "warning: unknown CTP_SNAPSHOT_FAULT '%s' ignored\n",
+                   Fault);
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -206,6 +218,16 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]);
       OutDir = V;
+    } else if (Arg == "--checkpoint-dir") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Ckpt.Dir = V;
+    } else if (Arg == "--checkpoint-every") {
+      if (!NextCount(Ckpt.EveryDerivations))
+        return usage(argv[0]);
+    } else if (Arg == "--resume") {
+      Resume = true;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return usage(argv[0]);
@@ -214,6 +236,11 @@ int main(int argc, char **argv) {
   if (FactsDir.empty() == Preset.empty()) {
     std::fprintf(stderr, "error: exactly one of --facts / --preset is "
                          "required\n");
+    return usage(argv[0]);
+  }
+  if ((Resume || Ckpt.EveryDerivations != 0) && !Ckpt.enabled()) {
+    std::fprintf(stderr, "error: --resume / --checkpoint-every require "
+                         "--checkpoint-dir\n");
     return usage(argv[0]);
   }
 
@@ -266,12 +293,19 @@ int main(int argc, char **argv) {
 
   analysis::Results R;
   bool Degraded = false;
+  bool SnapshotSaved = false;
   if (Fallback) {
     analysis::FallbackOptions FOpts;
     FOpts.Budget = Budget;
     FOpts.UseDatalog = UseDatalog;
     FOpts.Solver.CollapseSubsumedPts = Collapse;
+    FOpts.Checkpoint = Ckpt;
+    FOpts.Resume = Resume;
     analysis::FallbackOutcome O = analysis::solveWithFallback(DB, Cfg, FOpts);
+    if (!O.ResumeWarning.empty())
+      std::fprintf(stderr, "warning: %s\n", O.ResumeWarning.c_str());
+    if (Resume)
+      std::printf("resume: %s\n", analysis::resumeStatusName(O.Resume));
     std::printf("fallback ladder:\n");
     for (std::size_t A = 0; A < O.Attempts.size(); ++A) {
       const analysis::RungAttempt &At = O.Attempts[A];
@@ -281,18 +315,46 @@ int main(int argc, char **argv) {
                   At.Derivations, A == O.RungUsed ? "  <- answered" : "");
     }
     Degraded = O.Degraded;
+    SnapshotSaved = O.SnapshotSaved;
     R = std::move(O.R);
   } else {
+    // A direct run threads the checkpoint policy straight into the chosen
+    // back-end; the probe pre-validates any snapshot so corruption or a
+    // mismatched fact set warns and cold-starts instead of crashing.
+    analysis::SnapshotProbe Probe;
+    if (Resume) {
+      Probe = analysis::probeSnapshot(Ckpt.Dir, DB, Cfg, UseDatalog,
+                                      !UseDatalog && Collapse);
+      if (!Probe.Warning.empty())
+        std::fprintf(stderr, "warning: %s\n", Probe.Warning.c_str());
+      std::printf("resume: %s\n", analysis::resumeStatusName(Probe.Status));
+    }
+    const analysis::SolverSnapshot *Snap =
+        Probe.Status == analysis::ResumeStatus::Resumed ? &Probe.Snap
+                                                        : nullptr;
     if (UseDatalog) {
-      R = analysis::solveViaDatalog(DB, Cfg, nullptr, Budget);
+      analysis::DatalogSolveOptions DOpts;
+      DOpts.Budget = Budget;
+      DOpts.Checkpoint = Ckpt;
+      DOpts.Resume = Snap;
+      R = analysis::solveViaDatalog(DB, Cfg, DOpts);
     } else {
       analysis::SolverOptions Opts;
       Opts.CollapseSubsumedPts = Collapse;
       Opts.Budget = Budget;
+      Opts.Checkpoint = Ckpt;
+      Opts.Resume = Snap;
       R = analysis::solve(DB, Cfg, Opts);
     }
     Degraded = R.Stat.Term != TerminationReason::Converged;
+    if (Degraded && Ckpt.enabled())
+      SnapshotSaved =
+          std::ifstream(analysis::checkpointPath(Ckpt.Dir),
+                        std::ios::binary)
+              .is_open();
   }
+  if (!R.Stat.CheckpointError.empty())
+    std::fprintf(stderr, "warning: %s\n", R.Stat.CheckpointError.c_str());
 
   std::printf("termination: %s (%zu iterations, %zu derivations, "
               "%zu pending work items)\n",
@@ -346,5 +408,9 @@ int main(int argc, char **argv) {
       std::printf("  %s -> %s\n", DB.InvokeNames[C[0]].c_str(),
                   DB.MethodNames[C[1]].c_str());
   }
+  if (SnapshotSaved)
+    std::printf("checkpoint saved to %s; re-run with --resume to "
+                "continue\n",
+                Ckpt.Dir.c_str());
   return Degraded ? ExitDegraded : ExitOk;
 }

@@ -48,6 +48,7 @@
 #include "clients/RaceCandidates.h"
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
+#include "support/ExitCodes.h"
 #include "workload/Presets.h"
 
 #include <cstdio>
@@ -59,14 +60,6 @@
 using namespace ctp;
 
 namespace {
-
-enum ExitCode : int {
-  ExitOk = 0,
-  ExitError = 1,
-  ExitUsage = 2,
-  ExitDegraded = 3,
-  ExitFindings = 4,
-};
 
 int usage(const char *Prog) {
   std::string Presets;
