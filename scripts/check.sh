@@ -11,11 +11,16 @@
 # pass. With --tidy, also runs clang-tidy via scripts/tidy.sh (skipped
 # gracefully when clang-tidy is not installed).
 #
-# Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]
+# Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]
 #
 # --crashloop additionally runs the out-of-process kill/resume loop
 # (scripts/crashloop.sh) against the fresh build — the same loop ctest
 # runs under the "robustness" label.
+#
+# --tsan additionally builds with ThreadSanitizer (-DCTP_SANITIZE=thread)
+# and smokes the concurrency-adjacent suites under it: the resource
+# governor (watchdog thread + cancellation flag) and the crash-safety
+# snapshot/resume tests.
 #
 #===----------------------------------------------------------------------===#
 
@@ -25,13 +30,15 @@ cd "$(dirname "$0")/.."
 SANITIZE=1
 TIDY=0
 CRASHLOOP=0
+TSAN=0
 for ARG in "$@"; do
   case "$ARG" in
     --no-sanitize) SANITIZE=0 ;;
     --tidy) TIDY=1 ;;
     --crashloop) CRASHLOOP=1 ;;
+    --tsan) TSAN=1 ;;
     *)
-      echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]" >&2
+      echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]" >&2
       exit 2
       ;;
   esac
@@ -42,6 +49,8 @@ cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j"$(nproc)"
 echo "== client checker subset (ctest -L clients) =="
 ctest --test-dir build -j"$(nproc)" -L clients --output-on-failure
+echo "== provenance recorder subset (ctest -L provenance) =="
+ctest --test-dir build -j"$(nproc)" -L provenance --output-on-failure
 echo "== full suite =="
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
@@ -53,6 +62,15 @@ fi
 if [[ "$TIDY" == 1 ]]; then
   echo "== clang-tidy =="
   scripts/tidy.sh build
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  echo "== ThreadSanitizer smoke (governor + checkpoint/resume) =="
+  cmake -B build-tsan -S . -DCTP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$(nproc)" \
+    --target governor_test snapshot_test resume_test
+  ctest --test-dir build-tsan -j"$(nproc)" \
+    -R '^(governor_test|snapshot_test|resume_test)$' --output-on-failure
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

@@ -1,0 +1,199 @@
+//===- analysis/Provenance.cpp - First-derivation provenance --------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Provenance.h"
+
+#include <sstream>
+#include <unordered_set>
+
+using namespace ctp;
+using namespace ctp::analysis;
+
+std::vector<std::uint32_t> ProvenanceGraph::chain(std::uint32_t Node,
+                                                  std::size_t MaxNodes) const {
+  std::vector<std::uint32_t> Out;
+  if (Node == InvalidNode || Node >= Nodes.size())
+    return Out;
+  std::unordered_set<std::uint32_t> Seen;
+  std::vector<std::uint32_t> Stack{Node};
+  while (!Stack.empty() && Out.size() < MaxNodes) {
+    std::uint32_t Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur == InvalidNode || Cur >= Nodes.size() || !Seen.insert(Cur).second)
+      continue;
+    Out.push_back(Cur);
+    // Pre-order with Prem0 first: push Prem1 below Prem0 on the stack.
+    Stack.push_back(Nodes[Cur].E.Prem1);
+    Stack.push_back(Nodes[Cur].E.Prem0);
+  }
+  return Out;
+}
+
+namespace {
+
+const char *ruleName(ProvRule R) {
+  switch (R) {
+  case ProvRule::Entry:
+    return "entry";
+  case ProvRule::Assign:
+    return "assign";
+  case ProvRule::Cast:
+    return "cast";
+  case ProvRule::Load:
+    return "load";
+  case ProvRule::Store:
+    return "store";
+  case ProvRule::Param:
+    return "param";
+  case ProvRule::Ret:
+    return "return";
+  case ProvRule::Throw:
+    return "throw";
+  case ProvRule::GStore:
+    return "global-store";
+  case ProvRule::VirtCall:
+    return "virtual-dispatch";
+  case ProvRule::VirtThis:
+    return "this-binding";
+  case ProvRule::Ind:
+    return "indirect-flow";
+  case ProvRule::Reach:
+    return "reachability";
+  case ProvRule::GLoad:
+    return "global-load";
+  case ProvRule::New:
+    return "allocation";
+  case ProvRule::Static:
+    return "static-call";
+  }
+  return "?";
+}
+
+/// What the rule's aux word names, for the rendered suffix.
+const char *auxLabel(ProvRule R) {
+  switch (R) {
+  case ProvRule::Assign:
+  case ProvRule::Cast:
+  case ProvRule::GStore:
+  case ProvRule::Store:
+    return "from";
+  case ProvRule::Load:
+    return "base";
+  case ProvRule::Param:
+  case ProvRule::Ret:
+  case ProvRule::Throw:
+  case ProvRule::VirtCall:
+  case ProvRule::VirtThis:
+  case ProvRule::Reach:
+  case ProvRule::Static:
+    return "at";
+  case ProvRule::GLoad:
+    return "global";
+  case ProvRule::New:
+    return "site";
+  case ProvRule::Entry:
+  case ProvRule::Ind:
+    return nullptr;
+  }
+  return nullptr;
+}
+
+std::string auxName(ProvRule R, std::uint32_t Aux, const facts::FactDB &DB) {
+  switch (R) {
+  case ProvRule::Assign:
+  case ProvRule::Cast:
+  case ProvRule::Load:
+  case ProvRule::Store:
+  case ProvRule::GStore:
+    return Aux < DB.VarNames.size() ? DB.VarNames[Aux] : "?";
+  case ProvRule::Param:
+  case ProvRule::Ret:
+  case ProvRule::Throw:
+  case ProvRule::VirtCall:
+  case ProvRule::VirtThis:
+  case ProvRule::Reach:
+  case ProvRule::Static:
+    return Aux < DB.InvokeNames.size() ? DB.InvokeNames[Aux] : "?";
+  case ProvRule::GLoad:
+    return Aux < DB.GlobalNames.size() ? DB.GlobalNames[Aux] : "?";
+  case ProvRule::New:
+    return Aux < DB.HeapNames.size() ? DB.HeapNames[Aux] : "?";
+  case ProvRule::Entry:
+  case ProvRule::Ind:
+    return {};
+  }
+  return {};
+}
+
+std::string factText(const ProvenanceGraph &G, std::uint32_t Node,
+                     const facts::FactDB &DB, const ctx::Domain &Dom,
+                     const Interner<ctx::CtxtVec, ctx::CtxtVecHash> &Ctxts) {
+  const FactKey &K = G.factOf(Node);
+  auto Name = [](const std::vector<std::string> &Tbl, std::uint32_t Id) {
+    return Id < Tbl.size() ? Tbl[Id] : std::string("?");
+  };
+  std::ostringstream S;
+  switch (G.relOf(Node)) {
+  case ProvRel::Pts:
+    S << "pts(" << Name(DB.VarNames, K[0]) << ", " << Name(DB.HeapNames, K[1])
+      << ") [" << Dom.toString(K[2]) << "]";
+    break;
+  case ProvRel::Hpts:
+    S << "hpts(" << Name(DB.HeapNames, K[0]) << "." << Name(DB.FieldNames, K[1])
+      << ", " << Name(DB.HeapNames, K[2]) << ") [" << Dom.toString(K[3]) << "]";
+    break;
+  case ProvRel::Hload:
+    S << "hload(" << Name(DB.HeapNames, K[0]) << "."
+      << Name(DB.FieldNames, K[1]) << ", " << Name(DB.VarNames, K[2]) << ") ["
+      << Dom.toString(K[3]) << "]";
+    break;
+  case ProvRel::Call:
+    S << "call(" << Name(DB.InvokeNames, K[0]) << ", "
+      << Name(DB.MethodNames, K[1]) << ") [" << Dom.toString(K[2]) << "]";
+    break;
+  case ProvRel::Reach: {
+    S << "reach(" << Name(DB.MethodNames, K[0]) << ", [";
+    if (K[1] < Ctxts.size()) {
+      const ctx::CtxtVec &C = Ctxts[K[1]];
+      for (std::size_t I = 0; I < C.size(); ++I)
+        S << (I ? " " : "") << ctx::printElemDefault(C[I]);
+    }
+    S << "])";
+    break;
+  }
+  case ProvRel::Gpts:
+    S << "gpts(" << Name(DB.GlobalNames, K[0]) << ", "
+      << Name(DB.HeapNames, K[1]) << ") [" << Dom.toString(K[2]) << "]";
+    break;
+  }
+  return S.str();
+}
+
+} // namespace
+
+std::string analysis::renderProvenanceChain(
+    const ProvenanceGraph &G, std::uint32_t Node, const facts::FactDB &DB,
+    const ctx::Domain &Dom,
+    const Interner<ctx::CtxtVec, ctx::CtxtVecHash> &ReachCtxts,
+    std::size_t MaxNodes) {
+  std::vector<std::uint32_t> Nodes = G.chain(Node, MaxNodes);
+  std::ostringstream Out;
+  for (std::uint32_t N : Nodes) {
+    const ProvenanceGraph::Edge &E = G.edgeOf(N);
+    Out << "  " << factText(G, N, DB, Dom, ReachCtxts) << "  <= "
+        << ruleName(E.Rule);
+    if (const char *L = auxLabel(E.Rule)) {
+      std::string A = auxName(E.Rule, E.Aux, DB);
+      if (!A.empty())
+        Out << " (" << L << " " << A << ")";
+    }
+    Out << "\n";
+  }
+  if (!Nodes.empty() && Nodes.size() >= MaxNodes)
+    Out << "  ... (chain truncated)\n";
+  return Out.str();
+}

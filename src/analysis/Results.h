@@ -18,6 +18,7 @@
 #define CTP_ANALYSIS_RESULTS_H
 
 #include "analysis/Facts.h"
+#include "analysis/Provenance.h"
 #include "ctx/Domain.h"
 #include "support/Budget.h"
 #include "support/Interner.h"
@@ -61,6 +62,9 @@ struct Stats {
   /// structural checks (the run then cold-started) or a snapshot write
   /// that failed. Empty when checkpointing is off or everything worked.
   std::string CheckpointError;
+  /// Why requested provenance was not recorded (resumed run, unsupported
+  /// back-end). Empty when provenance was off or was recorded.
+  std::string ProvenanceDropped;
 };
 
 /// Full result of one analysis run. Movable, not copyable (owns the
@@ -84,6 +88,9 @@ public:
   std::unique_ptr<ctx::Domain> Dom;
   /// Interner for reach-context vectors.
   std::shared_ptr<Interner<ctx::CtxtVec, ctx::CtxtVecHash>> ReachCtxts;
+  /// First-derivation provenance (null unless recording was requested and
+  /// actually ran — see SolverOptions::Provenance).
+  std::unique_ptr<ProvenanceGraph> Prov;
 
   // --- Context-insensitive projections (sorted, deduplicated). ---
 

@@ -7,6 +7,7 @@
 
 #include "analysis/Solver.h"
 
+#include "analysis/Provenance.h"
 #include "support/Stats.h"
 
 #include <cassert>
@@ -52,6 +53,8 @@ public:
       Fingerprint = DB.fingerprint();
       LayoutHash = DB.layoutHash();
     }
+    if (Opts.Provenance.Enabled)
+      Prov = std::make_unique<ProvenanceGraph>(Opts.Provenance.MaxEdges);
   }
 
   /// Rebuilds the full solver state from \p S by replaying its relations
@@ -177,6 +180,15 @@ public:
     CollapsedPts = static_cast<std::size_t>(S.CollapsedPts);
     CkptLastDerivations = S.Derivations;
     Resumed = true;
+    // Snapshots do not carry the derivation graph, so the replayed tuples
+    // above have no nodes. A graph recording only post-resume derivations
+    // would dangle on every premise that predates the snapshot; drop
+    // provenance cleanly instead of keeping half of it.
+    if (Prov) {
+      Prov.reset();
+      ProvDropped = "provenance dropped: run resumed from a checkpoint "
+                    "snapshot (snapshots do not carry the derivation graph)";
+    }
     return {};
   }
 
@@ -188,7 +200,11 @@ public:
       for (std::uint32_t E : DB.EntryMethods) {
         CtxtVec Entry;
         Entry.push_back(ctx::EntryElem);
-        addReach(E, Entry.takePrefix(M));
+        CtxtVec Ctx = Entry.takePrefix(M);
+        if (addReach(E, Ctx) && Prov)
+          Prov->note(ProvRel::Reach,
+                     keyOf(ReachFact{E, ReachCtxts->intern(Ctx)}),
+                     ProvRule::Entry, NoNode, NoNode, E);
       }
     }
     drain();
@@ -231,8 +247,10 @@ public:
         static_cast<std::size_t>(totalDerivations());
     R.Stat.Progress.PendingWork = pendingWork();
     R.Stat.CheckpointError = CkptError;
+    R.Stat.ProvenanceDropped = ProvDropped;
     R.Dom = std::move(Dom);
     R.ReachCtxts = ReachCtxts;
+    R.Prov = std::move(Prov);
     return R;
   }
 
@@ -332,23 +350,27 @@ private:
 
   //===--- Derived-fact insertion (dedup + index update + enqueue) --------===//
 
-  void addPts(std::uint32_t Var, std::uint32_t Heap, TransformId T) {
+  /// All addX methods return true exactly when the tuple was newly
+  /// appended to its relation — the moment a provenance edge, if enabled,
+  /// must be noted by the rule site (which alone knows the premises).
+  bool addPts(std::uint32_t Var, std::uint32_t Heap, TransformId T) {
     Meter.chargeDerivations();
     PtsFact F{Var, Heap, T};
     if (!PtsSet.insert(keyOf(F)).second)
-      return;
+      return false;
     if (Collapse && !collapseInsert(Var, Heap, T)) {
       // The fact occupies the dedup set but never reaches the relation;
       // a checkpoint must carry it separately or a resumed run would
       // re-attempt (and re-count) the same subsumed derivations.
       if (Ckpt.enabled())
         SubsumedAtInsert.push_back(F);
-      return;
+      return false;
     }
     Meter.chargeTuple();
     PtsRel.push_back(F);
     PtsByVar[Var].push_back({Heap, T});
     PtsWork.push_back(F);
+    return true;
   }
 
   /// Subsumption collapsing (Section 8 extension): \returns false when the
@@ -386,63 +408,68 @@ private:
     return true;
   }
 
-  void addHpts(std::uint32_t Base, std::uint32_t Field, std::uint32_t Heap,
+  bool addHpts(std::uint32_t Base, std::uint32_t Field, std::uint32_t Heap,
                TransformId T) {
     Meter.chargeDerivations();
     HptsFact F{Base, Field, Heap, T};
     if (!HptsSet.insert(keyOf(F)).second)
-      return;
+      return false;
     Meter.chargeTuple();
     HptsRel.push_back(F);
     HptsByBaseField[pairKey(Base, Field)].push_back({Heap, T});
     HptsWork.push_back(F);
+    return true;
   }
 
-  void addHload(std::uint32_t Base, std::uint32_t Field, std::uint32_t Var,
+  bool addHload(std::uint32_t Base, std::uint32_t Field, std::uint32_t Var,
                 TransformId T) {
     Meter.chargeDerivations();
     HloadFact F{Base, Field, Var, T};
     if (!HloadSet.insert(keyOf(F)).second)
-      return;
+      return false;
     Meter.chargeTuple();
     HloadRel.push_back(F);
     HloadByBaseField[pairKey(Base, Field)].push_back({Var, T});
     HloadWork.push_back(F);
+    return true;
   }
 
-  void addCall(std::uint32_t Invoke, std::uint32_t Method, TransformId T) {
+  bool addCall(std::uint32_t Invoke, std::uint32_t Method, TransformId T) {
     Meter.chargeDerivations();
     CallFact F{Invoke, Method, T};
     if (!CallSet.insert(keyOf(F)).second)
-      return;
+      return false;
     Meter.chargeTuple();
     CallRel.push_back(F);
     CallByInvoke[Invoke].push_back({Method, T});
     CallByCallee[Method].push_back({Invoke, T});
     CallWork.push_back(F);
+    return true;
   }
 
-  void addGpts(std::uint32_t Global, std::uint32_t Heap, TransformId T) {
+  bool addGpts(std::uint32_t Global, std::uint32_t Heap, TransformId T) {
     Meter.chargeDerivations();
     GptsFact F{Global, Heap, T};
     if (!GptsSet.insert(keyOf(F)).second)
-      return;
+      return false;
     Meter.chargeTuple();
     GptsRel.push_back(F);
     GptsByGlobal[Global].push_back({Heap, T});
     GptsWork.push_back(F);
+    return true;
   }
 
-  void addReach(std::uint32_t Method, const CtxtVec &Ctx) {
+  bool addReach(std::uint32_t Method, const CtxtVec &Ctx) {
     Meter.chargeDerivations();
     std::uint32_t CtxId = ReachCtxts->intern(Ctx);
     ReachFact F{Method, CtxId};
     if (!ReachSet.insert(keyOf(F)).second)
-      return;
+      return false;
     Meter.chargeTuple();
     ReachRel.push_back(F);
     ReachByMethod[Method].push_back(CtxId);
     ReachWork.push_back(F);
+    return true;
   }
 
   //===--- Checkpointing --------------------------------------------------===//
@@ -592,50 +619,80 @@ private:
   }
 
   void onNewPts(const PtsFact &F) {
+    // Provenance node of the driving fact (NoNode when recording is off;
+    // each note() below then never executes thanks to the && Prov guard).
+    const std::uint32_t FN =
+        Prov ? Prov->lookup(ProvRel::Pts, keyOf(F)) : NoNode;
+
     // [ASSIGN] pts(Z,H,A), assign(Z,Y) |- pts(Y,H,A).
     for (std::uint32_t Y : AssignFrom[F.Var])
-      addPts(Y, F.Heap, F.T);
+      if (addPts(Y, F.Heap, F.T) && Prov)
+        Prov->note(ProvRel::Pts, keyOf(PtsFact{Y, F.Heap, F.T}),
+                   ProvRule::Assign, FN, NoNode, F.Var);
 
     // [CAST] pts(Z,H,A), cast(Z,Y,T), heap_type(H,T'), subtype(T',T)
     //        |- pts(Y,H,A): an assignment filtered by the cast type.
     for (const auto &[Y, T] : CastByFrom[F.Var])
       if (isSubtype(HeapTypeOf[F.Heap], T))
-        addPts(Y, F.Heap, F.T);
+        if (addPts(Y, F.Heap, F.T) && Prov)
+          Prov->note(ProvRel::Pts, keyOf(PtsFact{Y, F.Heap, F.T}),
+                     ProvRule::Cast, FN, NoNode, F.Var);
 
     // [LOAD] pts(Y,G,A), load(Y,F,Z) |- hload(G,F,Z,A).
     for (const auto &[Field, To] : LoadByBase[F.Var])
-      addHload(F.Heap, Field, To, F.T);
+      if (addHload(F.Heap, Field, To, F.T) && Prov)
+        Prov->note(ProvRel::Hload, keyOf(HloadFact{F.Heap, Field, To, F.T}),
+                   ProvRule::Load, FN, NoNode, F.Var);
 
     // [STORE] pts(X,H,B), store(X,Fl,Z), pts(Z,G,C)
     //         |- hpts(G,Fl,H, B ; inv(C)).
+    // Provenance premise order is always (value pts, base pts).
     // Driven from the stored-value side (this fact is pts(X,H,B))...
     for (const auto &[Field, Base] : StoreByValue[F.Var])
       for (const auto &[G, C] : PtsByVar[Base])
         if (auto A = Dom->comp(F.T, Dom->inv(C), H, H))
-          addHpts(G, Field, F.Heap, *A);
+          if (addHpts(G, Field, F.Heap, *A) && Prov)
+            Prov->note(ProvRel::Hpts, keyOf(HptsFact{G, Field, F.Heap, *A}),
+                       ProvRule::Store, FN,
+                       Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Base, G, C})),
+                       F.Var);
     // ...and from the base side (this fact is pts(Z,G,C)).
     for (const auto &[Field, Value] : StoreByBase[F.Var])
       for (const auto &[Hp, B] : PtsByVar[Value])
         if (auto A = Dom->comp(B, Dom->inv(F.T), H, H))
-          addHpts(F.Heap, Field, Hp, *A);
+          if (addHpts(F.Heap, Field, Hp, *A) && Prov)
+            Prov->note(ProvRel::Hpts, keyOf(HptsFact{F.Heap, Field, Hp, *A}),
+                       ProvRule::Store,
+                       Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Value, Hp, B})),
+                       FN, Value);
 
     // [PARAM] pts(Z,H,B), actual(Z,I,O), call(I,P,C), formal(Y,P,O)
-    //         |- pts(Y,H, B ; C).
+    //         |- pts(Y,H, B ; C). Premise order: (actual pts, call).
     for (const auto &[Invoke, Ord] : ActualByVar[F.Var])
       for (const auto &[Callee, C] : CallByInvoke[Invoke])
         if (auto It = FormalOf.find(pairKey(Callee, Ord));
             It != FormalOf.end())
           if (auto A = Dom->comp(F.T, C, H, M))
-            addPts(It->second, F.Heap, *A);
+            if (addPts(It->second, F.Heap, *A) && Prov)
+              Prov->note(
+                  ProvRel::Pts, keyOf(PtsFact{It->second, F.Heap, *A}),
+                  ProvRule::Param, FN,
+                  Prov->lookup(ProvRel::Call, keyOf(CallFact{Invoke, Callee, C})),
+                  Invoke);
 
     // [RET] pts(Z,H,B), return(Z,P), call(I,P,C), assign_return(I,Y)
-    //       |- pts(Y,H, B ; inv(C)).
+    //       |- pts(Y,H, B ; inv(C)). Premise order: (return pts, call).
     for (std::uint32_t P : ReturnByVar[F.Var])
       for (const auto &[Invoke, C] : CallByCallee[P]) {
         TransformId InvC = Dom->inv(C);
         if (auto A = Dom->comp(F.T, InvC, H, M))
           for (std::uint32_t Y : AssignRetByInvoke[Invoke])
-            addPts(Y, F.Heap, *A);
+            if (addPts(Y, F.Heap, *A) && Prov)
+              Prov->note(
+                  ProvRel::Pts, keyOf(PtsFact{Y, F.Heap, *A}), ProvRule::Ret,
+                  FN,
+                  Prov->lookup(ProvRel::Call, keyOf(CallFact{Invoke, P, C})),
+                  Invoke);
       }
 
     // [THROW] pts(Z,H,B), throw(Z,P), call(I,P,C), catch(I,Y)
@@ -645,12 +702,22 @@ private:
         TransformId InvC = Dom->inv(C);
         if (auto A = Dom->comp(F.T, InvC, H, M))
           for (std::uint32_t Y : CatchByInvoke[Invoke])
-            addPts(Y, F.Heap, *A);
+            if (addPts(Y, F.Heap, *A) && Prov)
+              Prov->note(
+                  ProvRel::Pts, keyOf(PtsFact{Y, F.Heap, *A}), ProvRule::Throw,
+                  FN,
+                  Prov->lookup(ProvRel::Call, keyOf(CallFact{Invoke, P, C})),
+                  Invoke);
       }
 
     // [GSTORE] pts(X,H,B), global_store(X,G) |- gpts(G,H, globalize(B)).
-    for (std::uint32_t G : GlobalStoreByValue[F.Var])
-      addGpts(G, F.Heap, Dom->globalize(F.T));
+    if (!GlobalStoreByValue[F.Var].empty()) {
+      TransformId GT = Dom->globalize(F.T);
+      for (std::uint32_t G : GlobalStoreByValue[F.Var])
+        if (addGpts(G, F.Heap, GT) && Prov)
+          Prov->note(ProvRel::Gpts, keyOf(GptsFact{G, F.Heap, GT}),
+                     ProvRule::GStore, FN, NoNode, F.Var);
+    }
 
     // [VIRT] virtual_invoke(I,Z,S), pts(Z,H,B), heap_type(H,T),
     //        implements(Q,T,S), this_var(Y,Q), C := merge(H,I,B)
@@ -663,24 +730,39 @@ private:
           continue; // No implementation: dead dispatch.
         std::uint32_t Q = It->second;
         TransformId C = Dom->mergeVirtual(F.Heap, Invoke, F.T);
-        addCall(Invoke, Q, C);
+        if (addCall(Invoke, Q, C) && Prov)
+          Prov->note(ProvRel::Call, keyOf(CallFact{Invoke, Q, C}),
+                     ProvRule::VirtCall, FN, NoNode, Invoke);
         std::uint32_t ThisY = ThisOf[Q];
         assert(ThisY != facts::InvalidId &&
                "dispatched method has no this variable");
         if (auto A = Dom->comp(F.T, C, H, M))
-          addPts(ThisY, F.Heap, *A);
+          if (addPts(ThisY, F.Heap, *A) && Prov)
+            Prov->note(
+                ProvRel::Pts, keyOf(PtsFact{ThisY, F.Heap, *A}),
+                ProvRule::VirtThis, FN,
+                Prov->lookup(ProvRel::Call, keyOf(CallFact{Invoke, Q, C})),
+                Invoke);
       }
     }
   }
 
   void onNewHpts(const HptsFact &F) {
     // [IND] hpts(G,Fl,H,B), hload(G,Fl,Y,C) |- pts(Y,H, B ; C).
+    // Provenance premise order is always (hpts, hload).
     auto It = HloadByBaseField.find(pairKey(F.Base, F.Field));
     if (It == HloadByBaseField.end())
       return;
+    const std::uint32_t FN =
+        Prov ? Prov->lookup(ProvRel::Hpts, keyOf(F)) : NoNode;
     for (const auto &[Y, C] : It->second)
       if (auto A = Dom->comp(F.T, C, H, M))
-        addPts(Y, F.Heap, *A);
+        if (addPts(Y, F.Heap, *A) && Prov)
+          Prov->note(
+              ProvRel::Pts, keyOf(PtsFact{Y, F.Heap, *A}), ProvRule::Ind, FN,
+              Prov->lookup(ProvRel::Hload,
+                           keyOf(HloadFact{F.Base, F.Field, Y, C})),
+              UINT32_MAX);
   }
 
   void onNewHload(const HloadFact &F) {
@@ -688,22 +770,40 @@ private:
     auto It = HptsByBaseField.find(pairKey(F.Base, F.Field));
     if (It == HptsByBaseField.end())
       return;
+    const std::uint32_t FN =
+        Prov ? Prov->lookup(ProvRel::Hload, keyOf(F)) : NoNode;
     for (const auto &[Hp, B] : It->second)
       if (auto A = Dom->comp(B, F.T, H, M))
-        addPts(F.Var, Hp, *A);
+        if (addPts(F.Var, Hp, *A) && Prov)
+          Prov->note(ProvRel::Pts, keyOf(PtsFact{F.Var, Hp, *A}),
+                     ProvRule::Ind,
+                     Prov->lookup(ProvRel::Hpts,
+                                  keyOf(HptsFact{F.Base, F.Field, Hp, B})),
+                     FN, UINT32_MAX);
   }
 
   void onNewCall(const CallFact &F) {
-    // [REACH] call(I,P,A) |- reach(P, target(A)).
-    addReach(F.Method, Dom->target(F.T));
+    const std::uint32_t FN =
+        Prov ? Prov->lookup(ProvRel::Call, keyOf(F)) : NoNode;
 
-    // [PARAM], driven from the call side.
+    // [REACH] call(I,P,A) |- reach(P, target(A)).
+    CtxtVec Tgt = Dom->target(F.T);
+    if (addReach(F.Method, Tgt) && Prov)
+      Prov->note(ProvRel::Reach,
+                 keyOf(ReachFact{F.Method, ReachCtxts->intern(Tgt)}),
+                 ProvRule::Reach, FN, NoNode, F.Invoke);
+
+    // [PARAM], driven from the call side. Premise order: (actual pts, call).
     for (const auto &[Ord, Z] : ActualByInvoke[F.Invoke])
       if (auto It = FormalOf.find(pairKey(F.Method, Ord));
           It != FormalOf.end())
         for (const auto &[Hp, B] : PtsByVar[Z])
           if (auto A = Dom->comp(B, F.T, H, M))
-            addPts(It->second, Hp, *A);
+            if (addPts(It->second, Hp, *A) && Prov)
+              Prov->note(ProvRel::Pts, keyOf(PtsFact{It->second, Hp, *A}),
+                         ProvRule::Param,
+                         Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Z, Hp, B})),
+                         FN, F.Invoke);
 
     // [RET], driven from the call side.
     if (!AssignRetByInvoke[F.Invoke].empty()) {
@@ -712,7 +812,11 @@ private:
         for (const auto &[Hp, B] : PtsByVar[Z])
           if (auto A = Dom->comp(B, InvC, H, M))
             for (std::uint32_t Y : AssignRetByInvoke[F.Invoke])
-              addPts(Y, Hp, *A);
+              if (addPts(Y, Hp, *A) && Prov)
+                Prov->note(
+                    ProvRel::Pts, keyOf(PtsFact{Y, Hp, *A}), ProvRule::Ret,
+                    Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Z, Hp, B})), FN,
+                    F.Invoke);
     }
 
     // [THROW], driven from the call side.
@@ -722,34 +826,60 @@ private:
         for (const auto &[Hp, B] : PtsByVar[Z])
           if (auto A = Dom->comp(B, InvC, H, M))
             for (std::uint32_t Y : CatchByInvoke[F.Invoke])
-              addPts(Y, Hp, *A);
+              if (addPts(Y, Hp, *A) && Prov)
+                Prov->note(
+                    ProvRel::Pts, keyOf(PtsFact{Y, Hp, *A}), ProvRule::Throw,
+                    Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Z, Hp, B})), FN,
+                    F.Invoke);
     }
   }
 
   void onNewGpts(const GptsFact &F) {
     // [GLOAD] gpts(G,H,A), global_load(G,Z,P), reach(P,Mx)
     //         |- pts(Z,H, retarget(A,Mx)).
+    // Provenance premise order is always (gpts, reach).
+    const std::uint32_t FN =
+        Prov ? Prov->lookup(ProvRel::Gpts, keyOf(F)) : NoNode;
     for (const auto &[Z, P] : GlobalLoadByGlobal[F.Global])
-      for (std::uint32_t CtxId : ReachByMethod[P])
-        addPts(Z, F.Heap, Dom->retarget(F.T, (*ReachCtxts)[CtxId]));
+      for (std::uint32_t CtxId : ReachByMethod[P]) {
+        TransformId A = Dom->retarget(F.T, (*ReachCtxts)[CtxId]);
+        if (addPts(Z, F.Heap, A) && Prov)
+          Prov->note(ProvRel::Pts, keyOf(PtsFact{Z, F.Heap, A}),
+                     ProvRule::GLoad, FN,
+                     Prov->lookup(ProvRel::Reach, keyOf(ReachFact{P, CtxId})),
+                     F.Global);
+      }
   }
 
   void onNewReach(const ReachFact &F) {
     const CtxtVec &Ctx = (*ReachCtxts)[F.CtxtId];
+    const std::uint32_t FN =
+        Prov ? Prov->lookup(ProvRel::Reach, keyOf(F)) : NoNode;
     // [GLOAD], driven from the reach side.
     for (const auto &[G, Z] : GlobalLoadByMethod[F.Method])
-      for (const auto &[Hp, A] : GptsByGlobal[G])
-        addPts(Z, Hp, Dom->retarget(A, Ctx));
+      for (const auto &[Hp, A] : GptsByGlobal[G]) {
+        TransformId RT = Dom->retarget(A, Ctx);
+        if (addPts(Z, Hp, RT) && Prov)
+          Prov->note(ProvRel::Pts, keyOf(PtsFact{Z, Hp, RT}), ProvRule::GLoad,
+                     Prov->lookup(ProvRel::Gpts, keyOf(GptsFact{G, Hp, A})),
+                     FN, G);
+      }
     // [NEW] assign_new(H,Y,P), reach(P,Mx) |- pts(Y,H, record(Mx)).
     if (!AssignNewByMethod[F.Method].empty()) {
       TransformId A = Dom->record(Ctx);
       for (const auto &[Hp, Y] : AssignNewByMethod[F.Method])
-        addPts(Y, Hp, A);
+        if (addPts(Y, Hp, A) && Prov)
+          Prov->note(ProvRel::Pts, keyOf(PtsFact{Y, Hp, A}), ProvRule::New,
+                     FN, NoNode, Hp);
     }
     // [STATIC] static_invoke(I,Q,P), reach(P,Mx)
     //          |- call(I,Q, merge_s(I,Mx)).
-    for (const auto &[Invoke, Target] : StaticByMethod[F.Method])
-      addCall(Invoke, Target, Dom->mergeStatic(Invoke, Ctx));
+    for (const auto &[Invoke, Target] : StaticByMethod[F.Method]) {
+      TransformId C = Dom->mergeStatic(Invoke, Ctx);
+      if (addCall(Invoke, Target, C) && Prov)
+        Prov->note(ProvRel::Call, keyOf(CallFact{Invoke, Target, C}),
+                   ProvRule::Static, FN, NoNode, Invoke);
+    }
   }
 
   //===--- State ----------------------------------------------------------===//
@@ -809,6 +939,12 @@ private:
 
   std::size_t WorkItems = 0;
   BudgetMeter Meter;
+
+  // First-derivation provenance. Null unless requested — and dropped again
+  // (with ProvDropped explaining why) when the run restores a snapshot.
+  static constexpr std::uint32_t NoNode = ProvenanceGraph::InvalidNode;
+  std::unique_ptr<ProvenanceGraph> Prov;
+  std::string ProvDropped;
 
   // Checkpoint/resume state. The Base* counters carry the cumulative
   // totals of the interrupted run(s) a snapshot was restored from; the

@@ -32,6 +32,17 @@
 namespace ctp {
 namespace analysis {
 
+/// Derivation-provenance recording (analysis/Provenance.h).
+struct ProvenancePolicy {
+  /// Record the first derivation of every tuple. Off by default; when
+  /// off the solver pays no recording cost at all. Native solver only.
+  bool Enabled = false;
+  /// Hard cap on recorded nodes (one per derived tuple). Past it the
+  /// graph marks itself truncated and stops growing. The default bounds
+  /// the recorder to roughly 128 MB on the largest presets.
+  std::size_t MaxEdges = 4u << 20;
+};
+
 /// Evaluation options beyond the analysis configuration itself.
 struct SolverOptions {
   /// Section 8 extension (the paper proposes but does not implement it):
@@ -61,6 +72,12 @@ struct SolverOptions {
   /// restore fails its structural checks the solver falls back to a cold
   /// start and reports the reason in Results::Stat::CheckpointError.
   const SolverSnapshot *Resume = nullptr;
+
+  /// First-derivation recording for witness explanations. Snapshots never
+  /// carry the graph, so a successfully resumed run drops provenance
+  /// entirely rather than keeping a half-graph (Results::Prov is null and
+  /// Stat::ProvenanceDropped says why).
+  ProvenancePolicy Provenance;
 };
 
 /// Runs the context-sensitive pointer analysis configured by \p Cfg over

@@ -64,6 +64,12 @@ const std::vector<RuleInfo> &clients::allRules() {
        "Unsynchronized field accesses on a thread-shared object, at least "
        "one a write",
        Severity::Warning},
+      {"taint.dead-source",
+       "Taint source produces no value that ever reaches a sink",
+       Severity::Note},
+      {"taint.flow",
+       "Tainted value reaches a sink without passing a sanitizer",
+       Severity::Warning},
   };
   return Rules;
 }
@@ -198,9 +204,15 @@ std::string jsonEscape(const std::string &S) {
 
 } // namespace
 
+std::string clients::stableFindingId(const std::string &RuleId,
+                                     const std::string &StableKey) {
+  return stableHash(RuleId + "\x1f" + StableKey);
+}
+
 void Report::add(const std::string &RuleId, Severity Sev,
                  const Location &Loc, const std::string &Message,
-                 const std::string &StableKey) {
+                 const std::string &StableKey,
+                 std::vector<WitnessStep> Witness) {
   assert(!Finalized && "adding findings to a finalized report");
   Finding F;
   F.RuleId = RuleId;
@@ -208,13 +220,42 @@ void Report::add(const std::string &RuleId, Severity Sev,
   F.Loc = Loc;
   F.Message = Message;
   F.Id = stableHash(RuleId + "\x1f" + StableKey);
+  if (Witness.empty())
+    Witness.push_back({Loc, Message});
+  F.Witness = std::move(Witness);
   Items.push_back(std::move(F));
 }
 
 void Report::finalize() {
-  std::sort(Items.begin(), Items.end());
+  // Stable so that two findings equal under operator< (which ignores the
+  // witness) keep their deterministic insertion order; unique() then
+  // keeps the first witness.
+  std::stable_sort(Items.begin(), Items.end());
   Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
   Finalized = true;
+}
+
+const Finding *Report::findById(const std::string &Id) const {
+  assert(Finalized && "lookup before finalize");
+  for (const Finding &F : Items)
+    if (F.Id == Id)
+      return &F;
+  return nullptr;
+}
+
+std::string Report::renderExplain(const std::string &Id) const {
+  const Finding *F = findById(Id);
+  if (!F)
+    return "";
+  std::ostringstream OS;
+  OS << F->Loc.Uri << ":" << F->Loc.Line << ": " << severityName(F->Sev)
+     << ": " << F->Message << " [" << F->RuleId << "] (" << F->Id << ")\n"
+     << "  witness (" << F->Witness.size() << " step"
+     << (F->Witness.size() == 1 ? "" : "s") << "):\n";
+  for (std::size_t I = 0; I < F->Witness.size(); ++I)
+    OS << "    " << (I + 1) << ". " << F->Witness[I].Loc.Uri << ":"
+       << F->Witness[I].Loc.Line << ": " << F->Witness[I].Note << "\n";
+  return OS.str();
 }
 
 std::size_t Report::countAtLeast(Severity S) const {
@@ -299,6 +340,31 @@ std::string Report::renderSarif(const std::string &ToolName,
        << " }\n"
        << "              }\n"
        << "            }\n"
+       << "          ],\n";
+    // One codeFlow with one threadFlow: the finding's witness path in
+    // source-to-sink order, executionOrder making the ordering explicit.
+    OS << "          \"codeFlows\": [\n"
+       << "            { \"threadFlows\": [\n"
+       << "              { \"locations\": [\n";
+    for (std::size_t S = 0; S < F.Witness.size(); ++S) {
+      const WitnessStep &W = F.Witness[S];
+      OS << "                {\n"
+         << "                  \"executionOrder\": " << S << ",\n"
+         << "                  \"location\": {\n"
+         << "                    \"physicalLocation\": {\n"
+         << "                      \"artifactLocation\": { \"uri\": \""
+         << jsonEscape(W.Loc.Uri) << "\" },\n"
+         << "                      \"region\": { \"startLine\": "
+         << W.Loc.Line << " }\n"
+         << "                    },\n"
+         << "                    \"message\": { \"text\": \""
+         << jsonEscape(W.Note) << "\" }\n"
+         << "                  }\n"
+         << "                }" << (S + 1 < F.Witness.size() ? "," : "")
+         << "\n";
+    }
+    OS << "              ] }\n"
+       << "            ] }\n"
        << "          ],\n"
        << "          \"partialFingerprints\": { \"ctpFindingId/v1\": \""
        << F.Id << "\" }\n"

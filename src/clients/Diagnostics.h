@@ -44,6 +44,14 @@ struct Location {
   unsigned Line = 1;
 };
 
+/// One step of a finding's witness path: a source anchor plus a prose
+/// note ("passed as argument at call 'tntwrite_3'"). Steps are ordered
+/// source-first; they become SARIF codeFlow threadFlow locations.
+struct WitnessStep {
+  Location Loc;
+  std::string Note;
+};
+
 /// One checker finding.
 struct Finding {
   std::string RuleId; ///< e.g. "escape.global", "race.candidate"
@@ -53,6 +61,12 @@ struct Finding {
   /// Stable identity: 16 hex chars of FNV-1a over the rule id and the
   /// anchor entity names supplied by the checker.
   std::string Id;
+  /// Witness path, source to sink. Every finding carries at least one
+  /// step: checkers that track interprocedural evidence (taint) supply
+  /// the full path; for the rest Report::add synthesizes a single
+  /// anchor-level step from the finding's own location and message.
+  /// Not part of the finding's identity or order.
+  std::vector<WitnessStep> Witness;
 };
 
 /// Total deterministic order: (RuleId, Uri, Line, Message, Id).
@@ -68,6 +82,12 @@ struct RuleInfo {
 
 /// Every rule the checker suite can emit, in rule-id order.
 const std::vector<RuleInfo> &allRules();
+
+/// The stable id Report::add would assign to (\p RuleId, \p StableKey).
+/// Exposed so checkers can associate side tables (e.g. the taint
+/// checker's finding -> sink-fact map for --explain) with findings.
+std::string stableFindingId(const std::string &RuleId,
+                            const std::string &StableKey);
 
 /// Synthesizes deterministic pseudo-source locations from the FactDB
 /// entity layout: each class C becomes the file "ctp/<C>.java"; inside
@@ -97,13 +117,25 @@ private:
 /// finalize() asserts.
 class Report {
 public:
+  /// \p Witness is the finding's evidence path; when empty a single
+  /// anchor-level step is synthesized from \p Loc and \p Message so
+  /// every finding can be explained and rendered as a SARIF codeFlow.
   void add(const std::string &RuleId, Severity Sev, const Location &Loc,
-           const std::string &Message, const std::string &StableKey);
+           const std::string &Message, const std::string &StableKey,
+           std::vector<WitnessStep> Witness = {});
 
   /// Sorts into the deterministic order and drops exact duplicates.
   void finalize();
 
   const std::vector<Finding> &findings() const { return Items; }
+
+  /// The finalized finding with stable id \p Id, or nullptr.
+  const Finding *findById(const std::string &Id) const;
+
+  /// Renders one finding and its witness path for `ctp-lint --explain`:
+  /// the finding's human line followed by one numbered line per witness
+  /// step. \returns "" when \p Id matches no finding.
+  std::string renderExplain(const std::string &Id) const;
 
   /// Number of findings at severity \p S or above.
   std::size_t countAtLeast(Severity S) const;

@@ -1,0 +1,100 @@
+//===- clients/Taint.h - Source->sink taint checker -------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-sensitive source->sink taint checker — the precision-demanding
+/// client of the paper's analysis. Taint lives on allocation sites: the
+/// objects a source produces (a Source call's result, the contents of a
+/// Source field) are tainted, field-closed over the heap graph, and must
+/// not reach a sink (a Sink call's actuals, the values stored into a Sink
+/// field). Results of Sanitizer calls are trusted clean.
+///
+/// The checker consumes only the context-insensitive projections of a run
+/// — pts_ci, hpts_ci, call_ci, gpts — so its warnings inherit the
+/// analysis's precision monotonically: every pts_ci fact of a finer
+/// configuration also holds in a coarser one, hence a finer run's
+/// taint.flow warnings are a subset of a coarser run's. (Caveat: the
+/// sanitizer veto subtracts from the tainted set, so the subset property
+/// additionally relies on sanitizers producing fresh copies, as the
+/// workload's cleanser does; an identity sanitizer could launder more
+/// under a coarser analysis and suppress a warning the finer run keeps.)
+///
+/// Every taint.flow finding carries a replayable witness: the shortest
+/// path, measured in IR statements, from the statement that introduced
+/// the tainted object into the flow to the sink statement, found by BFS
+/// over a value-flow graph whose edges each correspond to one IR
+/// statement (assign, cast, load/store through a concrete base object,
+/// argument passing, return, catch, global store/load, receiver
+/// binding). The endpoint steps are annotated with the context
+/// transformations under which the endpoints see the tainted object,
+/// chosen content-deterministically so SARIF output is byte-stable
+/// across back-ends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CLIENTS_TAINT_H
+#define CTP_CLIENTS_TAINT_H
+
+#include "analysis/Results.h"
+#include "clients/Diagnostics.h"
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ctp {
+namespace clients {
+
+/// Heap-level taint state, context-insensitively sound for the run that
+/// produced it.
+struct TaintInfo {
+  /// Per heap site: seeded by sources, closed over the heap graph
+  /// (contents of a tainted object are tainted).
+  std::vector<std::uint8_t> Tainted;
+  /// Per heap site: pointed to by some Sanitizer call's result. Vetoes
+  /// Tainted at query time.
+  std::vector<std::uint8_t> Sanitized;
+  /// Whether the fact base carries any taint annotation at all.
+  bool HasAnnotations = false;
+
+  /// Tainted and not laundered — the heaps findings are about.
+  bool isHot(facts::Id H) const {
+    return H < Tainted.size() && Tainted[H] && !Sanitized[H];
+  }
+};
+
+/// Computes heap-level taint from the context-insensitive projections
+/// of \p R (see file comment for the monotonicity argument).
+TaintInfo computeTaint(const facts::FactDB &DB, const analysis::Results &R);
+
+/// Endpoints of a taint.flow finding's witness: the sink-side variable
+/// whose points-to set met the tainted heap, the source-side variable the
+/// witness path starts from (the source call's result, or the stored
+/// value for field sources), and the heap itself. `ctp-lint --explain`
+/// uses the sink side to attach the derivation chain of
+/// pts(SinkVar, Heap, ·) when the run recorded provenance; tests use both
+/// sides to check that the endpoint contexts compose.
+struct TaintEndpoint {
+  facts::Id SinkVar = facts::InvalidId;
+  facts::Id SourceVar = facts::InvalidId;
+  facts::Id Heap = facts::InvalidId;
+};
+
+/// Emits taint.flow (Warning) for every hot heap reaching a sink, each
+/// with a shortest-path witness, and taint.dead-source (Note) for
+/// sources none of whose values ever reach a sink. When \p Endpoints is
+/// non-null it receives finding-id -> sink endpoint entries for every
+/// taint.flow finding emitted.
+void checkTaint(const facts::FactDB &DB, const analysis::Results &R,
+                const SourceMap &SM, Report &Out,
+                std::map<std::string, TaintEndpoint> *Endpoints = nullptr);
+
+} // namespace clients
+} // namespace ctp
+
+#endif // CTP_CLIENTS_TAINT_H

@@ -130,6 +130,26 @@ FactDB facts::extract(const ir::Program &P) {
       DB.VirtualInvokes.push_back({I, Inv.Receiver, Inv.Sig});
     if (Inv.IsSpawn)
       DB.Spawns.push_back({I});
+    switch (Inv.Taint) {
+    case ir::TaintAnnot::None:
+      break;
+    case ir::TaintAnnot::Source:
+      DB.TaintSources.push_back({0, I});
+      break;
+    case ir::TaintAnnot::Sink:
+      DB.TaintSinks.push_back({0, I});
+      break;
+    case ir::TaintAnnot::Sanitizer:
+      DB.Sanitizers.push_back({I});
+      break;
+    }
+  }
+
+  for (ir::FieldId F = 0; F < P.Fields.size(); ++F) {
+    if (P.Fields[F].Taint == ir::TaintAnnot::Source)
+      DB.TaintSources.push_back({1, F});
+    else if (P.Fields[F].Taint == ir::TaintAnnot::Sink)
+      DB.TaintSinks.push_back({1, F});
   }
 
   for (ir::HeapId H = 0; H < P.Heaps.size(); ++H)

@@ -19,7 +19,8 @@ std::size_t FactDB::numInputFacts() const {
          StaticInvokes.size() + Stores.size() + ThisVars.size() +
          VirtualInvokes.size() + GlobalStores.size() + GlobalLoads.size() +
          Throws.size() + Catches.size() + Casts.size() + Subtypes.size() +
-         Spawns.size();
+         Spawns.size() + TaintSources.size() + TaintSinks.size() +
+         Sanitizers.size();
 }
 
 namespace {
@@ -148,6 +149,20 @@ std::uint64_t FactDB::fingerprint() const {
     Fact("subtype", {&Name(TypeNames, F.Sub), &Name(TypeNames, F.Super)});
   for (const auto &F : Spawns)
     Fact("spawn", {&Name(InvokeNames, F.Invoke)});
+  // Taint annotations: the attachment kind is hashed as a literal word so
+  // an invocation and a field that happen to share a name cannot collide.
+  static const std::string OnInvoke = "on_invoke", OnField = "on_field";
+  auto Attach = [&](const char *Tag, Id IsField, Id Entity) {
+    Fact(Tag, {IsField != 0 ? &OnField : &OnInvoke,
+               IsField != 0 ? &Name(FieldNames, Entity)
+                            : &Name(InvokeNames, Entity)});
+  };
+  for (const auto &F : TaintSources)
+    Attach("taint_source", F.IsField, F.Entity);
+  for (const auto &F : TaintSinks)
+    Attach("taint_sink", F.IsField, F.Entity);
+  for (const auto &F : Sanitizers)
+    Fact("sanitizer", {&Name(InvokeNames, F.Invoke)});
 
   // Parent/classOf attributes, keyed by name on both sides.
   for (std::size_t I = 0; I < VarParent.size(); ++I)
@@ -197,7 +212,8 @@ std::uint64_t FactDB::layoutHash() const {
         StaticInvokes.size(), Stores.size(), ThisVars.size(),
         VirtualInvokes.size(), GlobalStores.size(), GlobalLoads.size(),
         Throws.size(), Catches.size(), Casts.size(), Subtypes.size(),
-        Spawns.size()})
+        Spawns.size(), TaintSources.size(), TaintSinks.size(),
+        Sanitizers.size()})
     H = absorb(H, static_cast<std::uint64_t>(S));
   auto Row = [&H](std::initializer_list<Id> Fields) {
     for (Id F : Fields)
@@ -242,6 +258,12 @@ std::uint64_t FactDB::layoutHash() const {
   for (const auto &F : Subtypes)
     Row({F.Sub, F.Super});
   for (const auto &F : Spawns)
+    Row({F.Invoke});
+  for (const auto &F : TaintSources)
+    Row({F.IsField, F.Entity});
+  for (const auto &F : TaintSinks)
+    Row({F.IsField, F.Entity});
+  for (const auto &F : Sanitizers)
     Row({F.Invoke});
   Ids(VarParent);
   Ids(HeapParent);
@@ -347,5 +369,16 @@ std::string FactDB::validate() const {
   for (const auto &F : Spawns)
     if (!inRange(F.Invoke, NI))
       return "spawn fact out of range";
+  for (const auto &F : TaintSources)
+    if (F.IsField > 1 ||
+        !inRange(F.Entity, F.IsField != 0 ? NF : NI))
+      return "taint_source fact out of range";
+  for (const auto &F : TaintSinks)
+    if (F.IsField > 1 ||
+        !inRange(F.Entity, F.IsField != 0 ? NF : NI))
+      return "taint_sink fact out of range";
+  for (const auto &F : Sanitizers)
+    if (!inRange(F.Invoke, NI))
+      return "sanitizer fact out of range";
   return "";
 }

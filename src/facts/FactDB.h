@@ -139,6 +139,28 @@ struct SpawnFact {
   Id Invoke;
 };
 
+/// taint_source(K, E): values produced by entity E are tainted. K selects
+/// the entity kind: IsField == 0 means E is an invocation (the call's
+/// result objects are tainted), IsField == 1 means E is a field (objects
+/// stored into it are tainted). Optional on read, like Spawn.facts.
+struct TaintSourceFact {
+  Id IsField, Entity;
+};
+
+/// taint_sink(K, E): tainted values must not reach entity E — the actuals
+/// of an invocation (IsField == 0) or the values stored into a field
+/// (IsField == 1). Optional on read.
+struct TaintSinkFact {
+  Id IsField, Entity;
+};
+
+/// sanitizer(I): invocation I launders its inputs — the call's result is
+/// trusted clean even when its actuals were tainted. Call sites only (a
+/// field cannot launder values). Optional on read.
+struct SanitizerFact {
+  Id Invoke;
+};
+
 /// The extracted-facts database consumed by every analysis in this project.
 struct FactDB {
   // --- Domain sizes and human-readable names (names are only used for
@@ -179,6 +201,12 @@ struct FactDB {
   std::vector<CastFact> Casts;
   std::vector<SubtypeFact> Subtypes;
   std::vector<SpawnFact> Spawns;
+
+  // --- Taint-client annotations (clients/Taint.h). Like Spawn.facts,
+  // these are a later schema addition: optional on read, always written.
+  std::vector<TaintSourceFact> TaintSources;
+  std::vector<TaintSinkFact> TaintSinks;
+  std::vector<SanitizerFact> Sanitizers;
 
   std::size_t numGlobals() const { return GlobalNames.size(); }
 

@@ -275,6 +275,28 @@ std::string facts::writeFactsDir(const FactDB &DB, const std::string &Dir) {
     R.push_back({DB.InvokeNames[F.Invoke]});
   W("Spawn.facts", R);
 
+  // Taint annotations carry an attachment-kind column so one predicate
+  // covers both call sites and fields (Doop uses the same encoding for
+  // its TaintSourceMethod/TaintSpec unions).
+  auto AttachRow = [&](Id IsField, Id Entity) -> std::vector<std::string> {
+    return {IsField != 0 ? "field" : "invoke",
+            IsField != 0 ? DB.FieldNames[Entity] : DB.InvokeNames[Entity]};
+  };
+  R.clear();
+  for (const auto &F : DB.TaintSources)
+    R.push_back(AttachRow(F.IsField, F.Entity));
+  W("TaintSource.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.TaintSinks)
+    R.push_back(AttachRow(F.IsField, F.Entity));
+  W("TaintSink.facts", R);
+
+  R.clear();
+  for (const auto &F : DB.Sanitizers)
+    R.push_back({DB.InvokeNames[F.Invoke]});
+  W("Sanitizer.facts", R);
+
   R.clear();
   for (std::size_t V = 0; V < DB.VarParent.size(); ++V)
     R.push_back({DB.VarNames[V], DB.MethodNames[DB.VarParent[V]]});
@@ -530,6 +552,56 @@ std::string facts::readFactsDir(const std::string &Dir, FactDB &DB,
         if (!Ok(I))
           return false;
         DB.Spawns.push_back({I});
+        return true;
+      });
+  }
+
+  // The taint predicates are likewise optional on read: directories from
+  // before the taint client carry no annotations. Rows name the
+  // attachment kind explicitly ("invoke" or "field").
+  auto ParseAttach = [&](const std::vector<std::string> &Row, Id &IsField,
+                         Id &Entity) {
+    if (Row[0] == "invoke") {
+      IsField = 0;
+      Entity = Invokes.lookup(Row[1]);
+    } else if (Row[0] == "field") {
+      IsField = 1;
+      Entity = Fields.lookup(Row[1]);
+    } else {
+      return false;
+    }
+    return Entity != InvalidId;
+  };
+  {
+    std::vector<TsvLine> Probe;
+    if (readTsvLines(Dir + "/TaintSource.facts", Probe))
+      Read("TaintSource.facts", 2, [&](const std::vector<std::string> &Row) {
+        Id IsField, Entity;
+        if (!ParseAttach(Row, IsField, Entity))
+          return false;
+        DB.TaintSources.push_back({IsField, Entity});
+        return true;
+      });
+  }
+  {
+    std::vector<TsvLine> Probe;
+    if (readTsvLines(Dir + "/TaintSink.facts", Probe))
+      Read("TaintSink.facts", 2, [&](const std::vector<std::string> &Row) {
+        Id IsField, Entity;
+        if (!ParseAttach(Row, IsField, Entity))
+          return false;
+        DB.TaintSinks.push_back({IsField, Entity});
+        return true;
+      });
+  }
+  {
+    std::vector<TsvLine> Probe;
+    if (readTsvLines(Dir + "/Sanitizer.facts", Probe))
+      Read("Sanitizer.facts", 1, [&](const std::vector<std::string> &Row) {
+        Id I = Invokes.lookup(Row[0]);
+        if (!Ok(I))
+          return false;
+        DB.Sanitizers.push_back({I});
         return true;
       });
   }

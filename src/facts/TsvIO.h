@@ -20,7 +20,10 @@
 ///   ThisVar.facts, VirtualInvoke.facts, VarParent.facts,
 ///   HeapParent.facts, InvokeParent.facts, MethodClass.facts,
 ///   Spawn.facts (thread-spawn invocation markers; optional on read —
-///   directories from before the schema gained spawns load as spawn-free)
+///   directories from before the schema gained spawns load as spawn-free),
+///   TaintSource.facts / TaintSink.facts (rows "invoke\t<name>" or
+///   "field\t<name>") and Sanitizer.facts (invocation names) — the taint
+///   client's annotations, likewise optional on read
 ///
 //===----------------------------------------------------------------------===//
 

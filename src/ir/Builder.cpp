@@ -275,6 +275,17 @@ void Builder::setCatchVar(InvokeId I, VarId CatchVar) {
   P.Invokes[I].CatchVar = CatchVar;
 }
 
+void Builder::setInvokeTaint(InvokeId I, TaintAnnot A) {
+  assert(I < P.Invokes.size() && "invoke id out of range");
+  P.Invokes[I].Taint = A;
+}
+
+void Builder::setFieldTaint(FieldId F, TaintAnnot A) {
+  assert(F < P.Fields.size() && "field id out of range");
+  assert(A != TaintAnnot::Sanitizer && "a field cannot be a sanitizer");
+  P.Fields[F].Taint = A;
+}
+
 Program Builder::take() {
   assert(P.Main != InvalidId && "program has no entry point");
   return std::move(P);

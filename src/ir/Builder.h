@@ -136,6 +136,14 @@ public:
   /// the callee flow into \p CatchVar.
   void setCatchVar(InvokeId I, VarId CatchVar);
 
+  /// Annotates call site \p I for the taint client (Source / Sink /
+  /// Sanitizer; see ir::TaintAnnot).
+  void setInvokeTaint(InvokeId I, TaintAnnot A);
+
+  /// Annotates field \p F for the taint client (Source or Sink; a field
+  /// cannot be a Sanitizer).
+  void setFieldTaint(FieldId F, TaintAnnot A);
+
   const Program &program() const { return P; }
 
   /// Finalizes and moves the program out of the builder.

@@ -49,10 +49,23 @@ struct Type {
   bool IsAbstract = false;
 };
 
+/// Taint annotation attached to a call site or a field. The taint client
+/// (clients/Taint.h) consumes these through the extracted facts:
+///  - Source: values produced here (a call's result, a field's content)
+///    are tainted.
+///  - Sink: tainted values must not reach here (a call's actuals, a
+///    field's stored values).
+///  - Sanitizer: call sites only — the call's result is trusted clean
+///    even when its inputs were tainted.
+enum class TaintAnnot : std::uint8_t { None = 0, Source, Sink, Sanitizer };
+
 /// A field signature. The analysis is field-sensitive by signature, as in
 /// the paper's ΣF alphabet, so fields are global entities.
 struct Field {
   std::string Name;
+  /// Source or Sink only; Sanitizer is rejected by validate() (a field
+  /// cannot launder values).
+  TaintAnnot Taint = TaintAnnot::None;
 };
 
 /// A static (global) field. The paper's evaluated implementation handles
@@ -141,6 +154,9 @@ struct Invocation {
   /// the invocation has no handler (exceptions then vanish — the caller's
   /// own throw set is a possible extension, kept simple here).
   VarId CatchVar = InvalidId;
+  /// Taint-client annotation of this call site (see TaintAnnot). Source
+  /// and Sanitizer require a bound Result; validate() enforces this.
+  TaintAnnot Taint = TaintAnnot::None;
 };
 
 /// A method body.

@@ -33,6 +33,12 @@ public:
       checkInvoke(I);
     for (HeapId H = 0; H < P.Heaps.size(); ++H)
       checkHeap(H);
+    for (FieldId F = 0; F < P.Fields.size(); ++F)
+      if (P.Fields[F].Taint == TaintAnnot::Sanitizer)
+        fail("field", F,
+             "field '" + P.Fields[F].Name +
+                 "' cannot be a sanitizer (fields hold values, they do "
+                 "not launder them)");
     return Report.str();
   }
 
@@ -183,6 +189,17 @@ private:
              "spawn invocation '" + Inv.Name +
                  "' cannot catch (exceptions die with the thread)");
     }
+    if ((Inv.Taint == TaintAnnot::Source ||
+         Inv.Taint == TaintAnnot::Sanitizer) &&
+        Inv.Result == InvalidId)
+      fail("invoke", I,
+           "invocation '" + Inv.Name + "' is a taint " +
+               (Inv.Taint == TaintAnnot::Source ? "source" : "sanitizer") +
+               " but discards its result");
+    if (Inv.Taint == TaintAnnot::Sink && Inv.Actuals.empty())
+      fail("invoke", I,
+           "invocation '" + Inv.Name + "' is a taint sink but takes no "
+                                       "actuals");
     if (Inv.IsStatic) {
       if (Inv.StaticTarget >= P.Methods.size()) {
         fail("invoke", I,

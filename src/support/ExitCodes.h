@@ -37,6 +37,19 @@ enum ExitCode : int {
   ExitFindings = 4,
 };
 
+/// The exit code of a ctp-lint run that completed its checks. Precedence:
+/// degraded (3) wins over warnings (4). A degraded run's findings may be
+/// incomplete, so "there are warnings" is not a trustworthy summary of it
+/// — and orchestrators treat 3 as "re-run me (with --resume / a bigger
+/// budget)", which is the actionable signal; the warnings are still in
+/// the report either way. A run that is neither degraded nor warned is
+/// clean (0).
+inline ExitCode lintExitCode(bool Degraded, bool HasWarnings) {
+  if (Degraded)
+    return ExitDegraded;
+  return HasWarnings ? ExitFindings : ExitOk;
+}
+
 } // namespace ctp
 
 #endif // CTP_SUPPORT_EXITCODES_H

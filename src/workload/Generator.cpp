@@ -85,6 +85,22 @@ struct Skeleton {
   // Field both spawner and worker access on the shared argument.
   FieldId SharedField = InvalidId;
 
+  // Taint infrastructure (built when TaintScenarios > 0). Every entity
+  // name carries the "tnt" marker so toggling the taint surface leaves
+  // all other generated facts byte-identical.
+  TypeId TaintSourceClass = InvalidId;    // TntReader.tntread()
+  SigId TaintSourceSig = InvalidId;
+  TypeId TaintProbeClass = InvalidId;     // TntProbe.tntprobe() (dead src)
+  SigId TaintProbeSig = InvalidId;
+  TypeId TaintSinkClass = InvalidId;      // TntGate.tntwrite(p)
+  SigId TaintSinkSig = InvalidId;
+  TypeId TaintCleanserClass = InvalidId;  // TntCleanser.tntcleanse(p)
+  SigId TaintCleanserSig = InvalidId;
+  TypeId TaintBoxClass = InvalidId;       // TntBox.tntput/tnttake
+  SigId TaintPutSig = InvalidId, TaintTakeSig = InvalidId;
+  FieldId TaintSourceField = InvalidId;   // tntwell  (Source annotation)
+  FieldId TaintSinkField = InvalidId;     // tntdrain (Sink annotation)
+
   // AST pattern classes.
   TypeId NodeClass = InvalidId;
   SigId NodeInitSig = InvalidId, NodeGetParentSig = InvalidId;
@@ -94,8 +110,12 @@ struct Skeleton {
 
 class Synthesizer {
 public:
+  // Spawn and taint material draws from dedicated RNG streams so that
+  // toggling SpawnScenarios/WorkerClasses/TaintScenarios never advances
+  // the shared stream — everything else in the program stays identical.
   explicit Synthesizer(const WorkloadParams &Params)
-      : Params(Params), Rand(Params.Seed ^ 0xc7f7u) {}
+      : Params(Params), Rand(Params.Seed ^ 0xc7f7u),
+        SpawnRand(Params.Seed ^ 0x59a3u), TaintRand(Params.Seed ^ 0x7a17u) {}
 
   Program run() {
     buildSkeleton();
@@ -123,6 +143,7 @@ private:
     buildGlobals();
     buildThrowers();
     buildWorkers();
+    buildTaintClasses();
     if (Params.AstScenarios > 0)
       buildAstClasses();
     buildTasks();
@@ -180,17 +201,83 @@ private:
       VarId R = B.addLocal(Run, "r");
       B.addLoad(Run, R, Arg, Sk.SharedField);
       VarId V = B.addLocal(Run, "v");
-      B.addNew(Run, V, pickData(), "worker" + std::to_string(J) + "_out");
+      B.addNew(Run, V, pickDataWith(SpawnRand),
+               "worker" + std::to_string(J) + "_out");
       B.addStore(Run, Arg, Sk.SharedField, V);
       if (!Sk.Globals.empty() && J % 2 == 0)
         B.addGlobalStore(Run, Sk.Globals[J % Sk.Globals.size()], Arg);
       VarId L = B.addLocal(Run, "local");
-      B.addNew(Run, L, pickData(), "worker" + std::to_string(J) + "_local");
+      B.addNew(Run, L, pickDataWith(SpawnRand),
+               "worker" + std::to_string(J) + "_local");
       VarId L1 = B.addLocal(Run, "l1");
       B.addAssign(Run, L1, L);
       B.addReturn(Run, T);
       Sk.Workers.push_back({C, B.signature(Name, 1)});
     }
+  }
+
+  /// The taint client's fixture classes. A reader whose call sites are
+  /// annotated as sources (the body allocates the one "secret" site), a
+  /// gate whose call sites are sinks, a cleanser whose call sites are
+  /// sanitizers (its body allocates a fresh copy, so deep cleanliness
+  /// holds even without the annotation), a probe used only by the
+  /// dead-source shape, and a set/get box the container mix-up shape
+  /// routes values through. Plus two annotated fields: objects stored
+  /// into `tntwell` become tainted; stores into `tntdrain` are sinks.
+  void buildTaintClasses() {
+    if (Params.TaintScenarios == 0)
+      return;
+    Sk.TaintSourceField = B.addField("tntwell");
+    B.setFieldTaint(Sk.TaintSourceField, TaintAnnot::Source);
+    Sk.TaintSinkField = B.addField("tntdrain");
+    B.setFieldTaint(Sk.TaintSinkField, TaintAnnot::Sink);
+
+    // class TntReader { Object tntread() { s = new D; return s; } }
+    Sk.TaintSourceClass = B.addClass("TntReader", Sk.Root);
+    MethodId Read = B.addMethod(Sk.TaintSourceClass, "tntread", 0);
+    VarId S = B.addLocal(Read, "tntsecret");
+    B.addNew(Read, S, pickDataWith(TaintRand), "tntreadsite");
+    B.addReturn(Read, S);
+    Sk.TaintSourceSig = B.signature("tntread", 0);
+
+    // class TntProbe { Object tntprobe() { p = new D; return p; } }
+    Sk.TaintProbeClass = B.addClass("TntProbe", Sk.Root);
+    MethodId Probe = B.addMethod(Sk.TaintProbeClass, "tntprobe", 0);
+    VarId PV = B.addLocal(Probe, "tntpval");
+    B.addNew(Probe, PV, pickDataWith(TaintRand), "tntprobewell");
+    B.addReturn(Probe, PV);
+    Sk.TaintProbeSig = B.signature("tntprobe", 0);
+
+    // class TntGate { Object tntvault;
+    //                 Object tntwrite(p) { this.tntvault = p; return p; } }
+    FieldId Vault = B.addField("tntvault");
+    Sk.TaintSinkClass = B.addClass("TntGate", Sk.Root);
+    MethodId Write = B.addMethod(Sk.TaintSinkClass, "tntwrite", 1);
+    B.addStore(Write, B.thisVar(Write), Vault, B.formal(Write, 0));
+    B.addReturn(Write, B.formal(Write, 0));
+    Sk.TaintSinkSig = B.signature("tntwrite", 1);
+
+    // class TntCleanser { Object tntcleanse(p) { c = new D; return c; } }
+    Sk.TaintCleanserClass = B.addClass("TntCleanser", Sk.Root);
+    MethodId Cl = B.addMethod(Sk.TaintCleanserClass, "tntcleanse", 1);
+    VarId C = B.addLocal(Cl, "tntcopy");
+    B.addNew(Cl, C, pickDataWith(TaintRand), "tntcleansesite");
+    B.addReturn(Cl, C);
+    Sk.TaintCleanserSig = B.signature("tntcleanse", 1);
+
+    // class TntBox { Object tntslot;
+    //                void tntput(v) { this.tntslot = v; }
+    //                Object tnttake() { return this.tntslot; } }
+    FieldId Slot = B.addField("tntslot");
+    Sk.TaintBoxClass = B.addClass("TntBox", Sk.Root);
+    MethodId Put = B.addMethod(Sk.TaintBoxClass, "tntput", 1);
+    B.addStore(Put, B.thisVar(Put), Slot, B.formal(Put, 0));
+    Sk.TaintPutSig = B.signature("tntput", 1);
+    MethodId Take = B.addMethod(Sk.TaintBoxClass, "tnttake", 0);
+    VarId R = B.addLocal(Take, "tntout");
+    B.addLoad(Take, R, B.thisVar(Take), Slot);
+    B.addReturn(Take, R);
+    Sk.TaintTakeSig = B.signature("tnttake", 0);
   }
 
   /// class Task_j { Object run(p) { <scenario patterns> return ...; } }
@@ -470,6 +557,12 @@ private:
     return Sk.DataClasses[Rand.nextBelow(Sk.DataClasses.size())];
   }
 
+  /// Data-class pick from a caller-supplied stream (spawn/taint material
+  /// must not advance the shared stream).
+  TypeId pickDataWith(Rng &R) {
+    return Sk.DataClasses[R.nextBelow(Sk.DataClasses.size())];
+  }
+
   std::string site(const char *Kind) {
     return std::string(Kind) + "_" + std::to_string(SiteCounter++);
   }
@@ -489,14 +582,18 @@ private:
         LocalPool Pool{Driver, {B.formal(Driver, 0)}};
         VarId Cur = B.formal(Driver, 0);
         // Shared kernels: a random subset (at least one) of the tasks.
+        // Locals are named by the task's ordinal, not its class id — class
+        // ids shift when optional class families (workers, taint fixtures)
+        // are toggled, and names must not.
         bool Used = false;
-        for (const Skeleton::Task &T : Sk.Tasks) {
+        for (unsigned TI = 0; TI < Sk.Tasks.size(); ++TI) {
+          const Skeleton::Task &T = Sk.Tasks[TI];
           if (Used && !Rand.chancePercent(60))
             continue;
           Used = true;
-          VarId Recv = B.addLocal(Driver, "task" + std::to_string(T.Class));
+          VarId Recv = B.addLocal(Driver, "task" + std::to_string(TI));
           B.addNew(Driver, Recv, T.Class, site("task"));
-          VarId Out = B.addLocal(Driver, "tout" + std::to_string(T.Class));
+          VarId Out = B.addLocal(Driver, "tout" + std::to_string(TI));
           B.addVirtualCall(Driver, Recv, T.RunSig, {Cur}, Out,
                            site("runtask"));
           Pool.Vars.push_back(Out);
@@ -506,7 +603,9 @@ private:
         for (unsigned S = 0; S < Params.PrivateScenarios; ++S)
           emitScenario(Pool);
         for (unsigned S = 0; S < Params.SpawnScenarios; ++S)
-          emitSpawnScenario(Pool);
+          emitSpawnScenario(Driver);
+        for (unsigned S = 0; S < Params.TaintScenarios; ++S)
+          emitTaintScenario(Driver);
         for (unsigned L = 0; L < 2 && !Sk.Libs.empty(); ++L) {
           MethodId Lib = Sk.Libs[Rand.nextBelow(Sk.Libs.size())];
           VarId Out = B.addLocal(Driver, "libout" + std::to_string(L));
@@ -671,24 +770,156 @@ private:
     }
   }
 
-  /// shared = <pool obj>; w = new Worker_j; spawn w.work(shared);
+  /// shared = new D; w = new Worker_j; spawn w.work(shared);
   /// seen = shared.wshared; upd = new D; shared.wshared = upd;
   ///
   /// The spawner keeps touching the object it handed to the thread, so
   /// the worker's accesses and these form true race-candidate pairs.
-  void emitSpawnScenario(LocalPool &Pool) {
+  ///
+  /// Self-contained on purpose: dedicated locals (never the shared pool),
+  /// the spawn RNG stream, and a dedicated counter for "spw"-marked
+  /// names, so SpawnScenarios toggles without disturbing any other fact.
+  void emitSpawnScenario(MethodId M) {
     if (Sk.Workers.empty())
       return;
-    const auto &Wk = Sk.Workers[Rand.nextBelow(Sk.Workers.size())];
-    VarId Shared = pooledSource(Pool);
-    VarId W = B.addLocal(Pool.M, "worker" + std::to_string(SiteCounter));
-    B.addNew(Pool.M, W, Wk.Class, site("workeralloc"));
-    B.addSpawnCall(Pool.M, W, Wk.RunSig, {Shared}, site("spawn"));
-    VarId Seen = poolVar(Pool, "seen");
-    B.addLoad(Pool.M, Seen, Shared, Sk.SharedField);
-    VarId Upd = B.addLocal(Pool.M, "upd" + std::to_string(SiteCounter));
-    B.addNew(Pool.M, Upd, pickData(), site("update"));
-    B.addStore(Pool.M, Shared, Sk.SharedField, Upd);
+    unsigned N = SpawnCounter++;
+    auto Tag = [N](const char *Hint) {
+      return std::string(Hint) + "_" + std::to_string(N);
+    };
+    const auto &Wk = Sk.Workers[SpawnRand.nextBelow(Sk.Workers.size())];
+    VarId Shared = B.addLocal(M, Tag("spwshared"));
+    B.addNew(M, Shared, pickDataWith(SpawnRand), Tag("spwobj"));
+    VarId W = B.addLocal(M, Tag("spwworker"));
+    B.addNew(M, W, Wk.Class, Tag("spwalloc"));
+    B.addSpawnCall(M, W, Wk.RunSig, {Shared}, Tag("spwspawn"));
+    VarId Seen = B.addLocal(M, Tag("spwseen"));
+    B.addLoad(M, Seen, Shared, Sk.SharedField);
+    VarId Upd = B.addLocal(M, Tag("spwupd"));
+    B.addNew(M, Upd, pickDataWith(SpawnRand), Tag("spwupdsite"));
+    B.addStore(M, Shared, Sk.SharedField, Upd);
+  }
+
+  /// One taint scenario. The shape cycles deterministically with the
+  /// global scenario ordinal, so every preset with enough drivers covers
+  /// all six shapes and re-running the generator reproduces the same
+  /// source/sink placements. Like spawn scenarios, emission is fully
+  /// self-contained ("tnt"-marked names, taint RNG stream, no pool use).
+  void emitTaintScenario(MethodId M) {
+    if (Params.TaintScenarios == 0)
+      return;
+    unsigned N = TaintCounter++;
+    auto Tag = [N](const char *Hint) {
+      return std::string(Hint) + "_" + std::to_string(N);
+    };
+    // s = reader.tntread();  — call-site taint source (fresh receiver).
+    auto NewSource = [&]() {
+      VarId Rd = B.addLocal(M, Tag("tntrd"));
+      B.addNew(M, Rd, Sk.TaintSourceClass, Tag("tntrdsite"));
+      VarId S = B.addLocal(M, Tag("tntsec"));
+      InvokeId I =
+          B.addVirtualCall(M, Rd, Sk.TaintSourceSig, {}, S, Tag("tntread"));
+      B.setInvokeTaint(I, TaintAnnot::Source);
+      return S;
+    };
+    // gate.tntwrite(v);  — call-site taint sink (fresh receiver).
+    auto SinkOn = [&](VarId V) {
+      VarId G = B.addLocal(M, Tag("tntgate"));
+      B.addNew(M, G, Sk.TaintSinkClass, Tag("tntgatesite"));
+      InvokeId I = B.addVirtualCall(M, G, Sk.TaintSinkSig, {V}, InvalidId,
+                                    Tag("tntwrite"));
+      B.setInvokeTaint(I, TaintAnnot::Sink);
+    };
+    switch (N % 6) {
+    case 0: {
+      // Direct flow: reported under every config (true positive).
+      SinkOn(NewSource());
+      break;
+    }
+    case 1: {
+      // Container mix-up: the secret goes into one box, a clean object
+      // into a second box of the same class, and only the clean box is
+      // drained into the sink. Context-insensitively tntput's formal
+      // merges both stores across both receivers, so the sink sees the
+      // secret — a false positive that per-receiver (object-sensitive)
+      // contexts eliminate.
+      VarId Hot = B.addLocal(M, Tag("tnthotbox"));
+      B.addNew(M, Hot, Sk.TaintBoxClass, Tag("tnthotsite"));
+      VarId Cold = B.addLocal(M, Tag("tntcoldbox"));
+      B.addNew(M, Cold, Sk.TaintBoxClass, Tag("tntcoldsite"));
+      VarId S = NewSource();
+      B.addVirtualCall(M, Hot, Sk.TaintPutSig, {S}, InvalidId,
+                       Tag("tntputhot"));
+      VarId Clean = B.addLocal(M, Tag("tntcln"));
+      B.addNew(M, Clean, pickDataWith(TaintRand), Tag("tntclnsite"));
+      B.addVirtualCall(M, Cold, Sk.TaintPutSig, {Clean}, InvalidId,
+                       Tag("tntputcold"));
+      VarId Got = B.addLocal(M, Tag("tntgot"));
+      B.addVirtualCall(M, Cold, Sk.TaintTakeSig, {}, Got, Tag("tnttake"));
+      SinkOn(Got);
+      break;
+    }
+    case 2: {
+      // Sanitized flow: never reported. The cleanser's fresh-copy body
+      // already keeps the secret out of the sink's points-to set; the
+      // annotation additionally tells the checker to trust the result.
+      VarId S = NewSource();
+      VarId Cl = B.addLocal(M, Tag("tntcl"));
+      B.addNew(M, Cl, Sk.TaintCleanserClass, Tag("tntclsite"));
+      VarId Safe = B.addLocal(M, Tag("tntsafe"));
+      InvokeId I = B.addVirtualCall(M, Cl, Sk.TaintCleanserSig, {S}, Safe,
+                                    Tag("tntcleanse"));
+      B.setInvokeTaint(I, TaintAnnot::Sanitizer);
+      SinkOn(Safe);
+      break;
+    }
+    case 3: {
+      // Flow routed through a shared identity wrapper: a true positive
+      // whose witness crosses an interprocedural identity chain.
+      VarId S = NewSource();
+      VarId Out = B.addLocal(M, Tag("tntwout"));
+      if (!Sk.Wrappers.empty()) {
+        const auto &W = Sk.Wrappers[TaintRand.nextBelow(Sk.Wrappers.size())];
+        VarId Recv = B.addLocal(M, Tag("tntwrap"));
+        B.addNew(M, Recv, W.Class, Tag("tntwrapsite"));
+        B.addVirtualCall(M, Recv, W.TopSig, {S}, Out, Tag("tntcallwrap"));
+      } else {
+        B.addAssign(M, Out, S);
+      }
+      SinkOn(Out);
+      break;
+    }
+    case 4: {
+      // Field source: objects stored into `tntwell` become tainted and
+      // are then loaded back out and sunk (true positive).
+      VarId Holder = B.addLocal(M, Tag("tnthold"));
+      B.addNew(M, Holder, pickDataWith(TaintRand), Tag("tntholdsite"));
+      VarId Pay = B.addLocal(M, Tag("tntpay"));
+      B.addNew(M, Pay, pickDataWith(TaintRand), Tag("tntpaysite"));
+      B.addStore(M, Holder, Sk.TaintSourceField, Pay);
+      VarId Ld = B.addLocal(M, Tag("tntld"));
+      B.addLoad(M, Ld, Holder, Sk.TaintSourceField);
+      SinkOn(Ld);
+      break;
+    }
+    case 5: {
+      // Field sink (storing a secret into `tntdrain` is a true positive)
+      // plus a dead source: the probe's values reach no sink, so the
+      // checker reports a note-severity dead-source finding for it.
+      VarId S = NewSource();
+      VarId Holder = B.addLocal(M, Tag("tntdhold"));
+      B.addNew(M, Holder, pickDataWith(TaintRand), Tag("tntdholdsite"));
+      B.addStore(M, Holder, Sk.TaintSinkField, S);
+      VarId Pb = B.addLocal(M, Tag("tntpb"));
+      B.addNew(M, Pb, Sk.TaintProbeClass, Tag("tntpbsite"));
+      VarId Dead = B.addLocal(M, Tag("tntdead"));
+      InvokeId I = B.addVirtualCall(M, Pb, Sk.TaintProbeSig, {}, Dead,
+                                    Tag("tntprobe"));
+      B.setInvokeTaint(I, TaintAnnot::Source);
+      VarId Dead2 = B.addLocal(M, Tag("tntdead2"));
+      B.addAssign(M, Dead2, Dead);
+      break;
+    }
+    }
   }
 
   void emitAstScenario(LocalPool &Pool) {
@@ -715,10 +946,16 @@ private:
 
   WorkloadParams Params;
   Rng Rand;
+  // Dedicated streams and counters for spawn/taint material (see the
+  // constructor comment).
+  Rng SpawnRand;
+  Rng TaintRand;
   Builder B;
   Skeleton Sk;
   unsigned SiteCounter = 0;
   unsigned AllocCounter = 0;
+  unsigned SpawnCounter = 0;
+  unsigned TaintCounter = 0;
 };
 
 } // namespace

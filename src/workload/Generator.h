@@ -85,10 +85,27 @@ struct WorkloadParams {
   /// the escape and race-candidate checkers classify.
   unsigned WorkerClasses = 0;
   /// Thread-spawn scenarios per driver: allocate a worker, `spawn`-invoke
-  /// its run signature with a pooled shared object, then read AND write
+  /// its run signature with a fresh shared object, then read AND write
   /// the same field of that object from the spawning driver (a genuine
   /// race-candidate pair). 0 disables threading.
+  ///
+  /// Spawn and taint scenarios are emitted from dedicated RNG streams and
+  /// dedicated site/name counters, and never touch the shared local pool:
+  /// toggling SpawnScenarios/WorkerClasses or TaintScenarios changes only
+  /// entities whose names carry the "spw"/"work"/"tnt" markers — every
+  /// other generated fact is byte-identical, so name-based fact
+  /// fingerprints of the rest of the program are stable across toggles.
   unsigned SpawnScenarios = 0;
+  /// Taint scenarios per driver. Emission cycles deterministically through
+  /// six source-to-sink flow shapes: a direct flow (reported under every
+  /// config), a two-container mix-up (a false positive under the
+  /// insensitive config that object sensitivity kills), a sanitized flow
+  /// (never reported), a flow routed through a shared identity wrapper, a
+  /// tainted-field flow, and a sink-field store plus a dead source whose
+  /// values reach no sink. 0 disables the taint surface entirely: no
+  /// source/sink/sanitizer classes are built and no taint annotations are
+  /// emitted.
+  unsigned TaintScenarios = 0;
   std::uint64_t Seed = 1;
 };
 

@@ -23,19 +23,20 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     // Wrapper-heavy (parser actions delegate through helper chains).
     P.DataClasses = 8;
     P.WrapperChains = 6;
-    P.WrapperDepth = 3;
+    P.WrapperDepth = 4;
     P.Factories = 3;
-    P.Containers = 3;
+    P.Containers = 4;
     P.PolyBases = 2;
-    P.PolyVariants = 3;
-    P.Drivers = 7;
-    P.Scenarios = 10;
+    P.PolyVariants = 4;
+    P.Drivers = 8;
+    P.Scenarios = 12;
     P.TaskClasses = 3;
     P.LibMethods = 5;
-    P.PrivateScenarios = 14;
+    P.PrivateScenarios = 16;
     P.GlobalFields = 5;
     P.WorkerClasses = 2;
     P.SpawnScenarios = 2;
+    P.TaintScenarios = 2;
     P.Seed = 0xA17;
     return P;
   }
@@ -58,6 +59,7 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.GlobalFields = 4;
     P.WorkerClasses = 2;
     P.SpawnScenarios = 1;
+    P.TaintScenarios = 2;
     P.Seed = 0xB10;
     return P;
   }
@@ -78,6 +80,7 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.GlobalFields = 6;
     P.WorkerClasses = 3;
     P.SpawnScenarios = 2;
+    P.TaintScenarios = 2;
     P.Seed = 0xC4A;
     return P;
   }
@@ -98,6 +101,7 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.GlobalFields = 5;
     P.WorkerClasses = 3;
     P.SpawnScenarios = 2;
+    P.TaintScenarios = 2;
     P.Seed = 0xEC1;
     return P;
   }
@@ -118,6 +122,7 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.GlobalFields = 3;
     P.WorkerClasses = 1;
     P.SpawnScenarios = 1;
+    P.TaintScenarios = 2;
     P.Seed = 0x1DE;
     return P;
   }
@@ -137,6 +142,7 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.GlobalFields = 4;
     P.WorkerClasses = 2;
     P.SpawnScenarios = 2;
+    P.TaintScenarios = 2;
     P.Seed = 0x9DD;
     return P;
   }
@@ -157,6 +163,7 @@ WorkloadParams workload::presetParams(const std::string &Name) {
     P.GlobalFields = 5;
     P.WorkerClasses = 2;
     P.SpawnScenarios = 2;
+    P.TaintScenarios = 2;
     P.Seed = 0x8A1;
     return P;
   }

@@ -19,15 +19,22 @@
 #include "clients/Diagnostics.h"
 #include "clients/Escape.h"
 #include "clients/RaceCandidates.h"
+#include "clients/Taint.h"
 #include "facts/Extract.h"
 #include "ir/Builder.h"
+#include "support/ExitCodes.h"
 #include "workload/Presets.h"
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
+#include <vector>
 
 using namespace ctp;
 using namespace ctp::ir;
@@ -42,13 +49,14 @@ analysis::Results solveBoth(const facts::FactDB &DB, const ctx::Config &Cfg,
   return analysis::solve(DB, Cfg);
 }
 
-/// Runs all three checkers and returns the finalized report.
+/// Runs the full checker suite and returns the finalized report.
 clients::Report lintAll(const facts::FactDB &DB, const analysis::Results &R) {
   clients::SourceMap SM(DB);
   clients::Report Rep;
   clients::checkEscape(DB, R, SM, Rep);
   clients::checkRaces(DB, R, SM, Rep);
   clients::checkCastSafety(DB, R, SM, Rep);
+  clients::checkTaint(DB, R, SM, Rep);
   Rep.finalize();
   return Rep;
 }
@@ -264,6 +272,215 @@ TEST(CastSafetyTest, ProvesSafeFlagsUnsafeNotesUnreachable) {
 }
 
 //===----------------------------------------------------------------------===//
+// Taint checker
+//===----------------------------------------------------------------------===//
+
+/// One secret flows straight into a sink, one is laundered through a
+/// fresh-copy sanitizer first, and a third source's value never reaches
+/// any sink.
+TEST(TaintTest, DirectFlowWarnsSanitizedFlowIsQuietDeadSourceNoted) {
+  Builder B;
+  TypeId Obj = B.addClass("Object");
+  TypeId Secret = B.addClass("Secret", Obj);
+  MethodId Read = B.addStaticMethod(Obj, "read", 0);
+  VarId RV = B.addLocal(Read, "rv");
+  B.addNew(Read, RV, Secret, "h_secret");
+  B.addReturn(Read, RV);
+  MethodId Clean = B.addStaticMethod(Obj, "clean", 1);
+  VarId CV = B.addLocal(Clean, "cv");
+  B.addNew(Clean, CV, Secret, "h_copy");
+  B.addReturn(Clean, CV);
+  MethodId Probe = B.addStaticMethod(Obj, "probe", 0);
+  VarId PV = B.addLocal(Probe, "pv");
+  B.addNew(Probe, PV, Secret, "h_unused");
+  B.addReturn(Probe, PV);
+  MethodId Consume = B.addStaticMethod(Obj, "consume", 1);
+
+  MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  VarId T = B.addLocal(Main, "t");
+  InvokeId SrcDirect = B.addStaticCall(Main, Read, {}, T, "src_direct");
+  B.setInvokeTaint(SrcDirect, TaintAnnot::Source);
+  InvokeId SinkHot = B.addStaticCall(Main, Consume, {T}, InvalidId, "sink_hot");
+  B.setInvokeTaint(SinkHot, TaintAnnot::Sink);
+  VarId S = B.addLocal(Main, "s");
+  InvokeId SrcSanit = B.addStaticCall(Main, Read, {}, S, "src_sanitized");
+  B.setInvokeTaint(SrcSanit, TaintAnnot::Source);
+  VarId C = B.addLocal(Main, "c");
+  InvokeId Cleanse = B.addStaticCall(Main, Clean, {S}, C, "cleanse");
+  B.setInvokeTaint(Cleanse, TaintAnnot::Sanitizer);
+  InvokeId SinkCold =
+      B.addStaticCall(Main, Consume, {C}, InvalidId, "sink_cold");
+  B.setInvokeTaint(SinkCold, TaintAnnot::Sink);
+  VarId D = B.addLocal(Main, "d");
+  InvokeId SrcDead = B.addStaticCall(Main, Probe, {}, D, "src_dead");
+  B.setInvokeTaint(SrcDead, TaintAnnot::Source);
+
+  facts::FactDB DB = facts::extract(B.take());
+  analysis::Results R =
+      analysis::solve(DB, ctx::insensitive(Abstraction::TransformerString));
+  clients::SourceMap SM(DB);
+  clients::Report Rep;
+  std::map<std::string, clients::TaintEndpoint> EPs;
+  clients::checkTaint(DB, R, SM, Rep, &EPs);
+  Rep.finalize();
+
+  std::vector<const clients::Finding *> Flows, Dead;
+  for (const clients::Finding &F : Rep.findings()) {
+    if (F.RuleId == "taint.flow")
+      Flows.push_back(&F);
+    else if (F.RuleId == "taint.dead-source")
+      Dead.push_back(&F);
+  }
+  // Exactly the direct flow warns; the laundered copy h_copy is clean.
+  ASSERT_EQ(Flows.size(), 1u);
+  EXPECT_NE(Flows[0]->Message.find("'h_secret'"), std::string::npos);
+  EXPECT_NE(Flows[0]->Message.find("'sink_hot'"), std::string::npos);
+  ASSERT_GE(Flows[0]->Witness.size(), 2u);
+  EXPECT_NE(Flows[0]->Witness.front().Note.find("source call"),
+            std::string::npos);
+  EXPECT_NE(Flows[0]->Witness.back().Note.find("sink call"),
+            std::string::npos);
+  // The endpoint side-table names main's 't' on both ends (the sink
+  // actual is itself the source call's result).
+  ASSERT_EQ(EPs.count(Flows[0]->Id), 1u);
+  const clients::TaintEndpoint &EP = EPs.at(Flows[0]->Id);
+  EXPECT_EQ(DB.VarNames[EP.SinkVar], "Object.main/t");
+  EXPECT_EQ(DB.VarNames[EP.SourceVar], "Object.main/t");
+  EXPECT_EQ(DB.HeapNames[EP.Heap], "h_secret");
+  // Only probe's value reaches no sink; the laundered source still fed
+  // h_secret, which DID reach a sink elsewhere.
+  ASSERT_EQ(Dead.size(), 1u);
+  EXPECT_NE(Dead[0]->Message.find("'src_dead'"), std::string::npos);
+}
+
+/// The headline taint property on real workloads: 2-object+H taint.flow
+/// warnings are a strict subset of the insensitive ones, per preset, per
+/// back-end.
+class TaintSubset
+    : public ::testing::TestWithParam<std::tuple<const char *, bool>> {};
+
+TEST_P(TaintSubset, TwoObjectTaintWarningsAreStrictSubsetOfInsensitive) {
+  const char *Preset = std::get<0>(GetParam());
+  const bool UseDatalog = std::get<1>(GetParam());
+  facts::FactDB DB = facts::extract(workload::generatePreset(Preset));
+  auto Ids = [&](const ctx::Config &Cfg) {
+    analysis::Results R = solveBoth(DB, Cfg, UseDatalog);
+    clients::Report Rep = lintAll(DB, R);
+    std::set<std::string> Out;
+    for (const clients::Finding &F : Rep.findings())
+      if (F.RuleId == "taint.flow")
+        Out.insert(F.Id);
+    return Out;
+  };
+  std::set<std::string> Coarse =
+      Ids(ctx::insensitive(Abstraction::TransformerString));
+  std::set<std::string> Fine =
+      Ids(ctx::twoObjectH(Abstraction::TransformerString));
+  EXPECT_FALSE(Fine.empty());
+  for (const std::string &Id : Fine)
+    EXPECT_TRUE(Coarse.count(Id)) << "taint.flow " << Id
+                                  << " appears only at 2-object+H";
+  // Context sensitivity genuinely prunes container false positives here.
+  EXPECT_LT(Fine.size(), Coarse.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndEngines, TaintSubset,
+    ::testing::Combine(::testing::Values("luindex", "pmd"),
+                       ::testing::Values(false, true)),
+    [](const ::testing::TestParamInfo<std::tuple<const char *, bool>> &Info) {
+      return std::string(std::get<0>(Info.param)) +
+             (std::get<1>(Info.param) ? "_Datalog" : "_Specialized");
+    });
+
+/// Witness replay: every step of every taint.flow witness anchors a ctp/
+/// pseudo-file and names only entities that exist in the fact base, both
+/// endpoints' variables really point to the tainted heap, and their
+/// context transformations compose — there is a pair (Ts, Tk) with
+/// pts(Source, H, Ts), pts(Sink, H, Tk) and comp(inv(Ts), Tk) defined,
+/// i.e. one concrete execution context reaches both ends.
+TEST(TaintWitnessTest, StepsNameRealEntitiesAndEndpointContextsCompose) {
+  facts::FactDB DB = facts::extract(workload::generatePreset("luindex"));
+  analysis::Results R =
+      analysis::solve(DB, ctx::twoObjectH(Abstraction::TransformerString));
+  clients::SourceMap SM(DB);
+  clients::Report Rep;
+  std::map<std::string, clients::TaintEndpoint> EPs;
+  clients::checkTaint(DB, R, SM, Rep, &EPs);
+  Rep.finalize();
+
+  std::set<std::string> Known;
+  for (const auto *Names :
+       {&DB.VarNames, &DB.HeapNames, &DB.MethodNames, &DB.InvokeNames,
+        &DB.FieldNames, &DB.GlobalNames})
+    Known.insert(Names->begin(), Names->end());
+  // Names quoted in a step's prose, with any trailing "[ctx ...]"
+  // annotation stripped first (it prints context elements, not entities).
+  auto QuotedNames = [](std::string Note) {
+    std::size_t Ctx = Note.find(" [ctx ");
+    if (Ctx != std::string::npos)
+      Note.resize(Ctx);
+    std::vector<std::string> Out;
+    for (std::size_t P = Note.find('\''); P != std::string::npos;) {
+      std::size_t E = Note.find('\'', P + 1);
+      if (E == std::string::npos)
+        break;
+      Out.push_back(Note.substr(P + 1, E - P - 1));
+      P = Note.find('\'', E + 1);
+    }
+    return Out;
+  };
+
+  const auto Pts = R.ciPts();
+  auto Holds = [&](facts::Id V, facts::Id H) {
+    return std::binary_search(Pts.begin(), Pts.end(),
+                              std::array<std::uint32_t, 2>{V, H});
+  };
+
+  std::size_t Flows = 0;
+  for (const clients::Finding &F : Rep.findings()) {
+    if (F.RuleId != "taint.flow")
+      continue;
+    ++Flows;
+    ASSERT_GE(F.Witness.size(), 2u);
+    for (const clients::WitnessStep &S : F.Witness) {
+      EXPECT_EQ(S.Loc.Uri.rfind("ctp/", 0), 0u) << S.Loc.Uri;
+      EXPECT_GE(S.Loc.Line, 1u);
+      for (const std::string &Name : QuotedNames(S.Note))
+        EXPECT_TRUE(Known.count(Name))
+            << "witness step names unknown entity '" << Name
+            << "' in: " << S.Note;
+    }
+    ASSERT_EQ(EPs.count(F.Id), 1u) << F.Id;
+    const clients::TaintEndpoint &EP = EPs.at(F.Id);
+    ASSERT_NE(EP.SinkVar, facts::InvalidId);
+    ASSERT_NE(EP.SourceVar, facts::InvalidId);
+    ASSERT_NE(EP.Heap, facts::InvalidId);
+    EXPECT_TRUE(Holds(EP.SinkVar, EP.Heap));
+    EXPECT_TRUE(Holds(EP.SourceVar, EP.Heap));
+    std::vector<ctx::TransformId> Ts, Tk;
+    for (const analysis::PtsFact &P : R.Pts) {
+      if (P.Heap != EP.Heap)
+        continue;
+      if (P.Var == EP.SourceVar)
+        Ts.push_back(P.T);
+      if (P.Var == EP.SinkVar)
+        Tk.push_back(P.T);
+    }
+    bool Composes = false;
+    for (ctx::TransformId A : Ts)
+      for (ctx::TransformId Bt : Tk)
+        if (R.Dom->comp(R.Dom->inv(A), Bt, 16, 16)) {
+          Composes = true;
+          break;
+        }
+    EXPECT_TRUE(Composes) << "endpoint contexts never compose for " << F.Id;
+  }
+  EXPECT_GT(Flows, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Diagnostics layer
 //===----------------------------------------------------------------------===//
 
@@ -323,6 +540,113 @@ TEST(DiagnosticsTest, SarifStructureIsWellFormed) {
     ++Count;
   EXPECT_EQ(Count, Rep.findings().size());
   EXPECT_GT(Count, 0u);
+}
+
+TEST(DiagnosticsTest, SarifCodeFlowsAreStructurallyValidForEveryChecker) {
+  facts::FactDB DB = facts::extract(workload::generatePreset("luindex"));
+  analysis::Results R =
+      analysis::solve(DB, ctx::insensitive(Abstraction::TransformerString));
+  clients::Report Rep = lintAll(DB, R);
+  std::string S = Rep.renderSarif("ctp-lint", "1.0.0");
+
+  // Every checker family contributed findings, so the codeFlow checks
+  // below exercise all of them.
+  for (const char *Family : {"escape.", "race.", "cast.", "taint."}) {
+    bool Fired = false;
+    for (const clients::Finding &F : Rep.findings())
+      Fired = Fired || F.RuleId.rfind(Family, 0) == 0;
+    EXPECT_TRUE(Fired) << Family;
+  }
+
+  auto Count = [&](const std::string &Key) {
+    std::size_t N = 0;
+    for (std::size_t P = S.find(Key); P != std::string::npos;
+         P = S.find(Key, P + 1))
+      ++N;
+    return N;
+  };
+  // Exactly one codeFlow holding one threadFlow per result, and every
+  // result keeps its fingerprints.
+  EXPECT_EQ(Count("\"codeFlows\""), Rep.findings().size());
+  EXPECT_EQ(Count("\"threadFlows\""), Rep.findings().size());
+  EXPECT_EQ(Count("\"partialFingerprints\""), Rep.findings().size());
+  // One threadFlowLocation per witness step across the whole report.
+  std::size_t Steps = 0;
+  for (const clients::Finding &F : Rep.findings())
+    Steps += F.Witness.size();
+  EXPECT_EQ(Count("\"executionOrder\""), Steps);
+
+  // Within each threadFlow, executionOrder counts 0, 1, 2, ...
+  long Expected = 0;
+  for (std::size_t P = 0;;) {
+    std::size_t TF = S.find("\"threadFlows\"", P);
+    std::size_t EO = S.find("\"executionOrder\": ", P);
+    if (EO == std::string::npos)
+      break;
+    if (TF != std::string::npos && TF < EO) {
+      Expected = 0;
+      P = TF + 1;
+      continue;
+    }
+    long Got = std::stol(S.substr(EO + 18));
+    EXPECT_EQ(Got, Expected) << "at offset " << EO;
+    ++Expected;
+    P = EO + 1;
+  }
+
+  // Every artifact URI is one of the ctp/ pseudo-files.
+  for (std::size_t P = S.find("\"uri\": \""); P != std::string::npos;
+       P = S.find("\"uri\": \"", P + 1)) {
+    std::size_t V = P + 8;
+    std::size_t E = S.find('"', V);
+    ASSERT_NE(E, std::string::npos);
+    std::string Uri = S.substr(V, E - V);
+    EXPECT_EQ(Uri.rfind("ctp/", 0), 0u) << Uri;
+    EXPECT_EQ(Uri.rfind(".java"), Uri.size() - 5) << Uri;
+  }
+}
+
+TEST(DiagnosticsTest, SarifIsByteIdenticalAcrossBackEnds) {
+  facts::FactDB DB = facts::extract(workload::generatePreset("luindex"));
+  auto Render = [&](bool UseDatalog) {
+    analysis::Results R = solveBoth(
+        DB, ctx::twoObjectH(Abstraction::TransformerString), UseDatalog);
+    return lintAll(DB, R).renderSarif("ctp-lint", "1.0.0");
+  };
+  std::string Native = Render(false), Datalog = Render(true);
+  EXPECT_FALSE(Native.empty());
+  // Same fixpoint, same projections, same witness rendering: the two
+  // back-ends must agree to the byte.
+  EXPECT_EQ(Native, Datalog);
+}
+
+TEST(DiagnosticsTest, ExplainRoundTripsEveryFindingId) {
+  facts::FactDB DB = facts::extract(workload::generatePreset("luindex"));
+  analysis::Results R =
+      analysis::solve(DB, ctx::oneObject(Abstraction::TransformerString));
+  clients::Report Rep = lintAll(DB, R);
+  EXPECT_FALSE(Rep.findings().empty());
+  for (const clients::Finding &F : Rep.findings()) {
+    ASSERT_EQ(Rep.findById(F.Id), &F);
+    std::string E = Rep.renderExplain(F.Id);
+    ASSERT_FALSE(E.empty()) << F.Id;
+    EXPECT_NE(E.find(F.RuleId), std::string::npos) << F.Id;
+    EXPECT_NE(E.find("witness ("), std::string::npos) << F.Id;
+  }
+  EXPECT_TRUE(Rep.renderExplain("0000000000000000").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Exit-code protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ExitCodeTest, DegradedTakesPrecedenceOverWarnings) {
+  EXPECT_EQ(lintExitCode(false, false), ExitOk);
+  EXPECT_EQ(lintExitCode(false, true), ExitFindings);
+  EXPECT_EQ(lintExitCode(true, false), ExitDegraded);
+  // The contested case: a degraded run with warnings reports 3, not 4 —
+  // its findings may be incomplete, so "re-run me" is the signal.
+  EXPECT_EQ(lintExitCode(true, true), ExitDegraded);
 }
 
 //===----------------------------------------------------------------------===//

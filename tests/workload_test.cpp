@@ -6,10 +6,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "facts/Extract.h"
+#include "facts/TsvIO.h"
 #include "workload/Generator.h"
 #include "workload/Presets.h"
 
 #include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 
 using namespace ctp;
 using workload::WorkloadParams;
@@ -63,6 +71,76 @@ TEST(WorkloadTest, ExtractsToConsistentFacts) {
     EXPECT_GT(DB.Stores.size(), 0u) << Name;
     EXPECT_GT(DB.Loads.size(), 0u) << Name;
   }
+}
+
+// Writes \p Params' facts as TSV, then returns per-file contents with
+// every line mentioning a spawn/taint-marked entity removed. Spawn and
+// taint material carries distinctive name markers ("spw"/"work"/"tnt"/
+// "wshared"/"held"), so the filtered view is exactly the scenario-free
+// remainder of the program.
+std::map<std::string, std::string> scenarioFreeFacts(
+    const WorkloadParams &Params, const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "/ctp_wl_toggle_" + Tag;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  facts::FactDB DB = facts::extract(workload::generate(Params));
+  EXPECT_EQ(facts::writeFactsDir(DB, Dir), "");
+  const char *Markers[] = {"tnt", "spw", "work", "wshared", "held"};
+  std::map<std::string, std::string> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    std::ifstream In(Entry.path());
+    std::ostringstream Kept;
+    std::string Line;
+    while (std::getline(In, Line)) {
+      std::string Lower = Line;
+      std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                     [](unsigned char C) { return std::tolower(C); });
+      bool Marked = false;
+      for (const char *M : Markers)
+        Marked |= Lower.find(M) != std::string::npos;
+      if (!Marked)
+        Kept << Line << '\n';
+    }
+    Files[Entry.path().filename().string()] = Kept.str();
+  }
+  std::filesystem::remove_all(Dir);
+  return Files;
+}
+
+// Satellite: toggling the spawn/taint scenario knobs must not perturb any
+// other generated fact. The name-based fact fingerprint gates `--resume`
+// snapshot reuse, so scenario flags have to shift only their own marked
+// entities, never the ids or names of the rest of the program.
+TEST(WorkloadTest, ScenarioTogglesLeaveOtherFactsStable) {
+  for (const std::string &Name : {std::string("luindex"), std::string("pmd")}) {
+    WorkloadParams On = workload::presetParams(Name);
+    ASSERT_GT(On.SpawnScenarios, 0u) << Name;
+    ASSERT_GT(On.TaintScenarios, 0u) << Name;
+    WorkloadParams Off = On;
+    Off.SpawnScenarios = 0;
+    Off.WorkerClasses = 0;
+    Off.TaintScenarios = 0;
+    auto WithScenarios = scenarioFreeFacts(On, Name + "_on");
+    auto WithoutScenarios = scenarioFreeFacts(Off, Name + "_off");
+    ASSERT_EQ(WithScenarios.size(), WithoutScenarios.size()) << Name;
+    for (const auto &[File, Content] : WithScenarios)
+      EXPECT_EQ(Content, WithoutScenarios[File]) << Name << "/" << File;
+  }
+}
+
+// The taint knob emits annotated sources, sinks, and sanitizers; turning
+// it off produces a program with no taint surface at all.
+TEST(WorkloadTest, TaintKnobControlsTaintFacts) {
+  WorkloadParams P = workload::presetParams("luindex");
+  facts::FactDB On = facts::extract(workload::generate(P));
+  EXPECT_GT(On.TaintSources.size(), 0u);
+  EXPECT_GT(On.TaintSinks.size(), 0u);
+  EXPECT_GT(On.Sanitizers.size(), 0u);
+  P.TaintScenarios = 0;
+  facts::FactDB Off = facts::extract(workload::generate(P));
+  EXPECT_EQ(Off.TaintSources.size(), 0u);
+  EXPECT_EQ(Off.TaintSinks.size(), 0u);
+  EXPECT_EQ(Off.Sanitizers.size(), 0u);
 }
 
 TEST(WorkloadTest, ZeroSizedKnobsStillProduceAProgram) {

@@ -4,9 +4,10 @@
 // Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
 //
 // Runs the checker suite (escape analysis, race-candidate detection,
-// cast safety) over one analysis configuration and emits the findings as
-// human-readable text or SARIF 2.1.0 JSON. Output is byte-deterministic:
-// two runs over the same input produce identical bytes.
+// cast safety, taint flow) over one analysis configuration and emits the
+// findings as human-readable text or SARIF 2.1.0 JSON. Output is
+// byte-deterministic: two runs over the same input produce identical
+// bytes.
 //
 // Usage:
 //   ctp-lint [options]
@@ -27,15 +28,22 @@
 //                          configuration ladder instead of stopping
 //     --lenient            skip (and count) malformed fact lines instead
 //                          of aborting the read
-//     --checks LIST        comma-separated subset of escape,race,cast
-//                          (default: all)
+//     --checks LIST        comma-separated subset of escape,race,cast,
+//                          taint (default: all)
+//     --provenance         record first-derivation provenance during the
+//                          solve (native back-end only); --explain then
+//                          appends the sink fact's derivation chain
+//     --explain ID         instead of the report, print the witness path
+//                          of the finding with stable id ID
 //     --format FMT         human (default) | sarif
 //     --out FILE           write the report to FILE instead of stdout
 //
 // Exit codes: 0 converged and no warnings, 1 runtime error, 2 usage
 // error, 3 completed degraded (budget-truncated or a fallback rung below
 // the requested configuration answered — findings may be incomplete),
-// 4 converged with at least one warning-severity finding.
+// 4 converged with at least one warning-severity finding. A run that is
+// both degraded and warned exits 3 — degraded wins; see
+// support/ExitCodes.h (lintExitCode).
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +54,7 @@
 #include "clients/Diagnostics.h"
 #include "clients/Escape.h"
 #include "clients/RaceCandidates.h"
+#include "clients/Taint.h"
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
 #include "support/ExitCodes.h"
@@ -55,6 +64,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 
 using namespace ctp;
@@ -75,13 +85,14 @@ int usage(const char *Prog) {
       "          [--collapse] [--datalog] [--deadline-ms N] "
       "[--max-derivations N]\n"
       "          [--max-tuples N] [--fallback] [--lenient]\n"
-      "          [--checks escape,race,cast] [--format human|sarif] "
-      "[--out FILE]\n"
+      "          [--checks escape,race,cast,taint] [--provenance] "
+      "[--explain ID]\n"
+      "          [--format human|sarif] [--out FILE]\n"
       "  presets: %s\n"
       "  configs: 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H,\n"
       "           2-hybrid+H, insensitive\n"
       "  exit codes: 0 clean, 1 error, 2 usage, 3 completed degraded,\n"
-      "              4 converged with warnings\n",
+      "              4 converged with warnings (3 wins over 4)\n",
       Prog, Presets.c_str());
   return ExitUsage;
 }
@@ -124,11 +135,13 @@ struct CheckSet {
   bool Escape = true;
   bool Race = true;
   bool Cast = true;
+  bool Taint = true;
 };
 
-/// Parses "escape,race,cast" subsets; \returns false on an unknown name.
+/// Parses "escape,race,cast,taint" subsets; \returns false on an unknown
+/// name.
 bool parseChecks(const std::string &List, CheckSet &Out) {
-  Out = {false, false, false};
+  Out = {false, false, false, false};
   std::size_t Pos = 0;
   while (Pos <= List.size()) {
     std::size_t Comma = List.find(',', Pos);
@@ -140,25 +153,27 @@ bool parseChecks(const std::string &List, CheckSet &Out) {
       Out.Race = true;
     else if (Name == "cast")
       Out.Cast = true;
+    else if (Name == "taint")
+      Out.Taint = true;
     else if (Name == "all")
-      Out = {true, true, true};
+      Out = {true, true, true, true};
     else if (!Name.empty())
       return false;
     if (Comma == std::string::npos)
       break;
     Pos = Comma + 1;
   }
-  return Out.Escape || Out.Race || Out.Cast;
+  return Out.Escape || Out.Race || Out.Cast || Out.Taint;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string FactsDir, Preset, OutFile, ConfigName = "2-object+H",
+  std::string FactsDir, Preset, OutFile, ExplainId, ConfigName = "2-object+H",
                                          Format = "human";
   ctx::Abstraction Abs = ctx::Abstraction::TransformerString;
   bool Collapse = false, UseDatalog = false, Fallback = false,
-       Lenient = false;
+       Lenient = false, Provenance = false;
   BudgetSpec Budget;
   CheckSet Checks;
 
@@ -225,6 +240,13 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
     } else if (Arg == "--fallback") {
       Fallback = true;
+    } else if (Arg == "--provenance") {
+      Provenance = true;
+    } else if (Arg == "--explain") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      ExplainId = V;
     } else if (Arg == "--lenient") {
       Lenient = true;
     } else if (Arg == "--checks") {
@@ -295,6 +317,15 @@ int main(int argc, char **argv) {
     return ExitError;
   }
 
+  if (Provenance && (UseDatalog || Fallback)) {
+    // The recorder hooks the native solver's insertion sites; the Datalog
+    // engine (and the fallback ladder, which may route through it) does
+    // not expose per-tuple firing order.
+    std::fprintf(stderr, "warning: --provenance is native-solver-only; "
+                         "recording disabled for this run\n");
+    Provenance = false;
+  }
+
   analysis::Results R;
   bool Degraded = false;
   if (Fallback) {
@@ -312,10 +343,13 @@ int main(int argc, char **argv) {
       analysis::SolverOptions Opts;
       Opts.CollapseSubsumedPts = Collapse;
       Opts.Budget = Budget;
+      Opts.Provenance.Enabled = Provenance;
       R = analysis::solve(DB, Cfg, Opts);
     }
     Degraded = R.Stat.Term != TerminationReason::Converged;
   }
+  if (!R.Stat.ProvenanceDropped.empty())
+    std::fprintf(stderr, "warning: %s\n", R.Stat.ProvenanceDropped.c_str());
   if (Degraded)
     std::fprintf(stderr,
                  "warning: analysis did not converge at the requested "
@@ -323,17 +357,54 @@ int main(int argc, char **argv) {
 
   clients::SourceMap SM(DB);
   clients::Report Report;
+  std::map<std::string, clients::TaintEndpoint> Endpoints;
   if (Checks.Escape)
     clients::checkEscape(DB, R, SM, Report);
   if (Checks.Race)
     clients::checkRaces(DB, R, SM, Report);
   if (Checks.Cast)
     clients::checkCastSafety(DB, R, SM, Report);
+  if (Checks.Taint)
+    clients::checkTaint(DB, R, SM, Report, &Endpoints);
   Report.finalize();
 
-  std::string Rendered = Format == "sarif"
-                             ? Report.renderSarif("ctp-lint", "1.0.0")
-                             : Report.renderHuman();
+  std::string Rendered;
+  if (!ExplainId.empty()) {
+    Rendered = Report.renderExplain(ExplainId);
+    if (Rendered.empty()) {
+      std::fprintf(stderr, "error: no finding with id '%s'\n",
+                   ExplainId.c_str());
+      return ExitError;
+    }
+    // With provenance recorded, a taint finding's explanation also gets
+    // the derivation chain of the sink-side points-to fact.
+    auto EP = Endpoints.find(ExplainId);
+    if (R.Prov && R.Dom && R.ReachCtxts && EP != Endpoints.end()) {
+      // Pick the fact whose rendering is smallest — content-ordered, the
+      // same tie-break the witness endpoint annotations use.
+      std::uint32_t Node = analysis::ProvenanceGraph::InvalidNode;
+      std::string Best;
+      for (const auto &F : R.Pts)
+        if (F.Var == EP->second.SinkVar && F.Heap == EP->second.Heap) {
+          std::uint32_t N =
+              R.Prov->lookup(analysis::ProvRel::Pts, analysis::keyOf(F));
+          if (N == analysis::ProvenanceGraph::InvalidNode)
+            continue;
+          std::string S = R.Dom->toString(F.T);
+          if (Node == analysis::ProvenanceGraph::InvalidNode || S < Best) {
+            Node = N;
+            Best = std::move(S);
+          }
+        }
+      if (Node != analysis::ProvenanceGraph::InvalidNode)
+        Rendered += "  derivation of the sink points-to fact:\n" +
+                    analysis::renderProvenanceChain(*R.Prov, Node, DB,
+                                                    *R.Dom, *R.ReachCtxts);
+    }
+  } else {
+    Rendered = Format == "sarif" ? Report.renderSarif("ctp-lint", "1.0.0")
+                                 : Report.renderHuman();
+  }
   if (OutFile.empty()) {
     std::fwrite(Rendered.data(), 1, Rendered.size(), stdout);
   } else {
@@ -350,8 +421,6 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (Degraded)
-    return ExitDegraded;
-  return Report.countAtLeast(clients::Severity::Warning) > 0 ? ExitFindings
-                                                             : ExitOk;
+  return lintExitCode(Degraded,
+                      Report.countAtLeast(clients::Severity::Warning) > 0);
 }
