@@ -12,15 +12,21 @@
 # gracefully when clang-tidy is not installed).
 #
 # Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]
+#                          [--batch]
 #
 # --crashloop additionally runs the out-of-process kill/resume loop
 # (scripts/crashloop.sh) against the fresh build — the same loop ctest
 # runs under the "robustness" label.
 #
+# --batch additionally smokes the batch supervisor: a ctp-batch --chaos
+# run over 3 presets x 2 configs with a tight chaos budget must
+# terminate with a complete report and exit 0.
+#
 # --tsan additionally builds with ThreadSanitizer (-DCTP_SANITIZE=thread)
 # and smokes the concurrency-adjacent suites under it: the resource
-# governor (watchdog thread + cancellation flag) and the crash-safety
-# snapshot/resume tests.
+# governor (watchdog thread + cancellation flag), the crash-safety
+# snapshot/resume tests, and one supervised chaos run through ctp-batch
+# (heartbeat writes race budget polls; TSAN must stay quiet).
 #
 #===----------------------------------------------------------------------===#
 
@@ -31,14 +37,17 @@ SANITIZE=1
 TIDY=0
 CRASHLOOP=0
 TSAN=0
+BATCH=0
 for ARG in "$@"; do
   case "$ARG" in
     --no-sanitize) SANITIZE=0 ;;
     --tidy) TIDY=1 ;;
     --crashloop) CRASHLOOP=1 ;;
     --tsan) TSAN=1 ;;
+    --batch) BATCH=1 ;;
     *)
-      echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]" >&2
+      echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]" \
+           "[--tsan] [--batch]" >&2
       exit 2
       ;;
   esac
@@ -59,6 +68,16 @@ if [[ "$CRASHLOOP" == 1 ]]; then
   CTP_ANALYZE=build/tools/ctp-analyze scripts/crashloop.sh
 fi
 
+if [[ "$BATCH" == 1 ]]; then
+  echo "== batch supervisor chaos smoke =="
+  WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_batch_smoke.XXXXXX")"
+  build/tools/ctp-batch --work "$WORK" \
+    --presets antlr,luindex,pmd --configs 2-object+H,insensitive \
+    --analyze build/tools/ctp-analyze --checkpoint-every 500 \
+    --chaos --seed 11 --chaos-kills 3
+  rm -rf "$WORK"
+fi
+
 if [[ "$TIDY" == 1 ]]; then
   echo "== clang-tidy =="
   scripts/tidy.sh build
@@ -68,9 +87,16 @@ if [[ "$TSAN" == 1 ]]; then
   echo "== ThreadSanitizer smoke (governor + checkpoint/resume) =="
   cmake -B build-tsan -S . -DCTP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" \
-    --target governor_test snapshot_test resume_test
+    --target governor_test snapshot_test resume_test ctp-analyze ctp-batch
   ctest --test-dir build-tsan -j"$(nproc)" \
     -R '^(governor_test|snapshot_test|resume_test)$' --output-on-failure
+  echo "== ThreadSanitizer supervised chaos run =="
+  WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_tsan_batch.XXXXXX")"
+  build-tsan/tools/ctp-batch --work "$WORK" \
+    --presets antlr --configs insensitive,2-object+H \
+    --analyze build-tsan/tools/ctp-analyze --checkpoint-every 500 \
+    --chaos --seed 3 --chaos-kills 2
+  rm -rf "$WORK"
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

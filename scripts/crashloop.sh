@@ -18,9 +18,17 @@
 # exactly.
 #
 # Usage: scripts/crashloop.sh [--preset NAME] [--config NAME]
-#                             [--budget N] [--max-iters N]
+#                             [--budget N] [--max-iters N] [--batch]
 # Env:   CTP_ANALYZE  path to the ctp-analyze binary
 #                     (default: build/tools/ctp-analyze next to this repo)
+#        CTP_BATCH    path to ctp-batch (--batch mode only; default
+#                     build/tools/ctp-batch)
+#
+# --batch runs the supervised variant instead: a ctp-batch --chaos matrix
+# (3 presets x 2 configs, seeded SIGKILL injection) must terminate with a
+# complete report and exit 0; then the supervisor itself is SIGKILLed
+# mid-run on a fresh work tree and re-invoked, and every job that
+# finished in the first life must keep a byte-identical report row.
 #
 #===----------------------------------------------------------------------===#
 
@@ -31,15 +39,17 @@ PRESET=antlr
 CONFIG=2-object+H
 BUDGET=6000
 MAX_ITERS=40
+BATCH=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
     --config) CONFIG="$2"; shift 2 ;;
     --budget) BUDGET="$2"; shift 2 ;;
     --max-iters) MAX_ITERS="$2"; shift 2 ;;
+    --batch) BATCH=1; shift ;;
     *)
       echo "usage: scripts/crashloop.sh [--preset NAME] [--config NAME]" \
-           "[--budget N] [--max-iters N]" >&2
+           "[--budget N] [--max-iters N] [--batch]" >&2
       exit 2
       ;;
   esac
@@ -54,6 +64,88 @@ fi
 
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_crashloop.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
+
+if [[ "$BATCH" -eq 1 ]]; then
+  BATCH_BIN="${CTP_BATCH:-build/tools/ctp-batch}"
+  if [[ ! -x "$BATCH_BIN" ]]; then
+    echo "error: ctp-batch not found at '$BATCH_BIN' (build first or set" \
+         "CTP_BATCH)" >&2
+    exit 1
+  fi
+  MATRIX=(--presets antlr,luindex,pmd --configs 2-object+H,insensitive
+          --analyze "$ANALYZE" --checkpoint-every 500)
+  rows() { grep -E '^[a-z]+/' "$1"; }
+
+  echo "== batch 1: chaos matrix must terminate with a complete report =="
+  set +e
+  "$BATCH_BIN" --work "$WORK/chaos" "${MATRIX[@]}" \
+    --chaos --seed 7 --chaos-kills 4 > "$WORK/chaos.out" 2>&1
+  CODE=$?
+  set -e
+  if [[ "$CODE" -ne 0 ]]; then
+    echo "FAIL: chaos batch exited $CODE" >&2
+    cat "$WORK/chaos.out" >&2
+    exit 1
+  fi
+  if [[ "$(rows "$WORK/chaos.out" | wc -l)" -ne 6 ]]; then
+    echo "FAIL: chaos report is missing rows" >&2
+    cat "$WORK/chaos.out" >&2
+    exit 1
+  fi
+  KILLS="$(grep -c '"class":"chaos-kill"' "$WORK/chaos/journal.jsonl" || true)"
+  echo "   complete report, $KILLS chaos kill(s) injected and recovered"
+
+  echo "== batch 2: SIGKILL the supervisor mid-run, re-invoke, compare =="
+  "$BATCH_BIN" --work "$WORK/half" "${MATRIX[@]}" \
+    > "$WORK/half1.out" 2>&1 &
+  SUP=$!
+  # Let some (but not all) jobs finish, then kill the supervisor dead.
+  for _ in $(seq 1 200); do
+    N="$(grep -c '"type":"outcome"' "$WORK/half/journal.jsonl" \
+         2>/dev/null || true)"
+    [[ "${N:-0}" -ge 2 ]] && break
+    sleep 0.1
+  done
+  kill -9 "$SUP" 2>/dev/null || true
+  wait "$SUP" 2>/dev/null || true
+  FINISHED="$(grep -c '"type":"outcome"' "$WORK/half/journal.jsonl")"
+  if [[ "$FINISHED" -lt 1 || "$FINISHED" -ge 6 ]]; then
+    echo "note: supervisor died with $FINISHED finished job(s);" \
+         "replay check degenerates but still runs"
+  fi
+  # Render the finished subset's rows twice: once right now (replay-only
+  # run over the same matrix) and once after the batch completes.
+  "$BATCH_BIN" --work "$WORK/half" "${MATRIX[@]}" > "$WORK/half2.out" 2>&1
+  FROM_JOURNAL_ROWS="$WORK/expected_rows.txt"
+  rows "$WORK/half2.out" > "$FROM_JOURNAL_ROWS"
+  if [[ "$(wc -l < "$FROM_JOURNAL_ROWS")" -ne 6 ]]; then
+    echo "FAIL: resumed batch report incomplete" >&2
+    cat "$WORK/half2.out" >&2
+    exit 1
+  fi
+  # A third invocation replays everything: rows must be byte-identical.
+  "$BATCH_BIN" --work "$WORK/half" "${MATRIX[@]}" > "$WORK/half3.out" 2>&1
+  if ! diff "$FROM_JOURNAL_ROWS" <(rows "$WORK/half3.out") \
+       > "$WORK/rowdiff.txt"; then
+    echo "FAIL: report rows changed across supervisor lives:" >&2
+    cat "$WORK/rowdiff.txt" >&2
+    exit 1
+  fi
+  # No lost or duplicated journal entries: exactly one terminal outcome
+  # record per job across all supervisor lives.
+  DUPES="$(grep -o '"type":"outcome","job":"[^"]*"' \
+           "$WORK/half/journal.jsonl" | sort | uniq -d)"
+  if [[ -n "$DUPES" ]]; then
+    echo "FAIL: duplicated outcome records:" >&2
+    echo "$DUPES" >&2
+    exit 1
+  fi
+  echo "   $FINISHED job(s) survived the supervisor kill;" \
+       "all rows byte-identical across lives, no duplicate outcomes"
+  echo "== batch crash loop passed =="
+  exit 0
+fi
+
 CKPT="$WORK/ckpt"
 mkdir -p "$CKPT"
 

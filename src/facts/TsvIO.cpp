@@ -105,15 +105,29 @@ private:
   std::string Err;
 };
 
+/// Funnels raw-line rejections (NUL bytes, over-long lines) into the
+/// shared malformed-line policy with the usual "File:LINE: reason"
+/// shape. \returns true when the read should abort (strict mode).
+bool reportRejects(const char *File, const std::vector<TsvReject> &Rejects,
+                   ErrorSink &Sink) {
+  for (const TsvReject &Rej : Rejects)
+    if (Sink.malformed(location(File, Rej.LineNo) + ": " + Rej.Reason))
+      return true;
+  return false;
+}
+
 void readDomain(const std::string &Dir, const char *File,
                 std::vector<std::string> &Names, ErrorSink &Sink) {
   if (Sink.failed())
     return;
   std::vector<TsvLine> R;
-  if (!readTsvLines(Dir + "/" + File, R)) {
+  std::vector<TsvReject> Rejects;
+  if (!readTsvLines(Dir + "/" + File, R, &Rejects)) {
     Sink.fail(std::string("cannot read ") + File);
     return;
   }
+  if (reportRejects(File, Rejects, Sink))
+    return;
   Names.clear();
   std::unordered_set<std::string> Seen;
   for (auto &Row : R) {
@@ -349,10 +363,13 @@ std::string facts::readFactsDir(const std::string &Dir, FactDB &DB,
     if (Sink.failed())
       return;
     std::vector<TsvLine> R;
-    if (!readTsvLines(Dir + "/" + File, R)) {
+    std::vector<TsvReject> Rejects;
+    if (!readTsvLines(Dir + "/" + File, R, &Rejects)) {
       Sink.fail(std::string("cannot read ") + File);
       return;
     }
+    if (reportRejects(File, Rejects, Sink))
+      return;
     for (auto &Row : R) {
       if (Row.Fields.size() != Arity) {
         if (Sink.malformed(location(File, Row.LineNo) + ": expected " +

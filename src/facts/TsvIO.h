@@ -46,8 +46,9 @@ std::string writeFactsDir(const FactDB &DB, const std::string &Dir);
 struct FactsReadOptions {
   /// Strict (default): the first malformed line aborts the read with a
   /// "File:LINE: ..." diagnostic. Lenient: malformed lines (wrong arity,
-  /// unknown entity names, bad ordinals, duplicate domain entries) are
-  /// skipped and counted instead; only I/O failures abort.
+  /// unknown entity names, bad ordinals, duplicate domain entries,
+  /// embedded NUL bytes, lines over MaxTsvLineBytes) are skipped and
+  /// counted instead; only I/O failures abort.
   bool Lenient = false;
 };
 

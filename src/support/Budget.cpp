@@ -9,7 +9,107 @@
 
 #include "support/FaultInjection.h"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 using namespace ctp;
+
+//===----------------------------------------------------------------------===//
+// Heartbeat.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// The heartbeat never runs time math on system_clock: a wall-clock jump
+// must not stall or burst the beat.
+static_assert(std::chrono::steady_clock::is_steady,
+              "heartbeat rate limiting requires a steady clock");
+
+std::atomic<bool> HbInstalled{false};
+std::atomic<std::uint64_t> HbPolls{0};
+std::atomic<std::uint64_t> HbBeats{0};
+// steady_clock nanos of the last file write; 0 = never.
+std::atomic<std::int64_t> HbLastBeatNs{0};
+std::uint64_t HbIntervalMs = 100;
+// Written once by install() before HbInstalled is published (release /
+// acquire pairing below), read-only afterwards.
+std::string HbPath;
+
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void writeBeatFile() {
+  std::uint64_t N = HbBeats.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Truncate-and-rewrite: the watcher only compares successive contents,
+  // so a torn beat at worst reads as "no change" and costs one interval.
+  std::FILE *F = std::fopen(HbPath.c_str(), "w");
+  if (!F)
+    return; // Liveness reporting must never take the analysis down.
+  std::fprintf(F, "%llu\n", static_cast<unsigned long long>(N));
+  std::fclose(F);
+}
+
+} // namespace
+
+void heartbeat::install(const std::string &Path,
+                        std::uint64_t MinIntervalMs) {
+  HbPath = Path;
+  HbIntervalMs = MinIntervalMs == 0 ? 1 : MinIntervalMs;
+  HbPolls.store(0, std::memory_order_relaxed);
+  HbBeats.store(0, std::memory_order_relaxed);
+  HbLastBeatNs.store(steadyNowNs(), std::memory_order_relaxed);
+  writeBeatFile();
+  HbInstalled.store(true, std::memory_order_release);
+}
+
+bool heartbeat::installFromEnv() {
+  const char *Path = std::getenv("CTP_HEARTBEAT_FILE");
+  if (!Path || !*Path)
+    return false;
+  std::uint64_t IntervalMs = 100;
+  if (const char *Iv = std::getenv("CTP_HEARTBEAT_INTERVAL_MS"))
+    if (*Iv) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Iv, &End, 10);
+      if (End != Iv && *End == '\0' && V > 0)
+        IntervalMs = V;
+    }
+  install(Path, IntervalMs);
+  return true;
+}
+
+void heartbeat::disable() {
+  HbInstalled.store(false, std::memory_order_release);
+}
+
+bool heartbeat::installed() {
+  return HbInstalled.load(std::memory_order_acquire);
+}
+
+std::uint64_t heartbeat::beats() {
+  return HbBeats.load(std::memory_order_relaxed);
+}
+
+void heartbeat::onPoll() {
+  if (!HbInstalled.load(std::memory_order_acquire))
+    return;
+  // Amortize the clock read over a small stride, like the deadline check
+  // in BudgetMeter::poll.
+  if ((HbPolls.fetch_add(1, std::memory_order_relaxed) & 63) != 0)
+    return;
+  std::int64_t Now = steadyNowNs();
+  std::int64_t Last = HbLastBeatNs.load(std::memory_order_relaxed);
+  if (Now - Last < static_cast<std::int64_t>(HbIntervalMs) * 1000000)
+    return;
+  // One writer per interval: the thread that wins the CAS beats.
+  if (HbLastBeatNs.compare_exchange_strong(Last, Now,
+                                           std::memory_order_relaxed))
+    writeBeatFile();
+}
 
 const char *ctp::terminationReasonName(TerminationReason R) {
   switch (R) {
@@ -46,6 +146,9 @@ BudgetSpec BudgetSpec::scaledForRung(std::size_t Rung) const {
 BudgetMeter::BudgetMeter(const BudgetSpec &S) : Spec(S), Limited(true) {}
 
 std::optional<TerminationReason> BudgetMeter::poll() {
+  // Liveness first: even an already-tripped or unlimited meter keeps the
+  // heartbeat alive while the engine winds down or runs without limits.
+  heartbeat::onPoll();
   if (Tripped)
     return Tripped;
   if (fault::active())

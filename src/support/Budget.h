@@ -32,8 +32,52 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 namespace ctp {
+
+//===----------------------------------------------------------------------===//
+// Heartbeat.
+//
+// The batch supervisor (support/Supervisor.h) watches its children for
+// liveness, not just exit: a deadlocked or swapping child holds its slot
+// forever without ever failing. The child proves liveness by rewriting a
+// small counter file at a bounded rate; the beat rides the existing
+// budget poll points (both back-ends poll at rule-firing granularity) so
+// no new instrumentation sites are needed. The hook is inert — one
+// relaxed atomic load per poll — until a tool installs it, which the
+// drivers do only when the supervisor asks via CTP_HEARTBEAT_FILE.
+//
+// All rate math is on steady_clock (see Stopwatch): a wall-clock step
+// from NTP or DST must never look like a stall or a burst.
+//===----------------------------------------------------------------------===//
+
+namespace heartbeat {
+
+/// Installs the process-wide heartbeat: every budget poll may rewrite
+/// \p Path with an incrementing beat counter, at most once per
+/// \p MinIntervalMs. Writes one beat immediately so the watcher sees
+/// liveness before the first poll (fact reading precedes solving).
+void install(const std::string &Path, std::uint64_t MinIntervalMs = 100);
+
+/// Installs from CTP_HEARTBEAT_FILE (path) and CTP_HEARTBEAT_INTERVAL_MS
+/// (optional rate limit). \returns true when a heartbeat was installed.
+bool installFromEnv();
+
+/// Uninstalls; later polls are inert again. Call between tests.
+void disable();
+
+bool installed();
+
+/// Beats counted since install (whether or not each reached the file).
+std::uint64_t beats();
+
+/// The rate-limited tick; called by BudgetMeter::poll on every poll.
+/// Cheap when uninstalled; otherwise only every 64th call consults the
+/// clock and only elapsed intervals touch the file.
+void onPoll();
+
+} // namespace heartbeat
 
 /// Why an evaluation run stopped.
 enum class TerminationReason : std::uint8_t {

@@ -1,0 +1,53 @@
+//===- support/Durability.h - fsync helpers and durable appends -*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small POSIX durability layer under the crash-safety machinery. An
+/// atomic tmp+rename write survives a *process* crash, but a rename only
+/// survives a *power* loss once the containing directory's entry is on
+/// disk — which requires fsync'ing the directory itself, not just the
+/// file. The snapshot writer (support/Snapshot.cpp) and the supervisor's
+/// JSONL run journal (support/Supervisor.cpp) both route through these
+/// helpers so the two crash domains are handled in one place.
+///
+/// Every function returns an empty string on success, else a diagnostic;
+/// callers that only need best-effort durability (the journal appender on
+/// exotic filesystems where directory fsync fails with EINVAL) may choose
+/// to tolerate a non-empty result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_DURABILITY_H
+#define CTP_SUPPORT_DURABILITY_H
+
+#include <string>
+
+namespace ctp {
+namespace durable {
+
+/// fsyncs the directory that contains \p Path ("." when \p Path has no
+/// directory component), making a rename or creation of \p Path itself
+/// durable. EINVAL from fsync on a directory (some network filesystems)
+/// is treated as success: the platform offers nothing stronger.
+std::string syncDirOf(const std::string &Path);
+
+/// Durably appends \p Line plus a trailing newline to \p Path: a single
+/// O_APPEND write (atomic with respect to other appenders for lines
+/// under PIPE_BUF), then fsync of the file, then — when this call
+/// created the file — fsync of its directory.
+std::string appendLine(const std::string &Path, const std::string &Line);
+
+/// Writes \p Size bytes of \p Data to \p Path via open/write/fsync,
+/// truncating any previous content. Used by the snapshot writer for its
+/// tmp file so the bytes are on disk before the rename publishes them.
+std::string writeFileSynced(const std::string &Path, const void *Data,
+                            std::size_t Size);
+
+} // namespace durable
+} // namespace ctp
+
+#endif // CTP_SUPPORT_DURABILITY_H

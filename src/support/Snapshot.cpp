@@ -7,6 +7,7 @@
 
 #include "support/Snapshot.h"
 
+#include "support/Durability.h"
 #include "support/FaultInjection.h"
 
 #include <cstdio>
@@ -135,22 +136,20 @@ std::string snapshot::writeFile(const File &F, const std::string &Path) {
     }
   }
 
+  // fsync the tmp bytes before the rename publishes them, and the
+  // containing directory after it: a rename whose directory entry never
+  // reached disk silently vanishes on power loss, which would leave the
+  // *previous* snapshot — safe, but a resume setback the caller was told
+  // had been avoided.
   std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OutF.is_open())
-      return "cannot open '" + Tmp + "' for writing";
-    OutF.write(reinterpret_cast<const char *>(Bytes.data()),
-               static_cast<std::streamsize>(Bytes.size()));
-    OutF.flush();
-    if (!OutF.good())
-      return "write to '" + Tmp + "' failed";
-  }
+  std::string Err = durable::writeFileSynced(Tmp, Bytes.data(), Bytes.size());
+  if (!Err.empty())
+    return Err;
   if (SkipRename)
     return ""; // Simulated crash: the destination keeps its old content.
   if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
     return "rename '" + Tmp + "' -> '" + Path + "' failed";
-  return "";
+  return durable::syncDirOf(Path);
 }
 
 std::string snapshot::readFile(const std::string &Path, File &Out) {

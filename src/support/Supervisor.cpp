@@ -1,0 +1,778 @@
+//===- support/Supervisor.cpp - Fault-isolated batch supervisor -----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Supervisor.h"
+
+#include "support/Durability.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Tsv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ctp;
+using namespace ctp::batch;
+
+//===----------------------------------------------------------------------===//
+// Names and classification.
+//===----------------------------------------------------------------------===//
+
+const char *batch::attemptClassName(AttemptClass C) {
+  switch (C) {
+  case AttemptClass::ExitOk:
+    return "exit-ok";
+  case AttemptClass::ExitDegraded:
+    return "exit-degraded";
+  case AttemptClass::ExitError:
+    return "exit-error";
+  case AttemptClass::CrashSignal:
+    return "crash-signal";
+  case AttemptClass::WatchdogStall:
+    return "watchdog-stall";
+  case AttemptClass::Timeout:
+    return "timeout";
+  case AttemptClass::RlimitCpu:
+    return "rlimit-cpu";
+  case AttemptClass::RlimitMem:
+    return "rlimit-mem";
+  case AttemptClass::ChaosKill:
+    return "chaos-kill";
+  case AttemptClass::SpawnFailure:
+    return "spawn-failure";
+  }
+  return "unknown";
+}
+
+const char *batch::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Completed:
+    return "completed";
+  case JobStatus::CompletedDegraded:
+    return "completed-degraded";
+  case JobStatus::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+AttemptClass batch::classifyAttempt(const proc::ExitStatus &St,
+                                    const KillAttribution &Kill,
+                                    const std::string &StderrTail) {
+  if (!St.Exited && !St.Signalled)
+    return AttemptClass::SpawnFailure;
+  if (St.Signalled) {
+    // Supervisor-sent kills first: the wait status alone cannot tell a
+    // watchdog SIGKILL from a chaos SIGKILL or an external one.
+    if (Kill.Chaos)
+      return AttemptClass::ChaosKill;
+    if (Kill.Watchdog)
+      return AttemptClass::WatchdogStall;
+    if (Kill.Timeout)
+      return AttemptClass::Timeout;
+    if (St.Signal == SIGXCPU)
+      return AttemptClass::RlimitCpu;
+    // RLIMIT_AS surfaces as a failed allocation: the C++ runtime turns
+    // that into std::bad_alloc -> std::terminate -> SIGABRT, with the
+    // exception name on stderr.
+    if (St.Signal == SIGABRT &&
+        StderrTail.find("bad_alloc") != std::string::npos)
+      return AttemptClass::RlimitMem;
+    return AttemptClass::CrashSignal;
+  }
+  if (St.Code == 0)
+    return AttemptClass::ExitOk;
+  if (St.Code == 3)
+    return AttemptClass::ExitDegraded;
+  return AttemptClass::ExitError;
+}
+
+namespace {
+
+AttemptClass attemptClassFromName(const std::string &Name) {
+  for (int C = 0; C <= static_cast<int>(AttemptClass::SpawnFailure); ++C)
+    if (Name == attemptClassName(static_cast<AttemptClass>(C)))
+      return static_cast<AttemptClass>(C);
+  return AttemptClass::ExitError;
+}
+
+bool jobStatusFromName(const std::string &Name, JobStatus &Out) {
+  for (int S = 0; S <= static_cast<int>(JobStatus::Failed); ++S)
+    if (Name == jobStatusName(static_cast<JobStatus>(S))) {
+      Out = static_cast<JobStatus>(S);
+      return true;
+    }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON emission and (own-records-only) extraction.
+//
+// The journal is written and read exclusively by this file, with a fixed
+// key order per record type, so a full JSON parser would be dead weight;
+// the extractor handles exactly what the emitter produces (and fails
+// cleanly on anything else, which replay counts as a torn line).
+//===----------------------------------------------------------------------===//
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Finds "Key": in \p Line; \returns npos or the index just after ':'.
+std::size_t jsonFieldPos(const std::string &Line, const char *Key) {
+  std::string Needle = std::string("\"") + Key + "\":";
+  std::size_t At = Line.find(Needle);
+  return At == std::string::npos ? std::string::npos : At + Needle.size();
+}
+
+bool jsonString(const std::string &Line, const char *Key,
+                std::string &Out) {
+  std::size_t At = jsonFieldPos(Line, Key);
+  if (At == std::string::npos || At >= Line.size() || Line[At] != '"')
+    return false;
+  Out.clear();
+  for (std::size_t I = At + 1; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (C == '"')
+      return true;
+    if (C != '\\') {
+      Out += C;
+      continue;
+    }
+    if (++I >= Line.size())
+      return false;
+    switch (Line[I]) {
+    case '"':
+      Out += '"';
+      break;
+    case '\\':
+      Out += '\\';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'u': {
+      if (I + 4 >= Line.size())
+        return false;
+      unsigned V = 0;
+      for (int K = 1; K <= 4; ++K) {
+        char H = Line[I + static_cast<std::size_t>(K)];
+        V <<= 4;
+        if (H >= '0' && H <= '9')
+          V |= static_cast<unsigned>(H - '0');
+        else if (H >= 'a' && H <= 'f')
+          V |= static_cast<unsigned>(H - 'a' + 10);
+        else if (H >= 'A' && H <= 'F')
+          V |= static_cast<unsigned>(H - 'A' + 10);
+        else
+          return false;
+      }
+      Out += static_cast<char>(V & 0xff);
+      I += 4;
+      break;
+    }
+    default:
+      return false;
+    }
+  }
+  return false; // Unterminated string: torn line.
+}
+
+bool jsonInt(const std::string &Line, const char *Key, long long &Out) {
+  std::size_t At = jsonFieldPos(Line, Key);
+  if (At == std::string::npos)
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(Line.c_str() + At, &End, 10);
+  if (End == Line.c_str() + At || errno != 0)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool jsonBool(const std::string &Line, const char *Key, bool &Out) {
+  std::size_t At = jsonFieldPos(Line, Key);
+  if (At == std::string::npos)
+    return false;
+  if (Line.compare(At, 4, "true") == 0) {
+    Out = true;
+    return true;
+  }
+  if (Line.compare(At, 5, "false") == 0) {
+    Out = false;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Filesystem helpers.
+//===----------------------------------------------------------------------===//
+
+std::string mkdirs(const std::string &Path) {
+  std::string Partial;
+  std::istringstream In(Path);
+  std::string Part;
+  if (!Path.empty() && Path[0] == '/')
+    Partial = "/";
+  while (std::getline(In, Part, '/')) {
+    if (Part.empty())
+      continue;
+    if (!Partial.empty() && Partial.back() != '/')
+      Partial += '/';
+    Partial += Part;
+    if (::mkdir(Partial.c_str(), 0755) != 0 && errno != EEXIST)
+      return "cannot create directory '" + Partial +
+             "': " + std::strerror(errno);
+  }
+  return "";
+}
+
+/// Job ids contain '/' and '+'; their on-disk directory names do not.
+std::string sanitizeId(const std::string &Id) {
+  std::string Out = Id;
+  for (char &C : Out)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '_' && C != '-')
+      C = '_';
+  return Out;
+}
+
+/// FNV-1a, to give every job its own (still seed-deterministic) chaos
+/// schedule regardless of matrix order.
+std::uint64_t hashId(const std::string &S) {
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::string slurpSmallFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open())
+    return "";
+  std::string S((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  return S;
+}
+
+void sleepMs(std::uint64_t Ms) {
+  ::usleep(static_cast<useconds_t>(Ms * 1000));
+}
+
+//===----------------------------------------------------------------------===//
+// Journal records.
+//===----------------------------------------------------------------------===//
+
+std::string attemptLine(const std::string &JobId, const AttemptRecord &A) {
+  std::ostringstream S;
+  S << "{\"type\":\"attempt\",\"job\":\"" << jsonEscape(JobId)
+    << "\",\"attempt\":" << A.Attempt << ",\"class\":\""
+    << attemptClassName(A.Class) << "\",\"exit\":" << A.ExitCode
+    << ",\"signal\":" << A.Signal
+    << ",\"resumed\":" << (A.Resumed ? "true" : "false")
+    << ",\"fallback\":" << (A.Fallback ? "true" : "false")
+    << ",\"elapsed_ms\":" << A.ElapsedMs << ",\"stderr\":\""
+    << jsonEscape(A.StderrTail) << "\"}";
+  return S.str();
+}
+
+std::string outcomeLine(const JobOutcome &O) {
+  std::ostringstream S;
+  S << "{\"type\":\"outcome\",\"job\":\"" << jsonEscape(O.Spec.id())
+    << "\",\"status\":\"" << jobStatusName(O.Status)
+    << "\",\"attempts\":" << O.Attempts.size() << ",\"triage\":\""
+    << jsonEscape(O.Triage) << "\",\"total_ms\":" << O.TotalMs << "}";
+  return S.str();
+}
+
+bool splitJobId(const std::string &Id, JobSpec &Out) {
+  std::size_t First = Id.find('/');
+  std::size_t Last = Id.rfind('/');
+  if (First == std::string::npos || First == Last)
+    return false;
+  Out.Preset = Id.substr(0, First);
+  Out.Config = Id.substr(First + 1, Last - First - 1);
+  Out.Backend = Id.substr(Last + 1);
+  return !Out.Preset.empty() && !Out.Config.empty() && !Out.Backend.empty();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Matrix expansion and plan files.
+//===----------------------------------------------------------------------===//
+
+std::vector<JobSpec>
+batch::expandMatrix(const std::vector<std::string> &Presets,
+                    const std::vector<std::string> &Configs,
+                    const std::vector<std::string> &Backends) {
+  std::vector<JobSpec> Jobs;
+  for (const std::string &P : Presets)
+    for (const std::string &C : Configs)
+      for (const std::string &B : Backends)
+        Jobs.push_back({P, C, B});
+  return Jobs;
+}
+
+std::string batch::loadPlan(const std::string &Path,
+                            std::vector<JobSpec> &Out) {
+  std::vector<TsvLine> Rows;
+  std::vector<TsvReject> Rejects;
+  if (!readTsvLines(Path, Rows, &Rejects))
+    return "cannot read plan file '" + Path + "'";
+  if (!Rejects.empty())
+    return Path + ":" + std::to_string(Rejects[0].LineNo) + ": " +
+           Rejects[0].Reason;
+  for (const TsvLine &Row : Rows) {
+    if (!Row.Fields.empty() && !Row.Fields[0].empty() &&
+        Row.Fields[0][0] == '#')
+      continue;
+    if (Row.Fields.size() < 2 || Row.Fields.size() > 3)
+      return Path + ":" + std::to_string(Row.LineNo) +
+             ": expected 2 or 3 fields (preset, config[, backend]), got " +
+             std::to_string(Row.Fields.size());
+    JobSpec J;
+    J.Preset = Row.Fields[0];
+    J.Config = Row.Fields[1];
+    J.Backend = Row.Fields.size() == 3 ? Row.Fields[2] : "native";
+    if (J.Backend != "native" && J.Backend != "datalog")
+      return Path + ":" + std::to_string(Row.LineNo) +
+             ": unknown backend '" + J.Backend + "'";
+    Out.push_back(std::move(J));
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Journal replay.
+//===----------------------------------------------------------------------===//
+
+std::string batch::journalPath(const std::string &WorkDir) {
+  return WorkDir + "/journal.jsonl";
+}
+
+bool batch::replayJournal(const std::string &Path,
+                          std::map<std::string, JobOutcome> &Finished,
+                          std::size_t *TornLines) {
+  if (TornLines)
+    *TornLines = 0;
+  std::ifstream In(Path);
+  if (!In.is_open())
+    return ::access(Path.c_str(), F_OK) != 0; // Missing journal is fine.
+  std::map<std::string, std::vector<AttemptRecord>> Pending;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::string Type, JobId;
+    bool Ok = Line.front() == '{' && Line.back() == '}' &&
+              jsonString(Line, "type", Type) &&
+              jsonString(Line, "job", JobId);
+    if (Ok && Type == "attempt") {
+      AttemptRecord A;
+      long long Attempt = 0, Exit = -1, Signal = 0, ElapsedMs = 0;
+      std::string Class;
+      Ok = jsonInt(Line, "attempt", Attempt) &&
+           jsonString(Line, "class", Class) &&
+           jsonInt(Line, "exit", Exit) && jsonInt(Line, "signal", Signal) &&
+           jsonBool(Line, "resumed", A.Resumed) &&
+           jsonBool(Line, "fallback", A.Fallback) &&
+           jsonInt(Line, "elapsed_ms", ElapsedMs) &&
+           jsonString(Line, "stderr", A.StderrTail);
+      if (Ok) {
+        A.Attempt = static_cast<int>(Attempt);
+        A.Class = attemptClassFromName(Class);
+        A.ExitCode = static_cast<int>(Exit);
+        A.Signal = static_cast<int>(Signal);
+        A.ElapsedMs = static_cast<std::uint64_t>(ElapsedMs);
+        Pending[JobId].push_back(std::move(A));
+      }
+    } else if (Ok && Type == "outcome") {
+      JobOutcome O;
+      std::string Status;
+      long long Attempts = 0, TotalMs = 0;
+      Ok = splitJobId(JobId, O.Spec) &&
+           jsonString(Line, "status", Status) &&
+           jobStatusFromName(Status, O.Status) &&
+           jsonInt(Line, "attempts", Attempts) &&
+           jsonString(Line, "triage", O.Triage) &&
+           jsonInt(Line, "total_ms", TotalMs);
+      if (Ok) {
+        O.TotalMs = static_cast<std::uint64_t>(TotalMs);
+        O.FromJournal = true;
+        auto It = Pending.find(JobId);
+        if (It != Pending.end()) {
+          // Keep only the decisive run's attempts: a job interrupted in
+          // an earlier supervisor life re-ran from attempt 0.
+          std::vector<AttemptRecord> &All = It->second;
+          std::size_t Start = All.size();
+          while (Start > 0 && (Start == All.size() ||
+                               All[Start - 1].Attempt <
+                                   All[Start].Attempt))
+            --Start;
+          O.Attempts.assign(All.begin() +
+                                static_cast<std::ptrdiff_t>(Start),
+                            All.end());
+          Pending.erase(It);
+        }
+        (void)Attempts; // The record's count; Attempts vector may be
+                        // shorter if early lives tore attempt lines.
+        Finished[JobId] = std::move(O);
+      }
+    }
+    if (!Ok && TornLines)
+      ++*TornLines;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The supervisor proper.
+//===----------------------------------------------------------------------===//
+
+Supervisor::Supervisor(SupervisorOptions O) : Opts(std::move(O)) {}
+
+namespace {
+
+/// Per-attempt escalation stage.
+enum class Stage { Fresh, Resume, Fallback };
+
+} // namespace
+
+JobOutcome Supervisor::runJob(const JobSpec &Job, int &ChaosKillsLeft) {
+  JobOutcome Outcome;
+  Outcome.Spec = Job;
+  const std::string JobDir =
+      Opts.WorkDir + "/jobs/" + sanitizeId(Job.id());
+  const std::string CkptDir = JobDir + "/ckpt";
+  const std::string HeartbeatFile = JobDir + "/heartbeat";
+  mkdirs(CkptDir);
+
+  Stopwatch JobClock;
+  Rng ChaosRng(Opts.Seed ^ hashId(Job.id()));
+  Stage St = Stage::Fresh;
+  int RealAttempts = 0; // Non-chaos attempts consumed.
+  int AttemptIdx = 0;
+
+  while (true) {
+    // Build the child command line for this escalation stage.
+    proc::SpawnSpec Spec;
+    Spec.Argv = {Opts.AnalyzePath, "--preset", Job.Preset, "--config",
+                 Job.Config};
+    if (Job.Backend == "datalog")
+      Spec.Argv.push_back("--datalog");
+    auto AddCount = [&Spec](const char *Flag, std::uint64_t V) {
+      if (V != 0) {
+        Spec.Argv.push_back(Flag);
+        Spec.Argv.push_back(std::to_string(V));
+      }
+    };
+    AddCount("--deadline-ms", Opts.DeadlineMs);
+    AddCount("--max-derivations", Opts.MaxDerivations);
+    AddCount("--max-tuples", Opts.MaxTuples);
+    bool Resumed = false, Fallback = false;
+    if (St == Stage::Fallback) {
+      // Trade the checkpoint for a guaranteed answer: descend the
+      // degradation ladder in-process (checkpointing would suppress the
+      // descent — solveWithFallback prefers resuming over degrading).
+      Spec.Argv.push_back("--fallback");
+      Fallback = true;
+    } else {
+      Spec.Argv.push_back("--checkpoint-dir");
+      Spec.Argv.push_back(CkptDir);
+      AddCount("--checkpoint-every", Opts.CheckpointEvery);
+      if (St == Stage::Resume) {
+        Spec.Argv.push_back("--resume");
+        Resumed = true;
+      }
+    }
+    Spec.Argv.insert(Spec.Argv.end(), Opts.ExtraArgs.begin(),
+                     Opts.ExtraArgs.end());
+    Spec.ExtraEnv = {"CTP_HEARTBEAT_FILE=" + HeartbeatFile,
+                     "CTP_HEARTBEAT_INTERVAL_MS=" +
+                         std::to_string(Opts.HeartbeatIntervalMs)};
+    Spec.StdoutPath = JobDir + "/attempt" + std::to_string(AttemptIdx) +
+                      ".out";
+    Spec.StderrPath = JobDir + "/attempt" + std::to_string(AttemptIdx) +
+                      ".err";
+    Spec.MemLimitBytes = Opts.MemLimitBytes;
+    Spec.CpuLimitSeconds = Opts.CpuLimitSeconds;
+
+    AttemptRecord A;
+    A.Attempt = AttemptIdx;
+    A.Resumed = Resumed;
+    A.Fallback = Fallback;
+
+    Stopwatch AttemptClock;
+    proc::Child Child;
+    std::string SpawnErr = Child.spawn(Spec);
+    KillAttribution Kill;
+    if (SpawnErr.empty()) {
+      // Watchdog loop: liveness via the heartbeat file's content, a
+      // wall cap, and (when armed) the chaos injector.
+      std::string LastBeat = slurpSmallFile(HeartbeatFile);
+      Stopwatch SinceBeat;
+      double ChaosAtS = -1.0;
+      if (Opts.Chaos && ChaosKillsLeft > 0)
+        ChaosAtS = static_cast<double>(ChaosRng.nextInRange(
+                       Opts.ChaosMinMs, Opts.ChaosMaxMs)) /
+                   1e3;
+      bool Killed = false;
+      while (Child.running()) {
+        sleepMs(Opts.PollIntervalMs);
+        if (Killed)
+          continue; // Just wait for the reap.
+        std::string Beat = slurpSmallFile(HeartbeatFile);
+        if (Beat != LastBeat) {
+          LastBeat = Beat;
+          SinceBeat.restart();
+        }
+        if (ChaosAtS >= 0.0 && AttemptClock.seconds() >= ChaosAtS) {
+          Kill.Chaos = true;
+          --ChaosKillsLeft;
+          Child.kill(SIGKILL);
+          Killed = true;
+        } else if (Opts.JobTimeoutMs != 0 &&
+                   AttemptClock.seconds() * 1e3 >=
+                       static_cast<double>(Opts.JobTimeoutMs)) {
+          Kill.Timeout = true;
+          Child.kill(SIGKILL);
+          Killed = true;
+        } else if (Opts.StallTimeoutMs != 0 &&
+                   SinceBeat.seconds() * 1e3 >=
+                       static_cast<double>(Opts.StallTimeoutMs)) {
+          Kill.Watchdog = true;
+          Child.kill(SIGKILL);
+          Killed = true;
+        }
+      }
+      const proc::ExitStatus &ExitSt = Child.status();
+      A.Class = classifyAttempt(ExitSt, Kill, Child.stderrTail());
+      A.ExitCode = ExitSt.Exited ? ExitSt.Code : -1;
+      A.Signal = ExitSt.Signalled ? ExitSt.Signal : 0;
+      A.StderrTail = Child.stderrTail();
+    } else {
+      A.Class = AttemptClass::SpawnFailure;
+      A.StderrTail = SpawnErr;
+    }
+    A.ElapsedMs =
+        static_cast<std::uint64_t>(AttemptClock.seconds() * 1e3);
+    durable::appendLine(journalPath(Opts.WorkDir),
+                        attemptLine(Job.id(), A));
+    log("job " + Job.id() + " attempt " + std::to_string(AttemptIdx) +
+        ": " + attemptClassName(A.Class) +
+        (A.Signal != 0 ? " (signal " + std::to_string(A.Signal) + ")"
+         : A.ExitCode >= 0 ? " (exit " + std::to_string(A.ExitCode) + ")"
+                           : "") +
+        ", " + std::to_string(A.ElapsedMs) + " ms");
+    Outcome.Attempts.push_back(A);
+    ++AttemptIdx;
+
+    if (A.Class == AttemptClass::ExitOk) {
+      Outcome.Status = JobStatus::Completed;
+      Outcome.Triage = attemptClassName(A.Class);
+      break;
+    }
+    if (A.Class == AttemptClass::ChaosKill) {
+      // Externally induced: re-run at the resume stage without spending
+      // a retry. The chaos budget itself bounds this loop.
+      if (St == Stage::Fresh)
+        St = Stage::Resume;
+      continue;
+    }
+    ++RealAttempts;
+    bool RetriesLeft = RealAttempts < 1 + Opts.MaxRetries;
+    if (!RetriesLeft) {
+      if (A.Class == AttemptClass::ExitDegraded) {
+        Outcome.Status = JobStatus::CompletedDegraded;
+        Outcome.Triage = attemptClassName(A.Class);
+      } else {
+        Outcome.Status = JobStatus::Failed;
+        Outcome.Triage = attemptClassName(A.Class);
+      }
+      break;
+    }
+    // Escalate: resume first, then descend the ladder.
+    St = RealAttempts == 1 ? Stage::Resume : Stage::Fallback;
+    if (A.Class != AttemptClass::ExitDegraded) {
+      // Exponential backoff for genuine faults; a degraded exit is a
+      // clean handover, retry immediately.
+      std::uint64_t Backoff = Opts.BackoffMs
+                              << std::min(RealAttempts - 1, 16);
+      sleepMs(std::min(Backoff, Opts.BackoffCapMs));
+    }
+  }
+  Outcome.TotalMs = static_cast<std::uint64_t>(JobClock.seconds() * 1e3);
+  durable::appendLine(journalPath(Opts.WorkDir), outcomeLine(Outcome));
+  log("job " + Job.id() + ": " + jobStatusName(Outcome.Status) +
+      (Outcome.Status == JobStatus::Failed ? "(" + Outcome.Triage + ")"
+                                           : "") +
+      " after " + std::to_string(Outcome.Attempts.size()) + " attempt(s)");
+  return Outcome;
+}
+
+BatchReport Supervisor::run(const std::vector<JobSpec> &Jobs,
+                            std::string &Err) {
+  BatchReport Report;
+  Err = mkdirs(Opts.WorkDir + "/jobs");
+  if (!Err.empty())
+    return Report;
+  if (Opts.AnalyzePath.empty()) {
+    Err = "no ctp-analyze binary configured";
+    return Report;
+  }
+
+  std::map<std::string, JobOutcome> Finished;
+  std::size_t Torn = 0;
+  if (!replayJournal(journalPath(Opts.WorkDir), Finished, &Torn)) {
+    Err = "cannot read journal '" + journalPath(Opts.WorkDir) + "'";
+    return Report;
+  }
+  if (!Finished.empty())
+    log("journal: " + std::to_string(Finished.size()) +
+        " finished job(s) replayed" +
+        (Torn != 0 ? ", " + std::to_string(Torn) + " torn line(s) ignored"
+                   : ""));
+
+  int ChaosKillsLeft = Opts.Chaos ? Opts.ChaosKills : 0;
+  for (const JobSpec &Job : Jobs) {
+    auto It = Finished.find(Job.id());
+    if (It != Finished.end()) {
+      Report.Jobs.push_back(It->second);
+      log("job " + Job.id() + ": " +
+          jobStatusName(It->second.Status) + " (from journal)");
+      continue;
+    }
+    JobOutcome O = runJob(Job, ChaosKillsLeft);
+    Finished[Job.id()] = O; // A duplicated matrix cell runs once.
+    Report.Jobs.push_back(std::move(O));
+  }
+  for (const JobOutcome &O : Report.Jobs)
+    switch (O.Status) {
+    case JobStatus::Completed:
+      ++Report.NumCompleted;
+      break;
+    case JobStatus::CompletedDegraded:
+      ++Report.NumDegraded;
+      break;
+    case JobStatus::Failed:
+      ++Report.NumFailed;
+      break;
+    }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Report rendering.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string statusCell(const JobOutcome &O) {
+  if (O.Status == JobStatus::Failed)
+    return std::string("failed(") + O.Triage + ")";
+  return jobStatusName(O.Status);
+}
+
+} // namespace
+
+std::string BatchReport::renderTable() const {
+  // The job column width depends only on the job ids of the matrix, so
+  // a re-invocation over the same matrix renders finished jobs'
+  // rows byte-identically.
+  std::size_t JobW = std::strlen("job");
+  for (const JobOutcome &O : Jobs)
+    JobW = std::max(JobW, O.Spec.id().size());
+  std::ostringstream S;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "%-*s  %8s  %10s  %s\n",
+                static_cast<int>(JobW), "job", "attempts", "total_ms",
+                "status");
+  S << Buf;
+  for (const JobOutcome &O : Jobs) {
+    std::snprintf(Buf, sizeof(Buf), "%-*s  %8zu  %10llu  %s\n",
+                  static_cast<int>(JobW), O.Spec.id().c_str(),
+                  O.Attempts.size(),
+                  static_cast<unsigned long long>(O.TotalMs),
+                  statusCell(O).c_str());
+    S << Buf;
+  }
+  S << "summary: " << Jobs.size() << " job(s) — " << NumCompleted
+    << " completed, " << NumDegraded << " completed-degraded, "
+    << NumFailed << " failed\n";
+  return S.str();
+}
+
+std::string BatchReport::renderJson() const {
+  std::ostringstream S;
+  S << "{\n  \"jobs\": [\n";
+  for (std::size_t I = 0; I < Jobs.size(); ++I) {
+    const JobOutcome &O = Jobs[I];
+    S << "    {\"job\":\"" << jsonEscape(O.Spec.id()) << "\",\"preset\":\""
+      << jsonEscape(O.Spec.Preset) << "\",\"config\":\""
+      << jsonEscape(O.Spec.Config) << "\",\"backend\":\""
+      << jsonEscape(O.Spec.Backend) << "\",\"status\":\""
+      << jobStatusName(O.Status) << "\",\"triage\":\""
+      << jsonEscape(O.Triage) << "\",\"attempts\":" << O.Attempts.size()
+      << ",\"total_ms\":" << O.TotalMs << "}"
+      << (I + 1 < Jobs.size() ? "," : "") << "\n";
+  }
+  S << "  ],\n  \"summary\": {\"jobs\":" << Jobs.size()
+    << ",\"completed\":" << NumCompleted
+    << ",\"completed_degraded\":" << NumDegraded
+    << ",\"failed\":" << NumFailed << "}\n}\n";
+  return S.str();
+}

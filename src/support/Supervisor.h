@@ -1,0 +1,248 @@
+//===- support/Supervisor.h - Fault-isolated batch supervisor ---*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet-level fault tolerance over the preset × configuration matrix of
+/// the paper's Figure 6. Each cell runs as its own ctp-analyze process
+/// (support/Subprocess.h) with kernel rlimits, a private checkpoint
+/// directory, and a heartbeat file; the supervisor watches liveness,
+/// classifies every death (the triage taxonomy below), and retries under
+/// a bounded exponential-backoff policy that composes with the existing
+/// per-process machinery:
+///
+///   attempt 1   fresh run, checkpointing enabled
+///   attempt 2   --resume: continue the same rung from its snapshot
+///   attempt 3+  --fallback without a checkpoint dir: trade the
+///               checkpoint for a guaranteed (possibly degraded) answer
+///               by descending the PR 1 configuration ladder in-process
+///
+/// Chaos kills (the --chaos injector) are externally induced, so they
+/// re-run at the resume stage without consuming a retry; the chaos
+/// budget itself is bounded, keeping every batch finite.
+///
+/// Per-job state machine:
+///
+///   PENDING → RUNNING → (exit 0)            → COMPLETED
+///                     → (exit 3, retries left)  → RUNNING (escalated)
+///                     → (exit 3, retries spent)  → COMPLETED-DEGRADED
+///                     → (crash/stall/timeout/rlimit/exit≠0, retries
+///                        left)                   → backoff → RUNNING
+///                     → (ditto, retries spent)   → FAILED(triage)
+///                     → (chaos kill, kills left) → RUNNING (resume)
+///
+/// Every attempt and every terminal outcome is appended — durably, one
+/// JSON object per line — to <workdir>/journal.jsonl. The journal is the
+/// source of truth: a supervisor that is itself SIGKILLed mid-run is
+/// re-invoked with the same arguments, replays the journal, skips every
+/// job with a terminal record, and renders those jobs' report rows from
+/// the recorded bytes — making the final report of the finished subset
+/// byte-identical across supervisor lives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_SUPERVISOR_H
+#define CTP_SUPPORT_SUPERVISOR_H
+
+#include "support/Subprocess.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace batch {
+
+/// One cell of the evaluation matrix.
+struct JobSpec {
+  std::string Preset;            ///< Built-in workload name.
+  std::string Config;            ///< Context-sensitivity configuration.
+  std::string Backend = "native"; ///< "native" or "datalog".
+
+  /// Stable identifier, "preset/config/backend" — the journal key.
+  std::string id() const { return Preset + "/" + Config + "/" + Backend; }
+};
+
+/// Why one attempt ended — the triage taxonomy.
+enum class AttemptClass : std::uint8_t {
+  ExitOk,        ///< exit 0: converged at the requested configuration.
+  ExitDegraded,  ///< exit 3: budget-truncated / fallback rung answered.
+  ExitError,     ///< any other exit code (1 runtime, 2 usage, 127 exec).
+  CrashSignal,   ///< fatal signal not attributable to a cap we set.
+  WatchdogStall, ///< heartbeat stopped advancing; supervisor SIGKILL.
+  Timeout,       ///< per-job wall-clock cap; supervisor SIGKILL.
+  RlimitCpu,     ///< SIGXCPU: the RLIMIT_CPU cap fired.
+  RlimitMem,     ///< SIGABRT with bad_alloc on stderr under RLIMIT_AS.
+  ChaosKill,     ///< the --chaos injector SIGKILLed it.
+  SpawnFailure,  ///< fork/pipe failed; the child never ran.
+};
+
+const char *attemptClassName(AttemptClass C);
+
+/// What the supervisor did to a child, for classification.
+struct KillAttribution {
+  bool Watchdog = false;
+  bool Timeout = false;
+  bool Chaos = false;
+};
+
+/// Maps a reaped child (plus what the supervisor knows it did to it)
+/// onto the triage taxonomy. Exposed for unit tests.
+AttemptClass classifyAttempt(const proc::ExitStatus &St,
+                             const KillAttribution &Kill,
+                             const std::string &StderrTail);
+
+/// One run of one child, as recorded in the journal.
+struct AttemptRecord {
+  int Attempt = 0; ///< 0-based, counting every spawn (chaos included).
+  AttemptClass Class = AttemptClass::ExitError;
+  int ExitCode = -1; ///< Valid when the child exited.
+  int Signal = 0;    ///< Valid when the child was signalled.
+  bool Resumed = false;  ///< Ran with --resume.
+  bool Fallback = false; ///< Ran with --fallback (ladder descent).
+  std::uint64_t ElapsedMs = 0;
+  std::string StderrTail;
+};
+
+enum class JobStatus : std::uint8_t {
+  Completed,          ///< Converged at the requested configuration.
+  CompletedDegraded,  ///< Answered, but truncated or from a lower rung.
+  Failed,             ///< Retries exhausted without an answer.
+};
+
+const char *jobStatusName(JobStatus S);
+
+/// Terminal state of one job.
+struct JobOutcome {
+  JobSpec Spec;
+  JobStatus Status = JobStatus::Failed;
+  std::vector<AttemptRecord> Attempts;
+  /// Triage tag of the decisive attempt; report renders failed jobs as
+  /// "failed(<Triage>)".
+  std::string Triage;
+  std::uint64_t TotalMs = 0;
+  /// True when this outcome was replayed from the journal rather than
+  /// run by this invocation.
+  bool FromJournal = false;
+};
+
+/// Supervisor policy knobs. Times are steady-clock milliseconds.
+struct SupervisorOptions {
+  /// The ctp-analyze binary to drive.
+  std::string AnalyzePath;
+  /// Work tree: journal.jsonl, report.json, jobs/<id>/ checkpoint +
+  /// heartbeat + log files. Created if missing.
+  std::string WorkDir;
+
+  // Per-child budget, forwarded as ctp-analyze flags (0 = omit).
+  std::uint64_t DeadlineMs = 0;
+  std::uint64_t MaxDerivations = 0;
+  std::uint64_t MaxTuples = 0;
+  /// Periodic checkpoint cadence (--checkpoint-every); 0 = trip-time
+  /// snapshots only. Chaos runs want a non-zero cadence so a SIGKILLed
+  /// child leaves resumable progress.
+  std::uint64_t CheckpointEvery = 0;
+
+  // Kernel caps on the child (0 = unlimited).
+  std::uint64_t MemLimitBytes = 0;
+  std::uint64_t CpuLimitSeconds = 0;
+
+  /// SIGKILL a child whose heartbeat has not advanced in this long.
+  std::uint64_t StallTimeoutMs = 10000;
+  /// SIGKILL a child older than this (0 = no wall cap).
+  std::uint64_t JobTimeoutMs = 0;
+  /// Child heartbeat rewrite interval (CTP_HEARTBEAT_INTERVAL_MS).
+  std::uint64_t HeartbeatIntervalMs = 50;
+
+  /// Retries after the initial attempt (chaos kills not counted).
+  int MaxRetries = 3;
+  /// Base backoff before retry N is Backoff * 2^(N-1), capped.
+  std::uint64_t BackoffMs = 200;
+  std::uint64_t BackoffCapMs = 5000;
+  /// Supervisor poll cadence while a child runs.
+  std::uint64_t PollIntervalMs = 5;
+
+  /// Deliberate fault injection: SIGKILL children at seeded intervals.
+  bool Chaos = false;
+  std::uint64_t Seed = 1;
+  /// Total chaos kills across the whole batch (keeps runs finite).
+  int ChaosKills = 4;
+  std::uint64_t ChaosMinMs = 20;
+  std::uint64_t ChaosMaxMs = 400;
+
+  /// Extra argv appended to every child command line (test hook).
+  std::vector<std::string> ExtraArgs;
+};
+
+/// The consolidated end-of-batch view.
+struct BatchReport {
+  std::vector<JobOutcome> Jobs; ///< Matrix order.
+  std::size_t NumCompleted = 0, NumDegraded = 0, NumFailed = 0;
+
+  /// Human-readable consolidated matrix table. Rows for jobs finished in
+  /// an earlier supervisor life are byte-identical across re-invocations
+  /// (all row data comes from the journal).
+  std::string renderTable() const;
+  /// Machine-readable JSON document with the same content.
+  std::string renderJson() const;
+};
+
+/// presets × configs × backends, presets-major — the paper's Figure 6
+/// matrix order.
+std::vector<JobSpec> expandMatrix(const std::vector<std::string> &Presets,
+                                  const std::vector<std::string> &Configs,
+                                  const std::vector<std::string> &Backends);
+
+/// Reads a plan file: one job per line, "preset<TAB>config[<TAB>backend]"
+/// (backend defaults to native; blank lines and lines starting with '#'
+/// skipped). \returns an empty string on success, else a "file:line"
+/// diagnostic.
+std::string loadPlan(const std::string &Path, std::vector<JobSpec> &Out);
+
+/// The run journal inside a work tree.
+std::string journalPath(const std::string &WorkDir);
+
+/// Replays \p Path into finished outcomes keyed by job id. Unparsable
+/// lines (the torn tail of a killed supervisor's last append) are
+/// counted, not fatal. \returns false only when the file exists but
+/// cannot be read.
+bool replayJournal(const std::string &Path,
+                   std::map<std::string, JobOutcome> &Finished,
+                   std::size_t *TornLines = nullptr);
+
+class Supervisor {
+public:
+  explicit Supervisor(SupervisorOptions Opts);
+
+  /// Runs every job in \p Jobs that has no terminal journal record yet,
+  /// appending to the journal as it goes, and returns the consolidated
+  /// report over all of them (replayed + fresh, in \p Jobs order).
+  /// \p Err receives a diagnostic when the batch could not start at all.
+  BatchReport run(const std::vector<JobSpec> &Jobs, std::string &Err);
+
+  /// Narration callback (one line per event); default writes nothing.
+  void setLogger(void (*Log)(const std::string &, void *), void *Ctx) {
+    LogFn = Log;
+    LogCtx = Ctx;
+  }
+
+private:
+  JobOutcome runJob(const JobSpec &Job, int &ChaosKillsLeft);
+  void log(const std::string &Line) const {
+    if (LogFn)
+      LogFn(Line, LogCtx);
+  }
+
+  SupervisorOptions Opts;
+  void (*LogFn)(const std::string &, void *) = nullptr;
+  void *LogCtx = nullptr;
+};
+
+} // namespace batch
+} // namespace ctp
+
+#endif // CTP_SUPPORT_SUPERVISOR_H

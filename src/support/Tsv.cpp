@@ -35,6 +35,21 @@ std::string ctp::joinTsvLine(const std::vector<std::string> &Fields) {
   return Out;
 }
 
+namespace {
+
+/// Pre-split validation shared by both readers. \returns an empty string
+/// for an acceptable line, else the rejection reason.
+std::string checkRawLine(const std::string &Line) {
+  if (Line.size() > MaxTsvLineBytes)
+    return "line exceeds " + std::to_string(MaxTsvLineBytes) +
+           " bytes (got " + std::to_string(Line.size()) + ")";
+  if (Line.find('\0') != std::string::npos)
+    return "line contains a NUL byte";
+  return "";
+}
+
+} // namespace
+
 bool ctp::readTsvFile(const std::string &Path,
                       std::vector<std::vector<std::string>> &Rows) {
   std::ifstream In(Path);
@@ -46,13 +61,15 @@ bool ctp::readTsvFile(const std::string &Path,
       Line.pop_back();
     if (Line.empty())
       continue;
+    if (!checkRawLine(Line).empty())
+      continue;
     Rows.push_back(splitTsvLine(Line));
   }
   return true;
 }
 
-bool ctp::readTsvLines(const std::string &Path,
-                       std::vector<TsvLine> &Rows) {
+bool ctp::readTsvLines(const std::string &Path, std::vector<TsvLine> &Rows,
+                       std::vector<TsvReject> *Rejects) {
   std::ifstream In(Path);
   if (!In.is_open())
     return false;
@@ -64,6 +81,12 @@ bool ctp::readTsvLines(const std::string &Path,
       Line.pop_back();
     if (Line.empty())
       continue;
+    std::string Reason = checkRawLine(Line);
+    if (!Reason.empty()) {
+      if (Rejects)
+        Rejects->push_back({LineNo, std::move(Reason)});
+      continue;
+    }
     Rows.push_back({splitTsvLine(Line), LineNo});
   }
   return true;

@@ -39,8 +39,26 @@ struct TsvLine {
   unsigned LineNo = 0;
 };
 
-/// Like readTsvFile, but keeps the line number of every row.
-bool readTsvLines(const std::string &Path, std::vector<TsvLine> &Rows);
+/// Hard cap on one physical line. Facts files carry entity names, never
+/// megabyte payloads; a line beyond this is a corrupt or hostile input
+/// (e.g. a binary blob dropped into a facts directory) and is rejected
+/// before field splitting rather than ballooning reader memory.
+constexpr std::size_t MaxTsvLineBytes = 1u << 20;
+
+/// A line rejected before field splitting: an embedded NUL byte (TSV is
+/// a text format; NULs mean binary junk and would silently truncate any
+/// later C-string handling) or a line over MaxTsvLineBytes.
+struct TsvReject {
+  unsigned LineNo = 0;
+  std::string Reason; ///< e.g. "line contains a NUL byte"
+};
+
+/// Like readTsvFile, but keeps the line number of every row. Lines with
+/// NUL bytes or over MaxTsvLineBytes never reach \p Rows; they are
+/// recorded in \p Rejects when non-null (and dropped otherwise — pass a
+/// reject list anywhere the count matters, as facts/TsvIO does).
+bool readTsvLines(const std::string &Path, std::vector<TsvLine> &Rows,
+                  std::vector<TsvReject> *Rejects = nullptr);
 
 /// Writes \p Rows to the file at \p Path, one line per row.
 /// \returns false if the file cannot be created.

@@ -19,6 +19,7 @@
 #include "gtest/gtest.h"
 
 #include <filesystem>
+#include <fstream>
 
 using namespace ctp;
 using ctx::Abstraction;
@@ -73,6 +74,75 @@ TEST(TsvIOTest, AnalysisFromDiskMatchesInMemory) {
 TEST(TsvIOTest, MissingDirectoryErrors) {
   facts::FactDB DB;
   EXPECT_NE(facts::readFactsDir("/nonexistent/ctp/facts", DB), "");
+}
+
+TEST(TsvIOTest, NulByteRejectedWithFileLineDiagnostic) {
+  facts::FactDB DB = facts::extract(workload::figure7().P);
+  std::string Dir = freshDir("nul");
+  ASSERT_EQ(facts::writeFactsDir(DB, Dir), "");
+  {
+    std::ofstream Out(Dir + "/Assign.facts",
+                      std::ios::app | std::ios::binary);
+    Out << "bad" << '\0' << "field\talso\n";
+  }
+  // Strict: aborts with the file, line, and reason.
+  facts::FactDB Strict;
+  std::string Err = facts::readFactsDir(Dir, Strict);
+  EXPECT_NE(Err.find("Assign.facts:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("NUL"), std::string::npos) << Err;
+  // Lenient: counted and warned about, not dropped silently.
+  facts::FactDB Lenient;
+  facts::FactsReadOptions Opts;
+  Opts.Lenient = true;
+  facts::FactsReadReport Report;
+  ASSERT_EQ(facts::readFactsDir(Dir, Lenient, Opts, &Report), "");
+  EXPECT_EQ(Report.SkippedLines, 1u);
+  ASSERT_EQ(Report.Warnings.size(), 1u);
+  EXPECT_NE(Report.Warnings[0].find("NUL"), std::string::npos)
+      << Report.Warnings[0];
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(TsvIOTest, OverlongLineRejectedWithFileLineDiagnostic) {
+  facts::FactDB DB = facts::extract(workload::figure7().P);
+  std::string Dir = freshDir("overlong");
+  ASSERT_EQ(facts::writeFactsDir(DB, Dir), "");
+  {
+    std::ofstream Out(Dir + "/Load.facts", std::ios::app);
+    Out << std::string(MaxTsvLineBytes + 1, 'a') << "\n";
+  }
+  facts::FactDB Strict;
+  std::string Err = facts::readFactsDir(Dir, Strict);
+  EXPECT_NE(Err.find("Load.facts:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("exceeds"), std::string::npos) << Err;
+  facts::FactDB Lenient;
+  facts::FactsReadOptions Opts;
+  Opts.Lenient = true;
+  facts::FactsReadReport Report;
+  ASSERT_EQ(facts::readFactsDir(Dir, Lenient, Opts, &Report), "");
+  EXPECT_EQ(Report.SkippedLines, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(TsvTest, RejectListCarriesLineNumbers) {
+  std::string Dir = freshDir("rejects");
+  std::string Path = Dir + "/t.tsv";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << "good\trow\n"
+        << "nul" << '\0' << "row\n"
+        << "another\tgood\n";
+  }
+  std::vector<TsvLine> Rows;
+  std::vector<TsvReject> Rejects;
+  ASSERT_TRUE(readTsvLines(Path, Rows, &Rejects));
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0].LineNo, 1u);
+  EXPECT_EQ(Rows[1].LineNo, 3u);
+  ASSERT_EQ(Rejects.size(), 1u);
+  EXPECT_EQ(Rejects[0].LineNo, 2u);
+  EXPECT_NE(Rejects[0].Reason.find("NUL"), std::string::npos);
+  std::filesystem::remove_all(Dir);
 }
 
 TEST(TsvIOTest, UnknownNameRejected) {

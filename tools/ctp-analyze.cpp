@@ -48,6 +48,7 @@
 #include "analysis/Solver.h"
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
+#include "support/Budget.h"
 #include "support/ExitCodes.h"
 #include "support/FaultInjection.h"
 #include "workload/Presets.h"
@@ -134,6 +135,10 @@ int main(int argc, char **argv) {
        Resume = false;
   BudgetSpec Budget;
   analysis::CheckpointPolicy Ckpt;
+
+  // Liveness for a supervising ctp-batch: beat a heartbeat file from the
+  // solver's budget poll points when CTP_HEARTBEAT_FILE is set.
+  heartbeat::installFromEnv();
 
   // Test hook: arm a sticky snapshot-writer fault so the crash-resume
   // loop and the recovery tests can exercise torn/short/bit-flipped

@@ -57,6 +57,7 @@
 #include "clients/Taint.h"
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
+#include "support/Budget.h"
 #include "support/ExitCodes.h"
 #include "workload/Presets.h"
 
@@ -176,6 +177,10 @@ int main(int argc, char **argv) {
        Lenient = false, Provenance = false;
   BudgetSpec Budget;
   CheckSet Checks;
+
+  // Liveness for a supervising ctp-batch: beat a heartbeat file from the
+  // solver's budget poll points when CTP_HEARTBEAT_FILE is set.
+  heartbeat::installFromEnv();
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
