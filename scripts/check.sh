@@ -12,7 +12,7 @@
 # gracefully when clang-tidy is not installed).
 #
 # Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]
-#                          [--batch]
+#                          [--batch] [--serve]
 #
 # --crashloop additionally runs the out-of-process kill/resume loop
 # (scripts/crashloop.sh) against the fresh build — the same loop ctest
@@ -22,11 +22,18 @@
 # run over 3 presets x 2 configs with a tight chaos budget must
 # terminate with a complete report and exit 0.
 #
+# --serve additionally smokes the resident analysis service: the serve
+# unit suite plus the supervised kill/recover + overload drill through
+# the real ctp-serve binary (ctest -L serve, which includes
+# crashloop.sh --serve).
+#
 # --tsan additionally builds with ThreadSanitizer (-DCTP_SANITIZE=thread)
 # and smokes the concurrency-adjacent suites under it: the resource
 # governor (watchdog thread + cancellation flag), the crash-safety
-# snapshot/resume tests, and one supervised chaos run through ctp-batch
-# (heartbeat writes race budget polls; TSAN must stay quiet).
+# snapshot/resume tests, the supervisor/heartbeat suite (concurrent
+# beat writers race budget polls), the serve unit suite (reader/worker
+# pools share the admission queue), and one supervised chaos run through
+# ctp-batch. TSAN must stay quiet throughout.
 #
 #===----------------------------------------------------------------------===#
 
@@ -38,6 +45,7 @@ TIDY=0
 CRASHLOOP=0
 TSAN=0
 BATCH=0
+SERVE=0
 for ARG in "$@"; do
   case "$ARG" in
     --no-sanitize) SANITIZE=0 ;;
@@ -45,9 +53,10 @@ for ARG in "$@"; do
     --crashloop) CRASHLOOP=1 ;;
     --tsan) TSAN=1 ;;
     --batch) BATCH=1 ;;
+    --serve) SERVE=1 ;;
     *)
       echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]" \
-           "[--tsan] [--batch]" >&2
+           "[--tsan] [--batch] [--serve]" >&2
       exit 2
       ;;
   esac
@@ -78,18 +87,25 @@ if [[ "$BATCH" == 1 ]]; then
   rm -rf "$WORK"
 fi
 
+if [[ "$SERVE" == 1 ]]; then
+  echo "== resident service smoke (ctest -L serve) =="
+  ctest --test-dir build -j"$(nproc)" -L serve --output-on-failure
+fi
+
 if [[ "$TIDY" == 1 ]]; then
   echo "== clang-tidy =="
   scripts/tidy.sh build
 fi
 
 if [[ "$TSAN" == 1 ]]; then
-  echo "== ThreadSanitizer smoke (governor + checkpoint/resume) =="
+  echo "== ThreadSanitizer smoke (governor + checkpoint/resume + serve) =="
   cmake -B build-tsan -S . -DCTP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" \
-    --target governor_test snapshot_test resume_test ctp-analyze ctp-batch
+    --target governor_test snapshot_test resume_test supervisor_test \
+             serve_test ctp-crashkid ctp-analyze ctp-batch
   ctest --test-dir build-tsan -j"$(nproc)" \
-    -R '^(governor_test|snapshot_test|resume_test)$' --output-on-failure
+    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test)$' \
+    --output-on-failure
   echo "== ThreadSanitizer supervised chaos run =="
   WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_tsan_batch.XXXXXX")"
   build-tsan/tools/ctp-batch --work "$WORK" \

@@ -18,17 +18,29 @@
 # exactly.
 #
 # Usage: scripts/crashloop.sh [--preset NAME] [--config NAME]
-#                             [--budget N] [--max-iters N] [--batch]
+#                             [--budget N] [--max-iters N]
+#                             [--batch | --serve]
 # Env:   CTP_ANALYZE  path to the ctp-analyze binary
 #                     (default: build/tools/ctp-analyze next to this repo)
 #        CTP_BATCH    path to ctp-batch (--batch mode only; default
 #                     build/tools/ctp-batch)
+#        CTP_SERVE    path to ctp-serve (--serve mode only; default
+#                     build/tools/ctp-serve)
 #
 # --batch runs the supervised variant instead: a ctp-batch --chaos matrix
 # (3 presets x 2 configs, seeded SIGKILL injection) must terminate with a
 # complete report and exit 0; then the supervisor itself is SIGKILLed
 # mid-run on a fresh work tree and re-invoked, and every job that
 # finished in the first life must keep a byte-identical report row.
+#
+# --serve exercises the resident analysis service: start a supervised
+# ctp-serve daemon, SIGKILL it mid-query-stream five times, and after
+# each supervisor restart a fixed query batch must return byte-identical
+# answers (restarted lives warm-start from the converged checkpoint).
+# Then: a max_steps=1 query must come back answered-but-degraded, an
+# admission burst past the queue cap must yield explicit `overloaded`
+# replies while the heartbeat file keeps advancing, and a `shutdown`
+# request must stop the whole supervisor tree with exit 0.
 #
 #===----------------------------------------------------------------------===#
 
@@ -40,6 +52,7 @@ CONFIG=2-object+H
 BUDGET=6000
 MAX_ITERS=40
 BATCH=0
+SERVE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
@@ -47,13 +60,153 @@ while [[ $# -gt 0 ]]; do
     --budget) BUDGET="$2"; shift 2 ;;
     --max-iters) MAX_ITERS="$2"; shift 2 ;;
     --batch) BATCH=1; shift ;;
+    --serve) SERVE=1; shift ;;
     *)
       echo "usage: scripts/crashloop.sh [--preset NAME] [--config NAME]" \
-           "[--budget N] [--max-iters N] [--batch]" >&2
+           "[--budget N] [--max-iters N] [--batch | --serve]" >&2
       exit 2
       ;;
   esac
 done
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_crashloop.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ "$SERVE" -eq 1 ]]; then
+  SERVE_BIN="${CTP_SERVE:-build/tools/ctp-serve}"
+  if [[ ! -x "$SERVE_BIN" ]]; then
+    echo "error: ctp-serve not found at '$SERVE_BIN' (build first or set" \
+         "CTP_SERVE)" >&2
+    exit 1
+  fi
+  SRV="$WORK/serve"
+  SOCK="$WORK/s.sock"
+
+  "$SERVE_BIN" --supervise --workdir "$SRV" --socket "$SOCK" \
+    --preset "$PRESET" --config "$CONFIG" --checkpoint-every 500 \
+    --backoff-ms 50 --backoff-cap-ms 500 --stable-reset-ms 1000 \
+    --workers 2 --queue-cap 64 > "$WORK/sup.log" 2>&1 &
+  SUP=$!
+  trap 'kill -9 "$SUP" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+  client() { "$SERVE_BIN" --client "$SOCK" --connect-timeout-ms 60000; }
+  die() {
+    echo "FAIL: $1" >&2
+    shift
+    for F in "$@"; do cat "$F" >&2 2>/dev/null || true; done
+    exit 1
+  }
+
+  echo "== serve: $PRESET/$CONFIG, waiting for the first (cold) solve =="
+  echo ping | client > /dev/null \
+    || die "daemon never answered a ping" "$WORK/sup.log"
+
+  # A fixed query batch built from daemon-advertised variable names: the
+  # `vars` verb is deterministic in fact-base order, so the batch — and
+  # therefore its answers — is identical across daemon lives.
+  NAMES="$(echo "vars 12" | client | cut -f4)" \
+    || die "name discovery failed" "$WORK/sup.log"
+  read -r -a NAME_ARR <<< "$NAMES"
+  [[ "${#NAME_ARR[@]}" -ge 4 ]] \
+    || die "vars returned too few names: '$NAMES'"
+  BATCH_FILE="$WORK/batch.txt"
+  {
+    for N in "${NAME_ARR[@]}"; do echo "pts $N"; done
+    echo "alias ${NAME_ARR[0]} ${NAME_ARR[0]}"
+    echo "alias ${NAME_ARR[0]} ${NAME_ARR[1]}"
+    echo "alias ${NAME_ARR[2]} ${NAME_ARR[3]}"
+  } > "$BATCH_FILE"
+  client < "$BATCH_FILE" > "$WORK/base.txt" \
+    || die "baseline batch failed" "$WORK/sup.log"
+
+  KILLS=5
+  for K in $(seq 1 "$KILLS"); do
+    PID="$(cat "$SRV/serve.pid")"
+    # Put a query stream in flight, then SIGKILL the daemon under it:
+    # that client may lose its in-flight answers (the documented
+    # contract), but the *state* must survive into the next life.
+    client < "$BATCH_FILE" > /dev/null 2>&1 &
+    MIDSTREAM=$!
+    sleep 0.05
+    kill -9 "$PID" 2>/dev/null || true
+    wait "$MIDSTREAM" 2>/dev/null || true
+    NEW="$PID"
+    for _ in $(seq 1 600); do
+      NEW="$(cat "$SRV/serve.pid" 2>/dev/null || echo "$PID")"
+      [[ -n "$NEW" && "$NEW" != "$PID" ]] && break
+      sleep 0.05
+    done
+    [[ "$NEW" != "$PID" ]] \
+      || die "supervisor never restarted the daemon (life $K)" \
+             "$WORK/sup.log"
+    client < "$BATCH_FILE" > "$WORK/run$K.txt" \
+      || die "batch failed after restart $K" "$WORK/sup.log"
+    cmp -s "$WORK/base.txt" "$WORK/run$K.txt" \
+      || { diff "$WORK/base.txt" "$WORK/run$K.txt" >&2 || true
+           die "answers changed across daemon life $K"; }
+    echo "life $((K + 1)): restarted after SIGKILL, batch byte-identical"
+  done
+  grep -q "warm start from snapshot" "$SRV"/serve.*.err \
+    || die "no restarted life warm-started from the converged snapshot" \
+           "$WORK/sup.log"
+
+  echo "== serve: deadline-tripped query must answer, degraded =="
+  echo "pts ${NAME_ARR[0]} max_steps=1" | client > "$WORK/deadline.txt" \
+    || die "deadline query failed" "$WORK/deadline.txt"
+  awk -F'\t' 'NR == 1 { exit !($2 == "degraded" && $4 != "" && $4 != "-") }' \
+    "$WORK/deadline.txt" \
+    || die "max_steps=1 did not degrade-but-answer" "$WORK/deadline.txt"
+
+  echo "== serve: admission burst must shed while the heartbeat beats =="
+  BURST_FILE="$WORK/burst.txt"
+  {
+    # Park both workers, then pipeline far past the 64-slot queue.
+    echo "stall 1500"
+    echo "stall 1500"
+    for _ in $(seq 1 100); do echo "pts ${NAME_ARR[0]}"; done
+  } > "$BURST_FILE"
+  # The beat file is rewritten in place, so a read can catch it empty;
+  # retry until a beat value lands.
+  hbread() {
+    local V=""
+    for _ in $(seq 1 100); do
+      V="$(cat "$SRV/heartbeat" 2>/dev/null || true)"
+      [[ -n "$V" ]] && break
+      sleep 0.01
+    done
+    echo "$V"
+  }
+  HB0="$(hbread)"
+  client < "$BURST_FILE" > "$WORK/burst_out.txt" \
+    || die "burst failed" "$WORK/burst_out.txt"
+  HB1="$(hbread)"
+  SHED="$(cut -f2 "$WORK/burst_out.txt" | grep -c '^overloaded$' || true)"
+  [[ "$SHED" -ge 1 ]] \
+    || die "burst past the queue cap shed nothing" "$WORK/burst_out.txt"
+  [[ "$HB0" != "$HB1" ]] \
+    || die "heartbeat stalled during the overload burst"
+  echo "   $SHED of 102 burst queries shed with explicit OVERLOADED"
+
+  echo "== serve: shutdown must stop the supervisor tree cleanly =="
+  echo shutdown | client > /dev/null || die "shutdown request failed"
+  for _ in $(seq 1 200); do
+    kill -0 "$SUP" 2>/dev/null || break
+    sleep 0.05
+  done
+  if kill -0 "$SUP" 2>/dev/null; then
+    die "supervisor still running after shutdown" "$WORK/sup.log"
+  fi
+  set +e
+  wait "$SUP"
+  CODE=$?
+  set -e
+  [[ "$CODE" -eq 0 ]] \
+    || die "supervisor exited $CODE after a clean shutdown" "$WORK/sup.log"
+  trap 'rm -rf "$WORK"' EXIT
+  echo "== serve crash loop passed: $KILLS kills recovered," \
+       "answers byte-identical across lives =="
+  exit 0
+fi
 
 ANALYZE="${CTP_ANALYZE:-build/tools/ctp-analyze}"
 if [[ ! -x "$ANALYZE" ]]; then
@@ -61,9 +214,6 @@ if [[ ! -x "$ANALYZE" ]]; then
        "CTP_ANALYZE)" >&2
   exit 1
 fi
-
-WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_crashloop.XXXXXX")"
-trap 'rm -rf "$WORK"' EXIT
 
 if [[ "$BATCH" -eq 1 ]]; then
   BATCH_BIN="${CTP_BATCH:-build/tools/ctp-batch}"

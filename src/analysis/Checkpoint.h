@@ -57,6 +57,12 @@ struct CheckpointPolicy {
   /// "every boundary", N means "the first boundary at least N
   /// derivations after the previous write".
   std::uint64_t EveryDerivations = 0;
+  /// Batch runs delete their checkpoint on convergence (a spent
+  /// checkpoint must not feed a later --resume); a resident service
+  /// instead sets this to keep a *converged* snapshot on disk as its
+  /// warm-start image — restoring it replays every relation with
+  /// Head == size, so the restored solver converges immediately.
+  bool KeepOnConverge = false;
 
   bool enabled() const { return !Dir.empty(); }
 };

@@ -209,9 +209,16 @@ public:
     }
     drain();
     // A converged run's checkpoint is spent: remove it so a later
-    // --resume cannot pick up stale state.
-    if (Ckpt.enabled() && !Meter.tripped())
-      analysis::removeSnapshot(Ckpt.Dir);
+    // --resume cannot pick up stale state. A resident service opts out
+    // via KeepOnConverge — it writes a final converged snapshot instead,
+    // which a restarted daemon restores as a warm start (all relation
+    // heads at size, so the restored solver converges immediately).
+    if (Ckpt.enabled() && !Meter.tripped()) {
+      if (Ckpt.KeepOnConverge)
+        writeCheckpoint(TerminationReason::Converged);
+      else
+        analysis::removeSnapshot(Ckpt.Dir);
+    }
 
     Results R;
     R.Config = Cfg;

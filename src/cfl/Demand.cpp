@@ -25,8 +25,8 @@ std::uint64_t key2(std::uint32_t A, std::uint32_t B) {
 /// reported work is the true per-query cost.
 class Query {
 public:
-  Query(const DemandSolver &S, std::size_t Budget)
-      : S(S), DB(S.DB), Budget(Budget) {
+  Query(const DemandSolver &S, std::size_t Budget, BudgetMeter *Meter)
+      : S(S), DB(S.DB), Budget(Budget), Meter(Meter) {
     Relevant.assign(DB.numVars(), false);
     Pts.resize(DB.numVars());
     DynEdges.resize(DB.numVars());
@@ -59,6 +59,13 @@ public:
 private:
   bool spend() {
     ++Steps;
+    // An external meter (per-request deadline in ctp-serve) trumps the
+    // step budget: a tripped meter exhausts the query immediately so the
+    // caller gets the sound fallback instead of a late answer.
+    if (Meter && Meter->poll()) {
+      Exhausted = true;
+      return false;
+    }
     if (Steps <= Budget)
       return true;
     Exhausted = true;
@@ -283,6 +290,7 @@ private:
   const DemandSolver &S;
   const FactDB &DB;
   std::size_t Budget;
+  BudgetMeter *Meter;
   std::size_t Steps = 0;
   bool Exhausted = false;
 
@@ -388,17 +396,18 @@ DemandSolver::DemandSolver(const FactDB &DB) : DB(DB) {
     SubtypePairs.insert(key2(F.Sub, F.Super));
 }
 
-DemandAnswer DemandSolver::query(std::uint32_t Var,
-                                 std::size_t Budget) const {
+DemandAnswer DemandSolver::query(std::uint32_t Var, std::size_t Budget,
+                                 BudgetMeter *Meter) const {
   assert(Var < DB.numVars() && "query variable out of range");
-  Query Q(*this, Budget);
+  Query Q(*this, Budget, Meter);
   return Q.run(Var);
 }
 
 bool DemandSolver::mayAlias(std::uint32_t V1, std::uint32_t V2,
-                            std::size_t Budget) const {
-  DemandAnswer A = query(V1, Budget);
-  DemandAnswer B = query(V2, Budget);
+                            std::size_t Budget,
+                            BudgetMeter *Meter) const {
+  DemandAnswer A = query(V1, Budget, Meter);
+  DemandAnswer B = query(V2, Budget, Meter);
   std::size_t I = 0, J = 0;
   while (I < A.Heaps.size() && J < B.Heaps.size()) {
     if (A.Heaps[I] == B.Heaps[J])

@@ -28,6 +28,7 @@
 #define CTP_CFL_DEMAND_H
 
 #include "facts/FactDB.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <unordered_map>
@@ -59,13 +60,18 @@ public:
   explicit DemandSolver(const facts::FactDB &DB);
 
   /// Computes the may-point-to set of \p Var, spending at most \p Budget
-  /// worklist steps.
-  DemandAnswer query(std::uint32_t Var, std::size_t Budget = 100000) const;
+  /// worklist steps. A non-null \p Meter is additionally polled each
+  /// step: a trip (deadline, cancellation) exhausts the query, which
+  /// then returns the sound all-heaps fallback — so a caller with a
+  /// hard per-request deadline (ctp-serve) always gets an answer.
+  DemandAnswer query(std::uint32_t Var, std::size_t Budget = 100000,
+                     BudgetMeter *Meter = nullptr) const;
 
   /// Demand-driven may-alias: do the two variables share a heap site?
   /// Sound (may err toward "true" under budget exhaustion).
   bool mayAlias(std::uint32_t V1, std::uint32_t V2,
-                std::size_t Budget = 100000) const;
+                std::size_t Budget = 100000,
+                BudgetMeter *Meter = nullptr) const;
 
   // Pre-built reverse indices (construction cost is shared by queries and
   // reported separately by the bench). Public only for the query engine

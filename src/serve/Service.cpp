@@ -1,0 +1,627 @@
+//===- serve/Service.cpp - Resident analysis service ----------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Service.h"
+
+#include "analysis/Configurations.h"
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "facts/TsvIO.h"
+#include "support/Posix.h"
+#include "workload/Presets.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ctp;
+using namespace ctp::serve;
+
+namespace {
+
+bool parseConfigName(const std::string &Name, ctx::Config &Out) {
+  const ctx::Abstraction A = ctx::Abstraction::TransformerString;
+  if (Name == "1-call")
+    Out = ctx::oneCall(A);
+  else if (Name == "1-call+H")
+    Out = ctx::oneCallH(A);
+  else if (Name == "1-object")
+    Out = ctx::oneObject(A);
+  else if (Name == "2-object+H")
+    Out = ctx::twoObjectH(A);
+  else if (Name == "2-type+H")
+    Out = ctx::twoTypeH(A);
+  else if (Name == "2-hybrid+H")
+    Out = ctx::twoHybridH(A);
+  else if (Name == "insensitive")
+    Out = ctx::insensitive(A);
+  else
+    return false;
+  return true;
+}
+
+void note(const std::string &Line) {
+  std::fprintf(stderr, "ctp-serve: %s\n", Line.c_str());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Connection and queue machinery.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One accepted connection. Workers and the reader share the fd; the
+/// write mutex keeps response frames contiguous on it.
+struct Conn {
+  int Fd = -1;
+  std::mutex WriteMutex;
+
+  void reply(const Response &R) {
+    std::lock_guard<std::mutex> Lock(WriteMutex);
+    serve::writeFrame(Fd, renderResponse(R));
+  }
+};
+
+struct Work {
+  std::shared_ptr<Conn> C;
+  Request Q;
+};
+
+} // namespace
+
+struct Service::Impl {
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<Work> Queue;
+
+  // Open connections, for shutdown(): a reader blocked in readFrame
+  // only wakes when its fd is shut down.
+  std::mutex ConnsMutex;
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  std::vector<std::thread> Readers;
+  std::vector<std::thread> Workers;
+};
+
+//===----------------------------------------------------------------------===//
+// Startup.
+//===----------------------------------------------------------------------===//
+
+Service::Service(ServiceOptions O)
+    : Opts(std::move(O)), M(new Impl()) {}
+
+Service::~Service() = default;
+
+std::string Service::init() {
+  if (Opts.FactsDir.empty() == Opts.Preset.empty())
+    return "exactly one of FactsDir / Preset is required";
+  if (!Opts.FactsDir.empty()) {
+    facts::FactsReadOptions ReadOpts;
+    facts::FactsReadReport Report;
+    std::string Err =
+        facts::readFactsDir(Opts.FactsDir, DB, ReadOpts, &Report);
+    if (!Err.empty())
+      return Err;
+  } else {
+    bool Known = false;
+    for (const std::string &N : workload::presetNames())
+      Known |= N == Opts.Preset;
+    if (!Known)
+      return "unknown preset '" + Opts.Preset + "'";
+    DB = facts::extract(workload::generatePreset(Opts.Preset));
+  }
+
+  ctx::Config Cfg;
+  if (!parseConfigName(Opts.ConfigName, Cfg))
+    return "unknown config '" + Opts.ConfigName + "'";
+  std::string CfgErr = Cfg.validate();
+  if (!CfgErr.empty())
+    return CfgErr;
+
+  // The demand engine indexes once here and is read-only afterwards; it
+  // is both the CflOnly answer path and the degradation target of every
+  // deadline-tripped hot query.
+  Demand.reset(new cfl::DemandSolver(DB));
+
+  const std::vector<ctx::Config> Ladder = analysis::defaultLadder(Cfg);
+
+  // Rung 0: resume a prior life's snapshot when one validates; keep a
+  // converged snapshot behind for the *next* life (KeepOnConverge), and
+  // checkpoint periodically so a crash mid-solve still resumes.
+  analysis::SnapshotProbe Probe;
+  analysis::CheckpointPolicy Ckpt;
+  if (!Opts.CheckpointDir.empty()) {
+    // Whoever is handed the checkpoint path creates it — the snapshot
+    // writer only writes files, so a missing directory would silently
+    // turn every checkpoint into a warning and every restart cold.
+    std::string DirErr = posix::mkdirs(Opts.CheckpointDir);
+    if (!DirErr.empty())
+      return DirErr;
+    Ckpt.Dir = Opts.CheckpointDir;
+    Ckpt.EveryDerivations = Opts.CheckpointEvery;
+    Ckpt.KeepOnConverge = true;
+    Probe = analysis::probeSnapshot(Ckpt.Dir, DB, Ladder[0],
+                                    /*UseDatalog=*/false, Opts.Collapse);
+    if (!Probe.Warning.empty())
+      note("warning: " + Probe.Warning);
+    note(std::string("resume: ") +
+         analysis::resumeStatusName(Probe.Status));
+  }
+
+  for (std::size_t Rung = 0; Rung < Ladder.size(); ++Rung) {
+    analysis::SolverOptions SO;
+    SO.CollapseSubsumedPts = Opts.Collapse;
+    SO.Budget = Opts.StartupBudget.scaledForRung(Rung);
+    if (Rung == 0) {
+      SO.Checkpoint = Ckpt;
+      if (Probe.Status == analysis::ResumeStatus::Resumed)
+        SO.Resume = &Probe.Snap;
+    }
+    analysis::Results R = analysis::solve(DB, Ladder[Rung], SO);
+    if (!R.Stat.CheckpointError.empty())
+      note("warning: " + R.Stat.CheckpointError);
+    if (R.Stat.Term == TerminationReason::Converged) {
+      Mode = Rung == 0 ? ServeMode::Hot : ServeMode::HotRung;
+      ModeTag = Rung == 0 ? "hot" : "hot-rung" + std::to_string(Rung);
+      // Progress.Derivations is cumulative across lives (resume folds
+      // the snapshot's count in), so "no new work" is measured against
+      // the restored image's own counter.
+      WarmStart = Rung == 0 &&
+                  Probe.Status == analysis::ResumeStatus::Resumed &&
+                  R.Stat.Progress.Derivations == Probe.Snap.Derivations;
+      Hot.reset(new analysis::Results(std::move(R)));
+      Oracle.reset(new clients::AliasOracle(*Hot));
+      Taint.reset(new clients::TaintInfo(clients::computeTaint(DB, *Hot)));
+      note("serving " + Ladder[Rung].name() + " (" + ModeTag +
+           (WarmStart ? ", warm start from snapshot)" : ", cold solve)"));
+      return "";
+    }
+    // A partial exhaustive fixpoint is a subset of the truth — unsound
+    // for may-queries, so it is never served; descend instead.
+    note("startup solve of " + Ladder[Rung].name() + " exhausted (" +
+         terminationReasonName(R.Stat.Term) + "); " +
+         (Rung + 1 < Ladder.size() ? "descending the ladder"
+                                   : "serving demand-driven only"));
+  }
+  Mode = ServeMode::CflOnly;
+  ModeTag = "cfl";
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Query answering.
+//===----------------------------------------------------------------------===//
+
+bool Service::lookupVar(const std::string &Name, std::uint32_t &Id) const {
+  // Linear scan: fact bases here are small enough that a resident map
+  // would only pay off under sustained load, and the scan keeps the
+  // resident state trivially read-only. Revisit with an interned map if
+  // a profile ever blames it.
+  for (std::uint32_t V = 0; V < DB.numVars(); ++V)
+    if (DB.VarNames[V] == Name) {
+      Id = V;
+      return true;
+    }
+  return false;
+}
+
+bool Service::lookupHeap(const std::string &Name, std::uint32_t &Id) const {
+  for (std::uint32_t H = 0; H < DB.numHeaps(); ++H)
+    if (DB.HeapNames[H] == Name) {
+      Id = H;
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+/// Renders a sorted heap-id set as the response body: space-joined
+/// names, "-" when empty. Deterministic given the fact base, which is
+/// what makes responses byte-identical across daemon lives.
+std::string heapSetBody(const facts::FactDB &DB,
+                        const std::vector<std::uint32_t> &Heaps) {
+  if (Heaps.empty())
+    return "-";
+  std::string Body;
+  for (std::uint32_t H : Heaps) {
+    if (!Body.empty())
+      Body += ' ';
+    Body += DB.HeapNames[H];
+  }
+  return Body;
+}
+
+/// The per-request meter, or none when the request set no budget.
+struct RequestMeter {
+  bool Active = false;
+  BudgetMeter Meter;
+
+  explicit RequestMeter(const Request &Q) {
+    if (Q.DeadlineMs == 0 && Q.MaxSteps == 0)
+      return;
+    BudgetSpec S;
+    S.DeadlineMs = Q.DeadlineMs;
+    S.MaxDerivations = Q.MaxSteps;
+    Meter = BudgetMeter(S);
+    Active = true;
+  }
+
+  /// Charges one unit and polls. True = budget tripped.
+  bool step() {
+    if (!Active)
+      return false;
+    Meter.chargeDerivations();
+    return Meter.poll().has_value();
+  }
+};
+
+} // namespace
+
+Response Service::answerPts(const Request &Q) {
+  Response R;
+  R.Id = Q.Id;
+  if (Q.Args.size() != 1) {
+    R.Status = StatusError;
+    R.Body = "pts wants exactly one variable name";
+    return R;
+  }
+  std::uint32_t V = 0;
+  if (!lookupVar(Q.Args[0], V)) {
+    R.Status = StatusError;
+    R.Body = "unknown variable '" + Q.Args[0] + "'";
+    return R;
+  }
+  RequestMeter RM(Q);
+  if (Hot) {
+    const std::vector<std::uint32_t> &Heaps = Oracle->pointsTo(V);
+    // Charge per element so max_steps=1 deterministically exercises the
+    // degradation path even on a hot answer.
+    bool TrippedMidAnswer = false;
+    for (std::size_t I = 0; I < Heaps.size(); ++I)
+      if (RM.step()) {
+        TrippedMidAnswer = true;
+        break;
+      }
+    if (!TrippedMidAnswer) {
+      R.Status = Mode == ServeMode::Hot ? StatusOk : StatusDegraded;
+      R.Mode = ModeTag;
+      R.Body = heapSetBody(DB, Heaps);
+      return R;
+    }
+    // Fall through to the demand engine below with the same meter: it
+    // is already tripped, so the query exhausts immediately into the
+    // sound all-heaps fallback — answered, late-free, degraded.
+  }
+  cfl::DemandAnswer A =
+      Demand->query(V, Opts.CflBudget, RM.Active ? &RM.Meter : nullptr);
+  // A demand answer is this service's first-class product only in
+  // CflOnly mode; anywhere else reaching it means a budget pushed the
+  // query off the hot path, i.e. a degraded answer.
+  R.Status = Mode == ServeMode::CflOnly && !A.BudgetExceeded ? StatusOk
+                                                             : StatusDegraded;
+  R.Mode = A.BudgetExceeded ? "cfl-exhausted" : "cfl";
+  R.Body = heapSetBody(DB, A.Heaps);
+  return R;
+}
+
+Response Service::answerAlias(const Request &Q) {
+  Response R;
+  R.Id = Q.Id;
+  if (Q.Args.size() != 2) {
+    R.Status = StatusError;
+    R.Body = "alias wants exactly two variable names";
+    return R;
+  }
+  std::uint32_t V1 = 0, V2 = 0;
+  if (!lookupVar(Q.Args[0], V1) || !lookupVar(Q.Args[1], V2)) {
+    R.Status = StatusError;
+    R.Body = "unknown variable '" +
+             (lookupVar(Q.Args[0], V1) ? Q.Args[1] : Q.Args[0]) + "'";
+    return R;
+  }
+  RequestMeter RM(Q);
+  if (Hot) {
+    // Charge the smaller side's cardinality: mayAlias is an intersection
+    // walk over two sorted sets.
+    const std::size_t Cost = std::min(Oracle->pointsTo(V1).size(),
+                                      Oracle->pointsTo(V2).size());
+    bool Tripped = false;
+    for (std::size_t I = 0; I < Cost && !Tripped; ++I)
+      Tripped = RM.step();
+    if (!Tripped) {
+      R.Status = Mode == ServeMode::Hot ? StatusOk : StatusDegraded;
+      R.Mode = ModeTag;
+      R.Body = Oracle->mayAlias(V1, V2) ? "true" : "false";
+      return R;
+    }
+  }
+  bool Alias =
+      Demand->mayAlias(V1, V2, Opts.CflBudget, RM.Active ? &RM.Meter : nullptr);
+  bool Exhausted = RM.Active && RM.Meter.tripped();
+  R.Status =
+      Mode == ServeMode::CflOnly && !Exhausted ? StatusOk : StatusDegraded;
+  R.Mode = Exhausted ? "cfl-exhausted" : "cfl";
+  R.Body = Alias ? "true" : "false";
+  return R;
+}
+
+Response Service::answerTaint(const Request &Q) {
+  Response R;
+  R.Id = Q.Id;
+  if (Q.Args.size() != 1) {
+    R.Status = StatusError;
+    R.Body = "taint wants exactly one heap-site name";
+    return R;
+  }
+  if (!Taint) {
+    // Heap taint is computed from a converged exhaustive result; the
+    // demand engine has no equivalent, so CflOnly mode cannot answer.
+    R.Status = StatusError;
+    R.Body = "taint requires a converged solve (serving demand-driven "
+             "only)";
+    return R;
+  }
+  std::uint32_t H = 0;
+  if (!lookupHeap(Q.Args[0], H)) {
+    R.Status = StatusError;
+    R.Body = "unknown heap site '" + Q.Args[0] + "'";
+    return R;
+  }
+  R.Status = Mode == ServeMode::Hot ? StatusOk : StatusDegraded;
+  R.Mode = ModeTag;
+  R.Body = Taint->isHot(H) ? "hot" : "clean";
+  return R;
+}
+
+Response Service::answerStats(const Request &Q) {
+  Response R;
+  R.Id = Q.Id;
+  R.Status = StatusOk;
+  R.Mode = ModeTag;
+  R.Body = "mode=" + ModeTag +
+           " warm=" + (WarmStart ? "true" : "false") +
+           " vars=" + std::to_string(DB.numVars()) +
+           " heaps=" + std::to_string(DB.numHeaps()) +
+           " pts=" + std::to_string(Hot ? Hot->Pts.size() : 0) +
+           " served=" + std::to_string(Served.load()) +
+           " shed=" + std::to_string(Shed.load()) +
+           " inflight=" + std::to_string(InFlight.load()) +
+           " queue_cap=" + std::to_string(Opts.QueueCap);
+  return R;
+}
+
+Response Service::answer(const Request &Q) {
+  Served.fetch_add(1, std::memory_order_relaxed);
+  if (Q.Verb == "pts")
+    return answerPts(Q);
+  if (Q.Verb == "alias")
+    return answerAlias(Q);
+  if (Q.Verb == "taint")
+    return answerTaint(Q);
+  if (Q.Verb == "stats")
+    return answerStats(Q);
+  Response R;
+  R.Id = Q.Id;
+  if (Q.Verb == "ping") {
+    R.Status = StatusOk;
+    R.Body = "pong";
+    return R;
+  }
+  if (Q.Verb == "stall") {
+    // A bounded drill for the overload test: occupy this worker so a
+    // pipelined burst overflows the admission queue. Capped so a rogue
+    // client cannot park a worker for long.
+    std::uint64_t Ms = 0;
+    if (Q.Args.size() == 1)
+      Ms = std::min<std::uint64_t>(std::strtoull(Q.Args[0].c_str(),
+                                                 nullptr, 10),
+                                   2000);
+    ::usleep(static_cast<useconds_t>(Ms * 1000));
+    R.Status = StatusOk;
+    R.Body = "stalled " + std::to_string(Ms) + "ms";
+    return R;
+  }
+  if (Q.Verb == "vars") {
+    // Deterministic name discovery: the first N variable names in
+    // fact-base order, so scripted clients (crashloop.sh --serve) can
+    // build query batches without knowing the generator's naming
+    // scheme. Names never contain whitespace (ir::Builder uses
+    // Class.method/var), so the space-joined body splits back cleanly.
+    std::uint64_t N = 0;
+    if (Q.Args.size() != 1 ||
+        (N = std::strtoull(Q.Args[0].c_str(), nullptr, 10)) == 0) {
+      R.Status = StatusError;
+      R.Body = "vars wants a positive count";
+      return R;
+    }
+    N = std::min<std::uint64_t>(N, DB.numVars());
+    std::string Body;
+    for (std::uint64_t V = 0; V < N; ++V) {
+      if (!Body.empty())
+        Body += ' ';
+      Body += DB.VarNames[V];
+    }
+    R.Status = StatusOk;
+    R.Mode = ModeTag;
+    R.Body = Body.empty() ? "-" : Body;
+    return R;
+  }
+  if (Q.Verb == "shutdown") {
+    R.Status = StatusOk;
+    R.Body = "bye";
+    return R; // Caller stops the loop after replying.
+  }
+  R.Status = StatusError;
+  R.Body = "unknown verb '" + Q.Verb + "'";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// The serving loop.
+//===----------------------------------------------------------------------===//
+
+int Service::serve(const std::string &SocketPath) {
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    note("socket() failed");
+    return 1;
+  }
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    note("socket path too long: " + SocketPath);
+    posix::closeQuiet(ListenFd);
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  // A previous life's socket node would make bind fail with EADDRINUSE;
+  // the supervisor guarantees one daemon per socket, so unlink is safe.
+  ::unlink(SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 64) != 0) {
+    note("cannot listen on " + SocketPath);
+    posix::closeQuiet(ListenFd);
+    return 1;
+  }
+  note("listening on " + SocketPath);
+
+  // Workers: pop, answer, reply under the connection's write mutex.
+  for (std::size_t W = 0; W < std::max<std::size_t>(1, Opts.Workers); ++W)
+    M->Workers.emplace_back([this] {
+      while (true) {
+        Work Item;
+        {
+          std::unique_lock<std::mutex> Lock(M->QueueMutex);
+          M->QueueCv.wait(Lock, [this] {
+            return Stop.load(std::memory_order_relaxed) ||
+                   !M->Queue.empty();
+          });
+          if (M->Queue.empty())
+            return; // Stop and drained.
+          Item = std::move(M->Queue.front());
+          M->Queue.pop_front();
+        }
+        Response R = answer(Item.Q);
+        Item.C->reply(R);
+        InFlight.fetch_sub(1, std::memory_order_relaxed);
+        if (Item.Q.Verb == "shutdown")
+          requestStop();
+      }
+    });
+
+  // Accept loop: poll with a timeout so the heartbeat advances and the
+  // stop flags are honoured even while idle or while every worker is
+  // busy — liveness must not depend on query progress.
+  while (!Stop.load(std::memory_order_relaxed)) {
+    if (Opts.StopFlag && *Opts.StopFlag) {
+      requestStop();
+      break;
+    }
+    heartbeat::tick();
+    struct pollfd Pfd;
+    Pfd.fd = ListenFd;
+    Pfd.events = POLLIN;
+    Pfd.revents = 0;
+    int N = ::poll(&Pfd, 1, 50);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      note("poll() failed");
+      break;
+    }
+    if (N == 0 || !(Pfd.revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    {
+      std::lock_guard<std::mutex> Lock(M->ConnsMutex);
+      M->Conns.push_back(C);
+    }
+    // Reader: frame, parse, admit. Shedding happens here — a full queue
+    // answers OVERLOADED directly so the reader never blocks on the
+    // worker pool.
+    M->Readers.emplace_back([this, C] {
+      std::string Payload;
+      while (true) {
+        FrameResult FR = serve::readFrame(C->Fd, Payload);
+        if (FR != FrameResult::Ok) {
+          if (FR == FrameResult::TooBig)
+            C->reply({"-", StatusError, "-", "frame exceeds 16MiB"});
+          return;
+        }
+        Request Q;
+        std::string Err = parseRequest(Payload, Q);
+        if (!Err.empty()) {
+          C->reply({"-", StatusError, "-", Err});
+          continue;
+        }
+        bool Admitted = false;
+        {
+          std::lock_guard<std::mutex> Lock(M->QueueMutex);
+          if (M->Queue.size() < Opts.QueueCap &&
+              !Stop.load(std::memory_order_relaxed)) {
+            M->Queue.push_back(Work{C, std::move(Q)});
+            Admitted = true;
+          }
+        }
+        if (Admitted) {
+          InFlight.fetch_add(1, std::memory_order_relaxed);
+          M->QueueCv.notify_one();
+        } else {
+          Shed.fetch_add(1, std::memory_order_relaxed);
+          C->reply({Q.Id, StatusOverloaded, "-", "admission queue full"});
+        }
+      }
+    });
+  }
+
+  // Teardown: wake blocked readers by shutting their sockets down, then
+  // join everything. Shed whatever is still queued — in-flight loss on
+  // shutdown is the documented contract (crash recovery restores the
+  // *state*, not unanswered requests).
+  requestStop();
+  {
+    std::lock_guard<std::mutex> Lock(M->ConnsMutex);
+    for (const auto &C : M->Conns)
+      ::shutdown(C->Fd, SHUT_RDWR);
+  }
+  M->QueueCv.notify_all();
+  for (std::thread &T : M->Readers)
+    T.join();
+  M->QueueCv.notify_all();
+  for (std::thread &T : M->Workers)
+    T.join();
+  {
+    std::lock_guard<std::mutex> Lock(M->ConnsMutex);
+    for (const auto &C : M->Conns)
+      posix::closeQuiet(C->Fd);
+    M->Conns.clear();
+  }
+  posix::closeQuiet(ListenFd);
+  ::unlink(SocketPath.c_str());
+  note("stopped cleanly");
+  return 0;
+}

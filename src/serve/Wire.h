@@ -1,0 +1,111 @@
+//===- serve/Wire.h - ctp-serve framing and message model -------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the resident analysis service (tools/ctp-serve):
+/// length-prefixed frames over a byte stream (Unix socket or a pipe
+/// pair), each frame one tab-separated text line.
+///
+/// Frame: u32 little-endian payload length, then that many payload
+/// bytes. A frame longer than MaxFrameBytes is a protocol error (the
+/// reader refuses to allocate for it); length prefixes make torn streams
+/// detectable — a reader that gets EOF mid-frame knows the peer died
+/// rather than silently truncating a line.
+///
+/// Request payload:  <id> \t <verb> [\t <arg>]... [\t key=value]...
+///   Verbs: pts VAR | alias VAR VAR | taint HEAP | vars N | stats |
+///          ping | stall MS | shutdown. Recognized options: deadline_ms=N
+///   (wall-clock budget for this request), max_steps=N (work cap; one
+///   step per points-to element touched / CFL worklist step).
+///
+/// Response payload: <id> \t <status> \t <mode> \t <body>
+///   status: ok | degraded | overloaded | error
+///   mode:   how the answer was produced — hot (converged exhaustive
+///           results), hot-rung<k> (converged on degradation-ladder rung
+///           k), cfl (demand-driven), cfl-exhausted (demand budget ran
+///           out: sound all-heaps fallback), or "-" when no engine ran
+///           (ping, errors, shed load).
+///
+/// Ids are chosen by the client and echoed verbatim, so a pipelining
+/// client can reorder responses deterministically (crashloop.sh sorts by
+/// id before comparing across daemon lives).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SERVE_WIRE_H
+#define CTP_SERVE_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace serve {
+
+/// Refuse to allocate for absurd frames: no legitimate query or answer
+/// in this protocol approaches 16 MiB.
+constexpr std::uint32_t MaxFrameBytes = 16u << 20;
+
+enum class FrameResult : std::uint8_t {
+  Ok,       ///< One complete frame read.
+  Eof,      ///< Clean EOF on a frame boundary (peer closed).
+  TornEof,  ///< EOF inside a frame (peer died mid-write).
+  TooBig,   ///< Length prefix exceeds MaxFrameBytes.
+  IoError,  ///< read() failed (errno in the diagnostic).
+};
+
+const char *frameResultName(FrameResult R);
+
+/// Reads one frame from \p Fd (blocking, EINTR-retried). On Ok,
+/// \p Payload holds the frame body.
+FrameResult readFrame(int Fd, std::string &Payload);
+
+/// Writes one frame (length prefix + payload) to \p Fd. \returns false
+/// on a write error or a payload over MaxFrameBytes. The caller
+/// serializes concurrent writers (the service holds a per-connection
+/// write mutex) — a frame must hit the stream contiguously.
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// One parsed request.
+struct Request {
+  std::string Id;
+  std::string Verb;
+  std::vector<std::string> Args; ///< Positional args (option args removed).
+  std::uint64_t DeadlineMs = 0;  ///< 0 = no per-request deadline.
+  std::uint64_t MaxSteps = 0;    ///< 0 = no per-request work cap.
+};
+
+/// Parses a request payload. \returns an empty string on success, else a
+/// diagnostic (the service echoes it in an error response, so it must
+/// not contain tabs or newlines).
+std::string parseRequest(const std::string &Payload, Request &Out);
+
+/// One response, rendered as the tab-joined payload described above.
+struct Response {
+  std::string Id;
+  std::string Status;
+  std::string Mode = "-";
+  std::string Body = "-";
+};
+
+// Status strings (the protocol's, not an enum: they go on the wire).
+extern const char StatusOk[];
+extern const char StatusDegraded[];
+extern const char StatusOverloaded[];
+extern const char StatusError[];
+
+std::string renderResponse(const Response &R);
+
+/// Splits a rendered response back into fields; false when \p Payload
+/// does not have exactly four tab-separated fields. Used by the client
+/// and the tests; the body itself may contain no tabs by construction.
+bool parseResponse(const std::string &Payload, Response &Out);
+
+} // namespace serve
+} // namespace ctp
+
+#endif // CTP_SERVE_WIRE_H

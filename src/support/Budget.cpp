@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 using namespace ctp;
 
@@ -42,15 +43,39 @@ std::int64_t steadyNowNs() {
       .count();
 }
 
+// Serializes the truncate-and-rewrite below. The CAS on HbLastBeatNs
+// admits one writer per *interval*, but writers from adjacent intervals
+// can still overlap (thread A wins interval N, is descheduled mid-write,
+// thread B wins interval N+1): interleaved truncates then leave the file
+// torn ("9\n\n" and worse). try_lock, not lock: beats are best-effort,
+// so a late-arriving writer drops its beat rather than block a solver
+// thread on file I/O.
+std::mutex HbWriteMutex;
+
 void writeBeatFile() {
   std::uint64_t N = HbBeats.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::unique_lock<std::mutex> Lock(HbWriteMutex, std::try_to_lock);
+  if (!Lock.owns_lock())
+    return; // Another beat is mid-write; this one costs one interval.
   // Truncate-and-rewrite: the watcher only compares successive contents,
-  // so a torn beat at worst reads as "no change" and costs one interval.
+  // so a dropped beat at worst reads as "no change" for one interval.
   std::FILE *F = std::fopen(HbPath.c_str(), "w");
   if (!F)
     return; // Liveness reporting must never take the analysis down.
   std::fprintf(F, "%llu\n", static_cast<unsigned long long>(N));
   std::fclose(F);
+}
+
+// Shared by onPoll (post-stride) and tick: rate-limit on steady time and
+// elect one writer per elapsed interval via CAS.
+void beatIfIntervalElapsed() {
+  std::int64_t Now = steadyNowNs();
+  std::int64_t Last = HbLastBeatNs.load(std::memory_order_relaxed);
+  if (Now - Last < static_cast<std::int64_t>(HbIntervalMs) * 1000000)
+    return;
+  if (HbLastBeatNs.compare_exchange_strong(Last, Now,
+                                           std::memory_order_relaxed))
+    writeBeatFile();
 }
 
 } // namespace
@@ -101,14 +126,13 @@ void heartbeat::onPoll() {
   // in BudgetMeter::poll.
   if ((HbPolls.fetch_add(1, std::memory_order_relaxed) & 63) != 0)
     return;
-  std::int64_t Now = steadyNowNs();
-  std::int64_t Last = HbLastBeatNs.load(std::memory_order_relaxed);
-  if (Now - Last < static_cast<std::int64_t>(HbIntervalMs) * 1000000)
+  beatIfIntervalElapsed();
+}
+
+void heartbeat::tick() {
+  if (!HbInstalled.load(std::memory_order_acquire))
     return;
-  // One writer per interval: the thread that wins the CAS beats.
-  if (HbLastBeatNs.compare_exchange_strong(Last, Now,
-                                           std::memory_order_relaxed))
-    writeBeatFile();
+  beatIfIntervalElapsed();
 }
 
 const char *ctp::terminationReasonName(TerminationReason R) {

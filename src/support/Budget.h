@@ -77,6 +77,14 @@ std::uint64_t beats();
 /// clock and only elapsed intervals touch the file.
 void onPoll();
 
+/// The same rate-limited beat without onPoll's 64-call stride. The
+/// stride amortizes clock reads at rule-firing rates; a service loop
+/// that wakes a few times per interval (ctp-serve's accept loop while
+/// idle between queries) would beat 64x too rarely through onPoll, so
+/// it calls tick() directly. Still at most one file write per interval,
+/// still inert when no heartbeat is installed.
+void tick();
+
 } // namespace heartbeat
 
 /// Why an evaluation run stopped.

@@ -7,6 +7,8 @@
 
 #include "support/Durability.h"
 
+#include "support/Posix.h"
+
 #include <cerrno>
 #include <cstring>
 
@@ -22,22 +24,6 @@ std::string errnoDiag(const std::string &What, const std::string &Path) {
   return What + " '" + Path + "' failed: " + std::strerror(errno);
 }
 
-/// Full-buffer write loop (write may be short on signals).
-bool writeAll(int Fd, const void *Data, std::size_t Size) {
-  const char *P = static_cast<const char *>(Data);
-  while (Size != 0) {
-    ssize_t N = ::write(Fd, P, Size);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    P += N;
-    Size -= static_cast<std::size_t>(N);
-  }
-  return true;
-}
-
 } // namespace
 
 std::string durable::syncDirOf(const std::string &Path) {
@@ -45,12 +31,12 @@ std::string durable::syncDirOf(const std::string &Path) {
   std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
   if (Dir.empty())
     Dir = "/";
-  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  int Fd = posix::openRetry(Dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (Fd < 0)
     return errnoDiag("open directory", Dir);
-  int Rc = ::fsync(Fd);
+  int Rc = posix::fsyncRetry(Fd);
   int SavedErrno = errno;
-  ::close(Fd);
+  posix::closeQuiet(Fd);
   // Directories on some filesystems reject fsync with EINVAL; there is
   // no stronger guarantee to be had there, so it is not an error.
   if (Rc != 0 && SavedErrno != EINVAL) {
@@ -64,22 +50,22 @@ std::string durable::appendLine(const std::string &Path,
                                 const std::string &Line) {
   struct stat St;
   bool Existed = ::stat(Path.c_str(), &St) == 0;
-  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  int Fd = posix::openRetry(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND);
   if (Fd < 0)
     return errnoDiag("open", Path);
   std::string Buf = Line;
   Buf += '\n';
-  if (!writeAll(Fd, Buf.data(), Buf.size())) {
+  if (!posix::writeFull(Fd, Buf.data(), Buf.size())) {
     std::string Err = errnoDiag("append to", Path);
-    ::close(Fd);
+    posix::closeQuiet(Fd);
     return Err;
   }
-  if (::fsync(Fd) != 0) {
+  if (posix::fsyncRetry(Fd) != 0) {
     std::string Err = errnoDiag("fsync", Path);
-    ::close(Fd);
+    posix::closeQuiet(Fd);
     return Err;
   }
-  if (::close(Fd) != 0)
+  if (posix::closeQuiet(Fd) != 0)
     return errnoDiag("close", Path);
   if (!Existed)
     return syncDirOf(Path);
@@ -88,20 +74,20 @@ std::string durable::appendLine(const std::string &Path,
 
 std::string durable::writeFileSynced(const std::string &Path,
                                      const void *Data, std::size_t Size) {
-  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int Fd = posix::openRetry(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC);
   if (Fd < 0)
     return errnoDiag("open", Path);
-  if (!writeAll(Fd, Data, Size)) {
+  if (!posix::writeFull(Fd, Data, Size)) {
     std::string Err = errnoDiag("write to", Path);
-    ::close(Fd);
+    posix::closeQuiet(Fd);
     return Err;
   }
-  if (::fsync(Fd) != 0) {
+  if (posix::fsyncRetry(Fd) != 0) {
     std::string Err = errnoDiag("fsync", Path);
-    ::close(Fd);
+    posix::closeQuiet(Fd);
     return Err;
   }
-  if (::close(Fd) != 0)
+  if (posix::closeQuiet(Fd) != 0)
     return errnoDiag("close", Path);
   return "";
 }

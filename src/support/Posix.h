@@ -1,0 +1,81 @@
+//===- support/Posix.h - EINTR-safe POSIX wrappers --------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EINTR-retry wrappers for the raw POSIX calls the fault-tolerance layer
+/// leans on. The supervisor, the batch driver, and the analysis service
+/// all live in signal-heavy processes (SIGCHLD from reaped children,
+/// chaos SIGKILLs of *other* processes delivered while we sit in a
+/// syscall, profiling timers under the sanitizers); a chaos run must
+/// never surface a spurious "read failed: Interrupted system call" where
+/// a retry was the correct response. Every call sites one of these
+/// helpers instead of hand-rolling the loop — the EINTR policy lives in
+/// exactly one place.
+///
+/// Policy notes:
+///  - read/write/open/fsync/waitpid: retry on EINTR, unconditionally.
+///  - close: NEVER retried. On Linux the descriptor is freed even when
+///    close fails with EINTR, so a retry could close an unrelated fd
+///    that was just handed out to another thread; closeQuiet treats
+///    EINTR as success.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_POSIX_H
+#define CTP_SUPPORT_POSIX_H
+
+#include <cstddef>
+#include <string>
+
+#include <sys/types.h>
+
+namespace ctp {
+namespace posix {
+
+/// open(2), retried on EINTR (possible when the path names a FIFO or a
+/// slow device; harmless to retry everywhere).
+int openRetry(const char *Path, int Flags, unsigned Mode = 0644);
+
+/// One read(2), retried on EINTR. \returns the byte count, 0 at EOF, or
+/// -1 with errno set (never EINTR).
+ssize_t readRetry(int Fd, void *Buf, std::size_t N);
+
+/// Reads exactly \p N bytes unless EOF or a real error intervenes.
+/// \returns the number of bytes read (== N on full success); check
+/// errno only when the return is negative... it never is: a short count
+/// means EOF, and -1 is never returned — errors surface as a short count
+/// with \p Err (when non-null) set to the errno that stopped the loop
+/// (0 for plain EOF).
+std::size_t readFull(int Fd, void *Buf, std::size_t N, int *Err = nullptr);
+
+/// Writes all \p N bytes, retrying short writes and EINTR. \returns true
+/// on success; on failure errno identifies the cause (never EINTR).
+bool writeFull(int Fd, const void *Buf, std::size_t N);
+
+/// fsync(2), retried on EINTR.
+int fsyncRetry(int Fd);
+
+/// waitpid(2), retried on EINTR — the classic hole: a supervisor
+/// blocking in waitpid while a signal lands would otherwise misreport a
+/// live child as unreapable.
+pid_t waitpidRetry(pid_t Pid, int *Status, int Flags);
+
+/// close(2) with the Linux EINTR policy (see file comment): EINTR is
+/// success, anything else returns -1 with errno set.
+int closeQuiet(int Fd);
+
+/// mkdir -p: creates \p Path and every missing parent (mode 0755).
+/// \returns an empty string on success, else a diagnostic naming the
+/// component that failed. Shared by the supervisors and the service so
+/// "who creates the checkpoint directory" has one answer: whoever was
+/// handed the path.
+std::string mkdirs(const std::string &Path);
+
+} // namespace posix
+} // namespace ctp
+
+#endif // CTP_SUPPORT_POSIX_H

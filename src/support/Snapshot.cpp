@@ -69,8 +69,21 @@ std::vector<std::uint8_t> snapshot::encode(const File &F) {
 std::string snapshot::decode(const std::uint8_t *Data, std::size_t N,
                              File &Out) {
   Out = File();
+  // Distinguish the two sub-header shapes: a zero-byte file is the
+  // signature of a crash between open/truncate and the first write (or
+  // of an interrupted copy), while a short-but-nonempty header usually
+  // means a torn write. Both are unrecoverable, but the operator's next
+  // move differs — so say which one it is and what to do.
+  if (N == 0)
+    return "snapshot is empty (0 bytes): the writer crashed before any "
+           "bytes landed or the file was created by something else; "
+           "delete it and rerun cold";
   if (N < sizeof(Magic) + 8)
-    return "snapshot truncated (shorter than the header)";
+    return "snapshot truncated before the header ended (" +
+           std::to_string(N) + " of " +
+           std::to_string(sizeof(Magic) + 8) +
+           " header bytes): likely a torn write; delete it and rerun "
+           "cold";
   for (std::size_t I = 0; I < sizeof(Magic); ++I)
     if (Data[I] != Magic[I])
       return "not a snapshot file (bad magic)";

@@ -7,6 +7,8 @@
 
 #include "support/Subprocess.h"
 
+#include "support/Posix.h"
+
 #include <cerrno>
 #include <cstring>
 
@@ -82,7 +84,7 @@ Child &Child::operator=(Child &&O) noexcept {
 
 void Child::closeErrFd() {
   if (ErrFd >= 0) {
-    ::close(ErrFd);
+    posix::closeQuiet(ErrFd);
     ErrFd = -1;
   }
 }
@@ -113,8 +115,8 @@ std::string Child::spawn(const SpawnSpec &Spec) {
 
   pid_t P = ::fork();
   if (P < 0) {
-    ::close(Pipe[0]);
-    ::close(Pipe[1]);
+    posix::closeQuiet(Pipe[0]);
+    posix::closeQuiet(Pipe[1]);
     return std::string("fork failed: ") + std::strerror(errno);
   }
   if (P == 0) {
@@ -147,7 +149,7 @@ std::string Child::spawn(const SpawnSpec &Spec) {
   }
 
   // Parent.
-  ::close(Pipe[1]);
+  posix::closeQuiet(Pipe[1]);
   ErrFd = Pipe[0];
   int Flags = ::fcntl(ErrFd, F_GETFL, 0);
   ::fcntl(ErrFd, F_SETFL, Flags | O_NONBLOCK);
@@ -165,15 +167,14 @@ void Child::pumpStderr() {
     return;
   char Buf[4096];
   while (true) {
-    ssize_t N = ::read(ErrFd, Buf, sizeof(Buf));
+    ssize_t N = posix::readRetry(ErrFd, Buf, sizeof(Buf));
     if (N > 0) {
       if (!StderrPath.empty()) {
-        int Fd = ::open(StderrPath.c_str(),
-                        O_WRONLY | O_CREAT | O_APPEND, 0644);
+        int Fd = posix::openRetry(StderrPath.c_str(),
+                                  O_WRONLY | O_CREAT | O_APPEND);
         if (Fd >= 0) {
-          ssize_t Ignored = ::write(Fd, Buf, static_cast<std::size_t>(N));
-          (void)Ignored;
-          ::close(Fd);
+          posix::writeFull(Fd, Buf, static_cast<std::size_t>(N));
+          posix::closeQuiet(Fd);
         }
       }
       Tail.append(Buf, static_cast<std::size_t>(N));
@@ -185,9 +186,7 @@ void Child::pumpStderr() {
       closeErrFd();
       return;
     }
-    if (errno == EINTR)
-      continue;
-    return; // EAGAIN: nothing buffered right now.
+    return; // EAGAIN: nothing buffered right now (EINTR already retried).
   }
 }
 
@@ -196,7 +195,7 @@ bool Child::running() {
     return false;
   pumpStderr();
   int St = 0;
-  pid_t R = ::waitpid(Pid, &St, WNOHANG);
+  pid_t R = posix::waitpidRetry(Pid, &St, WNOHANG);
   if (R == 0)
     return true;
   // Reaped (or unexpectedly gone: treat ECHILD as an exec-failure-like

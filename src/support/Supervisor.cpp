@@ -8,6 +8,7 @@
 #include "support/Supervisor.h"
 
 #include "support/Durability.h"
+#include "support/Posix.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/Tsv.h"
@@ -259,24 +260,7 @@ bool jsonBool(const std::string &Line, const char *Key, bool &Out) {
 // Filesystem helpers.
 //===----------------------------------------------------------------------===//
 
-std::string mkdirs(const std::string &Path) {
-  std::string Partial;
-  std::istringstream In(Path);
-  std::string Part;
-  if (!Path.empty() && Path[0] == '/')
-    Partial = "/";
-  while (std::getline(In, Part, '/')) {
-    if (Part.empty())
-      continue;
-    if (!Partial.empty() && Partial.back() != '/')
-      Partial += '/';
-    Partial += Part;
-    if (::mkdir(Partial.c_str(), 0755) != 0 && errno != EEXIST)
-      return "cannot create directory '" + Partial +
-             "': " + std::strerror(errno);
-  }
-  return "";
-}
+std::string mkdirs(const std::string &Path) { return posix::mkdirs(Path); }
 
 /// Job ids contain '/' and '+'; their on-disk directory names do not.
 std::string sanitizeId(const std::string &Id) {
@@ -775,4 +759,143 @@ std::string BatchReport::renderJson() const {
     << ",\"completed_degraded\":" << NumDegraded
     << ",\"failed\":" << NumFailed << "}\n}\n";
   return S.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Service supervision.
+//===----------------------------------------------------------------------===//
+
+using namespace ctp::service;
+
+std::string service::pidFilePath(const std::string &WorkDir) {
+  return WorkDir + "/serve.pid";
+}
+
+std::string service::heartbeatFilePath(const std::string &WorkDir) {
+  return WorkDir + "/heartbeat";
+}
+
+std::uint64_t service::restartBackoffMs(const ServeSupervisorOptions &O,
+                                        int ConsecutiveFailures) {
+  int Shift = std::max(0, std::min(ConsecutiveFailures - 1, 16));
+  std::uint64_t Delay = O.BackoffMs << Shift;
+  return std::min(Delay, O.BackoffCapMs);
+}
+
+int service::superviseService(const ServeSupervisorOptions &O,
+                              void (*Log)(const std::string &, void *),
+                              void *LogCtx) {
+  auto Note = [&](const std::string &Line) {
+    if (Log)
+      Log(Line, LogCtx);
+  };
+  std::string Err = mkdirs(O.WorkDir);
+  if (!Err.empty()) {
+    Note(Err);
+    return 1;
+  }
+  const std::string Heartbeat = heartbeatFilePath(O.WorkDir);
+  const std::string PidFile = pidFilePath(O.WorkDir);
+  auto Stopping = [&O] { return O.StopFlag && *O.StopFlag; };
+
+  int Restarts = 0;       // Lives after the first.
+  int ConsecFails = 0;    // Fast-failure streak, for the backoff.
+  for (int Life = 0;; ++Life) {
+    if (Stopping())
+      return 0;
+    proc::SpawnSpec Spec;
+    Spec.Argv = O.Argv;
+    Spec.ExtraEnv = {"CTP_HEARTBEAT_FILE=" + Heartbeat,
+                     "CTP_HEARTBEAT_INTERVAL_MS=" +
+                         std::to_string(O.HeartbeatIntervalMs)};
+    Spec.StdoutPath = O.WorkDir + "/serve." + std::to_string(Life) + ".out";
+    Spec.StderrPath = O.WorkDir + "/serve." + std::to_string(Life) + ".err";
+
+    proc::Child Child;
+    std::string SpawnErr = Child.spawn(Spec);
+    if (!SpawnErr.empty()) {
+      // Spawning is local work; its failure is a crash like any other.
+      Note("life " + std::to_string(Life) + ": spawn failed: " + SpawnErr);
+    } else {
+      // The pid file always names the *current* life, so an external
+      // chaos harness can kill precisely the daemon the supervisor is
+      // watching right now.
+      const std::string PidLine = std::to_string(Child.pid()) + "\n";
+      durable::writeFileSynced(PidFile, PidLine.data(), PidLine.size());
+      Note("life " + std::to_string(Life) + ": pid " +
+           std::to_string(Child.pid()));
+
+      Stopwatch LifeClock;
+      std::string LastBeat = slurpSmallFile(Heartbeat);
+      Stopwatch SinceBeat;
+      bool KilledForStall = false, ForwardedStop = false;
+      Stopwatch SinceStop;
+      while (Child.running()) {
+        sleepMs(O.PollIntervalMs);
+        if (Stopping() && !ForwardedStop) {
+          Child.kill(SIGTERM);
+          ForwardedStop = true;
+          SinceStop.restart();
+        }
+        if (ForwardedStop) {
+          // Grace period, then the hard way; either way no restart.
+          if (SinceStop.seconds() * 1e3 >= 2000)
+            Child.kill(SIGKILL);
+          continue;
+        }
+        if (KilledForStall)
+          continue; // Wait for the reap.
+        std::string Beat = slurpSmallFile(Heartbeat);
+        if (Beat != LastBeat) {
+          LastBeat = Beat;
+          SinceBeat.restart();
+        }
+        if (O.StallTimeoutMs != 0 &&
+            SinceBeat.seconds() * 1e3 >=
+                static_cast<double>(O.StallTimeoutMs)) {
+          Note("life " + std::to_string(Life) +
+               ": heartbeat stalled; killing");
+          Child.kill(SIGKILL);
+          KilledForStall = true;
+        }
+      }
+      const proc::ExitStatus &St = Child.status();
+      if (ForwardedStop)
+        return St.Exited ? St.Code : 0;
+      if (St.Exited && St.Code == 0) {
+        Note("life " + std::to_string(Life) + ": clean exit");
+        return 0;
+      }
+      Note("life " + std::to_string(Life) + ": " +
+           (St.Signalled ? "killed by signal " + std::to_string(St.Signal)
+                         : "exit " + std::to_string(St.Code)) +
+           " after " +
+           std::to_string(
+               static_cast<std::uint64_t>(LifeClock.seconds() * 1e3)) +
+           " ms");
+      // A life that stayed up long enough proves the daemon itself is
+      // healthy; only rapid-fire failures escalate the backoff.
+      if (LifeClock.seconds() * 1e3 >=
+          static_cast<double>(O.StableResetMs))
+        ConsecFails = 1;
+      else
+        ++ConsecFails;
+    }
+    if (!SpawnErr.empty())
+      ++ConsecFails;
+
+    ++Restarts;
+    if (O.MaxRestarts >= 0 && Restarts > O.MaxRestarts) {
+      Note("restart budget spent; giving up");
+      return 1;
+    }
+    std::uint64_t Delay = restartBackoffMs(O, std::max(1, ConsecFails));
+    Note("restarting in " + std::to_string(Delay) + " ms");
+    // Sleep in poll-sized slices so a stop request during backoff is
+    // honoured promptly.
+    Stopwatch Backoff;
+    while (Backoff.seconds() * 1e3 < static_cast<double>(Delay) &&
+           !Stopping())
+      sleepMs(std::min<std::uint64_t>(O.PollIntervalMs, 50));
+  }
 }

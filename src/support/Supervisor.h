@@ -49,6 +49,7 @@
 
 #include "support/Subprocess.h"
 
+#include <csignal>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -243,6 +244,75 @@ private:
 };
 
 } // namespace batch
+
+//===----------------------------------------------------------------------===//
+// Service supervision.
+//
+// The batch supervisor above runs jobs that are *supposed to end*; a
+// resident daemon (tools/ctp-serve) is supposed to never end, which
+// inverts the policy: no wall-clock timeout, no retry budget by default,
+// crash-restart with exponential backoff (reset once the child proves
+// stable), and the same heartbeat-file watchdog so a wedged daemon is
+// killed and restarted rather than trusted forever. Restarting is the
+// whole recovery story because the daemon itself warm-starts from its
+// converged checkpoint: a SIGKILL loses at most the in-flight requests.
+//===----------------------------------------------------------------------===//
+
+namespace service {
+
+/// Policy for babysitting one resident daemon.
+struct ServeSupervisorOptions {
+  /// The daemon command line (Argv[0] = binary path).
+  std::vector<std::string> Argv;
+  /// Work tree: heartbeat file, pid file, child stdout/stderr logs.
+  std::string WorkDir;
+
+  /// SIGKILL a child whose heartbeat has not advanced in this long
+  /// (0 disables the watchdog). There is deliberately no JobTimeoutMs
+  /// equivalent: a service has no wall deadline.
+  std::uint64_t StallTimeoutMs = 10000;
+  std::uint64_t HeartbeatIntervalMs = 50;
+
+  /// Crash-restart backoff: restart N after F consecutive fast failures
+  /// waits min(BackoffMs * 2^(F-1), BackoffCapMs). A child that stayed
+  /// up at least StableResetMs resets the failure streak, so a daemon
+  /// that crashes once a day restarts promptly forever.
+  std::uint64_t BackoffMs = 100;
+  std::uint64_t BackoffCapMs = 5000;
+  std::uint64_t StableResetMs = 2000;
+
+  /// Restarts before giving up; negative = never give up (production
+  /// default), 0 = run the child exactly once. Tests bound it.
+  int MaxRestarts = -1;
+  std::uint64_t PollIntervalMs = 5;
+
+  /// Polled between child polls: a SIGTERM handler sets it; the
+  /// supervisor forwards SIGTERM to the child, waits for it to exit,
+  /// and returns without restarting.
+  const volatile std::sig_atomic_t *StopFlag = nullptr;
+};
+
+/// <workdir>/serve.pid — rewritten with the child's pid at every spawn,
+/// so chaos harnesses (crashloop.sh --serve) can kill the current life.
+std::string pidFilePath(const std::string &WorkDir);
+
+/// <workdir>/heartbeat — the child's liveness file (CTP_HEARTBEAT_FILE).
+std::string heartbeatFilePath(const std::string &WorkDir);
+
+/// Pure backoff policy, unit-tested: the delay before the next restart
+/// after \p ConsecutiveFailures fast failures (>= 1).
+std::uint64_t restartBackoffMs(const ServeSupervisorOptions &O,
+                               int ConsecutiveFailures);
+
+/// Babysits the daemon: spawn, watch heartbeat, restart on any unclean
+/// death. \returns the child's exit code after a clean stop (exit 0, or
+/// any exit while StopFlag is raised), or 1 once MaxRestarts is spent.
+/// \p Log (optional) gets one line per lifecycle event.
+int superviseService(const ServeSupervisorOptions &O,
+                     void (*Log)(const std::string &, void *) = nullptr,
+                     void *LogCtx = nullptr);
+
+} // namespace service
 } // namespace ctp
 
 #endif // CTP_SUPPORT_SUPERVISOR_H

@@ -1,0 +1,424 @@
+//===- tests/serve_test.cpp - Resident service units ----------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Unit coverage for the resident analysis service: wire framing (torn
+// streams, oversize frames, EOF discipline), request/response parsing,
+// the EINTR-safe POSIX wrappers under real signal pressure, the service
+// supervisor's restart-backoff policy, and the in-process query engine —
+// hot answers, per-request deadline degradation (answered, never hung),
+// CFL fallback soundness, and admission bookkeeping. The out-of-process
+// kill/recover loop lives in crashloop.sh --serve (ctest: serve_chaos).
+//
+//===----------------------------------------------------------------------===//
+
+#include "facts/Extract.h"
+#include "serve/Service.h"
+#include "serve/Wire.h"
+#include "support/Posix.h"
+#include "support/Supervisor.h"
+#include "workload/Presets.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace ctp;
+using namespace ctp::serve;
+
+//===----------------------------------------------------------------------===//
+// Framing.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PipePair {
+  int R = -1, W = -1;
+  PipePair() {
+    int Fds[2];
+    EXPECT_EQ(::pipe(Fds), 0);
+    R = Fds[0];
+    W = Fds[1];
+  }
+  ~PipePair() {
+    if (R >= 0)
+      posix::closeQuiet(R);
+    if (W >= 0)
+      posix::closeQuiet(W);
+  }
+  void closeWrite() {
+    posix::closeQuiet(W);
+    W = -1;
+  }
+};
+
+} // namespace
+
+TEST(WireFraming, RoundTripsPayloads) {
+  PipePair P;
+  for (const std::string &Payload :
+       {std::string("1\tpts\tx"), std::string(""),
+        std::string(4096, 'z')}) {
+    ASSERT_TRUE(writeFrame(P.W, Payload));
+    std::string Back;
+    ASSERT_EQ(readFrame(P.R, Back), FrameResult::Ok);
+    EXPECT_EQ(Back, Payload);
+  }
+}
+
+TEST(WireFraming, CleanEofOnFrameBoundary) {
+  PipePair P;
+  ASSERT_TRUE(writeFrame(P.W, "last"));
+  P.closeWrite();
+  std::string Back;
+  EXPECT_EQ(readFrame(P.R, Back), FrameResult::Ok);
+  EXPECT_EQ(readFrame(P.R, Back), FrameResult::Eof);
+}
+
+TEST(WireFraming, TornLengthPrefixIsTornEof) {
+  PipePair P;
+  const char Half[2] = {0x10, 0x00}; // 2 of the 4 length bytes.
+  ASSERT_TRUE(posix::writeFull(P.W, Half, sizeof(Half)));
+  P.closeWrite();
+  std::string Back;
+  EXPECT_EQ(readFrame(P.R, Back), FrameResult::TornEof);
+}
+
+TEST(WireFraming, TornPayloadIsTornEof) {
+  PipePair P;
+  // Announce 100 bytes, deliver 3: the peer died mid-frame.
+  const unsigned char Prefix[4] = {100, 0, 0, 0};
+  ASSERT_TRUE(posix::writeFull(P.W, Prefix, 4));
+  ASSERT_TRUE(posix::writeFull(P.W, "abc", 3));
+  P.closeWrite();
+  std::string Back;
+  EXPECT_EQ(readFrame(P.R, Back), FrameResult::TornEof);
+}
+
+TEST(WireFraming, OversizeFrameRefusedWithoutAllocating) {
+  PipePair P;
+  // Length prefix claims 1 GiB; the reader must refuse before reading
+  // (or allocating) the body.
+  const unsigned char Prefix[4] = {0, 0, 0, 0x40};
+  ASSERT_TRUE(posix::writeFull(P.W, Prefix, 4));
+  std::string Back;
+  EXPECT_EQ(readFrame(P.R, Back), FrameResult::TooBig);
+  std::string Huge(MaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(writeFrame(P.W, Huge));
+}
+
+//===----------------------------------------------------------------------===//
+// Request / response model.
+//===----------------------------------------------------------------------===//
+
+TEST(WireMessages, ParsesVerbArgsAndOptions) {
+  Request Q;
+  EXPECT_EQ(parseRequest("7\talias\ta\tb\tdeadline_ms=250\tmax_steps=10",
+                         Q),
+            "");
+  EXPECT_EQ(Q.Id, "7");
+  EXPECT_EQ(Q.Verb, "alias");
+  ASSERT_EQ(Q.Args.size(), 2u);
+  EXPECT_EQ(Q.Args[0], "a");
+  EXPECT_EQ(Q.Args[1], "b");
+  EXPECT_EQ(Q.DeadlineMs, 250u);
+  EXPECT_EQ(Q.MaxSteps, 10u);
+}
+
+TEST(WireMessages, RejectsMalformedRequests) {
+  Request Q;
+  EXPECT_NE(parseRequest("", Q), "");
+  EXPECT_NE(parseRequest("lonely", Q), "");
+  EXPECT_NE(parseRequest("\tpts\tx", Q), "");          // Empty id.
+  EXPECT_NE(parseRequest("1\tpts\tmax_steps=-3", Q), ""); // Negative.
+  EXPECT_NE(parseRequest("1\tpts\tmax_steps=", Q), "");
+  EXPECT_NE(parseRequest("1\tpts\tbudget_ms=5", Q), ""); // Unknown key.
+}
+
+TEST(WireMessages, ResponseRoundTrips) {
+  Response R;
+  R.Id = "12";
+  R.Status = StatusDegraded;
+  R.Mode = "cfl-exhausted";
+  R.Body = "h1 h2 h3";
+  Response Back;
+  ASSERT_TRUE(parseResponse(renderResponse(R), Back));
+  EXPECT_EQ(Back.Id, R.Id);
+  EXPECT_EQ(Back.Status, R.Status);
+  EXPECT_EQ(Back.Mode, R.Mode);
+  EXPECT_EQ(Back.Body, R.Body);
+  EXPECT_FALSE(parseResponse("no-tabs-here", Back));
+  EXPECT_FALSE(parseResponse("a\tb", Back));
+  EXPECT_FALSE(parseResponse("a\tb\tc\td\te", Back));
+}
+
+//===----------------------------------------------------------------------===//
+// EINTR-safe wrappers under real signal pressure.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void noopHandler(int) {}
+
+} // namespace
+
+TEST(PosixRetry, FullReadAndWriteSurviveSignalStorm) {
+  // A handler installed WITHOUT SA_RESTART makes every blocking read
+  // and write on the pipe eligible for EINTR; the Full helpers must
+  // move all the bytes anyway. 256 KiB through a 64 KiB pipe guarantees
+  // both sides block repeatedly while signals land.
+  struct sigaction SA, Old;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = noopHandler;
+  ASSERT_EQ(::sigaction(SIGUSR1, &SA, &Old), 0);
+
+  PipePair P;
+  const std::size_t N = 256 * 1024;
+  std::string Out(N, '\0');
+  for (std::size_t I = 0; I < N; ++I)
+    Out[I] = static_cast<char>(I * 131 + 7);
+
+  pthread_t Self = ::pthread_self();
+  std::atomic<bool> StopFlag{false};
+  std::thread Pinger([&] {
+    while (!StopFlag.load(std::memory_order_relaxed)) {
+      ::pthread_kill(Self, SIGUSR1);
+      ::usleep(200);
+    }
+  });
+  std::string In(N, '\0');
+  std::thread Writer(
+      [&] { EXPECT_TRUE(posix::writeFull(P.W, Out.data(), N)); });
+  int Err = -1;
+  std::size_t Got = posix::readFull(P.R, &In[0], N, &Err);
+  StopFlag.store(true, std::memory_order_relaxed);
+  Writer.join();
+  Pinger.join();
+  ::sigaction(SIGUSR1, &Old, nullptr);
+  EXPECT_EQ(Got, N);
+  EXPECT_EQ(Err, 0);
+  EXPECT_EQ(In, Out);
+}
+
+TEST(PosixRetry, ReadFullReportsShortCountOnEof) {
+  PipePair P;
+  ASSERT_TRUE(posix::writeFull(P.W, "abc", 3));
+  P.closeWrite();
+  char Buf[16];
+  int Err = -1;
+  EXPECT_EQ(posix::readFull(P.R, Buf, sizeof(Buf), &Err), 3u);
+  EXPECT_EQ(Err, 0); // EOF, not an error.
+}
+
+TEST(PosixRetry, WaitpidRetryReapsChildren) {
+  pid_t P = ::fork();
+  ASSERT_GE(P, 0);
+  if (P == 0)
+    ::_exit(7);
+  int St = 0;
+  EXPECT_EQ(posix::waitpidRetry(P, &St, 0), P);
+  ASSERT_TRUE(WIFEXITED(St));
+  EXPECT_EQ(WEXITSTATUS(St), 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Service supervisor policy.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSupervisorPolicy, BackoffDoublesAndCaps) {
+  service::ServeSupervisorOptions O;
+  O.BackoffMs = 100;
+  O.BackoffCapMs = 1000;
+  EXPECT_EQ(service::restartBackoffMs(O, 1), 100u);
+  EXPECT_EQ(service::restartBackoffMs(O, 2), 200u);
+  EXPECT_EQ(service::restartBackoffMs(O, 3), 400u);
+  EXPECT_EQ(service::restartBackoffMs(O, 4), 800u);
+  EXPECT_EQ(service::restartBackoffMs(O, 5), 1000u); // Capped.
+  EXPECT_EQ(service::restartBackoffMs(O, 50), 1000u); // Shift-safe.
+  EXPECT_EQ(service::restartBackoffMs(O, 0), 100u);   // Clamped up.
+}
+
+TEST(ServeSupervisorPolicy, WorkTreePathsAreStable) {
+  // crashloop.sh --serve greps for these; renaming them is a protocol
+  // break with the scripts.
+  EXPECT_EQ(service::pidFilePath("/w"), "/w/serve.pid");
+  EXPECT_EQ(service::heartbeatFilePath("/w"), "/w/heartbeat");
+}
+
+//===----------------------------------------------------------------------===//
+// The in-process query engine.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One hot service over a small preset, shared across the engine tests
+/// (startup solves a real fixpoint, so build it once).
+Service &hotService() {
+  static Service *S = [] {
+    ServiceOptions O;
+    O.Preset = "antlr";
+    O.ConfigName = "2-object+H";
+    Service *Svc = new Service(std::move(O));
+    std::string Err = Svc->init();
+    EXPECT_EQ(Err, "");
+    return Svc;
+  }();
+  return *S;
+}
+
+Request req(const std::string &Payload) {
+  Request Q;
+  EXPECT_EQ(parseRequest(Payload, Q), "");
+  return Q;
+}
+
+/// Some variable name with a non-empty hot points-to set: enumerate the
+/// preset's real variable names and probe the service until one answers
+/// with heaps. The antlr preset always allocates, so this cannot come
+/// back empty on a converged service.
+std::string pointingVar(Service &S) {
+  static std::string Cached = [&] {
+    facts::FactDB DB = facts::extract(workload::generatePreset("antlr"));
+    for (const std::string &Name : DB.VarNames) {
+      Response R = S.answer(req("p\tpts\t" + Name));
+      if (R.Status == StatusOk && R.Body != "-")
+        return Name;
+    }
+    return std::string();
+  }();
+  return Cached;
+}
+
+} // namespace
+
+TEST(ServiceEngine, HotModeAnswersPtsAndAlias) {
+  Service &S = hotService();
+  EXPECT_EQ(S.mode(), ServeMode::Hot);
+  EXPECT_EQ(S.modeTag(), "hot");
+
+  Response Ping = S.answer(req("1\tping"));
+  EXPECT_EQ(Ping.Status, StatusOk);
+  EXPECT_EQ(Ping.Body, "pong");
+
+  std::string Var = pointingVar(S);
+  ASSERT_NE(Var, "") << "no known generator variable resolved";
+  Response Pts = S.answer(req("2\tpts\t" + Var));
+  EXPECT_EQ(Pts.Status, StatusOk);
+  EXPECT_EQ(Pts.Mode, "hot");
+  EXPECT_NE(Pts.Body, "-");
+
+  Response Alias = S.answer(req("3\talias\t" + Var + "\t" + Var));
+  EXPECT_EQ(Alias.Status, StatusOk);
+  EXPECT_EQ(Alias.Body, "true"); // Self-alias via any non-empty set.
+}
+
+TEST(ServiceEngine, UnknownNamesAndVerbsError) {
+  Service &S = hotService();
+  EXPECT_EQ(S.answer(req("1\tpts\tno.such.var")).Status, StatusError);
+  EXPECT_EQ(S.answer(req("2\ttaint\tno.such.heap")).Status, StatusError);
+  EXPECT_EQ(S.answer(req("3\tfrobnicate")).Status, StatusError);
+  EXPECT_EQ(S.answer(req("4\tpts")).Status, StatusError); // Arity.
+}
+
+TEST(ServiceEngine, MaxStepsOneDegradesToSoundFallback) {
+  Service &S = hotService();
+  std::string Var = pointingVar(S);
+  ASSERT_NE(Var, "");
+  Response Full = S.answer(req("1\tpts\t" + Var));
+  Response Capped = S.answer(req("2\tpts\t" + Var + "\tmax_steps=1"));
+  // Answered, degraded, and sound: the fallback set must cover the hot
+  // answer (it is the all-heaps set by construction).
+  EXPECT_EQ(Capped.Status, StatusDegraded);
+  EXPECT_EQ(Capped.Mode, "cfl-exhausted");
+  ASSERT_NE(Capped.Body, "-");
+  // Containment: every hot heap name appears in the degraded body.
+  std::string Padded = " " + Capped.Body + " ";
+  std::istringstream HotHeaps(Full.Body);
+  std::string H;
+  while (HotHeaps >> H)
+    EXPECT_NE(Padded.find(" " + H + " "), std::string::npos)
+        << "degraded answer dropped " << H;
+}
+
+TEST(ServiceEngine, TightDeadlineStillAnswers) {
+  Service &S = hotService();
+  std::string Var = pointingVar(S);
+  ASSERT_NE(Var, "");
+  // deadline_ms=1 may or may not trip depending on machine speed — the
+  // contract is answered-not-hung with a sane status either way.
+  Response R = S.answer(req("1\tpts\t" + Var + "\tdeadline_ms=1"));
+  EXPECT_TRUE(R.Status == StatusOk || R.Status == StatusDegraded)
+      << R.Status;
+  EXPECT_NE(R.Body, "");
+}
+
+TEST(ServiceEngine, VarsVerbEnumeratesResolvableNames) {
+  Service &S = hotService();
+  Response R = S.answer(req("1\tvars\t5"));
+  EXPECT_EQ(R.Status, StatusOk);
+  std::istringstream Names(R.Body);
+  std::string N;
+  int Count = 0;
+  while (Names >> N) {
+    ++Count;
+    // Every advertised name must resolve through pts.
+    EXPECT_NE(S.answer(req("2\tpts\t" + N)).Status, StatusError) << N;
+  }
+  EXPECT_EQ(Count, 5);
+  EXPECT_EQ(S.answer(req("3\tvars")).Status, StatusError);
+  EXPECT_EQ(S.answer(req("4\tvars\t0")).Status, StatusError);
+}
+
+TEST(ServiceEngine, StatsReportsModeAndAdmissionShape) {
+  Service &S = hotService();
+  Response R = S.answer(req("9\tstats"));
+  EXPECT_EQ(R.Status, StatusOk);
+  EXPECT_NE(R.Body.find("mode=hot"), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("queue_cap="), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("shed="), std::string::npos) << R.Body;
+}
+
+TEST(ServiceEngine, CflOnlyModeServesDemandAnswers) {
+  // A startup budget of one derivation exhausts every ladder rung, so
+  // the service must come up in CflOnly mode — and still answer pts
+  // soundly (demand-driven over-approximation), while refusing taint.
+  ServiceOptions O;
+  O.Preset = "antlr";
+  O.ConfigName = "2-object+H";
+  O.StartupBudget.MaxDerivations = 1;
+  Service S(std::move(O));
+  ASSERT_EQ(S.init(), "");
+  EXPECT_EQ(S.mode(), ServeMode::CflOnly);
+  EXPECT_EQ(S.modeTag(), "cfl");
+
+  Service &HotS = hotService();
+  std::string Var = pointingVar(HotS);
+  ASSERT_NE(Var, "");
+  Response Demand = S.answer(req("1\tpts\t" + Var));
+  EXPECT_TRUE(Demand.Status == StatusOk ||
+              Demand.Status == StatusDegraded);
+  EXPECT_TRUE(Demand.Mode == "cfl" || Demand.Mode == "cfl-exhausted");
+  // Soundness: the demand answer covers the hot answer.
+  Response Hot = HotS.answer(req("2\tpts\t" + Var));
+  std::string Padded = " " + Demand.Body + " ";
+  std::istringstream HotHeaps(Hot.Body);
+  std::string H;
+  while (HotHeaps >> H)
+    EXPECT_NE(Padded.find(" " + H + " "), std::string::npos)
+        << "demand answer dropped " << H;
+
+  EXPECT_EQ(S.answer(req("3\ttaint\tanything")).Status, StatusError);
+}

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,54 @@ TEST(SnapshotContainer, EveryTruncationDetected) {
     EXPECT_NE(snapshot::decode(Bytes.data(), N, Back), "")
         << "truncation to " << N << " bytes accepted";
   }
+}
+
+TEST(SnapshotContainer, EmptyFileGetsItsOwnDiagnostic) {
+  // A zero-byte snapshot (crash between truncate and first write, or a
+  // foreign file) must be called out as empty — with advice — rather
+  // than lumped in with torn writes.
+  snapshot::File Back;
+  std::string Err = snapshot::decode(nullptr, 0, Back);
+  EXPECT_NE(Err.find("empty (0 bytes)"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("delete it and rerun cold"), std::string::npos)
+      << Err;
+  EXPECT_EQ(Err.find("truncated"), std::string::npos)
+      << "empty file misreported as a truncation: " << Err;
+}
+
+TEST(SnapshotContainer, TruncatedHeaderReportsByteCounts) {
+  std::vector<std::uint8_t> Bytes = snapshot::encode(sampleFile());
+  // Cut inside the magic+trailer minimum: the diagnostic must say how
+  // many header bytes arrived out of how many were needed, so the
+  // operator can tell a torn write from an empty file at a glance.
+  snapshot::File Back;
+  std::string Err = snapshot::decode(Bytes.data(), 5, Back);
+  EXPECT_NE(Err.find("truncated before the header ended"),
+            std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("5 of 16"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("torn write"), std::string::npos) << Err;
+}
+
+TEST(SnapshotContainer, EmptyAndTruncatedFilesDiagnoseDistinctly) {
+  // The two sub-header shapes must produce *different* diagnostics
+  // through the whole readFile path, not just decode().
+  std::string Dir = freshDir("empty_vs_torn");
+  std::string EmptyPath = Dir + "/empty.snap";
+  std::string TornPath = Dir + "/torn.snap";
+  { std::ofstream Out(EmptyPath, std::ios::binary); }
+  {
+    std::ofstream Out(TornPath, std::ios::binary);
+    Out << "CTPS"; // 4 of the 8 magic bytes.
+  }
+  snapshot::File Back;
+  std::string EmptyErr = snapshot::readFile(EmptyPath, Back);
+  std::string TornErr = snapshot::readFile(TornPath, Back);
+  EXPECT_NE(EmptyErr, "");
+  EXPECT_NE(TornErr, "");
+  EXPECT_NE(EmptyErr, TornErr);
+  EXPECT_NE(EmptyErr.find("empty"), std::string::npos) << EmptyErr;
+  EXPECT_NE(TornErr.find("4 of 16"), std::string::npos) << TornErr;
 }
 
 TEST(SnapshotContainer, EveryBitFlipDetected) {

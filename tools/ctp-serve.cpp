@@ -1,0 +1,401 @@
+//===- tools/ctp-serve.cpp - Resident analysis service driver -------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// A fault-tolerant resident analysis daemon: solve once (warm-starting
+// from a checkpoint when one validates), then answer points-to / alias /
+// taint queries over a Unix-socket protocol with per-request deadlines,
+// admission control, and supervised crash recovery. See serve/Service.h
+// and the "Analysis service" section of DESIGN.md.
+//
+// Modes:
+//   ctp-serve --socket PATH (--preset NAME | --facts DIR) [solve opts]
+//       run the daemon in the foreground (exit 0 on `shutdown`/SIGTERM)
+//   ctp-serve --supervise --workdir DIR --socket PATH (--preset ...)
+//       babysit the daemon: respawn the above command line as a child,
+//       watch its heartbeat, crash-restart with backoff
+//   ctp-serve --client PATH [--connect-timeout-ms N]
+//       read queries from stdin (one per line, "verb arg..."), pipeline
+//       them, print "id <TAB> status <TAB> mode <TAB> body" lines sorted
+//       by id
+//
+// Daemon options:
+//   --config NAME          analysis configuration (default 2-object+H)
+//   --collapse             subsumption collapsing
+//   --checkpoint-dir DIR   warm-start state (strongly recommended)
+//   --checkpoint-every N   mid-solve checkpoint cadence (default 20000)
+//   --startup-deadline-ms N / --max-derivations N / --max-tuples N
+//                          startup-solve budget (then ladder descent)
+//   --workers N            worker threads (default 2)
+//   --queue-cap N          admission queue bound (default 8)
+// Supervisor options:
+//   --stall-timeout-ms N   heartbeat watchdog (default 10000)
+//   --backoff-ms N / --backoff-cap-ms N / --stable-reset-ms N
+//   --max-restarts N       negative = never give up (default)
+//
+// Exit codes (support/ExitCodes.h): 0 clean stop, 1 error, 2 usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Service.h"
+#include "serve/Wire.h"
+#include "support/Budget.h"
+#include "support/ExitCodes.h"
+#include "support/Posix.h"
+#include "support/Supervisor.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ctp;
+
+namespace {
+
+volatile std::sig_atomic_t GStop = 0;
+
+void onStopSignal(int) { GStop = 1; }
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH (--preset NAME | --facts DIR) [options]\n"
+      "       %s --supervise --workdir DIR --socket PATH (--preset ...)\n"
+      "       %s --client PATH [--connect-timeout-ms N]\n"
+      "see the file header or DESIGN.md (\"Analysis service\") for the "
+      "option list\n",
+      Prog, Prog, Prog);
+  return ExitUsage;
+}
+
+bool parseCount(const char *S, std::uint64_t &Out) {
+  if (!S || *S < '0' || *S > '9')
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Client mode.
+//===----------------------------------------------------------------------===//
+
+int connectWithRetry(const std::string &Path, std::uint64_t TimeoutMs) {
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  Stopwatch Clock;
+  while (true) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      return Fd;
+    posix::closeQuiet(Fd);
+    if (Clock.seconds() * 1e3 >= static_cast<double>(TimeoutMs))
+      return -1;
+    ::usleep(20000); // The daemon may still be solving its warm start.
+  }
+}
+
+/// Turns stdin lines into id-prefixed tab-separated requests, pipelines
+/// them all, then prints every response sorted by (numeric) id — so
+/// output order is deterministic regardless of worker scheduling.
+int runClient(const std::string &SocketPath, std::uint64_t TimeoutMs) {
+  int Fd = connectWithRetry(SocketPath, TimeoutMs);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s\n",
+                 SocketPath.c_str());
+    return ExitError;
+  }
+  std::vector<std::string> Lines;
+  {
+    std::string Line;
+    int C;
+    while ((C = std::getchar()) != EOF) {
+      if (C == '\n') {
+        if (!Line.empty())
+          Lines.push_back(Line);
+        Line.clear();
+      } else {
+        Line.push_back(static_cast<char>(C));
+      }
+    }
+    if (!Line.empty())
+      Lines.push_back(Line);
+  }
+  std::size_t Sent = 0;
+  for (std::size_t I = 0; I < Lines.size(); ++I) {
+    // "verb arg..." -> "<seq>\t<verb>\t<arg>...": ids are the line
+    // numbers, so responses sort back into input order.
+    std::string Payload = std::to_string(I);
+    std::string Field;
+    for (char Ch : Lines[I]) {
+      if (Ch == ' ') {
+        if (!Field.empty()) {
+          Payload += '\t';
+          Payload += Field;
+          Field.clear();
+        }
+      } else {
+        Field.push_back(Ch);
+      }
+    }
+    if (!Field.empty()) {
+      Payload += '\t';
+      Payload += Field;
+    }
+    if (!serve::writeFrame(Fd, Payload)) {
+      std::fprintf(stderr, "error: send failed on query %zu\n", I);
+      posix::closeQuiet(Fd);
+      return ExitError;
+    }
+    ++Sent;
+  }
+  std::vector<serve::Response> Responses;
+  for (std::size_t I = 0; I < Sent; ++I) {
+    std::string Payload;
+    serve::FrameResult FR = serve::readFrame(Fd, Payload);
+    if (FR != serve::FrameResult::Ok) {
+      std::fprintf(stderr, "error: stream ended early (%s) after %zu of "
+                           "%zu responses\n",
+                   serve::frameResultName(FR), I, Sent);
+      posix::closeQuiet(Fd);
+      return ExitError;
+    }
+    serve::Response R;
+    if (!serve::parseResponse(Payload, R)) {
+      std::fprintf(stderr, "error: malformed response frame\n");
+      posix::closeQuiet(Fd);
+      return ExitError;
+    }
+    Responses.push_back(std::move(R));
+  }
+  posix::closeQuiet(Fd);
+  std::sort(Responses.begin(), Responses.end(),
+            [](const serve::Response &A, const serve::Response &B) {
+              // Numeric when both ids are numbers (the ids this client
+              // generates), lexicographic otherwise.
+              char *EndA = nullptr, *EndB = nullptr;
+              unsigned long long NA = std::strtoull(A.Id.c_str(), &EndA, 10);
+              unsigned long long NB = std::strtoull(B.Id.c_str(), &EndB, 10);
+              if (*EndA == '\0' && *EndB == '\0' && EndA != A.Id.c_str() &&
+                  EndB != B.Id.c_str())
+                return NA < NB;
+              return A.Id < B.Id;
+            });
+  bool AnyError = false;
+  for (const serve::Response &R : Responses) {
+    std::printf("%s\n", serve::renderResponse(R).c_str());
+    AnyError |= R.Status == serve::StatusError;
+  }
+  return AnyError ? ExitError : ExitOk;
+}
+
+void logLine(const std::string &Line, void *) {
+  std::fprintf(stderr, "ctp-serve[supervise]: %s\n", Line.c_str());
+  std::fflush(stderr);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Supervise = false;
+  std::string ClientSocket, SocketPath, WorkDir;
+  std::uint64_t ConnectTimeoutMs = 30000;
+  serve::ServiceOptions SOpts;
+  service::ServeSupervisorOptions Sup;
+  std::uint64_t Workers = 2, QueueCap = 8;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg.c_str());
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    auto NextCount = [&](std::uint64_t &Out) {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!parseCount(V, Out)) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got "
+                     "'%s'\n",
+                     Arg.c_str(), V);
+        return false;
+      }
+      return true;
+    };
+    if (Arg == "--supervise") {
+      Supervise = true;
+    } else if (Arg == "--client") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      ClientSocket = V;
+    } else if (Arg == "--connect-timeout-ms") {
+      if (!NextCount(ConnectTimeoutMs))
+        return usage(argv[0]);
+    } else if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      SocketPath = V;
+    } else if (Arg == "--workdir") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      WorkDir = V;
+    } else if (Arg == "--preset") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      SOpts.Preset = V;
+    } else if (Arg == "--facts") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      SOpts.FactsDir = V;
+    } else if (Arg == "--config") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      SOpts.ConfigName = V;
+    } else if (Arg == "--collapse") {
+      SOpts.Collapse = true;
+    } else if (Arg == "--checkpoint-dir") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      SOpts.CheckpointDir = V;
+    } else if (Arg == "--checkpoint-every") {
+      if (!NextCount(SOpts.CheckpointEvery))
+        return usage(argv[0]);
+    } else if (Arg == "--startup-deadline-ms") {
+      if (!NextCount(SOpts.StartupBudget.DeadlineMs))
+        return usage(argv[0]);
+    } else if (Arg == "--max-derivations") {
+      if (!NextCount(SOpts.StartupBudget.MaxDerivations))
+        return usage(argv[0]);
+    } else if (Arg == "--max-tuples") {
+      if (!NextCount(SOpts.StartupBudget.MaxTuples))
+        return usage(argv[0]);
+    } else if (Arg == "--workers") {
+      if (!NextCount(Workers))
+        return usage(argv[0]);
+    } else if (Arg == "--queue-cap") {
+      if (!NextCount(QueueCap))
+        return usage(argv[0]);
+    } else if (Arg == "--stall-timeout-ms") {
+      if (!NextCount(Sup.StallTimeoutMs))
+        return usage(argv[0]);
+    } else if (Arg == "--backoff-ms") {
+      if (!NextCount(Sup.BackoffMs))
+        return usage(argv[0]);
+    } else if (Arg == "--backoff-cap-ms") {
+      if (!NextCount(Sup.BackoffCapMs))
+        return usage(argv[0]);
+    } else if (Arg == "--stable-reset-ms") {
+      if (!NextCount(Sup.StableResetMs))
+        return usage(argv[0]);
+    } else if (Arg == "--max-restarts") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Sup.MaxRestarts = std::atoi(V);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (!ClientSocket.empty())
+    return runClient(ClientSocket, ConnectTimeoutMs);
+
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "error: --socket is required\n");
+    return usage(argv[0]);
+  }
+  if (SOpts.FactsDir.empty() == SOpts.Preset.empty()) {
+    std::fprintf(stderr,
+                 "error: exactly one of --facts / --preset is required\n");
+    return usage(argv[0]);
+  }
+
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+  // A peer that disconnects mid-reply must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (Supervise) {
+    if (WorkDir.empty()) {
+      std::fprintf(stderr, "error: --supervise requires --workdir\n");
+      return usage(argv[0]);
+    }
+    // The child runs this same binary minus the supervision flags; its
+    // checkpoint directory is what turns a restart into a warm start.
+    Sup.WorkDir = WorkDir;
+    Sup.StopFlag = &GStop;
+    Sup.Argv = {argv[0], "--socket", SocketPath};
+    if (!SOpts.Preset.empty()) {
+      Sup.Argv.push_back("--preset");
+      Sup.Argv.push_back(SOpts.Preset);
+    } else {
+      Sup.Argv.push_back("--facts");
+      Sup.Argv.push_back(SOpts.FactsDir);
+    }
+    Sup.Argv.push_back("--config");
+    Sup.Argv.push_back(SOpts.ConfigName);
+    if (SOpts.Collapse)
+      Sup.Argv.push_back("--collapse");
+    std::string CkptDir = SOpts.CheckpointDir.empty() ? WorkDir + "/ckpt"
+                                                      : SOpts.CheckpointDir;
+    Sup.Argv.push_back("--checkpoint-dir");
+    Sup.Argv.push_back(CkptDir);
+    auto AddCount = [&Sup](const char *Flag, std::uint64_t V) {
+      if (V != 0) {
+        Sup.Argv.push_back(Flag);
+        Sup.Argv.push_back(std::to_string(V));
+      }
+    };
+    AddCount("--checkpoint-every", SOpts.CheckpointEvery);
+    AddCount("--startup-deadline-ms", SOpts.StartupBudget.DeadlineMs);
+    AddCount("--max-derivations", SOpts.StartupBudget.MaxDerivations);
+    AddCount("--max-tuples", SOpts.StartupBudget.MaxTuples);
+    AddCount("--workers", Workers);
+    AddCount("--queue-cap", QueueCap);
+    return service::superviseService(Sup, logLine, nullptr);
+  }
+
+  // Daemon mode.
+  heartbeat::installFromEnv();
+  SOpts.Workers = static_cast<std::size_t>(Workers);
+  SOpts.QueueCap = static_cast<std::size_t>(QueueCap);
+  SOpts.StopFlag = &GStop;
+  serve::Service Svc(std::move(SOpts));
+  std::string Err = Svc.init();
+  if (!Err.empty()) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return ExitError;
+  }
+  return Svc.serve(SocketPath);
+}
