@@ -12,7 +12,7 @@
 # gracefully when clang-tidy is not installed).
 #
 # Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]
-#                          [--batch] [--serve]
+#                          [--batch] [--serve] [--asan]
 #
 # --crashloop additionally runs the out-of-process kill/resume loop
 # (scripts/crashloop.sh) against the fresh build — the same loop ctest
@@ -26,6 +26,13 @@
 # unit suite plus the supervised kill/recover + overload drill through
 # the real ctp-serve binary (ctest -L serve, which includes
 # crashloop.sh --serve).
+#
+# --asan runs a targeted address+undefined matrix in its own build
+# directory (build-asan): just the engine-semantics core and the
+# fixpoint-certification suite (ctest -L 'core|verify'), so the slow
+# memory-error hunt concentrates on the solver paths the verifier
+# exercises hardest. Independent of the default full-asan pass, which
+# --no-sanitize turns off.
 #
 # --tsan additionally builds with ThreadSanitizer (-DCTP_SANITIZE=thread)
 # and smokes the concurrency-adjacent suites under it: the resource
@@ -46,6 +53,7 @@ CRASHLOOP=0
 TSAN=0
 BATCH=0
 SERVE=0
+ASAN=0
 for ARG in "$@"; do
   case "$ARG" in
     --no-sanitize) SANITIZE=0 ;;
@@ -54,9 +62,10 @@ for ARG in "$@"; do
     --tsan) TSAN=1 ;;
     --batch) BATCH=1 ;;
     --serve) SERVE=1 ;;
+    --asan) ASAN=1 ;;
     *)
       echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]" \
-           "[--tsan] [--batch] [--serve]" >&2
+           "[--tsan] [--batch] [--serve] [--asan]" >&2
       exit 2
       ;;
   esac
@@ -69,6 +78,9 @@ echo "== client checker subset (ctest -L clients) =="
 ctest --test-dir build -j"$(nproc)" -L clients --output-on-failure
 echo "== provenance recorder subset (ctest -L provenance) =="
 ctest --test-dir build -j"$(nproc)" -L provenance --output-on-failure
+echo "== fixpoint certification smoke (ctp-verify, one preset) =="
+build/tools/ctp-verify --preset luindex \
+  --snapshot-dir build/verify-smoke-snap >/dev/null
 echo "== full suite =="
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
@@ -102,9 +114,9 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DCTP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" \
     --target governor_test snapshot_test resume_test supervisor_test \
-             serve_test ctp-crashkid ctp-analyze ctp-batch
+             serve_test verify_test ctp-crashkid ctp-analyze ctp-batch
   ctest --test-dir build-tsan -j"$(nproc)" \
-    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test)$' \
+    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test|verify_test)$' \
     --output-on-failure
   echo "== ThreadSanitizer supervised chaos run =="
   WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_tsan_batch.XXXXXX")"
@@ -113,6 +125,14 @@ if [[ "$TSAN" == 1 ]]; then
     --analyze build-tsan/tools/ctp-analyze --checkpoint-every 500 \
     --chaos --seed 3 --chaos-kills 2
   rm -rf "$WORK"
+fi
+
+if [[ "$ASAN" == 1 ]]; then
+  echo "== targeted ASan+UBSan matrix (ctest -L 'core|verify') =="
+  cmake -B build-asan -S . -DCTP_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -j"$(nproc)" -L 'core|verify' \
+    --output-on-failure
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

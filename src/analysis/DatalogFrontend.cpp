@@ -526,8 +526,44 @@ Results solveOnce(const FactDB &DB, const ctx::Config &Cfg,
 
   if (Ckpt.enabled()) {
     if (RS.Term == TerminationReason::Converged) {
-      // The fixpoint is in hand; a stale snapshot must not outlive it.
-      removeSnapshot(Ckpt.Dir);
+      if (Ckpt.KeepOnConverge) {
+        // Mirror the native solver: a final converged snapshot with every
+        // relation head at size, so a restore warm-starts straight into
+        // the fixpoint.
+        SolverSnapshot S;
+        S.BackendTag = SolverSnapshot::Backend::Datalog;
+        S.Collapse = false;
+        S.Config = Cfg;
+        S.Fingerprint = FP;
+        S.LayoutHash = LH;
+        D->exportInterned(S.DomainWords);
+        encodeCtxtInterner(*RC, S.ReachCtxtWords);
+        const std::pair<std::uint32_t, RelationWords *> Rels[] = {
+            {RPts, &S.Pts},     {RHpts, &S.Hpts},   {RHload, &S.Hload},
+            {RCall, &S.Call},   {RReach, &S.Reach}, {RGpts, &S.Gpts}};
+        for (const auto &[Rel, Dst] : Rels) {
+          const std::vector<Tuple> &Rows = Prog.relation(Rel).rows();
+          Dst->Head = Rows.size();
+          for (const Tuple &T : Rows)
+            for (unsigned C = 0; C < T.N; ++C)
+              Dst->Words.push_back(T.V[C]);
+        }
+        S.Rounds = RS.Rounds;
+        S.DerivedTuples = RS.DerivedTuples;
+        S.Derivations = Prog.numDerivations();
+        S.Tuples = RS.DerivedTuples;
+        S.Term = TerminationReason::Converged;
+        S.Progress.Iterations = RS.Rounds;
+        S.Progress.Derivations = Prog.numDerivations();
+        S.Progress.PendingWork = 0;
+        std::string E =
+            analysis::writeSnapshot(S, checkpointPath(Ckpt.Dir));
+        if (!E.empty() && CkptErr.empty())
+          CkptErr = "checkpoint write failed: " + E;
+      } else {
+        // The fixpoint is in hand; a stale snapshot must not outlive it.
+        removeSnapshot(Ckpt.Dir);
+      }
     } else if (WroteSnap) {
       // Budget exhausted mid-round: the resumable state stays the last
       // boundary's, but the trailer should carry the trip reason and the

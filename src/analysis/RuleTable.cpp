@@ -1,0 +1,68 @@
+//===- analysis/RuleTable.cpp - Figure 3 rule descriptors -----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RuleTable.h"
+
+using namespace ctp;
+using namespace ctp::analysis;
+
+namespace {
+
+// Canonical firing order: axioms first, then the per-statement rules in
+// the order the solver's processing loop considers them.
+const RuleDesc Table[] = {
+    {ProvRule::Entry, "ENTRY", ProvRel::Reach, RuleArity::Axiom},
+    {ProvRule::Assign, "ASSIGN", ProvRel::Pts, RuleArity::One},
+    {ProvRule::Cast, "CAST", ProvRel::Pts, RuleArity::One},
+    {ProvRule::Load, "LOAD", ProvRel::Hload, RuleArity::One},
+    {ProvRule::Store, "STORE", ProvRel::Hpts, RuleArity::Two},
+    {ProvRule::Param, "PARAM", ProvRel::Pts, RuleArity::Two},
+    {ProvRule::Ret, "RET", ProvRel::Pts, RuleArity::Two},
+    {ProvRule::Throw, "THROW", ProvRel::Pts, RuleArity::Two},
+    {ProvRule::GStore, "GSTORE", ProvRel::Gpts, RuleArity::One},
+    {ProvRule::VirtCall, "VIRT", ProvRel::Call, RuleArity::One},
+    {ProvRule::VirtThis, "VIRT-THIS", ProvRel::Pts, RuleArity::Two},
+    {ProvRule::Ind, "IND", ProvRel::Pts, RuleArity::Two},
+    {ProvRule::Reach, "REACH", ProvRel::Reach, RuleArity::One},
+    {ProvRule::GLoad, "GLOAD", ProvRel::Pts, RuleArity::Two},
+    {ProvRule::New, "NEW", ProvRel::Pts, RuleArity::One},
+    {ProvRule::Static, "STATIC", ProvRel::Call, RuleArity::One},
+};
+
+} // namespace
+
+const RuleDesc *analysis::ruleTable(std::size_t &Count) {
+  Count = sizeof(Table) / sizeof(Table[0]);
+  return Table;
+}
+
+const char *analysis::ruleName(ProvRule R) {
+  std::size_t N;
+  const RuleDesc *T = ruleTable(N);
+  for (std::size_t I = 0; I < N; ++I)
+    if (T[I].Rule == R)
+      return T[I].Name;
+  return "?";
+}
+
+const char *analysis::relName(ProvRel R) {
+  switch (R) {
+  case ProvRel::Pts:
+    return "pts";
+  case ProvRel::Hpts:
+    return "hpts";
+  case ProvRel::Hload:
+    return "hload";
+  case ProvRel::Call:
+    return "call";
+  case ProvRel::Reach:
+    return "reach";
+  case ProvRel::Gpts:
+    return "gpts";
+  }
+  return "?";
+}

@@ -263,3 +263,50 @@ private:
 OracleResult cfl::solveInsensitive(const FactDB &DB) {
   return Engine(DB).run();
 }
+
+std::vector<std::uint32_t> cfl::sampleQueryVars(const FactDB &DB,
+                                                std::size_t K,
+                                                std::uint64_t Seed) {
+  // Candidate pool: variables a derivation can actually flow into. Bare
+  // never-assigned variables have trivially empty points-to sets and would
+  // waste spot-check budget.
+  std::vector<std::uint32_t> Pool;
+  for (const auto &F : DB.AssignNews)
+    Pool.push_back(F.To);
+  for (const auto &F : DB.Assigns)
+    Pool.push_back(F.To);
+  for (const auto &F : DB.Casts)
+    Pool.push_back(F.To);
+  for (const auto &F : DB.Loads)
+    Pool.push_back(F.To);
+  for (const auto &F : DB.AssignReturns)
+    Pool.push_back(F.To);
+  for (const auto &F : DB.Catches)
+    Pool.push_back(F.To);
+  for (const auto &F : DB.GlobalLoads)
+    Pool.push_back(F.To);
+  for (const auto &F : DB.Formals)
+    Pool.push_back(F.Var);
+  for (const auto &F : DB.ThisVars)
+    Pool.push_back(F.Var);
+  std::sort(Pool.begin(), Pool.end());
+  Pool.erase(std::unique(Pool.begin(), Pool.end()), Pool.end());
+  if (Pool.size() <= K)
+    return Pool;
+
+  // Deterministic draw without replacement: an LCG (Knuth's MMIX
+  // constants) indexes the shrinking pool. No std::random so the sample
+  // is identical across standard libraries.
+  std::uint64_t State = Seed * 0x9e3779b97f4a7c15ULL + 1;
+  std::vector<std::uint32_t> Sample;
+  Sample.reserve(K);
+  for (std::size_t I = 0; I < K; ++I) {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::size_t J = static_cast<std::size_t>((State >> 16) % Pool.size());
+    Sample.push_back(Pool[J]);
+    Pool[J] = Pool.back();
+    Pool.pop_back();
+  }
+  std::sort(Sample.begin(), Sample.end());
+  return Sample;
+}

@@ -47,6 +47,16 @@ struct OracleResult {
 /// Runs the oracle over \p DB.
 OracleResult solveInsensitive(const facts::FactDB &DB);
 
+/// Deterministically samples up to \p K "interesting" query variables from
+/// \p DB — destinations of allocations, assignments, casts, loads, call
+/// returns, catches, global loads, plus formals and this-variables — for
+/// spot-checking a solved result against the demand-driven solver. Seeded
+/// (an LCG over the candidate pool) so the verifier's sampled queries are
+/// reproducible; sorted, deduplicated output.
+std::vector<std::uint32_t> sampleQueryVars(const facts::FactDB &DB,
+                                           std::size_t K,
+                                           std::uint64_t Seed);
+
 } // namespace cfl
 } // namespace ctp
 

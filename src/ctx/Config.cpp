@@ -71,6 +71,33 @@ Config ctx::insensitive(Abstraction A) {
   return {A, Flavour::CallSite, 0, 0};
 }
 
+const std::vector<std::string> &ctx::configNames() {
+  static const std::vector<std::string> Names = {
+      "2-object+H", "2-hybrid+H", "2-type+H", "1-object",
+      "1-call+H",   "1-call",     "insensitive"};
+  return Names;
+}
+
+bool ctx::configByName(const std::string &Name, Abstraction A, Config &Out) {
+  if (Name == "1-call")
+    Out = oneCall(A);
+  else if (Name == "1-call+H")
+    Out = oneCallH(A);
+  else if (Name == "1-object")
+    Out = oneObject(A);
+  else if (Name == "2-object+H")
+    Out = twoObjectH(A);
+  else if (Name == "2-type+H")
+    Out = twoTypeH(A);
+  else if (Name == "2-hybrid+H")
+    Out = twoHybridH(A);
+  else if (Name == "insensitive")
+    Out = insensitive(A);
+  else
+    return false;
+  return true;
+}
+
 const char *ctx::abstractionName(Abstraction A) {
   switch (A) {
   case Abstraction::ContextString:

@@ -21,6 +21,7 @@
 #include "ctx/Ctxt.h"
 
 #include <string>
+#include <vector>
 
 namespace ctp {
 namespace ctx {
@@ -78,6 +79,16 @@ Config insensitive(Abstraction A);
 
 const char *abstractionName(Abstraction A);
 const char *flavourName(Flavour F);
+
+/// The command-line names of the named configurations, in ladder order
+/// (most precise first, "insensitive" last). Shared by every tool that
+/// accepts a --config flag, so the accepted vocabulary cannot drift.
+const std::vector<std::string> &configNames();
+
+/// Resolves a command-line configuration name ("2-object+H", "1-call",
+/// "insensitive", ...) to its Config with the given abstraction.
+/// \returns false if \p Name is not one of configNames().
+bool configByName(const std::string &Name, Abstraction A, Config &Out);
 
 } // namespace ctx
 } // namespace ctp

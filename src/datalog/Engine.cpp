@@ -90,14 +90,43 @@ void Program::compileRule(const Rule &R) {
     CR.DeltaPos = DeltaPos;
 
     // Atom order: the delta atom first (it is scanned, not probed), then
-    // the remaining atoms in written order, probed via indices over the
-    // columns bound so far.
+    // greedily the remaining atom with the most columns bound so far, so
+    // each join step probes an index instead of scanning. Written order
+    // breaks ties, which keeps plans deterministic.
     std::vector<std::uint32_t> Order;
     if (DeltaPos != NoDelta)
       Order.push_back(DeltaPos);
+    std::vector<std::uint32_t> Remaining;
     for (std::uint32_t P = 0; P < R.Body.size(); ++P)
       if (P != DeltaPos)
-        Order.push_back(P);
+        Remaining.push_back(P);
+    std::vector<bool> Planned(R.NumVars, false);
+    auto BindVars = [&](std::uint32_t P) {
+      for (const Term &T : R.Body[P].Args)
+        if (T.IsVar)
+          Planned[T.X] = true;
+    };
+    if (DeltaPos != NoDelta)
+      BindVars(DeltaPos);
+    while (!Remaining.empty()) {
+      std::size_t Best = 0;
+      int BestScore = -1;
+      for (std::size_t I = 0; I < Remaining.size(); ++I) {
+        int Score = 0;
+        for (const Term &T : R.Body[Remaining[I]].Args)
+          if (!T.IsVar || Planned[T.X])
+            ++Score;
+        if (Score > BestScore) {
+          BestScore = Score;
+          Best = I;
+        }
+      }
+      std::uint32_t P = Remaining[Best];
+      Order.push_back(P);
+      BindVars(P);
+      Remaining.erase(Remaining.begin() +
+                      static_cast<std::ptrdiff_t>(Best));
+    }
 
     std::vector<bool> BoundVar(R.NumVars, false);
     for (std::uint32_t P : Order) {

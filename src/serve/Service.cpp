@@ -12,9 +12,11 @@
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
 #include "support/Posix.h"
+#include "support/Suggest.h"
 #include "workload/Presets.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -33,27 +35,6 @@ using namespace ctp;
 using namespace ctp::serve;
 
 namespace {
-
-bool parseConfigName(const std::string &Name, ctx::Config &Out) {
-  const ctx::Abstraction A = ctx::Abstraction::TransformerString;
-  if (Name == "1-call")
-    Out = ctx::oneCall(A);
-  else if (Name == "1-call+H")
-    Out = ctx::oneCallH(A);
-  else if (Name == "1-object")
-    Out = ctx::oneObject(A);
-  else if (Name == "2-object+H")
-    Out = ctx::twoObjectH(A);
-  else if (Name == "2-type+H")
-    Out = ctx::twoTypeH(A);
-  else if (Name == "2-hybrid+H")
-    Out = ctx::twoHybridH(A);
-  else if (Name == "insensitive")
-    Out = ctx::insensitive(A);
-  else
-    return false;
-  return true;
-}
 
 void note(const std::string &Line) {
   std::fprintf(stderr, "ctp-serve: %s\n", Line.c_str());
@@ -124,13 +105,16 @@ std::string Service::init() {
     for (const std::string &N : workload::presetNames())
       Known |= N == Opts.Preset;
     if (!Known)
-      return "unknown preset '" + Opts.Preset + "'";
+      return "unknown preset '" + Opts.Preset + "'" +
+             support::didYouMean(Opts.Preset, workload::presetNames());
     DB = facts::extract(workload::generatePreset(Opts.Preset));
   }
 
   ctx::Config Cfg;
-  if (!parseConfigName(Opts.ConfigName, Cfg))
-    return "unknown config '" + Opts.ConfigName + "'";
+  if (!ctx::configByName(Opts.ConfigName,
+                         ctx::Abstraction::TransformerString, Cfg))
+    return "unknown config '" + Opts.ConfigName + "'" +
+           support::didYouMean(Opts.ConfigName, ctx::configNames());
   std::string CfgErr = Cfg.validate();
   if (!CfgErr.empty())
     return CfgErr;
@@ -214,18 +198,18 @@ bool Service::lookupVar(const std::string &Name, std::uint32_t &Id) const {
   // would only pay off under sustained load, and the scan keeps the
   // resident state trivially read-only. Revisit with an interned map if
   // a profile ever blames it.
-  for (std::uint32_t V = 0; V < DB.numVars(); ++V)
+  for (std::size_t V = 0; V < DB.numVars(); ++V)
     if (DB.VarNames[V] == Name) {
-      Id = V;
+      Id = static_cast<std::uint32_t>(V);
       return true;
     }
   return false;
 }
 
 bool Service::lookupHeap(const std::string &Name, std::uint32_t &Id) const {
-  for (std::uint32_t H = 0; H < DB.numHeaps(); ++H)
+  for (std::size_t H = 0; H < DB.numHeaps(); ++H)
     if (DB.HeapNames[H] == Name) {
-      Id = H;
+      Id = static_cast<std::uint32_t>(H);
       return true;
     }
   return false;

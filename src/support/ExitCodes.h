@@ -7,7 +7,7 @@
 ///
 /// \file
 /// The exit-code protocol shared by every command-line tool in this
-/// project (ctp-analyze, ctp-lint). Orchestrating services key off these
+/// project (ctp-analyze, ctp-lint, ctp-verify). Orchestrating services key off these
 /// values — 3 in particular marks "useful but degraded", which scripts
 /// such as the crash-resume loop treat as "run me again" — so the
 /// protocol lives in one header instead of per-tool enums that could
@@ -35,6 +35,11 @@ enum ExitCode : int {
   ExitDegraded = 3,
   /// ctp-lint only: converged with at least one warning-severity finding.
   ExitFindings = 4,
+  /// ctp-verify only: all requested checks ran, at least one failed. The
+  /// verdict report names the first counterexample per failing check.
+  /// Distinct from ExitError (1), which means the verifier itself could
+  /// not run (unreadable facts, bad flags) and proved nothing either way.
+  ExitVerifyFailed = 5,
 };
 
 /// The exit code of a ctp-lint run that completed its checks. Precedence:

@@ -1,0 +1,90 @@
+//===- support/Suggest.h - Did-you-mean suggestions -------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared did-you-mean support for command-line flag values. Every tool
+/// that accepts a closed vocabulary (--config names, --checks lists,
+/// preset names) rejects unknown values; suggesting the closest known one
+/// turns "error: unknown config '2-object'" into an actionable message.
+/// One implementation here so the tools cannot drift in what "close"
+/// means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_SUGGEST_H
+#define CTP_SUPPORT_SUGGEST_H
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace support {
+
+/// Levenshtein edit distance, capped: stops counting past \p Cap (returns
+/// Cap + 1) so wildly different candidates stay cheap to dismiss.
+inline std::size_t editDistance(const std::string &A, const std::string &B,
+                                std::size_t Cap) {
+  const std::size_t N = A.size(), M = B.size();
+  if (N > M)
+    return editDistance(B, A, Cap);
+  if (M - N > Cap)
+    return Cap + 1;
+  std::vector<std::size_t> Row(N + 1);
+  for (std::size_t I = 0; I <= N; ++I)
+    Row[I] = I;
+  for (std::size_t J = 1; J <= M; ++J) {
+    std::size_t Prev = Row[0];
+    Row[0] = J;
+    std::size_t Best = Row[0];
+    for (std::size_t I = 1; I <= N; ++I) {
+      std::size_t Cur = std::min(
+          {Row[I] + 1, Row[I - 1] + 1,
+           Prev + (A[I - 1] == B[J - 1] ? 0 : 1)});
+      Prev = Row[I];
+      Row[I] = Cur;
+      Best = std::min(Best, Cur);
+    }
+    if (Best > Cap)
+      return Cap + 1;
+  }
+  return std::min(Row[N], Cap + 1);
+}
+
+/// The candidate closest to \p Name within an edit-distance budget of
+/// max(2, |Name| / 3), or "" when nothing is plausibly close. Ties go to
+/// the earliest candidate, so the result is deterministic in candidate
+/// order.
+inline std::string closestMatch(const std::string &Name,
+                                const std::vector<std::string> &Candidates) {
+  const std::size_t Cap = std::max<std::size_t>(2, Name.size() / 3);
+  std::string Best;
+  std::size_t BestDist = Cap + 1;
+  for (const std::string &C : Candidates) {
+    std::size_t D = editDistance(Name, C, Cap);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = C;
+    }
+  }
+  return Best;
+}
+
+/// "did you mean 'X'?" when a close candidate exists, else "". Appended
+/// verbatim to unknown-value diagnostics.
+inline std::string didYouMean(const std::string &Name,
+                              const std::vector<std::string> &Candidates) {
+  std::string Best = closestMatch(Name, Candidates);
+  return Best.empty() ? std::string()
+                      : " (did you mean '" + Best + "'?)";
+}
+
+} // namespace support
+} // namespace ctp
+
+#endif // CTP_SUPPORT_SUGGEST_H

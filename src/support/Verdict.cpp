@@ -1,0 +1,111 @@
+//===- support/Verdict.cpp - Verification verdict report ------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Verdict.h"
+
+#include <algorithm>
+
+using namespace ctp;
+using namespace ctp::verdict;
+
+const char *verdict::statusName(Status S) {
+  switch (S) {
+  case Status::Pass:
+    return "pass";
+  case Status::Fail:
+    return "fail";
+  case Status::Skip:
+    return "skip";
+  }
+  return "unknown";
+}
+
+void Report::add(const std::string &Cell, const std::string &Name,
+                 Status St, const std::string &Detail) {
+  Items.push_back({Cell, Name, St, Detail});
+}
+
+bool Report::allPassed() const { return numFailed() == 0; }
+
+std::size_t Report::numFailed() const {
+  return static_cast<std::size_t>(
+      std::count_if(Items.begin(), Items.end(), [](const Check &C) {
+        return C.St == Status::Fail;
+      }));
+}
+
+std::size_t Report::numSkipped() const {
+  return static_cast<std::size_t>(
+      std::count_if(Items.begin(), Items.end(), [](const Check &C) {
+        return C.St == Status::Skip;
+      }));
+}
+
+namespace {
+
+/// TSV cells must stay single-line and tab-free; counterexample renderings
+/// embed names that never contain either, but flatten defensively.
+std::string flattened(const std::string &S) {
+  std::string Out = S;
+  for (char &C : Out)
+    if (C == '\t' || C == '\n' || C == '\r')
+      C = ' ';
+  return Out;
+}
+
+} // namespace
+
+std::string Report::renderTsv() const {
+  std::string Out;
+  for (const Check &C : Items) {
+    Out += flattened(C.Name);
+    Out += '\t';
+    Out += flattened(C.Cell);
+    Out += '\t';
+    Out += statusName(C.St);
+    Out += '\t';
+    Out += flattened(C.Detail);
+    Out += '\n';
+  }
+  Out += "summary\t-\t";
+  Out += numFailed() == 0 ? "pass" : "fail";
+  Out += '\t';
+  Out += std::to_string(Items.size() - numFailed() - numSkipped()) +
+         " passed, " + std::to_string(numFailed()) + " failed, " +
+         std::to_string(numSkipped()) + " skipped";
+  Out += '\n';
+  return Out;
+}
+
+std::string Report::renderHuman() const {
+  std::size_t NameW = 4, CellW = 4;
+  for (const Check &C : Items) {
+    NameW = std::max(NameW, C.Name.size());
+    CellW = std::max(CellW, C.Cell.size());
+  }
+  std::string Out;
+  for (const Check &C : Items) {
+    Out += "  ";
+    Out += C.Name;
+    Out.append(NameW - C.Name.size() + 2, ' ');
+    Out += C.Cell.empty() ? "-" : C.Cell;
+    Out.append(CellW - std::max<std::size_t>(C.Cell.size(), 1) + 2, ' ');
+    Out += statusName(C.St);
+    if (!C.Detail.empty()) {
+      Out += "  ";
+      Out += flattened(C.Detail);
+    }
+    Out += '\n';
+  }
+  Out += "verdict: ";
+  Out += numFailed() == 0 ? "PASS" : "FAIL";
+  Out += " (" +
+         std::to_string(Items.size() - numFailed() - numSkipped()) +
+         " passed, " + std::to_string(numFailed()) + " failed, " +
+         std::to_string(numSkipped()) + " skipped)\n";
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- support/Verdict.h - Verification verdict report ----------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verdict report the verification subsystem (src/verify, ctp-verify)
+/// emits: one row per executed check, each pass/fail/skip with a detail
+/// string that names the first counterexample tuple on failure. Lives in
+/// support (not verify) because orchestrators — ctp-batch, CI scripts —
+/// consume the rendered report and the exit-code protocol without linking
+/// the verifier itself.
+///
+/// Determinism contract: rows render in insertion order and the driver
+/// inserts in a fixed cell/check order, so two runs over the same inputs
+/// produce byte-identical reports (the property CI gating diffs rely on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_VERDICT_H
+#define CTP_SUPPORT_VERDICT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace verdict {
+
+/// Outcome of one check. Skip records "not applicable here" (e.g. the
+/// support certificate on a back-end without a provenance recorder) so a
+/// report always shows the full matrix shape.
+enum class Status : std::uint8_t { Pass, Fail, Skip };
+
+/// "pass" / "fail" / "skip" — the machine-readable status column.
+const char *statusName(Status S);
+
+/// One executed check.
+struct Check {
+  /// The matrix cell, "preset/config/backend" style (empty for global
+  /// checks).
+  std::string Cell;
+  /// Check name ("closure", "support", "differential", ...).
+  std::string Name;
+  Status St = Status::Pass;
+  /// Pass: summary counters. Fail: the first counterexample, with entity
+  /// names. Skip: why the check did not apply.
+  std::string Detail;
+};
+
+/// Accumulates checks and renders the report.
+class Report {
+public:
+  void add(const std::string &Cell, const std::string &Name, Status St,
+           const std::string &Detail);
+
+  const std::vector<Check> &checks() const { return Items; }
+
+  bool allPassed() const;
+  std::size_t numFailed() const;
+  std::size_t numSkipped() const;
+
+  /// One TSV row per check: "check<TAB>cell<TAB>status<TAB>detail", with
+  /// tabs/newlines inside detail flattened to spaces, then a final
+  /// "summary" row. Machine-readable and byte-deterministic.
+  std::string renderTsv() const;
+
+  /// Aligned human-readable table with the same content, failures
+  /// annotated with their counterexample.
+  std::string renderHuman() const;
+
+private:
+  std::vector<Check> Items;
+};
+
+} // namespace verdict
+} // namespace ctp
+
+#endif // CTP_SUPPORT_VERDICT_H

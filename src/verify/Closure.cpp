@@ -1,0 +1,280 @@
+//===- verify/Closure.cpp - Fixpoint closure certification ----------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Naive rule re-application over the completed relations: for every rule
+// of Figure 3, enumerate every instance whose premises hold in the solved
+// result and require the conclusion to be present too. No worklists, no
+// deltas — each two-premise rule is driven from one side with the other
+// side joined through a complete index, which enumerates exactly the set
+// of instances a fixpoint must have closed. The first derivable-but-
+// absent tuple is the counterexample.
+//
+// The domain operations (comp, inv, record, merge, ...) are re-invoked
+// here; because transformations are content-addressed (interning assigns
+// one id per distinct value within a run), a recomputed conclusion's id
+// matches the stored id exactly when the tuple was genuinely derived.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RuleTable.h"
+#include "ctx/TransformerString.h"
+#include "support/Budget.h"
+#include "verify/Internal.h"
+#include "verify/Verify.h"
+
+using namespace ctp;
+using namespace ctp::analysis;
+using namespace ctp::verify;
+using namespace ctp::verify::detail;
+using ctx::CtxtVec;
+using ctx::TransformId;
+using facts::FactDB;
+
+namespace {
+
+/// One closure pass. Holds the views plus the counterexample slot; each
+/// rule method returns false on the first missing conclusion.
+class ClosureChecker {
+public:
+  ClosureChecker(const FactDB &DB, Results &R, const ClosureOptions &Opts,
+                 std::string &CE)
+      : DB(DB), R(R), In(DB), View(DB, R),
+        Modulo(Opts.ModuloSubsumption &&
+               R.Config.Abs == ctx::Abstraction::TransformerString),
+        M(R.Config.MethodDepth), H(R.Config.HeapDepth), CE(CE) {}
+
+  bool run() {
+    // Rule order matches the canonical table; the first failure reported
+    // is therefore deterministic for a given result.
+    for (std::uint32_t E : DB.EntryMethods)
+      if (!checkEntry(E))
+        return false;
+    for (const PtsFact &F : R.Pts)
+      if (!fromPts(F))
+        return false;
+    for (const HptsFact &F : R.Hpts)
+      if (!fromHpts(F))
+        return false;
+    for (const CallFact &F : R.Call)
+      if (!fromCall(F))
+        return false;
+    for (const GptsFact &F : R.Gpts)
+      if (!fromGpts(F))
+        return false;
+    for (const ReachFact &F : R.Reach)
+      if (!fromReach(F))
+        return false;
+    return true;
+  }
+
+private:
+  bool missing(ProvRule Rule, const std::string &Fact) {
+    CE = std::string(ruleName(Rule)) + " can still derive " + Fact;
+    return false;
+  }
+
+  bool hasPts(std::uint32_t Var, std::uint32_t Heap, TransformId T) {
+    if (View.PtsSet.count(keyOf(PtsFact{Var, Heap, T})))
+      return true;
+    if (!Modulo)
+      return false;
+    // Collapse-mode closure: a retired conclusion is acceptable when a
+    // live fact for the same (variable, heap) pair subsumes it.
+    const ctx::Transformer &Want = R.Dom->transformer(T);
+    for (const auto &[H2, T2] : View.PtsByVar[Var])
+      if (H2 == Heap &&
+          (T2 == T || ctx::subsumes(R.Dom->transformer(T2), Want)))
+        return true;
+    return false;
+  }
+
+  bool expectPts(ProvRule Rule, std::uint32_t Var, std::uint32_t Heap,
+                 TransformId T) {
+    return hasPts(Var, Heap, T) ||
+           missing(Rule, renderPts(DB, R, PtsFact{Var, Heap, T}));
+  }
+
+  bool checkEntry(std::uint32_t E) {
+    CtxtVec Entry;
+    Entry.push_back(ctx::EntryElem);
+    CtxtVec Ctx = Entry.takePrefix(M);
+    ReachFact F{E, R.ReachCtxts->intern(Ctx)};
+    return View.ReachSet.count(keyOf(F)) ||
+           missing(ProvRule::Entry, renderReach(DB, R, F));
+  }
+
+  bool fromPts(const PtsFact &F) {
+    // [ASSIGN] pts(Z,H,A), assign(Z,Y) |- pts(Y,H,A).
+    for (std::uint32_t Y : In.AssignFrom[F.Var])
+      if (!expectPts(ProvRule::Assign, Y, F.Heap, F.T))
+        return false;
+
+    // [CAST] filtered assignment.
+    for (const auto &[Y, T] : In.CastByFrom[F.Var])
+      if (In.isSubtype(In.HeapTypeOf[F.Heap], T))
+        if (!expectPts(ProvRule::Cast, Y, F.Heap, F.T))
+          return false;
+
+    // [LOAD] pts(Y,G,A), load(Y,F,Z) |- hload(G,F,Z,A).
+    for (const auto &[Field, To] : In.LoadByBase[F.Var]) {
+      HloadFact C{F.Heap, Field, To, F.T};
+      if (!View.HloadSet.count(keyOf(C)))
+        return missing(ProvRule::Load, renderHload(DB, R, C));
+    }
+
+    // [STORE] pts(X,H,B), store(X,Fl,Z), pts(Z,G,C)
+    //         |- hpts(G,Fl,H, B ; inv(C)). Driven from the value side;
+    // the base side joins through the complete pts index.
+    for (const auto &[Field, Base] : In.StoreByValue[F.Var])
+      for (const auto &[G, C] : View.PtsByVar[Base])
+        if (auto A = R.Dom->comp(F.T, R.Dom->inv(C), H, H)) {
+          HptsFact Cn{G, Field, F.Heap, *A};
+          if (!View.HptsSet.count(keyOf(Cn)))
+            return missing(ProvRule::Store, renderHpts(DB, R, Cn));
+        }
+
+    // [PARAM] pts(Z,H,B), actual(Z,I,O), call(I,P,C), formal(Y,P,O)
+    //         |- pts(Y,H, B ; C).
+    for (const auto &[Invoke, Ord] : In.ActualByVar[F.Var])
+      for (const auto &[Callee, C] : View.CallByInvoke[Invoke])
+        if (auto It = In.FormalOf.find(pairKey(Callee, Ord));
+            It != In.FormalOf.end())
+          if (auto A = R.Dom->comp(F.T, C, H, M))
+            if (!expectPts(ProvRule::Param, It->second, F.Heap, *A))
+              return false;
+
+    // [RET] pts(Z,H,B), return(Z,P), call(I,P,C), assign_return(I,Y)
+    //       |- pts(Y,H, B ; inv(C)).
+    for (std::uint32_t P : In.ReturnByVar[F.Var])
+      for (const auto &[Invoke, C] : View.CallByCallee[P])
+        if (auto A = R.Dom->comp(F.T, R.Dom->inv(C), H, M))
+          for (std::uint32_t Y : In.AssignRetByInvoke[Invoke])
+            if (!expectPts(ProvRule::Ret, Y, F.Heap, *A))
+              return false;
+
+    // [THROW] the exceptional return path.
+    for (std::uint32_t P : In.ThrowByVar[F.Var])
+      for (const auto &[Invoke, C] : View.CallByCallee[P])
+        if (auto A = R.Dom->comp(F.T, R.Dom->inv(C), H, M))
+          for (std::uint32_t Y : In.CatchByInvoke[Invoke])
+            if (!expectPts(ProvRule::Throw, Y, F.Heap, *A))
+              return false;
+
+    // [GSTORE] pts(X,H,B), global_store(X,G) |- gpts(G,H, globalize(B)).
+    if (!In.GlobalStoreByValue[F.Var].empty()) {
+      TransformId GT = R.Dom->globalize(F.T);
+      for (std::uint32_t G : In.GlobalStoreByValue[F.Var]) {
+        GptsFact Cn{G, F.Heap, GT};
+        if (!View.GptsSet.count(keyOf(Cn)))
+          return missing(ProvRule::GStore, renderGpts(DB, R, Cn));
+      }
+    }
+
+    // [VIRT] dispatch on the receiver's heap type: call edge + this-var
+    // binding.
+    if (!In.VirtByReceiver[F.Var].empty()) {
+      std::uint32_t HeapType = In.HeapTypeOf[F.Heap];
+      for (const auto &[Invoke, Sig] : In.VirtByReceiver[F.Var]) {
+        auto It = In.Dispatch.find(pairKey(HeapType, Sig));
+        if (It == In.Dispatch.end())
+          continue; // No implementation: dead dispatch.
+        std::uint32_t Q = It->second;
+        TransformId C = R.Dom->mergeVirtual(F.Heap, Invoke, F.T);
+        CallFact Cn{Invoke, Q, C};
+        if (!View.CallSet.count(keyOf(Cn)))
+          return missing(ProvRule::VirtCall, renderCall(DB, R, Cn));
+        std::uint32_t ThisY = In.ThisOf[Q];
+        if (ThisY == facts::InvalidId)
+          continue; // Rejected by FactDB::validate; defensive here.
+        if (auto A = R.Dom->comp(F.T, C, H, M))
+          if (!expectPts(ProvRule::VirtThis, ThisY, F.Heap, *A))
+            return false;
+      }
+    }
+    return true;
+  }
+
+  bool fromHpts(const HptsFact &F) {
+    // [IND] hpts(G,Fl,H,B), hload(G,Fl,Y,C) |- pts(Y,H, B ; C).
+    auto It = View.HloadByBaseField.find(pairKey(F.Base, F.Field));
+    if (It == View.HloadByBaseField.end())
+      return true;
+    for (const auto &[Y, C] : It->second)
+      if (auto A = R.Dom->comp(F.T, C, H, M))
+        if (!expectPts(ProvRule::Ind, Y, F.Heap, *A))
+          return false;
+    return true;
+  }
+
+  bool fromCall(const CallFact &F) {
+    // [REACH] call(I,P,A) |- reach(P, target(A)). PARAM/RET/THROW need no
+    // call-driven pass here: their pts-driven enumeration above already
+    // joined against the complete call relation.
+    CtxtVec Tgt = R.Dom->target(F.T);
+    ReachFact Cn{F.Method, R.ReachCtxts->intern(Tgt)};
+    return View.ReachSet.count(keyOf(Cn)) ||
+           missing(ProvRule::Reach, renderReach(DB, R, Cn));
+  }
+
+  bool fromGpts(const GptsFact &F) {
+    // [GLOAD] gpts(G,H,A), global_load(G,Z,P), reach(P,Mx)
+    //         |- pts(Z,H, retarget(A,Mx)).
+    for (const auto &[Z, P] : In.GlobalLoadByGlobal[F.Global])
+      for (std::uint32_t CtxId : View.ReachByMethod[P]) {
+        TransformId A = R.Dom->retarget(F.T, (*R.ReachCtxts)[CtxId]);
+        if (!expectPts(ProvRule::GLoad, Z, F.Heap, A))
+          return false;
+      }
+    return true;
+  }
+
+  bool fromReach(const ReachFact &F) {
+    const CtxtVec &Ctx = (*R.ReachCtxts)[F.CtxtId];
+    // [NEW] assign_new(H,Y,P), reach(P,Mx) |- pts(Y,H, record(Mx)).
+    if (!In.AssignNewByMethod[F.Method].empty()) {
+      TransformId A = R.Dom->record(Ctx);
+      for (const auto &[Hp, Y] : In.AssignNewByMethod[F.Method])
+        if (!expectPts(ProvRule::New, Y, Hp, A))
+          return false;
+    }
+    // [STATIC] static_invoke(I,Q,P), reach(P,Mx)
+    //          |- call(I,Q, merge_s(I,Mx)).
+    for (const auto &[Invoke, Target] : In.StaticByMethod[F.Method]) {
+      TransformId C = R.Dom->mergeStatic(Invoke, Ctx);
+      CallFact Cn{Invoke, Target, C};
+      if (!View.CallSet.count(keyOf(Cn)))
+        return missing(ProvRule::Static, renderCall(DB, R, Cn));
+    }
+    return true;
+  }
+
+  const FactDB &DB;
+  Results &R;
+  InputIndices In;
+  DerivedView View;
+  bool Modulo;
+  unsigned M, H;
+  std::string &CE;
+};
+
+} // namespace
+
+bool verify::checkClosure(const FactDB &DB, Results &R,
+                          const ClosureOptions &Opts,
+                          std::string &Counterexample) {
+  if (R.Stat.Term != TerminationReason::Converged) {
+    Counterexample =
+        std::string("run did not converge (termination: ") +
+        terminationReasonName(R.Stat.Term) + "); closure is undefined";
+    return false;
+  }
+  if (!R.Dom || !R.ReachCtxts) {
+    Counterexample = "result carries no transformation domain";
+    return false;
+  }
+  return ClosureChecker(DB, R, Opts, Counterexample).run();
+}

@@ -1,0 +1,152 @@
+//===- verify/Differential.cpp - Cross-engine differential checks ---------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// Canonical serialization + comparison, and the snapshot round-trip
+// identity check. Transformation and context ids are interner-order
+// artifacts that legitimately differ between the native and Datalog
+// back-ends (and between a cold and a resumed run), so equality is
+// decided over rendered *values*: entity names and printed transformer /
+// context strings. Two results serialize identically iff their relations
+// hold the same facts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Configurations.h"
+#include "analysis/DatalogFrontend.h"
+#include "analysis/Solver.h"
+#include "verify/Internal.h"
+#include "verify/Verify.h"
+
+#include <algorithm>
+
+using namespace ctp;
+using namespace ctp::analysis;
+using namespace ctp::verify;
+using namespace ctp::verify::detail;
+using facts::FactDB;
+
+std::vector<std::string> verify::canonicalLines(const FactDB &DB,
+                                                const Results &R) {
+  std::vector<std::string> Lines;
+  Lines.reserve(R.Pts.size() + R.Hpts.size() + R.Hload.size() +
+                R.Call.size() + R.Reach.size() + R.Gpts.size());
+  for (const PtsFact &F : R.Pts)
+    Lines.push_back(renderPts(DB, R, F));
+  for (const HptsFact &F : R.Hpts)
+    Lines.push_back(renderHpts(DB, R, F));
+  for (const HloadFact &F : R.Hload)
+    Lines.push_back(renderHload(DB, R, F));
+  for (const CallFact &F : R.Call)
+    Lines.push_back(renderCall(DB, R, F));
+  for (const ReachFact &F : R.Reach)
+    Lines.push_back(renderReach(DB, R, F));
+  for (const GptsFact &F : R.Gpts)
+    Lines.push_back(renderGpts(DB, R, F));
+  std::sort(Lines.begin(), Lines.end());
+  return Lines;
+}
+
+bool verify::diffLines(const std::vector<std::string> &A,
+                       const std::string &ALabel,
+                       const std::vector<std::string> &B,
+                       const std::string &BLabel,
+                       std::string &Counterexample) {
+  std::vector<std::string> OnlyA, OnlyB;
+  std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
+                      std::back_inserter(OnlyA));
+  std::set_difference(B.begin(), B.end(), A.begin(), A.end(),
+                      std::back_inserter(OnlyB));
+  if (OnlyA.empty() && OnlyB.empty())
+    return true;
+  // Report the lexicographically first divergence, whichever side owns
+  // it, so the counterexample is independent of argument order.
+  if (OnlyB.empty() || (!OnlyA.empty() && OnlyA.front() <= OnlyB.front()))
+    Counterexample = "only in " + ALabel + ": " + OnlyA.front();
+  else
+    Counterexample = "only in " + BLabel + ": " + OnlyB.front();
+  return false;
+}
+
+bool verify::checkSnapshotRoundTrip(const FactDB &DB, const ctx::Config &Cfg,
+                                    bool UseDatalog, const std::string &Dir,
+                                    std::string &Counterexample) {
+  // A snapshot already in Dir is under test, not in the way: it must
+  // validate against these facts (a stale one is exactly the corruption
+  // this check exists to catch) and then resume to the same fixpoint.
+  SnapshotProbe Probe =
+      probeSnapshot(Dir, DB, Cfg, UseDatalog, /*Collapse=*/false);
+  if (Probe.Status == ResumeStatus::CorruptSnapshot ||
+      Probe.Status == ResumeStatus::Mismatch) {
+    Counterexample = Probe.Warning.empty()
+                         ? std::string("snapshot failed validation")
+                         : Probe.Warning;
+    return false;
+  }
+
+  const bool HadSnapshot = Probe.Status == ResumeStatus::Resumed;
+  Results Fresh;
+  if (HadSnapshot) {
+    // Keep the existing snapshot as the restore source; the fresh solve
+    // runs without checkpointing.
+    if (UseDatalog)
+      Fresh = solveViaDatalog(DB, Cfg);
+    else
+      Fresh = solve(DB, Cfg);
+  } else {
+    CheckpointPolicy Ckpt;
+    Ckpt.Dir = Dir;
+    Ckpt.KeepOnConverge = true;
+    if (UseDatalog) {
+      DatalogSolveOptions Opts;
+      Opts.Checkpoint = Ckpt;
+      Fresh = solveViaDatalog(DB, Cfg, Opts);
+    } else {
+      SolverOptions Opts;
+      Opts.Checkpoint = Ckpt;
+      Fresh = solve(DB, Cfg, Opts);
+    }
+    if (!Fresh.Stat.CheckpointError.empty()) {
+      Counterexample = "snapshot write failed: " + Fresh.Stat.CheckpointError;
+      removeSnapshot(Dir);
+      return false;
+    }
+    Probe = probeSnapshot(Dir, DB, Cfg, UseDatalog, /*Collapse=*/false);
+    if (Probe.Status != ResumeStatus::Resumed) {
+      Counterexample = "converged snapshot did not validate: " +
+                       (Probe.Warning.empty() ? "no snapshot found"
+                                              : Probe.Warning);
+      removeSnapshot(Dir);
+      return false;
+    }
+  }
+
+  Results Resumed;
+  if (UseDatalog) {
+    DatalogSolveOptions Opts;
+    Opts.Resume = &Probe.Snap;
+    Resumed = solveViaDatalog(DB, Cfg, Opts);
+  } else {
+    SolverOptions Opts;
+    Opts.Resume = &Probe.Snap;
+    Resumed = solve(DB, Cfg, Opts);
+  }
+  if (!HadSnapshot)
+    removeSnapshot(Dir);
+  if (!Resumed.Stat.CheckpointError.empty()) {
+    Counterexample = "resume fell back to a cold start: " +
+                     Resumed.Stat.CheckpointError;
+    return false;
+  }
+
+  std::string Diff;
+  if (!diffLines(canonicalLines(DB, Fresh), "fresh solve",
+                 canonicalLines(DB, Resumed), "resumed solve", Diff)) {
+    Counterexample = "resumed result diverges: " + Diff;
+    return false;
+  }
+  return true;
+}

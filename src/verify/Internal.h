@@ -1,0 +1,119 @@
+//===- verify/Internal.h - Shared verifier machinery ------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internals shared by the closure and support certifiers: the input-fact
+/// indices (a deliberate restatement of the solver's buildInputIndices —
+/// the verifier re-derives its own view of the rules rather than trusting
+/// solver state), the derived-relation membership/join view built from a
+/// Results object, and the fact renderers used for counterexamples and
+/// canonical serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_VERIFY_INTERNAL_H
+#define CTP_VERIFY_INTERNAL_H
+
+#include "analysis/Results.h"
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace ctp {
+namespace verify {
+namespace detail {
+
+inline std::uint64_t pairKey(std::uint32_t A, std::uint32_t B) {
+  return (static_cast<std::uint64_t>(A) << 32) | B;
+}
+
+/// Per-entity-kind input-fact indices, mirroring the joins the rules
+/// need. Built independently from the FactDB so the certifiers share no
+/// state with either solver.
+struct InputIndices {
+  explicit InputIndices(const facts::FactDB &DB);
+
+  bool isSubtype(std::uint32_t Sub, std::uint32_t Super) const {
+    return SubtypePairs.count(pairKey(Sub, Super)) != 0;
+  }
+
+  using PairList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+  std::vector<std::vector<std::uint32_t>> AssignFrom; // From -> To
+  std::vector<PairList> LoadByBase;       // Base -> (Field, To)
+  std::vector<PairList> StoreByValue;     // From -> (Field, Base)
+  std::vector<PairList> ActualByVar;      // Var -> (Invoke, Ordinal)
+  std::vector<PairList> VirtByReceiver;   // Receiver -> (Invoke, Sig)
+  std::vector<PairList> StaticByMethod;   // InMethod -> (Invoke, Target)
+  std::vector<PairList> AssignNewByMethod; // InMethod -> (Heap, To)
+  std::vector<PairList> CastByFrom;       // From -> (To, Type)
+  std::vector<PairList> GlobalLoadByGlobal; // Global -> (To, InMethod)
+  std::unordered_map<std::uint64_t, std::uint32_t> FormalOf; // (M,O) -> Var
+  std::unordered_map<std::uint64_t, std::uint32_t> Dispatch; // (T,S) -> M
+  std::vector<std::vector<std::uint32_t>> ReturnByVar;      // Var -> Method
+  std::vector<std::vector<std::uint32_t>> AssignRetByInvoke; // Invoke -> To
+  std::vector<std::vector<std::uint32_t>> ThrowByVar;       // Var -> Method
+  std::vector<std::vector<std::uint32_t>> CatchByInvoke;    // Invoke -> To
+  std::vector<std::vector<std::uint32_t>> GlobalStoreByValue; // From -> G
+  std::vector<std::uint32_t> HeapTypeOf; // Heap -> Type (InvalidId-filled)
+  std::vector<std::uint32_t> ThisOf;     // Method -> Var (InvalidId-filled)
+  std::unordered_set<std::uint64_t> SubtypePairs;
+};
+
+/// Membership sets and join indices over a Results object's relations —
+/// the "complete relations" the certifiers enumerate rule instances from.
+struct DerivedView {
+  DerivedView(const facts::FactDB &DB, const analysis::Results &R);
+
+  using PairList =
+      std::vector<std::pair<std::uint32_t, ctx::TransformId>>;
+
+  std::unordered_set<analysis::FactKey, analysis::FactKeyHash> PtsSet,
+      HptsSet, HloadSet, CallSet, ReachSet, GptsSet;
+  std::vector<PairList> PtsByVar;      // Var -> (Heap, T)
+  std::vector<PairList> CallByInvoke;  // Invoke -> (Method, T)
+  std::vector<PairList> CallByCallee;  // Method -> (Invoke, T)
+  std::vector<PairList> GptsByGlobal;  // Global -> (Heap, T)
+  std::unordered_map<std::uint64_t, PairList> HptsByBaseField, // -> (Heap,T)
+      HloadByBaseField;                                        // -> (Var,T)
+  std::vector<std::vector<std::uint32_t>> ReachByMethod; // Method -> CtxtId
+};
+
+/// Entity-name helpers: the recorded name, or "kind#id" when the table
+/// has no (or an empty) entry.
+std::string entityName(const std::vector<std::string> &Names,
+                       std::uint32_t Id, const char *Kind);
+
+// Fact renderers. Engine-independent: transformation ids render through
+// the result's own domain as values, context ids through its interner.
+std::string renderPts(const facts::FactDB &DB, const analysis::Results &R,
+                      const analysis::PtsFact &F);
+std::string renderHpts(const facts::FactDB &DB, const analysis::Results &R,
+                       const analysis::HptsFact &F);
+std::string renderHload(const facts::FactDB &DB, const analysis::Results &R,
+                        const analysis::HloadFact &F);
+std::string renderCall(const facts::FactDB &DB, const analysis::Results &R,
+                       const analysis::CallFact &F);
+std::string renderReach(const facts::FactDB &DB, const analysis::Results &R,
+                        const analysis::ReachFact &F);
+std::string renderGpts(const facts::FactDB &DB, const analysis::Results &R,
+                       const analysis::GptsFact &F);
+
+/// Renders the (relation, key) pair of a provenance node.
+std::string renderFact(const facts::FactDB &DB, const analysis::Results &R,
+                       analysis::ProvRel Rel, const analysis::FactKey &K);
+
+} // namespace detail
+} // namespace verify
+} // namespace ctp
+
+#endif // CTP_VERIFY_INTERNAL_H

@@ -22,7 +22,9 @@
 #include "clients/Taint.h"
 #include "facts/Extract.h"
 #include "ir/Builder.h"
+#include "ctx/Config.h"
 #include "support/ExitCodes.h"
+#include "support/Suggest.h"
 #include "workload/Presets.h"
 
 #include "gtest/gtest.h"
@@ -704,5 +706,43 @@ INSTANTIATE_TEST_SUITE_P(BothEngines, SubsetProperty,
                          [](const ::testing::TestParamInfo<bool> &Info) {
                            return Info.param ? "Datalog" : "Specialized";
                          });
+
+//===----------------------------------------------------------------------===//
+// Did-you-mean diagnostics: every tool that takes a closed vocabulary
+// (--config, --checks, --preset) rejects unknown values with the closest
+// known one suggested. The suggestion logic is shared (support/Suggest.h)
+// so the tools cannot drift in what "close" means.
+//===----------------------------------------------------------------------===//
+
+TEST(DidYouMeanTest, SuggestsClosestVocabularyEntry) {
+  // The motivating typos: each one letter or one token off.
+  EXPECT_EQ(support::didYouMean("2-object", ctx::configNames()),
+            " (did you mean '1-object'?)");
+  EXPECT_EQ(support::didYouMean("1-objcet", ctx::configNames()),
+            " (did you mean '1-object'?)");
+  EXPECT_EQ(support::didYouMean("insensitve", ctx::configNames()),
+            " (did you mean 'insensitive'?)");
+  EXPECT_EQ(support::didYouMean("tain", {"escape", "race", "cast", "taint",
+                                         "all"}),
+            " (did you mean 'taint'?)");
+  EXPECT_EQ(support::didYouMean("antlrr", workload::presetNames()),
+            " (did you mean 'antlr'?)");
+}
+
+TEST(DidYouMeanTest, StaysQuietWhenNothingIsClose) {
+  // Garbage gets no suggestion — a far-fetched guess is worse than none.
+  EXPECT_EQ(support::didYouMean("zzzzzzzz", ctx::configNames()), "");
+  EXPECT_EQ(support::didYouMean("", ctx::configNames()), "");
+}
+
+TEST(DidYouMeanTest, ConfigByNameAcceptsLadderRejectsUnknown) {
+  ctx::Config Cfg;
+  for (const std::string &Name : ctx::configNames())
+    EXPECT_TRUE(ctx::configByName(Name, Abstraction::TransformerString, Cfg))
+        << Name;
+  EXPECT_FALSE(
+      ctx::configByName("2-object", Abstraction::TransformerString, Cfg));
+  EXPECT_FALSE(ctx::configByName("", Abstraction::TransformerString, Cfg));
+}
 
 } // namespace

@@ -1,0 +1,263 @@
+//===- tests/verify_test.cpp - Fixpoint certification tests ---------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Positive certification of converged results, and the negative paths:
+// each seeded corruption — a dropped tuple, an extra tuple, a swapped
+// context, a stale snapshot — must produce a failing check that names
+// the counterexample.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Checkpoint.h"
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "support/Posix.h"
+#include "support/Verdict.h"
+#include "verify/Verify.h"
+#include "workload/Generator.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+namespace {
+
+facts::FactDB testDB() {
+  // Big enough to exercise every Figure-3 rule (virtual dispatch, field
+  // flow, globals, exceptions) while solving in milliseconds.
+  workload::WorkloadParams Params;
+  Params.DataClasses = 3;
+  Params.WrapperChains = 2;
+  Params.Factories = 2;
+  Params.Containers = 2;
+  Params.PolyBases = 1;
+  Params.Drivers = 2;
+  Params.Scenarios = 4;
+  Params.Seed = 7;
+  return facts::extract(workload::generate(Params));
+}
+
+analysis::Results solveWithProv(const facts::FactDB &DB,
+                                const ctx::Config &Cfg) {
+  analysis::SolverOptions SO;
+  SO.Provenance.Enabled = true;
+  return analysis::solve(DB, Cfg, SO);
+}
+
+TEST(VerifyTest, CertifiesConvergedResult) {
+  facts::FactDB DB = testDB();
+  for (const char *Name : {"2-object+H", "1-call+H", "insensitive"}) {
+    ctx::Config Cfg;
+    ASSERT_TRUE(
+        ctx::configByName(Name, Abstraction::TransformerString, Cfg));
+    analysis::Results R = solveWithProv(DB, Cfg);
+    std::string CE;
+    EXPECT_TRUE(verify::checkClosure(DB, R, verify::ClosureOptions(), CE))
+        << Name << ": " << CE;
+    EXPECT_TRUE(verify::checkSupport(DB, R, CE)) << Name << ": " << CE;
+  }
+}
+
+TEST(VerifyTest, CertifiesContextStrings) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg;
+  ASSERT_TRUE(
+      ctx::configByName("1-object", Abstraction::ContextString, Cfg));
+  analysis::Results R = solveWithProv(DB, Cfg);
+  std::string CE;
+  EXPECT_TRUE(verify::checkClosure(DB, R, verify::ClosureOptions(), CE))
+      << CE;
+  EXPECT_TRUE(verify::checkSupport(DB, R, CE)) << CE;
+}
+
+TEST(VerifyTest, ClosureFailsOnDroppedTuple) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg = ctx::twoObjectH(Abstraction::TransformerString);
+  analysis::Results R = analysis::solve(DB, Cfg);
+  ASSERT_FALSE(R.Pts.empty());
+  // Drop one derived conclusion; its premises all survive, so exactly
+  // the rule that derived it can still fire.
+  analysis::PtsFact Dropped = R.Pts[R.Pts.size() / 2];
+  R.Pts.erase(R.Pts.begin() +
+              static_cast<std::ptrdiff_t>(R.Pts.size() / 2));
+  std::string CE;
+  EXPECT_FALSE(verify::checkClosure(DB, R, verify::ClosureOptions(), CE));
+  EXPECT_NE(CE.find("can still derive"), std::string::npos) << CE;
+  EXPECT_NE(CE.find(DB.VarNames[Dropped.Var]), std::string::npos) << CE;
+  EXPECT_NE(CE.find(DB.HeapNames[Dropped.Heap]), std::string::npos) << CE;
+}
+
+TEST(VerifyTest, ClosureFailsOnTruncatedRun) {
+  facts::FactDB DB = testDB();
+  analysis::SolverOptions SO;
+  SO.Budget.MaxDerivations = 50;
+  analysis::Results R = analysis::solve(
+      DB, ctx::twoObjectH(Abstraction::TransformerString), SO);
+  ASSERT_NE(R.Stat.Term, TerminationReason::Converged);
+  std::string CE;
+  EXPECT_FALSE(verify::checkClosure(DB, R, verify::ClosureOptions(), CE));
+  EXPECT_NE(CE.find("did not converge"), std::string::npos) << CE;
+}
+
+TEST(VerifyTest, SupportFailsOnExtraTuple) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg = ctx::twoObjectH(Abstraction::TransformerString);
+  analysis::Results R = solveWithProv(DB, Cfg);
+  ASSERT_FALSE(R.Pts.empty());
+
+  auto Contains = [&](const analysis::PtsFact &F) {
+    for (const analysis::PtsFact &G : R.Pts)
+      if (G.Var == F.Var && G.Heap == F.Heap && G.T == F.T)
+        return true;
+    return false;
+  };
+  // Forge a tuple from existing parts so it renders cleanly but has no
+  // recorded derivation.
+  analysis::PtsFact Bogus = R.Pts.front();
+  bool Found = false;
+  for (const analysis::PtsFact &Other : R.Pts) {
+    analysis::PtsFact Candidate{Bogus.Var, Other.Heap, Other.T};
+    if (!Contains(Candidate)) {
+      Bogus = Candidate;
+      Found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(Found) << "workload too small to forge an absent tuple";
+  R.Pts.push_back(Bogus);
+
+  std::string CE;
+  EXPECT_FALSE(verify::checkSupport(DB, R, CE));
+  EXPECT_NE(CE.find("no recorded derivation"), std::string::npos) << CE;
+  EXPECT_NE(CE.find(DB.VarNames[Bogus.Var]), std::string::npos) << CE;
+}
+
+TEST(VerifyTest, SupportFailsOnSwappedContext) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg = ctx::twoObjectH(Abstraction::TransformerString);
+  analysis::Results R = solveWithProv(DB, Cfg);
+
+  auto Contains = [&](std::uint32_t Var, std::uint32_t Heap,
+                      ctx::TransformId T) {
+    for (const analysis::PtsFact &G : R.Pts)
+      if (G.Var == Var && G.Heap == Heap && G.T == T)
+        return true;
+    return false;
+  };
+  // Rewrite one tuple's transformation to a different interned value:
+  // the recorded fact vanishes from its relation and the mutant has no
+  // derivation.
+  std::size_t Victim = R.Pts.size();
+  ctx::TransformId NewT = 0;
+  for (std::size_t I = 0; I < R.Pts.size() && Victim == R.Pts.size(); ++I)
+    for (const analysis::PtsFact &Other : R.Pts) {
+      if (Other.T == R.Pts[I].T)
+        continue;
+      if (!Contains(R.Pts[I].Var, R.Pts[I].Heap, Other.T)) {
+        Victim = I;
+        NewT = Other.T;
+        break;
+      }
+    }
+  ASSERT_LT(Victim, R.Pts.size())
+      << "workload too small to swap a context";
+  R.Pts[Victim].T = NewT;
+
+  std::string CE;
+  EXPECT_FALSE(verify::checkSupport(DB, R, CE));
+  EXPECT_NE(CE.find("absent from its relation"), std::string::npos) << CE;
+}
+
+TEST(VerifyTest, SnapshotRoundTripPassesBothBackends) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg = ctx::oneCallH(Abstraction::TransformerString);
+  std::string Dir = ::testing::TempDir() + "ctp_verify_snap_ok";
+  ASSERT_EQ(posix::mkdirs(Dir), "");
+  analysis::removeSnapshot(Dir);
+  std::string CE;
+  EXPECT_TRUE(
+      verify::checkSnapshotRoundTrip(DB, Cfg, /*UseDatalog=*/false, Dir, CE))
+      << CE;
+  EXPECT_TRUE(
+      verify::checkSnapshotRoundTrip(DB, Cfg, /*UseDatalog=*/true, Dir, CE))
+      << CE;
+  analysis::removeSnapshot(Dir);
+}
+
+TEST(VerifyTest, SnapshotCheckFailsOnStaleSnapshot) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg = ctx::oneCallH(Abstraction::TransformerString);
+  std::string Dir = ::testing::TempDir() + "ctp_verify_snap_stale";
+  ASSERT_EQ(posix::mkdirs(Dir), "");
+  analysis::removeSnapshot(Dir);
+
+  // A previous "life" leaves a converged snapshot behind...
+  analysis::SolverOptions SO;
+  SO.Checkpoint.Dir = Dir;
+  SO.Checkpoint.KeepOnConverge = true;
+  analysis::Results Old = analysis::solve(DB, Cfg, SO);
+  ASSERT_EQ(Old.Stat.CheckpointError, "");
+
+  // ...then the fact base changes under it. The round-trip check must
+  // reject the stale snapshot instead of resuming from it.
+  facts::FactDB Mutated = DB;
+  facts::AssignFact Extra;
+  Extra.From = 0;
+  Extra.To = Mutated.numVars() > 1 ? 1 : 0;
+  Mutated.Assigns.push_back(Extra);
+
+  std::string CE;
+  EXPECT_FALSE(verify::checkSnapshotRoundTrip(Mutated, Cfg,
+                                              /*UseDatalog=*/false, Dir, CE));
+  EXPECT_FALSE(CE.empty());
+  analysis::removeSnapshot(Dir);
+}
+
+TEST(VerifyTest, VerifyFactDBEndToEnd) {
+  facts::FactDB DB = testDB();
+  verify::VerifyOptions Opts;
+  Opts.Configs = {"1-call+H", "1-call", "insensitive"};
+  Opts.Samples = 4;
+  verdict::Report Report;
+  EXPECT_TRUE(verify::verifyFactDB(DB, "gen", Opts, Report));
+  EXPECT_TRUE(Report.allPassed());
+  // Per config: closure+support+differential+closure(datalog) rows; plus
+  // the monotonic pairs (1-call+H <= 1-call and the two insensitive
+  // comparisons), oracle rows, and a skipped snapshot row.
+  EXPECT_GT(Report.checks().size(), 12u);
+
+  bool SawMonotonic = false, SawOracle = false, SawDifferential = false;
+  for (const verdict::Check &C : Report.checks()) {
+    SawMonotonic |= C.Name == "monotonic";
+    SawOracle |= C.Name == "oracle";
+    SawDifferential |= C.Name == "differential";
+  }
+  EXPECT_TRUE(SawMonotonic);
+  EXPECT_TRUE(SawOracle);
+  EXPECT_TRUE(SawDifferential);
+
+  // The rendered report is deterministic and round-trips the summary.
+  std::string Tsv = Report.renderTsv();
+  EXPECT_NE(Tsv.find("summary\t-\tpass"), std::string::npos);
+  EXPECT_EQ(Tsv, Report.renderTsv());
+}
+
+TEST(VerifyTest, VerifyFactDBReportsCorruption) {
+  // End-to-end negative: an unknown configuration name yields a failing
+  // config row, not a crash or a silent skip.
+  facts::FactDB DB = testDB();
+  verify::VerifyOptions Opts;
+  Opts.Configs = {"3-object"};
+  verdict::Report Report;
+  EXPECT_FALSE(verify::verifyFactDB(DB, "gen", Opts, Report));
+  ASSERT_EQ(Report.checks().size(), 1u);
+  EXPECT_EQ(Report.checks()[0].Name, "config");
+  EXPECT_EQ(Report.checks()[0].St, verdict::Status::Fail);
+}
+
+} // namespace

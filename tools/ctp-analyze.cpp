@@ -51,6 +51,7 @@
 #include "support/Budget.h"
 #include "support/ExitCodes.h"
 #include "support/FaultInjection.h"
+#include "support/Suggest.h"
 #include "workload/Presets.h"
 
 #include <cstdio>
@@ -101,27 +102,6 @@ bool parseCount(const char *S, std::uint64_t &Out) {
   if (End == S || *End != '\0')
     return false;
   Out = V;
-  return true;
-}
-
-bool parseConfig(const std::string &Name, ctx::Abstraction A,
-                 ctx::Config &Out) {
-  if (Name == "1-call")
-    Out = ctx::oneCall(A);
-  else if (Name == "1-call+H")
-    Out = ctx::oneCallH(A);
-  else if (Name == "1-object")
-    Out = ctx::oneObject(A);
-  else if (Name == "2-object+H")
-    Out = ctx::twoObjectH(A);
-  else if (Name == "2-type+H")
-    Out = ctx::twoTypeH(A);
-  else if (Name == "2-hybrid+H")
-    Out = ctx::twoHybridH(A);
-  else if (Name == "insensitive")
-    Out = ctx::insensitive(A);
-  else
-    return false;
   return true;
 }
 
@@ -194,7 +174,8 @@ int main(int argc, char **argv) {
       else if (std::strcmp(V, "ts") == 0)
         Abs = ctx::Abstraction::TransformerString;
       else {
-        std::fprintf(stderr, "error: unknown abstraction '%s'\n", V);
+        std::fprintf(stderr, "error: unknown abstraction '%s'%s\n", V,
+                     support::didYouMean(V, {"cs", "ts"}).c_str());
         return usage(argv[0]);
       }
     } else if (Arg == "--collapse") {
@@ -270,16 +251,19 @@ int main(int argc, char **argv) {
     for (const std::string &N : workload::presetNames())
       Known |= N == Preset;
     if (!Known) {
-      std::fprintf(stderr, "error: unknown preset '%s'\n", Preset.c_str());
+      std::fprintf(
+          stderr, "error: unknown preset '%s'%s\n", Preset.c_str(),
+          support::didYouMean(Preset, workload::presetNames()).c_str());
       return ExitError;
     }
     DB = facts::extract(workload::generatePreset(Preset));
   }
 
   ctx::Config Cfg;
-  if (!parseConfig(ConfigName, Abs, Cfg)) {
-    std::fprintf(stderr, "error: unknown config '%s'\n",
-                 ConfigName.c_str());
+  if (!ctx::configByName(ConfigName, Abs, Cfg)) {
+    std::fprintf(
+        stderr, "error: unknown config '%s'%s\n", ConfigName.c_str(),
+        support::didYouMean(ConfigName, ctx::configNames()).c_str());
     return ExitError;
   }
   std::string CfgErr = Cfg.validate();

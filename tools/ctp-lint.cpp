@@ -59,6 +59,7 @@
 #include "facts/TsvIO.h"
 #include "support/Budget.h"
 #include "support/ExitCodes.h"
+#include "support/Suggest.h"
 #include "workload/Presets.h"
 
 #include <cstdio>
@@ -111,27 +112,6 @@ bool parseCount(const char *S, std::uint64_t &Out) {
   return true;
 }
 
-bool parseConfig(const std::string &Name, ctx::Abstraction A,
-                 ctx::Config &Out) {
-  if (Name == "1-call")
-    Out = ctx::oneCall(A);
-  else if (Name == "1-call+H")
-    Out = ctx::oneCallH(A);
-  else if (Name == "1-object")
-    Out = ctx::oneObject(A);
-  else if (Name == "2-object+H")
-    Out = ctx::twoObjectH(A);
-  else if (Name == "2-type+H")
-    Out = ctx::twoTypeH(A);
-  else if (Name == "2-hybrid+H")
-    Out = ctx::twoHybridH(A);
-  else if (Name == "insensitive")
-    Out = ctx::insensitive(A);
-  else
-    return false;
-  return true;
-}
-
 struct CheckSet {
   bool Escape = true;
   bool Race = true;
@@ -140,9 +120,12 @@ struct CheckSet {
 };
 
 /// Parses "escape,race,cast,taint" subsets; \returns false on an unknown
-/// name.
-bool parseChecks(const std::string &List, CheckSet &Out) {
+/// name or an empty selection, leaving the offender in \p BadName (empty
+/// when the list merely selected nothing).
+bool parseChecks(const std::string &List, CheckSet &Out,
+                 std::string &BadName) {
   Out = {false, false, false, false};
+  BadName.clear();
   std::size_t Pos = 0;
   while (Pos <= List.size()) {
     std::size_t Comma = List.find(',', Pos);
@@ -158,8 +141,10 @@ bool parseChecks(const std::string &List, CheckSet &Out) {
       Out.Taint = true;
     else if (Name == "all")
       Out = {true, true, true, true};
-    else if (!Name.empty())
+    else if (!Name.empty()) {
+      BadName = Name;
       return false;
+    }
     if (Comma == std::string::npos)
       break;
     Pos = Comma + 1;
@@ -227,7 +212,8 @@ int main(int argc, char **argv) {
       else if (std::strcmp(V, "ts") == 0)
         Abs = ctx::Abstraction::TransformerString;
       else {
-        std::fprintf(stderr, "error: unknown abstraction '%s'\n", V);
+        std::fprintf(stderr, "error: unknown abstraction '%s'%s\n", V,
+                     support::didYouMean(V, {"cs", "ts"}).c_str());
         return usage(argv[0]);
       }
     } else if (Arg == "--collapse") {
@@ -258,8 +244,19 @@ int main(int argc, char **argv) {
       const char *V = Next();
       if (!V)
         return usage(argv[0]);
-      if (!parseChecks(V, Checks)) {
-        std::fprintf(stderr, "error: bad --checks list '%s'\n", V);
+      std::string BadName;
+      if (!parseChecks(V, Checks, BadName)) {
+        if (BadName.empty())
+          std::fprintf(stderr, "error: --checks list '%s' selects "
+                               "nothing\n",
+                       V);
+        else
+          std::fprintf(stderr, "error: unknown check '%s'%s\n",
+                       BadName.c_str(),
+                       support::didYouMean(
+                           BadName,
+                           {"escape", "race", "cast", "taint", "all"})
+                           .c_str());
         return usage(argv[0]);
       }
     } else if (Arg == "--format") {
@@ -268,7 +265,8 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
       Format = V;
       if (Format != "human" && Format != "sarif") {
-        std::fprintf(stderr, "error: unknown format '%s'\n", V);
+        std::fprintf(stderr, "error: unknown format '%s'%s\n", V,
+                     support::didYouMean(V, {"human", "sarif"}).c_str());
         return usage(argv[0]);
       }
     } else if (Arg == "--out") {
@@ -305,15 +303,19 @@ int main(int argc, char **argv) {
     for (const std::string &N : workload::presetNames())
       Known |= N == Preset;
     if (!Known) {
-      std::fprintf(stderr, "error: unknown preset '%s'\n", Preset.c_str());
+      std::fprintf(
+          stderr, "error: unknown preset '%s'%s\n", Preset.c_str(),
+          support::didYouMean(Preset, workload::presetNames()).c_str());
       return ExitError;
     }
     DB = facts::extract(workload::generatePreset(Preset));
   }
 
   ctx::Config Cfg;
-  if (!parseConfig(ConfigName, Abs, Cfg)) {
-    std::fprintf(stderr, "error: unknown config '%s'\n", ConfigName.c_str());
+  if (!ctx::configByName(ConfigName, Abs, Cfg)) {
+    std::fprintf(
+        stderr, "error: unknown config '%s'%s\n", ConfigName.c_str(),
+        support::didYouMean(ConfigName, ctx::configNames()).c_str());
     return ExitError;
   }
   std::string CfgErr = Cfg.validate();

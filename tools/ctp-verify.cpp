@@ -1,0 +1,312 @@
+//===- tools/ctp-verify.cpp - Fixpoint certification driver ---------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Certifies solved analysis results instead of trusting the solver: for
+// each requested preset (or an on-disk facts directory) and each rung of
+// the configuration ladder, solves on the requested back-end(s) and runs
+// the verification matrix — fixpoint closure, derivation support,
+// native-vs-datalog differential, ladder monotonicity, CFL-oracle
+// containment with demand-driven spot checks, and snapshot
+// save/restore/re-solve identity. Emits one verdict row per check cell.
+//
+// Usage:
+//   ctp-verify [options]
+//     --preset NAME|all    built-in workload(s) to certify (default all)
+//     --facts DIR          certify a Doop-style facts directory instead
+//     --config NAME[,...]  ladder rung(s); repeatable (default: all 7)
+//     --abstraction A      cs (context strings) | ts (transformers; default)
+//     --backend B          native | datalog | both (default both)
+//     --checks C[,...]     closure, support, differential, monotonic,
+//                          oracle, snapshot, all (default all)
+//     --samples N          demand-oracle spot-check query count (default 8)
+//     --seed N             sampling seed (default 1)
+//     --snapshot-dir DIR   scratch dir for the snapshot round-trip check
+//                          (omitted => snapshot rows are skipped)
+//     --format F           human | tsv (default human)
+//     --out FILE           write the report there instead of stdout
+//
+// Exit codes (support/ExitCodes.h): 0 every check passed, 1 runtime
+// error, 2 usage error, 5 at least one check failed (the report names
+// the first counterexample tuple per failing cell).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/Config.h"
+#include "facts/Extract.h"
+#include "facts/TsvIO.h"
+#include "support/ExitCodes.h"
+#include "support/Posix.h"
+#include "support/Suggest.h"
+#include "support/Verdict.h"
+#include "verify/Verify.h"
+#include "workload/Presets.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace ctp;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::string Presets;
+  for (const std::string &N : workload::presetNames()) {
+    if (!Presets.empty())
+      Presets += ", ";
+    Presets += N;
+  }
+  std::fprintf(
+      stderr,
+      "usage: %s [--preset NAME|all | --facts DIR] [--config NAME[,...]]\n"
+      "          [--abstraction cs|ts] [--backend native|datalog|both]\n"
+      "          [--checks LIST] [--samples N] [--seed N]\n"
+      "          [--snapshot-dir DIR] [--format human|tsv] [--out FILE]\n"
+      "  presets: %s\n"
+      "  configs: 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H,\n"
+      "           2-hybrid+H, insensitive\n"
+      "  checks:  closure, support, differential, monotonic, oracle,\n"
+      "           snapshot, all\n"
+      "  exit codes: 0 all checks passed, 1 error, 2 usage, 5 verification "
+      "failed\n",
+      Prog, Presets.c_str());
+  return ExitUsage;
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::size_t Pos = 0;
+  while (Pos <= S.size()) {
+    std::size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma > Pos)
+      Out.push_back(S.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string FactsDir, Preset, OutFile, Format = "human";
+  std::vector<std::string> Configs, Checks;
+  verify::VerifyOptions VOpts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg.c_str());
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--preset") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Preset = V;
+    } else if (Arg == "--facts") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      FactsDir = V;
+    } else if (Arg == "--config") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      for (const std::string &C : splitList(V))
+        Configs.push_back(C);
+    } else if (Arg == "--abstraction") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      if (std::strcmp(V, "cs") == 0)
+        VOpts.Abs = ctx::Abstraction::ContextString;
+      else if (std::strcmp(V, "ts") == 0)
+        VOpts.Abs = ctx::Abstraction::TransformerString;
+      else {
+        std::fprintf(stderr, "error: unknown abstraction '%s'%s\n", V,
+                     support::didYouMean(V, {"cs", "ts"}).c_str());
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--backend") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      if (std::strcmp(V, "native") == 0) {
+        VOpts.Native = true;
+        VOpts.Datalog = false;
+      } else if (std::strcmp(V, "datalog") == 0) {
+        VOpts.Native = false;
+        VOpts.Datalog = true;
+      } else if (std::strcmp(V, "both") == 0) {
+        VOpts.Native = VOpts.Datalog = true;
+      } else {
+        std::fprintf(
+            stderr, "error: unknown backend '%s'%s\n", V,
+            support::didYouMean(V, {"native", "datalog", "both"}).c_str());
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--checks") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      for (const std::string &C : splitList(V))
+        Checks.push_back(C);
+    } else if (Arg == "--samples") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      VOpts.Samples = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      VOpts.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--snapshot-dir") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      VOpts.SnapshotDir = V;
+    } else if (Arg == "--format") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Format = V;
+      if (Format != "human" && Format != "tsv") {
+        std::fprintf(stderr, "error: unknown format '%s'%s\n", V,
+                     support::didYouMean(V, {"human", "tsv"}).c_str());
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--out") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      OutFile = V;
+    } else {
+      static const std::vector<std::string> Flags = {
+          "--preset",  "--facts",   "--config",       "--abstraction",
+          "--backend", "--checks",  "--samples",      "--seed",
+          "--snapshot-dir", "--format", "--out"};
+      std::fprintf(stderr, "error: unknown option '%s'%s\n", Arg.c_str(),
+                   support::didYouMean(Arg, Flags).c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!FactsDir.empty() && !Preset.empty()) {
+    std::fprintf(stderr,
+                 "error: --facts and --preset are mutually exclusive\n");
+    return usage(argv[0]);
+  }
+  if (FactsDir.empty() && Preset.empty())
+    Preset = "all";
+
+  // Closed vocabularies validate up front with did-you-mean hints.
+  for (const std::string &C : Configs) {
+    ctx::Config Probe;
+    if (!ctx::configByName(C, VOpts.Abs, Probe)) {
+      std::fprintf(stderr, "error: unknown config '%s'%s\n", C.c_str(),
+                   support::didYouMean(C, ctx::configNames()).c_str());
+      return usage(argv[0]);
+    }
+  }
+  VOpts.Configs = Configs;
+
+  if (!Checks.empty()) {
+    static const std::vector<std::string> Known = {
+        "closure", "support",  "differential", "monotonic",
+        "oracle",  "snapshot", "all"};
+    bool All = false;
+    VOpts.Closure = VOpts.Support = VOpts.Differential = VOpts.Monotonic =
+        VOpts.Oracle = VOpts.Snapshot = false;
+    for (const std::string &C : Checks) {
+      if (C == "closure")
+        VOpts.Closure = true;
+      else if (C == "support")
+        VOpts.Support = true;
+      else if (C == "differential")
+        VOpts.Differential = true;
+      else if (C == "monotonic")
+        VOpts.Monotonic = true;
+      else if (C == "oracle")
+        VOpts.Oracle = true;
+      else if (C == "snapshot")
+        VOpts.Snapshot = true;
+      else if (C == "all")
+        All = true;
+      else {
+        std::fprintf(stderr, "error: unknown check '%s'%s\n", C.c_str(),
+                     support::didYouMean(C, Known).c_str());
+        return usage(argv[0]);
+      }
+    }
+    if (All)
+      VOpts.Closure = VOpts.Support = VOpts.Differential = VOpts.Monotonic =
+          VOpts.Oracle = VOpts.Snapshot = true;
+  }
+
+  if (!VOpts.SnapshotDir.empty()) {
+    std::string Err = posix::mkdirs(VOpts.SnapshotDir);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+  }
+
+  // Resolve the worklist of (cell prefix, fact database) pairs.
+  std::vector<std::pair<std::string, facts::FactDB>> Work;
+  if (!FactsDir.empty()) {
+    facts::FactDB DB;
+    std::string Err = facts::readFactsDir(FactsDir, DB);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+    Work.emplace_back("facts", std::move(DB));
+  } else if (Preset == "all") {
+    for (const std::string &N : workload::presetNames())
+      Work.emplace_back(N, facts::extract(workload::generatePreset(N)));
+  } else {
+    bool Known = false;
+    for (const std::string &N : workload::presetNames())
+      Known |= N == Preset;
+    if (!Known) {
+      std::fprintf(
+          stderr, "error: unknown preset '%s'%s\n", Preset.c_str(),
+          support::didYouMean(Preset, workload::presetNames()).c_str());
+      return usage(argv[0]);
+    }
+    Work.emplace_back(Preset, facts::extract(workload::generatePreset(Preset)));
+  }
+
+  verdict::Report Report;
+  bool AllOk = true;
+  for (auto &[Prefix, DB] : Work)
+    AllOk &= verify::verifyFactDB(DB, Prefix, VOpts, Report);
+
+  std::string Rendered =
+      Format == "tsv" ? Report.renderTsv() : Report.renderHuman();
+  if (OutFile.empty()) {
+    std::fputs(Rendered.c_str(), stdout);
+  } else {
+    std::ofstream Out(OutFile, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+      return ExitError;
+    }
+    Out << Rendered;
+    if (!Out.flush()) {
+      std::fprintf(stderr, "error: short write to %s\n", OutFile.c_str());
+      return ExitError;
+    }
+    std::fprintf(stderr, "verdict report written to %s\n", OutFile.c_str());
+  }
+  return AllOk ? ExitOk : ExitVerifyFailed;
+}
