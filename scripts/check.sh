@@ -12,7 +12,7 @@
 # gracefully when clang-tidy is not installed).
 #
 # Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]
-#                          [--batch] [--serve] [--asan]
+#                          [--batch] [--serve] [--delta] [--asan]
 #
 # --crashloop additionally runs the out-of-process kill/resume loop
 # (scripts/crashloop.sh) against the fresh build — the same loop ctest
@@ -27,6 +27,11 @@
 # the real ctp-serve binary (ctest -L serve, which includes
 # crashloop.sh --serve).
 #
+# --delta additionally smokes transactional incremental re-solve: the
+# incremental unit suite plus the SIGKILL-at-every-commit-stage recovery
+# drill through the real ctp-serve binary (ctest -L incremental, which
+# includes crashloop.sh --delta).
+#
 # --asan runs a targeted address+undefined matrix in its own build
 # directory (build-asan): just the engine-semantics core and the
 # fixpoint-certification suite (ctest -L 'core|verify'), so the slow
@@ -39,8 +44,10 @@
 # governor (watchdog thread + cancellation flag), the crash-safety
 # snapshot/resume tests, the supervisor/heartbeat suite (concurrent
 # beat writers race budget polls), the serve unit suite (reader/worker
-# pools share the admission queue), and one supervised chaos run through
-# ctp-batch. TSAN must stay quiet throughout.
+# pools share the admission queue), the incremental-transaction suite
+# (a committing writer races query readers on the shared state lock),
+# and one supervised chaos run through ctp-batch. TSAN must stay quiet
+# throughout.
 #
 #===----------------------------------------------------------------------===#
 
@@ -53,6 +60,7 @@ CRASHLOOP=0
 TSAN=0
 BATCH=0
 SERVE=0
+DELTA=0
 ASAN=0
 for ARG in "$@"; do
   case "$ARG" in
@@ -62,10 +70,11 @@ for ARG in "$@"; do
     --tsan) TSAN=1 ;;
     --batch) BATCH=1 ;;
     --serve) SERVE=1 ;;
+    --delta) DELTA=1 ;;
     --asan) ASAN=1 ;;
     *)
       echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]" \
-           "[--tsan] [--batch] [--serve] [--asan]" >&2
+           "[--tsan] [--batch] [--serve] [--delta] [--asan]" >&2
       exit 2
       ;;
   esac
@@ -104,6 +113,11 @@ if [[ "$SERVE" == 1 ]]; then
   ctest --test-dir build -j"$(nproc)" -L serve --output-on-failure
 fi
 
+if [[ "$DELTA" == 1 ]]; then
+  echo "== transactional delta smoke (ctest -L incremental) =="
+  ctest --test-dir build -j"$(nproc)" -L incremental --output-on-failure
+fi
+
 if [[ "$TIDY" == 1 ]]; then
   echo "== clang-tidy =="
   scripts/tidy.sh build
@@ -114,9 +128,10 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DCTP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" \
     --target governor_test snapshot_test resume_test supervisor_test \
-             serve_test verify_test ctp-crashkid ctp-analyze ctp-batch
+             serve_test verify_test incremental_test ctp-crashkid \
+             ctp-analyze ctp-batch
   ctest --test-dir build-tsan -j"$(nproc)" \
-    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test|verify_test)$' \
+    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test|verify_test|incremental_test)$' \
     --output-on-failure
   echo "== ThreadSanitizer supervised chaos run =="
   WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_tsan_batch.XXXXXX")"

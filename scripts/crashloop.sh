@@ -19,7 +19,7 @@
 #
 # Usage: scripts/crashloop.sh [--preset NAME] [--config NAME]
 #                             [--budget N] [--max-iters N]
-#                             [--batch | --serve]
+#                             [--batch | --serve | --delta]
 # Env:   CTP_ANALYZE  path to the ctp-analyze binary
 #                     (default: build/tools/ctp-analyze next to this repo)
 #        CTP_BATCH    path to ctp-batch (--batch mode only; default
@@ -39,8 +39,21 @@
 # answers (restarted lives warm-start from the converged checkpoint).
 # Then: a max_steps=1 query must come back answered-but-degraded, an
 # admission burst past the queue cap must yield explicit `overloaded`
-# replies while the heartbeat file keeps advancing, and a `shutdown`
-# request must stop the whole supervisor tree with exit 0.
+# replies while the heartbeat file keeps advancing (a retrying client
+# must then win the shed queries back), and a `shutdown` request must
+# stop the whole supervisor tree with exit 0.
+#
+# --delta exercises transactional incremental re-solve: a daemon over a
+# generated facts directory takes a begin/delta/commit transaction while
+# CTP_TXN_CRASH SIGKILLs it at each pipeline stage in turn (begin, op,
+# solve, certify, promote, commit). After every crash a restarted daemon
+# must replay the journal to a certified state: crashes before the
+# durable commit record recover to the pre-transaction epoch with
+# byte-identical answers; a crash after it recovers to the committed
+# epoch. The committed state is compared (modulo the epoch column)
+# against a fresh daemon cold-solving an equivalently hand-edited facts
+# directory, which ctp-verify must also certify. A client abort must
+# leave answers byte-identical too.
 #
 #===----------------------------------------------------------------------===#
 
@@ -53,6 +66,7 @@ BUDGET=6000
 MAX_ITERS=40
 BATCH=0
 SERVE=0
+DELTA=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
@@ -61,9 +75,10 @@ while [[ $# -gt 0 ]]; do
     --max-iters) MAX_ITERS="$2"; shift 2 ;;
     --batch) BATCH=1; shift ;;
     --serve) SERVE=1; shift ;;
+    --delta) DELTA=1; shift ;;
     *)
       echo "usage: scripts/crashloop.sh [--preset NAME] [--config NAME]" \
-           "[--budget N] [--max-iters N] [--batch | --serve]" >&2
+           "[--budget N] [--max-iters N] [--batch | --serve | --delta]" >&2
       exit 2
       ;;
   esac
@@ -104,7 +119,7 @@ if [[ "$SERVE" -eq 1 ]]; then
   # A fixed query batch built from daemon-advertised variable names: the
   # `vars` verb is deterministic in fact-base order, so the batch — and
   # therefore its answers — is identical across daemon lives.
-  NAMES="$(echo "vars 12" | client | cut -f4)" \
+  NAMES="$(echo "vars 12" | client | cut -f5)" \
     || die "name discovery failed" "$WORK/sup.log"
   read -r -a NAME_ARR <<< "$NAMES"
   [[ "${#NAME_ARR[@]}" -ge 4 ]] \
@@ -153,7 +168,7 @@ if [[ "$SERVE" -eq 1 ]]; then
   echo "== serve: deadline-tripped query must answer, degraded =="
   echo "pts ${NAME_ARR[0]} max_steps=1" | client > "$WORK/deadline.txt" \
     || die "deadline query failed" "$WORK/deadline.txt"
-  awk -F'\t' 'NR == 1 { exit !($2 == "degraded" && $4 != "" && $4 != "-") }' \
+  awk -F'\t' 'NR == 1 { exit !($2 == "degraded" && $5 != "" && $5 != "-") }' \
     "$WORK/deadline.txt" \
     || die "max_steps=1 did not degrade-but-answer" "$WORK/deadline.txt"
 
@@ -177,7 +192,10 @@ if [[ "$SERVE" -eq 1 ]]; then
     echo "$V"
   }
   HB0="$(hbread)"
-  client < "$BURST_FILE" > "$WORK/burst_out.txt" \
+  # --retries 0: the client's backoff-and-retry would otherwise convert
+  # most OVERLOADED replies into late successes, hiding the shed.
+  "$SERVE_BIN" --client "$SOCK" --connect-timeout-ms 60000 --retries 0 \
+    < "$BURST_FILE" > "$WORK/burst_out.txt" \
     || die "burst failed" "$WORK/burst_out.txt"
   HB1="$(hbread)"
   SHED="$(cut -f2 "$WORK/burst_out.txt" | grep -c '^overloaded$' || true)"
@@ -186,6 +204,22 @@ if [[ "$SERVE" -eq 1 ]]; then
   [[ "$HB0" != "$HB1" ]] \
     || die "heartbeat stalled during the overload burst"
   echo "   $SHED of 102 burst queries shed with explicit OVERLOADED"
+
+  echo "== serve: a retrying client must win back shed queries =="
+  # Same burst, but let the client's jittered exponential backoff ride
+  # out the stalls: the retries must recover at least part of the shed
+  # (typically all of it) and narrate what they are doing.
+  "$SERVE_BIN" --client "$SOCK" --connect-timeout-ms 60000 \
+    --retries 6 --retry-base-ms 100 \
+    < "$BURST_FILE" > "$WORK/retry_out.txt" 2> "$WORK/retry_err.txt" \
+    || die "retried burst failed" "$WORK/retry_out.txt" "$WORK/retry_err.txt"
+  RETRY_SHED="$(cut -f2 "$WORK/retry_out.txt" | grep -c '^overloaded$' || true)"
+  grep -q "overloaded, retry" "$WORK/retry_err.txt" \
+    || die "client never narrated a retry" "$WORK/retry_err.txt"
+  [[ "$RETRY_SHED" -lt "$SHED" ]] \
+    || die "retries recovered nothing ($RETRY_SHED still overloaded)" \
+           "$WORK/retry_out.txt" "$WORK/retry_err.txt"
+  echo "   retries cut overloaded replies from $SHED to $RETRY_SHED"
 
   echo "== serve: shutdown must stop the supervisor tree cleanly =="
   echo shutdown | client > /dev/null || die "shutdown request failed"
@@ -205,6 +239,209 @@ if [[ "$SERVE" -eq 1 ]]; then
   trap 'rm -rf "$WORK"' EXIT
   echo "== serve crash loop passed: $KILLS kills recovered," \
        "answers byte-identical across lives =="
+  exit 0
+fi
+
+if [[ "$DELTA" -eq 1 ]]; then
+  SERVE_BIN="${CTP_SERVE:-build/tools/ctp-serve}"
+  GENFACTS_BIN="${CTP_GENFACTS:-build/tools/ctp-genfacts}"
+  VERIFY_BIN="${CTP_VERIFY:-build/tools/ctp-verify}"
+  for B in "$SERVE_BIN" "$GENFACTS_BIN" "$VERIFY_BIN"; do
+    if [[ ! -x "$B" ]]; then
+      echo "error: '$B' not found (build first or set CTP_SERVE /" \
+           "CTP_GENFACTS / CTP_VERIFY)" >&2
+      exit 1
+    fi
+  done
+  SOCK="$WORK/d.sock"
+  FACTS="$WORK/base_facts"
+  mkdir -p "$FACTS"
+  DPID=""
+  trap 'kill -9 "$DPID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+  die() {
+    echo "FAIL: $1" >&2
+    shift
+    for F in "$@"; do cat "$F" >&2 2>/dev/null || true; done
+    exit 1
+  }
+  # Transaction verbs must be ONE client invocation each: a pipelined
+  # stream may be reordered by the worker pool (documented caveat).
+  cq() { "$SERVE_BIN" --client "$SOCK" --connect-timeout-ms 120000; }
+  cfast() {
+    "$SERVE_BIN" --client "$SOCK" --connect-timeout-ms 3000 --retries 0
+  }
+  startd() { # startd CKPT_DIR LOG [CRASH_STAGE]
+    rm -f "$SOCK"
+    CTP_TXN_CRASH="${3:-}" "$SERVE_BIN" --socket "$SOCK" \
+      --facts "$FACTS" --config "$CONFIG" --checkpoint-dir "$1" \
+      --queue-cap 64 > "$2" 2>&1 &
+    DPID=$!
+    echo ping | cq > /dev/null || die "daemon never answered a ping" "$2"
+  }
+  stopd() {
+    echo shutdown | cq > /dev/null 2>&1 || true
+    wait "$DPID" 2>/dev/null || true
+    DPID=""
+  }
+  txepoch() { # prints the committed-transaction epoch of the daemon
+    echo txstat | cq | cut -f5 | sed -n 's/^epoch=\([0-9]*\).*/\1/p'
+  }
+
+  "$GENFACTS_BIN" "$PRESET" "$FACTS" > /dev/null \
+    || die "facts generation failed"
+
+  echo "== delta: $PRESET/$CONFIG, cold solve and baseline batch =="
+  CKPT0="$WORK/ck0"
+  startd "$CKPT0" "$WORK/d0.log"
+  NAMES="$(echo "vars 12" | cq | cut -f5)" \
+    || die "name discovery failed" "$WORK/d0.log"
+  read -r -a NAME_ARR <<< "$NAMES"
+  [[ "${#NAME_ARR[@]}" -ge 4 ]] \
+    || die "vars returned too few names: '$NAMES'"
+  BATCH_FILE="$WORK/batch.txt"
+  {
+    for N in "${NAME_ARR[@]}"; do echo "pts $N"; done
+    echo "alias ${NAME_ARR[0]} ${NAME_ARR[1]}"
+    echo "alias ${NAME_ARR[2]} ${NAME_ARR[3]}"
+  } > "$BATCH_FILE"
+  cq < "$BATCH_FILE" > "$WORK/base_pre.txt" \
+    || die "baseline batch failed" "$WORK/d0.log"
+
+  # The transaction under test: remove one existing assign edge (any
+  # line that appears exactly once, so a TSV edit means the same thing
+  # as one `rm` op) and add one new edge between advertised variables.
+  RM_LINE="$(sort "$FACTS/Assign.facts" | uniq -u | head -n 1)"
+  [[ -n "$RM_LINE" ]] || die "no unique assign row to remove"
+  ADD_LINE=""
+  for A in "${NAME_ARR[@]}"; do
+    for B in "${NAME_ARR[@]}"; do
+      [[ "$A" == "$B" ]] && continue
+      CAND="$A"$'\t'"$B"
+      if ! grep -qxF "$CAND" "$FACTS/Assign.facts"; then
+        ADD_LINE="$CAND"
+        break 2
+      fi
+    done
+  done
+  [[ -n "$ADD_LINE" ]] || die "no fresh assign edge available to add"
+  RM_OP="rm assign ${RM_LINE%$'\t'*} ${RM_LINE#*$'\t'}"
+  ADD_OP="add assign ${ADD_LINE%$'\t'*} ${ADD_LINE#*$'\t'}"
+  stopd
+
+  echo "== delta: an aborted transaction must not change any answer =="
+  CK="$WORK/ck_abort"
+  cp -r "$CKPT0" "$CK"
+  startd "$CK" "$WORK/d_abort.log"
+  echo begin | cq | awk -F'\t' '{ exit !($2 == "ok") }' \
+    || die "begin failed" "$WORK/d_abort.log"
+  echo "delta $ADD_OP" | cq | awk -F'\t' '{ exit !($2 == "ok") }' \
+    || die "delta op refused" "$WORK/d_abort.log"
+  echo abort | cq | awk -F'\t' '{ exit !($2 == "ok" && $5 == "aborted") }' \
+    || die "abort failed" "$WORK/d_abort.log"
+  cq < "$BATCH_FILE" > "$WORK/aborted.txt"
+  cmp -s "$WORK/base_pre.txt" "$WORK/aborted.txt" \
+    || { diff "$WORK/base_pre.txt" "$WORK/aborted.txt" >&2 || true
+         die "aborted transaction changed answers"; }
+  stopd
+  echo "   abort left the batch byte-identical"
+
+  echo "== delta: SIGKILL at every commit-pipeline stage, then recover =="
+  for STAGE in begin op solve certify promote commit; do
+    CK="$WORK/ck_$STAGE"
+    cp -r "$CKPT0" "$CK"
+    startd "$CK" "$WORK/d_${STAGE}.log" "$STAGE"
+    # Each verb is its own client invocation; once the armed crash point
+    # fires the daemon is SIGKILLed mid-verb, so later sends just fail.
+    echo begin | cfast > /dev/null 2>&1 || true
+    kill -0 "$DPID" 2>/dev/null && \
+      { echo "delta $ADD_OP" | cfast > /dev/null 2>&1 || true; }
+    kill -0 "$DPID" 2>/dev/null && \
+      { echo "delta $RM_OP" | cfast > /dev/null 2>&1 || true; }
+    kill -0 "$DPID" 2>/dev/null && \
+      { echo commit | cfast > /dev/null 2>&1 || true; }
+    wait "$DPID" 2>/dev/null || true
+    DPID=""
+    grep -q "CTP_TXN_CRASH firing at stage '$STAGE'" "$WORK/d_${STAGE}.log" \
+      || die "crash point '$STAGE' never fired" "$WORK/d_${STAGE}.log"
+
+    startd "$CK" "$WORK/r_${STAGE}.log"
+    EPOCH="$(txepoch)"
+    if [[ "$STAGE" == "commit" ]]; then
+      WANT=1 # The durable commit record landed before the kill.
+    else
+      WANT=0 # No commit record: recovery must abort the transaction.
+    fi
+    [[ "$EPOCH" == "$WANT" ]] \
+      || die "stage $STAGE recovered to epoch $EPOCH, want $WANT" \
+             "$WORK/r_${STAGE}.log"
+    cq < "$BATCH_FILE" > "$WORK/rec_${STAGE}.txt"
+    if [[ "$WANT" -eq 0 ]]; then
+      cmp -s "$WORK/base_pre.txt" "$WORK/rec_${STAGE}.txt" \
+        || { diff "$WORK/base_pre.txt" "$WORK/rec_${STAGE}.txt" >&2 || true
+             die "stage $STAGE recovery changed pre-txn answers"; }
+    else
+      grep -q "startup certification passed" "$WORK/r_${STAGE}.log" \
+        || die "replayed state was not re-certified" "$WORK/r_${STAGE}.log"
+      cp "$WORK/rec_${STAGE}.txt" "$WORK/post_replayed.txt"
+    fi
+    stopd
+    echo "   stage $STAGE: killed, recovered to epoch $WANT, answers OK"
+  done
+  [[ -f "$WORK/post_replayed.txt" ]] \
+    || die "the commit-stage crash never produced a committed recovery"
+
+  echo "== delta: an uninterrupted commit must match the replayed one =="
+  CK="$WORK/ck_ok"
+  cp -r "$CKPT0" "$CK"
+  startd "$CK" "$WORK/d_ok.log"
+  echo begin | cq > /dev/null || die "begin failed" "$WORK/d_ok.log"
+  echo "delta $ADD_OP" | cq | awk -F'\t' '{ exit !($2 == "ok") }' \
+    || die "add op refused" "$WORK/d_ok.log"
+  echo "delta $RM_OP" | cq | awk -F'\t' '{ exit !($2 == "ok") }' \
+    || die "rm op refused" "$WORK/d_ok.log"
+  echo commit | cq > "$WORK/commit.txt"
+  awk -F'\t' '{ exit !($2 == "ok" && $4 == "1" && $5 ~ /^committed/) }' \
+    "$WORK/commit.txt" \
+    || die "commit did not publish epoch 1" "$WORK/commit.txt" \
+           "$WORK/d_ok.log"
+  cq < "$BATCH_FILE" > "$WORK/post.txt"
+  cmp -s "$WORK/post.txt" "$WORK/post_replayed.txt" \
+    || { diff "$WORK/post.txt" "$WORK/post_replayed.txt" >&2 || true
+         die "crash-replayed commit differs from the uninterrupted one"; }
+  stopd
+  echo "   uninterrupted commit byte-identical to the crash-replayed one"
+
+  echo "== delta: committed state must match a cold solve of edited facts =="
+  EDITED="$WORK/edited_facts"
+  cp -r "$FACTS" "$EDITED"
+  grep -vxF "$RM_LINE" "$EDITED/Assign.facts" > "$EDITED/Assign.tmp"
+  mv "$EDITED/Assign.tmp" "$EDITED/Assign.facts"
+  printf '%s\n' "$ADD_LINE" >> "$EDITED/Assign.facts"
+  rm -f "$SOCK"
+  "$SERVE_BIN" --socket "$SOCK" --facts "$EDITED" --config "$CONFIG" \
+    --queue-cap 64 > "$WORK/oracle.log" 2>&1 &
+  DPID=$!
+  echo ping | cq > /dev/null || die "oracle daemon never answered" \
+                                    "$WORK/oracle.log"
+  cq < "$BATCH_FILE" > "$WORK/oracle.txt"
+  stopd
+  # Strip the epoch column (field 4): the oracle never committed.
+  cmp -s <(cut -f1,2,3,5 "$WORK/post.txt") \
+         <(cut -f1,2,3,5 "$WORK/oracle.txt") \
+    || { diff <(cut -f1,2,3,5 "$WORK/post.txt") \
+              <(cut -f1,2,3,5 "$WORK/oracle.txt") >&2 || true
+         die "committed answers differ from the edited-facts cold solve"; }
+  echo "   answers identical modulo the epoch column"
+
+  echo "== delta: ctp-verify must certify the edited facts directory =="
+  "$VERIFY_BIN" --facts "$EDITED" --config "$CONFIG" --backend native \
+    > "$WORK/verify.txt" 2>&1 \
+    || die "ctp-verify rejected the edited facts" "$WORK/verify.txt"
+
+  trap 'rm -rf "$WORK"' EXIT
+  echo "== delta crash loop passed: 6 stage kills recovered, committed" \
+       "state certified and equivalent to a cold solve =="
   exit 0
 fi
 

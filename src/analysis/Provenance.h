@@ -101,6 +101,23 @@ public:
     Nodes.push_back({Rel, K, {Rule, Prem0, Prem1, Aux}});
   }
 
+  /// Imports a node verbatim from another graph (the incremental solver
+  /// replays the surviving prefix of the previous run's graph, with \p E
+  /// already remapped to this graph's ids). \returns the new node id, or
+  /// InvalidNode past the edge cap or on a duplicate fact.
+  std::uint32_t importNode(ProvRel Rel, const FactKey &K, const Edge &E) {
+    if (Nodes.size() >= MaxEdges) {
+      WasTruncated = true;
+      return InvalidNode;
+    }
+    std::uint32_t Id = static_cast<std::uint32_t>(Nodes.size());
+    auto [It, Inserted] = Index.emplace(indexKey(Rel, K), Id);
+    if (!Inserted)
+      return InvalidNode;
+    Nodes.push_back({Rel, K, E});
+    return Id;
+  }
+
   /// Node id of (\p Rel, \p K), or InvalidNode when it was never recorded
   /// (disabled run, truncated graph, or an axiom of a resumed run).
   std::uint32_t lookup(ProvRel Rel, const FactKey &K) const {

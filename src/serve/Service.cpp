@@ -7,12 +7,18 @@
 
 #include "serve/Service.h"
 
+#include "analysis/Checkpoint.h"
 #include "analysis/Configurations.h"
+#include "analysis/Incremental.h"
 #include "analysis/Solver.h"
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
+#include "serve/Delta.h"
+#include "serve/Txn.h"
+#include "support/FaultInjection.h"
 #include "support/Posix.h"
 #include "support/Suggest.h"
+#include "verify/Verify.h"
 #include "workload/Presets.h"
 
 #include <algorithm>
@@ -93,22 +99,6 @@ Service::~Service() = default;
 std::string Service::init() {
   if (Opts.FactsDir.empty() == Opts.Preset.empty())
     return "exactly one of FactsDir / Preset is required";
-  if (!Opts.FactsDir.empty()) {
-    facts::FactsReadOptions ReadOpts;
-    facts::FactsReadReport Report;
-    std::string Err =
-        facts::readFactsDir(Opts.FactsDir, DB, ReadOpts, &Report);
-    if (!Err.empty())
-      return Err;
-  } else {
-    bool Known = false;
-    for (const std::string &N : workload::presetNames())
-      Known |= N == Opts.Preset;
-    if (!Known)
-      return "unknown preset '" + Opts.Preset + "'" +
-             support::didYouMean(Opts.Preset, workload::presetNames());
-    DB = facts::extract(workload::generatePreset(Opts.Preset));
-  }
 
   ctx::Config Cfg;
   if (!ctx::configByName(Opts.ConfigName,
@@ -119,18 +109,26 @@ std::string Service::init() {
   if (!CfgErr.empty())
     return CfgErr;
 
-  // The demand engine indexes once here and is read-only afterwards; it
-  // is both the CflOnly answer path and the degradation target of every
-  // deadline-tripped hot query.
-  Demand.reset(new cfl::DemandSolver(DB));
+  // Reloadable: the journal replay folds committed deltas onto the base
+  // facts, and a discarded journal (corrupt, or failing its startup
+  // certification below) must fall back to the pristine base.
+  auto LoadBase = [this]() -> std::string {
+    DB = facts::FactDB();
+    if (!Opts.FactsDir.empty()) {
+      facts::FactsReadOptions ReadOpts;
+      facts::FactsReadReport Report;
+      return facts::readFactsDir(Opts.FactsDir, DB, ReadOpts, &Report);
+    }
+    bool Known = false;
+    for (const std::string &N : workload::presetNames())
+      Known |= N == Opts.Preset;
+    if (!Known)
+      return "unknown preset '" + Opts.Preset + "'" +
+             support::didYouMean(Opts.Preset, workload::presetNames());
+    DB = facts::extract(workload::generatePreset(Opts.Preset));
+    return "";
+  };
 
-  const std::vector<ctx::Config> Ladder = analysis::defaultLadder(Cfg);
-
-  // Rung 0: resume a prior life's snapshot when one validates; keep a
-  // converged snapshot behind for the *next* life (KeepOnConverge), and
-  // checkpoint periodically so a crash mid-solve still resumes.
-  analysis::SnapshotProbe Probe;
-  analysis::CheckpointPolicy Ckpt;
   if (!Opts.CheckpointDir.empty()) {
     // Whoever is handed the checkpoint path creates it — the snapshot
     // writer only writes files, so a missing directory would silently
@@ -138,55 +136,151 @@ std::string Service::init() {
     std::string DirErr = posix::mkdirs(Opts.CheckpointDir);
     if (!DirErr.empty())
       return DirErr;
-    Ckpt.Dir = Opts.CheckpointDir;
-    Ckpt.EveryDerivations = Opts.CheckpointEvery;
-    Ckpt.KeepOnConverge = true;
-    Probe = analysis::probeSnapshot(Ckpt.Dir, DB, Ladder[0],
-                                    /*UseDatalog=*/false, Opts.Collapse);
-    if (!Probe.Warning.empty())
-      note("warning: " + Probe.Warning);
-    note(std::string("resume: ") +
-         analysis::resumeStatusName(Probe.Status));
+    JournalFile = journalPath(Opts.CheckpointDir);
   }
 
-  for (std::size_t Rung = 0; Rung < Ladder.size(); ++Rung) {
-    analysis::SolverOptions SO;
-    SO.CollapseSubsumedPts = Opts.Collapse;
-    SO.Budget = Opts.StartupBudget.scaledForRung(Rung);
-    if (Rung == 0) {
-      SO.Checkpoint = Ckpt;
-      if (Probe.Status == analysis::ResumeStatus::Resumed)
-        SO.Resume = &Probe.Snap;
+  const std::vector<ctx::Config> Ladder = analysis::defaultLadder(Cfg);
+
+  // Two attempts: a replayed journal state that fails its startup
+  // certification is discarded (journal renamed aside) and the daemon
+  // retries from the pristine base facts — it never serves a fixpoint it
+  // could not certify.
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    if (std::string E = LoadBase(); !E.empty())
+      return E;
+
+    std::uint64_t ReplayedEpoch = 0;
+    if (!JournalFile.empty() && Attempt == 0) {
+      ReplayOutcome Replay;
+      if (std::string E = replayJournal(JournalFile, DB, Replay);
+          !E.empty())
+        return E;
+      for (const std::string &W : Replay.Warnings)
+        note("warning: " + W);
+      if (Replay.DiscardedJournal) {
+        // The replay may have folded some ops before failing; reload.
+        if (std::string E = LoadBase(); !E.empty())
+          return E;
+      } else {
+        ReplayedEpoch = Replay.Epoch;
+        TxnSeq = std::max<std::uint64_t>(TxnSeq, Replay.NextTxnSeq);
+        if (!Replay.RecoveryAbortTx.empty())
+          LastTxnNote = Replay.RecoveryAbortTx + " aborted (recovery)";
+        if (Replay.CommittedTxns != 0)
+          note("replayed " + std::to_string(Replay.CommittedTxns) +
+               " committed transaction(s); epoch " +
+               std::to_string(ReplayedEpoch));
+      }
     }
-    analysis::Results R = analysis::solve(DB, Ladder[Rung], SO);
-    if (!R.Stat.CheckpointError.empty())
-      note("warning: " + R.Stat.CheckpointError);
-    if (R.Stat.Term == TerminationReason::Converged) {
-      Mode = Rung == 0 ? ServeMode::Hot : ServeMode::HotRung;
-      ModeTag = Rung == 0 ? "hot" : "hot-rung" + std::to_string(Rung);
-      // Progress.Derivations is cumulative across lives (resume folds
-      // the snapshot's count in), so "no new work" is measured against
-      // the restored image's own counter.
-      WarmStart = Rung == 0 &&
-                  Probe.Status == analysis::ResumeStatus::Resumed &&
-                  R.Stat.Progress.Derivations == Probe.Snap.Derivations;
-      Hot.reset(new analysis::Results(std::move(R)));
-      Oracle.reset(new clients::AliasOracle(*Hot));
-      Taint.reset(new clients::TaintInfo(clients::computeTaint(DB, *Hot)));
-      note("serving " + Ladder[Rung].name() + " (" + ModeTag +
-           (WarmStart ? ", warm start from snapshot)" : ", cold solve)"));
-      return "";
+    Epoch.store(ReplayedEpoch, std::memory_order_relaxed);
+
+    // The demand engine indexes once here and is read-only until the
+    // next committed transaction rebuilds it; it is both the CflOnly
+    // answer path and the degradation target of every deadline-tripped
+    // hot query.
+    Demand.reset(new cfl::DemandSolver(DB));
+
+    // Rung 0: resume a prior life's snapshot when one validates; keep a
+    // converged snapshot behind for the *next* life (KeepOnConverge),
+    // and checkpoint periodically so a crash mid-solve still resumes.
+    // The probe is fingerprint-gated against the *replayed* facts, so a
+    // snapshot a committed transaction promoted warm-starts the exact
+    // post-commit fixpoint, and a snapshot from before a commit (or from
+    // a discarded journal's facts) is rejected into a cold solve.
+    analysis::SnapshotProbe Probe;
+    analysis::CheckpointPolicy Ckpt;
+    if (!Opts.CheckpointDir.empty()) {
+      Ckpt.Dir = Opts.CheckpointDir;
+      Ckpt.EveryDerivations = Opts.CheckpointEvery;
+      Ckpt.KeepOnConverge = true;
+      Probe = analysis::probeSnapshot(Ckpt.Dir, DB, Ladder[0],
+                                      /*UseDatalog=*/false, Opts.Collapse);
+      if (!Probe.Warning.empty())
+        note("warning: " + Probe.Warning);
+      note(std::string("resume: ") +
+           analysis::resumeStatusName(Probe.Status));
     }
-    // A partial exhaustive fixpoint is a subset of the truth — unsound
-    // for may-queries, so it is never served; descend instead.
-    note("startup solve of " + Ladder[Rung].name() + " exhausted (" +
-         terminationReasonName(R.Stat.Term) + "); " +
-         (Rung + 1 < Ladder.size() ? "descending the ladder"
-                                   : "serving demand-driven only"));
+
+    bool Converged = false;
+    for (std::size_t Rung = 0; Rung < Ladder.size(); ++Rung) {
+      analysis::SolverOptions SO;
+      SO.CollapseSubsumedPts = Opts.Collapse;
+      SO.Budget = Opts.StartupBudget.scaledForRung(Rung);
+      // A transaction-capable daemon records provenance so commits can
+      // invalidate incrementally. A warm start restores tuples without
+      // derivations (ProvenanceDropped) — the first commit then falls
+      // back to one cold-with-provenance solve and repairs this.
+      SO.Provenance.Enabled = !Opts.CheckpointDir.empty() && !Opts.Collapse;
+      if (Rung == 0) {
+        SO.Checkpoint = Ckpt;
+        if (Probe.Status == analysis::ResumeStatus::Resumed)
+          SO.Resume = &Probe.Snap;
+      }
+      analysis::Results R = analysis::solve(DB, Ladder[Rung], SO);
+      if (!R.Stat.CheckpointError.empty())
+        note("warning: " + R.Stat.CheckpointError);
+      if (R.Stat.Term == TerminationReason::Converged) {
+        Mode = Rung == 0 ? ServeMode::Hot : ServeMode::HotRung;
+        ModeTag = Rung == 0 ? "hot" : "hot-rung" + std::to_string(Rung);
+        // Progress.Derivations is cumulative across lives (resume folds
+        // the snapshot's count in), so "no new work" is measured against
+        // the restored image's own counter.
+        WarmStart = Rung == 0 &&
+                    Probe.Status == analysis::ResumeStatus::Resumed &&
+                    R.Stat.Progress.Derivations == Probe.Snap.Derivations;
+        Hot.reset(new analysis::Results(std::move(R)));
+        Oracle.reset(new clients::AliasOracle(*Hot));
+        Taint.reset(new clients::TaintInfo(clients::computeTaint(DB, *Hot)));
+        ServingCfg = Ladder[Rung];
+        ServingRung = Rung;
+        Converged = true;
+        note("serving " + Ladder[Rung].name() + " (" + ModeTag +
+             (WarmStart ? ", warm start from snapshot)" : ", cold solve)"));
+        break;
+      }
+      // A partial exhaustive fixpoint is a subset of the truth — unsound
+      // for may-queries, so it is never served; descend instead.
+      note("startup solve of " + Ladder[Rung].name() + " exhausted (" +
+           terminationReasonName(R.Stat.Term) + "); " +
+           (Rung + 1 < Ladder.size() ? "descending the ladder"
+                                     : "serving demand-driven only"));
+    }
+    if (!Converged) {
+      Mode = ServeMode::CflOnly;
+      ModeTag = "cfl";
+      ServingCfg = Cfg;
+      ServingRung = 0;
+      return ""; // No fixpoint to certify; transactions are refused.
+    }
+
+    // A state with committed transactions folded in is served only once
+    // its fixpoint re-certifies — the journal's checksums and
+    // fingerprints catch storage corruption, the closure check catches
+    // everything else (a bug in replay, a hand-edited journal that still
+    // checksums, a solver regression).
+    if (ReplayedEpoch != 0) {
+      verify::ClosureOptions CO;
+      CO.ModuloSubsumption = Opts.Collapse;
+      std::string Counterexample;
+      if (!verify::checkClosure(DB, *Hot, CO, Counterexample)) {
+        note("startup certification FAILED on the replayed state: " +
+             Counterexample);
+        note("discarding journal '" + JournalFile + "' and restarting "
+             "from base facts");
+        std::rename(JournalFile.c_str(), (JournalFile + ".stale").c_str());
+        Hot.reset();
+        Oracle.reset();
+        Taint.reset();
+        WarmStart = false;
+        continue;
+      }
+      note("startup certification passed (epoch " +
+           std::to_string(ReplayedEpoch) + ")");
+    }
+    return "";
   }
-  Mode = ServeMode::CflOnly;
-  ModeTag = "cfl";
-  return "";
+  return "replayed journal state failed certification and the base facts "
+         "could not be served";
 }
 
 //===----------------------------------------------------------------------===//
@@ -382,6 +476,7 @@ Response Service::answerStats(const Request &Q) {
   R.Mode = ModeTag;
   R.Body = "mode=" + ModeTag +
            " warm=" + (WarmStart ? "true" : "false") +
+           " epoch=" + std::to_string(Epoch.load(std::memory_order_relaxed)) +
            " vars=" + std::to_string(DB.numVars()) +
            " heaps=" + std::to_string(DB.numHeaps()) +
            " pts=" + std::to_string(Hot ? Hot->Pts.size() : 0) +
@@ -392,8 +487,293 @@ Response Service::answerStats(const Request &Q) {
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// Transactions.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Response bodies and journal reasons are single wire fields; flatten
+/// whatever a verifier or solver put in a diagnostic.
+std::string oneLine(const std::string &S) {
+  std::string Out = S;
+  for (char &C : Out)
+    if (C == '\t' || C == '\n' || C == '\r')
+      C = ' ';
+  return Out;
+}
+
+} // namespace
+
+Response Service::abortTxn(const Request &Q, const std::string &Reason,
+                           const char *Status) {
+  Response R;
+  R.Id = Q.Id;
+  R.Status = Status;
+  if (Txn) {
+    JournalRecord Rec;
+    Rec.K = JournalRecord::Kind::Aborted;
+    Rec.Tx = Txn->Id;
+    Rec.Text = oneLine(Reason);
+    // Best-effort: an unwritable journal cannot make the abort fail —
+    // with no commit record the transaction never happened, and the
+    // next restart's replay recovery-aborts it again.
+    if (std::string E = appendRecord(JournalFile, Rec); !E.empty())
+      note("warning: cannot journal abort: " + E);
+    LastTxnNote = Txn->Id + " aborted (" + oneLine(Reason) + ")";
+    Txn.reset();
+  }
+  R.Body = oneLine(Reason);
+  R.Epoch = Epoch.load(std::memory_order_relaxed);
+  return R;
+}
+
+Response Service::commitTxn(const Request &Q) {
+  // The staged facts must still be a structurally valid database; the
+  // delta ops validate row by row, so a failure here is a logic bug, but
+  // an abort is cheaper than serving from a corrupt base.
+  if (std::string E = Txn->Staged->validate(); !E.empty())
+    return abortTxn(Q, "staged facts failed validation: " + E,
+                    StatusTxnAborted);
+
+  // Re-solve the serving cell over the staged facts. Incremental when
+  // the live result's provenance covers it; a cold solve (with
+  // provenance, so the *next* commit can be incremental) otherwise.
+  analysis::IncrementalOptions IOpts;
+  IOpts.Solver.CollapseSubsumedPts = false;
+  analysis::IncrementalOutcome Out =
+      analysis::resolveIncremental(*Txn->Staged, ServingCfg, *Hot,
+                                   Txn->Delta, IOpts);
+  if (!Out.Incremental && !Out.FallbackReason.empty())
+    note(Txn->Id + ": full re-solve (" + Out.FallbackReason + ")");
+  fault::txnCrashPoint("solve");
+  if (Out.R.Stat.Term != TerminationReason::Converged)
+    return abortTxn(Q, std::string("re-solve did not converge (") +
+                           terminationReasonName(Out.R.Stat.Term) + ")",
+                    StatusTxnAborted);
+
+  // Deliberate corruption hook: drop a derived tuple so the certifier
+  // must catch it — the crash-loop driver proves rejection this way.
+  if (fault::txnSabotage("certify") && !Out.R.Pts.empty()) {
+    note(Txn->Id + ": CTP_TXN_SABOTAGE dropping one pts tuple before "
+                   "certification");
+    Out.R.Pts.pop_back();
+  }
+
+  // Certify before anything becomes visible or durable: closure (no
+  // rule can still fire) and support (every tuple has a valid recorded
+  // derivation). A result that fails either never reaches clients.
+  verify::ClosureOptions CO;
+  std::string Counterexample;
+  if (!verify::checkClosure(*Txn->Staged, Out.R, CO, Counterexample))
+    return abortTxn(Q, "certification failed (closure): " + Counterexample,
+                    StatusTxnAborted);
+  if (Out.R.Prov &&
+      !verify::checkSupport(*Txn->Staged, Out.R, Counterexample))
+    return abortTxn(Q, "certification failed (support): " + Counterexample,
+                    StatusTxnAborted);
+  fault::txnCrashPoint("certify");
+
+  // Promote the new warm-start snapshot before the commit record: if we
+  // die between the two, the snapshot's fingerprint no longer matches
+  // the replayed (pre-commit) facts and the probe rejects it — stale
+  // snapshots are harmless, uncertified epochs are not. Rung-0 only:
+  // the snapshot format pins the rung-0 cell.
+  if (ServingRung == 0) {
+    std::string SnapErr;
+    if (Out.R.Dom && Out.R.ReachCtxts) {
+      analysis::SolverSnapshot S =
+          analysis::snapshotFromResults(Out.R, *Txn->Staged);
+      SnapErr = analysis::writeSnapshot(
+          S, analysis::checkpointPath(Opts.CheckpointDir));
+    }
+    if (!SnapErr.empty())
+      note("warning: snapshot promotion failed (" + SnapErr +
+           "); next restart will cold-solve");
+  }
+  fault::txnCrashPoint("promote");
+
+  // THE commit point. Once this record is durable the transaction is
+  // committed: a crash one instruction later replays to the identical
+  // state. A crash one instruction earlier aborts it on recovery.
+  const std::uint64_t NewEpoch =
+      Epoch.load(std::memory_order_relaxed) + 1;
+  JournalRecord Rec;
+  Rec.K = JournalRecord::Kind::Commit;
+  Rec.Tx = Txn->Id;
+  Rec.Epoch = NewEpoch;
+  Rec.Fp = Txn->Staged->fingerprint();
+  if (std::string E = appendRecord(JournalFile, Rec); !E.empty())
+    return abortTxn(Q, "cannot journal commit record: " + E,
+                    StatusTxnAborted);
+  fault::txnCrashPoint("commit");
+
+  // Publish. Move-assigning DB in place keeps the references the demand
+  // engine and oracles hold valid while they are themselves replaced.
+  {
+    std::unique_lock<std::shared_mutex> Lock(StateLock);
+    DB = std::move(*Txn->Staged);
+    Hot.reset(new analysis::Results(std::move(Out.R)));
+    Oracle.reset(new clients::AliasOracle(*Hot));
+    Taint.reset(new clients::TaintInfo(clients::computeTaint(DB, *Hot)));
+    Demand.reset(new cfl::DemandSolver(DB));
+    Epoch.store(NewEpoch, std::memory_order_relaxed);
+  }
+
+  std::string How =
+      Out.Incremental
+          ? "incremental invalidated=" + std::to_string(Out.Invalidated) +
+                " survivors=" + std::to_string(Out.Survivors)
+          : "full";
+  LastTxnNote = Txn->Id + " committed epoch=" + std::to_string(NewEpoch) +
+                " " + How;
+  note(LastTxnNote);
+  Response R;
+  R.Id = Q.Id;
+  R.Status = StatusOk;
+  R.Mode = ModeTag;
+  R.Body = "committed " + How;
+  R.Epoch = NewEpoch;
+  Txn.reset();
+  return R;
+}
+
+Response Service::answerTxn(const Request &Q) {
+  std::lock_guard<std::mutex> TLock(TxnMutex);
+  Response R;
+  R.Id = Q.Id;
+  R.Epoch = Epoch.load(std::memory_order_relaxed);
+
+  if (Q.Verb == "txstat") {
+    R.Status = StatusOk;
+    R.Body = "epoch=" + std::to_string(R.Epoch) +
+             " open=" + (Txn ? Txn->Id : "-") +
+             " staged_ops=" + std::to_string(Txn ? Txn->OpLines.size() : 0) +
+             " last=" + oneLine(LastTxnNote);
+    return R;
+  }
+
+  // The remaining verbs mutate; refuse them where durability or
+  // soundness has nowhere to stand.
+  if (JournalFile.empty()) {
+    R.Status = StatusError;
+    R.Body = "transactions require --checkpoint-dir (the journal lives "
+             "there)";
+    return R;
+  }
+  if (Mode == ServeMode::CflOnly) {
+    R.Status = StatusError;
+    R.Body = "transactions require a converged solve (serving "
+             "demand-driven only)";
+    return R;
+  }
+  if (Opts.Collapse) {
+    R.Status = StatusError;
+    R.Body = "subsumption collapsing is incompatible with transactions "
+             "(collapsed results cannot be re-certified incrementally)";
+    return R;
+  }
+
+  if (Q.Verb == "begin") {
+    if (Txn) {
+      R.Status = StatusError;
+      R.Body = "transaction " + Txn->Id + " is already open";
+      return R;
+    }
+    std::string TxId = "t" + std::to_string(TxnSeq++);
+    JournalRecord Rec;
+    Rec.K = JournalRecord::Kind::Begin;
+    Rec.Tx = TxId;
+    {
+      // Fingerprint the live facts under the reader lock: a concurrent
+      // commit cannot exist (TxnMutex), but the base must be what every
+      // queued query is being answered from.
+      std::shared_lock<std::shared_mutex> SLock(StateLock);
+      Rec.Epoch = Epoch.load(std::memory_order_relaxed);
+      Rec.Fp = DB.fingerprint();
+      Txn.reset(new OpenTxn());
+      Txn->Id = TxId;
+      Txn->Staged.reset(new facts::FactDB(DB));
+    }
+    if (std::string E = appendRecord(JournalFile, Rec); !E.empty()) {
+      Txn.reset();
+      R.Status = StatusError;
+      R.Body = "cannot journal begin record: " + oneLine(E);
+      return R;
+    }
+    fault::txnCrashPoint("begin");
+    R.Status = StatusOk;
+    R.Body = TxId;
+    return R;
+  }
+
+  if (Q.Verb == "delta") {
+    if (!Txn) {
+      R.Status = StatusError;
+      R.Body = "no open transaction (begin first)";
+      return R;
+    }
+    std::string OpLine;
+    for (const std::string &A : Q.Args) {
+      if (!OpLine.empty())
+        OpLine += ' ';
+      OpLine += A;
+    }
+    // Validate-and-apply against the staged copy FIRST: only an op that
+    // applied cleanly may reach the journal, or replaying a committed
+    // transaction would trip over the rejected line.
+    if (std::string E = applyDeltaOp(OpLine, *Txn->Staged, Txn->Delta);
+        !E.empty()) {
+      R.Status = StatusError;
+      R.Body = oneLine(E);
+      return R; // Op rejected; the transaction stays open.
+    }
+    JournalRecord Rec;
+    Rec.K = JournalRecord::Kind::Op;
+    Rec.Tx = Txn->Id;
+    Rec.Text = OpLine;
+    if (std::string E = appendRecord(JournalFile, Rec); !E.empty())
+      return abortTxn(Q, "cannot journal delta op: " + E, StatusTxnAborted);
+    Txn->OpLines.push_back(OpLine);
+    fault::txnCrashPoint("op");
+    R.Status = StatusOk;
+    R.Body = "staged";
+    return R;
+  }
+
+  if (Q.Verb == "abort") {
+    if (!Txn) {
+      R.Status = StatusError;
+      R.Body = "no open transaction";
+      return R;
+    }
+    Response A = abortTxn(Q, "client abort", StatusOk);
+    A.Body = "aborted";
+    return A;
+  }
+
+  if (Q.Verb == "commit") {
+    if (!Txn) {
+      R.Status = StatusError;
+      R.Body = "no open transaction";
+      return R;
+    }
+    return commitTxn(Q);
+  }
+
+  R.Status = StatusError;
+  R.Body = "unknown transaction verb '" + Q.Verb + "'";
+  return R;
+}
+
 Response Service::answer(const Request &Q) {
   Served.fetch_add(1, std::memory_order_relaxed);
+  if (Q.Verb == "begin" || Q.Verb == "delta" || Q.Verb == "commit" ||
+      Q.Verb == "abort" || Q.Verb == "txstat")
+    return answerTxn(Q); // Takes its own locks; never holds the shared
+                         // side while commit wants the exclusive one.
+  std::shared_lock<std::shared_mutex> Lock(StateLock);
+  Response Answered = [&]() -> Response {
   if (Q.Verb == "pts")
     return answerPts(Q);
   if (Q.Verb == "alias")
@@ -456,6 +836,11 @@ Response Service::answer(const Request &Q) {
   R.Status = StatusError;
   R.Body = "unknown verb '" + Q.Verb + "'";
   return R;
+  }();
+  // Stamped under the shared lock, so the epoch always names the exact
+  // state this answer was computed against.
+  Answered.Epoch = Epoch.load(std::memory_order_relaxed);
+  return Answered;
 }
 
 //===----------------------------------------------------------------------===//
@@ -553,13 +938,15 @@ int Service::serve(const std::string &SocketPath) {
         FrameResult FR = serve::readFrame(C->Fd, Payload);
         if (FR != FrameResult::Ok) {
           if (FR == FrameResult::TooBig)
-            C->reply({"-", StatusError, "-", "frame exceeds 16MiB"});
+            C->reply({"-", StatusError, "-", "frame exceeds 16MiB",
+                      Epoch.load(std::memory_order_relaxed)});
           return;
         }
         Request Q;
         std::string Err = parseRequest(Payload, Q);
         if (!Err.empty()) {
-          C->reply({"-", StatusError, "-", Err});
+          C->reply({"-", StatusError, "-", Err,
+                    Epoch.load(std::memory_order_relaxed)});
           continue;
         }
         bool Admitted = false;
@@ -576,7 +963,8 @@ int Service::serve(const std::string &SocketPath) {
           M->QueueCv.notify_one();
         } else {
           Shed.fetch_add(1, std::memory_order_relaxed);
-          C->reply({Q.Id, StatusOverloaded, "-", "admission queue full"});
+          C->reply({Q.Id, StatusOverloaded, "-", "admission queue full",
+                    Epoch.load(std::memory_order_relaxed)});
         }
       }
     });

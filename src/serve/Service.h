@@ -43,15 +43,33 @@
 /// load explicitly while the accept loop keeps beating the heartbeat
 /// file (the PR-5 liveness protocol) for the supervising process.
 ///
+/// Transactions: with a checkpoint directory configured the service
+/// accepts the begin/delta/commit/abort/txstat verbs, journalling every
+/// step through serve/Txn.h before acting on it. A commit re-solves the
+/// staged facts — incrementally from the live fixpoint when the
+/// provenance graph permits, cold otherwise — certifies the result with
+/// the verify closure and support checks, promotes a new warm-start
+/// snapshot, appends the durable commit record, and only then swaps the
+/// served state (facts, results, oracles, demand engine) under a writer
+/// lock, bumping the epoch every response carries. Any failure along the
+/// way aborts: the journal records it, the staged state is dropped, and
+/// answers remain byte-identical to the previous epoch. On startup the
+/// journal is replayed over the base facts, so a daemon SIGKILLed at any
+/// byte of a transaction restarts into the last *committed* epoch (an
+/// unfinished transaction is recovery-aborted); when the replayed state
+/// is nonempty its solve is re-certified before serving.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CTP_SERVE_SERVICE_H
 #define CTP_SERVE_SERVICE_H
 
+#include "analysis/Incremental.h"
 #include "analysis/Results.h"
 #include "cfl/Demand.h"
 #include "clients/Alias.h"
 #include "clients/Taint.h"
+#include "ctx/Config.h"
 #include "facts/FactDB.h"
 #include "serve/Wire.h"
 #include "support/Budget.h"
@@ -60,7 +78,10 @@
 #include <csignal>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 namespace ctp {
 namespace serve {
@@ -111,9 +132,10 @@ public:
   /// Progress and warnings are narrated to stderr.
   std::string init();
 
-  /// Answers one parsed request. Thread-safe: the resident state is
-  /// read-only after init and every mutable bit is its own atomic.
-  /// The `stall` verb sleeps here, in the calling worker.
+  /// Answers one parsed request. Thread-safe: query verbs read the
+  /// resident state under a shared lock; a committing transaction takes
+  /// the exclusive side only for its final pointer swap. The `stall`
+  /// verb sleeps here, in the calling worker.
   Response answer(const Request &Q);
 
   /// Binds \p SocketPath (unlinking any stale socket), serves until a
@@ -130,18 +152,40 @@ public:
   /// True when init restored a converged snapshot instead of solving.
   bool warmStarted() const { return WarmStart; }
   std::size_t queueCap() const { return Opts.QueueCap; }
+  /// Count of committed transactions in the served state.
+  std::uint64_t epoch() const {
+    return Epoch.load(std::memory_order_relaxed);
+  }
 
 private:
   struct Impl; // Connection/queue machinery, hidden from clients.
+
+  /// One staged (begun, not yet committed) transaction. At most one is
+  /// open at a time; TxnMutex serializes every transaction verb.
+  struct OpenTxn {
+    std::string Id;
+    std::unique_ptr<facts::FactDB> Staged;
+    analysis::InputDelta Delta;
+    std::vector<std::string> OpLines;
+  };
 
   Response answerPts(const Request &Q);
   Response answerAlias(const Request &Q);
   Response answerTaint(const Request &Q);
   Response answerStats(const Request &Q);
+  Response answerTxn(const Request &Q);
+  Response commitTxn(const Request &Q);
+  /// Journals the abort, drops the staged state, and shapes the
+  /// txn-aborted response. Caller holds TxnMutex.
+  Response abortTxn(const Request &Q, const std::string &Reason,
+                    const char *Status);
   bool lookupVar(const std::string &Name, std::uint32_t &Id) const;
   bool lookupHeap(const std::string &Name, std::uint32_t &Id) const;
 
   ServiceOptions Opts;
+  /// The served fact base. Swapped in place (move-assigned) by a commit
+  /// under the exclusive StateLock, so references held by the rebuilt
+  /// engines stay valid across epochs.
   facts::FactDB DB;
   ServeMode Mode = ServeMode::CflOnly;
   std::string ModeTag = "cfl";
@@ -153,6 +197,25 @@ private:
   std::unique_ptr<clients::TaintInfo> Taint;
   /// Demand-driven engine; always built (per-query degradation target).
   std::unique_ptr<cfl::DemandSolver> Demand;
+
+  /// Readers (query verbs) vs. the commit swap. Queries hold shared;
+  /// commit holds exclusive only while swapping pointers, never while
+  /// solving.
+  std::shared_mutex StateLock;
+  std::atomic<std::uint64_t> Epoch{0};
+  /// Serializes begin/delta/commit/abort/txstat end to end (a commit
+  /// solves under it, so a second transaction waits its turn).
+  std::mutex TxnMutex;
+  std::unique_ptr<OpenTxn> Txn;
+  std::uint64_t TxnSeq = 1;
+  std::string LastTxnNote = "-";
+  /// The journal path; empty when CheckpointDir is unset, which refuses
+  /// the transaction verbs (no place to make them durable).
+  std::string JournalFile;
+  /// What the serving fixpoint was solved with — the commit path
+  /// re-solves the same cell.
+  ctx::Config ServingCfg;
+  std::size_t ServingRung = 0;
 
   std::atomic<bool> Stop{false};
   std::atomic<std::uint64_t> Served{0};

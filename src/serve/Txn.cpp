@@ -1,0 +1,329 @@
+//===- serve/Txn.cpp - Crash-safe transaction journal ---------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Txn.h"
+
+#include "analysis/Incremental.h"
+#include "serve/Delta.h"
+#include "support/Durability.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <unistd.h>
+
+using namespace ctp;
+using namespace ctp::serve;
+
+std::string serve::journalPath(const std::string &StateDir) {
+  return StateDir + "/txn.journal";
+}
+
+std::uint64_t serve::journalChecksum(const std::string &Data) {
+  std::uint64_t H = 1469598103934665603ull; // FNV-1a 64-bit offset basis
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+namespace {
+
+const char *kindName(JournalRecord::Kind K) {
+  switch (K) {
+  case JournalRecord::Kind::Begin:
+    return "begin";
+  case JournalRecord::Kind::Op:
+    return "op";
+  case JournalRecord::Kind::Commit:
+    return "commit";
+  case JournalRecord::Kind::Aborted:
+    return "aborted";
+  }
+  return "?";
+}
+
+std::string hex64(std::uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  return Buf;
+}
+
+bool parseHex64(const std::string &S, std::uint64_t &Out) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  std::uint64_t V = 0;
+  for (char C : S) {
+    int D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V = (V << 4) | (std::uint64_t)D;
+  }
+  Out = V;
+  return true;
+}
+
+bool parseDec64(const std::string &S, std::uint64_t &Out) {
+  if (S.empty() || S.size() > 20)
+    return false;
+  std::uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + (std::uint64_t)(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+std::string flattened(const std::string &S) {
+  std::string Out = S;
+  for (char &C : Out)
+    if (C == '\t' || C == '\n' || C == '\r')
+      C = ' ';
+  return Out;
+}
+
+std::vector<std::string> splitTabs(const std::string &Line) {
+  std::vector<std::string> Fields;
+  std::size_t I = 0;
+  while (true) {
+    std::size_t J = Line.find('\t', I);
+    if (J == std::string::npos) {
+      Fields.push_back(Line.substr(I));
+      return Fields;
+    }
+    Fields.push_back(Line.substr(I, J - I));
+    I = J + 1;
+  }
+}
+
+} // namespace
+
+std::string serve::renderRecord(const JournalRecord &R) {
+  std::string Body = kindName(R.K);
+  Body += '\t';
+  Body += flattened(R.Tx);
+  switch (R.K) {
+  case JournalRecord::Kind::Begin:
+  case JournalRecord::Kind::Commit:
+    Body += '\t';
+    Body += std::to_string(R.Epoch);
+    Body += '\t';
+    Body += hex64(R.Fp);
+    break;
+  case JournalRecord::Kind::Op:
+  case JournalRecord::Kind::Aborted:
+    Body += '\t';
+    Body += flattened(R.Text);
+    break;
+  }
+  return Body + '\t' + hex64(journalChecksum(Body));
+}
+
+bool serve::parseRecord(const std::string &Line, JournalRecord &R) {
+  std::vector<std::string> F = splitTabs(Line);
+  if (F.size() < 2)
+    return false;
+  std::uint64_t Want;
+  if (!parseHex64(F.back(), Want))
+    return false;
+  std::string Body = Line.substr(0, Line.rfind('\t'));
+  if (journalChecksum(Body) != Want)
+    return false;
+
+  if (F[0] == "begin" || F[0] == "commit") {
+    if (F.size() != 5)
+      return false;
+    R.K = F[0] == "begin" ? JournalRecord::Kind::Begin
+                          : JournalRecord::Kind::Commit;
+    R.Tx = F[1];
+    if (!parseDec64(F[2], R.Epoch) || !parseHex64(F[3], R.Fp))
+      return false;
+    R.Text.clear();
+    return true;
+  }
+  if (F[0] == "op" || F[0] == "aborted") {
+    if (F.size() != 4)
+      return false;
+    R.K = F[0] == "op" ? JournalRecord::Kind::Op
+                       : JournalRecord::Kind::Aborted;
+    R.Tx = F[1];
+    R.Epoch = 0;
+    R.Fp = 0;
+    R.Text = F[2];
+    return true;
+  }
+  return false;
+}
+
+std::string serve::appendRecord(const std::string &Path,
+                                const JournalRecord &R) {
+  return durable::appendLine(Path, renderRecord(R));
+}
+
+std::string serve::scanJournal(const std::string &Path, JournalScan &Out) {
+  Out = JournalScan{};
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (errno == ENOENT)
+      return {};
+    // Distinguish "absent" from "present but unreadable": the latter is
+    // an I/O failure the caller must not mistake for a fresh journal.
+    std::ifstream Probe(Path);
+    if (!Probe)
+      return {};
+    return "cannot open journal '" + Path + "'";
+  }
+  Out.Exists = true;
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  if (In.bad())
+    return "i/o error reading journal '" + Path + "'";
+
+  std::size_t I = 0;
+  while (I < Data.size()) {
+    std::size_t NL = Data.find('\n', I);
+    if (NL == std::string::npos) {
+      Out.TornTail = true; // unterminated final line: the torn append
+      break;
+    }
+    JournalRecord R;
+    if (!parseRecord(Data.substr(I, NL - I), R)) {
+      Out.TornTail = true; // corrupt line: everything from here is tail
+      break;
+    }
+    Out.Records.push_back(std::move(R));
+    I = NL + 1;
+    Out.GoodBytes = I;
+  }
+  return {};
+}
+
+std::string serve::replayJournal(const std::string &Path, facts::FactDB &DB,
+                                 ReplayOutcome &Out) {
+  Out = ReplayOutcome{};
+  JournalScan Scan;
+  if (std::string E = scanJournal(Path, Scan); !E.empty())
+    return E;
+  if (!Scan.Exists)
+    return {};
+
+  auto Discard = [&](const std::string &Why) -> std::string {
+    Out.DiscardedJournal = true;
+    Out.Warnings.push_back("discarding journal '" + Path + "': " + Why +
+                           " (renamed to " + Path + ".stale)");
+    if (std::rename(Path.c_str(), (Path + ".stale").c_str()) != 0)
+      return "cannot rename corrupt journal '" + Path +
+             "': " + std::strerror(errno);
+    return {};
+  };
+
+  // Truncate a torn tail to the last good byte BEFORE any new append:
+  // a recovery record written after a torn line would concatenate onto
+  // it and itself become unparseable on the next restart.
+  if (Scan.TornTail) {
+    if (::truncate(Path.c_str(), (off_t)Scan.GoodBytes) != 0)
+      return "cannot truncate torn journal '" + Path +
+             "': " + std::strerror(errno);
+    if (std::string E = durable::syncDirOf(Path); !E.empty())
+      return E;
+    Out.Warnings.push_back("journal '" + Path + "' had a torn tail; " +
+                           "truncated to " + std::to_string(Scan.GoodBytes) +
+                           " bytes");
+  }
+
+  // Fold. Ops are buffered per transaction and applied only when its
+  // commit record arrives, so aborted and open transactions never touch
+  // the database.
+  std::string OpenTx;
+  std::uint64_t OpenBaseEpoch = 0, OpenBaseFp = 0;
+  std::vector<std::string> OpenOps;
+  for (const JournalRecord &R : Scan.Records) {
+    // Track the numeric suffix of every txn id ever journalled so new
+    // ids never collide with an aborted or discarded predecessor's.
+    if (R.Tx.size() > 1 && R.Tx[0] == 't') {
+      std::uint64_t N;
+      if (parseDec64(R.Tx.substr(1), N) && N + 1 > Out.NextTxnSeq)
+        Out.NextTxnSeq = N + 1;
+    }
+    switch (R.K) {
+    case JournalRecord::Kind::Begin:
+      if (!OpenTx.empty())
+        return Discard("begin of " + R.Tx + " while " + OpenTx + " is open");
+      if (R.Epoch != Out.Epoch)
+        return Discard(R.Tx + " began at epoch " + std::to_string(R.Epoch) +
+                       " but the folded state is at epoch " +
+                       std::to_string(Out.Epoch));
+      if (R.Fp != DB.fingerprint())
+        return Discard(R.Tx + "'s base fingerprint does not match the "
+                              "folded facts (journal from a different "
+                              "facts directory?)");
+      OpenTx = R.Tx;
+      OpenBaseEpoch = R.Epoch;
+      OpenBaseFp = R.Fp;
+      OpenOps.clear();
+      break;
+    case JournalRecord::Kind::Op:
+      if (R.Tx != OpenTx)
+        return Discard("op for " + R.Tx + " outside its transaction");
+      OpenOps.push_back(R.Text);
+      break;
+    case JournalRecord::Kind::Commit: {
+      if (R.Tx != OpenTx)
+        return Discard("commit of " + R.Tx + " outside its transaction");
+      analysis::InputDelta Scratch;
+      if (std::string E = applyDeltaOps(OpenOps, DB, Scratch); !E.empty())
+        return Discard("committed " + R.Tx + " no longer applies: " + E);
+      if (R.Epoch != Out.Epoch + 1)
+        return Discard(R.Tx + " committed epoch " + std::to_string(R.Epoch) +
+                       " out of sequence");
+      if (R.Fp != DB.fingerprint())
+        return Discard(R.Tx + "'s committed fingerprint does not match "
+                              "the folded facts");
+      Out.Epoch = R.Epoch;
+      ++Out.CommittedTxns;
+      OpenTx.clear();
+      OpenOps.clear();
+      break;
+    }
+    case JournalRecord::Kind::Aborted:
+      if (R.Tx != OpenTx)
+        return Discard("abort of " + R.Tx + " outside its transaction");
+      OpenTx.clear();
+      OpenOps.clear();
+      break;
+    }
+  }
+  (void)OpenBaseEpoch;
+  (void)OpenBaseFp;
+
+  // A trailing transaction with no terminal record died mid-flight —
+  // possibly mid-commit, after solving and even promoting its snapshot,
+  // but before the commit record hit the disk. The commit record is the
+  // commit point, so it aborts; the promoted snapshot (if any) is
+  // harmless because its fingerprint no longer matches the facts.
+  if (!OpenTx.empty()) {
+    JournalRecord Ab;
+    Ab.K = JournalRecord::Kind::Aborted;
+    Ab.Tx = OpenTx;
+    Ab.Text = "recovery";
+    if (std::string E = appendRecord(Path, Ab); !E.empty())
+      return "cannot append recovery abort to '" + Path + "': " + E;
+    Out.RecoveryAbortTx = OpenTx;
+    Out.Warnings.push_back("recovery-aborted open transaction " + OpenTx);
+  }
+  return {};
+}

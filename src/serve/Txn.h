@@ -1,0 +1,119 @@
+//===- serve/Txn.h - Crash-safe transaction journal -------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The write-ahead journal behind ctp-serve's transactional delta verbs.
+/// One record per line, tab-separated, each closed by an FNV-1a checksum
+/// over its preceding fields:
+///
+///   begin    <tx> <base-epoch> <base-fp-hex> <cksum>
+///   op       <tx> <delta-op-line>            <cksum>
+///   commit   <tx> <new-epoch>  <new-fp-hex>  <cksum>
+///   aborted  <tx> <reason>                   <cksum>
+///
+/// The `commit` record is the single durable commit point: it is
+/// appended only after the transaction has solved, certified, and
+/// promoted its warm-start snapshot, so recovery never needs to undo a
+/// half-applied transaction — a txn without a terminal record simply
+/// never happened (recovery appends `aborted <tx> recovery`). Records
+/// reach disk through support/Durability (O_APPEND write + fsync +
+/// directory fsync on creation), so a SIGKILL between any two bytes
+/// leaves at worst a torn final line, which replay truncates away
+/// before appending anything new.
+///
+/// Replay folds the ops of every committed transaction onto the base
+/// FactDB, re-verifying the epoch sequence and that each recorded
+/// fingerprint matches the folded database. Any mismatch — a journal
+/// from a different facts directory, hand-edited records, a corrupt
+/// middle — discards the whole journal (renamed to `<path>.stale`) so
+/// the daemon restarts from certified base facts rather than serve an
+/// unverifiable state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SERVE_TXN_H
+#define CTP_SERVE_TXN_H
+
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctp {
+namespace serve {
+
+/// One parsed journal record. Epoch/Fp are meaningful for Begin and
+/// Commit; Text holds the delta op line (Op) or the abort reason
+/// (Aborted).
+struct JournalRecord {
+  enum class Kind { Begin, Op, Commit, Aborted };
+  Kind K = Kind::Begin;
+  std::string Tx;
+  std::uint64_t Epoch = 0;
+  std::uint64_t Fp = 0;
+  std::string Text;
+};
+
+/// The journal lives next to the warm-start snapshot it gates.
+std::string journalPath(const std::string &StateDir);
+
+/// FNV-1a over \p Data; the checksum each record carries in its final
+/// field (rendered as 16 hex digits).
+std::uint64_t journalChecksum(const std::string &Data);
+
+/// Renders \p R as one journal line (no trailing newline). Tabs and
+/// newlines inside Text are flattened to spaces so the record stays one
+/// parseable line.
+std::string renderRecord(const JournalRecord &R);
+
+/// Parses one journal line. Returns false on wrong field count, a bad
+/// kind, a non-numeric epoch/fingerprint, or a checksum mismatch.
+bool parseRecord(const std::string &Line, JournalRecord &R);
+
+/// Durably appends \p R to the journal at \p Path. Empty on success.
+std::string appendRecord(const std::string &Path, const JournalRecord &R);
+
+/// Result of scanning a journal file without interpreting it.
+struct JournalScan {
+  std::vector<JournalRecord> Records; ///< every record up to the tail
+  std::uint64_t GoodBytes = 0; ///< offset just past the last good record
+  bool TornTail = false;       ///< bytes past GoodBytes failed to parse
+  bool Exists = false;         ///< the file was present at all
+};
+
+/// Reads \p Path and parses records until the first torn or corrupt
+/// line; everything after it is tail. Returns a diagnostic only for
+/// I/O failures (a missing file is a successful empty scan).
+std::string scanJournal(const std::string &Path, JournalScan &Out);
+
+/// What replayJournal established.
+struct ReplayOutcome {
+  std::uint64_t Epoch = 0;      ///< committed transactions folded in
+  std::size_t CommittedTxns = 0;
+  std::uint64_t NextTxnSeq = 1; ///< first unused "t<N>" suffix
+  std::string RecoveryAbortTx;  ///< open txn recovery-aborted, if any
+  bool DiscardedJournal = false; ///< journal renamed to <path>.stale
+  std::vector<std::string> Warnings;
+};
+
+/// Replays the journal at \p Path onto \p DB: truncates a torn tail,
+/// folds every committed transaction's ops in order, and verifies the
+/// epoch sequence and fingerprints as it goes. A trailing transaction
+/// with no terminal record is recovery-aborted (an `aborted` record is
+/// appended). On any verification or apply failure the journal is
+/// renamed to `<path>.stale` and DiscardedJournal is set — \p DB may
+/// then hold partially folded facts, so the caller MUST reload the base
+/// facts and start from epoch 0. Returns a diagnostic only for
+/// unrecoverable I/O failures.
+std::string replayJournal(const std::string &Path, facts::FactDB &DB,
+                          ReplayOutcome &Out);
+
+} // namespace serve
+} // namespace ctp
+
+#endif // CTP_SERVE_TXN_H

@@ -18,6 +18,7 @@ const char serve::StatusOk[] = "ok";
 const char serve::StatusDegraded[] = "degraded";
 const char serve::StatusOverloaded[] = "overloaded";
 const char serve::StatusError[] = "error";
+const char serve::StatusTxnAborted[] = "txn-aborted";
 
 const char *serve::frameResultName(FrameResult R) {
   switch (R) {
@@ -135,7 +136,8 @@ std::string serve::parseRequest(const std::string &Payload, Request &Out) {
 }
 
 std::string serve::renderResponse(const Response &R) {
-  return R.Id + "\t" + R.Status + "\t" + R.Mode + "\t" + R.Body;
+  return R.Id + "\t" + R.Status + "\t" + R.Mode + "\t" +
+         std::to_string(R.Epoch) + "\t" + R.Body;
 }
 
 bool serve::parseResponse(const std::string &Payload, Response &Out) {
@@ -149,13 +151,19 @@ bool serve::parseResponse(const std::string &Payload, Response &Out) {
   std::string::size_type C = Payload.find('\t', B + 1);
   if (C == std::string::npos)
     return false;
-  // The body is the final field and may not contain tabs; a fifth field
+  std::string::size_type D = Payload.find('\t', C + 1);
+  if (D == std::string::npos)
+    return false;
+  // The body is the final field and may not contain tabs; a sixth field
   // would mean a framing bug, so reject it.
-  if (Payload.find('\t', C + 1) != std::string::npos)
+  if (Payload.find('\t', D + 1) != std::string::npos)
     return false;
   Out.Id = Payload.substr(0, A);
   Out.Status = Payload.substr(A + 1, B - A - 1);
   Out.Mode = Payload.substr(B + 1, C - B - 1);
-  Out.Body = Payload.substr(C + 1);
+  std::string Epoch = Payload.substr(C + 1, D - C - 1);
+  if (!parseCountValue(Epoch, Out.Epoch))
+    return false;
+  Out.Body = Payload.substr(D + 1);
   return !Out.Id.empty() && !Out.Status.empty();
 }

@@ -18,17 +18,31 @@
 ///
 /// Request payload:  <id> \t <verb> [\t <arg>]... [\t key=value]...
 ///   Verbs: pts VAR | alias VAR VAR | taint HEAP | vars N | stats |
-///          ping | stall MS | shutdown. Recognized options: deadline_ms=N
+///          ping | stall MS | shutdown | begin | delta OP... | commit |
+///          abort | txstat. Recognized options: deadline_ms=N
 ///   (wall-clock budget for this request), max_steps=N (work cap; one
 ///   step per points-to element touched / CFL worklist step).
 ///
-/// Response payload: <id> \t <status> \t <mode> \t <body>
-///   status: ok | degraded | overloaded | error
+/// Response payload: <id> \t <status> \t <mode> \t <epoch> \t <body>
+///   status: ok | degraded | overloaded | error | txn-aborted
 ///   mode:   how the answer was produced — hot (converged exhaustive
 ///           results), hot-rung<k> (converged on degradation-ladder rung
 ///           k), cfl (demand-driven), cfl-exhausted (demand budget ran
 ///           out: sound all-heaps fallback), or "-" when no engine ran
-///           (ping, errors, shed load).
+///           (ping, errors, shed load, transaction verbs).
+///   epoch:  the count of committed transactions in the fact state this
+///           answer was computed against, stamped on EVERY response
+///           (sheds and parse errors included) so a client interleaving
+///           queries with commits can attribute each answer to a state.
+///
+/// The transaction verbs drive the crash-safe delta journal (serve/Txn.h):
+/// `begin` opens the single staged transaction and returns its id,
+/// `delta` applies one fact-delta op (serve/Delta.h grammar, space-
+/// separated) to the staged facts, `commit` re-solves incrementally,
+/// certifies the result, and atomically publishes it (epoch+1), `abort`
+/// discards the staged state, and `txstat` reports epoch and transaction
+/// status. A failed commit rolls back and answers status `txn-aborted`
+/// with the reason in the body.
 ///
 /// Ids are chosen by the client and echoed verbatim, so a pipelining
 /// client can reorder responses deterministically (crashloop.sh sorts by
@@ -90,6 +104,7 @@ struct Response {
   std::string Status;
   std::string Mode = "-";
   std::string Body = "-";
+  std::uint64_t Epoch = 0;
 };
 
 // Status strings (the protocol's, not an enum: they go on the wire).
@@ -97,12 +112,14 @@ extern const char StatusOk[];
 extern const char StatusDegraded[];
 extern const char StatusOverloaded[];
 extern const char StatusError[];
+extern const char StatusTxnAborted[];
 
 std::string renderResponse(const Response &R);
 
 /// Splits a rendered response back into fields; false when \p Payload
-/// does not have exactly four tab-separated fields. Used by the client
-/// and the tests; the body itself may contain no tabs by construction.
+/// does not have exactly five tab-separated fields or the epoch field is
+/// not a decimal number. Used by the client and the tests; the body
+/// itself may contain no tabs by construction.
 bool parseResponse(const std::string &Payload, Response &Out);
 
 } // namespace serve

@@ -8,6 +8,10 @@
 #include "support/FaultInjection.h"
 
 #include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 using namespace ctp;
@@ -87,6 +91,23 @@ std::optional<fault::SnapshotFault> fault::takeSnapshotFault() {
   if (!SnapSticky.load(std::memory_order_relaxed))
     SnapFault.store(-1, std::memory_order_relaxed);
   return static_cast<SnapshotFault>(F);
+}
+
+void fault::txnCrashPoint(const char *Stage) {
+  const char *Want = std::getenv("CTP_TXN_CRASH");
+  if (!Want || std::strcmp(Want, Stage) != 0)
+    return;
+  // The marker lets the crash-loop driver confirm the kill landed at the
+  // requested stage rather than the process dying for another reason.
+  std::fprintf(stderr, "ctp-serve: CTP_TXN_CRASH firing at stage '%s'\n",
+               Stage);
+  std::fflush(stderr);
+  std::raise(SIGKILL);
+}
+
+bool fault::txnSabotage(const char *What) {
+  const char *Want = std::getenv("CTP_TXN_SABOTAGE");
+  return Want && std::strcmp(Want, What) == 0;
 }
 
 bool fault::injectFactsLine(const std::string &Dir, const std::string &File,

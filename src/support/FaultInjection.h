@@ -95,6 +95,27 @@ bool armSnapshotFaultByName(const std::string &Name, bool Sticky = true);
 /// fault (consuming it unless sticky), or nullopt when disarmed.
 std::optional<SnapshotFault> takeSnapshotFault();
 
+//===----------------------------------------------------------------------===//
+// Transaction crash points.
+//
+// The delta journal's crash-safety claim is "SIGKILL between any two
+// bytes recovers to a certified state". These hooks let the crash-loop
+// driver place the kill at every interesting stage of a transaction
+// rather than hoping a timer lands there.
+//===----------------------------------------------------------------------===//
+
+/// Consulted by the transactional commit path after each named stage
+/// (begin, op, solve, certify, promote, commit). When the CTP_TXN_CRASH
+/// environment variable equals \p Stage, prints a marker to stderr and
+/// raises SIGKILL — the process dies exactly as a power loss would kill
+/// it, with whatever bytes earlier stages already fsynced.
+void txnCrashPoint(const char *Stage);
+
+/// True when CTP_TXN_SABOTAGE equals \p What. The commit path uses
+/// "certify" to deliberately corrupt a staged result before
+/// certification, proving the certifier actually gates publication.
+bool txnSabotage(const char *What);
+
 } // namespace fault
 } // namespace ctp
 

@@ -33,6 +33,7 @@
 
 #include <fcntl.h>
 #include <pthread.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -154,15 +155,22 @@ TEST(WireMessages, ResponseRoundTrips) {
   R.Status = StatusDegraded;
   R.Mode = "cfl-exhausted";
   R.Body = "h1 h2 h3";
+  R.Epoch = 41;
   Response Back;
   ASSERT_TRUE(parseResponse(renderResponse(R), Back));
   EXPECT_EQ(Back.Id, R.Id);
   EXPECT_EQ(Back.Status, R.Status);
   EXPECT_EQ(Back.Mode, R.Mode);
   EXPECT_EQ(Back.Body, R.Body);
+  EXPECT_EQ(Back.Epoch, R.Epoch);
   EXPECT_FALSE(parseResponse("no-tabs-here", Back));
   EXPECT_FALSE(parseResponse("a\tb", Back));
+  // Exactly five fields, and the fourth (epoch) must be numeric.
+  EXPECT_FALSE(parseResponse("a\tb\tc\td", Back));
   EXPECT_FALSE(parseResponse("a\tb\tc\td\te", Back));
+  EXPECT_TRUE(parseResponse("a\tb\tc\t7\te", Back));
+  EXPECT_EQ(Back.Epoch, 7u);
+  EXPECT_FALSE(parseResponse("a\tb\tc\t7\te\tf", Back));
 }
 
 //===----------------------------------------------------------------------===//
@@ -221,6 +229,68 @@ TEST(PosixRetry, ReadFullReportsShortCountOnEof) {
   int Err = -1;
   EXPECT_EQ(posix::readFull(P.R, Buf, sizeof(Buf), &Err), 3u);
   EXPECT_EQ(Err, 0); // EOF, not an error.
+}
+
+TEST(PosixRetry, FullTransfersCrossATinySocketBuffer) {
+  // A socketpair squeezed to the kernel-minimum SO_SNDBUF forces
+  // writeFull into many short writes (and readFull into many short
+  // reads); both must still move every byte, in order.
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  int Tiny = 1; // The kernel clamps this up to its per-socket minimum.
+  ASSERT_EQ(::setsockopt(Fds[1], SOL_SOCKET, SO_SNDBUF, &Tiny,
+                         sizeof(Tiny)),
+            0);
+  int Effective = 0;
+  socklen_t Len = sizeof(Effective);
+  ASSERT_EQ(::getsockopt(Fds[1], SOL_SOCKET, SO_SNDBUF, &Effective, &Len),
+            0);
+  const std::size_t N = 512 * 1024;
+  ASSERT_LT(static_cast<std::size_t>(Effective), N)
+      << "buffer not small enough to force short writes";
+
+  std::string Out(N, '\0');
+  for (std::size_t I = 0; I < N; ++I)
+    Out[I] = static_cast<char>(I * 37 + 11);
+  std::thread Writer([&] {
+    EXPECT_TRUE(posix::writeFull(Fds[1], Out.data(), N));
+    ::shutdown(Fds[1], SHUT_WR);
+  });
+  std::string In(N, '\0');
+  int Err = -1;
+  std::size_t Got = posix::readFull(Fds[0], &In[0], N, &Err);
+  Writer.join();
+  EXPECT_EQ(Got, N);
+  EXPECT_EQ(Err, 0);
+  EXPECT_EQ(In, Out);
+
+  // And past the shutdown the reader sees clean EOF, not garbage.
+  char Extra[8];
+  EXPECT_EQ(posix::readFull(Fds[0], Extra, sizeof(Extra), &Err), 0u);
+  EXPECT_EQ(Err, 0);
+  posix::closeQuiet(Fds[0]);
+  posix::closeQuiet(Fds[1]);
+}
+
+TEST(PosixRetry, WriteFullReportsAPeerThatHungUp) {
+  // Peer closes its end mid-stream: writeFull must come back false
+  // (EPIPE/ECONNRESET) rather than spin or die on SIGPIPE.
+  struct sigaction SA, Old;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = SIG_IGN;
+  ASSERT_EQ(::sigaction(SIGPIPE, &SA, &Old), 0);
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  int Tiny = 1;
+  ASSERT_EQ(::setsockopt(Fds[1], SOL_SOCKET, SO_SNDBUF, &Tiny,
+                         sizeof(Tiny)),
+            0);
+  posix::closeQuiet(Fds[0]);
+  // Far more than any socket buffer holds, so the failure is observed.
+  std::string Big(4 * 1024 * 1024, 'q');
+  EXPECT_FALSE(posix::writeFull(Fds[1], Big.data(), Big.size()));
+  posix::closeQuiet(Fds[1]);
+  ::sigaction(SIGPIPE, &Old, nullptr);
 }
 
 TEST(PosixRetry, WaitpidRetryReapsChildren) {

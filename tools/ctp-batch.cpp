@@ -49,8 +49,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ctx/Config.h"
 #include "support/ExitCodes.h"
+#include "support/Suggest.h"
 #include "support/Supervisor.h"
+#include "workload/Presets.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -235,7 +238,16 @@ int main(int argc, char **argv) {
     } else if (Arg == "-v") {
       Verbose = true;
     } else {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      static const std::vector<std::string> Flags = {
+          "--work",           "--presets",          "--configs",
+          "--backends",       "--plan",             "--analyze",
+          "--deadline-ms",    "--max-derivations",  "--max-tuples",
+          "--checkpoint-every", "--mem-limit-mb",   "--cpu-limit-s",
+          "--stall-timeout-ms", "--job-timeout-ms", "--retries",
+          "--backoff-ms",     "--chaos",            "--seed",
+          "--chaos-kills",    "--fresh",            "-v"};
+      std::fprintf(stderr, "error: unknown option '%s'%s\n", Arg.c_str(),
+                   support::didYouMean(Arg, Flags).c_str());
       return usage(argv[0]);
     }
   }
@@ -255,9 +267,33 @@ int main(int argc, char **argv) {
       return ExitUsage;
     }
   } else {
+    // Validate every axis up front with suggestions: a typo'd cell would
+    // otherwise burn a full child-retry cycle before surfacing, and the
+    // child's diagnostic names neither the axis nor the alternatives.
+    for (const std::string &P : Presets) {
+      bool Known = false;
+      for (const std::string &N : workload::presetNames())
+        Known |= N == P;
+      if (!Known) {
+        std::fprintf(stderr, "error: unknown preset '%s'%s\n", P.c_str(),
+                     support::didYouMean(P, workload::presetNames()).c_str());
+        return usage(argv[0]);
+      }
+    }
+    for (const std::string &C : Configs) {
+      ctx::Config Cfg;
+      if (!ctx::configByName(C, ctx::Abstraction::TransformerString, Cfg)) {
+        std::fprintf(stderr, "error: unknown config '%s'%s\n", C.c_str(),
+                     support::didYouMean(C, ctx::configNames()).c_str());
+        return usage(argv[0]);
+      }
+    }
+    static const std::vector<std::string> KnownBackends = {"native",
+                                                           "datalog"};
     for (const std::string &B : Backends)
       if (B != "native" && B != "datalog") {
-        std::fprintf(stderr, "error: unknown backend '%s'\n", B.c_str());
+        std::fprintf(stderr, "error: unknown backend '%s'%s\n", B.c_str(),
+                     support::didYouMean(B, KnownBackends).c_str());
         return usage(argv[0]);
       }
     Jobs = expandMatrix(Presets, Configs, Backends);

@@ -15,10 +15,14 @@
 //   ctp-serve --supervise --workdir DIR --socket PATH (--preset ...)
 //       babysit the daemon: respawn the above command line as a child,
 //       watch its heartbeat, crash-restart with backoff
-//   ctp-serve --client PATH [--connect-timeout-ms N]
+//   ctp-serve --client PATH [--connect-timeout-ms N] [--retries N]
+//             [--retry-base-ms N]
 //       read queries from stdin (one per line, "verb arg..."), pipeline
-//       them, print "id <TAB> status <TAB> mode <TAB> body" lines sorted
-//       by id
+//       them, print "id <TAB> status <TAB> mode <TAB> epoch <TAB> body"
+//       lines sorted by id. OVERLOADED replies (load shed by the
+//       daemon's admission queue) are re-sent with jittered exponential
+//       backoff, up to --retries attempts (default 3; 0 disables, which
+//       the overload drill in crashloop.sh uses to observe the sheds).
 //
 // Daemon options:
 //   --config NAME          analysis configuration (default 2-object+H)
@@ -70,7 +74,8 @@ int usage(const char *Prog) {
       stderr,
       "usage: %s --socket PATH (--preset NAME | --facts DIR) [options]\n"
       "       %s --supervise --workdir DIR --socket PATH (--preset ...)\n"
-      "       %s --client PATH [--connect-timeout-ms N]\n"
+      "       %s --client PATH [--connect-timeout-ms N] [--retries N] "
+      "[--retry-base-ms N]\n"
       "see the file header or DESIGN.md (\"Analysis service\") for the "
       "option list\n",
       Prog, Prog, Prog);
@@ -117,7 +122,8 @@ int connectWithRetry(const std::string &Path, std::uint64_t TimeoutMs) {
 /// Turns stdin lines into id-prefixed tab-separated requests, pipelines
 /// them all, then prints every response sorted by (numeric) id — so
 /// output order is deterministic regardless of worker scheduling.
-int runClient(const std::string &SocketPath, std::uint64_t TimeoutMs) {
+int runClient(const std::string &SocketPath, std::uint64_t TimeoutMs,
+              std::uint64_t Retries, std::uint64_t RetryBaseMs) {
   int Fd = connectWithRetry(SocketPath, TimeoutMs);
   if (Fd < 0) {
     std::fprintf(stderr, "error: cannot connect to %s\n",
@@ -140,7 +146,7 @@ int runClient(const std::string &SocketPath, std::uint64_t TimeoutMs) {
     if (!Line.empty())
       Lines.push_back(Line);
   }
-  std::size_t Sent = 0;
+  std::vector<std::string> Payloads;
   for (std::size_t I = 0; I < Lines.size(); ++I) {
     // "verb arg..." -> "<seq>\t<verb>\t<arg>...": ids are the line
     // numbers, so responses sort back into input order.
@@ -161,47 +167,93 @@ int runClient(const std::string &SocketPath, std::uint64_t TimeoutMs) {
       Payload += '\t';
       Payload += Field;
     }
-    if (!serve::writeFrame(Fd, Payload)) {
-      std::fprintf(stderr, "error: send failed on query %zu\n", I);
-      posix::closeQuiet(Fd);
-      return ExitError;
-    }
-    ++Sent;
+    Payloads.push_back(std::move(Payload));
   }
-  std::vector<serve::Response> Responses;
-  for (std::size_t I = 0; I < Sent; ++I) {
-    std::string Payload;
-    serve::FrameResult FR = serve::readFrame(Fd, Payload);
-    if (FR != serve::FrameResult::Ok) {
-      std::fprintf(stderr, "error: stream ended early (%s) after %zu of "
-                           "%zu responses\n",
-                   serve::frameResultName(FR), I, Sent);
+
+  // One send/receive round over the indices in Batch, replacing each
+  // index's slot in Responses. Returns false on a stream error.
+  std::vector<serve::Response> Responses(Payloads.size());
+  std::vector<serve::Response> Extras;
+  auto Round = [&](const std::vector<std::size_t> &Batch) -> bool {
+    for (std::size_t I : Batch)
+      if (!serve::writeFrame(Fd, Payloads[I])) {
+        std::fprintf(stderr, "error: send failed on query %zu\n", I);
+        return false;
+      }
+    for (std::size_t N = 0; N < Batch.size(); ++N) {
+      std::string Payload;
+      serve::FrameResult FR = serve::readFrame(Fd, Payload);
+      if (FR != serve::FrameResult::Ok) {
+        std::fprintf(stderr, "error: stream ended early (%s) after %zu of "
+                             "%zu responses\n",
+                     serve::frameResultName(FR), N, Batch.size());
+        return false;
+      }
+      serve::Response R;
+      if (!serve::parseResponse(Payload, R)) {
+        std::fprintf(stderr, "error: malformed response frame\n");
+        return false;
+      }
+      // Responses arrive in any order; file each under its echoed id.
+      // A non-numeric id is a daemon-side parse-error reply ("-"):
+      // printable, but not attributable to a slot.
+      char *End = nullptr;
+      unsigned long long Id = std::strtoull(R.Id.c_str(), &End, 10);
+      if (End == R.Id.c_str() || *End != '\0' || Id >= Responses.size())
+        Extras.push_back(std::move(R));
+      else
+        Responses[static_cast<std::size_t>(Id)] = std::move(R);
+    }
+    return true;
+  };
+
+  std::vector<std::size_t> Batch(Payloads.size());
+  for (std::size_t I = 0; I < Batch.size(); ++I)
+    Batch[I] = I;
+  if (!Round(Batch)) {
+    posix::closeQuiet(Fd);
+    return ExitError;
+  }
+
+  // Shed requests are safe to re-send: the daemon never started them.
+  // Bounded, jittered exponential backoff so a burst of retrying clients
+  // does not re-form the exact thundering herd that got shed.
+  std::uint64_t JitterState =
+      static_cast<std::uint64_t>(::getpid()) * 2654435761u + 1;
+  for (std::uint64_t Attempt = 1; Attempt <= Retries; ++Attempt) {
+    Batch.clear();
+    for (std::size_t I = 0; I < Responses.size(); ++I)
+      if (Responses[I].Status == serve::StatusOverloaded)
+        Batch.push_back(I);
+    if (Batch.empty())
+      break;
+    JitterState = JitterState * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t BackoffMs = RetryBaseMs << (Attempt - 1);
+    BackoffMs = std::min<std::uint64_t>(BackoffMs, 2000) +
+                (RetryBaseMs ? (JitterState >> 33) % RetryBaseMs : 0);
+    std::fprintf(stderr,
+                 "ctp-serve[client]: %zu overloaded, retry %llu/%llu in "
+                 "%llums\n",
+                 Batch.size(), (unsigned long long)Attempt,
+                 (unsigned long long)Retries,
+                 (unsigned long long)BackoffMs);
+    ::usleep(static_cast<useconds_t>(BackoffMs * 1000));
+    if (!Round(Batch)) {
       posix::closeQuiet(Fd);
       return ExitError;
     }
-    serve::Response R;
-    if (!serve::parseResponse(Payload, R)) {
-      std::fprintf(stderr, "error: malformed response frame\n");
-      posix::closeQuiet(Fd);
-      return ExitError;
-    }
-    Responses.push_back(std::move(R));
   }
   posix::closeQuiet(Fd);
-  std::sort(Responses.begin(), Responses.end(),
-            [](const serve::Response &A, const serve::Response &B) {
-              // Numeric when both ids are numbers (the ids this client
-              // generates), lexicographic otherwise.
-              char *EndA = nullptr, *EndB = nullptr;
-              unsigned long long NA = std::strtoull(A.Id.c_str(), &EndA, 10);
-              unsigned long long NB = std::strtoull(B.Id.c_str(), &EndB, 10);
-              if (*EndA == '\0' && *EndB == '\0' && EndA != A.Id.c_str() &&
-                  EndB != B.Id.c_str())
-                return NA < NB;
-              return A.Id < B.Id;
-            });
+  // Responses is already in id (= input line) order; unattributable
+  // replies print after it, stably.
   bool AnyError = false;
   for (const serve::Response &R : Responses) {
+    if (R.Status.empty())
+      continue; // Slot answered only by an unattributable error reply.
+    std::printf("%s\n", serve::renderResponse(R).c_str());
+    AnyError |= R.Status == serve::StatusError;
+  }
+  for (const serve::Response &R : Extras) {
     std::printf("%s\n", serve::renderResponse(R).c_str());
     AnyError |= R.Status == serve::StatusError;
   }
@@ -219,6 +271,7 @@ int main(int argc, char **argv) {
   bool Supervise = false;
   std::string ClientSocket, SocketPath, WorkDir;
   std::uint64_t ConnectTimeoutMs = 30000;
+  std::uint64_t Retries = 3, RetryBaseMs = 25;
   serve::ServiceOptions SOpts;
   service::ServeSupervisorOptions Sup;
   std::uint64_t Workers = 2, QueueCap = 8;
@@ -254,6 +307,12 @@ int main(int argc, char **argv) {
       ClientSocket = V;
     } else if (Arg == "--connect-timeout-ms") {
       if (!NextCount(ConnectTimeoutMs))
+        return usage(argv[0]);
+    } else if (Arg == "--retries") {
+      if (!NextCount(Retries))
+        return usage(argv[0]);
+    } else if (Arg == "--retry-base-ms") {
+      if (!NextCount(RetryBaseMs))
         return usage(argv[0]);
     } else if (Arg == "--socket") {
       const char *V = Next();
@@ -329,7 +388,7 @@ int main(int argc, char **argv) {
   }
 
   if (!ClientSocket.empty())
-    return runClient(ClientSocket, ConnectTimeoutMs);
+    return runClient(ClientSocket, ConnectTimeoutMs, Retries, RetryBaseMs);
 
   if (SocketPath.empty()) {
     std::fprintf(stderr, "error: --socket is required\n");
