@@ -14,6 +14,7 @@
 #include "analysis/Solver.h"
 #include "clients/Alias.h"
 #include "clients/Devirtualize.h"
+#include "clients/Taint.h"
 #include "facts/Extract.h"
 #include "support/Rng.h"
 #include "workload/Presets.h"
@@ -38,15 +39,16 @@ int main() {
     Sample.push_back(
         static_cast<std::uint32_t>(R.nextBelow(DB.numVars())));
 
-  std::printf("%-18s %12s %12s %12s %12s\n", "config", "ci-pts",
-              "avg-pts-set", "alias-pairs", "monomorph");
+  std::printf("%-18s %12s %12s %12s %12s %12s\n", "config", "ci-pts",
+              "avg-pts-set", "alias-pairs", "monomorph", "taint-warn");
 
   struct Spec {
     const char *Label;
     Config (*Make)(Abstraction);
   };
   const Spec Specs[] = {
-      {"insensitive", ctx::insensitive}, {"1-call", ctx::oneCall},
+      {"unify", ctx::unification},       {"insensitive", ctx::insensitive},
+      {"cutshortcut", ctx::cutShortcut}, {"1-call", ctx::oneCall},
       {"1-call+H", ctx::oneCallH},       {"1-object", ctx::oneObject},
       {"2-object+H", ctx::twoObjectH},   {"2-type+H", ctx::twoTypeH},
       {"2-hybrid+H", ctx::twoHybridH},
@@ -73,9 +75,17 @@ int main() {
                         : 0.0;
       clients::AliasOracle Alias(Res);
       clients::DevirtSummary Devirt = clients::devirtualize(DB, Res);
-      std::printf("%-18s %12zu %12.2f %12zu %12zu\n", S.Label, Ci.size(),
-                  Avg, Alias.countAliasPairs(Sample),
-                  Devirt.MonomorphicSites);
+      clients::SourceMap SM(DB);
+      clients::Report Rep;
+      clients::checkTaint(DB, Res, SM, Rep);
+      Rep.finalize();
+      std::size_t TaintWarns = 0;
+      for (const clients::Finding &Fd : Rep.findings())
+        if (Fd.RuleId == "taint.flow")
+          ++TaintWarns;
+      std::printf("%-18s %12zu %12.2f %12zu %12zu %12zu\n", S.Label,
+                  Ci.size(), Avg, Alias.countAliasPairs(Sample),
+                  Devirt.MonomorphicSites, TaintWarns);
     }
   }
   std::printf("\nPrecision metrics must match line-for-line between the "

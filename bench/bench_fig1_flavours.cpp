@@ -10,11 +10,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Configurations.h"
 #include "analysis/Solver.h"
 #include "cfl/Oracle.h"
 #include "cfl/Pag.h"
 #include "facts/Extract.h"
 #include "workload/PaperPrograms.h"
+#include "workload/Presets.h"
 
 #include <cstdio>
 #include <string>
@@ -53,7 +55,9 @@ int main() {
   for (Abstraction A :
        {Abstraction::ContextString, Abstraction::TransformerString}) {
     Row Rows[] = {
+        {"unify", ctx::unification(A)},
         {"insensitive", ctx::insensitive(A)},
+        {"cutshortcut", ctx::cutShortcut(A)},
         {"1-call", ctx::oneCall(A)},
         {"2-call", Config{A, ctx::Flavour::CallSite, 2, 0}},
         {"1-call+H", ctx::oneCallH(A)},
@@ -76,6 +80,26 @@ int main() {
               "x2/y2; 1-object the reverse;\n2-call and 2-object+H "
               "separate all; z empties once heap contexts split the two "
               "m() objects.\n\n");
+
+  // Speed/precision frontier: the degradation ladder on a generated
+  // preset — wall time and ci tuple counts per rung. This is the source
+  // of the EXPERIMENTS.md flavour table; unify must come in under
+  // insensitive, cutshortcut within the same order of magnitude.
+  {
+    facts::FactDB Big = facts::extract(workload::generatePreset("pmd"));
+    std::printf("Ladder frontier on preset 'pmd' (%zu vars):\n",
+                Big.numVars());
+    std::printf("%-14s %10s %10s %10s %10s\n", "rung", "seconds",
+                "ci-pts", "ci-calls", "work");
+    for (const Config &Cfg : analysis::defaultLadder(
+             ctx::twoObjectH(Abstraction::TransformerString))) {
+      analysis::Results R = analysis::solve(Big, Cfg);
+      std::printf("%-14s %10.3f %10zu %10zu %10zu\n",
+                  R.Config.name().c_str(), R.Stat.Seconds,
+                  R.ciPts().size(), R.ciCall().size(), R.Stat.WorkItems);
+    }
+    std::printf("\n");
+  }
 
   // Figure 2 view: the PAG of the program with on-the-fly call edges.
   cfl::OracleResult O = cfl::solveInsensitive(DB);

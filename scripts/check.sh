@@ -5,7 +5,9 @@
 # Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
 #
 # Tier-1 gate: a normal RelWithDebInfo build, the fast client-facing test
-# subset (ctest -L clients) for quick signal, then the full ctest run,
+# subset (ctest -L clients) for quick signal, a contextless-flavour smoke
+# (ctest -L flavours plus ctp-verify certifying the cutshortcut and unify
+# rungs on two presets), then the full ctest run,
 # followed by the same suite under AddressSanitizer +
 # UndefinedBehaviorSanitizer (-DCTP_SANITIZE=address,undefined). All must
 # pass. With --tidy, also runs clang-tidy via scripts/tidy.sh (skipped
@@ -33,11 +35,12 @@
 # includes crashloop.sh --delta).
 #
 # --asan runs a targeted address+undefined matrix in its own build
-# directory (build-asan): just the engine-semantics core and the
-# fixpoint-certification suite (ctest -L 'core|verify'), so the slow
-# memory-error hunt concentrates on the solver paths the verifier
-# exercises hardest. Independent of the default full-asan pass, which
-# --no-sanitize turns off.
+# directory (build-asan): the engine-semantics core, the
+# fixpoint-certification suite, and the contextless-flavour suite
+# (ctest -L 'core|verify|flavours' — the unify union-find's pointer
+# juggling included), so the slow memory-error hunt concentrates on the
+# solver paths the verifier exercises hardest. Independent of the
+# default full-asan pass, which --no-sanitize turns off.
 #
 # --tsan additionally builds with ThreadSanitizer (-DCTP_SANITIZE=thread)
 # and smokes the concurrency-adjacent suites under it: the resource
@@ -46,8 +49,9 @@
 # beat writers race budget polls), the serve unit suite (reader/worker
 # pools share the admission queue), the incremental-transaction suite
 # (a committing writer races query readers on the shared state lock),
-# and one supervised chaos run through ctp-batch. TSAN must stay quiet
-# throughout.
+# the contextless-flavour suite (the unify union-find under concurrent
+# budget polls), and one supervised chaos run through ctp-batch. TSAN
+# must stay quiet throughout.
 #
 #===----------------------------------------------------------------------===#
 
@@ -90,6 +94,14 @@ ctest --test-dir build -j"$(nproc)" -L provenance --output-on-failure
 echo "== fixpoint certification smoke (ctp-verify, one preset) =="
 build/tools/ctp-verify --preset luindex \
   --snapshot-dir build/verify-smoke-snap >/dev/null
+echo "== contextless flavour smoke (ctest -L flavours + certification) =="
+ctest --test-dir build -j"$(nproc)" -L flavours --output-on-failure
+for PRESET in antlr luindex; do
+  for CFG in cutshortcut unify; do
+    build/tools/ctp-verify --preset "$PRESET" --config "$CFG" \
+      --checks closure,support,oracle >/dev/null
+  done
+done
 echo "== full suite =="
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
@@ -128,10 +140,10 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DCTP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" \
     --target governor_test snapshot_test resume_test supervisor_test \
-             serve_test verify_test incremental_test ctp-crashkid \
-             ctp-analyze ctp-batch
+             serve_test verify_test incremental_test flavours_test \
+             ctp-crashkid ctp-analyze ctp-batch
   ctest --test-dir build-tsan -j"$(nproc)" \
-    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test|verify_test|incremental_test)$' \
+    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test|verify_test|incremental_test|flavours_test)$' \
     --output-on-failure
   echo "== ThreadSanitizer supervised chaos run =="
   WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_tsan_batch.XXXXXX")"
@@ -143,10 +155,10 @@ if [[ "$TSAN" == 1 ]]; then
 fi
 
 if [[ "$ASAN" == 1 ]]; then
-  echo "== targeted ASan+UBSan matrix (ctest -L 'core|verify') =="
+  echo "== targeted ASan+UBSan matrix (ctest -L 'core|verify|flavours') =="
   cmake -B build-asan -S . -DCTP_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j"$(nproc)"
-  ctest --test-dir build-asan -j"$(nproc)" -L 'core|verify' \
+  ctest --test-dir build-asan -j"$(nproc)" -L 'core|verify|flavours' \
     --output-on-failure
 fi
 

@@ -86,6 +86,10 @@ std::string writeSnapshot(const SolverSnapshot &S, const std::string &Path) {
     W.u32(static_cast<std::uint32_t>(S.Config.Flav));
     W.u32(S.Config.MethodDepth);
     W.u32(S.Config.HeapDepth);
+    // Solve mode rides behind the original depth fields; snapshots written
+    // before it existed fail the atEnd() length check below and cold-start
+    // cleanly (the meta section is all-or-nothing, not versioned).
+    W.u32(static_cast<std::uint32_t>(S.Config.SolveMode));
     W.u64(S.Fingerprint);
     W.u64(S.LayoutHash);
     W.u64(S.WorkItems);
@@ -141,6 +145,7 @@ std::string readSnapshot(const std::string &Path, SolverSnapshot &S) {
   std::uint32_t Flav = Rd.u32();
   std::uint32_t MethodDepth = Rd.u32();
   std::uint32_t HeapDepth = Rd.u32();
+  std::uint32_t SolveMode = Rd.u32();
   S.Fingerprint = Rd.u64();
   S.LayoutHash = Rd.u64();
   S.WorkItems = Rd.u64();
@@ -155,7 +160,7 @@ std::string readSnapshot(const std::string &Path, SolverSnapshot &S) {
       Backend != static_cast<std::uint32_t>(SolverSnapshot::Backend::Datalog))
     return "snapshot meta has unknown back-end tag";
   if (Collapse > 1 || Abs > 1 || Flav > 3 || MethodDepth > ctx::MaxCtxtDepth ||
-      HeapDepth > ctx::MaxCtxtDepth)
+      HeapDepth > ctx::MaxCtxtDepth || SolveMode > 2)
     return "snapshot meta has out-of-range configuration fields";
   S.BackendTag = static_cast<SolverSnapshot::Backend>(Backend);
   S.Collapse = Collapse != 0;
@@ -163,6 +168,7 @@ std::string readSnapshot(const std::string &Path, SolverSnapshot &S) {
   S.Config.Flav = static_cast<ctx::Flavour>(Flav);
   S.Config.MethodDepth = MethodDepth;
   S.Config.HeapDepth = HeapDepth;
+  S.Config.SolveMode = static_cast<ctx::Mode>(SolveMode);
 
   if (std::string E = getWords(F, SecDomain, "domain", S.DomainWords);
       !E.empty())

@@ -8,6 +8,7 @@
 #include "analysis/Configurations.h"
 
 #include "analysis/DatalogFrontend.h"
+#include "analysis/Unify.h"
 
 #include <cassert>
 #include <fstream>
@@ -55,13 +56,25 @@ analysis::probeSnapshot(const std::string &Dir, const facts::FactDB &DB,
     Why = "snapshot collapse mode differs from this run";
   else if (P.Snap.Config.Abs != Cfg.Abs || P.Snap.Config.Flav != Cfg.Flav ||
            P.Snap.Config.MethodDepth != Cfg.MethodDepth ||
-           P.Snap.Config.HeapDepth != Cfg.HeapDepth)
+           P.Snap.Config.HeapDepth != Cfg.HeapDepth ||
+           P.Snap.Config.SolveMode != Cfg.SolveMode)
     Why = "snapshot configuration '" + P.Snap.Config.name() +
           "' differs from requested '" + Cfg.name() + "'";
-  else if (P.Snap.Fingerprint != DB.fingerprint())
-    Why = "snapshot fact fingerprint differs from this fact set";
-  else if (P.Snap.LayoutHash != DB.layoutHash())
-    Why = "snapshot fact layout differs from this fact set";
+  else {
+    // Unify snapshots are written by the native engine running over the
+    // symmetrized view, so its fingerprint/layout is what the snapshot
+    // recorded; recompute the view before comparing.
+    std::uint64_t Fp = DB.fingerprint(), Lh = DB.layoutHash();
+    if (Cfg.SolveMode == ctx::Mode::Unify) {
+      const facts::FactDB View = unifyView(DB);
+      Fp = View.fingerprint();
+      Lh = View.layoutHash();
+    }
+    if (P.Snap.Fingerprint != Fp)
+      Why = "snapshot fact fingerprint differs from this fact set";
+    else if (P.Snap.LayoutHash != Lh)
+      Why = "snapshot fact layout differs from this fact set";
+  }
   if (!Why.empty()) {
     P.Status = ResumeStatus::Mismatch;
     P.Warning = "checkpoint: " + Why + "; falling back to cold start";
@@ -92,8 +105,9 @@ analysis::ptsConfigurationHistogram(const Results &R) {
 std::vector<ctx::Config>
 analysis::defaultLadder(const ctx::Config &Precise) {
   const ctx::Abstraction A = Precise.Abs;
-  const ctx::Config Rungs[] = {ctx::twoObjectH(A), ctx::twoTypeH(A),
-                               ctx::oneObject(A), ctx::insensitive(A)};
+  const ctx::Config Rungs[] = {ctx::twoObjectH(A),  ctx::twoTypeH(A),
+                               ctx::oneObject(A),   ctx::cutShortcut(A),
+                               ctx::insensitive(A), ctx::unification(A)};
   std::vector<ctx::Config> Ladder;
   Ladder.push_back(Precise);
   // Append only rungs strictly below the requested configuration. An
@@ -124,11 +138,16 @@ analysis::solveWithFallback(const facts::FactDB &DB,
   // snapshots of degraded rungs would let a later resume silently
   // continue a configuration the user never asked for.
   SnapshotProbe Probe;
+  // Contextless rung-0 configurations always run natively (see the rung
+  // loop below), so their snapshots carry the native back-end tag even
+  // when the ladder as a whole was asked to use datalog.
+  const bool Rung0Datalog =
+      Opts.UseDatalog && Ladder[0].SolveMode == ctx::Mode::Contexts;
   if (Opts.Resume && Opts.Checkpoint.enabled()) {
     const bool Collapse =
-        !Opts.UseDatalog && Opts.Solver.CollapseSubsumedPts;
+        !Rung0Datalog && Opts.Solver.CollapseSubsumedPts;
     Probe = probeSnapshot(Opts.Checkpoint.Dir, DB, Ladder[0],
-                          Opts.UseDatalog, Collapse);
+                          Rung0Datalog, Collapse);
     O.Resume = Probe.Status;
     O.ResumeWarning = Probe.Warning;
   }
@@ -138,7 +157,12 @@ analysis::solveWithFallback(const facts::FactDB &DB,
     const BudgetSpec Budget = Opts.Budget.scaledForRung(Rung);
     const bool Ckpt = Rung == 0 && Opts.Checkpoint.enabled();
     Results R;
-    if (Opts.UseDatalog) {
+    // The datalog back-end encodes only the Figure-3 context rules; the
+    // contextless flavours (cutshortcut, unify) have no datalog rule set,
+    // so those rungs run on the native engine even in a datalog ladder.
+    const bool RungDatalog =
+        Opts.UseDatalog && Cfg.SolveMode == ctx::Mode::Contexts;
+    if (RungDatalog) {
       DatalogSolveOptions DO;
       DO.Budget = Budget;
       if (Ckpt) {

@@ -69,6 +69,9 @@ enum class ProvRule : std::uint8_t {
   GLoad,    ///< pts <- gpts, reach.               Aux: global field.
   New,      ///< pts <- reach, assign_new.         Aux: heap site.
   Static,   ///< call <- reach, static_invoke.     Aux: invocation.
+  Shortcut, ///< pts <- pts(actual), call (cutshortcut mode: the actual
+            ///< forwarded straight to the call's assign_return targets
+            ///< over a cut-plan shortcut edge). Aux: invocation.
 };
 
 /// The first-derivation graph. Append-only; owned by Results after a run.

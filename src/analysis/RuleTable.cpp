@@ -31,6 +31,7 @@ const RuleDesc Table[] = {
     {ProvRule::GLoad, "GLOAD", ProvRel::Pts, RuleArity::Two},
     {ProvRule::New, "NEW", ProvRel::Pts, RuleArity::One},
     {ProvRule::Static, "STATIC", ProvRel::Call, RuleArity::One},
+    {ProvRule::Shortcut, "SHORTCUT", ProvRel::Pts, RuleArity::Two},
 };
 
 } // namespace

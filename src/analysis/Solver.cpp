@@ -9,6 +9,8 @@
 
 #include "analysis/Incremental.h"
 #include "analysis/Provenance.h"
+#include "analysis/Unify.h"
+#include "ctx/CutShortcut.h"
 #include "support/Stats.h"
 
 #include <cassert>
@@ -99,6 +101,10 @@ public:
     Dom = ctx::makeDomain(Cfg, std::move(ClassOf));
     ReachCtxts =
         std::make_shared<Interner<CtxtVec, ctx::CtxtVecHash>>();
+    if (Cfg.SolveMode == ctx::Mode::CutShortcut) {
+      CutMode = true;
+      CutPlan = ctx::buildCutShortcutPlan(DB);
+    }
     buildInputIndices();
     PtsByVar.resize(DB.numVars());
     CallByInvoke.resize(DB.numInvokes());
@@ -126,7 +132,8 @@ public:
       return "snapshot collapse mode differs from this run";
     if (S.Config.Abs != Cfg.Abs || S.Config.Flav != Cfg.Flav ||
         S.Config.MethodDepth != Cfg.MethodDepth ||
-        S.Config.HeapDepth != Cfg.HeapDepth)
+        S.Config.HeapDepth != Cfg.HeapDepth ||
+        S.Config.SolveMode != Cfg.SolveMode)
       return "snapshot configuration differs from this run";
     if (S.Fingerprint != Fingerprint)
       return "snapshot fingerprint does not match the fact database";
@@ -272,8 +279,11 @@ public:
       return "previous result lacks its interned domain";
     if (Prev.Config.Abs != Cfg.Abs || Prev.Config.Flav != Cfg.Flav ||
         Prev.Config.MethodDepth != Cfg.MethodDepth ||
-        Prev.Config.HeapDepth != Cfg.HeapDepth)
+        Prev.Config.HeapDepth != Cfg.HeapDepth ||
+        Prev.Config.SolveMode != Cfg.SolveMode)
       return "previous result was solved under a different configuration";
+    if (Cfg.SolveMode != ctx::Mode::Contexts)
+      return "contextless modes (cutshortcut, unify) re-solve from cold";
     if (!Prov)
       return "incremental solve requires provenance recording";
     if (D.WideRemove)
@@ -987,9 +997,32 @@ private:
                   Prov->lookup(ProvRel::Call, keyOf(CallFact{Invoke, Callee, C})),
                   Invoke);
 
+    // [SHORTCUT] (cutshortcut mode) pts(Z,H,B), actual(Z,I,O),
+    //            call(I,P,C), shortcut(P,O), assign_return(I,Y)
+    //            |- pts(Y,H, (B ; C) ; inv(C)) — the actual forwarded
+    //            straight to this call's result, replacing the cut RET
+    //            flow per call site. Premise order: (actual pts, call).
+    if (CutMode)
+      for (const auto &[Invoke, Ord] : ActualByVar[F.Var])
+        for (const auto &[Callee, C] : CallByInvoke[Invoke])
+          if (CutPlan.hasShortcut(Callee, Ord))
+            if (auto In = Dom->comp(F.T, C, H, M))
+              if (auto A = Dom->comp(*In, Dom->inv(C), H, M))
+                for (std::uint32_t Y : AssignRetByInvoke[Invoke])
+                  if (addPts(Y, F.Heap, *A) && Prov)
+                    Prov->note(ProvRel::Pts, keyOf(PtsFact{Y, F.Heap, *A}),
+                               ProvRule::Shortcut, FN,
+                               Prov->lookup(ProvRel::Call,
+                                            keyOf(CallFact{Invoke, Callee, C})),
+                               Invoke);
+
     // [RET] pts(Z,H,B), return(Z,P), call(I,P,C), assign_return(I,Y)
     //       |- pts(Y,H, B ; inv(C)). Premise order: (return pts, call).
-    for (std::uint32_t P : ReturnByVar[F.Var])
+    // In cutshortcut mode the cut (method, return-var) pairs are skipped:
+    // their flows are re-delivered per call site by [SHORTCUT].
+    for (std::uint32_t P : ReturnByVar[F.Var]) {
+      if (CutMode && CutPlan.isCutReturn(P, F.Var))
+        continue;
       for (const auto &[Invoke, C] : CallByCallee[P]) {
         TransformId InvC = Dom->inv(C);
         if (auto A = Dom->comp(F.T, InvC, H, M))
@@ -1001,6 +1034,7 @@ private:
                   Prov->lookup(ProvRel::Call, keyOf(CallFact{Invoke, P, C})),
                   Invoke);
       }
+    }
 
     // [THROW] pts(Z,H,B), throw(Z,P), call(I,P,C), catch(I,Y)
     //         |- pts(Y,H, B ; inv(C)) — the exceptional return path.
@@ -1112,10 +1146,34 @@ private:
                          Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Z, Hp, B})),
                          FN, F.Invoke);
 
-    // [RET], driven from the call side.
+    // [SHORTCUT], driven from the call side (cutshortcut mode).
+    if (CutMode && !AssignRetByInvoke[F.Invoke].empty()) {
+      TransformId InvC = Dom->inv(F.T);
+      for (const auto &[Ord, Z] : ActualByInvoke[F.Invoke])
+        if (CutPlan.hasShortcut(F.Method, Ord))
+          // Index-based: the actual Z and the assign-return target Y live
+          // in the same (caller) method and may alias, so addPts below can
+          // grow PtsByVar[Z] mid-loop.
+          for (std::size_t PI = 0; PI < PtsByVar[Z].size(); ++PI) {
+            const auto [Hp, B] = PtsByVar[Z][PI];
+            if (auto In = Dom->comp(B, F.T, H, M))
+              if (auto A = Dom->comp(*In, InvC, H, M))
+                for (std::uint32_t Y : AssignRetByInvoke[F.Invoke])
+                  if (addPts(Y, Hp, *A) && Prov)
+                    Prov->note(
+                        ProvRel::Pts, keyOf(PtsFact{Y, Hp, *A}),
+                        ProvRule::Shortcut,
+                        Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Z, Hp, B})),
+                        FN, F.Invoke);
+          }
+    }
+
+    // [RET], driven from the call side (cut pairs skipped as above).
     if (!AssignRetByInvoke[F.Invoke].empty()) {
       TransformId InvC = Dom->inv(F.T);
-      for (std::uint32_t Z : ReturnByMethod[F.Method])
+      for (std::uint32_t Z : ReturnByMethod[F.Method]) {
+        if (CutMode && CutPlan.isCutReturn(F.Method, Z))
+          continue;
         for (const auto &[Hp, B] : PtsByVar[Z])
           if (auto A = Dom->comp(B, InvC, H, M))
             for (std::uint32_t Y : AssignRetByInvoke[F.Invoke])
@@ -1124,6 +1182,7 @@ private:
                     ProvRel::Pts, keyOf(PtsFact{Y, Hp, *A}), ProvRule::Ret,
                     Prov->lookup(ProvRel::Pts, keyOf(PtsFact{Z, Hp, B})), FN,
                     F.Invoke);
+      }
     }
 
     // [THROW], driven from the call side.
@@ -1244,6 +1303,11 @@ private:
     case ProvRule::Ind:   // joins two derived facts; no input row.
     case ProvRule::Reach: // projection of a derived call; no input row.
       return false;
+    case ProvRule::Shortcut:
+      // Cutshortcut grounds in the cut plan, which any input edit can
+      // reshape; tryIncremental refuses contextless modes up front, so
+      // this is only defensive.
+      return true;
     case ProvRule::GLoad: // via global_load(G,Z,P); Aux = G, Prem1 = reach.
       if (E.Prem1 == Invalid)
         return true;
@@ -1269,6 +1333,8 @@ private:
   ctx::Config Cfg;
   unsigned M, H;
   bool Collapse;
+  bool CutMode = false;
+  ctx::CutShortcutPlan CutPlan;
   std::size_t CollapsedPts = 0;
   std::unordered_map<std::uint64_t, std::vector<TransformId>> LivePts;
   std::unique_ptr<ctx::Domain> Dom;
@@ -1343,10 +1409,10 @@ private:
 
 } // namespace
 
-Results analysis::solve(const FactDB &DB, const ctx::Config &Cfg,
-                        const SolverOptions &Opts) {
-  assert(Cfg.validate().empty() && "invalid analysis configuration");
-  assert(DB.validate().empty() && "invalid fact database");
+namespace {
+
+Results solveNative(const FactDB &DB, const ctx::Config &Cfg,
+                    const SolverOptions &Opts) {
   if (Opts.Resume) {
     Solver S(DB, Cfg, Opts);
     std::string Err = S.tryRestore(*Opts.Resume);
@@ -1364,6 +1430,27 @@ Results analysis::solve(const FactDB &DB, const ctx::Config &Cfg,
   }
   Solver S(DB, Cfg, Opts);
   return S.run();
+}
+
+} // namespace
+
+Results analysis::solve(const FactDB &DB, const ctx::Config &Cfg,
+                        const SolverOptions &Opts) {
+  assert(Cfg.validate().empty() && "invalid analysis configuration");
+  assert(DB.validate().empty() && "invalid fact database");
+  if (Cfg.SolveMode == ctx::Mode::Unify) {
+    // The union-find core records no Figure-3 derivations and carries no
+    // native checkpoint state. When provenance or checkpoint/resume is
+    // requested, run the native engine over the symmetrized view instead:
+    // the insensitive fixpoint of unifyView(DB) is exactly the unification
+    // answer, and the vanilla rules then justify every tuple.
+    if (Opts.Provenance.Enabled || Opts.Checkpoint.enabled() || Opts.Resume) {
+      facts::FactDB View = unifyView(DB);
+      return solveNative(View, Cfg, Opts);
+    }
+    return solveUnify(DB, Cfg, Opts);
+  }
+  return solveNative(DB, Cfg, Opts);
 }
 
 IncrementalOutcome analysis::resolveIncremental(const FactDB &NewDB,
@@ -1395,9 +1482,9 @@ IncrementalOutcome analysis::resolveIncremental(const FactDB &NewDB,
   }
   // Cold re-solve of the edited facts — identical fixpoint, just paid in
   // full. Provenance stays on so the delta after this one can be
-  // incremental again.
-  Solver Cold(NewDB, Cfg, SO);
-  Out.R = Cold.run();
+  // incremental again. Routed through solve() so the contextless modes
+  // take their own paths (unify must run over its symmetrized view).
+  Out.R = solve(NewDB, Cfg, SO);
   Out.Incremental = false;
   Out.Invalidated = 0;
   Out.Survivors = 0;

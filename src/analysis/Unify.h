@@ -1,0 +1,68 @@
+//===- analysis/Unify.h - Unification (Steensgaard) solver ------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `unify` abstraction flavour: a Steensgaard-style unification solve
+/// in the spirit of "Unification-based Pointer Analysis without
+/// Oversharing" (arXiv 1906.01706), the cheapest rung of the degradation
+/// ladder — coarser than the insensitive Andersen solve but near-linear.
+///
+/// The flavour has one semantics with two equivalent realizations:
+///
+/// 1. The *fast path* (solveUnify): a union-find with union-by-rank and
+///    path compression collapses every plain-assignment component and
+///    every CHA-bound parameter/return/throw pair into one equivalence
+///    class, then a single directed propagation pass runs the remaining
+///    statement kinds over the quotient graph. The oversharing controls:
+///    casts and virtual dispatch stay *directed and type-filtered* (they
+///    never merge classes), and field/global cells stay inclusion-based,
+///    so one bad merge cannot leak arbitrary heaps across a cast or an
+///    unrelated dispatch target.
+///
+/// 2. The *view formulation* (unifyView): a FactDB whose assignment
+///    relation is symmetrized (every assign reversed) and extended with
+///    bidirectional actual<->formal, return<->assign_return, and
+///    throw<->catch rows for every class-hierarchy-possible binding of
+///    each invocation. The insensitive fixpoint of the vanilla Figure-3
+///    rules over this view *is* the unification answer: bidirectional
+///    edges equalize points-to sets exactly along the union-find classes.
+///
+/// solve() uses the fast path by default and switches to the native
+/// engine over unifyView(DB) when provenance or checkpointing is
+/// requested — the view needs no unification-specific deduction rules,
+/// so closure and support certificates check unify results with the
+/// standard machinery (against the view). Both paths materialize the
+/// same Results shape; every downstream consumer works unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_ANALYSIS_UNIFY_H
+#define CTP_ANALYSIS_UNIFY_H
+
+#include "analysis/Solver.h"
+
+namespace ctp {
+namespace analysis {
+
+/// The symmetrized fact view whose insensitive fixpoint equals the
+/// unification answer. Adds no entities: only (deduplicated) assign rows
+/// between existing variables, so ids, names, and every other predicate
+/// carry over verbatim.
+facts::FactDB unifyView(const facts::FactDB &DB);
+
+/// The union-find fast path. \p Cfg must validate with SolveMode ==
+/// Mode::Unify. Budget-aware like the native solver (a tripped run
+/// returns a sound subset tagged with its TerminationReason); provenance
+/// and checkpoint options are not supported here — analysis::solve
+/// reroutes such requests through the view formulation.
+Results solveUnify(const facts::FactDB &DB, const ctx::Config &Cfg,
+                   const SolverOptions &Opts = SolverOptions());
+
+} // namespace analysis
+} // namespace ctp
+
+#endif // CTP_ANALYSIS_UNIFY_H

@@ -13,6 +13,8 @@ using namespace ctp::ctx;
 std::string Config::validate() const {
   if (MethodDepth > MaxCtxtDepth || HeapDepth > MaxCtxtDepth)
     return "context depth exceeds MaxCtxtDepth";
+  if (SolveMode != Mode::Contexts && (MethodDepth != 0 || HeapDepth != 0))
+    return "contextless modes (cutshortcut, unify) require m = h = 0";
   if (Flav == Flavour::CallSite) {
     if (HeapDepth > MethodDepth)
       return "call-site sensitivity requires h <= m";
@@ -28,6 +30,11 @@ std::string Config::validate() const {
 }
 
 std::string Config::name() const {
+  if (SolveMode != Mode::Contexts) {
+    std::string N = modeName(SolveMode);
+    N += Abs == Abstraction::ContextString ? "(cs)" : "(ts)";
+    return N;
+  }
   std::string N = std::to_string(MethodDepth);
   switch (Flav) {
   case Flavour::CallSite:
@@ -70,11 +77,17 @@ Config ctx::twoHybridH(Abstraction A) {
 Config ctx::insensitive(Abstraction A) {
   return {A, Flavour::CallSite, 0, 0};
 }
+Config ctx::cutShortcut(Abstraction A) {
+  return {A, Flavour::CallSite, 0, 0, Mode::CutShortcut};
+}
+Config ctx::unification(Abstraction A) {
+  return {A, Flavour::CallSite, 0, 0, Mode::Unify};
+}
 
 const std::vector<std::string> &ctx::configNames() {
   static const std::vector<std::string> Names = {
-      "2-object+H", "2-hybrid+H", "2-type+H", "1-object",
-      "1-call+H",   "1-call",     "insensitive"};
+      "2-object+H", "2-hybrid+H", "2-type+H",   "1-object",   "1-call+H",
+      "1-call",     "cutshortcut", "insensitive", "unify"};
   return Names;
 }
 
@@ -91,8 +104,12 @@ bool ctx::configByName(const std::string &Name, Abstraction A, Config &Out) {
     Out = twoTypeH(A);
   else if (Name == "2-hybrid+H")
     Out = twoHybridH(A);
+  else if (Name == "cutshortcut")
+    Out = cutShortcut(A);
   else if (Name == "insensitive")
     Out = insensitive(A);
+  else if (Name == "unify")
+    Out = unification(A);
   else
     return false;
   return true;
@@ -104,6 +121,18 @@ const char *ctx::abstractionName(Abstraction A) {
     return "context-string";
   case Abstraction::TransformerString:
     return "transformer-string";
+  }
+  return "unknown";
+}
+
+const char *ctx::modeName(Mode M) {
+  switch (M) {
+  case Mode::Contexts:
+    return "contexts";
+  case Mode::CutShortcut:
+    return "cutshortcut";
+  case Mode::Unify:
+    return "unify";
   }
   return "unknown";
 }

@@ -46,20 +46,36 @@ enum class Flavour : std::uint8_t {
   Hybrid,
 };
 
+/// How the solver propagates value flow. The classic mode runs the
+/// Figure 3 rules with context transformations; the other two replace
+/// contexts entirely and therefore require m = h = 0.
+enum class Mode : std::uint8_t {
+  Contexts,    ///< Figure 3 deduction rules with context transformations.
+  CutShortcut, ///< Cut parameter/return flows, install shortcut edges
+               ///< per call site instead of cloning contexts
+               ///< ("Context Sensitivity without Contexts").
+  Unify,       ///< Steensgaard-style unification with type-filtered
+               ///< merges as the oversharing control; a floor cheaper
+               ///< than the insensitive Andersen solve.
+};
+
 /// One analysis configuration.
 struct Config {
   Abstraction Abs = Abstraction::TransformerString;
   Flavour Flav = Flavour::Object;
   unsigned MethodDepth = 1; ///< m — levels of method context.
   unsigned HeapDepth = 0;   ///< h — levels of heap context.
+  Mode SolveMode = Mode::Contexts;
 
   /// Checks the side conditions of Figure 3: 0 <= h <= m for call-site
   /// sensitivity, h = m - 1 for object (and type) sensitivity, and the
-  /// depths are within this implementation's MaxCtxtDepth.
+  /// depths are within this implementation's MaxCtxtDepth. The contextless
+  /// modes (cutshortcut, unify) additionally require m = h = 0.
   /// \returns an empty string if valid.
   std::string validate() const;
 
-  /// "2-object+H(ts)" style display name.
+  /// "2-object+H(ts)" style display name ("cutshortcut(ts)" /
+  /// "unify(ts)" for the contextless modes).
   std::string name() const;
 };
 
@@ -77,12 +93,22 @@ Config twoHybridH(Abstraction A);
 /// used as the baseline oracle alongside the CFL-reachability solver.
 Config insensitive(Abstraction A);
 
+/// Cut-shortcut: context-grade precision on parameter/return flow at
+/// insensitive cost — no contexts are cloned; eligible return flows are
+/// cut and replaced by per-call-site shortcut edges.
+Config cutShortcut(Abstraction A);
+
+/// Unification: Steensgaard-style union-find solve, the cheapest rung of
+/// the degradation ladder (coarser than insensitive).
+Config unification(Abstraction A);
+
 const char *abstractionName(Abstraction A);
 const char *flavourName(Flavour F);
+const char *modeName(Mode M);
 
 /// The command-line names of the named configurations, in ladder order
-/// (most precise first, "insensitive" last). Shared by every tool that
-/// accepts a --config flag, so the accepted vocabulary cannot drift.
+/// (most precise first, "unify" last). Shared by every tool that accepts
+/// a --config flag, so the accepted vocabulary cannot drift.
 const std::vector<std::string> &configNames();
 
 /// Resolves a command-line configuration name ("2-object+H", "1-call",

@@ -1,0 +1,162 @@
+//===- ctx/CutShortcut.cpp - Cut-edge detection and shortcut plan ---------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctx/CutShortcut.h"
+
+#include <vector>
+
+using namespace ctp;
+using namespace ctp::ctx;
+using facts::FactDB;
+using facts::Id;
+
+namespace {
+
+/// Per-variable occurrence census. A variable is "dirty" when it appears
+/// anywhere other than as a plain-assignment endpoint, a single formal
+/// fact, or a return fact of its own method — any such occurrence makes
+/// the value flow through it observable outside the forwarded chain, so
+/// no chain containing it may be cut.
+struct Census {
+  std::vector<bool> Dirty;
+  std::vector<std::uint8_t> FormalCount; // saturating at 2
+  std::vector<bool> HasReturn;
+
+  explicit Census(const FactDB &DB)
+      : Dirty(DB.numVars(), false), FormalCount(DB.numVars(), 0),
+        HasReturn(DB.numVars(), false) {
+    auto Mark = [&](Id V) {
+      if (V < Dirty.size())
+        Dirty[V] = true;
+    };
+    for (const auto &F : DB.Actuals)
+      Mark(F.Var);
+    for (const auto &F : DB.Loads) {
+      Mark(F.Base);
+      Mark(F.To);
+    }
+    for (const auto &F : DB.Stores) {
+      Mark(F.From);
+      Mark(F.Base);
+    }
+    for (const auto &F : DB.Casts) {
+      Mark(F.From);
+      Mark(F.To);
+    }
+    for (const auto &F : DB.VirtualInvokes)
+      Mark(F.Receiver);
+    for (const auto &F : DB.GlobalStores)
+      Mark(F.From);
+    for (const auto &F : DB.GlobalLoads)
+      Mark(F.To);
+    for (const auto &F : DB.Throws)
+      Mark(F.Var);
+    for (const auto &F : DB.Catches)
+      Mark(F.To);
+    for (const auto &F : DB.AssignReturns)
+      Mark(F.To);
+    for (const auto &F : DB.AssignNews)
+      Mark(F.To);
+    for (const auto &F : DB.ThisVars)
+      Mark(F.Var);
+    for (const auto &F : DB.Formals)
+      if (F.Var < FormalCount.size() && FormalCount[F.Var] < 2)
+        ++FormalCount[F.Var];
+    for (const auto &F : DB.Returns) {
+      if (F.Var >= HasReturn.size())
+        continue;
+      HasReturn[F.Var] = true;
+      // A return fact for a method other than the declaring one would
+      // leak the chain's values into an unrelated method's callers.
+      if (F.Var >= DB.VarParent.size() || DB.VarParent[F.Var] != F.Method)
+        Dirty[F.Var] = true;
+    }
+  }
+};
+
+} // namespace
+
+CutShortcutPlan ctx::buildCutShortcutPlan(const FactDB &DB) {
+  CutShortcutPlan Plan;
+  const std::size_t NVars = DB.numVars();
+  if (NVars == 0)
+    return Plan;
+
+  Census C(DB);
+
+  // Plain-assignment adjacency, both directions (forward for the closure,
+  // backward to detect contributions entering the chain from outside it).
+  std::vector<std::vector<Id>> Out(NVars), In(NVars);
+  for (const auto &A : DB.Assigns) {
+    if (A.From >= NVars || A.To >= NVars)
+      continue;
+    Out[A.From].push_back(A.To);
+    In[A.To].push_back(A.From);
+  }
+
+  std::vector<bool> InS(NVars, false);
+  std::vector<Id> Stack, Members;
+
+  for (const auto &F : DB.Formals) {
+    if (F.Var >= NVars || F.Var >= DB.VarParent.size())
+      continue;
+    const Id P = F.Method;
+    if (DB.VarParent[F.Var] != P)
+      continue;
+
+    // Forward closure over plain assignments, rooted at the formal.
+    Members.clear();
+    Stack.assign(1, F.Var);
+    InS[F.Var] = true;
+    Members.push_back(F.Var);
+    while (!Stack.empty()) {
+      Id V = Stack.back();
+      Stack.pop_back();
+      for (Id W : Out[V])
+        if (!InS[W]) {
+          InS[W] = true;
+          Members.push_back(W);
+          Stack.push_back(W);
+        }
+    }
+
+    // Eligibility: every member is clean, stays inside P, receives
+    // assignments only from other members, and is a formal only if it is
+    // the root itself (exactly once).
+    bool Eligible = true;
+    bool ReachesReturn = false;
+    for (Id V : Members) {
+      if (C.Dirty[V] || DB.VarParent[V] != P ||
+          C.FormalCount[V] != (V == F.Var ? 1 : 0)) {
+        Eligible = false;
+        break;
+      }
+      bool ExternalIn = false;
+      for (Id U : In[V])
+        if (!InS[U]) {
+          ExternalIn = true;
+          break;
+        }
+      if (ExternalIn) {
+        Eligible = false;
+        break;
+      }
+      ReachesReturn = ReachesReturn || C.HasReturn[V];
+    }
+
+    if (Eligible && ReachesReturn) {
+      Plan.addShortcut(P, F.Ordinal);
+      for (Id V : Members)
+        if (C.HasReturn[V])
+          Plan.addCutReturn(P, V);
+    }
+
+    for (Id V : Members)
+      InS[V] = false;
+  }
+  return Plan;
+}

@@ -1,0 +1,90 @@
+//===- ctx/CutShortcut.h - Cut-edge detection and shortcut plan -*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The planning half of the cut-shortcut flavour ("Context Sensitivity
+/// without Contexts", arXiv 2304.12034): instead of cloning contexts, the
+/// solver *cuts* the return-value flow of methods that merely forward a
+/// parameter to their return value and installs per-call-site *shortcut*
+/// edges actual -> assign_return, recovering the context-sensitive
+/// answer for those flows at context-insensitive cost.
+///
+/// Eligibility is deliberately strict so the transformation is exactly
+/// precision-recovering, never sound-ness-changing: a formal (P, O) earns
+/// a shortcut only when its forward closure over *intra-method plain
+/// assignments* reaches a return variable of P and every variable in the
+/// closure is untouched by anything else — no casts, loads, stores,
+/// nested calls, globals, throws, or assignments from outside the
+/// closure. Under that restriction every value a cut return variable can
+/// carry entered through this one formal, so (a) skipping the RET rule
+/// for the cut (method, return-var) pairs loses nothing that the
+/// shortcut edges do not re-deliver, and (b) every shortcut-derived
+/// tuple is derivable by the insensitive analysis (actual -> PARAM ->
+/// ASSIGN* -> RET), giving cutshortcut ⊆ insensitive.
+///
+/// The plan is computed from the FactDB alone, so the verifier can
+/// recompute it independently of the solver when checking closure and
+/// support certificates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_CTX_CUTSHORTCUT_H
+#define CTP_CTX_CUTSHORTCUT_H
+
+#include "facts/FactDB.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace ctp {
+namespace ctx {
+
+/// The cut/shortcut decisions for one fact database: which formals get a
+/// shortcut edge installed per call site, and which (method, return-var)
+/// pairs have their RET flow cut in exchange.
+class CutShortcutPlan {
+public:
+  /// True when formal ordinal \p Ord of \p Method carries a shortcut:
+  /// calls to \p Method forward the actual at \p Ord directly into the
+  /// call's assign_return targets.
+  bool hasShortcut(facts::Id Method, facts::Id Ord) const {
+    return Shortcuts.count(key(Method, Ord)) != 0;
+  }
+
+  /// True when return variable \p Var of \p Method is cut: the solver
+  /// must skip the RET rule for this pair (its flows are re-delivered,
+  /// per call site, by the shortcut edges).
+  bool isCutReturn(facts::Id Method, facts::Id Var) const {
+    return CutReturns.count(key(Method, Var)) != 0;
+  }
+
+  std::size_t numShortcuts() const { return Shortcuts.size(); }
+  std::size_t numCutReturns() const { return CutReturns.size(); }
+
+  void addShortcut(facts::Id Method, facts::Id Ord) {
+    Shortcuts.insert(key(Method, Ord));
+  }
+  void addCutReturn(facts::Id Method, facts::Id Var) {
+    CutReturns.insert(key(Method, Var));
+  }
+
+private:
+  static std::uint64_t key(facts::Id A, facts::Id B) {
+    return (static_cast<std::uint64_t>(A) << 32) | B;
+  }
+  std::unordered_set<std::uint64_t> Shortcuts;
+  std::unordered_set<std::uint64_t> CutReturns;
+};
+
+/// Detects the cut edges of \p DB. Deterministic: depends only on fact
+/// content, not container order.
+CutShortcutPlan buildCutShortcutPlan(const facts::FactDB &DB);
+
+} // namespace ctx
+} // namespace ctp
+
+#endif // CTP_CTX_CUTSHORTCUT_H

@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RuleTable.h"
+#include "ctx/CutShortcut.h"
 #include "ctx/TransformerString.h"
 #include "support/Budget.h"
 #include "verify/Internal.h"
@@ -45,7 +46,14 @@ public:
       : DB(DB), R(R), In(DB), View(DB, R),
         Modulo(Opts.ModuloSubsumption &&
                R.Config.Abs == ctx::Abstraction::TransformerString),
-        M(R.Config.MethodDepth), H(R.Config.HeapDepth), CE(CE) {}
+        Cut(R.Config.SolveMode == ctx::Mode::CutShortcut),
+        M(R.Config.MethodDepth), H(R.Config.HeapDepth), CE(CE) {
+    // Cut-shortcut replaces RET flow out of cut methods with the
+    // per-call-site SHORTCUT rule; the closure notion changes with it,
+    // so the checker re-derives the plan independently of the solver.
+    if (Cut)
+      Plan = ctx::buildCutShortcutPlan(DB);
+  }
 
   bool run() {
     // Rule order matches the canonical table; the first failure reported
@@ -148,13 +156,31 @@ private:
               return false;
 
     // [RET] pts(Z,H,B), return(Z,P), call(I,P,C), assign_return(I,Y)
-    //       |- pts(Y,H, B ; inv(C)).
-    for (std::uint32_t P : In.ReturnByVar[F.Var])
+    //       |- pts(Y,H, B ; inv(C)). Cut-shortcut mode elides the
+    // instance for cut (P,Z) pairs — SHORTCUT below carries that flow
+    // per call site instead (its deliberate precision win over the
+    // invocation-mixing RET).
+    for (std::uint32_t P : In.ReturnByVar[F.Var]) {
+      if (Cut && Plan.isCutReturn(P, F.Var))
+        continue;
       for (const auto &[Invoke, C] : View.CallByCallee[P])
         if (auto A = R.Dom->comp(F.T, R.Dom->inv(C), H, M))
           for (std::uint32_t Y : In.AssignRetByInvoke[Invoke])
             if (!expectPts(ProvRule::Ret, Y, F.Heap, *A))
               return false;
+    }
+
+    // [SHORTCUT] pts(Z,H,B), actual(Z,I,O), call(I,P,C), plan(P,O),
+    //            assign_return(I,Y) |- pts(Y,H, (B ; C) ; inv(C)).
+    if (Cut)
+      for (const auto &[Invoke, Ord] : In.ActualByVar[F.Var])
+        for (const auto &[Callee, C] : View.CallByInvoke[Invoke])
+          if (Plan.hasShortcut(Callee, Ord))
+            if (auto Mid = R.Dom->comp(F.T, C, H, M))
+              if (auto A = R.Dom->comp(*Mid, R.Dom->inv(C), H, M))
+                for (std::uint32_t Y : In.AssignRetByInvoke[Invoke])
+                  if (!expectPts(ProvRule::Shortcut, Y, F.Heap, *A))
+                    return false;
 
     // [THROW] the exceptional return path.
     for (std::uint32_t P : In.ThrowByVar[F.Var])
@@ -257,6 +283,8 @@ private:
   InputIndices In;
   DerivedView View;
   bool Modulo;
+  bool Cut;
+  ctx::CutShortcutPlan Plan;
   unsigned M, H;
   std::string &CE;
 };

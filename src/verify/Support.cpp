@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RuleTable.h"
+#include "ctx/CutShortcut.h"
 #include "verify/Internal.h"
 #include "verify/Verify.h"
 
@@ -40,7 +41,13 @@ class SupportChecker {
 public:
   SupportChecker(const FactDB &DB, Results &R, std::string &CE)
       : DB(DB), R(R), G(*R.Prov), In(DB), View(DB, R),
-        M(R.Config.MethodDepth), H(R.Config.HeapDepth), CE(CE) {}
+        M(R.Config.MethodDepth), H(R.Config.HeapDepth), CE(CE) {
+    // SHORTCUT certificates ground in the cut plan; recompute it from
+    // the inputs. For any other mode the plan stays empty, so a stray
+    // Shortcut node in the graph fails its grounding check below.
+    if (R.Config.SolveMode == ctx::Mode::CutShortcut)
+      Plan = ctx::buildCutShortcutPlan(DB);
+  }
 
   bool run() {
     for (std::uint32_t N = 0; N < G.size(); ++N)
@@ -246,6 +253,29 @@ private:
       return expectT(N, R.Dom->comp(P[2], R.Dom->inv(C[2]), H, M), K[2]);
     }
 
+    case ProvRule::Shortcut: {
+      FactKey P, C; // actual pts(Z,H,B), call(I,P,C)
+      if (!premise(N, E.Prem0, ProvRel::Pts, P) ||
+          !premise(N, E.Prem1, ProvRel::Call, C))
+        return false;
+      if (E.Aux != C[0])
+        return fail(N, "aux invocation differs from the call premise");
+      bool Grounded = false;
+      for (const auto &[Invoke, Ord] : In.ActualByVar[P[0]])
+        Grounded |= Invoke == C[0] && Plan.hasShortcut(C[1], Ord);
+      if (!Grounded)
+        return fail(N, "no actual/cut-plan entry grounds the edge");
+      const auto &Ys = In.AssignRetByInvoke[C[0]];
+      if (std::find(Ys.begin(), Ys.end(), K[0]) == Ys.end())
+        return fail(N, "no assign_return input fact grounds the edge");
+      if (K[1] != P[1])
+        return fail(N, "conclusion heap does not match the premise");
+      auto Mid = R.Dom->comp(P[2], C[2], H, M);
+      if (!Mid)
+        return fail(N, "recomputed transformation is bottom");
+      return expectT(N, R.Dom->comp(*Mid, R.Dom->inv(C[2]), H, M), K[2]);
+    }
+
     case ProvRule::Throw: {
       FactKey P, C;
       if (!premise(N, E.Prem0, ProvRel::Pts, P) ||
@@ -428,6 +458,7 @@ private:
   const ProvenanceGraph &G;
   InputIndices In;
   DerivedView View;
+  ctx::CutShortcutPlan Plan;
   unsigned M, H;
   std::string &CE;
 };

@@ -42,11 +42,13 @@ facts::FactDB testDB() {
 
 TEST(FallbackTest, DefaultLadderDescendsFromTwoObject) {
   auto L = analysis::defaultLadder(ctx::twoObjectH(Abstraction::ContextString));
-  ASSERT_EQ(L.size(), 4u);
+  ASSERT_EQ(L.size(), 6u);
   EXPECT_EQ(L[0].name(), ctx::twoObjectH(Abstraction::ContextString).name());
   EXPECT_EQ(L[1].name(), ctx::twoTypeH(Abstraction::ContextString).name());
   EXPECT_EQ(L[2].name(), ctx::oneObject(Abstraction::ContextString).name());
-  EXPECT_EQ(L[3].name(), ctx::insensitive(Abstraction::ContextString).name());
+  EXPECT_EQ(L[3].name(), ctx::cutShortcut(Abstraction::ContextString).name());
+  EXPECT_EQ(L[4].name(), ctx::insensitive(Abstraction::ContextString).name());
+  EXPECT_EQ(L[5].name(), ctx::unification(Abstraction::ContextString).name());
 }
 
 TEST(FallbackTest, DefaultLadderKeepsAbstraction) {
@@ -56,22 +58,29 @@ TEST(FallbackTest, DefaultLadderKeepsAbstraction) {
       EXPECT_EQ(Cfg.Abs, A);
 }
 
-TEST(FallbackTest, InsensitiveLadderHasOneRung) {
+TEST(FallbackTest, InsensitiveLadderKeepsUnifySafetyNet) {
   auto L =
       analysis::defaultLadder(ctx::insensitive(Abstraction::ContextString));
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[1].name(), ctx::unification(Abstraction::ContextString).name());
+}
+
+TEST(FallbackTest, UnifyLadderIsTerminal) {
+  auto L =
+      analysis::defaultLadder(ctx::unification(Abstraction::ContextString));
   ASSERT_EQ(L.size(), 1u);
 }
 
 TEST(FallbackTest, MidLadderStartSkipsMorePreciseRungs) {
   auto L = analysis::defaultLadder(ctx::twoTypeH(Abstraction::ContextString));
-  ASSERT_EQ(L.size(), 3u);
+  ASSERT_EQ(L.size(), 5u);
   EXPECT_EQ(L[0].name(), ctx::twoTypeH(Abstraction::ContextString).name());
   EXPECT_EQ(L[1].name(), ctx::oneObject(Abstraction::ContextString).name());
 }
 
 TEST(FallbackTest, UnlistedConfigFallsThroughWholeLadder) {
   auto L = analysis::defaultLadder(ctx::oneCallH(Abstraction::ContextString));
-  ASSERT_EQ(L.size(), 4u);
+  ASSERT_EQ(L.size(), 6u);
   EXPECT_EQ(L[0].name(), ctx::oneCallH(Abstraction::ContextString).name());
   EXPECT_EQ(L[1].name(), ctx::twoTypeH(Abstraction::ContextString).name());
 }
@@ -118,12 +127,77 @@ TEST(FallbackTest, ExhaustedLadderReturnsLowestPartial) {
   Opts.Budget.MaxDerivations = 1; // Trips every rung (halving floors at 1).
   analysis::FallbackOutcome O = analysis::solveWithFallback(
       DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
-  ASSERT_EQ(O.Attempts.size(), 4u);
-  for (const auto &A : O.Attempts)
-    EXPECT_EQ(A.Term, TerminationReason::DerivationCapHit);
-  EXPECT_EQ(O.RungUsed, 3u);
+  // The descent visits every rung in ladder order — down through the
+  // contextless flavours to the unify floor — and each one reports the
+  // budget trip, not convergence.
+  const auto Ladder =
+      analysis::defaultLadder(ctx::twoObjectH(Abstraction::ContextString));
+  ASSERT_EQ(O.Attempts.size(), 6u);
+  for (std::size_t I = 0; I < O.Attempts.size(); ++I) {
+    EXPECT_EQ(O.Attempts[I].Config.name(), Ladder[I].name());
+    EXPECT_EQ(O.Attempts[I].Term, TerminationReason::DerivationCapHit);
+  }
+  EXPECT_EQ(O.RungUsed, 5u);
   EXPECT_TRUE(O.Degraded);
   EXPECT_NE(O.R.Stat.Term, TerminationReason::Converged);
+}
+
+TEST(FallbackTest, TrippedRunDescendsToCutShortcut) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armBudgetTrip(TerminationReason::DeadlineExceeded, 50);
+  analysis::FallbackOptions Opts;
+  Opts.Ladder = {ctx::twoObjectH(Abstraction::ContextString),
+                 ctx::cutShortcut(Abstraction::ContextString)};
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
+  fault::reset();
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::DeadlineExceeded);
+  EXPECT_EQ(O.Attempts[1].Term, TerminationReason::Converged);
+  EXPECT_EQ(O.RungUsed, 1u);
+  EXPECT_EQ(O.R.Config.name(),
+            ctx::cutShortcut(Abstraction::ContextString).name());
+  EXPECT_GT(O.R.Pts.size(), 0u);
+}
+
+TEST(FallbackTest, TrippedRunDescendsToUnify) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armBudgetTrip(TerminationReason::DeadlineExceeded, 50);
+  analysis::FallbackOptions Opts;
+  Opts.Ladder = {ctx::twoObjectH(Abstraction::ContextString),
+                 ctx::unification(Abstraction::ContextString)};
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
+  fault::reset();
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::DeadlineExceeded);
+  EXPECT_EQ(O.Attempts[1].Term, TerminationReason::Converged);
+  EXPECT_EQ(O.RungUsed, 1u);
+  EXPECT_EQ(O.R.Config.name(),
+            ctx::unification(Abstraction::ContextString).name());
+  EXPECT_GT(O.R.Pts.size(), 0u);
+}
+
+TEST(FallbackTest, DatalogLadderRunsContextlessRungsNatively) {
+  // A datalog ladder still bottoms out on the native-only contextless
+  // flavours: a rung with no datalog rule set must not be skipped.
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armBudgetTrip(TerminationReason::DeadlineExceeded, 50);
+  analysis::FallbackOptions Opts;
+  Opts.UseDatalog = true;
+  Opts.Ladder = {ctx::twoObjectH(Abstraction::ContextString),
+                 ctx::unification(Abstraction::ContextString)};
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
+  fault::reset();
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.Attempts[1].Term, TerminationReason::Converged);
+  EXPECT_EQ(O.R.Config.name(),
+            ctx::unification(Abstraction::ContextString).name());
+  EXPECT_GT(O.R.Pts.size(), 0u);
 }
 
 TEST(FallbackTest, DatalogBackendDescendsToo) {

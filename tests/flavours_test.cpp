@@ -1,0 +1,224 @@
+//===- tests/flavours_test.cpp - Contextless flavour semantics ------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// The two contextless rungs below the Figure-6 matrix:
+//  * cutshortcut — cut-plan eligibility on hand-built programs (an
+//    identity forwarder earns a shortcut, a leaking forwarder does not)
+//    and the theory-backed containment cutshortcut ⊆ insensitive.
+//  * unify — the union-find fast path and the view-backed native path
+//    (the one ctp-verify certifies) must agree exactly on the ci
+//    projections; insensitive ⊆ unify; determinism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "analysis/Unify.h"
+#include "ctx/CutShortcut.h"
+#include "facts/Extract.h"
+#include "ir/Builder.h"
+#include "workload/Generator.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+namespace {
+
+template <typename T>
+bool isSubset(const std::vector<T> &A, const std::vector<T> &B) {
+  return std::includes(B.begin(), B.end(), A.begin(), A.end());
+}
+
+facts::FactDB workloadDB(std::uint64_t Seed) {
+  workload::WorkloadParams P;
+  P.DataClasses = 3;
+  P.WrapperChains = 2;
+  P.WrapperDepth = 2;
+  P.Factories = 2;
+  P.Containers = 2;
+  P.PolyBases = 2;
+  P.PolyVariants = 3;
+  P.Drivers = 2;
+  P.Scenarios = 3;
+  P.Seed = Seed;
+  return facts::extract(workload::generate(P));
+}
+
+facts::Id methodByName(const facts::FactDB &DB, const std::string &Part) {
+  for (std::size_t I = 0; I < DB.MethodNames.size(); ++I)
+    if (DB.MethodNames[I].find(Part) != std::string::npos)
+      return static_cast<facts::Id>(I);
+  return facts::InvalidId;
+}
+
+//===----------------------------------------------------------------------===//
+// Cut-plan eligibility.
+//===----------------------------------------------------------------------===//
+
+TEST(CutShortcutPlanTest, IdentityForwarderEarnsShortcut) {
+  ir::Builder B;
+  ir::TypeId Obj = B.addClass("Object");
+  // id(p) { return p; } — the textbook cut edge.
+  ir::MethodId Id = B.addStaticMethod(Obj, "id", 1);
+  B.addReturn(Id, B.formal(Id, 0));
+  ir::MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  ir::VarId X = B.addLocal(Main, "x");
+  ir::VarId Y = B.addLocal(Main, "y");
+  B.addNew(Main, X, Obj, "h0");
+  B.addStaticCall(Main, Id, {X}, Y, "c0");
+
+  facts::FactDB DB = facts::extract(B.take());
+  ctx::CutShortcutPlan Plan = ctx::buildCutShortcutPlan(DB);
+  facts::Id M = methodByName(DB, "id");
+  ASSERT_NE(M, facts::InvalidId);
+  EXPECT_TRUE(Plan.hasShortcut(M, 0));
+  EXPECT_EQ(Plan.numShortcuts(), 1u);
+  // The forwarded return variable is cut in exchange.
+  bool CutSeen = false;
+  for (const auto &F : DB.Returns)
+    if (F.Method == M)
+      CutSeen |= Plan.isCutReturn(M, F.Var);
+  EXPECT_TRUE(CutSeen);
+}
+
+TEST(CutShortcutPlanTest, ForwardingChainEarnsShortcut) {
+  ir::Builder B;
+  ir::TypeId Obj = B.addClass("Object");
+  // id2(p) { q = p; return q; } — forwarding through a local still cuts.
+  ir::MethodId Id2 = B.addStaticMethod(Obj, "id2", 1);
+  ir::VarId Q = B.addLocal(Id2, "q");
+  B.addAssign(Id2, Q, B.formal(Id2, 0));
+  B.addReturn(Id2, Q);
+  ir::MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  ir::VarId X = B.addLocal(Main, "x");
+  ir::VarId Y = B.addLocal(Main, "y");
+  B.addNew(Main, X, Obj, "h0");
+  B.addStaticCall(Main, Id2, {X}, Y, "c0");
+
+  facts::FactDB DB = facts::extract(B.take());
+  ctx::CutShortcutPlan Plan = ctx::buildCutShortcutPlan(DB);
+  facts::Id M = methodByName(DB, "id2");
+  ASSERT_NE(M, facts::InvalidId);
+  EXPECT_TRUE(Plan.hasShortcut(M, 0));
+}
+
+TEST(CutShortcutPlanTest, LeakingForwarderIsIneligible) {
+  ir::Builder B;
+  ir::TypeId Obj = B.addClass("Object");
+  ir::GlobalId G = B.addGlobal("G");
+  // leak(p) { G = p; return p; } — the global store makes the value
+  // observable outside the forwarded chain, so no cut.
+  ir::MethodId Leak = B.addStaticMethod(Obj, "leak", 1);
+  B.addGlobalStore(Leak, G, B.formal(Leak, 0));
+  B.addReturn(Leak, B.formal(Leak, 0));
+  ir::MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  ir::VarId X = B.addLocal(Main, "x");
+  ir::VarId Y = B.addLocal(Main, "y");
+  B.addNew(Main, X, Obj, "h0");
+  B.addStaticCall(Main, Leak, {X}, Y, "c0");
+
+  facts::FactDB DB = facts::extract(B.take());
+  ctx::CutShortcutPlan Plan = ctx::buildCutShortcutPlan(DB);
+  facts::Id M = methodByName(DB, "leak");
+  ASSERT_NE(M, facts::InvalidId);
+  EXPECT_FALSE(Plan.hasShortcut(M, 0));
+  EXPECT_EQ(Plan.numShortcuts(), 0u);
+}
+
+TEST(CutShortcutPlanTest, ShortcutDeliversPreciseAnswer) {
+  // Two call sites through one forwarder: the insensitive analysis mixes
+  // the two returns; the shortcut edges keep them apart.
+  ir::Builder B;
+  ir::TypeId Obj = B.addClass("Object");
+  ir::MethodId Id = B.addStaticMethod(Obj, "id", 1);
+  B.addReturn(Id, B.formal(Id, 0));
+  ir::MethodId Main = B.addStaticMethod(Obj, "main", 0);
+  B.setMain(Main);
+  ir::VarId A = B.addLocal(Main, "a");
+  ir::VarId RA = B.addLocal(Main, "ra");
+  ir::VarId C = B.addLocal(Main, "c");
+  ir::VarId RC = B.addLocal(Main, "rc");
+  B.addNew(Main, A, Obj, "h_a");
+  B.addNew(Main, C, Obj, "h_c");
+  B.addStaticCall(Main, Id, {A}, RA, "c_a");
+  B.addStaticCall(Main, Id, {C}, RC, "c_c");
+  facts::FactDB DB = facts::extract(B.take());
+
+  ctx::Config Cut;
+  ASSERT_TRUE(
+      ctx::configByName("cutshortcut", Abstraction::TransformerString, Cut));
+  ctx::Config Ins = ctx::insensitive(Abstraction::TransformerString);
+  auto CutPts = analysis::solve(DB, Cut).ciPts();
+  auto InsPts = analysis::solve(DB, Ins).ciPts();
+  EXPECT_TRUE(isSubset(CutPts, InsPts));
+  // The precision win is strict here: insensitive conflates ra/rc.
+  EXPECT_LT(CutPts.size(), InsPts.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Containments and path agreement on generated workloads.
+//===----------------------------------------------------------------------===//
+
+struct FlavourSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlavourSweepTest, CutShortcutRefinesInsensitiveRefinesUnify) {
+  facts::FactDB DB = workloadDB(GetParam());
+  ctx::Config Cut, Uni;
+  ASSERT_TRUE(
+      ctx::configByName("cutshortcut", Abstraction::TransformerString, Cut));
+  ASSERT_TRUE(
+      ctx::configByName("unify", Abstraction::TransformerString, Uni));
+  analysis::Results RCut = analysis::solve(DB, Cut);
+  analysis::Results RIns =
+      analysis::solve(DB, ctx::insensitive(Abstraction::TransformerString));
+  analysis::Results RUni = analysis::solve(DB, Uni);
+  EXPECT_TRUE(isSubset(RCut.ciPts(), RIns.ciPts())) << GetParam();
+  EXPECT_TRUE(isSubset(RCut.ciCall(), RIns.ciCall())) << GetParam();
+  EXPECT_TRUE(isSubset(RIns.ciPts(), RUni.ciPts())) << GetParam();
+  EXPECT_TRUE(isSubset(RIns.ciHpts(), RUni.ciHpts())) << GetParam();
+  EXPECT_TRUE(isSubset(RIns.ciCall(), RUni.ciCall())) << GetParam();
+}
+
+TEST_P(FlavourSweepTest, UnifyFastAndViewPathsAgree) {
+  // The union-find fast path and the view-backed native path (the one
+  // ctp-verify certifies with closure/support) must produce the same ci
+  // projections — this differential is the fast path's certificate.
+  facts::FactDB DB = workloadDB(GetParam());
+  ctx::Config Uni;
+  ASSERT_TRUE(
+      ctx::configByName("unify", Abstraction::TransformerString, Uni));
+  analysis::Results Fast = analysis::solve(DB, Uni);
+  analysis::SolverOptions SO;
+  SO.Provenance.Enabled = true; // Routes through the unify-view engine.
+  analysis::Results View = analysis::solve(DB, Uni, SO);
+  EXPECT_EQ(Fast.ciPts(), View.ciPts()) << GetParam();
+  EXPECT_EQ(Fast.ciHpts(), View.ciHpts()) << GetParam();
+  EXPECT_EQ(Fast.ciCall(), View.ciCall()) << GetParam();
+}
+
+TEST_P(FlavourSweepTest, UnifyIsDeterministic) {
+  facts::FactDB DB = workloadDB(GetParam());
+  ctx::Config Uni;
+  ASSERT_TRUE(
+      ctx::configByName("unify", Abstraction::TransformerString, Uni));
+  analysis::Results A = analysis::solve(DB, Uni);
+  analysis::Results B2 = analysis::solve(DB, Uni);
+  EXPECT_EQ(A.ciPts(), B2.ciPts());
+  EXPECT_EQ(A.ciHpts(), B2.ciHpts());
+  EXPECT_EQ(A.ciCall(), B2.ciCall());
+  EXPECT_EQ(A.Stat.NumPts, B2.Stat.NumPts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlavourSweepTest,
+                         ::testing::Values(5u, 17u, 29u, 41u));
+
+} // namespace

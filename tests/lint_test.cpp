@@ -729,6 +729,26 @@ TEST(DidYouMeanTest, SuggestsClosestVocabularyEntry) {
             " (did you mean 'antlr'?)");
 }
 
+TEST(DidYouMeanTest, SuggestsContextlessFlavourNames) {
+  // The contextless rungs are in every tool's --config vocabulary: a
+  // near-miss for either flavour must land on the right name, through
+  // the same closestMatch every tool calls.
+  EXPECT_EQ(support::didYouMean("unifyy", ctx::configNames()),
+            " (did you mean 'unify'?)");
+  EXPECT_EQ(support::didYouMean("unfiy", ctx::configNames()),
+            " (did you mean 'unify'?)");
+  EXPECT_EQ(support::didYouMean("cutshortcu", ctx::configNames()),
+            " (did you mean 'cutshortcut'?)");
+  EXPECT_EQ(support::didYouMean("cut-shortcut", ctx::configNames()),
+            " (did you mean 'cutshortcut'?)");
+  // ctp-genfacts' flag vocabulary (the last tool to gain suggestions).
+  EXPECT_EQ(support::didYouMean("--sede", {"--seed", "--print-program"}),
+            " (did you mean '--seed'?)");
+  EXPECT_EQ(support::didYouMean("--print-prog",
+                                {"--seed", "--print-program"}),
+            " (did you mean '--print-program'?)");
+}
+
 TEST(DidYouMeanTest, StaysQuietWhenNothingIsClose) {
   // Garbage gets no suggestion — a far-fetched guess is worse than none.
   EXPECT_EQ(support::didYouMean("zzzzzzzz", ctx::configNames()), "");

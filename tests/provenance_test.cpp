@@ -116,6 +116,7 @@ PremShape shapeOf(ProvRule R) {
   case ProvRule::Param:
   case ProvRule::Ret:
   case ProvRule::Throw:
+  case ProvRule::Shortcut:
     return {true, true, ProvRel::Pts, ProvRel::Call};
   case ProvRule::VirtCall:
     return {true, false, ProvRel::Pts, ProvRel::Pts};

@@ -12,6 +12,7 @@
 
 #include "analysis/Checkpoint.h"
 #include "analysis/Solver.h"
+#include "analysis/Unify.h"
 #include "facts/Extract.h"
 #include "support/Posix.h"
 #include "support/Verdict.h"
@@ -171,6 +172,159 @@ TEST(VerifyTest, SupportFailsOnSwappedContext) {
   std::string CE;
   EXPECT_FALSE(verify::checkSupport(DB, R, CE));
   EXPECT_NE(CE.find("absent from its relation"), std::string::npos) << CE;
+}
+
+//===----------------------------------------------------------------------===//
+// Contextless flavours: positive certification plus the same seeded
+// corruptions — a dropped tuple, an extra tuple, a bogus shortcut edge.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, CertifiesCutShortcutResult) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg;
+  ASSERT_TRUE(
+      ctx::configByName("cutshortcut", Abstraction::TransformerString, Cfg));
+  analysis::Results R = solveWithProv(DB, Cfg);
+  std::string CE;
+  EXPECT_TRUE(verify::checkClosure(DB, R, verify::ClosureOptions(), CE))
+      << CE;
+  EXPECT_TRUE(verify::checkSupport(DB, R, CE)) << CE;
+}
+
+TEST(VerifyTest, CutShortcutClosureFailsOnDroppedTuple) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg;
+  ASSERT_TRUE(
+      ctx::configByName("cutshortcut", Abstraction::TransformerString, Cfg));
+  analysis::Results R = analysis::solve(DB, Cfg);
+  ASSERT_FALSE(R.Pts.empty());
+  R.Pts.erase(R.Pts.begin() +
+              static_cast<std::ptrdiff_t>(R.Pts.size() / 2));
+  std::string CE;
+  EXPECT_FALSE(verify::checkClosure(DB, R, verify::ClosureOptions(), CE));
+  EXPECT_NE(CE.find("can still derive"), std::string::npos) << CE;
+}
+
+TEST(VerifyTest, CutShortcutSupportFailsOnBogusShortcutEdge) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg;
+  ASSERT_TRUE(
+      ctx::configByName("cutshortcut", Abstraction::TransformerString, Cfg));
+  analysis::Results R = solveWithProv(DB, Cfg);
+  ASSERT_TRUE(R.Prov);
+
+  auto Contains = [&](const analysis::PtsFact &F) {
+    for (const analysis::PtsFact &G : R.Pts)
+      if (G.Var == F.Var && G.Heap == F.Heap && G.T == F.T)
+        return true;
+    return false;
+  };
+  // A SHORTCUT derivation is only well-founded when an actual of the call
+  // premise's invocation sits on a cut-plan shortcut. Forge a conclusion
+  // whose pts premise variable is no actual of that invocation at all:
+  // both premises are genuinely recorded nodes, but nothing grounds the
+  // claimed shortcut edge.
+  std::uint32_t CallNode = analysis::ProvenanceGraph::InvalidNode;
+  analysis::CallFact CF{};
+  for (const analysis::CallFact &C : R.Call)
+    if ((CallNode = R.Prov->lookup(analysis::ProvRel::Call,
+                                   analysis::keyOf(C))) !=
+        analysis::ProvenanceGraph::InvalidNode) {
+      CF = C;
+      break;
+    }
+  ASSERT_NE(CallNode, analysis::ProvenanceGraph::InvalidNode);
+
+  bool Forged = false;
+  for (const analysis::PtsFact &P : R.Pts) {
+    std::uint32_t PtsNode =
+        R.Prov->lookup(analysis::ProvRel::Pts, analysis::keyOf(P));
+    if (PtsNode == analysis::ProvenanceGraph::InvalidNode)
+      continue;
+    bool IsActual = false;
+    for (const auto &A : DB.Actuals)
+      IsActual |= A.Invoke == CF.Invoke && A.Var == P.Var;
+    if (IsActual)
+      continue;
+    analysis::PtsFact Bogus{P.Var == 0 ? 1u : 0u, P.Heap, P.T};
+    if (Contains(Bogus))
+      continue;
+    R.Prov->note(analysis::ProvRel::Pts, analysis::keyOf(Bogus),
+                 analysis::ProvRule::Shortcut, PtsNode, CallNode,
+                 CF.Invoke);
+    R.Pts.push_back(Bogus);
+    Forged = true;
+    break;
+  }
+  ASSERT_TRUE(Forged) << "workload too small to forge a shortcut edge";
+
+  std::string CE;
+  EXPECT_FALSE(verify::checkSupport(DB, R, CE));
+  EXPECT_NE(CE.find("grounds the edge"), std::string::npos) << CE;
+}
+
+TEST(VerifyTest, CertifiesUnifyViewResult) {
+  // The unify flavour certifies its view-backed native run: requesting
+  // provenance routes solve() through the native engine over
+  // unifyView(DB), and the certificates check against that same view.
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg;
+  ASSERT_TRUE(
+      ctx::configByName("unify", Abstraction::TransformerString, Cfg));
+  analysis::Results R = solveWithProv(DB, Cfg);
+  const facts::FactDB View = analysis::unifyView(DB);
+  std::string CE;
+  EXPECT_TRUE(verify::checkClosure(View, R, verify::ClosureOptions(), CE))
+      << CE;
+  EXPECT_TRUE(verify::checkSupport(View, R, CE)) << CE;
+}
+
+TEST(VerifyTest, UnifyClosureFailsOnDroppedTuple) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg;
+  ASSERT_TRUE(
+      ctx::configByName("unify", Abstraction::TransformerString, Cfg));
+  analysis::Results R = solveWithProv(DB, Cfg);
+  const facts::FactDB View = analysis::unifyView(DB);
+  ASSERT_FALSE(R.Pts.empty());
+  R.Pts.erase(R.Pts.begin() +
+              static_cast<std::ptrdiff_t>(R.Pts.size() / 2));
+  std::string CE;
+  EXPECT_FALSE(verify::checkClosure(View, R, verify::ClosureOptions(), CE));
+  EXPECT_NE(CE.find("can still derive"), std::string::npos) << CE;
+}
+
+TEST(VerifyTest, UnifySupportFailsOnExtraTuple) {
+  facts::FactDB DB = testDB();
+  ctx::Config Cfg;
+  ASSERT_TRUE(
+      ctx::configByName("unify", Abstraction::TransformerString, Cfg));
+  analysis::Results R = solveWithProv(DB, Cfg);
+  const facts::FactDB View = analysis::unifyView(DB);
+  ASSERT_FALSE(R.Pts.empty());
+
+  auto Contains = [&](const analysis::PtsFact &F) {
+    for (const analysis::PtsFact &G : R.Pts)
+      if (G.Var == F.Var && G.Heap == F.Heap && G.T == F.T)
+        return true;
+    return false;
+  };
+  analysis::PtsFact Bogus = R.Pts.front();
+  bool Found = false;
+  for (const analysis::PtsFact &Other : R.Pts) {
+    analysis::PtsFact Candidate{Bogus.Var, Other.Heap, Other.T};
+    if (!Contains(Candidate)) {
+      Bogus = Candidate;
+      Found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(Found) << "workload too small to forge an absent tuple";
+  R.Pts.push_back(Bogus);
+
+  std::string CE;
+  EXPECT_FALSE(verify::checkSupport(View, R, CE));
+  EXPECT_NE(CE.find("no recorded derivation"), std::string::npos) << CE;
 }
 
 TEST(VerifyTest, SnapshotRoundTripPassesBothBackends) {

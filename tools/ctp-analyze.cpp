@@ -13,8 +13,8 @@
 //     --preset NAME        use a built-in workload (antlr, bloat, chart,
 //                          eclipse, luindex, pmd, xalan)
 //     --config NAME        1-call | 1-call+H | 1-object | 2-object+H |
-//                          2-type+H | 2-hybrid+H | insensitive
-//                          (default 2-object+H)
+//                          2-type+H | 2-hybrid+H | cutshortcut |
+//                          insensitive | unify (default 2-object+H)
 //     --abstraction A      cs (context strings) | ts (transformer strings;
 //                          default)
 //     --collapse           enable subsumption collapsing (ts only)
@@ -83,7 +83,7 @@ int usage(const char *Prog) {
       "[--resume]\n"
       "  presets: %s\n"
       "  configs: 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H,\n"
-      "           2-hybrid+H, insensitive\n"
+      "           2-hybrid+H, cutshortcut, insensitive, unify\n"
       "  exit codes: 0 converged, 1 error, 2 usage, 3 completed "
       "degraded\n",
       Prog, Presets.c_str());

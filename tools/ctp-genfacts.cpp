@@ -13,6 +13,7 @@
 
 #include "facts/Extract.h"
 #include "facts/TsvIO.h"
+#include "support/Suggest.h"
 #include "workload/Presets.h"
 
 #include <cstdio>
@@ -41,7 +42,9 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[I], "--print-program") == 0) {
       PrintProgram = true;
     } else {
-      std::fprintf(stderr, "error: unknown argument '%s'\n", argv[I]);
+      const std::vector<std::string> Flags = {"--seed", "--print-program"};
+      std::fprintf(stderr, "error: unknown argument '%s'%s\n", argv[I],
+                   support::didYouMean(argv[I], Flags).c_str());
       return 2;
     }
   }
@@ -50,7 +53,8 @@ int main(int argc, char **argv) {
   for (const std::string &N : workload::presetNames())
     Known |= N == Preset;
   if (!Known) {
-    std::fprintf(stderr, "error: unknown preset '%s' (try:", Preset.c_str());
+    std::fprintf(stderr, "error: unknown preset '%s'%s (try:", Preset.c_str(),
+                 support::didYouMean(Preset, workload::presetNames()).c_str());
     for (const std::string &N : workload::presetNames())
       std::fprintf(stderr, " %s", N.c_str());
     std::fprintf(stderr, ")\n");

@@ -68,7 +68,7 @@ int usage(const char *Prog) {
       "          [--snapshot-dir DIR] [--format human|tsv] [--out FILE]\n"
       "  presets: %s\n"
       "  configs: 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H,\n"
-      "           2-hybrid+H, insensitive\n"
+      "           2-hybrid+H, cutshortcut, insensitive, unify\n"
       "  checks:  closure, support, differential, monotonic, oracle,\n"
       "           snapshot, all\n"
       "  exit codes: 0 all checks passed, 1 error, 2 usage, 5 verification "
