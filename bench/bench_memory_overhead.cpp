@@ -1,0 +1,110 @@
+//===- bench/bench_memory_overhead.cpp - Governor metering cost -----------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// What does memory governance cost when nothing is wrong? The governor's
+// hot path is one relaxed atomic load per BudgetMeter poll and per
+// noteBytes charge while disengaged, and a counter bump plus a
+// time-strided /proc/self/statm re-read while engaged. This bench solves
+// the bloat preset (the heaviest built-in workload) three ways —
+// ungoverned, governed with a budget far above the peak (watermarks never
+// approached), and governed with fault-armed polls (the engaged slow path
+// on every single poll) — and reports median-of-3 times so EXPERIMENTS.md
+// can state the metering overhead with a straight face. The modes run
+// interleaved round-robin after a warmup solve, so allocator growth is
+// not billed to whichever mode happens to run first.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+#include "facts/Extract.h"
+#include "support/FaultInjection.h"
+#include "support/Memory.h"
+#include "workload/Presets.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ctp;
+using ctx::Abstraction;
+
+namespace {
+
+constexpr int NumModes = 3;
+constexpr int Rounds = 3;
+const char *const ModeNames[NumModes] = {"ungoverned", "governed (no trips)",
+                                         "fault-armed (no fire)"};
+
+/// Arms mode \p M's governor state; the caller tears down with
+/// fault::reset() + memgov::disable() after the solve.
+void armMode(int M) {
+  switch (M) {
+  case 0: // Disengaged fast path: one relaxed load per poll.
+    break;
+  case 1: // Governed far above the real peak: watermark math every
+          // poll, strided RSS re-reads, no trips.
+    memgov::governMb(32768);
+    break;
+  case 2: // Fault armed with a window that opens far past any realistic
+          // poll count: engagement without a budget keeps every poll on
+          // the slow path — an upper bound on engagement cost.
+    fault::armMemFault(fault::MemFault::SoftPressure, 1u << 30, 1);
+    break;
+  }
+}
+
+double median(double A, double B, double C) {
+  double Lo = std::min(std::min(A, B), C);
+  double Hi = std::max(std::max(A, B), C);
+  return A + B + C - Lo - Hi;
+}
+
+} // namespace
+
+int main() {
+  const char *Preset = "bloat";
+  facts::FactDB DB = facts::extract(workload::generatePreset(Preset));
+  ctx::Config Cfg = ctx::twoObjectH(Abstraction::TransformerString);
+
+  fault::reset();
+  memgov::disable();
+
+  // One untimed warmup: the first solve pays allocator growth and page
+  // faults no mode should be billed for.
+  analysis::Results Baseline = analysis::solve(DB, Cfg, {});
+
+  double Times[NumModes][Rounds] = {};
+  std::size_t Pts[NumModes] = {};
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (int M = 0; M < NumModes; ++M) {
+      armMode(M);
+      analysis::Results R = analysis::solve(DB, Cfg, {});
+      fault::reset();
+      memgov::disable();
+      Times[M][Round] = R.Stat.Seconds;
+      Pts[M] = R.Stat.NumPts;
+    }
+  }
+
+  std::printf("Memory metering overhead on preset '%s', config %s:\n"
+              "peak RSS %llu MB; median of %d interleaved rounds\n\n",
+              Preset, Cfg.name().c_str(),
+              static_cast<unsigned long long>(memgov::peakRssBytes() >> 20),
+              Rounds);
+  std::printf("%-22s %10s %10s\n", "mode", "time", "vs base");
+  const double Base = median(Times[0][0], Times[0][1], Times[0][2]);
+  for (int M = 0; M < NumModes; ++M) {
+    const double T = median(Times[M][0], Times[M][1], Times[M][2]);
+    std::printf("%-22s %8.1fms %+9.1f%%\n", ModeNames[M], T * 1e3,
+                (T / Base - 1.0) * 1e2);
+    if (Pts[M] != Baseline.Stat.NumPts)
+      std::printf("  WARNING: |pts| disagrees with baseline (%zu vs %zu)\n",
+                  Pts[M], Baseline.Stat.NumPts);
+  }
+
+  std::printf("\nthe disengaged fast path is the default for every run\n"
+              "without --mem-budget-mb; CTP_MEM_FAULT arming shows the\n"
+              "worst-case engaged cost (every poll on the slow path).\n");
+  return 0;
+}

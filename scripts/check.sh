@@ -14,7 +14,7 @@
 # gracefully when clang-tidy is not installed).
 #
 # Usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop] [--tsan]
-#                          [--batch] [--serve] [--delta] [--asan]
+#                          [--batch] [--serve] [--delta] [--asan] [--oom]
 #
 # --crashloop additionally runs the out-of-process kill/resume loop
 # (scripts/crashloop.sh) against the fresh build — the same loop ctest
@@ -36,11 +36,22 @@
 #
 # --asan runs a targeted address+undefined matrix in its own build
 # directory (build-asan): the engine-semantics core, the
-# fixpoint-certification suite, and the contextless-flavour suite
-# (ctest -L 'core|verify|flavours' — the unify union-find's pointer
-# juggling included), so the slow memory-error hunt concentrates on the
+# fixpoint-certification suite, the contextless-flavour suite, and the
+# memory-governor suite (ctest -L 'core|verify|flavours|memory' — the
+# unify union-find's pointer juggling and the governor's new-handler
+# paths included), so the slow memory-error hunt concentrates on the
 # solver paths the verifier exercises hardest. Independent of the
 # default full-asan pass, which --no-sanitize turns off.
+#
+# --oom additionally runs the memory-governance drills: the governor
+# unit suite (ctest -L memory), a CTP_MEM_FAULT simulated-pressure smoke
+# through the real ctp-analyze binary (exit 3, MemoryBudget on rung 0),
+# and the RLIMIT_AS drill (scripts/crashloop.sh --oom) proving the
+# governed binary degrades with byte-identical certified results where
+# the ungoverned one SIGABRTs. The rlimit drill only runs against the
+# normal build; sanitizer builds cover the governor through the
+# simulation paths (ASan's address-space reservations are incompatible
+# with a meaningful RLIMIT_AS).
 #
 # --tsan additionally builds with ThreadSanitizer (-DCTP_SANITIZE=thread)
 # and smokes the concurrency-adjacent suites under it: the resource
@@ -66,6 +77,7 @@ BATCH=0
 SERVE=0
 DELTA=0
 ASAN=0
+OOM=0
 for ARG in "$@"; do
   case "$ARG" in
     --no-sanitize) SANITIZE=0 ;;
@@ -76,9 +88,10 @@ for ARG in "$@"; do
     --serve) SERVE=1 ;;
     --delta) DELTA=1 ;;
     --asan) ASAN=1 ;;
+    --oom) OOM=1 ;;
     *)
       echo "usage: scripts/check.sh [--no-sanitize] [--tidy] [--crashloop]" \
-           "[--tsan] [--batch] [--serve] [--delta] [--asan]" >&2
+           "[--tsan] [--batch] [--serve] [--delta] [--asan] [--oom]" >&2
       exit 2
       ;;
   esac
@@ -130,6 +143,50 @@ if [[ "$DELTA" == 1 ]]; then
   ctest --test-dir build -j"$(nproc)" -L incremental --output-on-failure
 fi
 
+if [[ "$OOM" == 1 ]]; then
+  echo "== memory-governor unit suite (ctest -L memory) =="
+  ctest --test-dir build -j"$(nproc)" -L memory --output-on-failure
+  echo "== simulated-pressure smoke (CTP_MEM_FAULT) =="
+  # Sustained simulated pressure must degrade the precise run to exit 3
+  # with a MemoryBudget trip on rung 0 — no rlimit involved, so this
+  # same smoke is safe under any sanitizer build.
+  SMOKE_OUT="$(mktemp "${TMPDIR:-/tmp}/ctp_memfault.XXXXXX")"
+  set +e
+  CTP_MEM_FAULT='soft@50x1073741824' build/tools/ctp-analyze \
+    --preset antlr --config 2-object+H --fallback > "$SMOKE_OUT" 2>&1
+  CODE=$?
+  set -e
+  if [[ "$CODE" -ne 3 ]] || ! grep -q MemoryBudget "$SMOKE_OUT"; then
+    echo "FAIL: CTP_MEM_FAULT smoke exited $CODE without a MemoryBudget" \
+         "trip" >&2
+    cat "$SMOKE_OUT" >&2
+    exit 1
+  fi
+  rm -f "$SMOKE_OUT"
+  echo "== supervised batch under sustained memory faults =="
+  # Children inherit CTP_MEM_FAULT; the supervisor's retry ladder must
+  # ride the MemoryBudget trips down to a degraded row instead of
+  # triaging rlimit-mem or failing the job.
+  WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_oom_batch.XXXXXX")"
+  set +e
+  CTP_MEM_FAULT='soft@2000x1073741824' build/tools/ctp-batch \
+    --work "$WORK" --presets antlr --configs 2-object+H \
+    --analyze build/tools/ctp-analyze --mem-limit-mb 512 \
+    > "$WORK/out.txt" 2>&1
+  CODE=$?
+  set -e
+  if [[ "$CODE" -ne 3 ]] || ! grep -q "completed-degraded" "$WORK/out.txt"; then
+    echo "FAIL: memory-faulted batch exited $CODE without a degraded" \
+         "row" >&2
+    cat "$WORK/out.txt" >&2
+    exit 1
+  fi
+  rm -rf "$WORK"
+  echo "== RLIMIT_AS drill (crashloop.sh --oom) =="
+  CTP_ANALYZE=build/tools/ctp-analyze CTP_VERIFY=build/tools/ctp-verify \
+    scripts/crashloop.sh --oom
+fi
+
 if [[ "$TIDY" == 1 ]]; then
   echo "== clang-tidy =="
   scripts/tidy.sh build
@@ -141,9 +198,9 @@ if [[ "$TSAN" == 1 ]]; then
   cmake --build build-tsan -j"$(nproc)" \
     --target governor_test snapshot_test resume_test supervisor_test \
              serve_test verify_test incremental_test flavours_test \
-             ctp-crashkid ctp-analyze ctp-batch
+             memory_test ctp-crashkid ctp-analyze ctp-batch
   ctest --test-dir build-tsan -j"$(nproc)" \
-    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test|verify_test|incremental_test|flavours_test)$' \
+    -R '^(governor_test|snapshot_test|resume_test|supervisor_test|serve_test|verify_test|incremental_test|flavours_test|memory_test)$' \
     --output-on-failure
   echo "== ThreadSanitizer supervised chaos run =="
   WORK="$(mktemp -d "${TMPDIR:-/tmp}/ctp_tsan_batch.XXXXXX")"
@@ -155,10 +212,10 @@ if [[ "$TSAN" == 1 ]]; then
 fi
 
 if [[ "$ASAN" == 1 ]]; then
-  echo "== targeted ASan+UBSan matrix (ctest -L 'core|verify|flavours') =="
+  echo "== targeted ASan+UBSan matrix (ctest -L 'core|verify|flavours|memory') =="
   cmake -B build-asan -S . -DCTP_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j"$(nproc)"
-  ctest --test-dir build-asan -j"$(nproc)" -L 'core|verify|flavours' \
+  ctest --test-dir build-asan -j"$(nproc)" -L 'core|verify|flavours|memory' \
     --output-on-failure
 fi
 

@@ -19,13 +19,15 @@
 #
 # Usage: scripts/crashloop.sh [--preset NAME] [--config NAME]
 #                             [--budget N] [--max-iters N]
-#                             [--batch | --serve | --delta]
+#                             [--batch | --serve | --delta | --oom]
 # Env:   CTP_ANALYZE  path to the ctp-analyze binary
 #                     (default: build/tools/ctp-analyze next to this repo)
 #        CTP_BATCH    path to ctp-batch (--batch mode only; default
 #                     build/tools/ctp-batch)
 #        CTP_SERVE    path to ctp-serve (--serve mode only; default
 #                     build/tools/ctp-serve)
+#        CTP_VERIFY   path to ctp-verify (--oom mode only; default
+#                     build/tools/ctp-verify)
 #
 # --batch runs the supervised variant instead: a ctp-batch --chaos matrix
 # (3 presets x 2 configs, seeded SIGKILL injection) must terminate with a
@@ -55,6 +57,18 @@
 # directory, which ctp-verify must also certify. A client abort must
 # leave answers byte-identical too.
 #
+# --oom is the memory-governor drill. It probes a descending RLIMIT_AS
+# ladder for a limit under which the *ungoverned* precise run dies on
+# bad_alloc (the negative control — the pre-governor failure mode), then
+# re-runs under the same limit with a cooperative --mem-budget-mb at
+# ~85% of it plus --fallback: the governed run must degrade down the
+# ladder to exit 3 instead of dying, its rung-0 attempt must name
+# MemoryBudget, and the TSV results it writes must be byte-identical to
+# an unconstrained cold solve of the configuration it landed on, which
+# ctp-verify must also certify. Sanitizer builds must NOT run this mode
+# (ASan reserves vast address space); they smoke the governor with
+# CTP_MEM_FAULT simulation instead (scripts/check.sh does both).
+#
 #===----------------------------------------------------------------------===#
 
 set -euo pipefail
@@ -67,6 +81,7 @@ MAX_ITERS=40
 BATCH=0
 SERVE=0
 DELTA=0
+OOM=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --preset) PRESET="$2"; shift 2 ;;
@@ -76,9 +91,11 @@ while [[ $# -gt 0 ]]; do
     --batch) BATCH=1; shift ;;
     --serve) SERVE=1; shift ;;
     --delta) DELTA=1; shift ;;
+    --oom) OOM=1; shift ;;
     *)
       echo "usage: scripts/crashloop.sh [--preset NAME] [--config NAME]" \
-           "[--budget N] [--max-iters N] [--batch | --serve | --delta]" >&2
+           "[--budget N] [--max-iters N]" \
+           "[--batch | --serve | --delta | --oom]" >&2
       exit 2
       ;;
   esac
@@ -450,6 +467,97 @@ if [[ ! -x "$ANALYZE" ]]; then
   echo "error: ctp-analyze not found at '$ANALYZE' (build first or set" \
        "CTP_ANALYZE)" >&2
   exit 1
+fi
+
+if [[ "$OOM" -eq 1 ]]; then
+  VERIFY_BIN="${CTP_VERIFY:-build/tools/ctp-verify}"
+  if [[ ! -x "$VERIFY_BIN" ]]; then
+    echo "error: ctp-verify not found at '$VERIFY_BIN' (build first or" \
+         "set CTP_VERIFY)" >&2
+    exit 1
+  fi
+  # bloat/2-object+H peaks around ~27 MB RSS here, so a KB-granular
+  # RLIMIT_AS ladder can bracket it; presets that converge in a few MB
+  # would need limits below the runtime's own floor.
+  OPRESET=bloat
+  OCONFIG=2-object+H
+
+  die() {
+    echo "FAIL: $1" >&2
+    shift
+    for F in "$@"; do cat "$F" >&2 2>/dev/null || true; done
+    exit 1
+  }
+
+  echo "== oom 1: probe a limit that kills the ungoverned run =="
+  # The exact lethal limit shifts with allocator and libc versions, so
+  # probe a descending ladder instead of hard-coding one value.
+  LIMIT_KB=""
+  for CAND in 36000 33000 30000 27000 24000; do
+    set +e
+    ( ulimit -v "$CAND" && exec "$ANALYZE" --preset "$OPRESET" \
+        --config "$OCONFIG" ) \
+      > "$WORK/ungov.txt" 2> "$WORK/ungov.err"
+    CODE=$?
+    set -e
+    if [[ "$CODE" -ne 0 && "$CODE" -ne 3 ]]; then
+      LIMIT_KB="$CAND"
+      echo "   ulimit -v $CAND KB: ungoverned run died, exit $CODE" \
+           "(the pre-governor failure mode)"
+      break
+    fi
+    echo "   ulimit -v $CAND KB: survived (exit $CODE), tightening"
+  done
+  [[ -n "$LIMIT_KB" ]] \
+    || die "no probed limit killed the ungoverned run; widen the ladder"
+
+  # ~85% of the rlimit, the same derivation ctp-batch --mem-limit-mb and
+  # the supervisor's rlimit-mem retries use for the cooperative budget.
+  BUDGET_MB=$(( LIMIT_KB * 85 / 100 / 1024 ))
+  [[ "$BUDGET_MB" -ge 1 ]] || BUDGET_MB=1
+
+  echo "== oom 2: governed run under the same limit must degrade =="
+  GOV_OUT="$WORK/gov_out"
+  mkdir -p "$GOV_OUT"
+  set +e
+  ( ulimit -v "$LIMIT_KB" && exec "$ANALYZE" --preset "$OPRESET" \
+      --config "$OCONFIG" --mem-budget-mb "$BUDGET_MB" --fallback \
+      --out "$GOV_OUT" ) \
+    > "$WORK/gov.txt" 2> "$WORK/gov.err"
+  CODE=$?
+  set -e
+  [[ "$CODE" -eq 3 ]] \
+    || die "governed run exited $CODE, want 3 (degraded)" \
+           "$WORK/gov.txt" "$WORK/gov.err"
+  grep -q "MemoryBudget" "$WORK/gov.txt" \
+    || die "no rung reported a MemoryBudget trip" "$WORK/gov.txt"
+  RUNG_CFG="$(awk '/<- answered/ { print $3 }' "$WORK/gov.txt")"
+  RUNG_CFG="${RUNG_CFG%%(*}" # "2-type+H(ts)" -> the --config spelling.
+  [[ -n "$RUNG_CFG" ]] \
+    || die "could not parse the answered rung" "$WORK/gov.txt"
+  echo "   exit 3 with --mem-budget-mb $BUDGET_MB," \
+       "landed on $RUNG_CFG"
+
+  echo "== oom 3: results must match an unconstrained cold solve =="
+  COLD_OUT="$WORK/cold_out"
+  mkdir -p "$COLD_OUT"
+  "$ANALYZE" --preset "$OPRESET" --config "$RUNG_CFG" --out "$COLD_OUT" \
+    > "$WORK/cold.txt" \
+    || die "cold solve at $RUNG_CFG failed" "$WORK/cold.txt"
+  diff -r "$GOV_OUT" "$COLD_OUT" > "$WORK/oomdiff.txt" \
+    || { cat "$WORK/oomdiff.txt" >&2
+         die "governed results differ from the cold solve at $RUNG_CFG"; }
+  echo "   byte-identical TSVs at $RUNG_CFG"
+
+  echo "== oom 4: ctp-verify must certify the landed configuration =="
+  "$VERIFY_BIN" --preset "$OPRESET" --config "$RUNG_CFG" \
+    --backend native --snapshot-dir "$WORK/oom_snap" \
+    > "$WORK/oomverify.txt" 2>&1 \
+    || die "ctp-verify rejected $RUNG_CFG" "$WORK/oomverify.txt"
+
+  echo "== oom drill passed: ungoverned dies at $LIMIT_KB KB, governed" \
+       "degrades to certified byte-identical results =="
+  exit 0
 fi
 
 if [[ "$BATCH" -eq 1 ]]; then

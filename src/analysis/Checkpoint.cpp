@@ -197,7 +197,7 @@ std::string readSnapshot(const std::string &Path, SolverSnapshot &S) {
   if (S.SubsumedWords.size() % 3 != 0)
     return "snapshot section 'subsumed' is not a whole number of tuples";
 
-  if (F.T.Term > static_cast<std::uint32_t>(TerminationReason::Cancelled))
+  if (F.T.Term > static_cast<std::uint32_t>(TerminationReason::MemoryBudget))
     return "snapshot trailer has unknown termination reason";
   S.Term = static_cast<TerminationReason>(F.T.Term);
   S.Progress.Iterations = static_cast<std::size_t>(F.T.Iterations);

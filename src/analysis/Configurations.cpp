@@ -185,15 +185,22 @@ analysis::solveWithFallback(const facts::FactDB &DB,
                           R.Stat.Progress.Derivations});
     const bool Exhausted = R.Stat.Term != TerminationReason::Converged;
     if (Ckpt && Exhausted) {
-      // Resume-over-degrade: the trip-time snapshot lets a re-invocation
-      // continue the precise run, so don't spend budget on lower rungs.
       O.SnapshotSaved =
           std::ifstream(checkpointPath(Opts.Checkpoint.Dir),
                         std::ios::binary)
               .is_open();
-      O.R = std::move(R);
-      O.RungUsed = Rung;
-      break;
+      // Resume-over-degrade: the trip-time snapshot lets a re-invocation
+      // continue the precise run, so don't spend budget on lower rungs —
+      // except on a memory trip, where resuming at this rung would just
+      // rebuild the same working set into the same wall. Keep the
+      // snapshot (a later, bigger machine can still resume it) but
+      // descend now: each rung's meter re-arms the governor with fresh
+      // RSS-floored watermarks, so the descent makes progress.
+      if (R.Stat.Term != TerminationReason::MemoryBudget) {
+        O.R = std::move(R);
+        O.RungUsed = Rung;
+        break;
+      }
     }
     if (!Exhausted || Rung + 1 == Ladder.size()) {
       O.R = std::move(R);

@@ -36,6 +36,7 @@
 #include "ctx/Domain.h"
 #include "facts/FactDB.h"
 #include "support/Interner.h"
+#include "support/Memory.h"
 
 #include <cstdint>
 #include <string>
@@ -102,6 +103,10 @@ public:
     if (!Inserted)
       return; // Already recorded (first derivation wins).
     Nodes.push_back({Rel, K, {Rule, Prem0, Prem1, Aux}});
+    // The recorder is a big owner too: charge the memory governor one
+    // node plus its index entry (approximate; see support/Memory.h).
+    memgov::noteBytes(
+        static_cast<std::int64_t>(sizeof(Nodes.back()) + 48));
   }
 
   /// Imports a node verbatim from another graph (the incremental solver

@@ -16,6 +16,7 @@
 #include "serve/Delta.h"
 #include "serve/Txn.h"
 #include "support/FaultInjection.h"
+#include "support/Memory.h"
 #include "support/Posix.h"
 #include "support/Suggest.h"
 #include "verify/Verify.h"
@@ -139,7 +140,7 @@ std::string Service::init() {
     JournalFile = journalPath(Opts.CheckpointDir);
   }
 
-  const std::vector<ctx::Config> Ladder = analysis::defaultLadder(Cfg);
+  Ladder = analysis::defaultLadder(Cfg);
 
   // Two attempts: a replayed journal state that fails its startup
   // certification is discarded (journal renamed aside) and the daemon
@@ -483,7 +484,13 @@ Response Service::answerStats(const Request &Q) {
            " served=" + std::to_string(Served.load()) +
            " shed=" + std::to_string(Shed.load()) +
            " inflight=" + std::to_string(InFlight.load()) +
-           " queue_cap=" + std::to_string(Opts.QueueCap);
+           " queue_cap=" + std::to_string(Opts.QueueCap) +
+           " mem_peak_mb=" + std::to_string(memgov::peakRssBytes() >> 20) +
+           " mem_state=" + memgov::pressureName(memgov::state()) +
+           " mem_soft_trips=" + std::to_string(memgov::softTrips()) +
+           " mem_hard_trips=" + std::to_string(memgov::hardTrips()) +
+           " mem_shed=" + std::to_string(MemShed.load()) +
+           " mem_degrades=" + std::to_string(MemDegrades.load());
   return R;
 }
 
@@ -844,6 +851,88 @@ Response Service::answer(const Request &Q) {
 }
 
 //===----------------------------------------------------------------------===//
+// Memory pressure.
+//===----------------------------------------------------------------------===//
+
+void Service::relieveMemoryPressure() {
+  const memgov::Pressure P = memgov::poll();
+  if (P == memgov::Pressure::Ok) {
+    MemSoftStreak = 0;
+    return;
+  }
+  // One soft blip is noise (an RSS read racing a transient allocation);
+  // act only on a sustained streak. Hard pressure acts immediately.
+  if (P == memgov::Pressure::Soft && ++MemSoftStreak < 3)
+    return;
+  MemSoftStreak = 0;
+  if (Mode == ServeMode::CflOnly)
+    return; // Nothing resident left to shed.
+
+  // No commit may run mid-relief: commitTxn reads DB outside StateLock
+  // (under TxnMutex), and so does the re-solve below.
+  std::lock_guard<std::mutex> TLock(TxnMutex);
+  MemDegrades.fetch_add(1, std::memory_order_relaxed);
+
+  // Drop the big owners first — the resident result, the alias oracle,
+  // the taint summary — and serve demand-driven while anything below
+  // runs: CFL answers stay sound, so degradation never trades
+  // correctness for footprint.
+  const std::size_t From = ServingRung + 1;
+  {
+    std::unique_lock<std::shared_mutex> Lock(StateLock);
+    Hot.reset();
+    Oracle.reset();
+    Taint.reset();
+    Mode = ServeMode::CflOnly;
+    ModeTag = "cfl";
+    WarmStart = false;
+  }
+
+  if (P == memgov::Pressure::Hard || From >= Ladder.size()) {
+    // Hard pressure (or a ladder already at the bottom): stay CflOnly.
+    // Re-arming floors the watermarks at the now-smaller footprint and
+    // clears a sticky new-handler trip, so pressure can read Ok again
+    // once the freed pool absorbs the demand engine's working set.
+    memgov::governMb(Opts.StartupBudget.MemBudgetMb);
+    note(std::string("memory pressure (") + memgov::pressureName(P) +
+         "): dropped resident caches; serving demand-driven only");
+    return;
+  }
+
+  // Sustained soft pressure with rungs left: re-solve a cheaper cell.
+  // Each rung's meter re-arms the governor with its halved budget, so
+  // the descent gets guaranteed headroom (see support/Memory.h).
+  for (std::size_t Rung = From; Rung < Ladder.size(); ++Rung) {
+    analysis::SolverOptions SO;
+    SO.CollapseSubsumedPts = Opts.Collapse;
+    SO.Budget = Opts.StartupBudget.scaledForRung(Rung);
+    SO.Provenance.Enabled = !Opts.CheckpointDir.empty() && !Opts.Collapse;
+    analysis::Results R = analysis::solve(DB, Ladder[Rung], SO);
+    if (R.Stat.Term != TerminationReason::Converged) {
+      note("memory pressure: " + Ladder[Rung].name() + " exhausted (" +
+           terminationReasonName(R.Stat.Term) + "); " +
+           (Rung + 1 < Ladder.size() ? "descending further"
+                                     : "serving demand-driven only"));
+      continue;
+    }
+    {
+      std::unique_lock<std::shared_mutex> Lock(StateLock);
+      Mode = ServeMode::HotRung;
+      ModeTag = "hot-rung" + std::to_string(Rung);
+      Hot.reset(new analysis::Results(std::move(R)));
+      Oracle.reset(new clients::AliasOracle(*Hot));
+      Taint.reset(new clients::TaintInfo(clients::computeTaint(DB, *Hot)));
+      ServingCfg = Ladder[Rung];
+      ServingRung = Rung;
+    }
+    note("memory pressure: descended to " + Ladder[Rung].name() + " (" +
+         ModeTag + ")");
+    return;
+  }
+  memgov::governMb(Opts.StartupBudget.MemBudgetMb);
+}
+
+//===----------------------------------------------------------------------===//
 // The serving loop.
 //===----------------------------------------------------------------------===//
 
@@ -907,6 +996,7 @@ int Service::serve(const std::string &SocketPath) {
       break;
     }
     heartbeat::tick();
+    relieveMemoryPressure();
     struct pollfd Pfd;
     Pfd.fd = ListenFd;
     Pfd.events = POLLIN;
@@ -949,8 +1039,14 @@ int Service::serve(const std::string &SocketPath) {
                     Epoch.load(std::memory_order_relaxed)});
           continue;
         }
+        // Hard memory pressure sheds at admission like a full queue:
+        // queueing work the process has no room to answer only deepens
+        // the hole, and an explicit OVERLOADED keeps the client's
+        // retry/backoff logic in charge.
+        const bool MemShedding =
+            memgov::state() == memgov::Pressure::Hard;
         bool Admitted = false;
-        {
+        if (!MemShedding) {
           std::lock_guard<std::mutex> Lock(M->QueueMutex);
           if (M->Queue.size() < Opts.QueueCap &&
               !Stop.load(std::memory_order_relaxed)) {
@@ -962,8 +1058,10 @@ int Service::serve(const std::string &SocketPath) {
           InFlight.fetch_add(1, std::memory_order_relaxed);
           M->QueueCv.notify_one();
         } else {
-          Shed.fetch_add(1, std::memory_order_relaxed);
-          C->reply({Q.Id, StatusOverloaded, "-", "admission queue full",
+          (MemShedding ? MemShed : Shed)
+              .fetch_add(1, std::memory_order_relaxed);
+          C->reply({Q.Id, StatusOverloaded, "-",
+                    MemShedding ? "memory pressure" : "admission queue full",
                     Epoch.load(std::memory_order_relaxed)});
         }
       }

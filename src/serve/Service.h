@@ -43,6 +43,21 @@
 /// load explicitly while the accept loop keeps beating the heartbeat
 /// file (the PR-5 liveness protocol) for the supervising process.
 ///
+/// Memory pressure: with a budget armed (--mem-budget-mb, or a
+/// CTP_MEM_FAULT drill), the accept loop polls the process memory
+/// governor (support/Memory.h) every tick and stages its response to
+/// pressure. A sustained soft-watermark streak drops the resident
+/// result, oracle, and taint caches — the big owners — and re-solves a
+/// cheaper ladder rung, answering demand-driven (sound) in the interim;
+/// hard pressure or a ladder that is already at the bottom falls
+/// straight to CflOnly and re-floors the watermarks over the shrunken
+/// footprint. While pressure reads Hard, readers shed new admissions
+/// with OVERLOADED rather than queueing work the process has no room
+/// to answer. The daemon thus degrades in place instead of being
+/// SIGKILLed by the kernel or SIGABRTed by a failed allocation — zero
+/// watchdog kills under a sustained pressure burst is the contract
+/// serve_test's burst drill asserts.
+///
 /// Transactions: with a checkpoint directory configured the service
 /// accepts the begin/delta/commit/abort/txstat verbs, journalling every
 /// step through serve/Txn.h before acting on it. A commit re-solves the
@@ -181,6 +196,11 @@ private:
                     const char *Status);
   bool lookupVar(const std::string &Name, std::uint32_t &Id) const;
   bool lookupHeap(const std::string &Name, std::uint32_t &Id) const;
+  /// The accept loop's per-tick memory-pressure check: counts soft
+  /// streaks, and on sustained soft (or any hard) pressure drops the
+  /// resident caches and descends the ladder / falls to CflOnly. Runs
+  /// on the accept thread; swaps state under the exclusive StateLock.
+  void relieveMemoryPressure();
 
   ServiceOptions Opts;
   /// The served fact base. Swapped in place (move-assigned) by a commit
@@ -216,10 +236,20 @@ private:
   /// re-solves the same cell.
   ctx::Config ServingCfg;
   std::size_t ServingRung = 0;
+  /// The degradation ladder of the configured rung-0 cell, kept so the
+  /// pressure response can descend it after startup.
+  std::vector<ctx::Config> Ladder;
+  /// Consecutive accept-loop ticks that observed soft pressure; one
+  /// blip is noise, a streak triggers the descent. Accept-thread only.
+  unsigned MemSoftStreak = 0;
 
   std::atomic<bool> Stop{false};
   std::atomic<std::uint64_t> Served{0};
   std::atomic<std::uint64_t> Shed{0};
+  /// Admissions shed because pressure read Hard (distinct from queue
+  /// overflow), and cache-dropping descents the pressure loop ran.
+  std::atomic<std::uint64_t> MemShed{0};
+  std::atomic<std::uint64_t> MemDegrades{0};
   std::atomic<std::int64_t> InFlight{0};
   std::unique_ptr<Impl> M;
 };

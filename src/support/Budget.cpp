@@ -8,6 +8,7 @@
 #include "support/Budget.h"
 
 #include "support/FaultInjection.h"
+#include "support/Memory.h"
 
 #include <chrono>
 #include <cstdio>
@@ -147,6 +148,8 @@ const char *ctp::terminationReasonName(TerminationReason R) {
     return "MemoryCapHit";
   case TerminationReason::Cancelled:
     return "Cancelled";
+  case TerminationReason::MemoryBudget:
+    return "MemoryBudget";
   }
   return "Unknown";
 }
@@ -162,12 +165,18 @@ BudgetSpec BudgetSpec::scaledForRung(std::size_t Rung) const {
   S.DeadlineMs = Halve(DeadlineMs);
   S.MaxDerivations = Halve(MaxDerivations);
   S.MaxTuples = Halve(MaxTuples);
+  S.MemBudgetMb = Halve(MemBudgetMb);
   return S;
 }
 
 // A meter built from an explicit spec always polls it: even with every
 // numeric limit at 0 the cancellation token must still be honoured.
-BudgetMeter::BudgetMeter(const BudgetSpec &S) : Spec(S), Limited(true) {}
+// A memory budget arms (or, per degradation-ladder rung, re-arms) the
+// process-wide governor: re-arming refloors the watermarks at current
+// RSS so a descent always has headroom to make progress.
+BudgetMeter::BudgetMeter(const BudgetSpec &S) : Spec(S), Limited(true) {
+  memgov::governMb(S.MemBudgetMb);
+}
 
 std::optional<TerminationReason> BudgetMeter::poll() {
   // Liveness first: even an already-tripped or unlimited meter keeps the
@@ -178,6 +187,11 @@ std::optional<TerminationReason> BudgetMeter::poll() {
   if (fault::active())
     if (auto Forced = fault::onBudgetPoll())
       return Tripped = Forced;
+  // Memory pressure is process-wide, so even an "unlimited" meter (a
+  // per-query meter in a governed service, say) must honour it: any
+  // pressure maps to MemoryBudget and the engine stops at a safe point.
+  if (memgov::poll() != memgov::Pressure::Ok)
+    return Tripped = TerminationReason::MemoryBudget;
   if (!Limited)
     return std::nullopt;
   if (Spec.MaxDerivations != 0 && Derivations >= Spec.MaxDerivations)

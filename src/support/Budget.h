@@ -26,6 +26,7 @@
 #ifndef CTP_SUPPORT_BUDGET_H
 #define CTP_SUPPORT_BUDGET_H
 
+#include "support/Memory.h"
 #include "support/Stats.h"
 
 #include <atomic>
@@ -94,6 +95,7 @@ enum class TerminationReason : std::uint8_t {
   DerivationCapHit, ///< The rule-firing cap was reached.
   MemoryCapHit,     ///< The derived-tuple (approximate memory) cap was hit.
   Cancelled,        ///< The cancellation token was signalled.
+  MemoryBudget,     ///< The process memory governor reported pressure.
 };
 
 const char *terminationReasonName(TerminationReason R);
@@ -134,12 +136,17 @@ struct BudgetSpec {
   std::uint64_t MaxDerivations = 0;
   /// Approximate memory cap: total derived tuples across all relations.
   std::uint64_t MaxTuples = 0;
+  /// RSS budget in MiB enforced by the process memory governor
+  /// (support/Memory.h). Constructing a meter from a spec with a
+  /// non-zero value arms (or re-arms) the governor; polls then map
+  /// watermark pressure to TerminationReason::MemoryBudget.
+  std::uint64_t MemBudgetMb = 0;
   /// Cooperative cancellation; checked alongside the deadline.
   CancelToken Cancel;
 
   bool unlimited() const {
     return DeadlineMs == 0 && MaxDerivations == 0 && MaxTuples == 0 &&
-           !Cancel.cancelled();
+           MemBudgetMb == 0 && !Cancel.cancelled();
   }
 
   /// The budget of degradation-ladder rung \p Rung: every limit halved
@@ -159,7 +166,15 @@ public:
   explicit BudgetMeter(const BudgetSpec &S);
 
   void chargeDerivations(std::uint64_t N = 1) { Derivations += N; }
-  void chargeTuple() { ++Tuples; }
+
+  /// Every successful relation insert (both back-ends) charges here, so
+  /// this doubles as the memory governor's counting hook on the big
+  /// owners: a stored tuple costs roughly a hash node plus the key.
+  /// Inert (one relaxed load) unless the governor is engaged.
+  void chargeTuple() {
+    ++Tuples;
+    memgov::noteBytes(48);
+  }
 
   /// Polls for exhaustion. \returns the termination reason once the
   /// budget is exhausted (sticky: every later poll returns the same

@@ -7,6 +7,8 @@
 
 #include "support/FaultInjection.h"
 
+#include "support/Memory.h"
+
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -28,6 +30,13 @@ std::atomic<int> TripReason{-1};
 std::atomic<int> SnapFault{-1};
 std::atomic<bool> SnapSticky{false};
 
+// Memory fault: -1 = disarmed, else a MemFault value, firing on memgov
+// polls [MemAfter, MemAfter + MemRepeat).
+std::atomic<int> MemKind{-1};
+std::atomic<std::uint64_t> MemPollCount{0};
+std::atomic<std::uint64_t> MemAfter{0};
+std::atomic<std::uint64_t> MemRepeat{0};
+
 } // namespace
 
 bool fault::active() { return Active.load(std::memory_order_relaxed); }
@@ -39,6 +48,11 @@ void fault::reset() {
   TripReason.store(-1, std::memory_order_relaxed);
   SnapFault.store(-1, std::memory_order_relaxed);
   SnapSticky.store(false, std::memory_order_relaxed);
+  MemKind.store(-1, std::memory_order_relaxed);
+  MemPollCount.store(0, std::memory_order_relaxed);
+  MemAfter.store(0, std::memory_order_relaxed);
+  MemRepeat.store(0, std::memory_order_relaxed);
+  memgov::noteFaultArmed(false);
 }
 
 void fault::armBudgetTrip(TerminationReason R, std::uint64_t AfterPolls) {
@@ -63,6 +77,75 @@ std::optional<TerminationReason> fault::onBudgetPoll() {
   TripReason.store(-1, std::memory_order_relaxed);
   Active.store(false, std::memory_order_relaxed);
   return static_cast<TerminationReason>(Reason);
+}
+
+void fault::armMemFault(MemFault F, std::uint64_t AfterPolls,
+                        std::uint64_t Repeat) {
+  MemPollCount.store(0, std::memory_order_relaxed);
+  MemAfter.store(AfterPolls, std::memory_order_relaxed);
+  MemRepeat.store(Repeat == 0 ? 1 : Repeat, std::memory_order_relaxed);
+  MemKind.store(static_cast<int>(F), std::memory_order_relaxed);
+  memgov::noteFaultArmed(true);
+}
+
+bool fault::armMemFaultByName(const std::string &Name) {
+  std::string Kind = Name;
+  std::uint64_t After = 0, Repeat = 1;
+  auto ParseU64 = [](const std::string &S, std::uint64_t &Out) {
+    if (S.empty())
+      return false;
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+    if (End != S.c_str() + S.size())
+      return false;
+    Out = V;
+    return true;
+  };
+  if (std::string::size_type At = Kind.find('@');
+      At != std::string::npos) {
+    std::string Counts = Kind.substr(At + 1);
+    Kind.resize(At);
+    if (std::string::size_type X = Counts.find('x');
+        X != std::string::npos) {
+      if (!ParseU64(Counts.substr(X + 1), Repeat) || Repeat == 0)
+        return false;
+      Counts.resize(X);
+    }
+    if (!ParseU64(Counts, After))
+      return false;
+  }
+  MemFault F;
+  if (Kind == "soft")
+    F = MemFault::SoftPressure;
+  else if (Kind == "hard")
+    F = MemFault::HardPressure;
+  else if (Kind == "badalloc")
+    F = MemFault::BadAlloc;
+  else
+    return false;
+  armMemFault(F, After, Repeat);
+  return true;
+}
+
+bool fault::memFaultActive() {
+  return MemKind.load(std::memory_order_relaxed) >= 0;
+}
+
+std::optional<fault::MemFault> fault::onMemPoll() {
+  int Kind = MemKind.load(std::memory_order_relaxed);
+  if (Kind < 0)
+    return std::nullopt;
+  std::uint64_t N = MemPollCount.fetch_add(1, std::memory_order_relaxed);
+  if (N < MemAfter.load(std::memory_order_relaxed))
+    return std::nullopt;
+  if (N >= MemAfter.load(std::memory_order_relaxed) +
+               MemRepeat.load(std::memory_order_relaxed)) {
+    // Window exhausted: disarm so later polls are clean.
+    MemKind.store(-1, std::memory_order_relaxed);
+    memgov::noteFaultArmed(false);
+    return std::nullopt;
+  }
+  return static_cast<MemFault>(Kind);
 }
 
 void fault::armSnapshotFault(SnapshotFault F, bool Sticky) {

@@ -57,6 +57,47 @@ bool injectFactsLine(const std::string &Dir, const std::string &File,
                      const std::string &Line);
 
 //===----------------------------------------------------------------------===//
+// Memory-pressure faults.
+//
+// The memory governor's degradation paths (watermark trips, the
+// reserve-backed new handler) depend on real RSS growth, which tests
+// and drills cannot provoke portably — and must never provoke under
+// sanitizers, which reserve vast address space of their own. These
+// hooks simulate pressure at memgov poll points instead: a poll-counted
+// window reports Soft/Hard pressure, or runs the real new-handler body
+// once (memgov::simulateAllocationFailure) without exhausting anything.
+//===----------------------------------------------------------------------===//
+
+/// What an armed memory fault simulates at a memgov poll point.
+enum class MemFault : std::uint8_t {
+  SoftPressure, ///< Report Pressure::Soft (degrade-and-descend).
+  HardPressure, ///< Report Pressure::Hard (checkpoint now).
+  BadAlloc,     ///< Run the emergency new-handler body once.
+};
+
+/// Arms \p F for memgov polls [\p AfterPolls, AfterPolls + Repeat):
+/// Repeat = 1 is a one-shot spike; a large Repeat is a sustained burst
+/// (every ladder rung trips, a service sheds for a whole window).
+/// Counts from the last reset across all meters. Arming engages the
+/// governor's poll path even when no budget is governed.
+void armMemFault(MemFault F, std::uint64_t AfterPolls,
+                 std::uint64_t Repeat = 1);
+
+/// Arms by name — "soft@N", "hard@N", "badalloc@N", each optionally
+/// suffixed "xR" for a repeat window (e.g. "soft@100x50000"); a missing
+/// "@N" means "@0". The CTP_MEM_FAULT environment hook in the tools
+/// goes through this. \returns false for a malformed spec.
+bool armMemFaultByName(const std::string &Name);
+
+/// True while a memory fault is armed.
+bool memFaultActive();
+
+/// Consulted by memgov::pollImpl when memFaultActive(). Counts the poll
+/// and \returns the armed fault while inside the firing window,
+/// disarming itself once the window is past.
+std::optional<MemFault> onMemPoll();
+
+//===----------------------------------------------------------------------===//
 // Snapshot-writer crash points.
 //
 // A checkpoint write can be interrupted at any byte: the process is

@@ -17,6 +17,8 @@
 #ifndef CTP_SUPPORT_INTERNER_H
 #define CTP_SUPPORT_INTERNER_H
 
+#include "support/Memory.h"
+
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -39,6 +41,12 @@ public:
     std::uint32_t Id = static_cast<std::uint32_t>(Values.size());
     Values.push_back(Value);
     Ids.emplace(Values.back(), Id);
+    // Interners are among the solver's big owners; charge the memory
+    // governor an approximate delta (value copy + map node + deque
+    // slot). Only bridges the window between two RSS reads, so the
+    // estimate being rough is fine. Inert unless a budget is armed.
+    memgov::noteBytes(static_cast<std::int64_t>(
+        2 * sizeof(T) + sizeof(void *) * 4 + sizeof(std::uint32_t)));
     return Id;
   }
 

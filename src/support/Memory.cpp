@@ -1,0 +1,365 @@
+//===- support/Memory.cpp - Process memory governor -----------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Memory.h"
+
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+using namespace ctp;
+using memgov::Pressure;
+
+namespace {
+
+static_assert(std::chrono::steady_clock::is_steady,
+              "RSS re-read striding requires a steady clock");
+
+// Re-read /proc/self/statm at most this often; between reads the noted
+// byte deltas bridge the gap. 10ms keeps the watermark check honest at
+// multi-GB/s allocation rates while costing ~100 reads/second worst
+// case.
+constexpr std::int64_t RssStrideNs = 10 * 1000 * 1000;
+
+std::atomic<bool> GovernedFlag{false};
+std::atomic<bool> FaultEngaged{false};
+
+// Serializes govern()/disable(); the poll path is lock-free.
+std::mutex GovMutex;
+
+std::atomic<std::uint64_t> BudgetB{0};
+std::atomic<std::uint64_t> SoftBytes{0};
+std::atomic<std::uint64_t> HardBytes{0};
+
+// Usage estimate state: authoritative RSS, re-read on a stride, plus the
+// bytes noted since that read.
+std::atomic<std::uint64_t> LastRss{0};
+std::atomic<std::int64_t> NotedBytes{0};
+std::atomic<std::int64_t> NotedAtLastRss{0};
+std::atomic<std::int64_t> LastRssReadNs{0};
+
+// Pressure the most recent poll observed (as int for the atomic).
+std::atomic<int> StateP{static_cast<int>(Pressure::Ok)};
+// Sticky until the next re-arm: the new handler fired and spent the
+// reserve, so nothing below Hard is trustworthy.
+std::atomic<bool> HandlerFired{false};
+
+std::atomic<std::uint64_t> SoftTripCount{0};
+std::atomic<std::uint64_t> HardTripCount{0};
+
+// The emergency reserve and the handler chain.
+std::atomic<char *> Reserve{nullptr};
+std::new_handler PrevHandler = nullptr;
+bool HandlerInstalled = false;
+
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void refreshEngaged() {
+  memgov::EngagedFlag.store(GovernedFlag.load(std::memory_order_relaxed) ||
+                                FaultEngaged.load(std::memory_order_relaxed),
+                            std::memory_order_release);
+}
+
+// Records an observed pressure; counts only upward transitions so a
+// sustained Soft plateau is one trip, not one per poll.
+Pressure setState(Pressure P) {
+  if (StateP.load(std::memory_order_relaxed) == static_cast<int>(P))
+    return P; // Steady state: no write traffic on the shared line.
+  int Old = StateP.exchange(static_cast<int>(P), std::memory_order_relaxed);
+  if (static_cast<int>(P) > Old) {
+    if (P == Pressure::Soft)
+      SoftTripCount.fetch_add(1, std::memory_order_relaxed);
+    else if (P == Pressure::Hard)
+      HardTripCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  return P;
+}
+
+// One RSS re-read per elapsed stride, writer elected by CAS (same shape
+// as the heartbeat's interval election in Budget.cpp).
+void maybeRefreshRss() {
+  std::int64_t Now = steadyNowNs();
+  std::int64_t Last = LastRssReadNs.load(std::memory_order_relaxed);
+  if (Now - Last < RssStrideNs)
+    return;
+  if (!LastRssReadNs.compare_exchange_strong(Last, Now,
+                                             std::memory_order_relaxed))
+    return;
+  std::uint64_t Rss = memgov::currentRssBytes();
+  if (Rss == 0)
+    return; // No /proc: the noted bytes keep accumulating instead.
+  // Order matters only loosely: a racing noteBytes between these two
+  // stores double-counts at most one delta for one stride.
+  NotedAtLastRss.store(NotedBytes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  LastRss.store(Rss, std::memory_order_relaxed);
+}
+
+std::uint64_t usageEstimate() {
+  maybeRefreshRss();
+  std::uint64_t Rss = LastRss.load(std::memory_order_relaxed);
+  std::int64_t Bridge = NotedBytes.load(std::memory_order_relaxed) -
+                        NotedAtLastRss.load(std::memory_order_relaxed);
+  if (Bridge > 0)
+    Rss += static_cast<std::uint64_t>(Bridge);
+  return Rss;
+}
+
+// On real exhaustion: release the reserve so the failing allocation can
+// succeed on operator new's retry, flip the sticky hard trip, and let
+// the solver reach its next poll. With the reserve already spent there
+// is nothing left to give back — restore the previous handler (or throw
+// directly) so bad_alloc propagates instead of looping forever.
+void emergencyNewHandler() {
+  char *R = Reserve.exchange(nullptr, std::memory_order_acq_rel);
+  if (R) {
+    delete[] R;
+    HandlerFired.store(true, std::memory_order_relaxed);
+    setState(Pressure::Hard);
+    return;
+  }
+  std::set_new_handler(PrevHandler);
+  if (!PrevHandler)
+    throw std::bad_alloc();
+}
+
+void ensureReserve(std::uint64_t Bytes) {
+  if (Bytes == 0 || Reserve.load(std::memory_order_relaxed))
+    return;
+  char *R = new (std::nothrow) char[Bytes];
+  if (!R)
+    return; // Already at the wall: the handler will propagate bad_alloc.
+  // Touch one byte per page so the reserve is resident, not just mapped:
+  // releasing address space the kernel never backed frees nothing.
+  for (std::uint64_t I = 0; I < Bytes; I += 4096)
+    R[I] = 1;
+  char *Expected = nullptr;
+  if (!Reserve.compare_exchange_strong(Expected, R,
+                                       std::memory_order_acq_rel))
+    delete[] R;
+}
+
+} // namespace
+
+namespace ctp {
+namespace memgov {
+std::atomic<bool> EngagedFlag{false};
+} // namespace memgov
+} // namespace ctp
+
+const char *memgov::pressureName(Pressure P) {
+  switch (P) {
+  case Pressure::Ok:
+    return "ok";
+  case Pressure::Soft:
+    return "soft";
+  case Pressure::Hard:
+    return "hard";
+  }
+  return "unknown";
+}
+
+void memgov::govern(const GovernorSpec &S) {
+  std::lock_guard<std::mutex> Lock(GovMutex);
+  BudgetB.store(S.BudgetBytes, std::memory_order_relaxed);
+  std::uint64_t Rss = currentRssBytes();
+  LastRss.store(Rss, std::memory_order_relaxed);
+  NotedAtLastRss.store(NotedBytes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  LastRssReadNs.store(steadyNowNs(), std::memory_order_relaxed);
+  if (S.BudgetBytes != 0) {
+    // Watermarks as budget fractions, floored at current RSS plus a
+    // minimum headroom: freed heap rarely returns to the kernel, so a
+    // ladder descent re-arming at a halved budget would otherwise trip
+    // on entry before the cheaper rung could do any work.
+    auto Frac = [&](double F) {
+      return static_cast<std::uint64_t>(static_cast<double>(S.BudgetBytes) *
+                                        F);
+    };
+    std::uint64_t SoftHead =
+        std::max<std::uint64_t>(8ull << 20, S.BudgetBytes / 20);
+    std::uint64_t HardHead =
+        std::max<std::uint64_t>(12ull << 20, S.BudgetBytes * 2 / 25);
+    SoftBytes.store(std::max(Frac(S.SoftFraction), Rss + SoftHead),
+                    std::memory_order_relaxed);
+    HardBytes.store(std::max(Frac(S.HardFraction), Rss + HardHead),
+                    std::memory_order_relaxed);
+  } else {
+    SoftBytes.store(0, std::memory_order_relaxed);
+    HardBytes.store(0, std::memory_order_relaxed);
+  }
+  StateP.store(static_cast<int>(Pressure::Ok), std::memory_order_relaxed);
+  HandlerFired.store(false, std::memory_order_relaxed);
+  ensureReserve(S.ReserveBytes);
+  if (!HandlerInstalled) {
+    PrevHandler = std::set_new_handler(emergencyNewHandler);
+    HandlerInstalled = true;
+  }
+  GovernedFlag.store(true, std::memory_order_relaxed);
+  refreshEngaged();
+}
+
+void memgov::governMb(std::uint64_t BudgetMb) {
+  if (BudgetMb == 0)
+    return;
+  GovernorSpec S;
+  S.BudgetBytes = BudgetMb << 20;
+  govern(S);
+}
+
+void memgov::disable() {
+  std::lock_guard<std::mutex> Lock(GovMutex);
+  GovernedFlag.store(false, std::memory_order_relaxed);
+  refreshEngaged();
+  if (HandlerInstalled) {
+    std::set_new_handler(PrevHandler);
+    PrevHandler = nullptr;
+    HandlerInstalled = false;
+  }
+  delete[] Reserve.exchange(nullptr, std::memory_order_acq_rel);
+  BudgetB.store(0, std::memory_order_relaxed);
+  SoftBytes.store(0, std::memory_order_relaxed);
+  HardBytes.store(0, std::memory_order_relaxed);
+  NotedBytes.store(0, std::memory_order_relaxed);
+  NotedAtLastRss.store(0, std::memory_order_relaxed);
+  LastRss.store(0, std::memory_order_relaxed);
+  LastRssReadNs.store(0, std::memory_order_relaxed);
+  StateP.store(static_cast<int>(Pressure::Ok), std::memory_order_relaxed);
+  HandlerFired.store(false, std::memory_order_relaxed);
+  SoftTripCount.store(0, std::memory_order_relaxed);
+  HardTripCount.store(0, std::memory_order_relaxed);
+}
+
+bool memgov::governed() {
+  return GovernedFlag.load(std::memory_order_relaxed);
+}
+
+std::uint64_t memgov::budgetBytes() {
+  return BudgetB.load(std::memory_order_relaxed);
+}
+
+Pressure memgov::state() {
+  // A disengaged governor reports Ok regardless of the stored value:
+  // polls short-circuit while disengaged, so the last engaged state
+  // would otherwise read as stale pressure forever (e.g. a fault drill
+  // disarming mid-burst would leave a service shedding admissions).
+  if (!engaged())
+    return Pressure::Ok;
+  return static_cast<Pressure>(StateP.load(std::memory_order_relaxed));
+}
+
+std::uint64_t memgov::softTrips() {
+  return SoftTripCount.load(std::memory_order_relaxed);
+}
+
+std::uint64_t memgov::hardTrips() {
+  return HardTripCount.load(std::memory_order_relaxed);
+}
+
+std::uint64_t memgov::currentRssBytes() {
+#if defined(__linux__)
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Size = 0, Resident = 0;
+  int Got = std::fscanf(F, "%llu %llu", &Size, &Resident);
+  std::fclose(F);
+  if (Got != 2)
+    return 0;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  return Resident * static_cast<std::uint64_t>(Page > 0 ? Page : 4096);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t memgov::peakRssBytes() {
+#if defined(__linux__)
+  if (std::FILE *F = std::fopen("/proc/self/status", "r")) {
+    char Line[256];
+    while (std::fgets(Line, sizeof(Line), F)) {
+      unsigned long long Kb = 0;
+      if (std::sscanf(Line, "VmHWM: %llu kB", &Kb) == 1) {
+        std::fclose(F);
+        return Kb * 1024;
+      }
+    }
+    std::fclose(F);
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (::getrusage(RUSAGE_SELF, &RU) == 0 && RU.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(RU.ru_maxrss); // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(RU.ru_maxrss) * 1024; // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+void memgov::simulateAllocationFailure() {
+  delete[] Reserve.exchange(nullptr, std::memory_order_acq_rel);
+  HandlerFired.store(true, std::memory_order_relaxed);
+  setState(Pressure::Hard);
+}
+
+void memgov::noteFaultArmed(bool Armed) {
+  FaultEngaged.store(Armed, std::memory_order_relaxed);
+  refreshEngaged();
+}
+
+void memgov::noteBytesImpl(std::int64_t Delta) {
+  NotedBytes.fetch_add(Delta, std::memory_order_relaxed);
+}
+
+Pressure memgov::pollImpl() {
+  // Simulated pressure first: drills must trip even with no budget
+  // governed, and a forced bad_alloc exercises the real handler body.
+  if (fault::memFaultActive()) {
+    if (auto F = fault::onMemPoll()) {
+      switch (*F) {
+      case fault::MemFault::SoftPressure:
+        return setState(Pressure::Soft);
+      case fault::MemFault::HardPressure:
+        return setState(Pressure::Hard);
+      case fault::MemFault::BadAlloc:
+        simulateAllocationFailure();
+        return Pressure::Hard;
+      }
+    }
+  }
+  // A fired new handler is sticky until the next re-arm: the reserve is
+  // spent, so nothing below Hard is trustworthy.
+  if (HandlerFired.load(std::memory_order_relaxed))
+    return setState(Pressure::Hard);
+  if (!GovernedFlag.load(std::memory_order_relaxed) ||
+      HardBytes.load(std::memory_order_relaxed) == 0)
+    return setState(Pressure::Ok);
+  std::uint64_t Usage = usageEstimate();
+  if (Usage >= HardBytes.load(std::memory_order_relaxed))
+    return setState(Pressure::Hard);
+  if (Usage >= SoftBytes.load(std::memory_order_relaxed))
+    return setState(Pressure::Soft);
+  return setState(Pressure::Ok);
+}

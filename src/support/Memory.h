@@ -1,0 +1,152 @@
+//===- support/Memory.h - Process memory governor ---------------*- C++ -*-===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process memory governor. The paper's scalability argument is
+/// that fact counts and index sizes dominate analysis cost, which means
+/// memory — not time — is what kills real runs. Until now the only memory
+/// defense was external (RLIMIT_AS → bad_alloc → SIGABRT → supervisor
+/// triage), so a too-big configuration died losing all work instead of
+/// descending the degradation ladder the way time budgets already do.
+///
+/// The governor makes memory a first-class cooperative budget:
+///
+///  - A byte budget with two watermarks. Crossing the *soft* watermark
+///    (default 85%) reports Pressure::Soft; crossing the *hard* watermark
+///    (default 95%) reports Pressure::Hard. BudgetMeter::poll maps either
+///    to TerminationReason::MemoryBudget, so the engines stop at their
+///    usual safe points, checkpoint, and let the fallback ladder descend.
+///
+///  - Usage estimation that is cheap at rule-firing rates: big owners
+///    (interners, relations) charge approximate deltas via noteBytes();
+///    the authoritative /proc/self/statm RSS is re-read on a ~10ms steady
+///    clock stride with a CAS-elected reader, and the noted bytes only
+///    bridge the window between two RSS reads.
+///
+///  - A std::new_handler backed by a pre-allocated emergency reserve. On
+///    a *real* allocation failure the handler releases the reserve (so
+///    the failing allocation can succeed on retry), flips a sticky hard
+///    trip, and returns — the solver reaches its next poll, checkpoints,
+///    and degrades instead of aborting. If the reserve is already spent
+///    the previous handler is restored and bad_alloc propagates.
+///
+///  - Re-arming per ladder rung. Freed heap rarely returns to the kernel,
+///    so a descent to a cheaper rung would otherwise trip on entry; each
+///    re-arm floors the watermarks at the *current* RSS plus a minimum
+///    headroom, guaranteeing every rung room to make progress (the
+///    cheaper rung's smaller working set recycles the allocator's free
+///    pool without growing RSS).
+///
+/// Everything is inert — one relaxed atomic load per poll — until a tool
+/// installs a budget (--mem-budget-mb) or fault injection arms a
+/// simulated pressure spike (CTP_MEM_FAULT).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CTP_SUPPORT_MEMORY_H
+#define CTP_SUPPORT_MEMORY_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace ctp {
+namespace memgov {
+
+/// The pressure a poll observed, ordered by severity.
+enum class Pressure : std::uint8_t { Ok, Soft, Hard };
+
+const char *pressureName(Pressure P);
+
+/// One governor arming. Zero BudgetBytes means "no watermarks" (the
+/// reserve-backed new handler is still installed).
+struct GovernorSpec {
+  /// The byte budget the watermarks are fractions of.
+  std::uint64_t BudgetBytes = 0;
+  /// Soft watermark: degrade-and-descend territory.
+  double SoftFraction = 0.85;
+  /// Hard watermark: checkpoint-now territory.
+  double HardFraction = 0.95;
+  /// Emergency reserve released by the new handler on real exhaustion.
+  std::uint64_t ReserveBytes = 4ull << 20;
+};
+
+/// Installs the governor on first call, re-arms it on later calls:
+/// watermarks are recomputed (floored at current RSS + headroom, see
+/// file comment), the sticky hard trip is cleared, and the emergency
+/// reserve is re-allocated if a previous new-handler firing spent it.
+/// Trip counters are cumulative across re-arms.
+void govern(const GovernorSpec &S);
+
+/// govern() with a budget in MiB and default fractions. No-op when
+/// \p BudgetMb is zero, so callers can pass their spec field through.
+void governMb(std::uint64_t BudgetMb);
+
+/// Uninstalls the governor and new handler, frees the reserve, and
+/// zeroes counters and noted bytes. Call between tests.
+void disable();
+
+/// True while a budget is armed (fault-only engagement doesn't count).
+bool governed();
+
+std::uint64_t budgetBytes();
+
+/// The pressure the most recent poll observed. Ok before any poll and
+/// whenever the governor is disengaged (stale pressure from a disarmed
+/// drill or uninstalled budget must not linger).
+Pressure state();
+
+/// Upward pressure transitions observed since install (cumulative
+/// across re-arms; a re-arm that clears Hard and trips again counts
+/// again).
+std::uint64_t softTrips();
+std::uint64_t hardTrips();
+
+/// Current RSS in bytes from /proc/self/statm; 0 when unavailable.
+std::uint64_t currentRssBytes();
+
+/// Peak RSS in bytes: /proc/self/status VmHWM, falling back to
+/// getrusage ru_maxrss; 0 when both are unavailable.
+std::uint64_t peakRssBytes();
+
+/// Runs the new-handler body once without real exhaustion: releases the
+/// reserve and flips the sticky hard trip. Fault injection uses this so
+/// forced-bad_alloc drills never actually exhaust memory (sanitizer
+/// builds reserve vast address space and would die first).
+void simulateAllocationFailure();
+
+/// Fault-injection engagement: keeps poll() live while a CTP_MEM_FAULT
+/// is armed even when no budget is governed. Called by fault::.
+void noteFaultArmed(bool Armed);
+
+/// The slow path of poll(); call poll() instead.
+Pressure pollImpl();
+
+/// True when a poll would do real work (budget governed or fault armed).
+extern std::atomic<bool> EngagedFlag;
+inline bool engaged() {
+  return EngagedFlag.load(std::memory_order_relaxed);
+}
+
+/// The pressure check BudgetMeter::poll rides: one relaxed load when
+/// disengaged.
+inline Pressure poll() { return engaged() ? pollImpl() : Pressure::Ok; }
+
+/// The slow path of noteBytes(); call noteBytes() instead.
+void noteBytesImpl(std::int64_t Delta);
+
+/// Big owners charge approximate allocation deltas here (negative on
+/// release). Only bridges the window between two RSS reads, so rough
+/// sizeof-based estimates are fine. One relaxed load when disengaged.
+inline void noteBytes(std::int64_t Delta) {
+  if (engaged())
+    noteBytesImpl(Delta);
+}
+
+} // namespace memgov
+} // namespace ctp
+
+#endif // CTP_SUPPORT_MEMORY_H

@@ -73,7 +73,8 @@ const char *batch::jobStatusName(JobStatus S) {
 
 AttemptClass batch::classifyAttempt(const proc::ExitStatus &St,
                                     const KillAttribution &Kill,
-                                    const std::string &StderrTail) {
+                                    const std::string &StderrTail,
+                                    const std::string &TermSidecar) {
   if (!St.Exited && !St.Signalled)
     return AttemptClass::SpawnFailure;
   if (St.Signalled) {
@@ -88,10 +89,13 @@ AttemptClass batch::classifyAttempt(const proc::ExitStatus &St,
     if (St.Signal == SIGXCPU)
       return AttemptClass::RlimitCpu;
     // RLIMIT_AS surfaces as a failed allocation: the C++ runtime turns
-    // that into std::bad_alloc -> std::terminate -> SIGABRT, with the
-    // exception name on stderr.
+    // that into std::bad_alloc -> std::terminate -> SIGABRT. The child's
+    // terminate handler writes a structured sidecar before aborting;
+    // prefer that, and fall back to grepping the stderr tail (which a
+    // runtime backtrace can truncate past recognition).
     if (St.Signal == SIGABRT &&
-        StderrTail.find("bad_alloc") != std::string::npos)
+        (TermSidecar.find("bad_alloc") != std::string::npos ||
+         StderrTail.find("bad_alloc") != std::string::npos))
       return AttemptClass::RlimitMem;
     return AttemptClass::CrashSignal;
   }
@@ -507,6 +511,14 @@ JobOutcome Supervisor::runJob(const JobSpec &Job, int &ChaosKillsLeft) {
     AddCount("--deadline-ms", Opts.DeadlineMs);
     AddCount("--max-derivations", Opts.MaxDerivations);
     AddCount("--max-tuples", Opts.MaxTuples);
+    // A kernel memory cap gets a cooperative shadow at ~85%: the child's
+    // in-process governor trips, checkpoints, and descends its ladder
+    // before RLIMIT_AS turns an allocation into SIGABRT — the rlimit
+    // stays as the hard backstop.
+    if (Opts.MemLimitBytes != 0)
+      AddCount("--mem-budget-mb",
+               std::max<std::uint64_t>(
+                   1, (Opts.MemLimitBytes >> 20) * 85 / 100));
     bool Resumed = false, Fallback = false;
     if (St == Stage::Fallback) {
       // Trade the checkpoint for a guaranteed answer: descend the
@@ -539,6 +551,10 @@ JobOutcome Supervisor::runJob(const JobSpec &Job, int &ChaosKillsLeft) {
     A.Attempt = AttemptIdx;
     A.Resumed = Resumed;
     A.Fallback = Fallback;
+
+    // A stale sidecar from an earlier attempt must not triage this one.
+    const std::string TermFile = HeartbeatFile + termSidecarSuffix();
+    std::remove(TermFile.c_str());
 
     Stopwatch AttemptClock;
     proc::Child Child;
@@ -584,7 +600,8 @@ JobOutcome Supervisor::runJob(const JobSpec &Job, int &ChaosKillsLeft) {
         }
       }
       const proc::ExitStatus &ExitSt = Child.status();
-      A.Class = classifyAttempt(ExitSt, Kill, Child.stderrTail());
+      A.Class = classifyAttempt(ExitSt, Kill, Child.stderrTail(),
+                                slurpSmallFile(TermFile));
       A.ExitCode = ExitSt.Exited ? ExitSt.Code : -1;
       A.Signal = ExitSt.Signalled ? ExitSt.Signal : 0;
       A.StderrTail = Child.stderrTail();

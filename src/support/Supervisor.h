@@ -77,7 +77,9 @@ enum class AttemptClass : std::uint8_t {
   WatchdogStall, ///< heartbeat stopped advancing; supervisor SIGKILL.
   Timeout,       ///< per-job wall-clock cap; supervisor SIGKILL.
   RlimitCpu,     ///< SIGXCPU: the RLIMIT_CPU cap fired.
-  RlimitMem,     ///< SIGABRT with bad_alloc on stderr under RLIMIT_AS.
+  RlimitMem,     ///< SIGABRT from allocation failure under RLIMIT_AS
+                 ///< (bad_alloc in the termination sidecar or, as a
+                 ///< fallback, on the stderr tail).
   ChaosKill,     ///< the --chaos injector SIGKILLed it.
   SpawnFailure,  ///< fork/pipe failed; the child never ran.
 };
@@ -91,11 +93,20 @@ struct KillAttribution {
   bool Chaos = false;
 };
 
+/// The structured termination-reason sidecar a child writes next to its
+/// heartbeat file (heartbeat path + this suffix): "reason=<tag> ..." on
+/// one line. Triage prefers it to grepping the stderr tail, which an
+/// abort handler's backtrace can truncate past recognition.
+inline const char *termSidecarSuffix() { return ".term"; }
+
 /// Maps a reaped child (plus what the supervisor knows it did to it)
-/// onto the triage taxonomy. Exposed for unit tests.
+/// onto the triage taxonomy. \p TermSidecar is the slurped termination
+/// sidecar ("" when the child never wrote one); the stderr tail is the
+/// fallback signal. Exposed for unit tests.
 AttemptClass classifyAttempt(const proc::ExitStatus &St,
                              const KillAttribution &Kill,
-                             const std::string &StderrTail);
+                             const std::string &StderrTail,
+                             const std::string &TermSidecar = "");
 
 /// One run of one child, as recorded in the journal.
 struct AttemptRecord {

@@ -216,6 +216,65 @@ TEST(FallbackTest, DatalogBackendDescendsToo) {
   EXPECT_TRUE(O.Degraded);
 }
 
+TEST(FallbackTest, MemoryTripDescendsLikeAnyExhaustion) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  // One-shot simulated pressure: rung 0's meter maps it to a
+  // MemoryBudget trip; the window is past by rung 1, which converges.
+  fault::armMemFault(fault::MemFault::SoftPressure, 50);
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString));
+  fault::reset();
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::MemoryBudget);
+  EXPECT_EQ(O.Attempts[1].Term, TerminationReason::Converged);
+  EXPECT_EQ(O.RungUsed, 1u);
+  EXPECT_TRUE(O.Degraded);
+  EXPECT_EQ(O.R.Config.name(),
+            ctx::twoTypeH(Abstraction::ContextString).name());
+  EXPECT_GT(O.R.Pts.size(), 0u);
+}
+
+TEST(FallbackTest, SustainedMemoryPressureTripsEveryRung) {
+  facts::FactDB DB = testDB();
+  fault::reset();
+  // A sustained burst (an effectively unbounded window) trips every
+  // rung of the full ladder on MemoryBudget — including the native-only
+  // contextless flavours — and the outcome is the lowest partial.
+  fault::armMemFault(fault::MemFault::SoftPressure, 50, 1u << 30);
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString));
+  fault::reset();
+  const auto Ladder =
+      analysis::defaultLadder(ctx::twoObjectH(Abstraction::ContextString));
+  ASSERT_EQ(O.Attempts.size(), Ladder.size());
+  for (std::size_t I = 0; I < O.Attempts.size(); ++I) {
+    EXPECT_EQ(O.Attempts[I].Config.name(), Ladder[I].name());
+    EXPECT_EQ(O.Attempts[I].Term, TerminationReason::MemoryBudget);
+  }
+  EXPECT_EQ(O.RungUsed, Ladder.size() - 1);
+  EXPECT_TRUE(O.Degraded);
+  EXPECT_NE(O.R.Stat.Term, TerminationReason::Converged);
+}
+
+TEST(FallbackTest, DatalogBackendTripsOnMemoryPressureToo) {
+  // The governor is wired through BudgetMeter, which both back-ends
+  // poll — the datalog engine must stop on pressure just like the
+  // native solver.
+  facts::FactDB DB = testDB();
+  fault::reset();
+  fault::armMemFault(fault::MemFault::SoftPressure, 50);
+  analysis::FallbackOptions Opts;
+  Opts.UseDatalog = true;
+  analysis::FallbackOutcome O = analysis::solveWithFallback(
+      DB, ctx::twoObjectH(Abstraction::ContextString), Opts);
+  fault::reset();
+  ASSERT_EQ(O.Attempts.size(), 2u);
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::MemoryBudget);
+  EXPECT_EQ(O.Attempts[1].Term, TerminationReason::Converged);
+  EXPECT_TRUE(O.Degraded);
+}
+
 TEST(FallbackTest, ExplicitLadderIsRespected) {
   facts::FactDB DB = testDB();
   fault::reset();

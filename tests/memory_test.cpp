@@ -1,0 +1,260 @@
+//===- tests/memory_test.cpp - Memory governor units ----------------------===//
+//
+// Part of the ctp project: a reproduction of "Context Transformations for
+// Pointer Analysis" (Thiessen & Lhoták, PLDI 2017).
+//
+// Unit coverage for the in-process memory governor (support/Memory.h):
+// arming and watermark math, noted-byte pressure estimation, sticky
+// new-handler trips and per-rung re-arming, the CTP_MEM_FAULT simulated
+// pressure windows, and the BudgetMeter mapping from governor pressure to
+// TerminationReason::MemoryBudget. The end-to-end RLIMIT_AS drill (a
+// process that previously SIGABRTed now degrades to exit 3 with
+// byte-identical results) lives in crashloop.sh --oom (ctest: oom_drill).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
+#include "support/Memory.h"
+
+#include "gtest/gtest.h"
+
+using namespace ctp;
+
+namespace {
+
+/// Every test leaves the process-global governor and fault state clean;
+/// a leaked arming would poison unrelated tests in this binary.
+struct GovernorScope {
+  GovernorScope() {
+    fault::reset();
+    memgov::disable();
+  }
+  ~GovernorScope() {
+    fault::reset();
+    memgov::disable();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Arming and watermark math.
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryGovernor, DisengagedPollsAreInert) {
+  GovernorScope Scope;
+  EXPECT_FALSE(memgov::engaged());
+  EXPECT_FALSE(memgov::governed());
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+  EXPECT_EQ(memgov::state(), memgov::Pressure::Ok);
+  EXPECT_EQ(memgov::budgetBytes(), 0u);
+}
+
+TEST(MemoryGovernor, GovernMbArmsAndDisableResets) {
+  GovernorScope Scope;
+  memgov::governMb(64);
+  EXPECT_TRUE(memgov::governed());
+  EXPECT_TRUE(memgov::engaged());
+  EXPECT_EQ(memgov::budgetBytes(), 64ull << 20);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+  memgov::disable();
+  EXPECT_FALSE(memgov::governed());
+  EXPECT_EQ(memgov::budgetBytes(), 0u);
+  EXPECT_EQ(memgov::softTrips(), 0u);
+  EXPECT_EQ(memgov::hardTrips(), 0u);
+}
+
+TEST(MemoryGovernor, GovernMbZeroIsANoOp) {
+  GovernorScope Scope;
+  memgov::governMb(0);
+  EXPECT_FALSE(memgov::governed());
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+}
+
+TEST(MemoryGovernor, TinyBudgetIsFlooredAtCurrentRss) {
+  GovernorScope Scope;
+  // The process is far past a 1 MiB budget already; without the
+  // RSS-plus-headroom floor the very first poll would trip Hard and a
+  // ladder descent could never make progress. The floor guarantees Ok
+  // at arming time regardless of what earlier rungs left resident.
+  memgov::governMb(1);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+  EXPECT_EQ(memgov::hardTrips(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Noted-byte pressure estimation.
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryGovernor, NotedBytesCrossTheWatermarks) {
+  GovernorScope Scope;
+  // A budget so large that the fractional watermarks dwarf both the
+  // real RSS and its headroom floor: soft at ~34 GiB, hard at ~38 GiB.
+  // Noting (not allocating) bytes walks the estimate across them.
+  memgov::governMb(40960);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+
+  memgov::noteBytes(36ll << 30); // ~36 GiB: past soft, short of hard.
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Soft);
+  EXPECT_EQ(memgov::state(), memgov::Pressure::Soft);
+  EXPECT_EQ(memgov::softTrips(), 1u);
+  // A sustained plateau is one trip, not one per poll.
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Soft);
+  EXPECT_EQ(memgov::softTrips(), 1u);
+
+  memgov::noteBytes(6ll << 30); // ~42 GiB total: past hard.
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Hard);
+  EXPECT_EQ(memgov::hardTrips(), 1u);
+
+  // Releasing the noted bytes (a dropped cache, a freed relation)
+  // brings the estimate back under the watermarks.
+  memgov::noteBytes(-(42ll << 30));
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// The emergency new handler.
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryGovernor, SimulatedAllocationFailureIsStickyUntilRearm) {
+  GovernorScope Scope;
+  memgov::governMb(64);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+  // The handler body: reserve released, sticky hard trip flipped. Every
+  // later poll reports Hard no matter what usage says — the process has
+  // proven it is at the wall, and only a re-arm (the next ladder rung)
+  // declares the descent's recovery.
+  memgov::simulateAllocationFailure();
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Hard);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Hard);
+  EXPECT_GE(memgov::hardTrips(), 1u);
+  memgov::governMb(64); // Re-arm: clears the sticky trip.
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Simulated pressure windows (CTP_MEM_FAULT).
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryFaults, WindowFiresAndDisarmsItself) {
+  GovernorScope Scope;
+  // Window [2, 4): polls 0 and 1 are clean, 2 and 3 report Soft, and
+  // the poll after the window disarms the fault entirely.
+  fault::armMemFault(fault::MemFault::SoftPressure, 2, 2);
+  EXPECT_TRUE(fault::memFaultActive());
+  EXPECT_TRUE(memgov::engaged()) << "an armed fault must engage polls";
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);   // poll 0
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);   // poll 1
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Soft); // poll 2
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Soft); // poll 3
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);   // past: disarmed
+  EXPECT_FALSE(fault::memFaultActive());
+  EXPECT_FALSE(memgov::engaged());
+}
+
+TEST(MemoryFaults, ArmByNameParsesTheDrillGrammar) {
+  GovernorScope Scope;
+  EXPECT_TRUE(fault::armMemFaultByName("soft@5x10"));
+  EXPECT_TRUE(fault::memFaultActive());
+  fault::reset();
+  EXPECT_TRUE(fault::armMemFaultByName("hard")); // Missing @N means @0.
+  fault::reset();
+  EXPECT_TRUE(fault::armMemFaultByName("badalloc@1"));
+  fault::reset();
+  EXPECT_FALSE(fault::armMemFaultByName("gruesome@3"));
+  EXPECT_FALSE(fault::memFaultActive());
+}
+
+TEST(MemoryFaults, BadAllocFaultRunsTheHandlerBody) {
+  GovernorScope Scope;
+  memgov::governMb(64);
+  fault::armMemFault(fault::MemFault::BadAlloc, 0);
+  // The forced failure runs the real handler body (reserve release +
+  // sticky trip) without exhausting anything — sanitizer-safe.
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Hard);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Hard) << "trip must stick";
+  memgov::governMb(64);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Ok);
+}
+
+TEST(MemoryFaults, StateReadsOkOnceDisengaged) {
+  GovernorScope Scope;
+  // Regression: state() used to return the last stored pressure even
+  // after the governor disengaged, so a service kept shedding
+  // admissions forever after a fault drill disarmed mid-burst.
+  fault::armMemFault(fault::MemFault::HardPressure, 0, 1000);
+  EXPECT_EQ(memgov::poll(), memgov::Pressure::Hard);
+  EXPECT_EQ(memgov::state(), memgov::Pressure::Hard);
+  fault::reset(); // Disengages (no budget governed).
+  EXPECT_FALSE(memgov::engaged());
+  EXPECT_EQ(memgov::state(), memgov::Pressure::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// BudgetMeter integration.
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryBudgetMeter, SpecArmsTheGovernor) {
+  GovernorScope Scope;
+  BudgetSpec S;
+  S.MemBudgetMb = 64;
+  BudgetMeter M(S);
+  EXPECT_TRUE(memgov::governed());
+  EXPECT_EQ(memgov::budgetBytes(), 64ull << 20);
+  EXPECT_FALSE(M.poll().has_value());
+}
+
+TEST(MemoryBudgetMeter, PressureMapsToMemoryBudget) {
+  GovernorScope Scope;
+  fault::armMemFault(fault::MemFault::SoftPressure, 0, 1u << 30);
+  BudgetSpec S; // No numeric limits: pressure alone must trip it.
+  BudgetMeter M(S);
+  auto Term = M.poll();
+  ASSERT_TRUE(Term.has_value());
+  EXPECT_EQ(*Term, TerminationReason::MemoryBudget);
+  // Sticky, like every other exhaustion.
+  EXPECT_EQ(M.reason(), TerminationReason::MemoryBudget);
+  ASSERT_TRUE(M.poll().has_value());
+  EXPECT_EQ(*M.poll(), TerminationReason::MemoryBudget);
+}
+
+TEST(MemoryBudgetMeter, UnlimitedDefaultMeterHonoursPressure) {
+  GovernorScope Scope;
+  // A per-query meter in a governed service is "unlimited" but memory
+  // pressure is process-wide: it must still stop the query.
+  fault::armMemFault(fault::MemFault::HardPressure, 0, 1u << 30);
+  BudgetMeter M((BudgetSpec()));
+  auto Term = M.poll();
+  ASSERT_TRUE(Term.has_value());
+  EXPECT_EQ(*Term, TerminationReason::MemoryBudget);
+}
+
+TEST(MemoryBudgetMeter, ScaledForRungHalvesTheMemBudget) {
+  BudgetSpec S;
+  S.MemBudgetMb = 100;
+  EXPECT_EQ(S.scaledForRung(0).MemBudgetMb, 100u);
+  EXPECT_EQ(S.scaledForRung(1).MemBudgetMb, 50u);
+  EXPECT_EQ(S.scaledForRung(2).MemBudgetMb, 25u);
+  EXPECT_EQ(S.scaledForRung(63).MemBudgetMb, 1u); // Never below 1.
+  BudgetSpec U;                                   // Unlimited stays so.
+  EXPECT_EQ(U.scaledForRung(3).MemBudgetMb, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// RSS probes.
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryRss, ProbesReportPlausibleValues) {
+#if defined(__linux__)
+  const std::uint64_t Cur = memgov::currentRssBytes();
+  const std::uint64_t Peak = memgov::peakRssBytes();
+  EXPECT_GT(Cur, 0u);
+  EXPECT_GT(Peak, 0u);
+  // Peak is a high-water mark: it can never be meaningfully below the
+  // current residency (allow slack for the race between the two reads).
+  EXPECT_GE(Peak + (4ull << 20), Cur);
+#else
+  SUCCEED() << "RSS probes are best-effort off Linux";
+#endif
+}

@@ -395,6 +395,44 @@ TEST(FallbackResume, ExhaustedRungZeroSavesInsteadOfDescending) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST(FallbackResume, MemoryTripCheckpointsThenResumesByteIdentically) {
+  facts::FactDB DB = facts::extract(workload::generatePreset("antlr"));
+  ctx::Config Cfg = ctx::twoObjectH(Abstraction::TransformerString);
+  analysis::Results Baseline = solveNative(DB, Cfg, {}, "", nullptr);
+  ASSERT_EQ(Baseline.Stat.Term, TerminationReason::Converged);
+
+  std::string Dir = freshDir("memtrip");
+  analysis::FallbackOptions FO;
+  FO.Checkpoint.Dir = Dir;
+  fault::reset();
+  // One-shot simulated pressure mid-solve: unlike a derivation cap
+  // (which saves *instead of* descending, see above), a memory trip
+  // checkpoints AND descends — the machine is out of room for this
+  // rung, so the caller still gets a cheaper answer now.
+  fault::armMemFault(fault::MemFault::SoftPressure, 50);
+  analysis::FallbackOutcome O = analysis::solveWithFallback(DB, Cfg, FO);
+  fault::reset();
+  ASSERT_GE(O.Attempts.size(), 2u) << "memory trip must descend";
+  EXPECT_EQ(O.Attempts[0].Term, TerminationReason::MemoryBudget);
+  EXPECT_TRUE(O.SnapshotSaved) << "memory trip must checkpoint first";
+  EXPECT_TRUE(O.Degraded);
+
+  // Once pressure is gone, resuming the rung-0 snapshot must land on
+  // the exact fixpoint of an uninterrupted precise solve.
+  analysis::FallbackOutcome O2;
+  {
+    analysis::FallbackOptions FR;
+    FR.Checkpoint.Dir = Dir;
+    FR.Resume = true;
+    O2 = analysis::solveWithFallback(DB, Cfg, FR);
+  }
+  EXPECT_EQ(O2.Resume, analysis::ResumeStatus::Resumed) << O2.ResumeWarning;
+  EXPECT_FALSE(O2.Degraded);
+  ASSERT_EQ(O2.R.Stat.Term, TerminationReason::Converged);
+  expectIdentical(Baseline, O2.R);
+  std::filesystem::remove_all(Dir);
+}
+
 TEST(FallbackResume, WithoutCheckpointingStillDescends) {
   facts::FactDB DB = facts::extract(workload::generatePreset("antlr"));
   ctx::Config Cfg = ctx::twoObjectH(Abstraction::TransformerString);

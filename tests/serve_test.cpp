@@ -16,6 +16,8 @@
 #include "facts/Extract.h"
 #include "serve/Service.h"
 #include "serve/Wire.h"
+#include "support/FaultInjection.h"
+#include "support/Memory.h"
 #include "support/Posix.h"
 #include "support/Supervisor.h"
 #include "workload/Presets.h"
@@ -34,6 +36,7 @@
 #include <fcntl.h>
 #include <pthread.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -491,4 +494,170 @@ TEST(ServiceEngine, CflOnlyModeServesDemandAnswers) {
         << "demand answer dropped " << H;
 
   EXPECT_EQ(S.answer(req("3\ttaint\tanything")).Status, StatusError);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory-pressure shedding and in-place degradation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Connects to \p Path, retrying while the serve thread binds.
+int connectTo(const std::string &Path) {
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  for (int Try = 0; Try < 200; ++Try) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      return Fd;
+    posix::closeQuiet(Fd);
+    ::usleep(20000);
+  }
+  return -1;
+}
+
+/// One request/response round trip over \p Fd.
+Response ask(int Fd, const std::string &Payload) {
+  Response R;
+  EXPECT_TRUE(writeFrame(Fd, Payload));
+  std::string Back;
+  EXPECT_EQ(readFrame(Fd, Back), FrameResult::Ok);
+  EXPECT_TRUE(parseResponse(Back, R));
+  return R;
+}
+
+} // namespace
+
+TEST(ServiceEngine, SustainedPressureBurstDegradesInPlaceAndRecovers) {
+  // The acceptance drill for the memory governor's serve integration: a
+  // sustained simulated pressure burst must never kill the daemon — it
+  // sheds under hard pressure, drops its resident caches, and keeps
+  // answering demand-driven; when the burst passes, admissions resume.
+  fault::reset();
+  memgov::disable();
+
+  ServiceOptions O;
+  O.Preset = "antlr";
+  O.ConfigName = "2-object+H";
+  Service S(std::move(O));
+  ASSERT_EQ(S.init(), "");
+  ASSERT_EQ(S.mode(), ServeMode::Hot);
+
+  const std::string Sock =
+      "/tmp/ctp_serve_mem_" + std::to_string(::getpid()) + ".sock";
+  std::thread Server([&] { EXPECT_EQ(S.serve(Sock), 0); });
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0) << "serve loop never bound " << Sock;
+
+  Service &HotS = hotService();
+  const std::string Var = pointingVar(HotS);
+  ASSERT_NE(Var, "");
+  const Response Healthy = ask(Fd, "1\tpts\t" + Var);
+  EXPECT_EQ(Healthy.Status, StatusOk);
+  EXPECT_EQ(Healthy.Mode, "hot");
+
+  // Sustained hard pressure: the accept loop's next governor poll acts
+  // immediately (no streak needed) — resident caches drop, the service
+  // falls to demand-driven answers, and readers shed new admissions.
+  fault::armMemFault(fault::MemFault::HardPressure, 0, 1u << 30);
+  bool SawShed = false;
+  for (int Try = 0; Try < 100 && !SawShed; ++Try) {
+    Response R = ask(Fd, std::to_string(10 + Try) + "\tpts\t" + Var);
+    SawShed = R.Status == StatusOverloaded;
+    if (!SawShed)
+      ::usleep(20000);
+  }
+  EXPECT_TRUE(SawShed) << "hard pressure never shed an admission";
+
+  // Burst over: pressure reads Ok again on the next poll, admissions
+  // resume, and the (now demand-driven) service still answers soundly —
+  // the CFL answer covers the hot one.
+  fault::reset();
+  Response After;
+  for (int Try = 0; Try < 100; ++Try) {
+    After = ask(Fd, std::to_string(200 + Try) + "\tpts\t" + Var);
+    if (After.Status != StatusOverloaded)
+      break;
+    ::usleep(20000);
+  }
+  EXPECT_TRUE(After.Status == StatusOk || After.Status == StatusDegraded)
+      << After.Status;
+  EXPECT_TRUE(After.Mode == "cfl" || After.Mode == "cfl-exhausted")
+      << After.Mode;
+  std::string Padded = " " + After.Body + " ";
+  std::istringstream HotHeaps(Healthy.Body);
+  std::string H;
+  while (HotHeaps >> H)
+    EXPECT_NE(Padded.find(" " + H + " "), std::string::npos)
+        << "post-burst answer dropped " << H;
+
+  const Response Stats = ask(Fd, "900\tstats");
+  EXPECT_NE(Stats.Body.find("mode=cfl"), std::string::npos) << Stats.Body;
+  EXPECT_NE(Stats.Body.find("mem_state=ok"), std::string::npos)
+      << Stats.Body;
+  EXPECT_EQ(Stats.Body.find("mem_shed=0"), std::string::npos) << Stats.Body;
+  EXPECT_EQ(Stats.Body.find("mem_degrades=0"), std::string::npos)
+      << Stats.Body;
+
+  EXPECT_EQ(ask(Fd, "999\tshutdown").Body, "bye");
+  posix::closeQuiet(Fd);
+  Server.join();
+  fault::reset();
+  memgov::disable();
+}
+
+TEST(ServiceEngine, SustainedSoftPressureDescendsTheLadder) {
+  // Soft pressure is degrade-and-descend territory: after a sustained
+  // streak the service drops its caches and re-solves cheaper rungs.
+  // Under a *continuing* burst every rung's meter trips too, so it must
+  // land on demand-driven answers — degraded, sound, still alive — and
+  // soft pressure alone must never shed admissions.
+  fault::reset();
+  memgov::disable();
+
+  ServiceOptions O;
+  O.Preset = "antlr";
+  O.ConfigName = "2-object+H";
+  Service S(std::move(O));
+  ASSERT_EQ(S.init(), "");
+  ASSERT_EQ(S.mode(), ServeMode::Hot);
+
+  const std::string Sock =
+      "/tmp/ctp_serve_soft_" + std::to_string(::getpid()) + ".sock";
+  std::thread Server([&] { EXPECT_EQ(S.serve(Sock), 0); });
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0) << "serve loop never bound " << Sock;
+
+  Service &HotS = hotService();
+  const std::string Var = pointingVar(HotS);
+  ASSERT_NE(Var, "");
+
+  fault::armMemFault(fault::MemFault::SoftPressure, 0, 1u << 30);
+  // Three accept-loop ticks build the streak; the descent then runs on
+  // the accept thread while queries keep being answered here.
+  Response R;
+  bool Descended = false;
+  for (int Try = 0; Try < 300 && !Descended; ++Try) {
+    R = ask(Fd, std::to_string(Try) + "\tpts\t" + Var);
+    EXPECT_NE(R.Status, StatusOverloaded)
+        << "soft pressure must not shed admissions";
+    Descended = R.Mode == "cfl" || R.Mode == "cfl-exhausted";
+    if (!Descended)
+      ::usleep(20000);
+  }
+  EXPECT_TRUE(Descended) << "sustained soft pressure never descended";
+  EXPECT_NE(R.Body, "") << "descended service stopped answering";
+
+  EXPECT_EQ(ask(Fd, "999\tshutdown").Body, "bye");
+  posix::closeQuiet(Fd);
+  Server.join();
+  fault::reset();
+  memgov::disable();
 }

@@ -161,6 +161,22 @@ TEST(TriageTest, RlimitSignatures) {
             AttemptClass::CrashSignal);
 }
 
+TEST(TriageTest, TerminationSidecarBeatsATruncatedStderrTail) {
+  KillAttribution None;
+  // A runtime backtrace can push the allocator's message out of the
+  // bounded stderr tail; the child's structured sidecar still names the
+  // reason, and triage must prefer it.
+  EXPECT_EQ(classifyAttempt(signalled(SIGABRT),
+                            None, "...pages of backtrace frames...",
+                            "reason=bad_alloc"),
+            AttemptClass::RlimitMem);
+  // A sidecar naming a clean reason must not launder an honest crash
+  // into rlimit-mem.
+  EXPECT_EQ(classifyAttempt(signalled(SIGABRT), None, "assert failed",
+                            "reason=Converged degraded=0"),
+            AttemptClass::CrashSignal);
+}
+
 TEST(TriageTest, SpawnFailureIsItsOwnClass) {
   KillAttribution None;
   EXPECT_EQ(classifyAttempt(proc::ExitStatus(), None, ""),

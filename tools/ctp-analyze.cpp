@@ -22,6 +22,10 @@
 //     --deadline-ms N      wall-clock budget for the solve (0 = unlimited)
 //     --max-derivations N  rule-firing cap (0 = unlimited)
 //     --max-tuples N       derived-tuple (approx. memory) cap
+//     --mem-budget-mb N    RSS budget enforced by the in-process memory
+//                          governor: watermark pressure checkpoints and
+//                          (with --fallback) descends the ladder instead
+//                          of dying on bad_alloc
 //     --fallback           on budget exhaustion degrade down the
 //                          configuration ladder instead of stopping
 //     --lenient            skip (and count) malformed fact lines instead
@@ -51,12 +55,15 @@
 #include "support/Budget.h"
 #include "support/ExitCodes.h"
 #include "support/FaultInjection.h"
+#include "support/Memory.h"
 #include "support/Suggest.h"
+#include "support/Supervisor.h"
 #include "workload/Presets.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 
@@ -77,8 +84,9 @@ int usage(const char *Prog) {
       "[--abstraction cs|ts]\n"
       "          [--collapse] [--datalog] [--deadline-ms N] "
       "[--max-derivations N]\n"
-      "          [--max-tuples N] [--fallback] [--lenient] [--dump-pts] "
-      "[--dump-calls]\n"
+      "          [--max-tuples N] [--mem-budget-mb N] [--fallback] "
+      "[--lenient]\n"
+      "          [--dump-pts] [--dump-calls]\n"
       "          [--out DIR] [--checkpoint-dir DIR] [--checkpoint-every N] "
       "[--resume]\n"
       "  presets: %s\n"
@@ -88,6 +96,50 @@ int usage(const char *Prog) {
       "degraded\n",
       Prog, Presets.c_str());
   return ExitUsage;
+}
+
+//===----------------------------------------------------------------------===//
+// Termination-reason sidecar.
+//
+// A supervised child that dies of allocation failure used to be triaged
+// by grepping "bad_alloc" off a truncatable stderr tail. Instead the
+// child itself records how it ended, structured, next to its heartbeat
+// file: one line at normal exit, and — via a terminate handler — a
+// best-effort "reason=bad_alloc" even on the SIGABRT path, so the
+// supervisor's rlimit-mem triage no longer depends on what the C++
+// runtime happened to print.
+//===----------------------------------------------------------------------===//
+
+std::string TermSidecarPath; // Empty when unsupervised.
+
+void writeTermSidecar(const std::string &Line) {
+  if (TermSidecarPath.empty())
+    return;
+  if (std::FILE *F = std::fopen(TermSidecarPath.c_str(), "w")) {
+    std::fprintf(F, "%s\n", Line.c_str());
+    std::fclose(F);
+  }
+}
+
+std::terminate_handler PrevTerminate = nullptr;
+
+[[noreturn]] void terminateWithSidecar() {
+  // Name the in-flight exception without allocating; under genuine
+  // exhaustion even fopen may fail, and that's fine — the stderr grep
+  // remains as the supervisor's fallback.
+  const char *Reason = "terminate";
+  if (std::exception_ptr E = std::current_exception()) {
+    try {
+      std::rethrow_exception(E);
+    } catch (const std::bad_alloc &) {
+      Reason = "bad_alloc";
+    } catch (...) {
+    }
+  }
+  writeTermSidecar(std::string("reason=") + Reason);
+  if (PrevTerminate)
+    PrevTerminate();
+  std::abort();
 }
 
 /// Parses a non-negative integer flag value; \returns false on garbage.
@@ -117,8 +169,23 @@ int main(int argc, char **argv) {
   analysis::CheckpointPolicy Ckpt;
 
   // Liveness for a supervising ctp-batch: beat a heartbeat file from the
-  // solver's budget poll points when CTP_HEARTBEAT_FILE is set.
+  // solver's budget poll points when CTP_HEARTBEAT_FILE is set. The same
+  // supervision contract adds the termination-reason sidecar next to the
+  // heartbeat file (see above).
   heartbeat::installFromEnv();
+  if (const char *Hb = std::getenv("CTP_HEARTBEAT_FILE"))
+    if (*Hb) {
+      TermSidecarPath = std::string(Hb) + batch::termSidecarSuffix();
+      PrevTerminate = std::set_terminate(terminateWithSidecar);
+    }
+
+  // Test hook: simulated memory-pressure spikes or a forced bad_alloc at
+  // the governor's poll points ("soft@N", "hard@N", "badalloc@N",
+  // optionally "xR" for a sustained window).
+  if (const char *Fault = std::getenv("CTP_MEM_FAULT"))
+    if (*Fault && !fault::armMemFaultByName(Fault))
+      std::fprintf(stderr,
+                   "warning: unknown CTP_MEM_FAULT '%s' ignored\n", Fault);
 
   // Test hook: arm a sticky snapshot-writer fault so the crash-resume
   // loop and the recovery tests can exercise torn/short/bit-flipped
@@ -190,6 +257,9 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
     } else if (Arg == "--max-tuples") {
       if (!NextCount(Budget.MaxTuples))
+        return usage(argv[0]);
+    } else if (Arg == "--mem-budget-mb") {
+      if (!NextCount(Budget.MemBudgetMb))
         return usage(argv[0]);
     } else if (Arg == "--fallback") {
       Fallback = true;
@@ -364,8 +434,11 @@ int main(int argc, char **argv) {
   std::printf("  total (pts+hpts+call) %zu\n", R.Stat.total());
   if (Collapse)
     std::printf("  collapsed pts facts  %zu\n", R.Stat.CollapsedPts);
-  std::printf("time: %.1f ms, %zu distinct transformations\n",
-              R.Stat.Seconds * 1e3, R.Stat.DomainSize);
+  std::printf("time: %.1f ms, %zu distinct transformations, peak rss "
+              "%llu MB\n",
+              R.Stat.Seconds * 1e3, R.Stat.DomainSize,
+              static_cast<unsigned long long>(memgov::peakRssBytes() >>
+                                              20));
 
   if (!OutDir.empty()) {
     std::string Err = analysis::writeResultsDir(DB, R, OutDir);
@@ -401,5 +474,9 @@ int main(int argc, char **argv) {
     std::printf("checkpoint saved to %s; re-run with --resume to "
                 "continue\n",
                 Ckpt.Dir.c_str());
+  writeTermSidecar(
+      std::string("reason=") + terminationReasonName(R.Stat.Term) +
+      " degraded=" + (Degraded ? "1" : "0") + " peak_rss_mb=" +
+      std::to_string(memgov::peakRssBytes() >> 20));
   return Degraded ? ExitDegraded : ExitOk;
 }

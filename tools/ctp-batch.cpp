@@ -24,7 +24,13 @@
 //     --deadline-ms N, --max-derivations N, --max-tuples N
 //                          per-child analysis budget (forwarded)
 //     --checkpoint-every N periodic snapshot cadence (default 2000)
-//     --mem-limit-mb N     RLIMIT_AS per child, megabytes (0 = unlimited)
+//     --mem-limit-mb N     RLIMIT_AS per child, megabytes (0 = unlimited).
+//                          Also derives a cooperative --mem-budget-mb at
+//                          ~85% of the rlimit for the child's in-process
+//                          memory governor, so children checkpoint and
+//                          degrade at a watermark instead of dying on
+//                          bad_alloc at the hard ceiling (the rlimit
+//                          stays as the backstop)
 //     --cpu-limit-s N      RLIMIT_CPU per child, seconds (0 = unlimited)
 //     --stall-timeout-ms N SIGKILL after a silent heartbeat this long
 //                          (default 10000; 0 disables the watchdog)

@@ -31,6 +31,13 @@
 //   --checkpoint-every N   mid-solve checkpoint cadence (default 20000)
 //   --startup-deadline-ms N / --max-derivations N / --max-tuples N
 //                          startup-solve budget (then ladder descent)
+//   --mem-budget-mb N      RSS budget enforced by the in-process memory
+//                          governor (support/Memory.h); under pressure
+//                          the daemon drops caches, descends the ladder
+//                          or falls to demand-driven answers, and sheds
+//                          admissions — never dies of OOM. CTP_MEM_FAULT
+//                          ("soft@N[xR]" / "hard@N[xR]" / "badalloc@N")
+//                          arms a simulated pressure drill.
 //   --workers N            worker threads (default 2)
 //   --queue-cap N          admission queue bound (default 8)
 // Supervisor options:
@@ -46,6 +53,7 @@
 #include "serve/Wire.h"
 #include "support/Budget.h"
 #include "support/ExitCodes.h"
+#include "support/FaultInjection.h"
 #include "support/Posix.h"
 #include "support/Supervisor.h"
 
@@ -358,6 +366,9 @@ int main(int argc, char **argv) {
     } else if (Arg == "--max-tuples") {
       if (!NextCount(SOpts.StartupBudget.MaxTuples))
         return usage(argv[0]);
+    } else if (Arg == "--mem-budget-mb") {
+      if (!NextCount(SOpts.StartupBudget.MemBudgetMb))
+        return usage(argv[0]);
     } else if (Arg == "--workers") {
       if (!NextCount(Workers))
         return usage(argv[0]);
@@ -440,6 +451,7 @@ int main(int argc, char **argv) {
     AddCount("--startup-deadline-ms", SOpts.StartupBudget.DeadlineMs);
     AddCount("--max-derivations", SOpts.StartupBudget.MaxDerivations);
     AddCount("--max-tuples", SOpts.StartupBudget.MaxTuples);
+    AddCount("--mem-budget-mb", SOpts.StartupBudget.MemBudgetMb);
     AddCount("--workers", Workers);
     AddCount("--queue-cap", QueueCap);
     return service::superviseService(Sup, logLine, nullptr);
@@ -447,6 +459,12 @@ int main(int argc, char **argv) {
 
   // Daemon mode.
   heartbeat::installFromEnv();
+  // Simulated memory-pressure drill (serve_test's burst, check.sh --oom):
+  // the accept loop's governor polls consume the armed fault windows.
+  if (const char *Fault = std::getenv("CTP_MEM_FAULT"))
+    if (*Fault && !fault::armMemFaultByName(Fault))
+      std::fprintf(stderr, "warning: unknown CTP_MEM_FAULT '%s' ignored\n",
+                   Fault);
   SOpts.Workers = static_cast<std::size_t>(Workers);
   SOpts.QueueCap = static_cast<std::size_t>(QueueCap);
   SOpts.StopFlag = &GStop;
